@@ -1,0 +1,47 @@
+# Reproduction of "Distributed Online Min-Max Load Balancing with
+# Risk-Averse Assistance" (ICDCS 2023). Stdlib-only Go; no network needed.
+
+GO ?= go
+
+.PHONY: all build vet test race bench repro repro-csv fuzz examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every paper figure/table at paper scale (N=30, 100
+# realizations) as text; add -csv out/ for CSV export.
+repro:
+	$(GO) run ./cmd/dolbie-bench -fig all
+
+repro-csv:
+	$(GO) run ./cmd/dolbie-bench -fig all -csv out/
+
+# Short fuzzing pass over the numerical kernels.
+fuzz:
+	$(GO) test -fuzz=FuzzInverse -fuzztime=10s ./internal/costfn/
+	$(GO) test -fuzz=FuzzProject -fuzztime=10s ./internal/simplex/
+	$(GO) test -fuzz=FuzzRoundToUnits -fuzztime=10s ./internal/simplex/
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/batchsize
+	$(GO) run ./examples/offloading
+	$(GO) run ./examples/cluster
+	$(GO) run ./examples/estimated
+
+clean:
+	rm -rf out/ test_output.txt bench_output.txt

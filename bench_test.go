@@ -1,0 +1,196 @@
+// Benchmark harness: one benchmark per reproduced paper figure/table
+// (DESIGN.md's experiment index E1-E12), plus the per-algorithm decision
+// overhead of Fig. 11's bottom panel and the design ablations. Run with
+//
+//	go test -bench=. -benchmem
+//
+// Figure benchmarks execute the corresponding experiment at a reduced but
+// structurally identical configuration so the suite completes quickly;
+// use cmd/dolbie-bench for paper-scale runs.
+package dolbie_test
+
+import (
+	"fmt"
+	"testing"
+
+	"dolbie/internal/baselines"
+	"dolbie/internal/core"
+	"dolbie/internal/costfn"
+	"dolbie/internal/experiments"
+	"dolbie/internal/mlsim"
+	"dolbie/internal/procmodel"
+	"dolbie/internal/simplex"
+)
+
+// benchConfig is the reduced configuration used by the figure benchmarks.
+func benchConfig() experiments.Config {
+	cfg := experiments.Quick()
+	cfg.N = 10
+	cfg.Rounds = 40
+	cfg.Realizations = 4
+	return cfg
+}
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	cfg := benchConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Run(id, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E1: Fig. 3 — per-round latency, one realization.
+func BenchmarkFig3(b *testing.B) { benchExperiment(b, "fig3") }
+
+// E2: Fig. 4 — per-round latency with 95% CI.
+func BenchmarkFig4(b *testing.B) { benchExperiment(b, "fig4") }
+
+// E3: Fig. 5 — cumulative latency with 95% CI.
+func BenchmarkFig5(b *testing.B) { benchExperiment(b, "fig5") }
+
+// E4: Fig. 6 — accuracy vs wall-clock, LeNet5.
+func BenchmarkFig6(b *testing.B) { benchExperiment(b, "fig6") }
+
+// E5: Fig. 7 — accuracy vs wall-clock, ResNet18.
+func BenchmarkFig7(b *testing.B) { benchExperiment(b, "fig7") }
+
+// E6: Fig. 8 — accuracy vs wall-clock, VGG16.
+func BenchmarkFig8(b *testing.B) { benchExperiment(b, "fig8") }
+
+// E7: Fig. 9 — per-worker latency per round.
+func BenchmarkFig9(b *testing.B) { benchExperiment(b, "fig9") }
+
+// E8: Fig. 10 — per-worker batch size per round.
+func BenchmarkFig10(b *testing.B) { benchExperiment(b, "fig10") }
+
+// E9/E10: Fig. 11 — time decomposition and decision overhead.
+func BenchmarkFig11(b *testing.B) { benchExperiment(b, "fig11") }
+
+// Figs. 6-8 summary: speedup across models.
+func BenchmarkSpeedup(b *testing.B) { benchExperiment(b, "speedup") }
+
+// E11: Theorem 1 — measured regret vs bound.
+func BenchmarkRegretBound(b *testing.B) { benchExperiment(b, "regret") }
+
+// Extension: cumulative dynamic regret of every algorithm.
+func BenchmarkRegretComparison(b *testing.B) { benchExperiment(b, "regretcmp") }
+
+// E12: Section IV-C — measured communication complexity.
+func BenchmarkComplexity(b *testing.B) { benchExperiment(b, "comms") }
+
+// Extension: Example 2 (edge offloading) comparison table.
+func BenchmarkEdge(b *testing.B) { benchExperiment(b, "edge") }
+
+// Ablations of DESIGN.md section 6 (risk-averse step, diminishing alpha).
+func BenchmarkAblations(b *testing.B) { benchExperiment(b, "ablation") }
+
+// Extension: integer-sample quantization penalty.
+func BenchmarkQuantization(b *testing.B) { benchExperiment(b, "quantized") }
+
+// Extension: convergence and decision time vs worker count.
+func BenchmarkScaling(b *testing.B) { benchExperiment(b, "scaling") }
+
+// Extension: OGD step-size sensitivity (unit-mismatch investigation).
+func BenchmarkOGDSweep(b *testing.B) { benchExperiment(b, "ogdsweep") }
+
+// Extension: DOLBIE under estimated (not revealed) cost functions.
+func BenchmarkEstimated(b *testing.B) { benchExperiment(b, "estimated") }
+
+// Extension: fail-stop crash recovery on a live deployment.
+func BenchmarkResilience(b *testing.B) { benchExperiment(b, "resilience") }
+
+// Extension: alpha_1 sensitivity sweep.
+func BenchmarkSensitivity(b *testing.B) { benchExperiment(b, "sensitivity") }
+
+// Extension: tail-latency (p50/p95/p99) distribution.
+func BenchmarkTails(b *testing.B) { benchExperiment(b, "tails") }
+
+// BenchmarkDecisionOverhead measures each algorithm's per-round decision
+// cost in isolation (the Fig. 11 bottom panel): ns per Update call on a
+// 30-worker observation. DOLBIE and the trivial baselines must come in
+// far below projection-based OGD and solver-based OPT.
+func BenchmarkDecisionOverhead(b *testing.B) {
+	const n = 30
+	x0 := simplex.Uniform(n)
+	funcs := make([]costfn.Func, n)
+	costs := make([]float64, n)
+	for i := range funcs {
+		f := costfn.Affine{Slope: 1 + float64(i%7), Intercept: 0.05 * float64(i%3)}
+		funcs[i] = f
+		costs[i] = f.Eval(x0[i])
+	}
+	obs := core.Observation{Costs: costs, Funcs: funcs}
+
+	newAlgs := map[string]func() (core.Algorithm, error){
+		"EQU": func() (core.Algorithm, error) { return baselines.NewEqual(n) },
+		"OGD": func() (core.Algorithm, error) { return baselines.NewOGD(x0, 0.001) },
+		"ABS": func() (core.Algorithm, error) { return baselines.NewABS(x0, 5) },
+		"LB-BSP": func() (core.Algorithm, error) {
+			return baselines.NewLBBSP(x0, 5.0/256, 5)
+		},
+		"DOLBIE": func() (core.Algorithm, error) {
+			return core.NewBalancer(x0, core.WithInitialAlpha(0.001))
+		},
+	}
+	for _, name := range []string{"EQU", "OGD", "ABS", "LB-BSP", "DOLBIE"} {
+		b.Run(name, func(b *testing.B) {
+			alg, err := newAlgs[name]()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := alg.Update(obs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("OPT", func(b *testing.B) {
+		opt, err := baselines.NewOPT(n, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := opt.Foresee(funcs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSimulatedRound measures the full simulator round (environment
+// realization + latency decomposition + DOLBIE update) at several worker
+// counts, showing the O(N) per-round scaling of the whole pipeline.
+func BenchmarkSimulatedRound(b *testing.B) {
+	for _, n := range []int{10, 30, 100, 300} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			cl, err := mlsim.New(mlsim.Config{N: n, Model: procmodel.ResNet18, BatchSize: 256, Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			bal, err := core.NewBalancer(simplex.Uniform(n), core.WithInitialAlpha(0.001))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				env := cl.NextEnv()
+				rep, err := env.Apply(bal.Assignment())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := bal.Update(rep.Observation); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

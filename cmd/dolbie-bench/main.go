@@ -1,0 +1,104 @@
+// Command dolbie-bench regenerates the paper's figures and tables on the
+// simulated substrates and prints them as aligned text (optionally also
+// CSV files). Experiment IDs follow the paper's figure numbers; run with
+// -list to enumerate them.
+//
+// Examples:
+//
+//	dolbie-bench -fig fig3                # one realization, Fig. 3
+//	dolbie-bench -fig all -quick          # everything, scaled down
+//	dolbie-bench -fig fig4 -realizations 100 -csv out/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dolbie/internal/experiments"
+	"dolbie/internal/procmodel"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dolbie-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		figID        = flag.String("fig", "fig3", "experiment ID, or \"all\"")
+		list         = flag.Bool("list", false, "list experiment IDs and exit")
+		quick        = flag.Bool("quick", false, "use the scaled-down quick configuration")
+		n            = flag.Int("n", 0, "number of workers (0 = config default)")
+		rounds       = flag.Int("rounds", 0, "rounds T (0 = config default)")
+		realizations = flag.Int("realizations", 0, "realizations for CI figures (0 = config default)")
+		seed         = flag.Int64("seed", 0, "base seed (0 = config default)")
+		model        = flag.String("model", "", "model for single-model figures: LeNet5, ResNet18, VGG16")
+		csvDir       = flag.String("csv", "", "also write CSV files into this directory")
+		ascii        = flag.Bool("ascii", false, "render figures as ASCII charts instead of tables")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return nil
+	}
+
+	cfg := experiments.Default()
+	if *quick {
+		cfg = experiments.Quick()
+	}
+	if *n > 0 {
+		cfg.N = *n
+	}
+	if *rounds > 0 {
+		cfg.Rounds = *rounds
+	}
+	if *realizations > 0 {
+		cfg.Realizations = *realizations
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *model != "" {
+		m, err := procmodel.ModelByName(*model)
+		if err != nil {
+			return err
+		}
+		cfg.Model = m
+	}
+
+	var (
+		res experiments.Result
+		err error
+	)
+	if *figID == "all" {
+		res, err = experiments.RunAll(cfg)
+	} else {
+		res, err = experiments.Run(*figID, cfg)
+	}
+	if err != nil {
+		return err
+	}
+	if *ascii {
+		if err := res.RenderCharts(os.Stdout, 100, 24); err != nil {
+			return err
+		}
+	} else if err := res.RenderText(os.Stdout); err != nil {
+		return err
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return err
+		}
+		if err := res.WriteCSV(*csvDir); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote CSV files to %s\n", *csvDir)
+	}
+	return nil
+}

@@ -1,0 +1,296 @@
+// Command dolbie-cluster runs a live DOLBIE deployment: real concurrent
+// nodes exchanging protocol messages, in either the master-worker
+// architecture (Algorithm 1) or the fully-distributed architecture
+// (Algorithm 2), over an in-memory network or real TCP sockets on
+// localhost. Each worker's cost feedback comes from a seeded synthetic
+// load source, and the run reports the decision trajectory and measured
+// protocol traffic (reproducing the Section IV-C complexity analysis).
+//
+// Examples:
+//
+//	dolbie-cluster -mode mw -n 8 -rounds 30
+//	dolbie-cluster -mode fd -n 5 -rounds 20 -tcp
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"dolbie/internal/cluster"
+	"dolbie/internal/core"
+	"dolbie/internal/costfn"
+	"dolbie/internal/simplex"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dolbie-cluster:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		mode       = flag.String("mode", "mw", "architecture: mw (master-worker), fd (fully-distributed), or resilient (fail-stop tolerant master)")
+		n          = flag.Int("n", 8, "number of workers")
+		rounds     = flag.Int("rounds", 30, "online rounds to run")
+		useTCP     = flag.Bool("tcp", false, "use real TCP sockets on localhost instead of the in-memory network")
+		seed       = flag.Int64("seed", 1, "seed for the synthetic load sources")
+		alpha      = flag.Float64("alpha", 0.05, "DOLBIE initial step size")
+		timeout    = flag.Duration("timeout", time.Minute, "deployment deadline")
+		crashRound = flag.Int("crash-round", 0, "resilient mode: round at which -crash-worker fails (0 = no crash)")
+		crashID    = flag.Int("crash-worker", 0, "resilient mode: worker that fail-stops at -crash-round")
+		dropProb   = flag.Float64("drop", 0, "in-memory network message drop probability; >0 wraps every node in the reliable delivery layer")
+	)
+	flag.Parse()
+	if *n < 2 {
+		return fmt.Errorf("need at least 2 workers, got %d", *n)
+	}
+	if *rounds < 1 {
+		return fmt.Errorf("need at least 1 round, got %d", *rounds)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	sources := make([]cluster.CostSource, *n)
+	for i := range sources {
+		src, err := cluster.NewSyntheticSource(i, *seed)
+		if err != nil {
+			return err
+		}
+		sources[i] = src
+	}
+	x0 := simplex.Uniform(*n)
+	opts := []core.Option{core.WithInitialAlpha(*alpha)}
+
+	if *dropProb > 0 && *useTCP {
+		return fmt.Errorf("-drop applies to the in-memory network; omit -tcp")
+	}
+	switch *mode {
+	case "mw":
+		transports, cleanup, err := buildLossy(*n+1, *dropProb, *seed, *useTCP)
+		if err != nil {
+			return err
+		}
+		defer cleanup()
+		start := time.Now()
+		masterRes, workerRes, err := cluster.MasterWorkerDeployment(ctx, transports, x0, *rounds, sources, opts...)
+		if err != nil {
+			return err
+		}
+		elapsed := time.Since(start)
+		fmt.Printf("master-worker deployment: %d workers, %d rounds, %v (%s transport)\n",
+			*n, masterRes.Rounds, elapsed.Round(time.Millisecond), transportName(*useTCP))
+		fmt.Printf("final step size alpha_T = %.6f\n", masterRes.FinalAlpha)
+		fmt.Printf("master traffic: sent %d msgs / %d B, received %d msgs / %d B\n",
+			masterRes.Traffic.MsgsSent, masterRes.Traffic.BytesSent,
+			masterRes.Traffic.MsgsReceived, masterRes.Traffic.BytesRecv)
+		printTrajectory(workersPlayed(workerRes), workersCosts(workerRes))
+	case "fd":
+		transports, cleanup, err := buildLossy(*n, *dropProb, *seed, *useTCP)
+		if err != nil {
+			return err
+		}
+		defer cleanup()
+		start := time.Now()
+		res, err := cluster.FullyDistributedDeployment(ctx, transports, x0, *rounds, sources, opts...)
+		if err != nil {
+			return err
+		}
+		elapsed := time.Since(start)
+		var msgs, bytes int
+		played := make([][]float64, *n)
+		costs := make([][]float64, *n)
+		for i, pr := range res {
+			msgs += pr.Traffic.MsgsSent
+			bytes += pr.Traffic.BytesSent
+			played[i] = pr.Played
+			costs[i] = pr.Costs
+		}
+		fmt.Printf("fully-distributed deployment: %d peers, %d rounds, %v (%s transport)\n",
+			*n, *rounds, elapsed.Round(time.Millisecond), transportName(*useTCP))
+		fmt.Printf("total traffic: %d msgs / %d B (%.1f msgs/round, O(N^2) by design)\n",
+			msgs, bytes, float64(msgs)/float64(*rounds))
+		printTrajectory(played, costs)
+	case "resilient":
+		return runResilient(ctx, *n, *rounds, *alpha, *crashID, *crashRound, sources, x0)
+	default:
+		return fmt.Errorf("unknown mode %q (want mw, fd, or resilient)", *mode)
+	}
+	return nil
+}
+
+// crashingSource wraps a cost source so the worker fail-stops at a round.
+type crashingSource struct {
+	inner   cluster.CostSource
+	crashAt int
+}
+
+func (c crashingSource) Observe(round int, x float64) (float64, costfn.Func, error) {
+	if c.crashAt > 0 && round >= c.crashAt {
+		return 0, nil, fmt.Errorf("worker fail-stopped at round %d", round)
+	}
+	return c.inner.Observe(round, x)
+}
+
+// runResilient demonstrates the fail-stop extension: the resilient master
+// detects the crashed worker via the round deadline, removes it, folds
+// its workload back into the balancing loop, and finishes the run with
+// the survivors.
+func runResilient(ctx context.Context, n, rounds int, alpha float64, crashID, crashRound int, sources []cluster.CostSource, x0 []float64) error {
+	net := cluster.NewMemNet()
+	transports := make([]cluster.Transport, n+1)
+	for i := range transports {
+		transports[i] = net.Node(i)
+	}
+	if crashRound > 0 {
+		if crashID < 0 || crashID >= n {
+			return fmt.Errorf("crash-worker %d out of range [0, %d)", crashID, n)
+		}
+		sources[crashID] = crashingSource{inner: sources[crashID], crashAt: crashRound}
+	}
+
+	var wg sync.WaitGroup
+	workerErrs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, workerErrs[i] = cluster.RunWorker(ctx, transports[i], i, n, x0[i], rounds, sources[i])
+		}(i)
+	}
+	start := time.Now()
+	res, err := cluster.RunResilientMaster(ctx, transports[n], x0, rounds, cluster.ResilientConfig{
+		RoundTimeout: 500 * time.Millisecond,
+		InitialAlpha: alpha,
+	})
+	elapsed := time.Since(start)
+	if err != nil {
+		return err
+	}
+	wg.Wait()
+
+	fmt.Printf("resilient master-worker deployment: %d workers, %d rounds, %v\n", n, res.Rounds, elapsed.Round(time.Millisecond))
+	if len(res.Crashed) > 0 {
+		fmt.Printf("crashed workers (detected and removed): %v\n", res.Crashed)
+	} else {
+		fmt.Println("no crashes detected")
+	}
+	fmt.Printf("survivors: %v\n", res.Survivors)
+	fmt.Printf("final step size alpha_T = %.6f\n", res.FinalAlpha)
+	for i, werr := range workerErrs {
+		if werr != nil {
+			fmt.Printf("worker %d exited: %v\n", i, werr)
+		}
+	}
+	return nil
+}
+
+func transportName(tcp bool) string {
+	if tcp {
+		return "tcp"
+	}
+	return "memnet"
+}
+
+// buildLossy returns in-memory transports, optionally over a dropping
+// network with the reliability layer; dropProb = 0 defers to
+// buildTransports for the -tcp choice.
+func buildLossy(count int, dropProb float64, seed int64, useTCP bool) ([]cluster.Transport, func(), error) {
+	if dropProb <= 0 {
+		return buildTransports(count, useTCP)
+	}
+	net := cluster.NewMemNet(cluster.WithDropProb(dropProb, seed))
+	transports := make([]cluster.Transport, count)
+	reliables := make([]*cluster.Reliable, count)
+	for i := range transports {
+		reliables[i] = cluster.NewReliable(i, net.Node(i), 10*time.Millisecond)
+		transports[i] = reliables[i]
+	}
+	cleanup := func() {
+		for _, r := range reliables {
+			r.Close() //nolint:errcheck // best-effort teardown
+		}
+	}
+	return transports, cleanup, nil
+}
+
+func buildTransports(count int, useTCP bool) ([]cluster.Transport, func(), error) {
+	if !useTCP {
+		net := cluster.NewMemNet()
+		transports := make([]cluster.Transport, count)
+		for i := range transports {
+			transports[i] = net.Node(i)
+		}
+		return transports, func() {}, nil
+	}
+	nodes := make([]*cluster.TCPNode, count)
+	registry := make(map[int]string, count)
+	for i := 0; i < count; i++ {
+		node, err := cluster.ListenTCP(i, "127.0.0.1:0")
+		if err != nil {
+			for _, n := range nodes[:i] {
+				n.Close() //nolint:errcheck // best-effort unwind
+			}
+			return nil, nil, err
+		}
+		nodes[i] = node
+		registry[i] = node.Addr()
+	}
+	transports := make([]cluster.Transport, count)
+	for i, node := range nodes {
+		node.SetRegistry(registry)
+		transports[i] = node
+	}
+	cleanup := func() {
+		for _, node := range nodes {
+			node.Close() //nolint:errcheck // best-effort teardown
+		}
+	}
+	return transports, cleanup, nil
+}
+
+func workersPlayed(res []cluster.WorkerResult) [][]float64 {
+	out := make([][]float64, len(res))
+	for i, wr := range res {
+		out[i] = wr.Played
+	}
+	return out
+}
+
+func workersCosts(res []cluster.WorkerResult) [][]float64 {
+	out := make([][]float64, len(res))
+	for i, wr := range res {
+		out[i] = wr.Costs
+	}
+	return out
+}
+
+// printTrajectory summarizes how the deployment balanced load: the global
+// cost of the first and last rounds, and each worker's first/last share.
+func printTrajectory(played, costs [][]float64) {
+	if len(played) == 0 || len(played[0]) == 0 {
+		return
+	}
+	rounds := len(played[0])
+	first, last := 0.0, 0.0
+	for i := range costs {
+		if costs[i][0] > first {
+			first = costs[i][0]
+		}
+		if costs[i][rounds-1] > last {
+			last = costs[i][rounds-1]
+		}
+	}
+	fmt.Printf("global cost: round 1 = %.4f, round %d = %.4f (%.1f%% reduction)\n",
+		first, rounds, last, 100*(first-last)/first)
+	fmt.Println("worker  first-share  last-share")
+	for i := range played {
+		fmt.Printf("%6d  %11.4f  %10.4f\n", i, played[i][0], played[i][rounds-1])
+	}
+}

@@ -1,0 +1,145 @@
+// Command dolbie-trace generates and inspects the synthetic system traces
+// that substitute for the paper's measured hardware fluctuation: for one
+// realization of a simulated cluster it prints (or exports as CSV) every
+// worker's realized per-round throughput gamma_{i,t} and communication
+// time, plus summary statistics. Useful for eyeballing the stochastic
+// substrate behind the experiments.
+//
+// Examples:
+//
+//	dolbie-trace -n 8 -rounds 20
+//	dolbie-trace -n 30 -rounds 100 -model VGG16 -csv trace.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"dolbie/internal/mlsim"
+	"dolbie/internal/procmodel"
+	"dolbie/internal/stats"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dolbie-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		n      = flag.Int("n", 8, "number of workers")
+		rounds = flag.Int("rounds", 20, "rounds to realize")
+		model  = flag.String("model", "ResNet18", "workload: LeNet5, ResNet18, VGG16")
+		seed   = flag.Int64("seed", 1, "realization seed")
+		batch  = flag.Int("batch", 256, "global batch size B")
+		csv    = flag.String("csv", "", "write the gamma trace to this CSV file")
+		save   = flag.String("save", "", "save the full realization (fleet + traces) as a JSON reproducibility artifact")
+		load   = flag.String("load", "", "load and summarize a realization saved with -save instead of generating one")
+	)
+	flag.Parse()
+
+	var rec *mlsim.Realization
+	if *load != "" {
+		f, err := os.Open(*load)
+		if err != nil {
+			return err
+		}
+		defer f.Close() //nolint:errcheck // read-only file
+		if rec, err = mlsim.LoadRealization(f); err != nil {
+			return err
+		}
+		*n = rec.N
+		*rounds = rec.Rounds()
+		*model = rec.ModelName
+		fmt.Printf("loaded realization: %s, N=%d, %d rounds\n", rec.ModelName, rec.N, rec.Rounds())
+		for i, name := range rec.Fleet {
+			fmt.Printf("  worker %2d: %s\n", i, name)
+		}
+	} else {
+		m, err := procmodel.ModelByName(*model)
+		if err != nil {
+			return err
+		}
+		cl, err := mlsim.New(mlsim.Config{N: *n, Model: m, BatchSize: *batch, Seed: *seed})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("fleet (seed %d):\n", *seed)
+		for i, p := range cl.Fleet() {
+			thru, err := p.SamplesPerSecond(m)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  worker %2d: %-12s mean %6.0f samples/s, net %.1f GB/s\n",
+				i, p.Name, thru, p.NetRate/1e9)
+		}
+		if rec, err = mlsim.Capture(cl, *rounds); err != nil {
+			return err
+		}
+	}
+
+	gammas := make([][]float64, *n)
+	comms := make([][]float64, *n)
+	for t := 0; t < *rounds; t++ {
+		for i := 0; i < *n; i++ {
+			gammas[i] = append(gammas[i], rec.Gamma[t][i])
+			comms[i] = append(comms[i], rec.CommTime[t][i])
+		}
+	}
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			return err
+		}
+		if err := rec.Save(f); err != nil {
+			f.Close() //nolint:errcheck // already failing
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("saved realization to %s\n", *save)
+	}
+
+	fmt.Printf("\nper-worker realized throughput over %d rounds (%s):\n", *rounds, *model)
+	fmt.Println("worker  mean       std        min        max        comm-mean(s)")
+	for i := 0; i < *n; i++ {
+		minV, maxV := gammas[i][0], gammas[i][0]
+		for _, v := range gammas[i] {
+			if v < minV {
+				minV = v
+			}
+			if v > maxV {
+				maxV = v
+			}
+		}
+		fmt.Printf("%6d  %-9.1f  %-9.2f  %-9.1f  %-9.1f  %.4f\n",
+			i, stats.Mean(gammas[i]), stats.StdDev(gammas[i]), minV, maxV, stats.Mean(comms[i]))
+	}
+
+	if *csv != "" {
+		var b strings.Builder
+		b.WriteString("round")
+		for i := 0; i < *n; i++ {
+			b.WriteString(",gamma_" + strconv.Itoa(i))
+		}
+		b.WriteString("\n")
+		for t := 0; t < *rounds; t++ {
+			b.WriteString(strconv.Itoa(t + 1))
+			for i := 0; i < *n; i++ {
+				b.WriteString("," + strconv.FormatFloat(gammas[i][t], 'g', -1, 64))
+			}
+			b.WriteString("\n")
+		}
+		if err := os.WriteFile(*csv, []byte(b.String()), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %s\n", *csv)
+	}
+	return nil
+}

@@ -1,0 +1,144 @@
+package dolbie_test
+
+// Documentation coverage enforcement: every exported declaration in every
+// library package must carry a doc comment. This keeps deliverable-grade
+// godoc from regressing as the repository evolves.
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// docPackages lists the directories whose exported API must be fully
+// documented (commands and examples are mains; their flag help is the
+// interface).
+var docPackages = []string{
+	".",
+	"internal/baselines",
+	"internal/cluster",
+	"internal/core",
+	"internal/costfn",
+	"internal/edgesim",
+	"internal/estimate",
+	"internal/experiments",
+	"internal/mlsim",
+	"internal/optimum",
+	"internal/procmodel",
+	"internal/regret",
+	"internal/simplex",
+	"internal/stats",
+	"internal/trace",
+}
+
+func TestExportedDeclarationsAreDocumented(t *testing.T) {
+	for _, dir := range docPackages {
+		dir := dir
+		t.Run(dir, func(t *testing.T) {
+			fset := token.NewFileSet()
+			entries, err := os.ReadDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, entry := range entries {
+				name := entry.Name()
+				if entry.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+					continue
+				}
+				path := filepath.Join(dir, name)
+				file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+				if err != nil {
+					t.Fatalf("parse %s: %v", path, err)
+				}
+				checkFileDocs(t, fset, file)
+			}
+		})
+	}
+}
+
+func checkFileDocs(t *testing.T, fset *token.FileSet, file *ast.File) {
+	t.Helper()
+	report := func(pos token.Pos, what string) {
+		t.Errorf("%s: exported %s lacks a doc comment", fset.Position(pos), what)
+	}
+	for _, decl := range file.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() {
+				continue
+			}
+			// Methods on unexported receivers are effectively internal.
+			if d.Recv != nil && !exportedReceiver(d.Recv) {
+				continue
+			}
+			if d.Doc == nil {
+				report(d.Pos(), "function "+d.Name.Name)
+			}
+		case *ast.GenDecl:
+			if d.Tok != token.TYPE && d.Tok != token.CONST && d.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					documented := d.Doc != nil || s.Doc != nil || s.Comment != nil
+					if s.Name.IsExported() && !documented {
+						report(s.Pos(), "type "+s.Name.Name)
+						// Undocumented structs must at least document
+						// their exported fields.
+						checkStructFields(t, fset, s)
+					}
+				case *ast.ValueSpec:
+					for _, name := range s.Names {
+						if name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+							report(s.Pos(), "value "+name.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// checkStructFields requires docs on exported fields of exported structs,
+// accepting either leading or trailing comments.
+func checkStructFields(t *testing.T, fset *token.FileSet, s *ast.TypeSpec) {
+	t.Helper()
+	if !s.Name.IsExported() {
+		return
+	}
+	st, ok := s.Type.(*ast.StructType)
+	if !ok || st.Fields == nil {
+		return
+	}
+	for _, field := range st.Fields.List {
+		if field.Doc != nil || field.Comment != nil {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.IsExported() {
+				t.Errorf("%s: exported field %s.%s lacks a doc comment",
+					fset.Position(name.Pos()), s.Name.Name, name.Name)
+			}
+		}
+	}
+}
+
+func exportedReceiver(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return false
+	}
+	switch expr := recv.List[0].Type.(type) {
+	case *ast.Ident:
+		return expr.IsExported()
+	case *ast.StarExpr:
+		if id, ok := expr.X.(*ast.Ident); ok {
+			return id.IsExported()
+		}
+	}
+	return false
+}

@@ -1,0 +1,115 @@
+// Package dolbie is the public API of this repository's reproduction of
+// "Distributed Online Min-Max Load Balancing with Risk-Averse Assistance"
+// (Wang & Liang, ICDCS 2023).
+//
+// The package curates the types a downstream user needs — the DOLBIE
+// balancer, the Algorithm interface shared with the paper's baselines,
+// cost functions, and the instantaneous min-max solver — as thin aliases
+// and wrappers over the implementation packages under internal/. The
+// experiment harness, simulators, and distributed runtime remain
+// addressable through their internal packages for code inside this
+// module (examples/, cmd/, benchmarks).
+//
+// # Quick start
+//
+//	b, err := dolbie.NewBalancer(dolbie.Uniform(4))
+//	if err != nil { ... }
+//	for t := 0; t < rounds; t++ {
+//	    x := b.Assignment()              // play x_t
+//	    costs, funcs := observe(x)       // system reveals f_{i,t}
+//	    err := b.Update(dolbie.Observation{Costs: costs, Funcs: funcs})
+//	    if err != nil { ... }
+//	}
+//
+// See examples/quickstart for a complete program and DESIGN.md for the
+// full system inventory.
+package dolbie
+
+import (
+	"dolbie/internal/core"
+	"dolbie/internal/costfn"
+	"dolbie/internal/optimum"
+	"dolbie/internal/simplex"
+)
+
+// Core algorithm types, re-exported from internal/core.
+type (
+	// Algorithm is the common interface of DOLBIE and the baselines.
+	Algorithm = core.Algorithm
+	// Observation is the per-round feedback (realized costs and revealed
+	// cost functions).
+	Observation = core.Observation
+	// Balancer is the centralized DOLBIE driver.
+	Balancer = core.Balancer
+	// Report describes one completed DOLBIE round.
+	Report = core.Report
+	// Option configures a Balancer (and the distributed state machines).
+	Option = core.Option
+)
+
+// Cost-function types, re-exported from internal/costfn.
+type (
+	// CostFunc is an increasing local cost function f_{i,t}.
+	CostFunc = costfn.Func
+	// Affine is the latency model slope*x + intercept of the paper's
+	// Example 1.
+	Affine = costfn.Affine
+	// Power is a non-linear increasing cost coeff*x^exp + intercept.
+	Power = costfn.Power
+	// PiecewiseLinear is an increasing piecewise-linear cost.
+	PiecewiseLinear = costfn.PiecewiseLinear
+)
+
+// NewBalancer constructs a DOLBIE balancer from an initial feasible
+// partition (see Uniform).
+func NewBalancer(x0 []float64, opts ...Option) (*Balancer, error) {
+	return core.NewBalancer(x0, opts...)
+}
+
+// WithInitialAlpha pins the initial step size alpha_1 (the paper's
+// experiments use 0.001).
+func WithInitialAlpha(a float64) Option { return core.WithInitialAlpha(a) }
+
+// WithStepRuleScale evaluates the rule-(7) step-size cap in units of
+// 1/scale of the total workload (scale = B for the batch-size
+// application; see core.AlphaCapScaled).
+func WithStepRuleScale(scale float64) Option { return core.WithStepRuleScale(scale) }
+
+// WithRandomTieBreak breaks straggler ties uniformly at random.
+func WithRandomTieBreak(seed int64) Option { return core.WithRandomTieBreak(seed) }
+
+// Uniform returns the uniform workload partition (1/n, ..., 1/n).
+func Uniform(n int) []float64 { return simplex.Uniform(n) }
+
+// CheckFeasible verifies that x lies on the probability simplex within
+// tolerance tol (tol <= 0 uses a default).
+func CheckFeasible(x []float64, tol float64) error { return simplex.Check(x, tol) }
+
+// GlobalCost evaluates the pointwise-maximum global cost
+// f_t(x) = max_i funcs[i](x[i]) and the per-worker costs.
+func GlobalCost(funcs []CostFunc, x []float64) (float64, []float64, error) {
+	return core.GlobalCost(funcs, x)
+}
+
+// SolveInstantaneous computes a minimizer of the instantaneous min-max
+// problem min_x max_i funcs[i](x_i) over the simplex (the dynamic-regret
+// comparator x_t^*). tol <= 0 uses the solver default.
+func SolveInstantaneous(funcs []CostFunc, tol float64) (x []float64, value float64, err error) {
+	res, err := optimum.Solve(funcs, tol)
+	if err != nil {
+		return nil, 0, err
+	}
+	return res.X, res.Value, nil
+}
+
+// RoundToUnits materializes a fractional assignment into integer unit
+// counts summing exactly to units (largest-remainder rounding); for the
+// batch-size application this converts x_t into whole sample counts
+// preserving the global batch B.
+func RoundToUnits(x []float64, units int) ([]int, error) {
+	return simplex.RoundToUnits(x, units)
+}
+
+// FromUnits converts integer unit counts back into a point on the
+// simplex.
+func FromUnits(counts []int) []float64 { return simplex.FromUnits(counts) }

@@ -1,0 +1,76 @@
+package dolbie_test
+
+import (
+	"math"
+	"testing"
+
+	"dolbie"
+)
+
+func TestFacadeQuickstartFlow(t *testing.T) {
+	b, err := dolbie.NewBalancer(dolbie.Uniform(3), dolbie.WithInitialAlpha(0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	funcs := []dolbie.CostFunc{
+		dolbie.Affine{Slope: 1},
+		dolbie.Affine{Slope: 2},
+		dolbie.Affine{Slope: 6},
+	}
+	var first, last float64
+	for round := 0; round < 200; round++ {
+		x := b.Assignment()
+		g, costs, err := dolbie.GlobalCost(funcs, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if round == 0 {
+			first = g
+		}
+		last = g
+		if err := dolbie.CheckFeasible(x, 1e-8); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if err := b.Update(dolbie.Observation{Costs: costs, Funcs: funcs}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if last >= first {
+		t.Errorf("global cost did not improve: %v -> %v", first, last)
+	}
+	xOpt, vOpt, err := dolbie.SolveInstantaneous(funcs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dolbie.CheckFeasible(xOpt, 1e-8); err != nil {
+		t.Fatal(err)
+	}
+	if last < vOpt-1e-9 {
+		t.Errorf("balancer %v beat the optimum %v", last, vOpt)
+	}
+	// After 200 rounds on static costs DOLBIE should be within 20% of OPT.
+	if last > vOpt*1.2 {
+		t.Errorf("balancer %v too far above optimum %v", last, vOpt)
+	}
+}
+
+func TestFacadeOptionsAndTypes(t *testing.T) {
+	b, err := dolbie.NewBalancer(dolbie.Uniform(4),
+		dolbie.WithStepRuleScale(256),
+		dolbie.WithRandomTieBreak(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var alg dolbie.Algorithm = b
+	if alg.Name() != "DOLBIE" {
+		t.Errorf("name = %q", alg.Name())
+	}
+	var f dolbie.CostFunc = dolbie.Power{Coeff: 2, Exponent: 2}
+	if got := f.Eval(0.5); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("power eval = %v", got)
+	}
+	pl, err := dolbie.NewBalancer(nil)
+	if err == nil {
+		t.Errorf("empty partition should error, got %v", pl)
+	}
+}

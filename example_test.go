@@ -1,0 +1,69 @@
+package dolbie_test
+
+import (
+	"fmt"
+
+	"dolbie"
+)
+
+// Example runs DOLBIE on three static heterogeneous workers until the
+// global cost approaches the clairvoyant optimum.
+func Example() {
+	funcs := []dolbie.CostFunc{
+		dolbie.Affine{Slope: 1},
+		dolbie.Affine{Slope: 2},
+		dolbie.Affine{Slope: 4},
+	}
+	b, err := dolbie.NewBalancer(dolbie.Uniform(3), dolbie.WithInitialAlpha(0.1))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for round := 0; round < 300; round++ {
+		_, costs, err := dolbie.GlobalCost(funcs, b.Assignment())
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		if err := b.Update(dolbie.Observation{Costs: costs, Funcs: funcs}); err != nil {
+			fmt.Println(err)
+			return
+		}
+	}
+	final, _, _ := dolbie.GlobalCost(funcs, b.Assignment())
+	_, opt, _ := dolbie.SolveInstantaneous(funcs, 0)
+	fmt.Printf("within 5%% of optimum: %v\n", final < 1.05*opt)
+	// Output:
+	// within 5% of optimum: true
+}
+
+// ExampleRoundToUnits materializes a fractional assignment into whole
+// samples of a 256-sample global batch.
+func ExampleRoundToUnits() {
+	x := []float64{0.5, 0.3, 0.2}
+	counts, err := dolbie.RoundToUnits(x, 256)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(counts)
+	// Output:
+	// [128 77 51]
+}
+
+// ExampleSolveInstantaneous computes the per-round min-max optimum that
+// defines the paper's dynamic-regret comparator.
+func ExampleSolveInstantaneous() {
+	funcs := []dolbie.CostFunc{
+		dolbie.Affine{Slope: 2},
+		dolbie.Affine{Slope: 4},
+	}
+	x, value, err := dolbie.SolveInstantaneous(funcs, 0)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("x0=%.3f x1=%.3f value=%.3f\n", x[0], x[1], value)
+	// Output:
+	// x0=0.667 x1=0.333 value=1.333
+}

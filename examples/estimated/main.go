@@ -1,0 +1,89 @@
+// DOLBIE without revealed cost functions — the practical deployment mode.
+//
+// The paper assumes each worker can observe its full local cost function
+// after every round. A real worker only sees the latency it actually
+// paid. This example runs DOLBIE where every worker fits an affine
+// latency model online from its own (workload, latency) history
+// (exponentially forgetting least squares, internal/estimate) and the
+// balancer computes the risk-averse update from the fitted functions.
+//
+// Run with: go run ./examples/estimated
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dolbie"
+	"dolbie/internal/estimate"
+	"dolbie/internal/mlsim"
+	"dolbie/internal/procmodel"
+)
+
+const (
+	workers   = 12
+	batchSize = 256
+	rounds    = 120
+	seed      = 5
+)
+
+func main() {
+	cl, err := mlsim.New(mlsim.Config{
+		N: workers, Model: procmodel.ResNet18, BatchSize: batchSize, Seed: seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := dolbie.NewBalancer(dolbie.Uniform(workers),
+		dolbie.WithInitialAlpha(0.001),
+		dolbie.WithStepRuleScale(batchSize))
+	if err != nil {
+		log.Fatal(err)
+	}
+	observer, err := estimate.NewEstimatingObserver(workers, 0.7)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("DOLBIE with estimated cost functions: %d workers, %d rounds\n\n", workers, rounds)
+	fmt.Println("round  latency(s)  straggler  est-slope(straggler)")
+	for t := 1; t <= rounds; t++ {
+		env := cl.NextEnv()
+		played := append([]float64(nil), b.Assignment()...)
+		rep, err := env.Apply(played)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Workers fit their local models from scalars only; the revealed
+		// env.Funcs are never shown to the balancer.
+		funcs, err := observer.Observe(played, rep.Observation.Costs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		obs := dolbie.Observation{Costs: rep.Observation.Costs, Funcs: funcs}
+		report, err := b.Step(obs)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		if t <= 5 || t%15 == 0 {
+			slope := 0.0
+			if aff, ok := funcs[report.Straggler].(dolbie.Affine); ok {
+				slope = aff.Slope
+			}
+			fmt.Printf("%5d  %10.4f  %9d  %20.2f\n",
+				t, rep.GlobalLatency, report.Straggler, slope)
+		}
+	}
+
+	// Final batch distribution, materialized into whole samples.
+	counts, err := dolbie.RoundToUnits(b.Assignment(), batchSize)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nfinal batch assignment (whole samples):")
+	for i, c := range counts {
+		fmt.Printf("  worker %2d (%-11s): %3d samples\n", i, cl.Fleet()[i].Name, c)
+	}
+}

@@ -1,0 +1,80 @@
+// Task offloading in edge computing — the paper's Example 2 (Section
+// III-B).
+//
+// A user device splits each round's computation bundle between local
+// execution and six heterogeneous edge servers whose processing rates and
+// wireless uplinks fluctuate. DOLBIE learns the partition online; the
+// program compares its makespan against equal splitting and the
+// clairvoyant optimum.
+//
+// Run with: go run ./examples/offloading
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dolbie"
+	"dolbie/internal/baselines"
+	"dolbie/internal/edgesim"
+)
+
+const (
+	servers = 6
+	rounds  = 120
+	seed    = 3
+)
+
+func main() {
+	dim := servers + 1 // index 0 is local execution
+
+	dol, err := dolbie.NewBalancer(dolbie.Uniform(dim), dolbie.WithInitialAlpha(0.02))
+	if err != nil {
+		log.Fatal(err)
+	}
+	equ, err := baselines.NewEqual(dim)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt, err := baselines.NewOPT(dim, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	resDol := runOn(dol)
+	resEqu := runOn(equ)
+	resOpt := runOn(opt)
+
+	fmt.Printf("task offloading: 1 user device + %d edge servers, %d rounds\n\n", servers, rounds)
+	fmt.Println("round  DOLBIE makespan(s)  EQU makespan(s)  OPT makespan(s)")
+	for t := 0; t < rounds; t += rounds / 12 {
+		fmt.Printf("%5d  %18.3f  %15.3f  %15.3f\n",
+			t+1, resDol.Makespan[t], resEqu.Makespan[t], resOpt.Makespan[t])
+	}
+
+	fmt.Println("\nDOLBIE's converged partition (last round):")
+	last := resDol.Partitions[rounds-1]
+	fmt.Printf("  local execution: %5.1f%%\n", 100*last[0])
+	for s := 1; s < dim; s++ {
+		fmt.Printf("  edge server %d:   %5.1f%%\n", s, 100*last[s])
+	}
+
+	fmt.Printf("\ncumulative makespan over %d rounds:\n", rounds)
+	fmt.Printf("  DOLBIE: %8.1f s (%.1f%% above clairvoyant OPT)\n",
+		resDol.CumMakespan[rounds-1],
+		100*(resDol.CumMakespan[rounds-1]-resOpt.CumMakespan[rounds-1])/resOpt.CumMakespan[rounds-1])
+	fmt.Printf("  EQU:    %8.1f s\n", resEqu.CumMakespan[rounds-1])
+	fmt.Printf("  OPT:    %8.1f s\n", resOpt.CumMakespan[rounds-1])
+}
+
+func runOn(alg dolbie.Algorithm) edgesim.RunResult {
+	ec, err := edgesim.New(edgesim.DefaultConfig(servers, seed))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := edgesim.Run(ec, alg, rounds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}

@@ -1,0 +1,65 @@
+// Quickstart: balance workload across four heterogeneous workers with
+// DOLBIE using only the public dolbie API.
+//
+// Each worker's cost is an affine latency (slope = time per unit of
+// workload, intercept = fixed communication time). The program plays the
+// online protocol for 150 rounds and prints how the global cost (the
+// slowest worker's latency) converges toward the clairvoyant optimum.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dolbie"
+)
+
+func main() {
+	// Four workers: two fast, one medium, one slow, with different fixed
+	// communication costs.
+	funcs := []dolbie.CostFunc{
+		dolbie.Affine{Slope: 1.0, Intercept: 0.05},
+		dolbie.Affine{Slope: 1.2, Intercept: 0.02},
+		dolbie.Affine{Slope: 3.0, Intercept: 0.10},
+		dolbie.Affine{Slope: 8.0, Intercept: 0.04},
+	}
+
+	b, err := dolbie.NewBalancer(dolbie.Uniform(len(funcs)), dolbie.WithInitialAlpha(0.05))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The clairvoyant per-round optimum, for reference.
+	xOpt, vOpt, err := dolbie.SolveInstantaneous(funcs, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("round  global-cost  straggler-share")
+	for round := 1; round <= 150; round++ {
+		x := b.Assignment() // play x_t
+
+		// The system reveals the costs only after the decision.
+		global, costs, err := dolbie.GlobalCost(funcs, x)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := b.Step(dolbie.Observation{Costs: costs, Funcs: funcs})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if round <= 10 || round%25 == 0 {
+			fmt.Printf("%5d  %11.4f  %15.4f\n", round, global, x[rep.Straggler])
+		}
+	}
+
+	final, _, err := dolbie.GlobalCost(funcs, b.Assignment())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nDOLBIE final global cost: %.4f\n", final)
+	fmt.Printf("clairvoyant optimum:      %.4f at x* = %.3f\n", vOpt, xOpt)
+	fmt.Printf("gap to optimum:           %.1f%%\n", 100*(final-vOpt)/vOpt)
+}

@@ -1,0 +1,3 @@
+module dolbie
+
+go 1.22

@@ -1,0 +1,207 @@
+package dolbie_test
+
+// End-to-end integration tests across the whole stack: the simulated
+// training cluster (internal/mlsim) supplies per-round cost environments,
+// the distributed runtime (internal/cluster) executes DOLBIE as real
+// concurrent nodes exchanging protocol messages, and the result is
+// checked against the centralized balancer on the identical instance.
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"dolbie/internal/cluster"
+	"dolbie/internal/core"
+	"dolbie/internal/costfn"
+	"dolbie/internal/mlsim"
+	"dolbie/internal/optimum"
+	"dolbie/internal/procmodel"
+	"dolbie/internal/simplex"
+)
+
+const (
+	integN      = 6
+	integRounds = 25
+)
+
+// realizeEnvs pre-generates the per-round environments of one simulated
+// cluster realization, so the centralized and distributed runs observe
+// the identical instance.
+func realizeEnvs(t *testing.T) []mlsim.Env {
+	t.Helper()
+	cl, err := mlsim.New(mlsim.Config{N: integN, Model: procmodel.ResNet18, BatchSize: 256, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	envs := make([]mlsim.Env, integRounds)
+	for r := range envs {
+		envs[r] = cl.NextEnv()
+	}
+	return envs
+}
+
+// centralizedRun replays the environments through the centralized
+// balancer and returns the per-round played assignments.
+func centralizedRun(t *testing.T, envs []mlsim.Env, opts ...core.Option) [][]float64 {
+	t.Helper()
+	b, err := core.NewBalancer(simplex.Uniform(integN), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	played := make([][]float64, len(envs))
+	for r, env := range envs {
+		played[r] = simplex.Clone(b.Assignment())
+		rep, err := env.Apply(b.Assignment())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Update(rep.Observation); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return played
+}
+
+// envSources adapts the pre-realized environments into per-worker cost
+// sources for the distributed runtime: each worker observes only its own
+// cost function, exactly as a real node would.
+func envSources(envs []mlsim.Env) []cluster.CostSource {
+	sources := make([]cluster.CostSource, integN)
+	for i := 0; i < integN; i++ {
+		i := i
+		sources[i] = cluster.FuncSource(func(round int, x float64) (float64, costfn.Func, error) {
+			f := envs[round-1].Funcs[i]
+			return f.Eval(x), f, nil
+		})
+	}
+	return sources
+}
+
+func assertPlayedEqual(t *testing.T, name string, got, want [][]float64) {
+	t.Helper()
+	for r := range want {
+		for i := range want[r] {
+			if math.Abs(got[r][i]-want[r][i]) > 1e-9 {
+				t.Fatalf("%s: round %d worker %d: played %v, want %v",
+					name, r+1, i, got[r][i], want[r][i])
+			}
+		}
+	}
+}
+
+func TestMasterWorkerClusterMatchesCentralizedOnMLSim(t *testing.T) {
+	envs := realizeEnvs(t)
+	opts := []core.Option{core.WithInitialAlpha(0.001), core.WithStepRuleScale(256)}
+	want := centralizedRun(t, envs, opts...)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	net := cluster.NewMemNet()
+	transports := make([]cluster.Transport, integN+1)
+	for i := range transports {
+		transports[i] = net.Node(i)
+	}
+	_, workers, err := cluster.MasterWorkerDeployment(ctx, transports,
+		simplex.Uniform(integN), integRounds, envSources(envs), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	played := make([][]float64, integN)
+	for i, wr := range workers {
+		played[i] = wr.Played
+	}
+	traj, err := cluster.Trajectory(played)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertPlayedEqual(t, "master-worker", traj, want)
+}
+
+func TestFullyDistributedClusterMatchesCentralizedOnMLSim(t *testing.T) {
+	envs := realizeEnvs(t)
+	opts := []core.Option{core.WithInitialAlpha(0.001), core.WithStepRuleScale(256)}
+	want := centralizedRun(t, envs, opts...)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	net := cluster.NewMemNet()
+	transports := make([]cluster.Transport, integN)
+	for i := range transports {
+		transports[i] = net.Node(i)
+	}
+	res, err := cluster.FullyDistributedDeployment(ctx, transports,
+		simplex.Uniform(integN), integRounds, envSources(envs), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	played := make([][]float64, integN)
+	for i, pr := range res {
+		played[i] = pr.Played
+	}
+	traj, err := cluster.Trajectory(played)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertPlayedEqual(t, "fully-distributed", traj, want)
+}
+
+// TestDistributedClusterReducesGlobalCost drives the full distributed
+// stack over TCP and asserts the balancing outcome itself: the final
+// round's global cost must be well below the first round's, and within a
+// reasonable factor of the clairvoyant optimum for that round.
+func TestDistributedClusterReducesGlobalCostOverTCP(t *testing.T) {
+	envs := realizeEnvs(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	nodes := make([]*cluster.TCPNode, integN+1)
+	registry := make(map[int]string, integN+1)
+	for i := 0; i <= integN; i++ {
+		node, err := cluster.ListenTCP(i, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer node.Close() //nolint:errcheck // test teardown
+		nodes[i] = node
+		registry[i] = node.Addr()
+	}
+	transports := make([]cluster.Transport, integN+1)
+	for i, node := range nodes {
+		node.SetRegistry(registry)
+		transports[i] = node
+	}
+	// A fast-converging configuration for a short horizon.
+	opts := []core.Option{core.WithInitialAlpha(0.05)}
+	_, workers, err := cluster.MasterWorkerDeployment(ctx, transports,
+		simplex.Uniform(integN), integRounds, envSources(envs), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	firstGlobal, lastGlobal := 0.0, 0.0
+	lastX := make([]float64, integN)
+	for i, wr := range workers {
+		if wr.Costs[0] > firstGlobal {
+			firstGlobal = wr.Costs[0]
+		}
+		if wr.Costs[integRounds-1] > lastGlobal {
+			lastGlobal = wr.Costs[integRounds-1]
+		}
+		lastX[i] = wr.Played[integRounds-1]
+	}
+	if err := simplex.Check(lastX, 1e-7); err != nil {
+		t.Fatalf("final distributed assignment infeasible: %v", err)
+	}
+	if lastGlobal >= firstGlobal {
+		t.Errorf("global cost did not improve: %v -> %v", firstGlobal, lastGlobal)
+	}
+	opt, err := optimum.Solve(envs[integRounds-1].Funcs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastGlobal > 3*opt.Value {
+		t.Errorf("final global cost %v too far above the round optimum %v", lastGlobal, opt.Value)
+	}
+}

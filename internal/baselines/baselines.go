@@ -1,0 +1,312 @@
+// Package baselines implements the comparison algorithms of the paper's
+// Section VI-B, all behind the same core.Algorithm interface as DOLBIE:
+//
+//   - EQU: static equal assignment (x_i = 1/N every round).
+//   - OGD: projected online (sub)gradient descent on the global cost,
+//     with Euclidean projection onto the simplex.
+//   - ABS: adaptive batch size — every P rounds, workloads are re-set
+//     proportionally to each worker's historical throughput.
+//   - LB-BSP: load-balanced bulk synchronous parallel — after D
+//     consecutive straggling rounds, a fixed workload increment Delta is
+//     moved from the straggler to the fastest worker.
+//   - OPT: the clairvoyant dynamic optimum, which observes the round's
+//     cost functions before deciding (implementable only in simulation;
+//     it is the comparator of the dynamic regret).
+package baselines
+
+import (
+	"errors"
+	"fmt"
+
+	"dolbie/internal/core"
+	"dolbie/internal/costfn"
+	"dolbie/internal/optimum"
+	"dolbie/internal/simplex"
+)
+
+// Clairvoyant is implemented by algorithms that require the current
+// round's cost functions before deciding (only OPT). Simulation harnesses
+// call Foresee immediately before reading Assignment for the round.
+type Clairvoyant interface {
+	Foresee(funcs []costfn.Func) error
+}
+
+// Equal is the EQU baseline: the uniform assignment, never updated. This
+// is the allocation most distributed-training analyses assume.
+type Equal struct {
+	x []float64
+}
+
+var _ core.Algorithm = (*Equal)(nil)
+
+// NewEqual constructs the EQU baseline for n workers.
+func NewEqual(n int) (*Equal, error) {
+	if n <= 0 {
+		return nil, errors.New("baselines: EQU needs at least one worker")
+	}
+	return &Equal{x: simplex.Uniform(n)}, nil
+}
+
+// Name implements core.Algorithm.
+func (e *Equal) Name() string { return "EQU" }
+
+// Assignment implements core.Algorithm.
+func (e *Equal) Assignment() []float64 { return e.x }
+
+// Update implements core.Algorithm; EQU ignores all feedback.
+func (e *Equal) Update(obs core.Observation) error {
+	return obs.Validate(len(e.x))
+}
+
+// OGD is the projected online gradient descent baseline [Zinkevich 2003;
+// Bampis et al. 2020]: x_{t+1} = proj_F(x_t - beta*g_t), where g_t is a
+// subgradient of the global cost f_t(x) = max_i f_{i,t}(x_i). The max of
+// increasing functions has a subgradient supported on the straggler
+// coordinate, with magnitude f'_{s_t,t}(x_{s_t,t}); the derivative is
+// estimated by central finite differences since the revealed cost
+// functions need not be differentiable in closed form.
+type OGD struct {
+	x    []float64
+	beta float64
+	h    float64
+}
+
+var _ core.Algorithm = (*OGD)(nil)
+
+// NewOGD constructs the baseline with learning rate beta (the paper uses
+// beta = 0.001).
+func NewOGD(x0 []float64, beta float64) (*OGD, error) {
+	if err := simplex.Check(x0, 0); err != nil {
+		return nil, fmt.Errorf("baselines: OGD initial partition: %w", err)
+	}
+	if beta <= 0 {
+		return nil, fmt.Errorf("baselines: OGD learning rate %v must be positive", beta)
+	}
+	return &OGD{x: simplex.Clone(x0), beta: beta, h: 1e-6}, nil
+}
+
+// Name implements core.Algorithm.
+func (o *OGD) Name() string { return "OGD" }
+
+// Assignment implements core.Algorithm.
+func (o *OGD) Assignment() []float64 { return o.x }
+
+// Update implements core.Algorithm.
+func (o *OGD) Update(obs core.Observation) error {
+	n := len(o.x)
+	if err := obs.Validate(n); err != nil {
+		return err
+	}
+	s := simplex.ArgMax(obs.Costs)
+	grad := make([]float64, n)
+	grad[s] = derivative(obs.Funcs[s], o.x[s], o.h)
+	proj, err := simplex.Project(simplex.AddScaled(o.x, -o.beta, grad))
+	if err != nil {
+		return fmt.Errorf("baselines: OGD projection: %w", err)
+	}
+	o.x = proj
+	return nil
+}
+
+// derivative estimates f'(x) on [0, 1] by a finite difference clamped to
+// the domain.
+func derivative(f costfn.Func, x, h float64) float64 {
+	lo, hi := x-h, x+h
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	if hi <= lo {
+		return 0
+	}
+	return (f.Eval(hi) - f.Eval(lo)) / (hi - lo)
+}
+
+// ABS is the adaptive batch size baseline [Su et al., GNNSys 2021] as
+// described in the paper's Section II-B: every P rounds, each worker's
+// workload is re-set inversely proportional to its historical local cost
+// (the observed per-round latency) averaged over the window. The
+// proportional rule ignores the batch-independent communication component
+// of the latency, so its fixed point does not equalize latencies and the
+// assignment oscillates — the "radical fluctuation" of the paper's
+// Fig. 3.
+type ABS struct {
+	x      []float64
+	window int
+	filled int
+	// Per-worker cost accumulator over the current window.
+	sumCost []float64
+}
+
+var _ core.Algorithm = (*ABS)(nil)
+
+// NewABS constructs the baseline with tuning period P (the paper uses
+// P = 5).
+func NewABS(x0 []float64, period int) (*ABS, error) {
+	if err := simplex.Check(x0, 0); err != nil {
+		return nil, fmt.Errorf("baselines: ABS initial partition: %w", err)
+	}
+	if period <= 0 {
+		return nil, fmt.Errorf("baselines: ABS period %d must be positive", period)
+	}
+	return &ABS{
+		x:       simplex.Clone(x0),
+		window:  period,
+		sumCost: make([]float64, len(x0)),
+	}, nil
+}
+
+// Name implements core.Algorithm.
+func (a *ABS) Name() string { return "ABS" }
+
+// Assignment implements core.Algorithm.
+func (a *ABS) Assignment() []float64 { return a.x }
+
+// Update implements core.Algorithm.
+func (a *ABS) Update(obs core.Observation) error {
+	n := len(a.x)
+	if err := obs.Validate(n); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		a.sumCost[i] += obs.Costs[i]
+	}
+	a.filled++
+	if a.filled < a.window {
+		return nil
+	}
+	// Re-partition inversely proportional to the historical local cost.
+	inv := make([]float64, n)
+	for i := 0; i < n; i++ {
+		if a.sumCost[i] <= 0 {
+			// Free worker: dominate the proportional split; Renormalize
+			// caps the share.
+			inv[i] = 1e12
+			continue
+		}
+		inv[i] = 1 / a.sumCost[i]
+	}
+	a.x = simplex.Renormalize(inv)
+	a.filled = 0
+	for i := 0; i < n; i++ {
+		a.sumCost[i] = 0
+	}
+	return nil
+}
+
+// LBBSP is the load-balanced BSP baseline [Chen et al., IEEE TCC 2023] as
+// described in the paper's Section VI-B: if the fastest worker preceded
+// the straggler for D consecutive rounds, a prescribed workload increment
+// Delta is moved from the straggler to the fastest worker. The increment
+// is fixed, ignoring heterogeneity, which is what DOLBIE improves upon.
+type LBBSP struct {
+	x       []float64
+	delta   float64
+	dWindow int
+	streak  int
+}
+
+var _ core.Algorithm = (*LBBSP)(nil)
+
+// NewLBBSP constructs the baseline. delta is the workload fraction moved
+// per adjustment (the paper moves Delta = 5 samples of a B = 256 batch,
+// i.e. delta = 5/256), and dWindow is the required consecutive-round
+// streak D (the paper uses D = 5).
+func NewLBBSP(x0 []float64, delta float64, dWindow int) (*LBBSP, error) {
+	if err := simplex.Check(x0, 0); err != nil {
+		return nil, fmt.Errorf("baselines: LB-BSP initial partition: %w", err)
+	}
+	if delta <= 0 || delta >= 1 {
+		return nil, fmt.Errorf("baselines: LB-BSP delta %v out of (0, 1)", delta)
+	}
+	if dWindow <= 0 {
+		return nil, fmt.Errorf("baselines: LB-BSP window %d must be positive", dWindow)
+	}
+	return &LBBSP{x: simplex.Clone(x0), delta: delta, dWindow: dWindow}, nil
+}
+
+// Name implements core.Algorithm.
+func (l *LBBSP) Name() string { return "LB-BSP" }
+
+// Assignment implements core.Algorithm.
+func (l *LBBSP) Assignment() []float64 { return l.x }
+
+// Update implements core.Algorithm.
+func (l *LBBSP) Update(obs core.Observation) error {
+	n := len(l.x)
+	if err := obs.Validate(n); err != nil {
+		return err
+	}
+	if n < 2 {
+		return nil
+	}
+	fastest := simplex.ArgMin(obs.Costs)
+	straggler := simplex.ArgMax(obs.Costs)
+	if obs.Costs[fastest] >= obs.Costs[straggler] {
+		// No gap (all equal): the streak is broken.
+		l.streak = 0
+		return nil
+	}
+	l.streak++
+	if l.streak < l.dWindow {
+		return nil
+	}
+	l.streak = 0
+	move := l.delta
+	if l.x[straggler] < move {
+		move = l.x[straggler] // cannot take more than the straggler has
+	}
+	l.x[straggler] -= move
+	l.x[fastest] += move
+	return nil
+}
+
+// OPT is the clairvoyant dynamic optimum: it solves the instantaneous
+// problem exactly using the current round's cost functions, which are
+// unavailable to implementable algorithms. It is the comparator x_t^* of
+// the paper's dynamic regret and the "OPT" curve of the experiments.
+type OPT struct {
+	x   []float64
+	tol float64
+}
+
+var (
+	_ core.Algorithm = (*OPT)(nil)
+	_ Clairvoyant    = (*OPT)(nil)
+)
+
+// NewOPT constructs the clairvoyant baseline. tol <= 0 uses the solver
+// default.
+func NewOPT(n int, tol float64) (*OPT, error) {
+	if n <= 0 {
+		return nil, errors.New("baselines: OPT needs at least one worker")
+	}
+	return &OPT{x: simplex.Uniform(n), tol: tol}, nil
+}
+
+// Name implements core.Algorithm.
+func (o *OPT) Name() string { return "OPT" }
+
+// Assignment implements core.Algorithm.
+func (o *OPT) Assignment() []float64 { return o.x }
+
+// Foresee implements Clairvoyant: it installs the minimizer of the
+// upcoming round's global cost.
+func (o *OPT) Foresee(funcs []costfn.Func) error {
+	if len(funcs) != len(o.x) {
+		return fmt.Errorf("baselines: OPT foresee: %d funcs for %d workers", len(funcs), len(o.x))
+	}
+	res, err := optimum.Solve(funcs, o.tol)
+	if err != nil {
+		return fmt.Errorf("baselines: OPT solve: %w", err)
+	}
+	o.x = res.X
+	return nil
+}
+
+// Update implements core.Algorithm; OPT learns nothing from feedback.
+func (o *OPT) Update(obs core.Observation) error {
+	return obs.Validate(len(o.x))
+}

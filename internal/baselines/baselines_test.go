@@ -1,0 +1,323 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dolbie/internal/core"
+	"dolbie/internal/costfn"
+	"dolbie/internal/simplex"
+)
+
+func obsFor(funcs []costfn.Func, x []float64) core.Observation {
+	obs := core.Observation{Costs: make([]float64, len(x)), Funcs: funcs}
+	for i, f := range funcs {
+		obs.Costs[i] = f.Eval(x[i])
+	}
+	return obs
+}
+
+func TestEqual(t *testing.T) {
+	if _, err := NewEqual(0); err == nil {
+		t.Error("zero workers should error")
+	}
+	e, err := NewEqual(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Name() != "EQU" {
+		t.Errorf("name = %q", e.Name())
+	}
+	funcs := []costfn.Func{
+		costfn.Affine{Slope: 1}, costfn.Affine{Slope: 2},
+		costfn.Affine{Slope: 3}, costfn.Affine{Slope: 4},
+	}
+	before := simplex.Clone(e.Assignment())
+	if err := e.Update(obsFor(funcs, e.Assignment())); err != nil {
+		t.Fatal(err)
+	}
+	for i := range before {
+		if e.Assignment()[i] != before[i] {
+			t.Error("EQU must never change its assignment")
+		}
+	}
+	if err := e.Update(core.Observation{}); err == nil {
+		t.Error("malformed observation should error")
+	}
+}
+
+func TestNewOGDValidation(t *testing.T) {
+	if _, err := NewOGD([]float64{0.4, 0.4}, 0.1); err == nil {
+		t.Error("infeasible x0 should error")
+	}
+	if _, err := NewOGD(simplex.Uniform(2), 0); err == nil {
+		t.Error("zero beta should error")
+	}
+}
+
+func TestOGDMovesLoadOffStraggler(t *testing.T) {
+	o, err := NewOGD(simplex.Uniform(2), 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	funcs := []costfn.Func{costfn.Affine{Slope: 1}, costfn.Affine{Slope: 10}}
+	x0 := simplex.Clone(o.Assignment())
+	if err := o.Update(obsFor(funcs, o.Assignment())); err != nil {
+		t.Fatal(err)
+	}
+	x1 := o.Assignment()
+	if x1[1] >= x0[1] {
+		t.Errorf("straggler load did not decrease: %v -> %v", x0[1], x1[1])
+	}
+	if err := simplex.Check(x1, 1e-9); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOGDConvergesOnStaticCosts(t *testing.T) {
+	o, err := NewOGD(simplex.Uniform(2), 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	funcs := []costfn.Func{costfn.Affine{Slope: 2}, costfn.Affine{Slope: 4}}
+	for round := 0; round < 2000; round++ {
+		if err := o.Update(obsFor(funcs, o.Assignment())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Optimum: x0 = 2/3.
+	if got := o.Assignment()[0]; math.Abs(got-2.0/3) > 0.05 {
+		t.Errorf("OGD x0 after convergence = %v, want about 2/3", got)
+	}
+}
+
+func TestOGDSubgradientOnlyAtStraggler(t *testing.T) {
+	o, err := NewOGD(simplex.Uniform(3), 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	funcs := []costfn.Func{
+		costfn.Affine{Slope: 1}, costfn.Affine{Slope: 1}, costfn.Affine{Slope: 9},
+	}
+	x0 := simplex.Clone(o.Assignment())
+	if err := o.Update(obsFor(funcs, o.Assignment())); err != nil {
+		t.Fatal(err)
+	}
+	x1 := o.Assignment()
+	// The projection spreads the straggler's removed mass evenly over the
+	// other coordinates, so the two non-stragglers must move identically.
+	if math.Abs((x1[0]-x0[0])-(x1[1]-x0[1])) > 1e-12 {
+		t.Errorf("non-straggler updates differ: %v vs %v", x1[0]-x0[0], x1[1]-x0[1])
+	}
+}
+
+func TestNewABSValidation(t *testing.T) {
+	if _, err := NewABS([]float64{0.4, 0.4}, 5); err == nil {
+		t.Error("infeasible x0 should error")
+	}
+	if _, err := NewABS(simplex.Uniform(2), 0); err == nil {
+		t.Error("zero period should error")
+	}
+}
+
+func TestABSUpdatesOnlyAtWindowBoundary(t *testing.T) {
+	a, err := NewABS(simplex.Uniform(2), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	funcs := []costfn.Func{costfn.Affine{Slope: 1}, costfn.Affine{Slope: 4}}
+	for round := 1; round <= 2; round++ {
+		if err := a.Update(obsFor(funcs, a.Assignment())); err != nil {
+			t.Fatal(err)
+		}
+		if a.Assignment()[0] != 0.5 {
+			t.Fatalf("round %d: ABS moved before window boundary", round)
+		}
+	}
+	if err := a.Update(obsFor(funcs, a.Assignment())); err != nil {
+		t.Fatal(err)
+	}
+	// After the window: costs are (0.5, 2.0) per round; inverse-cost split
+	// = (1/0.5, 1/2) normalized = (0.8, 0.2).
+	got := a.Assignment()
+	if math.Abs(got[0]-0.8) > 1e-9 || math.Abs(got[1]-0.2) > 1e-9 {
+		t.Errorf("ABS assignment = %v, want [0.8, 0.2]", got)
+	}
+}
+
+func TestABSZeroCostWorkerAbsorbsLoad(t *testing.T) {
+	a, err := NewABS(simplex.Uniform(2), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	funcs := []costfn.Func{costfn.Affine{}, costfn.Affine{Slope: 1}}
+	if err := a.Update(obsFor(funcs, a.Assignment())); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Assignment()[0]; got < 0.99 {
+		t.Errorf("free worker share = %v, want about 1", got)
+	}
+	if err := simplex.Check(a.Assignment(), 1e-9); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewLBBSPValidation(t *testing.T) {
+	if _, err := NewLBBSP([]float64{0.4, 0.4}, 0.02, 5); err == nil {
+		t.Error("infeasible x0 should error")
+	}
+	if _, err := NewLBBSP(simplex.Uniform(2), 0, 5); err == nil {
+		t.Error("zero delta should error")
+	}
+	if _, err := NewLBBSP(simplex.Uniform(2), 1, 5); err == nil {
+		t.Error("delta = 1 should error")
+	}
+	if _, err := NewLBBSP(simplex.Uniform(2), 0.02, 0); err == nil {
+		t.Error("zero window should error")
+	}
+}
+
+func TestLBBSPMovesDeltaAfterDRounds(t *testing.T) {
+	const delta = 0.02
+	l, err := NewLBBSP(simplex.Uniform(3), delta, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	funcs := []costfn.Func{
+		costfn.Affine{Slope: 1}, costfn.Affine{Slope: 2}, costfn.Affine{Slope: 9},
+	}
+	if err := l.Update(obsFor(funcs, l.Assignment())); err != nil {
+		t.Fatal(err)
+	}
+	third := 1.0 / 3
+	if l.Assignment()[2] != third {
+		t.Fatal("LB-BSP moved before the streak completed")
+	}
+	if err := l.Update(obsFor(funcs, l.Assignment())); err != nil {
+		t.Fatal(err)
+	}
+	got := l.Assignment()
+	if math.Abs(got[2]-(third-delta)) > 1e-12 {
+		t.Errorf("straggler share = %v, want %v", got[2], third-delta)
+	}
+	if math.Abs(got[0]-(third+delta)) > 1e-12 {
+		t.Errorf("fastest share = %v, want %v", got[0], third+delta)
+	}
+	if err := simplex.Check(got, 1e-9); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLBBSPNeverGoesNegative(t *testing.T) {
+	l, err := NewLBBSP(simplex.Uniform(2), 0.4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	funcs := []costfn.Func{costfn.Affine{Slope: 1}, costfn.Affine{Slope: 50}}
+	for round := 0; round < 10; round++ {
+		if err := l.Update(obsFor(funcs, l.Assignment())); err != nil {
+			t.Fatal(err)
+		}
+		if err := simplex.Check(l.Assignment(), 1e-9); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+	// The straggler's load is pinned at >= 0 even though delta is large.
+	if got := l.Assignment()[1]; got < 0 {
+		t.Errorf("straggler share = %v", got)
+	}
+}
+
+func TestLBBSPEqualCostsBreakStreak(t *testing.T) {
+	l, err := NewLBBSP(simplex.Uniform(2), 0.1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := []costfn.Func{costfn.Affine{Slope: 2}, costfn.Affine{Slope: 2}}
+	diff := []costfn.Func{costfn.Affine{Slope: 1}, costfn.Affine{Slope: 4}}
+	if err := l.Update(obsFor(diff, l.Assignment())); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Update(obsFor(same, l.Assignment())); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Update(obsFor(diff, l.Assignment())); err != nil {
+		t.Fatal(err)
+	}
+	// Streak was broken by the equal-cost round; only 1 of 2 needed rounds
+	// since, so no move yet.
+	if l.Assignment()[0] != 0.5 {
+		t.Errorf("assignment moved despite broken streak: %v", l.Assignment())
+	}
+}
+
+func TestLBBSPSingleWorkerNoOp(t *testing.T) {
+	l, err := NewLBBSP([]float64{1}, 0.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Update(obsFor([]costfn.Func{costfn.Affine{Slope: 1}}, l.Assignment())); err != nil {
+		t.Fatal(err)
+	}
+	if l.Assignment()[0] != 1 {
+		t.Error("single worker must keep the whole load")
+	}
+}
+
+func TestOPT(t *testing.T) {
+	if _, err := NewOPT(0, 0); err == nil {
+		t.Error("zero workers should error")
+	}
+	o, err := NewOPT(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	funcs := []costfn.Func{costfn.Affine{Slope: 2}, costfn.Affine{Slope: 4}}
+	if err := o.Foresee(funcs); err != nil {
+		t.Fatal(err)
+	}
+	if got := o.Assignment()[0]; math.Abs(got-2.0/3) > 1e-5 {
+		t.Errorf("OPT x0 = %v, want 2/3", got)
+	}
+	if err := o.Foresee(funcs[:1]); err == nil {
+		t.Error("dimension mismatch should error")
+	}
+	if err := o.Update(obsFor(funcs, o.Assignment())); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAllBaselinesStayFeasible runs every baseline on a random dynamic
+// instance and asserts the simplex invariant after every round.
+func TestAllBaselinesStayFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	const n, T = 6, 60
+	equ, _ := NewEqual(n)
+	ogd, _ := NewOGD(simplex.Uniform(n), 0.01)
+	abs, _ := NewABS(simplex.Uniform(n), 5)
+	lbbsp, _ := NewLBBSP(simplex.Uniform(n), 0.02, 5)
+	opt, _ := NewOPT(n, 0)
+	algos := []core.Algorithm{equ, ogd, abs, lbbsp, opt}
+
+	for round := 0; round < T; round++ {
+		funcs := make([]costfn.Func, n)
+		for i := range funcs {
+			funcs[i] = costfn.Affine{Slope: 0.2 + rng.Float64()*8, Intercept: rng.Float64() * 0.3}
+		}
+		for _, alg := range algos {
+			if c, ok := alg.(Clairvoyant); ok {
+				if err := c.Foresee(funcs); err != nil {
+					t.Fatalf("round %d %s foresee: %v", round, alg.Name(), err)
+				}
+			}
+			x := alg.Assignment()
+			if err := simplex.Check(x, 1e-7); err != nil {
+				t.Fatalf("round %d %s: %v", round, alg.Name(), err)
+			}
+			if err := alg.Update(obsFor(funcs, x)); err != nil {
+				t.Fatalf("round %d %s update: %v", round, alg.Name(), err)
+			}
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"dolbie/internal/core"
+	"dolbie/internal/simplex"
+)
+
+func BenchmarkEnvelopeRoundTrip(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		env, err := NewEnvelope(KindCost, 3, 30, core.CostReport{Round: i, From: 3, Cost: 1.25})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var r core.CostReport
+		if err := env.Decode(&r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMemNetSendRecv measures one message through the in-memory hub.
+func BenchmarkMemNetSendRecv(b *testing.B) {
+	net := NewMemNet()
+	a := net.Node(0)
+	c := net.Node(1)
+	ctx := context.Background()
+	env, err := NewEnvelope(KindCost, 0, 1, core.CostReport{Round: 1, From: 0, Cost: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := a.Send(ctx, 1, env); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Recv(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTCPSendRecv measures one framed protocol message over a real
+// localhost TCP connection.
+func BenchmarkTCPSendRecv(b *testing.B) {
+	n0, err := ListenTCP(0, "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer n0.Close() //nolint:errcheck // bench teardown
+	n1, err := ListenTCP(1, "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer n1.Close() //nolint:errcheck // bench teardown
+	registry := map[int]string{0: n0.Addr(), 1: n1.Addr()}
+	n0.SetRegistry(registry)
+	n1.SetRegistry(registry)
+
+	ctx := context.Background()
+	env, err := NewEnvelope(KindCost, 0, 1, core.CostReport{Round: 1, From: 0, Cost: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := n0.Send(ctx, 1, env); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := n1.Recv(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMasterWorkerDeploymentRound measures a full deployed protocol
+// round (all nodes, all messages) on the in-memory network, amortized
+// over a multi-round run.
+func BenchmarkMasterWorkerDeploymentRound(b *testing.B) {
+	const n = 10
+	const roundsPerRun = 50
+	sources := make([]CostSource, n)
+	for i := range sources {
+		sources[i] = instBenchSource(i)
+	}
+	x0 := simplex.Uniform(n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		net := NewMemNet()
+		transports := make([]Transport, n+1)
+		for j := range transports {
+			transports[j] = net.Node(j)
+		}
+		if _, _, err := MasterWorkerDeployment(ctx, transports, x0, roundsPerRun, sources); err != nil {
+			cancel()
+			b.Fatal(err)
+		}
+		cancel()
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*roundsPerRun), "ns/round")
+}
+
+func instBenchSource(id int) CostSource {
+	return instSource(id)
+}

@@ -1,0 +1,143 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"dolbie/internal/core"
+)
+
+// MasterWorkerDeployment runs a complete Algorithm 1 deployment: the
+// master on transports[n] (see MasterID) and worker i on transports[i],
+// each in its own goroutine, for the given number of rounds. sources[i]
+// supplies worker i's local cost feedback. The call returns when every
+// node finishes or any node fails; on failure the context handed to the
+// surviving nodes is canceled so they unwind promptly.
+func MasterWorkerDeployment(ctx context.Context, transports []Transport, x0 []float64, rounds int, sources []CostSource, opts ...core.Option) (MasterResult, []WorkerResult, error) {
+	n := len(x0)
+	if len(transports) != n+1 {
+		return MasterResult{}, nil, fmt.Errorf("cluster: need %d transports (n workers + master), got %d", n+1, len(transports))
+	}
+	if len(sources) != n {
+		return MasterResult{}, nil, fmt.Errorf("cluster: need %d cost sources, got %d", n, len(sources))
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		errs      []error
+		masterRes MasterResult
+		workerRes = make([]WorkerResult, n)
+		fail      = func(err error) {
+			mu.Lock()
+			errs = append(errs, err)
+			mu.Unlock()
+			cancel()
+		}
+	)
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		res, err := RunMaster(ctx, transports[n], x0, rounds, opts...)
+		if err != nil {
+			fail(fmt.Errorf("master: %w", err))
+			return
+		}
+		mu.Lock()
+		masterRes = res
+		mu.Unlock()
+	}()
+
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := RunWorker(ctx, transports[i], i, n, x0[i], rounds, sources[i], opts...)
+			if err != nil {
+				fail(fmt.Errorf("worker %d: %w", i, err))
+				return
+			}
+			mu.Lock()
+			workerRes[i] = res
+			mu.Unlock()
+		}(i)
+	}
+
+	wg.Wait()
+	if len(errs) > 0 {
+		return MasterResult{}, nil, errors.Join(errs...)
+	}
+	return masterRes, workerRes, nil
+}
+
+// FullyDistributedDeployment runs a complete Algorithm 2 deployment: peer
+// i on transports[i], each in its own goroutine.
+func FullyDistributedDeployment(ctx context.Context, transports []Transport, x0 []float64, rounds int, sources []CostSource, opts ...core.Option) ([]PeerResult, error) {
+	n := len(x0)
+	if len(transports) != n {
+		return nil, fmt.Errorf("cluster: need %d transports, got %d", n, len(transports))
+	}
+	if len(sources) != n {
+		return nil, fmt.Errorf("cluster: need %d cost sources, got %d", n, len(sources))
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		errs []error
+		res  = make([]PeerResult, n)
+	)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := RunPeer(ctx, transports[i], i, x0, rounds, sources[i], opts...)
+			if err != nil {
+				mu.Lock()
+				errs = append(errs, fmt.Errorf("peer %d: %w", i, err))
+				mu.Unlock()
+				cancel()
+				return
+			}
+			mu.Lock()
+			res[i] = r
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	if len(errs) > 0 {
+		return nil, errors.Join(errs...)
+	}
+	return res, nil
+}
+
+// Trajectory reassembles the per-round decision vectors from a set of
+// worker or peer results (Played[t] of each node). All results must cover
+// the same number of rounds.
+func Trajectory(played [][]float64) ([][]float64, error) {
+	if len(played) == 0 {
+		return nil, errors.New("cluster: no nodes")
+	}
+	rounds := len(played[0])
+	for i, p := range played {
+		if len(p) != rounds {
+			return nil, fmt.Errorf("cluster: node %d covers %d rounds, want %d", i, len(p), rounds)
+		}
+	}
+	out := make([][]float64, rounds)
+	for t := 0; t < rounds; t++ {
+		x := make([]float64, len(played))
+		for i := range played {
+			x[i] = played[i][t]
+		}
+		out[t] = x
+	}
+	return out, nil
+}

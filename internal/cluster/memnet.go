@@ -1,0 +1,153 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// MemNet is an in-memory network hub for tests and single-process
+// simulations. Every registered node gets a buffered inbox; Send enqueues
+// directly, so delivery preserves per-receiver FIFO order of the send
+// operations. Deterministic fault injection (message drops and node
+// partitions) is available for failure testing.
+type MemNet struct {
+	mu       sync.Mutex
+	inboxes  map[int]chan Envelope
+	closed   map[int]bool
+	dropProb float64
+	rng      *rand.Rand
+	cut      map[[2]int]bool // severed directed links
+	buffer   int
+}
+
+// MemNetOption configures a MemNet.
+type MemNetOption func(*MemNet)
+
+// WithDropProb drops each message independently with probability p, using
+// a deterministic seeded source.
+func WithDropProb(p float64, seed int64) MemNetOption {
+	return func(m *MemNet) {
+		m.dropProb = p
+		m.rng = rand.New(rand.NewSource(seed))
+	}
+}
+
+// WithInboxBuffer overrides the per-node inbox capacity (default 1024).
+func WithInboxBuffer(n int) MemNetOption {
+	return func(m *MemNet) {
+		if n > 0 {
+			m.buffer = n
+		}
+	}
+}
+
+// NewMemNet constructs an empty hub.
+func NewMemNet(opts ...MemNetOption) *MemNet {
+	m := &MemNet{
+		inboxes: make(map[int]chan Envelope),
+		closed:  make(map[int]bool),
+		cut:     make(map[[2]int]bool),
+		buffer:  1024,
+	}
+	for _, opt := range opts {
+		opt(m)
+	}
+	return m
+}
+
+// Node registers (or returns) the transport endpoint of node id.
+func (m *MemNet) Node(id int) Transport {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.inboxes[id]; !ok {
+		m.inboxes[id] = make(chan Envelope, m.buffer)
+	}
+	return &memTransport{net: m, id: id}
+}
+
+// Cut severs the directed link from -> to; messages sent over it are
+// silently dropped until Heal.
+func (m *MemNet) Cut(from, to int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cut[[2]int{from, to}] = true
+}
+
+// Heal restores the directed link from -> to.
+func (m *MemNet) Heal(from, to int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.cut, [2]int{from, to})
+}
+
+func (m *MemNet) send(ctx context.Context, from, to int, env Envelope) error {
+	m.mu.Lock()
+	if m.closed[from] {
+		m.mu.Unlock()
+		return fmt.Errorf("%w (node %d)", ErrClosed, from)
+	}
+	inbox, ok := m.inboxes[to]
+	if !ok || m.closed[to] {
+		m.mu.Unlock()
+		return fmt.Errorf("%w: %d", ErrUnknownNode, to)
+	}
+	if m.cut[[2]int{from, to}] {
+		m.mu.Unlock()
+		return nil // silently dropped: partition
+	}
+	if m.rng != nil && m.rng.Float64() < m.dropProb {
+		m.mu.Unlock()
+		return nil // silently dropped: lossy link
+	}
+	m.mu.Unlock()
+
+	select {
+	case inbox <- env:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("cluster: send to %d: %w", to, ctx.Err())
+	}
+}
+
+func (m *MemNet) recv(ctx context.Context, id int) (Envelope, error) {
+	m.mu.Lock()
+	inbox, ok := m.inboxes[id]
+	closed := m.closed[id]
+	m.mu.Unlock()
+	if !ok || closed {
+		return Envelope{}, fmt.Errorf("%w (node %d)", ErrClosed, id)
+	}
+	select {
+	case env := <-inbox:
+		return env, nil
+	case <-ctx.Done():
+		return Envelope{}, fmt.Errorf("cluster: recv on %d: %w", id, ctx.Err())
+	}
+}
+
+func (m *MemNet) closeNode(id int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed[id] = true
+	return nil
+}
+
+// memTransport is a node's endpoint into a MemNet.
+type memTransport struct {
+	net *MemNet
+	id  int
+}
+
+var _ Transport = (*memTransport)(nil)
+
+func (t *memTransport) Send(ctx context.Context, to int, env Envelope) error {
+	return t.net.send(ctx, t.id, to, env)
+}
+
+func (t *memTransport) Recv(ctx context.Context) (Envelope, error) {
+	return t.net.recv(ctx, t.id)
+}
+
+func (t *memTransport) Close() error { return t.net.closeNode(t.id) }

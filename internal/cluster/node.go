@@ -1,0 +1,327 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"dolbie/internal/core"
+	"dolbie/internal/costfn"
+)
+
+// CostSource provides a node's local cost feedback: after playing
+// workload x in a round, the realized cost l = f(x) and the revealed
+// local cost function f become observable. Implementations stand in for
+// the node actually executing its workload (training a batch, running an
+// offloaded task).
+type CostSource interface {
+	Observe(round int, x float64) (cost float64, f costfn.Func, err error)
+}
+
+// FuncSource adapts a plain function to a CostSource.
+type FuncSource func(round int, x float64) (float64, costfn.Func, error)
+
+// Observe implements CostSource.
+func (fs FuncSource) Observe(round int, x float64) (float64, costfn.Func, error) {
+	return fs(round, x)
+}
+
+// MasterID returns the node id conventionally used by the master in an
+// n-worker deployment (the workers occupy ids 0..n-1).
+func MasterID(n int) int { return n }
+
+// MasterResult summarizes a completed master run.
+type MasterResult struct {
+	// Rounds is the number of fully coordinated rounds.
+	Rounds int
+	// FinalAlpha is the step size after the last round.
+	FinalAlpha float64
+	// Traffic counts the master's protocol messages and bytes.
+	Traffic TrafficStats
+}
+
+// RunMaster executes the master side of Algorithm 1 for the given number
+// of rounds over the transport, then returns. The caller owns the
+// transport (it is not closed). Cancel the context to abort a wedged
+// deployment; the error wraps the context error.
+func RunMaster(ctx context.Context, tr Transport, x0 []float64, rounds int, opts ...core.Option) (MasterResult, error) {
+	if rounds <= 0 {
+		return MasterResult{}, errors.New("cluster: rounds must be positive")
+	}
+	meter := NewMeter(tr)
+	m, err := core.NewMaster(x0, opts...)
+	if err != nil {
+		return MasterResult{}, err
+	}
+	n := len(x0)
+	self := MasterID(n)
+	completed := 0
+	for completed < rounds {
+		env, err := meter.Recv(ctx)
+		if err != nil {
+			return MasterResult{}, fmt.Errorf("cluster: master recv (round %d): %w", m.Round(), err)
+		}
+		var outs []core.MasterOutput
+		switch env.Kind {
+		case KindCost:
+			var r core.CostReport
+			if err := env.Decode(&r); err != nil {
+				return MasterResult{}, err
+			}
+			if outs, err = m.HandleCost(r); err != nil {
+				return MasterResult{}, fmt.Errorf("cluster: master: %w", err)
+			}
+		case KindDecision:
+			var r core.DecisionReport
+			if err := env.Decode(&r); err != nil {
+				return MasterResult{}, err
+			}
+			if outs, err = m.HandleDecision(r); err != nil {
+				return MasterResult{}, fmt.Errorf("cluster: master: %w", err)
+			}
+		default:
+			return MasterResult{}, fmt.Errorf("cluster: master received unexpected %s from %d", env.Kind, env.From)
+		}
+		for _, o := range outs {
+			if o.Coordinate != nil {
+				for i := 0; i < n; i++ {
+					env, err := coordinateEnvelope(self, i, *o.Coordinate)
+					if err != nil {
+						return MasterResult{}, err
+					}
+					if err := meter.Send(ctx, i, env); err != nil {
+						return MasterResult{}, fmt.Errorf("cluster: master coordinate to %d: %w", i, err)
+					}
+				}
+			}
+			if o.Assign != nil {
+				env, err := assignEnvelope(self, *o.Assign)
+				if err != nil {
+					return MasterResult{}, err
+				}
+				if err := meter.Send(ctx, o.Assign.To, env); err != nil {
+					return MasterResult{}, fmt.Errorf("cluster: master assign to %d: %w", o.Assign.To, err)
+				}
+				completed++
+			}
+		}
+	}
+	return MasterResult{Rounds: completed, FinalAlpha: m.Alpha(), Traffic: meter.Stats()}, nil
+}
+
+// WorkerResult summarizes a completed worker run.
+type WorkerResult struct {
+	// ID is the worker's index.
+	ID int
+	// Played[t] is the workload fraction executed in round t+1.
+	Played []float64
+	// Costs[t] is the realized local cost of round t+1.
+	Costs []float64
+	// Traffic counts the worker's protocol messages and bytes.
+	Traffic TrafficStats
+}
+
+// RunWorker executes worker id of an n-worker Algorithm 1 deployment for
+// the given number of rounds. src supplies the local cost feedback after
+// each played round.
+func RunWorker(ctx context.Context, tr Transport, id, n int, x0 float64, rounds int, src CostSource, opts ...core.Option) (WorkerResult, error) {
+	if rounds <= 0 {
+		return WorkerResult{}, errors.New("cluster: rounds must be positive")
+	}
+	if src == nil {
+		return WorkerResult{}, errors.New("cluster: nil cost source")
+	}
+	meter := NewMeter(tr)
+	w, err := core.NewWorker(id, n, x0, opts...)
+	if err != nil {
+		return WorkerResult{}, err
+	}
+	res := WorkerResult{
+		ID:     id,
+		Played: make([]float64, 0, rounds),
+		Costs:  make([]float64, 0, rounds),
+	}
+	master := MasterID(n)
+	for r := 1; r <= rounds; r++ {
+		x := w.Play()
+		cost, f, err := src.Observe(r, x)
+		if err != nil {
+			return WorkerResult{}, fmt.Errorf("cluster: worker %d observe round %d: %w", id, r, err)
+		}
+		rep, err := w.Observe(cost, f)
+		if err != nil {
+			return WorkerResult{}, err
+		}
+		env, err := costEnvelope(master, rep)
+		if err != nil {
+			return WorkerResult{}, err
+		}
+		if err := meter.Send(ctx, master, env); err != nil {
+			return WorkerResult{}, fmt.Errorf("cluster: worker %d cost report: %w", id, err)
+		}
+		res.Played = append(res.Played, x)
+		res.Costs = append(res.Costs, cost)
+
+		// Await the coordinate (and, as the straggler, the assignment).
+		roundDone := false
+		for !roundDone {
+			env, err := meter.Recv(ctx)
+			if err != nil {
+				return WorkerResult{}, fmt.Errorf("cluster: worker %d recv round %d: %w", id, r, err)
+			}
+			switch env.Kind {
+			case KindCoordinate:
+				var c core.Coordinate
+				if err := env.Decode(&c); err != nil {
+					return WorkerResult{}, err
+				}
+				dec, err := w.HandleCoordinate(c)
+				if err != nil {
+					return WorkerResult{}, fmt.Errorf("cluster: worker %d: %w", id, err)
+				}
+				if dec != nil {
+					env, err := decisionEnvelope(master, *dec)
+					if err != nil {
+						return WorkerResult{}, err
+					}
+					if err := meter.Send(ctx, master, env); err != nil {
+						return WorkerResult{}, fmt.Errorf("cluster: worker %d decision: %w", id, err)
+					}
+					roundDone = true
+				}
+			case KindAssign:
+				var a core.StragglerAssign
+				if err := env.Decode(&a); err != nil {
+					return WorkerResult{}, err
+				}
+				if err := w.HandleAssign(a); err != nil {
+					return WorkerResult{}, fmt.Errorf("cluster: worker %d: %w", id, err)
+				}
+				roundDone = true
+			default:
+				return WorkerResult{}, fmt.Errorf("cluster: worker %d received unexpected %s", id, env.Kind)
+			}
+		}
+	}
+	res.Traffic = meter.Stats()
+	return res, nil
+}
+
+// PeerResult summarizes a completed fully-distributed peer run.
+type PeerResult struct {
+	// ID is the peer's index.
+	ID int
+	// Played[t] is the workload fraction executed in round t+1.
+	Played []float64
+	// Costs[t] is the realized local cost of round t+1.
+	Costs []float64
+	// FinalLocalAlpha is the peer's local step size after the last round.
+	FinalLocalAlpha float64
+	// Traffic counts the peer's protocol messages and bytes.
+	Traffic TrafficStats
+}
+
+// RunPeer executes peer id of an Algorithm 2 deployment for the given
+// number of rounds.
+func RunPeer(ctx context.Context, tr Transport, id int, x0 []float64, rounds int, src CostSource, opts ...core.Option) (PeerResult, error) {
+	if rounds <= 0 {
+		return PeerResult{}, errors.New("cluster: rounds must be positive")
+	}
+	if src == nil {
+		return PeerResult{}, errors.New("cluster: nil cost source")
+	}
+	meter := NewMeter(tr)
+	p, err := core.NewPeer(id, x0, opts...)
+	if err != nil {
+		return PeerResult{}, err
+	}
+	n := len(x0)
+	res := PeerResult{
+		ID:     id,
+		Played: make([]float64, 0, rounds),
+		Costs:  make([]float64, 0, rounds),
+	}
+	// dispatch transmits a batch of peer outputs and reports completion.
+	dispatch := func(outs []core.PeerOutput) (bool, error) {
+		done := false
+		for _, o := range outs {
+			switch {
+			case o.Share != nil:
+				for j := 0; j < n; j++ {
+					if j == id {
+						continue
+					}
+					env, err := shareEnvelope(j, *o.Share)
+					if err != nil {
+						return false, err
+					}
+					if err := meter.Send(ctx, j, env); err != nil {
+						return false, fmt.Errorf("cluster: peer %d share to %d: %w", id, j, err)
+					}
+				}
+			case o.Decision != nil:
+				env, err := peerDecisionEnvelope(*o.Decision)
+				if err != nil {
+					return false, err
+				}
+				if err := meter.Send(ctx, o.Decision.To, env); err != nil {
+					return false, fmt.Errorf("cluster: peer %d decision to %d: %w", id, o.Decision.To, err)
+				}
+			case o.Done:
+				done = true
+			}
+		}
+		return done, nil
+	}
+
+	for r := 1; r <= rounds; r++ {
+		x := p.Play()
+		cost, f, err := src.Observe(r, x)
+		if err != nil {
+			return PeerResult{}, fmt.Errorf("cluster: peer %d observe round %d: %w", id, r, err)
+		}
+		outs, err := p.Observe(cost, f)
+		if err != nil {
+			return PeerResult{}, err
+		}
+		res.Played = append(res.Played, x)
+		res.Costs = append(res.Costs, cost)
+		done, err := dispatch(outs)
+		if err != nil {
+			return PeerResult{}, err
+		}
+		for !done {
+			env, err := meter.Recv(ctx)
+			if err != nil {
+				return PeerResult{}, fmt.Errorf("cluster: peer %d recv round %d: %w", id, r, err)
+			}
+			var outs []core.PeerOutput
+			switch env.Kind {
+			case KindShare:
+				var s core.PeerShare
+				if err := env.Decode(&s); err != nil {
+					return PeerResult{}, err
+				}
+				if outs, err = p.HandleShare(s); err != nil {
+					return PeerResult{}, fmt.Errorf("cluster: peer %d: %w", id, err)
+				}
+			case KindPeerDecision:
+				var d core.PeerDecision
+				if err := env.Decode(&d); err != nil {
+					return PeerResult{}, err
+				}
+				if outs, err = p.HandleDecision(d); err != nil {
+					return PeerResult{}, fmt.Errorf("cluster: peer %d: %w", id, err)
+				}
+			default:
+				return PeerResult{}, fmt.Errorf("cluster: peer %d received unexpected %s", id, env.Kind)
+			}
+			if done, err = dispatch(outs); err != nil {
+				return PeerResult{}, err
+			}
+		}
+	}
+	res.FinalLocalAlpha = p.LocalAlpha()
+	res.Traffic = meter.Stats()
+	return res, nil
+}

@@ -1,0 +1,268 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Reliable wraps a lossy Transport with acknowledgements, deduplication,
+// and retransmission, turning at-most-once delivery (e.g. a MemNet with
+// drop injection, or a radio link) into at-least-once delivery with
+// duplicate suppression — effectively exactly-once for the protocol
+// layer. DOLBIE's one-message-per-phase pattern stalls forever on a
+// single dropped message, so this wrapper is what makes deployments
+// survive lossy networks (see the lossy deployment tests).
+//
+// Wire format: every data frame carries a per-destination sequence
+// number; the receiver acks each frame and suppresses already-seen
+// sequence numbers. Unacked frames are retransmitted on a fixed
+// interval until acked or closed.
+type Reliable struct {
+	inner Transport
+	id    int
+
+	retryEvery time.Duration
+
+	mu       sync.Mutex
+	nextSeq  map[int]uint64              // per-destination next sequence number
+	unacked  map[int]map[uint64]wire     // per-destination in-flight frames
+	expected map[int]uint64              // per-sender next in-order sequence
+	reorder  map[int]map[uint64]Envelope // per-sender out-of-order buffer
+	closed   bool
+
+	delivered chan Envelope
+	done      chan struct{}
+	wg        sync.WaitGroup
+}
+
+// wire is the reliable framing around a protocol envelope.
+type wire struct {
+	Seq  uint64    `json:"seq"`
+	Ack  bool      `json:"ack"`
+	Data *Envelope `json:"data,omitempty"`
+}
+
+// reliableKind tags frames of the reliability layer on the inner
+// transport.
+const reliableKind Kind = "reliable"
+
+// NewReliable wraps the transport endpoint of node id. retryEvery <= 0
+// defaults to 50ms. Close the Reliable (not the inner transport) to shut
+// down cleanly.
+func NewReliable(id int, inner Transport, retryEvery time.Duration) *Reliable {
+	if retryEvery <= 0 {
+		retryEvery = 50 * time.Millisecond
+	}
+	r := &Reliable{
+		inner:      inner,
+		id:         id,
+		retryEvery: retryEvery,
+		nextSeq:    make(map[int]uint64),
+		unacked:    make(map[int]map[uint64]wire),
+		expected:   make(map[int]uint64),
+		reorder:    make(map[int]map[uint64]Envelope),
+		delivered:  make(chan Envelope, 1024),
+		done:       make(chan struct{}),
+	}
+	r.wg.Add(2)
+	go r.recvLoop()
+	go r.retryLoop()
+	return r
+}
+
+var _ Transport = (*Reliable)(nil)
+
+// Send implements Transport: the frame is buffered for retransmission
+// until the receiver acknowledges it.
+func (r *Reliable) Send(ctx context.Context, to int, env Envelope) error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return fmt.Errorf("%w (reliable node %d)", ErrClosed, r.id)
+	}
+	seq := r.nextSeq[to]
+	r.nextSeq[to] = seq + 1
+	frame := wire{Seq: seq, Data: &env}
+	if r.unacked[to] == nil {
+		r.unacked[to] = make(map[uint64]wire)
+	}
+	r.unacked[to][seq] = frame
+	r.mu.Unlock()
+
+	wrapped, err := wrapFrame(r.id, to, frame)
+	if err != nil {
+		return err
+	}
+	// A send error here is fine: the retry loop re-sends until acked.
+	if err := r.inner.Send(ctx, to, wrapped); err != nil && ctx.Err() != nil {
+		return err
+	}
+	return nil
+}
+
+// Recv implements Transport: it yields deduplicated data frames.
+func (r *Reliable) Recv(ctx context.Context) (Envelope, error) {
+	select {
+	case env := <-r.delivered:
+		return env, nil
+	case <-r.done:
+		return Envelope{}, fmt.Errorf("%w (reliable node %d)", ErrClosed, r.id)
+	case <-ctx.Done():
+		return Envelope{}, fmt.Errorf("cluster: reliable recv on %d: %w", r.id, ctx.Err())
+	}
+}
+
+// Close stops the reliability layer and closes the inner transport.
+func (r *Reliable) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	r.mu.Unlock()
+	close(r.done)
+	err := r.inner.Close()
+	r.wg.Wait()
+	return err
+}
+
+// recvLoop pulls frames off the inner transport, acks data, suppresses
+// duplicates, and processes acks.
+func (r *Reliable) recvLoop() {
+	defer r.wg.Done()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		<-r.done
+		cancel()
+	}()
+	for {
+		env, err := r.inner.Recv(ctx)
+		if err != nil {
+			return // closed or canceled
+		}
+		if env.Kind != reliableKind {
+			// Interop: pass through unwrapped traffic (a peer not using
+			// the reliability layer).
+			select {
+			case r.delivered <- env:
+			case <-r.done:
+				return
+			}
+			continue
+		}
+		var frame wire
+		if err := json.Unmarshal(env.Payload, &frame); err != nil {
+			continue // corrupt frame; drop (sender will retransmit)
+		}
+		from := env.From
+		if frame.Ack {
+			r.mu.Lock()
+			if m := r.unacked[from]; m != nil {
+				delete(m, frame.Seq)
+			}
+			r.mu.Unlock()
+			continue
+		}
+		// Data frame: always (re-)ack, then deliver in per-sender sequence
+		// order. Frames ahead of the expected sequence wait in a reorder
+		// buffer so a retransmitted early frame cannot be overtaken by a
+		// later one — preserving the FIFO property the protocol state
+		// machines rely on.
+		ack, err := wrapFrame(r.id, from, wire{Seq: frame.Seq, Ack: true})
+		if err == nil {
+			//nolint:errcheck // best-effort; sender retransmits on loss
+			r.inner.Send(ctx, from, ack)
+		}
+		if frame.Data == nil {
+			continue
+		}
+		r.mu.Lock()
+		exp := r.expected[from]
+		var ready []Envelope
+		switch {
+		case frame.Seq < exp:
+			// Duplicate of an already-delivered frame; ack was enough.
+		case frame.Seq > exp:
+			if r.reorder[from] == nil {
+				r.reorder[from] = make(map[uint64]Envelope)
+			}
+			r.reorder[from][frame.Seq] = *frame.Data
+		default:
+			ready = append(ready, *frame.Data)
+			exp++
+			for {
+				buffered, ok := r.reorder[from][exp]
+				if !ok {
+					break
+				}
+				delete(r.reorder[from], exp)
+				ready = append(ready, buffered)
+				exp++
+			}
+			r.expected[from] = exp
+		}
+		r.mu.Unlock()
+		for _, env := range ready {
+			select {
+			case r.delivered <- env:
+			case <-r.done:
+				return
+			}
+		}
+	}
+}
+
+// retryLoop retransmits unacked frames on the retry interval.
+func (r *Reliable) retryLoop() {
+	defer r.wg.Done()
+	ticker := time.NewTicker(r.retryEvery)
+	defer ticker.Stop()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		<-r.done
+		cancel()
+	}()
+	for {
+		select {
+		case <-r.done:
+			return
+		case <-ticker.C:
+		}
+		r.mu.Lock()
+		type pending struct {
+			to    int
+			frame wire
+		}
+		var frames []pending
+		for to, m := range r.unacked {
+			for _, f := range m {
+				frames = append(frames, pending{to: to, frame: f})
+			}
+		}
+		r.mu.Unlock()
+		for _, p := range frames {
+			wrapped, err := wrapFrame(r.id, p.to, p.frame)
+			if err != nil {
+				continue
+			}
+			//nolint:errcheck // best-effort; retried on the next tick
+			r.inner.Send(ctx, p.to, wrapped)
+		}
+	}
+}
+
+// wrapFrame marshals a reliability frame into an inner-transport
+// envelope.
+func wrapFrame(from, to int, frame wire) (Envelope, error) {
+	raw, err := json.Marshal(frame)
+	if err != nil {
+		return Envelope{}, fmt.Errorf("cluster: marshal reliable frame: %w", err)
+	}
+	return Envelope{Kind: reliableKind, From: from, To: to, Payload: raw}, nil
+}

@@ -1,0 +1,41 @@
+package cluster
+
+import (
+	"fmt"
+
+	"dolbie/internal/costfn"
+	"dolbie/internal/trace"
+)
+
+// SyntheticSource is a self-contained CostSource for demos and tests: an
+// affine latency whose slope drifts with a seeded AR(1) process around a
+// per-worker mean, standing in for a worker that executes real work. It
+// is deterministic in (id, seed).
+type SyntheticSource struct {
+	slope     trace.Process
+	intercept float64
+}
+
+var _ CostSource = (*SyntheticSource)(nil)
+
+// NewSyntheticSource builds the source for worker id. Workers get
+// heterogeneous mean slopes (cycling over a small catalog) so a
+// deployment exhibits persistent stragglers worth balancing away.
+func NewSyntheticSource(id int, seed int64) (*SyntheticSource, error) {
+	means := []float64{1, 1.5, 2.5, 6, 10}
+	mean := means[id%len(means)]
+	drift, err := trace.NewAR1(mean, 0.85, mean*0.05, seed*7919+int64(id)*104729+11)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: synthetic source %d: %w", id, err)
+	}
+	return &SyntheticSource{
+		slope:     &trace.Clamp{Inner: drift, Min: mean * 0.3, Max: mean * 3},
+		intercept: 0.02 * float64(id%3),
+	}, nil
+}
+
+// Observe implements CostSource.
+func (s *SyntheticSource) Observe(_ int, x float64) (float64, costfn.Func, error) {
+	f := costfn.Affine{Slope: s.slope.Next(), Intercept: s.intercept}
+	return f.Eval(x), f, nil
+}

@@ -1,0 +1,247 @@
+package cluster
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// maxFrame bounds a single wire frame; DOLBIE messages are tiny scalars,
+// so anything near this limit indicates corruption.
+const maxFrame = 1 << 20
+
+// TCPNode is a Transport backed by real TCP sockets: one listener for
+// inbound traffic and one lazily-dialed outbound connection per peer,
+// carrying length-prefixed JSON frames. Per-peer ordering is inherited
+// from TCP; the protocol state machines tolerate cross-peer interleaving.
+type TCPNode struct {
+	id    int
+	ln    net.Listener
+	inbox chan Envelope
+
+	mu       sync.Mutex
+	registry map[int]string
+	conns    map[int]net.Conn
+	inbound  map[net.Conn]struct{}
+	closed   bool
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+var _ Transport = (*TCPNode)(nil)
+
+// ListenTCP starts node id listening on addr (use "127.0.0.1:0" to pick a
+// free port; read the chosen address back with Addr).
+func ListenTCP(id int, addr string) (*TCPNode, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: node %d listen: %w", id, err)
+	}
+	n := &TCPNode{
+		id:       id,
+		ln:       ln,
+		inbox:    make(chan Envelope, 1024),
+		registry: make(map[int]string),
+		conns:    make(map[int]net.Conn),
+		inbound:  make(map[net.Conn]struct{}),
+		done:     make(chan struct{}),
+	}
+	n.wg.Add(1)
+	go n.acceptLoop()
+	return n, nil
+}
+
+// Addr returns the node's listen address for registry exchange.
+func (n *TCPNode) Addr() string { return n.ln.Addr().String() }
+
+// SetRegistry installs the id -> address table used to dial peers.
+func (n *TCPNode) SetRegistry(registry map[int]string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.registry = make(map[int]string, len(registry))
+	for id, addr := range registry {
+		n.registry[id] = addr
+	}
+}
+
+func (n *TCPNode) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			conn.Close() //nolint:errcheck // refusing conn during shutdown
+			return
+		}
+		n.inbound[conn] = struct{}{}
+		n.mu.Unlock()
+		n.wg.Add(1)
+		go n.readLoop(conn)
+	}
+}
+
+func (n *TCPNode) readLoop(conn net.Conn) {
+	defer n.wg.Done()
+	defer func() {
+		n.mu.Lock()
+		delete(n.inbound, conn)
+		n.mu.Unlock()
+		conn.Close() //nolint:errcheck // best-effort teardown of inbound conn
+	}()
+	for {
+		env, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		select {
+		case n.inbox <- env:
+		case <-n.done:
+			return
+		}
+	}
+}
+
+// Send implements Transport.
+func (n *TCPNode) Send(ctx context.Context, to int, env Envelope) error {
+	conn, err := n.conn(to)
+	if err != nil {
+		return err
+	}
+	if deadline, ok := ctx.Deadline(); ok {
+		if err := conn.SetWriteDeadline(deadline); err != nil {
+			return fmt.Errorf("cluster: node %d set deadline: %w", n.id, err)
+		}
+	} else if err := conn.SetWriteDeadline(time.Time{}); err != nil {
+		return fmt.Errorf("cluster: node %d clear deadline: %w", n.id, err)
+	}
+	if err := writeFrame(conn, env); err != nil {
+		// Drop the connection so the next Send redials.
+		n.dropConn(to, conn)
+		return fmt.Errorf("cluster: node %d send to %d: %w", n.id, to, err)
+	}
+	return nil
+}
+
+func (n *TCPNode) conn(to int) (net.Conn, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, fmt.Errorf("%w (node %d)", ErrClosed, n.id)
+	}
+	if c, ok := n.conns[to]; ok {
+		return c, nil
+	}
+	addr, ok := n.registry[to]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownNode, to)
+	}
+	c, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: node %d dial %d (%s): %w", n.id, to, addr, err)
+	}
+	n.conns[to] = c
+	return c, nil
+}
+
+func (n *TCPNode) dropConn(to int, conn net.Conn) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.conns[to] == conn {
+		delete(n.conns, to)
+	}
+	conn.Close() //nolint:errcheck // already failed; best-effort close
+}
+
+// Recv implements Transport.
+func (n *TCPNode) Recv(ctx context.Context) (Envelope, error) {
+	select {
+	case env := <-n.inbox:
+		return env, nil
+	case <-n.done:
+		return Envelope{}, fmt.Errorf("%w (node %d)", ErrClosed, n.id)
+	case <-ctx.Done():
+		return Envelope{}, fmt.Errorf("cluster: recv on %d: %w", n.id, ctx.Err())
+	}
+}
+
+// Close implements Transport: it stops the accept loop, tears down all
+// connections, and waits for reader goroutines to drain.
+func (n *TCPNode) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	conns := n.conns
+	n.conns = map[int]net.Conn{}
+	inbound := make([]net.Conn, 0, len(n.inbound))
+	for c := range n.inbound {
+		inbound = append(inbound, c)
+	}
+	n.mu.Unlock()
+
+	close(n.done)
+	err := n.ln.Close()
+	for _, c := range conns {
+		c.Close() //nolint:errcheck // best-effort teardown
+	}
+	for _, c := range inbound {
+		c.Close() //nolint:errcheck // unblock reader goroutines
+	}
+	n.wg.Wait()
+	if err != nil {
+		return fmt.Errorf("cluster: node %d close: %w", n.id, err)
+	}
+	return nil
+}
+
+// writeFrame emits a 4-byte big-endian length followed by the JSON
+// envelope.
+func writeFrame(w io.Writer, env Envelope) error {
+	raw, err := json.Marshal(env)
+	if err != nil {
+		return fmt.Errorf("marshal frame: %w", err)
+	}
+	if len(raw) > maxFrame {
+		return fmt.Errorf("frame of %d bytes exceeds limit %d", len(raw), maxFrame)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(raw)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(raw)
+	return err
+}
+
+// readFrame reads one length-prefixed JSON envelope.
+func readFrame(r io.Reader) (Envelope, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Envelope{}, err
+	}
+	size := binary.BigEndian.Uint32(hdr[:])
+	if size > maxFrame {
+		return Envelope{}, fmt.Errorf("frame of %d bytes exceeds limit %d", size, maxFrame)
+	}
+	raw := make([]byte, size)
+	if _, err := io.ReadFull(r, raw); err != nil {
+		return Envelope{}, err
+	}
+	var env Envelope
+	if err := json.Unmarshal(raw, &env); err != nil {
+		return Envelope{}, fmt.Errorf("unmarshal frame: %w", err)
+	}
+	return env, nil
+}

@@ -1,0 +1,88 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// Transport is one node's connection to the rest of the deployment.
+// Implementations must be safe for one concurrent sender and one
+// concurrent receiver (the node run loops are sequential, but metrics
+// wrappers and tests may probe concurrently).
+type Transport interface {
+	// Send delivers an envelope to node `to`. It returns once the message
+	// is accepted for delivery (not once it is processed).
+	Send(ctx context.Context, to int, env Envelope) error
+	// Recv blocks for the next incoming envelope.
+	Recv(ctx context.Context) (Envelope, error)
+	// Close releases the node's resources; pending Recv calls unblock
+	// with ErrClosed.
+	Close() error
+}
+
+// ErrClosed is returned by transport operations after Close.
+var ErrClosed = errors.New("cluster: transport closed")
+
+// ErrUnknownNode is returned when sending to an unregistered node.
+var ErrUnknownNode = errors.New("cluster: unknown node")
+
+// TrafficStats counts a node's protocol traffic. All counters are totals
+// since construction.
+type TrafficStats struct {
+	MsgsSent     int
+	MsgsReceived int
+	BytesSent    int
+	BytesRecv    int
+}
+
+// Meter wraps a Transport and counts messages and bytes in both
+// directions. It is safe for concurrent use.
+type Meter struct {
+	inner Transport
+
+	mu    sync.Mutex
+	stats TrafficStats
+}
+
+var _ Transport = (*Meter)(nil)
+
+// NewMeter wraps a transport with traffic accounting.
+func NewMeter(inner Transport) *Meter { return &Meter{inner: inner} }
+
+// Send implements Transport.
+func (m *Meter) Send(ctx context.Context, to int, env Envelope) error {
+	if err := m.inner.Send(ctx, to, env); err != nil {
+		return err
+	}
+	n := env.WireBytes()
+	m.mu.Lock()
+	m.stats.MsgsSent++
+	m.stats.BytesSent += n
+	m.mu.Unlock()
+	return nil
+}
+
+// Recv implements Transport.
+func (m *Meter) Recv(ctx context.Context) (Envelope, error) {
+	env, err := m.inner.Recv(ctx)
+	if err != nil {
+		return env, err
+	}
+	n := env.WireBytes()
+	m.mu.Lock()
+	m.stats.MsgsReceived++
+	m.stats.BytesRecv += n
+	m.mu.Unlock()
+	return env, nil
+}
+
+// Close implements Transport.
+func (m *Meter) Close() error { return m.inner.Close() }
+
+// Stats returns a snapshot of the counters.
+func (m *Meter) Stats() TrafficStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}

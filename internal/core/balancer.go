@@ -1,0 +1,328 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dolbie/internal/costfn"
+	"dolbie/internal/simplex"
+)
+
+// Balancer is the centralized driver of DOLBIE: it holds the full decision
+// vector x_t and performs the updates of Algorithm 1 in one place. It is
+// the convenient form for simulations, benchmarks, and single-process
+// applications; the message-passing forms live in master.go, worker.go,
+// and peer.go and produce bit-identical trajectories (see the protocol
+// equivalence tests).
+type Balancer struct {
+	n     int
+	x     []float64
+	alpha float64
+	round int
+	opts  balancerOptions
+
+	lastReport Report
+}
+
+var _ Algorithm = (*Balancer)(nil)
+
+type balancerOptions struct {
+	initialAlpha  float64 // <= 0 means "use the paper's rule"
+	bisectTol     float64
+	aggressive    bool
+	constantAlpha bool
+	capScale      float64 // <= 0 means 1 (strict fraction units)
+	tieRNG        *rand.Rand
+	name          string
+}
+
+// Option configures a Balancer.
+type Option func(*balancerOptions)
+
+// WithInitialAlpha overrides the derived initial step size alpha_1. The
+// paper's experiments pin alpha_1 = 0.001 (Section VI-B); the default
+// otherwise follows the rule alpha_1 = min_i x_{i,1}/(N-2+min_i x_{i,1}).
+func WithInitialAlpha(a float64) Option {
+	return func(o *balancerOptions) { o.initialAlpha = a }
+}
+
+// WithBisectionTol sets the absolute tolerance for the monotone-inverse
+// bisection that computes x'_{i,t}. Values <= 0 use costfn.DefaultTol.
+func WithBisectionTol(tol float64) Option {
+	return func(o *balancerOptions) { o.bisectTol = tol }
+}
+
+// WithAggressiveUpdate is an ablation switch: it replaces the risk-averse
+// step with the aggressive jump x_{i,t+1} = x'_{i,t} (alpha_t = 1, subject
+// only to the exact feasibility guard). The paper argues this behaviour
+// makes non-stragglers become worse stragglers; the ablation benchmark
+// demonstrates it.
+func WithAggressiveUpdate() Option {
+	return func(o *balancerOptions) { o.aggressive = true }
+}
+
+// WithConstantAlpha is an ablation switch: it disables the diminishing
+// step-size rule (7), keeping alpha_t = alpha_1 (subject only to the
+// exact per-round feasibility guard).
+func WithConstantAlpha() Option {
+	return func(o *balancerOptions) { o.constantAlpha = true }
+}
+
+// WithStepRuleScale evaluates the rule-(7)/(8) step-size cap with the
+// straggler workload expressed in units of 1/scale of the total workload
+// (see AlphaCapScaled). The batch-size application of Section VI uses
+// scale = B so the cap is measured in samples; the default (1) is the
+// paper's strict normalized rule assumed by the regret analysis.
+func WithStepRuleScale(scale float64) Option {
+	return func(o *balancerOptions) { o.capScale = scale }
+}
+
+// WithRandomTieBreak makes straggler ties break uniformly at random using
+// the given seed, instead of the deterministic lowest-index rule. The
+// paper allows either policy.
+func WithRandomTieBreak(seed int64) Option {
+	return func(o *balancerOptions) { o.tieRNG = rand.New(rand.NewSource(seed)) }
+}
+
+// WithName overrides the algorithm name reported in experiment output.
+func WithName(name string) Option {
+	return func(o *balancerOptions) { o.name = name }
+}
+
+// NewBalancer constructs a DOLBIE balancer from an initial feasible
+// partition x0 (commonly the uniform point).
+func NewBalancer(x0 []float64, opts ...Option) (*Balancer, error) {
+	if err := simplex.Check(x0, 0); err != nil {
+		return nil, fmt.Errorf("core: initial partition: %w", err)
+	}
+	var o balancerOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	b := &Balancer{
+		n:    len(x0),
+		x:    simplex.Clone(x0),
+		opts: o,
+	}
+	if o.initialAlpha > 0 {
+		if o.initialAlpha > 1 {
+			return nil, fmt.Errorf("core: initial alpha %v out of (0, 1]", o.initialAlpha)
+		}
+		b.alpha = o.initialAlpha
+	} else {
+		b.alpha = InitialAlphaScaled(x0, o.capScale)
+	}
+	return b, nil
+}
+
+// Name implements Algorithm.
+func (b *Balancer) Name() string {
+	if b.opts.name != "" {
+		return b.opts.name
+	}
+	return "DOLBIE"
+}
+
+// N returns the number of workers.
+func (b *Balancer) N() int { return b.n }
+
+// Assignment implements Algorithm. The returned slice is owned by the
+// balancer and must not be modified.
+func (b *Balancer) Assignment() []float64 { return b.x }
+
+// Alpha returns the current step size alpha_t.
+func (b *Balancer) Alpha() float64 { return b.alpha }
+
+// Round returns the number of completed rounds.
+func (b *Balancer) Round() int { return b.round }
+
+// Report describes one completed DOLBIE round, for logging and analysis.
+type Report struct {
+	// Round is the 1-based index of the completed round.
+	Round int
+	// Straggler is the index of the round's straggler s_t.
+	Straggler int
+	// GlobalCost is l_t = max_i l_{i,t}.
+	GlobalCost float64
+	// XPrime holds the maximum acceptable workloads x'_{i,t}.
+	XPrime []float64
+	// Applied is the step size actually applied this round (equal to
+	// alpha_t except when the exact feasibility guard binds).
+	Applied float64
+	// Next is the decision vector x_{t+1}.
+	Next []float64
+}
+
+// LastReport returns the report of the most recent Update call. The
+// zero Report is returned before the first update.
+func (b *Balancer) LastReport() Report { return b.lastReport }
+
+// Update implements Algorithm: it consumes the round-t observation and
+// computes x_{t+1} per DOLBIE's risk-averse update.
+func (b *Balancer) Update(obs Observation) error {
+	_, err := b.Step(obs)
+	return err
+}
+
+// Step performs one DOLBIE round update and returns its Report.
+func (b *Balancer) Step(obs Observation) (Report, error) {
+	if err := obs.Validate(b.n); err != nil {
+		return Report{}, err
+	}
+	b.round++
+	rep := Report{Round: b.round}
+
+	s := b.pickStraggler(obs.Costs)
+	l := obs.Costs[s]
+	rep.Straggler = s
+	rep.GlobalCost = l
+
+	if b.n == 1 {
+		rep.XPrime = []float64{b.x[0]}
+		rep.Applied = 0
+		rep.Next = simplex.Clone(b.x)
+		b.lastReport = rep
+		return rep, nil
+	}
+
+	// Maximum acceptable workloads x'_{i,t} (eq. (4)); the straggler keeps
+	// x'_{s,t} = x_{s,t}.
+	xp := make([]float64, b.n)
+	for i := 0; i < b.n; i++ {
+		if i == s {
+			xp[i] = b.x[i]
+			continue
+		}
+		xi, _, err := costfn.Inverse(obs.Funcs[i], l, 0, 1, b.opts.bisectTol)
+		if err != nil {
+			return Report{}, fmt.Errorf("core: inverse for worker %d: %w", i, err)
+		}
+		// By construction f_{i,t}(x_{i,t}) <= l, so x'_{i,t} >= x_{i,t};
+		// enforce it against bisection tolerance so the non-straggler
+		// update never moves a worker backwards.
+		if xi < b.x[i] {
+			xi = b.x[i]
+		}
+		xp[i] = xi
+	}
+	rep.XPrime = xp
+
+	// Step size for this round. The ablation switch "aggressive" plays
+	// alpha_t = 1; otherwise the maintained diminishing step is used. In
+	// both cases an exact guard caps the applied step at
+	// x_{s,t} / sum_{i != s} (x'_{i,t} - x_{i,t}) so the straggler's next
+	// workload can never go negative, which is the constraint rule (7) is
+	// designed to maintain (the guard also absorbs numerical drift).
+	applied := b.alpha
+	if b.opts.aggressive {
+		applied = 1
+	}
+	var share float64
+	for i := 0; i < b.n; i++ {
+		if i != s {
+			share += xp[i] - b.x[i]
+		}
+	}
+	guardBound := false
+	if share > 0 && applied*share > b.x[s] {
+		applied = b.x[s] / share
+		guardBound = true
+	}
+	rep.Applied = applied
+
+	next := make([]float64, b.n)
+	var taken float64
+	for i := 0; i < b.n; i++ {
+		if i == s {
+			continue
+		}
+		next[i] = b.x[i] + applied*(xp[i]-b.x[i])
+		taken += next[i]
+	}
+	xs := 1 - taken
+	if xs < 0 { // floating-point dust only; the guard bounds the true value
+		xs = 0
+	}
+	next[s] = xs
+
+	// Diminishing step-size rule (7):
+	// alpha_{t+1} = min{ alpha_t, x_{s_t,t+1} / (N - 2 + x_{s_t,t+1}) },
+	// evaluated in the configured workload units (see AlphaCapScaled).
+	// The rule protects a positive straggler remainder; when the exact
+	// guard bound this round the straggler drained completely and the cap
+	// degenerates to (numerically) zero, which would freeze the algorithm
+	// forever. The shrink is skipped in that case — feasibility is already
+	// enforced per round by the guard itself.
+	if !b.opts.constantAlpha && !b.opts.aggressive && !guardBound && xs > drainEps {
+		if c := AlphaCapScaled(xs, b.n, b.opts.capScale); c < b.alpha {
+			b.alpha = c
+		}
+	}
+
+	b.x = next
+	rep.Next = simplex.Clone(next)
+	b.lastReport = rep
+	return rep, nil
+}
+
+// pickStraggler returns argmax_i costs[i], breaking exact ties by the
+// configured policy (lowest index by default, matching Algorithm 1 line
+// 11: "select the worker that ranks higher in the worker list").
+func (b *Balancer) pickStraggler(costs []float64) int {
+	if b.opts.tieRNG == nil {
+		return simplex.ArgMax(costs)
+	}
+	best := simplex.ArgMax(costs)
+	var ties []int
+	for i, v := range costs {
+		if v == costs[best] {
+			ties = append(ties, i)
+		}
+	}
+	if len(ties) <= 1 {
+		return best
+	}
+	return ties[b.opts.tieRNG.Intn(len(ties))]
+}
+
+// Reset restores the balancer to a fresh initial partition, reusing the
+// configured options (including a pinned initial alpha).
+func (b *Balancer) Reset(x0 []float64) error {
+	if len(x0) != b.n {
+		return fmt.Errorf("%w: got %d workers, want %d", ErrBadDimension, len(x0), b.n)
+	}
+	if err := simplex.Check(x0, 0); err != nil {
+		return fmt.Errorf("core: reset partition: %w", err)
+	}
+	b.x = simplex.Clone(x0)
+	b.round = 0
+	b.lastReport = Report{}
+	if b.opts.initialAlpha > 0 {
+		b.alpha = b.opts.initialAlpha
+	} else {
+		b.alpha = InitialAlphaScaled(x0, b.opts.capScale)
+	}
+	return nil
+}
+
+// GlobalCost is a convenience helper returning max_i funcs[i](x[i]) along
+// with the realized per-worker costs, i.e. one evaluation of the global
+// cost function f_t at x.
+func GlobalCost(funcs []costfn.Func, x []float64) (float64, []float64, error) {
+	if len(funcs) != len(x) {
+		return 0, nil, fmt.Errorf("%w: %d funcs vs %d workers", ErrBadDimension, len(funcs), len(x))
+	}
+	costs := make([]float64, len(x))
+	global := math.Inf(-1)
+	for i, f := range funcs {
+		if f == nil {
+			return 0, nil, fmt.Errorf("core: cost function %d is nil", i)
+		}
+		costs[i] = f.Eval(x[i])
+		if costs[i] > global {
+			global = costs[i]
+		}
+	}
+	return global, costs, nil
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"dolbie/internal/costfn"
+	"dolbie/internal/simplex"
+)
+
+// BenchmarkBalancerStep measures one full DOLBIE round update at several
+// worker counts: straggler identification, N-1 monotone inversions, the
+// risk-averse move, and the step-size rule. The paper's complexity claim
+// is O(N) total computation per round across all workers.
+func BenchmarkBalancerStep(b *testing.B) {
+	for _, n := range []int{10, 30, 100, 300} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			bal, err := NewBalancer(simplex.Uniform(n), WithInitialAlpha(0.001))
+			if err != nil {
+				b.Fatal(err)
+			}
+			funcs := make([]costfn.Func, n)
+			for i := range funcs {
+				funcs[i] = costfn.Affine{Slope: 1 + float64(i%9), Intercept: 0.05 * float64(i%4)}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				x := bal.Assignment()
+				obs := Observation{Costs: make([]float64, n), Funcs: funcs}
+				for j := range funcs {
+					obs.Costs[j] = funcs[j].Eval(x[j])
+				}
+				if _, err := bal.Step(obs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMasterWorkerRound measures one complete protocol round through
+// the master-worker state machines (no transport): N cost reports, the
+// coordinate fan-out, N-1 decisions, and the straggler assignment.
+func BenchmarkMasterWorkerRound(b *testing.B) {
+	const n = 30
+	x0 := simplex.Uniform(n)
+	funcs := make([]costfn.Affine, n)
+	for i := range funcs {
+		funcs[i] = costfn.Affine{Slope: 1 + float64(i%9), Intercept: 0.05 * float64(i%4)}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for iter := 0; iter < b.N; iter++ {
+		b.StopTimer()
+		master, err := NewMaster(x0, WithInitialAlpha(0.001))
+		if err != nil {
+			b.Fatal(err)
+		}
+		workers := make([]*WorkerState, n)
+		for i := range workers {
+			if workers[i], err = NewWorker(i, n, x0[i], WithInitialAlpha(0.001)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+
+		var coordinate *Coordinate
+		var assign *StragglerAssign
+		for i, w := range workers {
+			x := w.Play()
+			rep, err := w.Observe(funcs[i].Eval(x), funcs[i])
+			if err != nil {
+				b.Fatal(err)
+			}
+			outs, err := master.HandleCost(rep)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, o := range outs {
+				if o.Coordinate != nil {
+					coordinate = o.Coordinate
+				}
+			}
+		}
+		for _, w := range workers {
+			dec, err := w.HandleCoordinate(*coordinate)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if dec == nil {
+				continue
+			}
+			outs, err := master.HandleDecision(*dec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, o := range outs {
+				if o.Assign != nil {
+					assign = o.Assign
+				}
+			}
+		}
+		if err := workers[assign.To].HandleAssign(*assign); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,255 @@
+package core
+
+import (
+	"fmt"
+
+	"dolbie/internal/simplex"
+)
+
+// MasterState is the master's half of Algorithm 1 (DOLBIE, master-worker
+// version) as a pure, transport-agnostic state machine. Feed it incoming
+// CostReport and DecisionReport messages; it emits the Coordinate
+// broadcasts and StragglerAssign messages the master must send.
+//
+// The state machine tolerates messages that arrive for a future round
+// (possible on real transports because a non-straggling worker can start
+// round t+1 before the master finishes round t) by buffering them. It is
+// not safe for concurrent use; a master node owns exactly one.
+type MasterState struct {
+	n         int
+	round     int // round currently being coordinated (1-based)
+	alpha     float64
+	capScale  float64
+	collected int
+	costs     []float64
+	costSeen  []bool
+
+	decided   int
+	decisions []float64
+	decSeen   []bool
+	straggler int
+	inDecide  bool // false: collecting costs; true: collecting decisions
+
+	pendingCosts     map[int][]CostReport
+	pendingDecisions map[int][]DecisionReport
+}
+
+// MasterOutput is one message the master must transmit: exactly one of
+// the fields is non-nil. Coordinate is a broadcast to all workers;
+// Assign goes to the worker Assign.To.
+type MasterOutput struct {
+	Coordinate *Coordinate
+	Assign     *StragglerAssign
+}
+
+// NewMaster constructs the master for an N-worker deployment initialized
+// at partition x0. Options follow NewBalancer; a pinned initial alpha is
+// capped at the feasibility rule evaluated at min_i x0_i, which is the
+// invariant that keeps every subsequent round feasible (see Section IV-B
+// of the paper and the discussion in balancer.go).
+func NewMaster(x0 []float64, opts ...Option) (*MasterState, error) {
+	if err := simplex.Check(x0, 0); err != nil {
+		return nil, fmt.Errorf("core: master initial partition: %w", err)
+	}
+	var o balancerOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	n := len(x0)
+	alpha := InitialAlphaScaled(x0, o.capScale)
+	if o.initialAlpha > 0 && o.initialAlpha < alpha {
+		alpha = o.initialAlpha
+	}
+	m := &MasterState{
+		n:                n,
+		round:            1,
+		alpha:            alpha,
+		capScale:         o.capScale,
+		costs:            make([]float64, n),
+		costSeen:         make([]bool, n),
+		decisions:        make([]float64, n),
+		decSeen:          make([]bool, n),
+		pendingCosts:     make(map[int][]CostReport),
+		pendingDecisions: make(map[int][]DecisionReport),
+	}
+	return m, nil
+}
+
+// Round returns the round the master is currently coordinating.
+func (m *MasterState) Round() int { return m.round }
+
+// Alpha returns the current step size alpha_t.
+func (m *MasterState) Alpha() float64 { return m.alpha }
+
+// HandleCost ingests a worker's CostReport. When the report completes the
+// current round's cost collection, the returned outputs contain the
+// Coordinate broadcast (and possibly further outputs unlocked by buffered
+// messages).
+func (m *MasterState) HandleCost(r CostReport) ([]MasterOutput, error) {
+	if r.From < 0 || r.From >= m.n {
+		return nil, fmt.Errorf("core: cost report from unknown worker %d", r.From)
+	}
+	switch {
+	case r.Round < m.round:
+		return nil, fmt.Errorf("core: stale cost report for round %d (master at round %d)", r.Round, m.round)
+	case r.Round > m.round || m.inDecide:
+		m.pendingCosts[r.Round] = append(m.pendingCosts[r.Round], r)
+		return nil, nil
+	}
+	return m.acceptCost(r)
+}
+
+func (m *MasterState) acceptCost(r CostReport) ([]MasterOutput, error) {
+	if m.costSeen[r.From] {
+		return nil, fmt.Errorf("core: duplicate cost report from worker %d in round %d", r.From, m.round)
+	}
+	m.costSeen[r.From] = true
+	m.costs[r.From] = r.Cost
+	m.collected++
+	if m.collected < m.n {
+		return nil, nil
+	}
+	// All costs in: identify straggler (Algorithm 1, lines 9-12).
+	m.straggler = simplex.ArgMax(m.costs)
+	m.inDecide = true
+	m.decided = 0
+	for i := range m.decSeen {
+		m.decSeen[i] = false
+	}
+	out := []MasterOutput{{Coordinate: &Coordinate{
+		Round:      m.round,
+		GlobalCost: m.costs[m.straggler],
+		Alpha:      m.alpha,
+		Straggler:  m.straggler,
+	}}}
+	if m.n == 1 {
+		// Degenerate single-worker deployment: there are no non-straggler
+		// decisions to wait for; the lone worker keeps the whole load.
+		out = append(out, MasterOutput{Assign: &StragglerAssign{
+			Round: m.round,
+			To:    0,
+			Next:  1,
+		}})
+		m.round++
+		m.inDecide = false
+		m.collected = 0
+		m.costSeen[0] = false
+		more, err := m.drainCosts()
+		if err != nil {
+			return nil, err
+		}
+		return append(out, more...), nil
+	}
+	more, err := m.drainDecisions()
+	if err != nil {
+		return nil, err
+	}
+	return append(out, more...), nil
+}
+
+// HandleDecision ingests a non-straggler's DecisionReport. When it
+// completes the round, the outputs contain the StragglerAssign message
+// (and possibly further outputs unlocked by buffered cost reports).
+func (m *MasterState) HandleDecision(r DecisionReport) ([]MasterOutput, error) {
+	if r.From < 0 || r.From >= m.n {
+		return nil, fmt.Errorf("core: decision report from unknown worker %d", r.From)
+	}
+	switch {
+	case r.Round < m.round:
+		return nil, fmt.Errorf("core: stale decision report for round %d (master at round %d)", r.Round, m.round)
+	case r.Round > m.round || !m.inDecide:
+		m.pendingDecisions[r.Round] = append(m.pendingDecisions[r.Round], r)
+		return nil, nil
+	}
+	return m.acceptDecision(r)
+}
+
+func (m *MasterState) acceptDecision(r DecisionReport) ([]MasterOutput, error) {
+	if r.From == m.straggler {
+		return nil, fmt.Errorf("core: straggler %d must not send a decision in round %d", r.From, m.round)
+	}
+	if m.decSeen[r.From] {
+		return nil, fmt.Errorf("core: duplicate decision from worker %d in round %d", r.From, m.round)
+	}
+	m.decSeen[r.From] = true
+	m.decisions[r.From] = r.Next
+	m.decided++
+	if m.decided < m.n-1 {
+		return nil, nil
+	}
+	// All non-straggler decisions in: compute the straggler's remainder
+	// (Algorithm 1, line 14) and shrink the step size (line 16).
+	var taken float64
+	for i := 0; i < m.n; i++ {
+		if i != m.straggler {
+			taken += m.decisions[i]
+		}
+	}
+	xs := 1 - taken
+	if xs < 0 { // floating-point dust; feasibility is guaranteed by the alpha invariant
+		xs = 0
+	}
+	if xs > drainEps { // a fully drained straggler degenerates the cap; see balancer.go
+		if c := AlphaCapScaled(xs, m.n, m.capScale); c < m.alpha {
+			m.alpha = c
+		}
+	}
+	out := []MasterOutput{{Assign: &StragglerAssign{
+		Round: m.round,
+		To:    m.straggler,
+		Next:  xs,
+	}}}
+
+	// Advance to the next round and drain any buffered cost reports.
+	m.round++
+	m.inDecide = false
+	m.collected = 0
+	for i := range m.costSeen {
+		m.costSeen[i] = false
+	}
+	more, err := m.drainCosts()
+	if err != nil {
+		return nil, err
+	}
+	return append(out, more...), nil
+}
+
+func (m *MasterState) drainCosts() ([]MasterOutput, error) {
+	pending := m.pendingCosts[m.round]
+	if len(pending) == 0 {
+		return nil, nil
+	}
+	delete(m.pendingCosts, m.round)
+	var out []MasterOutput
+	for _, r := range pending {
+		o, err := m.acceptCost(r)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, o...)
+		if m.inDecide {
+			// Remaining buffered costs (if any) belong to a later point in
+			// the protocol and stay buffered; acceptCost already switched
+			// phases, so re-route leftovers.
+			continue
+		}
+	}
+	return out, nil
+}
+
+func (m *MasterState) drainDecisions() ([]MasterOutput, error) {
+	pending := m.pendingDecisions[m.round]
+	if len(pending) == 0 {
+		return nil, nil
+	}
+	delete(m.pendingDecisions, m.round)
+	var out []MasterOutput
+	for _, r := range pending {
+		o, err := m.acceptDecision(r)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, o...)
+	}
+	return out, nil
+}

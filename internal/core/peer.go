@@ -1,0 +1,331 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"dolbie/internal/costfn"
+	"dolbie/internal/simplex"
+)
+
+// peerPhase tracks where a PeerState is within its round.
+type peerPhase int
+
+const (
+	peerPlay     peerPhase = iota // must call Observe next
+	peerShares                    // collecting PeerShares from all peers
+	peerDecision                  // straggler collecting PeerDecisions
+)
+
+// PeerState is one worker of Algorithm 2 (DOLBIE, fully-distributed
+// version) as a pure state machine. There is no master: every round, each
+// peer broadcasts its local cost and local step size, independently
+// identifies the straggler and the consensus step size
+// alpha_t = min_j alpha-bar_{j,t}, and non-stragglers send their updated
+// decisions only to the straggler, which computes its own remainder and
+// shrinks its local step size (rule (8)).
+//
+// The per-round call sequence is:
+//
+//  1. Play returns x_{i,t}.
+//  2. Observe records the realized cost and revealed cost function and
+//     returns outputs beginning with the PeerShare to broadcast.
+//  3. HandleShare / HandleDecision consume incoming messages and return
+//     any outputs they unlock (a PeerDecision to forward, and/or round
+//     completion).
+//
+// Messages arriving for future rounds, or decisions arriving before the
+// share collection finishes, are buffered. Not safe for concurrent use.
+type PeerState struct {
+	id    int
+	n     int
+	x     float64
+	round int
+	phase peerPhase
+
+	localAlpha float64
+	cost       float64
+	f          costfn.Func
+
+	costs      []float64
+	alphas     []float64
+	shareSeen  []bool
+	shareCount int
+
+	straggler int
+	decSum    float64
+	decSeen   []bool
+	decCount  int
+
+	pendingShares    map[int][]PeerShare
+	pendingDecisions map[int][]PeerDecision
+
+	bisectTol float64
+	capScale  float64
+}
+
+// PeerOutput is one action the peer must take. Exactly one of the fields
+// is meaningful: Share is broadcast to all other peers, Decision is sent
+// to Decision.To, and Done reports that the round completed locally (the
+// new workload is available via X).
+type PeerOutput struct {
+	Share    *PeerShare
+	Decision *PeerDecision
+	Done     bool
+}
+
+// NewPeer constructs peer id of an n-peer deployment from the full initial
+// partition x0 (every peer is configured with the same x0, from which it
+// takes its own coordinate and the common initial local step size).
+func NewPeer(id int, x0 []float64, opts ...Option) (*PeerState, error) {
+	if err := simplex.Check(x0, 0); err != nil {
+		return nil, fmt.Errorf("core: peer initial partition: %w", err)
+	}
+	n := len(x0)
+	if id < 0 || id >= n {
+		return nil, fmt.Errorf("core: peer id %d out of range [0, %d)", id, n)
+	}
+	var o balancerOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	alpha := InitialAlphaScaled(x0, o.capScale)
+	if o.initialAlpha > 0 && o.initialAlpha < alpha {
+		alpha = o.initialAlpha
+	}
+	return &PeerState{
+		id:               id,
+		n:                n,
+		x:                x0[id],
+		round:            1,
+		localAlpha:       alpha,
+		costs:            make([]float64, n),
+		alphas:           make([]float64, n),
+		shareSeen:        make([]bool, n),
+		decSeen:          make([]bool, n),
+		pendingShares:    make(map[int][]PeerShare),
+		pendingDecisions: make(map[int][]PeerDecision),
+		bisectTol:        o.bisectTol,
+		capScale:         o.capScale,
+	}, nil
+}
+
+// ID returns the peer's index in the worker list.
+func (p *PeerState) ID() int { return p.id }
+
+// X returns the peer's current workload fraction.
+func (p *PeerState) X() float64 { return p.x }
+
+// Round returns the round the peer is currently executing.
+func (p *PeerState) Round() int { return p.round }
+
+// LocalAlpha returns the peer's local step size alpha-bar_{i,t}.
+func (p *PeerState) LocalAlpha() float64 { return p.localAlpha }
+
+// Play returns the workload fraction to execute this round (Algorithm 2,
+// line 1).
+func (p *PeerState) Play() float64 { return p.x }
+
+// Observe records the realized local cost and revealed cost function
+// (Algorithm 2, lines 2-3). The first output carries the PeerShare to
+// broadcast (line 4); buffered shares may complete the round immediately,
+// in which case further outputs follow.
+func (p *PeerState) Observe(cost float64, f costfn.Func) ([]PeerOutput, error) {
+	if p.phase != peerPlay {
+		return nil, fmt.Errorf("core: peer %d: Observe called out of order in round %d", p.id, p.round)
+	}
+	if f == nil {
+		return nil, fmt.Errorf("core: peer %d: nil cost function", p.id)
+	}
+	p.cost = cost
+	p.f = f
+	p.phase = peerShares
+	p.shareCount = 0
+	for i := range p.shareSeen {
+		p.shareSeen[i] = false
+	}
+	out := []PeerOutput{{Share: &PeerShare{
+		Round:      p.round,
+		From:       p.id,
+		Cost:       cost,
+		LocalAlpha: p.localAlpha,
+	}}}
+	// Record our own share, then drain anything that arrived early.
+	more, err := p.acceptShare(PeerShare{Round: p.round, From: p.id, Cost: cost, LocalAlpha: p.localAlpha})
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, more...)
+	drained, err := p.drainShares()
+	if err != nil {
+		return nil, err
+	}
+	return append(out, drained...), nil
+}
+
+// HandleShare ingests another peer's broadcast (Algorithm 2, line 4).
+func (p *PeerState) HandleShare(s PeerShare) ([]PeerOutput, error) {
+	if s.From < 0 || s.From >= p.n {
+		return nil, fmt.Errorf("core: peer %d: share from unknown peer %d", p.id, s.From)
+	}
+	switch {
+	case s.Round < p.round:
+		return nil, fmt.Errorf("core: peer %d: stale share for round %d (at round %d)", p.id, s.Round, p.round)
+	case s.Round > p.round || p.phase == peerPlay:
+		p.pendingShares[s.Round] = append(p.pendingShares[s.Round], s)
+		return nil, nil
+	case p.phase == peerDecision:
+		return nil, fmt.Errorf("core: peer %d: share from %d after consensus in round %d", p.id, s.From, p.round)
+	}
+	return p.acceptShare(s)
+}
+
+func (p *PeerState) acceptShare(s PeerShare) ([]PeerOutput, error) {
+	if p.shareSeen[s.From] {
+		return nil, fmt.Errorf("core: peer %d: duplicate share from %d in round %d", p.id, s.From, p.round)
+	}
+	p.shareSeen[s.From] = true
+	p.costs[s.From] = s.Cost
+	p.alphas[s.From] = s.LocalAlpha
+	p.shareCount++
+	if p.shareCount < p.n {
+		return nil, nil
+	}
+	// All shares in: every peer independently reaches the same global
+	// cost, straggler, and consensus step size (Algorithm 2, lines 5-7).
+	p.straggler = simplex.ArgMax(p.costs)
+	alpha := math.Inf(1)
+	for _, a := range p.alphas {
+		if a < alpha {
+			alpha = a
+		}
+	}
+	l := p.costs[p.straggler]
+
+	if p.id != p.straggler {
+		// Risk-averse assistance (Algorithm 2, lines 8-10).
+		xp, _, err := costfn.Inverse(p.f, l, 0, 1, p.bisectTol)
+		if err != nil {
+			return nil, fmt.Errorf("core: peer %d: inverse: %w", p.id, err)
+		}
+		if xp < p.x {
+			xp = p.x
+		}
+		p.x += alpha * (xp - p.x)
+		dec := &PeerDecision{Round: p.round, From: p.id, To: p.straggler, Next: p.x}
+		out := []PeerOutput{{Decision: dec}, {Done: true}}
+		return p.finishRound(out)
+	}
+	if p.n == 1 {
+		// Degenerate single-peer deployment: keep the whole load.
+		p.x = 1
+		return p.finishRound([]PeerOutput{{Done: true}})
+	}
+	// Straggler: collect the other peers' decisions (Algorithm 2, line 11).
+	p.phase = peerDecision
+	p.decSum = 0
+	p.decCount = 0
+	for i := range p.decSeen {
+		p.decSeen[i] = false
+	}
+	return p.drainDecisions()
+}
+
+// HandleDecision ingests a non-straggler's decision sent to this peer as
+// the round's straggler (Algorithm 2, lines 11-13).
+func (p *PeerState) HandleDecision(d PeerDecision) ([]PeerOutput, error) {
+	if d.From < 0 || d.From >= p.n {
+		return nil, fmt.Errorf("core: peer %d: decision from unknown peer %d", p.id, d.From)
+	}
+	if d.To != p.id {
+		return nil, fmt.Errorf("core: peer %d: decision addressed to %d", p.id, d.To)
+	}
+	switch {
+	case d.Round < p.round:
+		return nil, fmt.Errorf("core: peer %d: stale decision for round %d (at round %d)", p.id, d.Round, p.round)
+	case d.Round > p.round || p.phase != peerDecision:
+		p.pendingDecisions[d.Round] = append(p.pendingDecisions[d.Round], d)
+		return nil, nil
+	}
+	return p.acceptDecision(d)
+}
+
+func (p *PeerState) acceptDecision(d PeerDecision) ([]PeerOutput, error) {
+	if d.From == p.id {
+		return nil, fmt.Errorf("core: peer %d: decision from self", p.id)
+	}
+	if p.decSeen[d.From] {
+		return nil, fmt.Errorf("core: peer %d: duplicate decision from %d in round %d", p.id, d.From, p.round)
+	}
+	p.decSeen[d.From] = true
+	p.decSum += d.Next
+	p.decCount++
+	if p.decCount < p.n-1 {
+		return nil, nil
+	}
+	// Remainder workload (line 12) and local step-size shrink (line 13).
+	xs := 1 - p.decSum
+	if xs < 0 {
+		xs = 0
+	}
+	p.x = xs
+	if xs > drainEps { // a fully drained straggler degenerates the cap; see balancer.go
+		if c := AlphaCapScaled(xs, p.n, p.capScale); c < p.localAlpha {
+			p.localAlpha = c
+		}
+	}
+	return p.finishRound([]PeerOutput{{Done: true}})
+}
+
+// finishRound advances to the next round and drains buffered shares that
+// arrived while this round was still in flight.
+func (p *PeerState) finishRound(out []PeerOutput) ([]PeerOutput, error) {
+	p.round++
+	p.phase = peerPlay
+	delete(p.pendingDecisions, p.round-1)
+	return out, nil
+}
+
+func (p *PeerState) drainShares() ([]PeerOutput, error) {
+	pending := p.pendingShares[p.round]
+	if len(pending) == 0 {
+		return nil, nil
+	}
+	delete(p.pendingShares, p.round)
+	var out []PeerOutput
+	for i, s := range pending {
+		if p.phase != peerShares || s.Round != p.round {
+			// The round completed mid-drain (possible only if the final
+			// share unlocked completion); requeue the remainder.
+			p.pendingShares[s.Round] = append(p.pendingShares[s.Round], pending[i:]...)
+			break
+		}
+		o, err := p.acceptShare(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, o...)
+	}
+	return out, nil
+}
+
+func (p *PeerState) drainDecisions() ([]PeerOutput, error) {
+	pending := p.pendingDecisions[p.round]
+	if len(pending) == 0 {
+		return nil, nil
+	}
+	delete(p.pendingDecisions, p.round)
+	var out []PeerOutput
+	for i, d := range pending {
+		if p.phase != peerDecision || d.Round != p.round {
+			p.pendingDecisions[d.Round] = append(p.pendingDecisions[d.Round], pending[i:]...)
+			break
+		}
+		o, err := p.acceptDecision(d)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, o...)
+	}
+	return out, nil
+}

@@ -1,0 +1,69 @@
+package core
+
+// This file defines the wire-level messages of DOLBIE's two distributed
+// architectures. All payloads are scalar values (costs, step sizes,
+// decisions) plus routing metadata, matching the paper's communication
+// model: workers never share their local cost functions, only cost values
+// and workload decisions (Section IV-B, "Privacy protection").
+//
+// Every message carries the 1-based online round it belongs to. Real
+// transports (internal/cluster) deliver messages with arbitrary
+// interleaving across senders, so the state machines buffer messages that
+// arrive for a round they have not reached yet.
+
+// CostReport is sent by a worker to the master after observing its local
+// cost l_{i,t} (Algorithm 1, line 4).
+type CostReport struct {
+	Round int     `json:"round"`
+	From  int     `json:"from"`
+	Cost  float64 `json:"cost"`
+}
+
+// Coordinate is broadcast by the master to all workers once every local
+// cost has been collected (Algorithm 1, line 12). It carries the global
+// cost l_t, the step size alpha_t, and the straggler identity (the
+// paper's indicator 1_{i != s_t}, sent here as the index so a single
+// broadcast payload serves all workers).
+type Coordinate struct {
+	Round      int     `json:"round"`
+	GlobalCost float64 `json:"globalCost"`
+	Alpha      float64 `json:"alpha"`
+	Straggler  int     `json:"straggler"`
+}
+
+// DecisionReport is sent by each non-straggling worker to the master with
+// its updated decision x_{i,t+1} (Algorithm 1, line 7).
+type DecisionReport struct {
+	Round int     `json:"round"`
+	From  int     `json:"from"`
+	Next  float64 `json:"next"`
+}
+
+// StragglerAssign is sent by the master to the straggler with its updated
+// decision x_{s_t,t+1} = 1 - sum_{i != s_t} x_{i,t+1} (Algorithm 1,
+// lines 14-15).
+type StragglerAssign struct {
+	Round int     `json:"round"`
+	To    int     `json:"to"`
+	Next  float64 `json:"next"`
+}
+
+// PeerShare is broadcast by every worker in the fully-distributed
+// architecture after observing its local cost: the cost value l_{i,t} and
+// the local step size alpha-bar_{i,t} (Algorithm 2, line 4).
+type PeerShare struct {
+	Round      int     `json:"round"`
+	From       int     `json:"from"`
+	Cost       float64 `json:"cost"`
+	LocalAlpha float64 `json:"localAlpha"`
+}
+
+// PeerDecision is sent by each non-straggling worker directly (and only)
+// to the round's straggler with its updated decision x_{i,t+1}
+// (Algorithm 2, line 9).
+type PeerDecision struct {
+	Round int     `json:"round"`
+	From  int     `json:"from"`
+	To    int     `json:"to"`
+	Next  float64 `json:"next"`
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"fmt"
+
+	"dolbie/internal/costfn"
+)
+
+// workerPhase tracks where a WorkerState is within its round.
+type workerPhase int
+
+const (
+	phasePlay       workerPhase = iota // must call Observe next
+	phaseCoordinate                    // waiting for the master's Coordinate
+	phaseAssign                        // straggler waiting for StragglerAssign
+)
+
+// WorkerState is a worker's half of Algorithm 1 (DOLBIE, master-worker
+// version) as a pure state machine. The per-round call sequence is:
+//
+//  1. Play returns the workload fraction x_{i,t} to execute.
+//  2. Observe records the realized cost and the revealed local cost
+//     function; it returns the CostReport to send to the master.
+//  3. HandleCoordinate consumes the master's broadcast. A non-straggler
+//     computes its risk-averse update and returns the DecisionReport to
+//     send back; the straggler returns nil and waits for HandleAssign.
+//  4. (Straggler only) HandleAssign installs the remainder workload.
+//
+// It is not safe for concurrent use; a worker node owns exactly one.
+type WorkerState struct {
+	id    int
+	n     int
+	x     float64
+	round int
+	phase workerPhase
+
+	cost float64
+	f    costfn.Func
+
+	bisectTol float64
+}
+
+// NewWorker constructs worker id of an n-worker deployment with initial
+// workload fraction x0 (its own coordinate of the initial partition).
+func NewWorker(id, n int, x0 float64, opts ...Option) (*WorkerState, error) {
+	if id < 0 || id >= n {
+		return nil, fmt.Errorf("core: worker id %d out of range [0, %d)", id, n)
+	}
+	if x0 < 0 || x0 > 1 {
+		return nil, fmt.Errorf("core: worker initial workload %v out of [0, 1]", x0)
+	}
+	var o balancerOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return &WorkerState{id: id, n: n, x: x0, round: 1, bisectTol: o.bisectTol}, nil
+}
+
+// ID returns the worker's index in the worker list.
+func (w *WorkerState) ID() int { return w.id }
+
+// X returns the worker's current workload fraction.
+func (w *WorkerState) X() float64 { return w.x }
+
+// Round returns the round the worker is currently executing.
+func (w *WorkerState) Round() int { return w.round }
+
+// Play returns the workload fraction to execute this round (Algorithm 1,
+// line 1).
+func (w *WorkerState) Play() float64 { return w.x }
+
+// Observe records the realized local cost l_{i,t} and the revealed local
+// cost function f_{i,t} (Algorithm 1, lines 2-3), returning the
+// CostReport for the master (line 4).
+func (w *WorkerState) Observe(cost float64, f costfn.Func) (CostReport, error) {
+	if w.phase != phasePlay {
+		return CostReport{}, fmt.Errorf("core: worker %d: Observe called out of order in round %d", w.id, w.round)
+	}
+	if f == nil {
+		return CostReport{}, fmt.Errorf("core: worker %d: nil cost function", w.id)
+	}
+	w.cost = cost
+	w.f = f
+	w.phase = phaseCoordinate
+	return CostReport{Round: w.round, From: w.id, Cost: cost}, nil
+}
+
+// HandleCoordinate consumes the master's Coordinate broadcast (Algorithm
+// 1, line 5). Non-stragglers perform the risk-averse update (line 6) and
+// return their DecisionReport (line 7); the straggler returns nil and
+// awaits HandleAssign (line 8).
+func (w *WorkerState) HandleCoordinate(c Coordinate) (*DecisionReport, error) {
+	if w.phase != phaseCoordinate {
+		return nil, fmt.Errorf("core: worker %d: unexpected Coordinate in round %d", w.id, w.round)
+	}
+	if c.Round != w.round {
+		return nil, fmt.Errorf("core: worker %d: Coordinate for round %d, expected %d", w.id, c.Round, w.round)
+	}
+	if c.Straggler == w.id {
+		w.phase = phaseAssign
+		return nil, nil
+	}
+	// Maximum acceptable workload x'_{i,t} (eq. (4)) from the worker's own
+	// revealed cost function and the global cost.
+	xp, _, err := costfn.Inverse(w.f, c.GlobalCost, 0, 1, w.bisectTol)
+	if err != nil {
+		return nil, fmt.Errorf("core: worker %d: inverse: %w", w.id, err)
+	}
+	if xp < w.x {
+		xp = w.x // f(x) <= l_t guarantees x' >= x; guard bisection tolerance
+	}
+	w.x += c.Alpha * (xp - w.x)
+	rep := &DecisionReport{Round: w.round, From: w.id, Next: w.x}
+	w.round++
+	w.phase = phasePlay
+	return rep, nil
+}
+
+// HandleAssign installs the straggler's remainder workload (Algorithm 1,
+// line 8) and completes the round.
+func (w *WorkerState) HandleAssign(a StragglerAssign) error {
+	if w.phase != phaseAssign {
+		return fmt.Errorf("core: worker %d: unexpected StragglerAssign in round %d", w.id, w.round)
+	}
+	if a.Round != w.round {
+		return fmt.Errorf("core: worker %d: StragglerAssign for round %d, expected %d", w.id, a.Round, w.round)
+	}
+	if a.To != w.id {
+		return fmt.Errorf("core: worker %d: StragglerAssign addressed to %d", w.id, a.To)
+	}
+	if a.Next < 0 || a.Next > 1 {
+		return fmt.Errorf("core: worker %d: assigned workload %v out of [0, 1]", w.id, a.Next)
+	}
+	w.x = a.Next
+	w.round++
+	w.phase = phasePlay
+	return nil
+}

@@ -1,0 +1,49 @@
+package costfn
+
+import "testing"
+
+// BenchmarkInverseClosedForm measures the affine fast path of the
+// monotone inverse — the dominant operation in every DOLBIE round.
+func BenchmarkInverseClosedForm(b *testing.B) {
+	f := Affine{Slope: 3, Intercept: 0.2}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Inverse(f, 1.7, 0, 1, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInverseBisection measures the generic bisection path at the
+// default tolerance (about 40 evaluations per call).
+func BenchmarkInverseBisection(b *testing.B) {
+	f := funcOnly{Affine{Slope: 3, Intercept: 0.2}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Inverse(f, 1.7, 0, 1, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPiecewiseLinearEval(b *testing.B) {
+	pl, err := NewPiecewiseLinear(
+		[]float64{0, 0.2, 0.4, 0.6, 0.8, 1},
+		[]float64{0, 0.5, 0.9, 1.6, 2.8, 4},
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pl.Eval(float64(i%100) / 100)
+	}
+}
+
+func BenchmarkLipschitz(b *testing.B) {
+	f := Power{Coeff: 2, Exponent: 1.5, Intercept: 0.1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Lipschitz(f, 0, 1, 64)
+	}
+}

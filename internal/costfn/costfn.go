@@ -1,0 +1,289 @@
+// Package costfn provides the local cost-function substrate for online
+// min-max load balancing.
+//
+// A local cost function f_{i,t} maps a workload fraction x in [0, 1] to a
+// non-negative cost (for example, the per-round training latency of worker
+// i). Following the paper's model, every cost function in this package is
+// increasing in x, but not necessarily strictly increasing, convex, or
+// differentiable. The DOLBIE algorithm never differentiates these
+// functions; it only evaluates them and computes monotone inverses of the
+// form max{x : f(x) <= l} via bisection.
+package costfn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Func is an increasing local cost function on the workload fraction.
+//
+// Implementations must be non-decreasing on [0, 1]. Eval must be safe for
+// concurrent use; all implementations in this package are immutable values.
+type Func interface {
+	// Eval returns the cost of carrying workload fraction x.
+	Eval(x float64) float64
+}
+
+// Inverter is an optional fast path for cost functions with a closed-form
+// monotone inverse. MaxWorkload returns max{x in [lo, hi] : f(x) <= l},
+// and reports ok=false when f(lo) > l (no feasible workload).
+type Inverter interface {
+	MaxWorkload(l, lo, hi float64) (x float64, ok bool)
+}
+
+// DefaultTol is the default absolute bisection tolerance used by Inverse.
+const DefaultTol = 1e-12
+
+// ErrInvalidInterval is returned by Inverse when lo > hi or an endpoint is
+// not finite.
+var ErrInvalidInterval = errors.New("costfn: invalid search interval")
+
+// Inverse computes max{x in [lo, hi] : f(x) <= l} to absolute tolerance
+// tol (values <= 0 fall back to DefaultTol).
+//
+// The returned ok is false when even f(lo) > l, in which case x = lo. When
+// f is flat at level l over a region, the supremum of the region is
+// returned (up to tol), matching the paper's definition of the maximum
+// acceptable workload x~_{i,t}.
+func Inverse(f Func, l, lo, hi, tol float64) (x float64, ok bool, err error) {
+	if math.IsNaN(lo) || math.IsNaN(hi) || math.IsInf(lo, 0) || math.IsInf(hi, 0) || lo > hi {
+		return 0, false, fmt.Errorf("%w: [%v, %v]", ErrInvalidInterval, lo, hi)
+	}
+	if tol <= 0 {
+		tol = DefaultTol
+	}
+	if inv, isInv := f.(Inverter); isInv {
+		x, ok = inv.MaxWorkload(l, lo, hi)
+		return x, ok, nil
+	}
+	if f.Eval(lo) > l {
+		return lo, false, nil
+	}
+	if f.Eval(hi) <= l {
+		return hi, true, nil
+	}
+	// Invariant: f(a) <= l < f(b).
+	a, b := lo, hi
+	for b-a > tol {
+		m := a + (b-a)/2
+		if m <= a || m >= b { // no representable midpoint left
+			break
+		}
+		if f.Eval(m) <= l {
+			a = m
+		} else {
+			b = m
+		}
+	}
+	return a, true, nil
+}
+
+// Affine is the latency model of the paper's Example 1:
+//
+//	f(x) = Slope*x + Intercept
+//
+// with Slope = B/gamma (batch processing time per unit workload) and
+// Intercept = d/phi (communication time). Slope must be >= 0 so that the
+// function is non-decreasing.
+type Affine struct {
+	Slope     float64
+	Intercept float64
+}
+
+var _ Func = Affine{}
+var _ Inverter = Affine{}
+
+// Eval returns Slope*x + Intercept.
+func (a Affine) Eval(x float64) float64 { return a.Slope*x + a.Intercept }
+
+// MaxWorkload returns the closed-form monotone inverse of the affine cost.
+func (a Affine) MaxWorkload(l, lo, hi float64) (float64, bool) {
+	if a.Eval(lo) > l {
+		return lo, false
+	}
+	if a.Slope == 0 {
+		return hi, true
+	}
+	x := (l - a.Intercept) / a.Slope
+	if x > hi {
+		x = hi
+	}
+	if x < lo {
+		x = lo
+	}
+	return x, true
+}
+
+// Power is a non-linear increasing cost: f(x) = Coeff*x^Exponent + Intercept
+// with Coeff >= 0 and Exponent > 0. It models super- or sub-linear
+// processing costs (memory pressure, batching efficiency).
+type Power struct {
+	Coeff     float64
+	Exponent  float64
+	Intercept float64
+}
+
+var _ Func = Power{}
+var _ Inverter = Power{}
+
+// Eval returns Coeff*x^Exponent + Intercept.
+func (p Power) Eval(x float64) float64 {
+	if x < 0 {
+		x = 0
+	}
+	return p.Coeff*math.Pow(x, p.Exponent) + p.Intercept
+}
+
+// MaxWorkload returns the closed-form monotone inverse of the power cost.
+func (p Power) MaxWorkload(l, lo, hi float64) (float64, bool) {
+	if p.Eval(lo) > l {
+		return lo, false
+	}
+	if p.Coeff == 0 || p.Exponent == 0 {
+		return hi, true
+	}
+	r := (l - p.Intercept) / p.Coeff
+	if r < 0 {
+		return lo, false
+	}
+	x := math.Pow(r, 1/p.Exponent)
+	if x > hi {
+		x = hi
+	}
+	if x < lo {
+		x = lo
+	}
+	return x, true
+}
+
+// PiecewiseLinear is an increasing piecewise-linear cost defined by knot
+// points (Xs[k], Ys[k]). Xs must be strictly increasing and Ys
+// non-decreasing. Outside [Xs[0], Xs[last]] the function extends with the
+// slope of the first/last segment.
+type PiecewiseLinear struct {
+	Xs []float64
+	Ys []float64
+}
+
+var _ Func = PiecewiseLinear{}
+
+// NewPiecewiseLinear validates the knots and returns the cost function.
+func NewPiecewiseLinear(xs, ys []float64) (PiecewiseLinear, error) {
+	if len(xs) != len(ys) {
+		return PiecewiseLinear{}, fmt.Errorf("costfn: knot length mismatch: %d xs vs %d ys", len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return PiecewiseLinear{}, errors.New("costfn: need at least two knots")
+	}
+	for k := 1; k < len(xs); k++ {
+		if xs[k] <= xs[k-1] {
+			return PiecewiseLinear{}, fmt.Errorf("costfn: xs must be strictly increasing at knot %d", k)
+		}
+		if ys[k] < ys[k-1] {
+			return PiecewiseLinear{}, fmt.Errorf("costfn: ys must be non-decreasing at knot %d", k)
+		}
+	}
+	return PiecewiseLinear{Xs: append([]float64(nil), xs...), Ys: append([]float64(nil), ys...)}, nil
+}
+
+// Eval interpolates linearly between knots.
+func (p PiecewiseLinear) Eval(x float64) float64 {
+	n := len(p.Xs)
+	if n == 0 {
+		return 0
+	}
+	if n == 1 {
+		return p.Ys[0]
+	}
+	if x <= p.Xs[0] {
+		return p.Ys[0] + (x-p.Xs[0])*p.slope(0)
+	}
+	if x >= p.Xs[n-1] {
+		return p.Ys[n-1] + (x-p.Xs[n-1])*p.slope(n-2)
+	}
+	k := sort.SearchFloat64s(p.Xs, x)
+	// p.Xs[k-1] < x <= p.Xs[k]
+	return p.Ys[k-1] + (x-p.Xs[k-1])*p.slope(k-1)
+}
+
+func (p PiecewiseLinear) slope(seg int) float64 {
+	dx := p.Xs[seg+1] - p.Xs[seg]
+	if dx == 0 {
+		return 0
+	}
+	return (p.Ys[seg+1] - p.Ys[seg]) / dx
+}
+
+// Quantized wraps an inner cost and evaluates it on x rounded up to a
+// multiple of 1/Units. It models workloads that are dispatched in discrete
+// units (for example, whole data samples out of a global batch of Units
+// samples). The result is a non-decreasing step function, exercising the
+// non-strictly-increasing case of the paper.
+type Quantized struct {
+	Inner Func
+	Units int
+}
+
+var _ Func = Quantized{}
+
+// Eval evaluates the inner function at ceil(x*Units)/Units.
+func (q Quantized) Eval(x float64) float64 {
+	if q.Units <= 0 {
+		return q.Inner.Eval(x)
+	}
+	u := math.Ceil(x*float64(q.Units)-1e-9) / float64(q.Units)
+	if u < 0 {
+		u = 0
+	}
+	return q.Inner.Eval(u)
+}
+
+// Sum is the pointwise sum of increasing cost functions, itself increasing.
+type Sum []Func
+
+var _ Func = Sum{}
+
+// Eval returns the sum of the component costs at x.
+func (s Sum) Eval(x float64) float64 {
+	var total float64
+	for _, f := range s {
+		total += f.Eval(x)
+	}
+	return total
+}
+
+// Scaled multiplies an inner cost by a non-negative factor.
+type Scaled struct {
+	Inner  Func
+	Factor float64
+}
+
+var _ Func = Scaled{}
+
+// Eval returns Factor * Inner(x).
+func (s Scaled) Eval(x float64) float64 { return s.Factor * s.Inner.Eval(x) }
+
+// Lipschitz estimates a Lipschitz constant of f on [lo, hi] by sampling n+1
+// equally spaced points and taking the maximum secant slope. For the affine
+// and piecewise-linear families used in the paper this recovers the exact
+// constant as n grows.
+func Lipschitz(f Func, lo, hi float64, n int) float64 {
+	if n < 1 || hi <= lo {
+		return 0
+	}
+	step := (hi - lo) / float64(n)
+	maxSlope := 0.0
+	prev := f.Eval(lo)
+	for k := 1; k <= n; k++ {
+		x := lo + float64(k)*step
+		cur := f.Eval(x)
+		slope := math.Abs(cur-prev) / step
+		if slope > maxSlope {
+			maxSlope = slope
+		}
+		prev = cur
+	}
+	return maxSlope
+}

@@ -1,0 +1,47 @@
+package costfn
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzInverse checks the monotone-inverse contract on arbitrary affine
+// costs and levels: the result must be feasible (f(x) <= l when ok) and
+// within the search interval.
+func FuzzInverse(f *testing.F) {
+	f.Add(2.0, 1.0, 2.5)
+	f.Add(0.0, 0.0, 0.0)
+	f.Add(1e6, 1e-6, 3.0)
+	f.Fuzz(func(t *testing.T, slope, intercept, level float64) {
+		if math.IsNaN(slope) || math.IsInf(slope, 0) || slope < 0 ||
+			math.IsNaN(intercept) || math.IsInf(intercept, 0) ||
+			math.IsNaN(level) || math.IsInf(level, 0) {
+			t.Skip()
+		}
+		fn := Affine{Slope: slope, Intercept: intercept}
+		x, ok, err := Inverse(fn, level, 0, 1, 0)
+		if err != nil {
+			t.Fatalf("Inverse: %v", err)
+		}
+		if x < 0 || x > 1 {
+			t.Fatalf("x = %v outside [0, 1]", x)
+		}
+		if ok && fn.Eval(x) > level+1e-9*math.Max(1, math.Abs(level)) {
+			t.Fatalf("f(%v) = %v exceeds level %v", x, fn.Eval(x), level)
+		}
+		if !ok && fn.Eval(0) <= level {
+			t.Fatalf("reported infeasible but f(0) = %v <= %v", fn.Eval(0), level)
+		}
+		// The generic bisection must agree with the closed form.
+		xb, okb, err := Inverse(funcOnly{fn}, level, 0, 1, 1e-12)
+		if err != nil {
+			t.Fatalf("bisection: %v", err)
+		}
+		if ok != okb {
+			t.Fatalf("fast path ok=%v, bisection ok=%v", ok, okb)
+		}
+		if ok && math.Abs(x-xb) > 1e-6 {
+			t.Fatalf("fast path x=%v vs bisection %v", x, xb)
+		}
+	})
+}

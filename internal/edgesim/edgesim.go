@@ -1,0 +1,274 @@
+// Package edgesim simulates the paper's Example 2 (Section III-B): task
+// offloading in edge computing. A user device holds a divisible bundle of
+// computation tasks each round; a fraction lambda_0 is executed locally
+// and fractions lambda_1..lambda_N are offloaded to N heterogeneous edge
+// servers. The local cost is the local execution time; an offloading cost
+// is the wireless transmission time plus the remote execution time. The
+// round completion time is the maximum across the N+1 options, making
+// this a second online min-max load balancing instance with decision
+// dimension N+1.
+//
+// All rates fluctuate per round via seeded AR(1) processes, standing in
+// for the unpredictable wireless channel and server load the paper
+// motivates.
+package edgesim
+
+import (
+	"errors"
+	"fmt"
+
+	"dolbie/internal/core"
+	"dolbie/internal/costfn"
+	"dolbie/internal/simplex"
+	"dolbie/internal/trace"
+)
+
+// Config parameterizes an edge-offloading scenario.
+type Config struct {
+	// Servers is the number of edge servers N; the decision vector has
+	// N+1 entries, index 0 being local execution.
+	Servers int
+	// TaskCycles is the total CPU demand of one round's task bundle.
+	TaskCycles float64
+	// TaskBytes is the total payload uploaded when the whole bundle is
+	// offloaded.
+	TaskBytes float64
+	// LocalRate is the user device's mean processing rate (cycles/s).
+	LocalRate float64
+	// ServerRates are the edge servers' mean processing rates (cycles/s);
+	// length must equal Servers.
+	ServerRates []float64
+	// LinkRates are the mean uplink rates to each server (bytes/s);
+	// length must equal Servers.
+	LinkRates []float64
+	// AccessDelay is a fixed per-server access latency (s) added to every
+	// offloading cost.
+	AccessDelay float64
+	// HandoverEnter/HandoverExit/HandoverFactor model user mobility as a
+	// shared two-state regime: while the user sits at a cell edge, every
+	// uplink rate is multiplied by HandoverFactor simultaneously. Zero
+	// values disable mobility (DefaultConfig enables a mild setting).
+	HandoverEnter, HandoverExit, HandoverFactor float64
+	// Seed drives all fluctuation processes.
+	Seed int64
+}
+
+// DefaultConfig returns a plausible small-cell scenario: a 1.2 GHz-class
+// handset, heterogeneous multi-GHz edge servers, and tens-of-Mbps
+// wireless uplinks.
+func DefaultConfig(servers int, seed int64) Config {
+	cfg := Config{
+		Servers:        servers,
+		TaskCycles:     6e9,
+		TaskBytes:      24e6,
+		LocalRate:      1.2e9,
+		AccessDelay:    0.01,
+		HandoverEnter:  0.03,
+		HandoverExit:   0.25,
+		HandoverFactor: 0.45,
+		Seed:           seed,
+	}
+	cfg.ServerRates = make([]float64, servers)
+	cfg.LinkRates = make([]float64, servers)
+	for i := 0; i < servers; i++ {
+		// Alternate fast/slow servers and links for persistent heterogeneity.
+		cfg.ServerRates[i] = []float64{8e9, 3e9, 12e9, 5e9}[i%4]
+		cfg.LinkRates[i] = []float64{2.5e7, 1.0e7, 1.8e7, 0.6e7}[i%4]
+	}
+	return cfg
+}
+
+// Cluster is a sequential discrete-event model of the offloading system.
+type Cluster struct {
+	cfg       Config
+	localProc trace.Process
+	procs     []trace.Process
+	links     []trace.Process
+	handover  trace.Process
+	round     int
+}
+
+// New validates the configuration and builds the fluctuation processes.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Servers <= 0 {
+		return nil, errors.New("edgesim: Servers must be positive")
+	}
+	if cfg.TaskCycles <= 0 || cfg.TaskBytes <= 0 {
+		return nil, errors.New("edgesim: task demands must be positive")
+	}
+	if cfg.LocalRate <= 0 {
+		return nil, errors.New("edgesim: LocalRate must be positive")
+	}
+	if len(cfg.ServerRates) != cfg.Servers || len(cfg.LinkRates) != cfg.Servers {
+		return nil, fmt.Errorf("edgesim: need %d server and link rates, got %d and %d",
+			cfg.Servers, len(cfg.ServerRates), len(cfg.LinkRates))
+	}
+	for i := 0; i < cfg.Servers; i++ {
+		if cfg.ServerRates[i] <= 0 || cfg.LinkRates[i] <= 0 {
+			return nil, fmt.Errorf("edgesim: rates for server %d must be positive", i)
+		}
+	}
+	c := &Cluster{cfg: cfg, procs: make([]trace.Process, cfg.Servers), links: make([]trace.Process, cfg.Servers)}
+	mk := func(phi, sigma float64, seed int64) (trace.Process, error) {
+		p, err := trace.NewAR1(1, phi, sigma, seed)
+		if err != nil {
+			return nil, err
+		}
+		return &trace.Clamp{Inner: p, Min: 0.15, Max: 2.5}, nil
+	}
+	var err error
+	if c.localProc, err = mk(0.8, 0.05, cfg.Seed*31+1); err != nil {
+		return nil, fmt.Errorf("edgesim: %w", err)
+	}
+	for i := 0; i < cfg.Servers; i++ {
+		if c.procs[i], err = mk(0.85, 0.1, cfg.Seed*37+int64(i)*101+2); err != nil {
+			return nil, fmt.Errorf("edgesim: %w", err)
+		}
+		// Wireless links fluctuate harder than server CPUs.
+		if c.links[i], err = mk(0.7, 0.22, cfg.Seed*41+int64(i)*211+3); err != nil {
+			return nil, fmt.Errorf("edgesim: %w", err)
+		}
+	}
+	// User mobility: a shared regime degrading every uplink at once while
+	// the user is near a cell edge.
+	if cfg.HandoverEnter > 0 && cfg.HandoverFactor > 0 {
+		if cfg.HandoverEnter > 1 || cfg.HandoverExit <= 0 || cfg.HandoverExit > 1 {
+			return nil, fmt.Errorf("edgesim: handover probabilities out of range")
+		}
+		c.handover, err = trace.NewMarkov(
+			[]float64{1, cfg.HandoverFactor},
+			[][]float64{
+				{1 - cfg.HandoverEnter, cfg.HandoverEnter},
+				{cfg.HandoverExit, 1 - cfg.HandoverExit},
+			},
+			cfg.Seed*43+5)
+		if err != nil {
+			return nil, fmt.Errorf("edgesim: %w", err)
+		}
+	} else {
+		c.handover = &trace.Constant{Value: 1}
+	}
+	return c, nil
+}
+
+// Dim returns the decision dimension N+1.
+func (c *Cluster) Dim() int { return c.cfg.Servers + 1 }
+
+// Round returns the number of realized rounds.
+func (c *Cluster) Round() int { return c.round }
+
+// Env is one round's realized system state.
+type Env struct {
+	// Round is the 1-based round index.
+	Round int
+	// Funcs are the N+1 local cost functions; index 0 is local execution.
+	Funcs []costfn.Func
+}
+
+// NextEnv realizes the next round's processing and link rates.
+func (c *Cluster) NextEnv() Env {
+	c.round++
+	dim := c.Dim()
+	funcs := make([]costfn.Func, dim)
+	funcs[0] = costfn.Affine{
+		Slope: c.cfg.TaskCycles / (c.cfg.LocalRate * c.localProc.Next()),
+	}
+	mobility := c.handover.Next()
+	for i := 0; i < c.cfg.Servers; i++ {
+		proc := c.cfg.ServerRates[i] * c.procs[i].Next()
+		link := c.cfg.LinkRates[i] * c.links[i].Next() * mobility
+		funcs[i+1] = costfn.Affine{
+			Slope:     c.cfg.TaskBytes/link + c.cfg.TaskCycles/proc,
+			Intercept: c.cfg.AccessDelay,
+		}
+	}
+	return Env{Round: c.round, Funcs: funcs}
+}
+
+// Report is the outcome of one round's partition.
+type Report struct {
+	// Round is the environment's round index.
+	Round int
+	// CompletionTimes holds each option's completion time (s).
+	CompletionTimes []float64
+	// Makespan is the round's overall completion time.
+	Makespan float64
+	// Bottleneck is the slowest option (0 = local execution).
+	Bottleneck int
+	// Observation is the feedback handed to online algorithms.
+	Observation core.Observation
+}
+
+// Apply executes partition lambda (on the simplex over N+1 options).
+func (e Env) Apply(lambda []float64) (Report, error) {
+	if len(lambda) != len(e.Funcs) {
+		return Report{}, fmt.Errorf("edgesim: partition has %d entries, want %d", len(lambda), len(e.Funcs))
+	}
+	if err := simplex.Check(lambda, 1e-6); err != nil {
+		return Report{}, fmt.Errorf("edgesim: infeasible partition: %w", err)
+	}
+	times := make([]float64, len(lambda))
+	for i, f := range e.Funcs {
+		times[i] = f.Eval(lambda[i])
+	}
+	b := simplex.ArgMax(times)
+	return Report{
+		Round:           e.Round,
+		CompletionTimes: times,
+		Makespan:        times[b],
+		Bottleneck:      b,
+		Observation:     core.Observation{Costs: times, Funcs: e.Funcs},
+	}, nil
+}
+
+// clairvoyant matches baselines.OPT structurally (see mlsim).
+type clairvoyant interface {
+	Foresee(funcs []costfn.Func) error
+}
+
+// RunResult is the trajectory of one algorithm over T offloading rounds.
+type RunResult struct {
+	// Algorithm is the algorithm's name.
+	Algorithm string
+	// Makespan[t] is the completion time of round t.
+	Makespan []float64
+	// CumMakespan[t] is the total completion time through round t.
+	CumMakespan []float64
+	// Partitions[t] is the played partition of round t.
+	Partitions [][]float64
+}
+
+// Run drives an algorithm through T rounds on the cluster.
+func Run(c *Cluster, alg core.Algorithm, rounds int) (RunResult, error) {
+	if rounds <= 0 {
+		return RunResult{}, errors.New("edgesim: rounds must be positive")
+	}
+	res := RunResult{
+		Algorithm:   alg.Name(),
+		Makespan:    make([]float64, rounds),
+		CumMakespan: make([]float64, rounds),
+		Partitions:  make([][]float64, rounds),
+	}
+	var cum float64
+	for t := 0; t < rounds; t++ {
+		env := c.NextEnv()
+		if cv, ok := alg.(clairvoyant); ok {
+			if err := cv.Foresee(env.Funcs); err != nil {
+				return RunResult{}, fmt.Errorf("edgesim: round %d foresee: %w", t+1, err)
+			}
+		}
+		lambda := simplex.Clone(alg.Assignment())
+		rep, err := env.Apply(lambda)
+		if err != nil {
+			return RunResult{}, fmt.Errorf("edgesim: round %d (%s): %w", t+1, alg.Name(), err)
+		}
+		if err := alg.Update(rep.Observation); err != nil {
+			return RunResult{}, fmt.Errorf("edgesim: round %d update (%s): %w", t+1, alg.Name(), err)
+		}
+		cum += rep.Makespan
+		res.Makespan[t] = rep.Makespan
+		res.CumMakespan[t] = cum
+		res.Partitions[t] = lambda
+	}
+	return res, nil
+}

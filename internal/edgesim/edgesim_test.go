@@ -1,0 +1,209 @@
+package edgesim
+
+import (
+	"testing"
+
+	"dolbie/internal/baselines"
+	"dolbie/internal/core"
+	"dolbie/internal/simplex"
+)
+
+func TestNewValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"zero servers", func(c *Config) { c.Servers = 0 }},
+		{"zero cycles", func(c *Config) { c.TaskCycles = 0 }},
+		{"zero bytes", func(c *Config) { c.TaskBytes = 0 }},
+		{"zero local rate", func(c *Config) { c.LocalRate = 0 }},
+		{"short server rates", func(c *Config) { c.ServerRates = c.ServerRates[:1] }},
+		{"short link rates", func(c *Config) { c.LinkRates = c.LinkRates[:1] }},
+		{"negative server rate", func(c *Config) { c.ServerRates[0] = -1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := DefaultConfig(4, 1)
+			tt.mut(&cfg)
+			if _, err := New(cfg); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+func TestDim(t *testing.T) {
+	c, err := New(DefaultConfig(5, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Dim() != 6 {
+		t.Errorf("Dim = %d, want 6 (5 servers + local)", c.Dim())
+	}
+}
+
+func TestNextEnvCostStructure(t *testing.T) {
+	c, err := New(DefaultConfig(3, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := c.NextEnv()
+	if env.Round != 1 || len(env.Funcs) != 4 {
+		t.Fatalf("env = round %d, %d funcs", env.Round, len(env.Funcs))
+	}
+	// Local execution has no access delay; offloading does.
+	if got := env.Funcs[0].Eval(0); got != 0 {
+		t.Errorf("local f(0) = %v, want 0", got)
+	}
+	for i := 1; i < 4; i++ {
+		if got := env.Funcs[i].Eval(0); got != 0.01 {
+			t.Errorf("server %d f(0) = %v, want access delay 0.01", i, got)
+		}
+		if env.Funcs[i].Eval(1) <= env.Funcs[i].Eval(0) {
+			t.Errorf("server %d cost not increasing", i)
+		}
+	}
+}
+
+func TestApply(t *testing.T) {
+	c, _ := New(DefaultConfig(3, 3))
+	env := c.NextEnv()
+	if _, err := env.Apply([]float64{1}); err == nil {
+		t.Error("wrong dimension should error")
+	}
+	rep, err := env.Apply(simplex.Uniform(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Makespan != rep.CompletionTimes[rep.Bottleneck] {
+		t.Error("makespan must equal the bottleneck's completion time")
+	}
+	for i, v := range rep.CompletionTimes {
+		if v > rep.Makespan {
+			t.Errorf("option %d time %v exceeds makespan %v", i, v, rep.Makespan)
+		}
+	}
+}
+
+func TestRunDOLBIEBeatsEqual(t *testing.T) {
+	const rounds = 100
+	cfg := DefaultConfig(6, 11)
+
+	cEqu, _ := New(cfg)
+	equ, _ := baselines.NewEqual(7)
+	resEqu, err := Run(cEqu, equ, rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cDol, _ := New(cfg)
+	dol, err := core.NewBalancer(simplex.Uniform(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resDol, err := Run(cDol, dol, rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if resDol.CumMakespan[rounds-1] >= resEqu.CumMakespan[rounds-1] {
+		t.Errorf("DOLBIE total %.2fs not better than EQU total %.2fs",
+			resDol.CumMakespan[rounds-1], resEqu.CumMakespan[rounds-1])
+	}
+}
+
+func TestRunOPTDominates(t *testing.T) {
+	const rounds = 40
+	cfg := DefaultConfig(4, 5)
+	cOpt, _ := New(cfg)
+	opt, _ := baselines.NewOPT(5, 0)
+	resOpt, err := Run(cOpt, opt, rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cEqu, _ := New(cfg)
+	equ, _ := baselines.NewEqual(5)
+	resEqu, err := Run(cEqu, equ, rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tr := 0; tr < rounds; tr++ {
+		if resOpt.Makespan[tr] > resEqu.Makespan[tr]+1e-9 {
+			t.Errorf("round %d: OPT %.4f worse than EQU %.4f", tr, resOpt.Makespan[tr], resEqu.Makespan[tr])
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	c, _ := New(DefaultConfig(3, 1))
+	dol, _ := core.NewBalancer(simplex.Uniform(4))
+	if _, err := Run(c, dol, 0); err == nil {
+		t.Error("zero rounds should error")
+	}
+	wrong, _ := baselines.NewEqual(2)
+	if _, err := Run(c, wrong, 3); err == nil {
+		t.Error("dimension mismatch should error")
+	}
+}
+
+func TestRunPartitionsFeasibleEveryRound(t *testing.T) {
+	c, _ := New(DefaultConfig(5, 7))
+	dol, _ := core.NewBalancer(simplex.Uniform(6))
+	res, err := Run(c, dol, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tr, lambda := range res.Partitions {
+		if err := simplex.Check(lambda, 1e-6); err != nil {
+			t.Errorf("round %d: %v", tr, err)
+		}
+	}
+}
+
+func TestHandoverDegradesAllLinksTogether(t *testing.T) {
+	// Force the permanent handover regime and compare offloading slopes
+	// with mobility disabled: every server's cost must be strictly worse
+	// under handover.
+	base := DefaultConfig(4, 9)
+	base.HandoverEnter = 0
+	base.HandoverFactor = 0
+	noMove, err := New(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stuck := DefaultConfig(4, 9)
+	stuck.HandoverEnter = 1
+	stuck.HandoverExit = 1e-9
+	stuck.HandoverFactor = 0.2
+	moving, err := New(stuck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Skip the first round (the chain starts uncontended).
+	noMove.NextEnv()
+	moving.NextEnv()
+	a, b := noMove.NextEnv(), moving.NextEnv()
+	for i := 1; i < 5; i++ {
+		if b.Funcs[i].Eval(0.5) <= a.Funcs[i].Eval(0.5) {
+			t.Errorf("server %d: handover cost %v not above baseline %v",
+				i, b.Funcs[i].Eval(0.5), a.Funcs[i].Eval(0.5))
+		}
+	}
+	// Local execution is unaffected by mobility.
+	if got, want := b.Funcs[0].Eval(0.5), a.Funcs[0].Eval(0.5); got != want {
+		t.Errorf("local cost changed under handover: %v vs %v", got, want)
+	}
+}
+
+func TestHandoverValidation(t *testing.T) {
+	cfg := DefaultConfig(3, 1)
+	cfg.HandoverEnter = 1.5
+	if _, err := New(cfg); err == nil {
+		t.Error("handover enter > 1 should error")
+	}
+	cfg = DefaultConfig(3, 1)
+	cfg.HandoverExit = 0
+	if _, err := New(cfg); err == nil {
+		t.Error("zero handover exit with enter > 0 should error")
+	}
+}

@@ -1,0 +1,152 @@
+// Package estimate relaxes the paper's full-information assumption. The
+// paper's Algorithm 1/2 let each worker "observe its local cost function
+// f_{i,t}(.)" after the round (line 3); a real worker only observes the
+// scalar pair (x_{i,t}, l_{i,t}) — the workload it ran and the latency it
+// paid. This package provides online estimators that fit the paper's
+// latency model
+//
+//	f_i(x) = slope*x + intercept        (Example 1: B/gamma and d/phi)
+//
+// from a sliding window of observed pairs, yielding a costfn.Func DOLBIE
+// can invert for x'. With exponential forgetting the estimator tracks the
+// time-varying gamma_{i,t} and phi_{i,t}; the "estimated" experiment
+// measures the price of estimation versus revealed cost functions.
+package estimate
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"dolbie/internal/costfn"
+)
+
+// AffineEstimator fits f(x) = slope*x + intercept by exponentially
+// weighted least squares over the observed (workload, latency) pairs.
+// The zero value is not ready for use; construct with NewAffineEstimator.
+type AffineEstimator struct {
+	forget float64 // weight decay per observation, in (0, 1]
+
+	// Weighted sufficient statistics.
+	w, wx, wy, wxx, wxy float64
+
+	// Monotonicity floor: latency slopes cannot be negative.
+	minSlope float64
+}
+
+// NewAffineEstimator constructs an estimator. forget is the exponential
+// forgetting factor in (0, 1]: 1 weights all history equally; the
+// experiments use ~0.7 so the fit tracks round-scale fluctuation.
+func NewAffineEstimator(forget float64) (*AffineEstimator, error) {
+	if forget <= 0 || forget > 1 {
+		return nil, fmt.Errorf("estimate: forgetting factor %v out of (0, 1]", forget)
+	}
+	return &AffineEstimator{forget: forget}, nil
+}
+
+// Observe incorporates one (workload, latency) pair.
+func (e *AffineEstimator) Observe(x, latency float64) error {
+	if x < 0 || x > 1 {
+		return fmt.Errorf("estimate: workload %v out of [0, 1]", x)
+	}
+	if math.IsNaN(latency) || math.IsInf(latency, 0) || latency < 0 {
+		return fmt.Errorf("estimate: invalid latency %v", latency)
+	}
+	e.w *= e.forget
+	e.wx *= e.forget
+	e.wy *= e.forget
+	e.wxx *= e.forget
+	e.wxy *= e.forget
+	e.w++
+	e.wx += x
+	e.wy += latency
+	e.wxx += x * x
+	e.wxy += x * latency
+	return nil
+}
+
+// Ready reports whether enough information has accumulated for a fit.
+func (e *AffineEstimator) Ready() bool { return e.w >= 2 }
+
+// ErrNotReady is returned by Fit before enough observations arrived.
+var ErrNotReady = errors.New("estimate: not enough observations")
+
+// Fit returns the current affine estimate. When the observed workloads
+// are (numerically) identical the slope is unidentifiable; the fit falls
+// back to a flat function through the mean latency, which is the safest
+// increasing extension (DOLBIE then treats the worker as fully
+// absorbent, and one round of different workload re-identifies the
+// slope).
+func (e *AffineEstimator) Fit() (costfn.Affine, error) {
+	if !e.Ready() {
+		return costfn.Affine{}, ErrNotReady
+	}
+	det := e.w*e.wxx - e.wx*e.wx
+	meanX := e.wx / e.w
+	meanY := e.wy / e.w
+	if det <= 1e-15*e.w*e.wxx || det <= 0 {
+		return costfn.Affine{Slope: e.minSlope, Intercept: meanY}, nil
+	}
+	slope := (e.w*e.wxy - e.wx*e.wy) / det
+	if slope < e.minSlope {
+		slope = e.minSlope
+	}
+	intercept := meanY - slope*meanX
+	if intercept < 0 {
+		intercept = 0
+	}
+	return costfn.Affine{Slope: slope, Intercept: intercept}, nil
+}
+
+// EstimatingObserver maintains one estimator per worker and converts the
+// scalar observations of a round into estimated cost functions for the
+// balancer. It is the glue for running DOLBIE without revealed cost
+// functions.
+type EstimatingObserver struct {
+	estimators []*AffineEstimator
+}
+
+// NewEstimatingObserver constructs per-worker estimators.
+func NewEstimatingObserver(n int, forget float64) (*EstimatingObserver, error) {
+	if n <= 0 {
+		return nil, errors.New("estimate: need at least one worker")
+	}
+	obs := &EstimatingObserver{estimators: make([]*AffineEstimator, n)}
+	for i := range obs.estimators {
+		est, err := NewAffineEstimator(forget)
+		if err != nil {
+			return nil, err
+		}
+		obs.estimators[i] = est
+	}
+	return obs, nil
+}
+
+// Observe records one round's played workloads and realized latencies
+// and returns the estimated cost functions. Until a worker's estimator
+// is ready, its function falls back to a flat cost at the observed
+// latency (identifiable after the first round with a different
+// workload).
+func (o *EstimatingObserver) Observe(x, latencies []float64) ([]costfn.Func, error) {
+	n := len(o.estimators)
+	if len(x) != n || len(latencies) != n {
+		return nil, fmt.Errorf("estimate: got %d workloads and %d latencies for %d workers",
+			len(x), len(latencies), n)
+	}
+	funcs := make([]costfn.Func, n)
+	for i, est := range o.estimators {
+		if err := est.Observe(x[i], latencies[i]); err != nil {
+			return nil, fmt.Errorf("estimate: worker %d: %w", i, err)
+		}
+		fit, err := est.Fit()
+		if errors.Is(err, ErrNotReady) {
+			funcs[i] = costfn.Affine{Intercept: latencies[i]}
+			continue
+		}
+		if err != nil {
+			return nil, fmt.Errorf("estimate: worker %d: %w", i, err)
+		}
+		funcs[i] = fit
+	}
+	return funcs, nil
+}

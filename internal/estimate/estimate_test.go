@@ -1,0 +1,215 @@
+package estimate
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dolbie/internal/costfn"
+)
+
+func TestNewAffineEstimatorValidation(t *testing.T) {
+	for _, forget := range []float64{0, -0.5, 1.5} {
+		if _, err := NewAffineEstimator(forget); err == nil {
+			t.Errorf("forget = %v should error", forget)
+		}
+	}
+	if _, err := NewAffineEstimator(1); err != nil {
+		t.Errorf("forget = 1 should be valid: %v", err)
+	}
+}
+
+func TestObserveValidation(t *testing.T) {
+	e, err := NewAffineEstimator(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Observe(-0.1, 1); err == nil {
+		t.Error("negative workload should error")
+	}
+	if err := e.Observe(1.5, 1); err == nil {
+		t.Error("workload > 1 should error")
+	}
+	if err := e.Observe(0.5, math.NaN()); err == nil {
+		t.Error("NaN latency should error")
+	}
+	if err := e.Observe(0.5, -1); err == nil {
+		t.Error("negative latency should error")
+	}
+}
+
+func TestFitBeforeReady(t *testing.T) {
+	e, _ := NewAffineEstimator(1)
+	if e.Ready() {
+		t.Error("fresh estimator should not be ready")
+	}
+	if _, err := e.Fit(); !errors.Is(err, ErrNotReady) {
+		t.Errorf("fit = %v, want ErrNotReady", err)
+	}
+	if err := e.Observe(0.5, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Fit(); !errors.Is(err, ErrNotReady) {
+		t.Errorf("fit after one sample = %v, want ErrNotReady", err)
+	}
+}
+
+func TestFitRecoversExactAffine(t *testing.T) {
+	truth := costfn.Affine{Slope: 4.2, Intercept: 0.35}
+	e, _ := NewAffineEstimator(1)
+	for _, x := range []float64{0.1, 0.4, 0.8, 0.6, 0.2} {
+		if err := e.Observe(x, truth.Eval(x)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fit, err := e.Fit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope-truth.Slope) > 1e-9 || math.Abs(fit.Intercept-truth.Intercept) > 1e-9 {
+		t.Errorf("fit = %+v, want %+v", fit, truth)
+	}
+}
+
+func TestFitDegenerateIdenticalWorkloads(t *testing.T) {
+	e, _ := NewAffineEstimator(1)
+	for i := 0; i < 5; i++ {
+		if err := e.Observe(0.25, 2.0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fit, err := e.Fit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Slope != 0 || math.Abs(fit.Intercept-2.0) > 1e-9 {
+		t.Errorf("degenerate fit = %+v, want flat at 2.0", fit)
+	}
+}
+
+func TestFitNeverNegativeSlopeOrIntercept(t *testing.T) {
+	// Noisy decreasing-looking data must still produce an increasing,
+	// non-negative cost function.
+	e, _ := NewAffineEstimator(1)
+	pairs := [][2]float64{{0.1, 5}, {0.9, 1}, {0.5, 3}}
+	for _, p := range pairs {
+		if err := e.Observe(p[0], p[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fit, err := e.Fit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Slope < 0 {
+		t.Errorf("slope = %v, want >= 0", fit.Slope)
+	}
+	if fit.Intercept < 0 {
+		t.Errorf("intercept = %v, want >= 0", fit.Intercept)
+	}
+}
+
+func TestForgettingTracksDrift(t *testing.T) {
+	// The slope doubles halfway through; with forgetting the fit must end
+	// near the new slope, not the average.
+	e, _ := NewAffineEstimator(0.6)
+	old := costfn.Affine{Slope: 2, Intercept: 0.1}
+	niu := costfn.Affine{Slope: 8, Intercept: 0.1}
+	xs := []float64{0.1, 0.5, 0.9, 0.3, 0.7}
+	for _, x := range xs {
+		if err := e.Observe(x, old.Eval(x)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, x := range xs {
+		if err := e.Observe(x, niu.Eval(x)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fit, err := e.Fit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope-8) > 0.5 {
+		t.Errorf("fit slope = %v, want near 8 after drift", fit.Slope)
+	}
+}
+
+// Property: on noiseless affine data with at least two distinct
+// workloads, the fit recovers slope and intercept.
+func TestFitProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		truth := costfn.Affine{Slope: r.Float64() * 10, Intercept: r.Float64()}
+		e, err := NewAffineEstimator(1)
+		if err != nil {
+			return false
+		}
+		for k := 0; k < 3+r.Intn(10); k++ {
+			x := r.Float64()
+			if err := e.Observe(x, truth.Eval(x)); err != nil {
+				return false
+			}
+		}
+		// Guarantee identifiability with two fixed distinct points.
+		if err := e.Observe(0.05, truth.Eval(0.05)); err != nil {
+			return false
+		}
+		if err := e.Observe(0.95, truth.Eval(0.95)); err != nil {
+			return false
+		}
+		fit, err := e.Fit()
+		if err != nil {
+			return false
+		}
+		return math.Abs(fit.Slope-truth.Slope) < 1e-6 &&
+			math.Abs(fit.Intercept-truth.Intercept) < 1e-6
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEstimatingObserver(t *testing.T) {
+	if _, err := NewEstimatingObserver(0, 0.9); err == nil {
+		t.Error("zero workers should error")
+	}
+	if _, err := NewEstimatingObserver(2, 0); err == nil {
+		t.Error("bad forget should error")
+	}
+	obs, err := NewEstimatingObserver(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := obs.Observe([]float64{0.5}, []float64{1, 2}); err == nil {
+		t.Error("dimension mismatch should error")
+	}
+	// First round: estimators not ready, flat fallback at the observed
+	// latency.
+	truth := []costfn.Affine{{Slope: 2, Intercept: 0.5}, {Slope: 4, Intercept: 1}}
+	funcs, err := obs.Observe([]float64{0.5, 0.5}, []float64{truth[0].Eval(0.5), truth[1].Eval(0.5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := funcs[0].Eval(0.9), truth[0].Eval(0.5); got != want {
+		t.Errorf("fallback func = %v, want flat %v", got, want)
+	}
+	// Later rounds with distinct workloads identify both affine fits.
+	if _, err := obs.Observe([]float64{0.3, 0.7}, []float64{truth[0].Eval(0.3), truth[1].Eval(0.7)}); err != nil {
+		t.Fatal(err)
+	}
+	funcs, err = obs.Observe([]float64{0.6, 0.2}, []float64{truth[0].Eval(0.6), truth[1].Eval(0.2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range funcs {
+		for _, x := range []float64{0.1, 0.5, 0.9} {
+			if got, want := funcs[i].Eval(x), truth[i].Eval(x); math.Abs(got-want) > 1e-6 {
+				t.Errorf("worker %d f(%v) = %v, want %v", i, x, got, want)
+			}
+		}
+	}
+}

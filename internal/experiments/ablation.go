@@ -1,0 +1,202 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dolbie/internal/baselines"
+	"dolbie/internal/core"
+	"dolbie/internal/edgesim"
+	"dolbie/internal/mlsim"
+	"dolbie/internal/simplex"
+)
+
+// clusterAlphaOpt centralizes the DOLBIE step-size option used by
+// distributed deployments in this package.
+func clusterAlphaOpt(cfg Config) []core.Option {
+	return []core.Option{
+		core.WithInitialAlpha(cfg.Alpha1),
+		core.WithStepRuleScale(float64(cfg.BatchSize)),
+	}
+}
+
+// AblationTable quantifies the two design choices DESIGN.md calls out:
+// the risk-averse step (vs. the aggressive jump x_{t+1} = x'_t) and the
+// diminishing step-size rule (7) (vs. a constant step). Each variant runs
+// on the identical realization; the paper's design should win on
+// cumulative latency.
+func AblationTable(cfg Config) (Table, error) {
+	if err := cfg.validate(); err != nil {
+		return Table{}, err
+	}
+	variants := []struct {
+		name string
+		opts []core.Option
+	}{
+		{"DOLBIE (paper)", []core.Option{core.WithInitialAlpha(cfg.Alpha1), core.WithStepRuleScale(float64(cfg.BatchSize))}},
+		{"aggressive (alpha=1)", []core.Option{core.WithAggressiveUpdate(), core.WithName("DOLBIE-aggressive")}},
+		{"constant alpha", []core.Option{core.WithInitialAlpha(cfg.Alpha1), core.WithConstantAlpha(), core.WithName("DOLBIE-const")}},
+		{"strict fraction rule", []core.Option{core.WithInitialAlpha(cfg.Alpha1), core.WithName("DOLBIE-strict")}},
+	}
+	tab := Table{
+		ID: "ablation",
+		Title: fmt.Sprintf("DOLBIE design ablations on one realization (%s, N=%d, T=%d)",
+			cfg.Model.Name, cfg.N, cfg.Rounds),
+		Columns: []string{"variant", "total latency (s)", "final-round latency (s)", "worst round (s)"},
+	}
+	totals := map[string]float64{}
+	for _, v := range variants {
+		cl, err := cfg.cluster(0, cfg.Model)
+		if err != nil {
+			return Table{}, err
+		}
+		b, err := core.NewBalancer(simplex.Uniform(cfg.N), v.opts...)
+		if err != nil {
+			return Table{}, err
+		}
+		res, err := mlsim.Run(cl, b, cfg.Rounds)
+		if err != nil {
+			return Table{}, err
+		}
+		worst := 0.0
+		for _, l := range res.PerRoundLatency {
+			if l > worst {
+				worst = l
+			}
+		}
+		totals[v.name] = res.CumLatency[cfg.Rounds-1]
+		tab.Rows = append(tab.Rows, []string{
+			v.name,
+			fmt.Sprintf("%.2f", res.CumLatency[cfg.Rounds-1]),
+			fmt.Sprintf("%.3f", res.PerRoundLatency[cfg.Rounds-1]),
+			fmt.Sprintf("%.3f", worst),
+		})
+	}
+	if totals["DOLBIE (paper)"] <= totals["aggressive (alpha=1)"] {
+		tab.Notes = append(tab.Notes, "risk-averse step beats the aggressive jump, as argued in Section IV-A")
+	} else {
+		tab.Notes = append(tab.Notes,
+			"the guarded aggressive jump beat alpha_1 = 0.001 here: the exact feasibility guard "+
+				"turns alpha = 1 into a self-scaled step (applied = x_s / sum(x'-x)), so the infeasibility "+
+				"the paper warns about cannot occur in this implementation; the paper's conservative "+
+				"alpha_1 trades convergence speed for the worst-round stability visible in the last column")
+	}
+	if totals["strict fraction rule"] > totals["DOLBIE (paper)"] {
+		tab.Notes = append(tab.Notes,
+			"rule (7) in strict fraction units crushes the step size once any straggler's share gets "+
+				"small and is clearly worse than the sample-unit rule used by the batch-size application "+
+				"(see core.AlphaCapScaled and EXPERIMENTS.md)")
+	}
+	return tab, nil
+}
+
+// EdgeTable runs the paper's second motivating scenario (Example 2,
+// Section III-B): online task offloading across heterogeneous edge
+// servers. It compares cumulative makespan across the algorithms,
+// demonstrating the formulation's generality beyond batch-size tuning.
+func EdgeTable(cfg Config) (Table, error) {
+	if err := cfg.validate(); err != nil {
+		return Table{}, err
+	}
+	servers := 8
+	dim := servers + 1
+	rounds := cfg.Rounds
+	algs, err := edgeAlgorithms(cfg, dim)
+	if err != nil {
+		return Table{}, err
+	}
+
+	tab := Table{
+		ID:      "edge",
+		Title:   fmt.Sprintf("Task offloading (Example 2): cumulative makespan over %d rounds, %d edge servers + local", rounds, servers),
+		Columns: []string{"algorithm", "total makespan (s)", "final-round makespan (s)"},
+	}
+	totals := map[string]float64{}
+	for k, alg := range algs {
+		ec, err := edgesim.New(edgesim.DefaultConfig(servers, cfg.Seed))
+		if err != nil {
+			return Table{}, err
+		}
+		res, err := edgesim.Run(ec, alg, rounds)
+		if err != nil {
+			return Table{}, err
+		}
+		totals[AlgorithmNames[k]] = res.CumMakespan[rounds-1]
+		tab.Rows = append(tab.Rows, []string{
+			AlgorithmNames[k],
+			fmt.Sprintf("%.2f", res.CumMakespan[rounds-1]),
+			fmt.Sprintf("%.3f", res.Makespan[rounds-1]),
+		})
+	}
+	for _, base := range []string{"EQU", "OGD", "LB-BSP", "ABS"} {
+		tab.Notes = append(tab.Notes, fmt.Sprintf(
+			"DOLBIE reduces total makespan by %.1f%% vs %s", pct(totals[base], totals["DOLBIE"]), base))
+	}
+	return tab, nil
+}
+
+// edgeAlgorithms constructs the comparison set for the offloading
+// scenario. The paper pins alpha_1 = 0.001 only for the ML experiments;
+// here DOLBIE uses the paper's default initialization rule
+// alpha_1 = min_i x_{i,1}/(N-2+min_i x_{i,1}).
+func edgeAlgorithms(cfg Config, dim int) ([]core.Algorithm, error) {
+	x0 := simplex.Uniform(dim)
+	equ, err := baselines.NewEqual(dim)
+	if err != nil {
+		return nil, err
+	}
+	ogd, err := baselines.NewOGD(x0, cfg.Beta)
+	if err != nil {
+		return nil, err
+	}
+	abs, err := baselines.NewABS(x0, cfg.P)
+	if err != nil {
+		return nil, err
+	}
+	lbbsp, err := baselines.NewLBBSP(x0, float64(cfg.DeltaSamples)/float64(cfg.BatchSize), cfg.D)
+	if err != nil {
+		return nil, err
+	}
+	dolbie, err := core.NewBalancer(x0)
+	if err != nil {
+		return nil, err
+	}
+	opt, err := baselines.NewOPT(dim, 0)
+	if err != nil {
+		return nil, err
+	}
+	return []core.Algorithm{equ, ogd, abs, lbbsp, dolbie, opt}, nil
+}
+
+// EdgeFigure plots the per-round makespan of every algorithm on the
+// offloading scenario (the series form of EdgeTable), showing DOLBIE
+// absorbing the handover regimes that spike EQU and ABS.
+func EdgeFigure(cfg Config) (Figure, error) {
+	if err := cfg.validate(); err != nil {
+		return Figure{}, err
+	}
+	servers := 8
+	dim := servers + 1
+	algs, err := edgeAlgorithms(cfg, dim)
+	if err != nil {
+		return Figure{}, err
+	}
+	fig := Figure{
+		ID:     "edgefig",
+		Title:  fmt.Sprintf("Task offloading per-round makespan (%d edge servers + local, T=%d)", servers, cfg.Rounds),
+		XLabel: "round",
+		YLabel: "makespan (s)",
+	}
+	xs := roundGrid(cfg.Rounds)
+	for k, alg := range algs {
+		ec, err := edgesim.New(edgesim.DefaultConfig(servers, cfg.Seed))
+		if err != nil {
+			return Figure{}, err
+		}
+		res, err := edgesim.Run(ec, alg, cfg.Rounds)
+		if err != nil {
+			return Figure{}, err
+		}
+		fig.Series = append(fig.Series, Series{Name: AlgorithmNames[k], X: xs, Y: res.Makespan})
+	}
+	return fig, nil
+}

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// chartGlyphs assigns one plotting glyph per series, cycling when a
+// figure has more series than glyphs.
+var chartGlyphs = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// RenderChart draws the figure as an ASCII line chart: series are
+// scattered onto a width x height character grid with a y-axis scale, a
+// legend mapping glyphs to series names, and the x range printed under
+// the plot. It complements RenderText for eyeballing curve shapes
+// directly in a terminal.
+func (f Figure) RenderChart(w io.Writer, width, height int) error {
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	if width < 16 {
+		width = 72
+	}
+	if height < 4 {
+		height = 20
+	}
+	fmt.Fprintf(w, "== %s: %s ==\n", f.ID, f.Title)
+	if len(f.Series) == 0 {
+		fmt.Fprintln(w, "(no series)")
+		return nil
+	}
+
+	xMin, xMax := math.Inf(1), math.Inf(-1)
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	for _, s := range f.Series {
+		for k := range s.X {
+			if math.IsNaN(s.X[k]) || math.IsNaN(s.Y[k]) {
+				continue
+			}
+			xMin = math.Min(xMin, s.X[k])
+			xMax = math.Max(xMax, s.X[k])
+			yMin = math.Min(yMin, s.Y[k])
+			yMax = math.Max(yMax, s.Y[k])
+		}
+	}
+	if math.IsInf(xMin, 1) {
+		fmt.Fprintln(w, "(no finite points)")
+		return nil
+	}
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range f.Series {
+		glyph := chartGlyphs[si%len(chartGlyphs)]
+		for k := range s.X {
+			if math.IsNaN(s.X[k]) || math.IsNaN(s.Y[k]) {
+				continue
+			}
+			col := int(math.Round((s.X[k] - xMin) / (xMax - xMin) * float64(width-1)))
+			row := height - 1 - int(math.Round((s.Y[k]-yMin)/(yMax-yMin)*float64(height-1)))
+			if col < 0 || col >= width || row < 0 || row >= height {
+				continue
+			}
+			grid[row][col] = glyph
+		}
+	}
+
+	// Y-axis labels at the top, middle, and bottom rows.
+	label := func(row int) string {
+		frac := float64(height-1-row) / float64(height-1)
+		return fmt.Sprintf("%10.4g", yMin+frac*(yMax-yMin))
+	}
+	for r := 0; r < height; r++ {
+		tick := "          "
+		if r == 0 || r == height-1 || r == height/2 {
+			tick = label(r)
+		}
+		fmt.Fprintf(w, "%s |%s\n", tick, string(grid[r]))
+	}
+	fmt.Fprintf(w, "%s +%s\n", strings.Repeat(" ", 10), strings.Repeat("-", width))
+	fmt.Fprintf(w, "%s  %-*s%s\n", strings.Repeat(" ", 10), width-len(trimFloat(xMax)), trimFloat(xMin), trimFloat(xMax))
+	fmt.Fprintf(w, "x: %s, y: %s\n", f.XLabel, f.YLabel)
+
+	var legend []string
+	for si, s := range f.Series {
+		legend = append(legend, fmt.Sprintf("%c %s", chartGlyphs[si%len(chartGlyphs)], s.Name))
+	}
+	fmt.Fprintf(w, "legend: %s\n", strings.Join(legend, "   "))
+	for _, note := range f.Notes {
+		fmt.Fprintf(w, "note: %s\n", note)
+	}
+	return nil
+}
+
+// RenderCharts draws every figure in the result as an ASCII chart and
+// every table as text.
+func (r Result) RenderCharts(w io.Writer, width, height int) error {
+	for _, f := range r.Figures {
+		if err := f.RenderChart(w, width, height); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	for _, t := range r.Tables {
+		if err := t.RenderText(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

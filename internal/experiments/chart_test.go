@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRenderChart(t *testing.T) {
+	fig := Figure{
+		ID:     "demo",
+		Title:  "demo chart",
+		XLabel: "round",
+		YLabel: "latency",
+		Series: []Series{
+			{Name: "up", X: []float64{1, 2, 3}, Y: []float64{1, 2, 3}},
+			{Name: "down", X: []float64{1, 2, 3}, Y: []float64{3, 2, 1}},
+		},
+		Notes: []string{"crossing lines"},
+	}
+	var sb strings.Builder
+	if err := fig.RenderChart(&sb, 40, 10); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"demo chart", "legend:", "* up", "o down", "x: round, y: latency", "note: crossing lines"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q", want)
+		}
+	}
+	// Both glyphs must appear in the plot area.
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("plot glyphs missing")
+	}
+}
+
+func TestRenderChartDegenerate(t *testing.T) {
+	// Empty figure.
+	var sb strings.Builder
+	if err := (Figure{ID: "empty", Title: "t"}).RenderChart(&sb, 40, 10); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "(no series)") {
+		t.Error("empty figure should say so")
+	}
+	// All-NaN series.
+	sb.Reset()
+	nan := Figure{ID: "nan", Series: []Series{{Name: "a", X: []float64{math.NaN()}, Y: []float64{math.NaN()}}}}
+	if err := nan.RenderChart(&sb, 40, 10); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "(no finite points)") {
+		t.Error("NaN-only figure should say so")
+	}
+	// Constant series (zero x and y ranges) must not divide by zero.
+	sb.Reset()
+	flat := Figure{ID: "flat", Series: []Series{{Name: "a", X: []float64{1}, Y: []float64{2}}}}
+	if err := flat.RenderChart(&sb, 40, 10); err != nil {
+		t.Fatal(err)
+	}
+	// Tiny dimensions fall back to defaults rather than panicking.
+	sb.Reset()
+	if err := flat.RenderChart(&sb, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Invalid figures propagate validation errors.
+	bad := Figure{ID: "bad", Series: []Series{{Name: "a", X: []float64{1}, Y: nil}}}
+	if err := bad.RenderChart(&sb, 40, 10); err == nil {
+		t.Error("invalid figure should error")
+	}
+}
+
+func TestRenderChartsResult(t *testing.T) {
+	res, err := Run("fig3", testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := res.RenderCharts(&sb, 60, 12); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "legend:") {
+		t.Error("charts output missing legend")
+	}
+}

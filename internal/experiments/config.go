@@ -1,0 +1,227 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"dolbie/internal/baselines"
+	"dolbie/internal/core"
+	"dolbie/internal/mlsim"
+	"dolbie/internal/procmodel"
+	"dolbie/internal/simplex"
+)
+
+// Config carries the shared parameters of Section VI-B.
+type Config struct {
+	// N is the number of workers (paper: 30).
+	N int
+	// BatchSize is the global batch B (paper: 256).
+	BatchSize int
+	// Rounds is the horizon T of the latency experiments (paper: 100).
+	Rounds int
+	// Realizations is the number of independent processor samplings for
+	// the confidence-interval experiments (paper: 100).
+	Realizations int
+	// Model is the training workload for the single-model experiments
+	// (paper: ResNet18 for Figs. 3-5 and 9-11).
+	Model procmodel.MLModel
+	// Seed is the base seed; realization r uses Seed + r.
+	Seed int64
+	// Alpha1 is DOLBIE's initial step size (paper: 0.001).
+	Alpha1 float64
+	// Beta is OGD's learning rate (paper: 0.001).
+	Beta float64
+	// DeltaSamples is LB-BSP's fixed increment in samples (paper: 5).
+	DeltaSamples int
+	// P is ABS's tuning period and D is LB-BSP's streak length (paper:
+	// both 5).
+	P, D int
+}
+
+// Default returns the paper's experimental configuration.
+func Default() Config {
+	return Config{
+		N:            30,
+		BatchSize:    256,
+		Rounds:       100,
+		Realizations: 100,
+		Model:        procmodel.ResNet18,
+		Seed:         1,
+		Alpha1:       0.001,
+		Beta:         0.001,
+		DeltaSamples: 5,
+		P:            5,
+		D:            5,
+	}
+}
+
+// Quick returns a scaled-down configuration for fast test and CI runs:
+// the same structure at a fraction of the compute.
+func Quick() Config {
+	cfg := Default()
+	cfg.N = 10
+	cfg.Rounds = 40
+	cfg.Realizations = 8
+	return cfg
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.N <= 0:
+		return fmt.Errorf("experiments: N = %d must be positive", c.N)
+	case c.BatchSize <= 0:
+		return fmt.Errorf("experiments: BatchSize = %d must be positive", c.BatchSize)
+	case c.Rounds <= 0:
+		return fmt.Errorf("experiments: Rounds = %d must be positive", c.Rounds)
+	case c.Realizations <= 0:
+		return fmt.Errorf("experiments: Realizations = %d must be positive", c.Realizations)
+	case c.Model.Name == "":
+		return fmt.Errorf("experiments: Model is required")
+	case c.Alpha1 <= 0 || c.Alpha1 > 1:
+		return fmt.Errorf("experiments: Alpha1 = %v out of (0, 1]", c.Alpha1)
+	case c.Beta <= 0:
+		return fmt.Errorf("experiments: Beta = %v must be positive", c.Beta)
+	case c.DeltaSamples <= 0 || c.DeltaSamples >= c.BatchSize:
+		return fmt.Errorf("experiments: DeltaSamples = %d out of (0, B)", c.DeltaSamples)
+	case c.P <= 0 || c.D <= 0:
+		return fmt.Errorf("experiments: P = %d and D = %d must be positive", c.P, c.D)
+	}
+	return nil
+}
+
+// AlgorithmNames lists the compared algorithms in the paper's
+// presentation order.
+var AlgorithmNames = []string{"EQU", "OGD", "ABS", "LB-BSP", "DOLBIE", "OPT"}
+
+// newAlgorithms constructs a fresh instance of every compared algorithm,
+// all initialized at the uniform partition B/N as in the paper.
+func (c Config) newAlgorithms() ([]core.Algorithm, error) {
+	x0 := simplex.Uniform(c.N)
+	equ, err := baselines.NewEqual(c.N)
+	if err != nil {
+		return nil, err
+	}
+	ogd, err := baselines.NewOGD(x0, c.Beta)
+	if err != nil {
+		return nil, err
+	}
+	abs, err := baselines.NewABS(x0, c.P)
+	if err != nil {
+		return nil, err
+	}
+	lbbsp, err := baselines.NewLBBSP(x0, float64(c.DeltaSamples)/float64(c.BatchSize), c.D)
+	if err != nil {
+		return nil, err
+	}
+	dolbie, err := core.NewBalancer(x0,
+		core.WithInitialAlpha(c.Alpha1),
+		core.WithStepRuleScale(float64(c.BatchSize)))
+	if err != nil {
+		return nil, err
+	}
+	opt, err := baselines.NewOPT(c.N, 0)
+	if err != nil {
+		return nil, err
+	}
+	return []core.Algorithm{equ, ogd, abs, lbbsp, dolbie, opt}, nil
+}
+
+// cluster builds the simulated training cluster of one realization; the
+// same (cfg, realization) pair always yields the identical stochastic
+// environment, so algorithms are compared on paired realizations.
+func (c Config) cluster(realization int, model procmodel.MLModel) (*mlsim.Cluster, error) {
+	return mlsim.New(mlsim.Config{
+		N:         c.N,
+		Model:     model,
+		BatchSize: c.BatchSize,
+		Seed:      c.Seed + int64(realization),
+	})
+}
+
+// runAll executes every algorithm on the identical realization for the
+// given number of rounds, returning results keyed by AlgorithmNames order.
+func (c Config) runAll(realization, rounds int, model procmodel.MLModel) ([]mlsim.RunResult, error) {
+	algs, err := c.newAlgorithms()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]mlsim.RunResult, len(algs))
+	for k, alg := range algs {
+		cl, err := c.cluster(realization, model)
+		if err != nil {
+			return nil, err
+		}
+		res, err := mlsim.Run(cl, alg, rounds)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", alg.Name(), err)
+		}
+		out[k] = res
+	}
+	return out, nil
+}
+
+// forEachRealization runs fn(0..n-1) concurrently with bounded
+// parallelism. Each realization writes to its own slot, so callers get a
+// deterministic result regardless of scheduling; the first error wins.
+func forEachRealization(n int, fn func(r int) error) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for r := 0; r < n; r++ {
+			if err := fn(r); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		errs []error
+		next atomic.Int64
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				r := int(next.Add(1)) - 1
+				if r >= n {
+					return
+				}
+				if err := fn(r); err != nil {
+					mu.Lock()
+					errs = append(errs, err)
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if len(errs) > 0 {
+		return errs[0]
+	}
+	return nil
+}
+
+// roundGrid returns [1, 2, ..., T] as float64 x-coordinates.
+func roundGrid(rounds int) []float64 {
+	xs := make([]float64, rounds)
+	for i := range xs {
+		xs[i] = float64(i + 1)
+	}
+	return xs
+}
+
+// pct returns the percentage reduction of got relative to base.
+func pct(base, got float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * (base - got) / base
+}

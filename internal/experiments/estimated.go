@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dolbie/internal/core"
+	"dolbie/internal/estimate"
+	"dolbie/internal/mlsim"
+	"dolbie/internal/simplex"
+)
+
+// EstimatedTable measures the price of dropping the paper's
+// full-information assumption: instead of observing the revealed cost
+// function f_{i,t} after each round (Algorithm 1, line 3), each worker
+// fits an affine estimate from its history of (workload, latency) pairs
+// and DOLBIE computes x' from the estimate. The comparison runs on
+// paired realizations for several forgetting factors.
+func EstimatedTable(cfg Config) (Table, error) {
+	if err := cfg.validate(); err != nil {
+		return Table{}, err
+	}
+	tab := Table{
+		ID: "estimated",
+		Title: fmt.Sprintf("DOLBIE with estimated vs revealed cost functions (%s, N=%d, T=%d)",
+			cfg.Model.Name, cfg.N, cfg.Rounds),
+		Columns: []string{"information", "total latency (s)", "final-round latency (s)"},
+	}
+
+	revealedTotal, revealedFinal, err := estimatedRun(cfg, 0)
+	if err != nil {
+		return Table{}, err
+	}
+	tab.Rows = append(tab.Rows, []string{
+		"revealed f (paper)",
+		fmt.Sprintf("%.2f", revealedTotal),
+		fmt.Sprintf("%.3f", revealedFinal),
+	})
+	bestPenalty := 1e18
+	for _, forget := range []float64{1.0, 0.9, 0.7, 0.5} {
+		total, final, err := estimatedRun(cfg, forget)
+		if err != nil {
+			return Table{}, err
+		}
+		tab.Rows = append(tab.Rows, []string{
+			fmt.Sprintf("estimated (forget=%.1f)", forget),
+			fmt.Sprintf("%.2f", total),
+			fmt.Sprintf("%.3f", final),
+		})
+		if p := total - revealedTotal; p < bestPenalty {
+			bestPenalty = p
+		}
+	}
+	if bestPenalty <= 0 {
+		tab.Notes = append(tab.Notes, fmt.Sprintf(
+			"estimation HELPS on this substrate (%.1f%% lower total latency at best): the "+
+				"forgetting fit smooths per-round fluctuation, so x' targets the persistent cost "+
+				"landscape instead of chasing noise",
+			-100*bestPenalty/revealedTotal))
+	} else {
+		tab.Notes = append(tab.Notes, fmt.Sprintf(
+			"best estimation penalty: %+.1f%% total latency vs revealed cost functions",
+			100*bestPenalty/revealedTotal))
+	}
+	tab.Notes = append(tab.Notes,
+		"estimation replaces Algorithm 1 line 3 (\"observe f_{i,t}\") with an exponentially "+
+			"forgetting least-squares fit of (workload, latency) pairs — no extra communication")
+	return tab, nil
+}
+
+// estimatedRun executes DOLBIE over one realization. forget <= 0 runs
+// the paper's revealed-information mode; otherwise the observation fed to
+// the balancer carries estimated cost functions.
+func estimatedRun(cfg Config, forget float64) (total, final float64, err error) {
+	cl, err := mlsim.New(mlsim.Config{
+		N:         cfg.N,
+		Model:     cfg.Model,
+		BatchSize: cfg.BatchSize,
+		Seed:      cfg.Seed,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	b, err := core.NewBalancer(simplex.Uniform(cfg.N),
+		core.WithInitialAlpha(cfg.Alpha1),
+		core.WithStepRuleScale(float64(cfg.BatchSize)))
+	if err != nil {
+		return 0, 0, err
+	}
+	var observer *estimate.EstimatingObserver
+	if forget > 0 {
+		if observer, err = estimate.NewEstimatingObserver(cfg.N, forget); err != nil {
+			return 0, 0, err
+		}
+	}
+	for t := 0; t < cfg.Rounds; t++ {
+		env := cl.NextEnv()
+		played := simplex.Clone(b.Assignment())
+		rep, err := env.Apply(played)
+		if err != nil {
+			return 0, 0, err
+		}
+		total += rep.GlobalLatency
+		final = rep.GlobalLatency
+		obs := rep.Observation
+		if observer != nil {
+			funcs, err := observer.Observe(played, rep.Observation.Costs)
+			if err != nil {
+				return 0, 0, err
+			}
+			obs = core.Observation{Costs: rep.Observation.Costs, Funcs: funcs}
+		}
+		if err := b.Update(obs); err != nil {
+			return 0, 0, err
+		}
+	}
+	return total, final, nil
+}

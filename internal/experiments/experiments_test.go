@@ -1,0 +1,439 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// testConfig is a miniature configuration keeping the test suite fast
+// while preserving the experiment structure.
+func testConfig() Config {
+	cfg := Quick()
+	cfg.N = 8
+	cfg.Rounds = 25
+	cfg.Realizations = 3
+	return cfg
+}
+
+func seriesByName(f Figure, name string) (Series, bool) {
+	for _, s := range f.Series {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Series{}, false
+}
+
+func TestConfigValidate(t *testing.T) {
+	mutations := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"zero N", func(c *Config) { c.N = 0 }},
+		{"zero batch", func(c *Config) { c.BatchSize = 0 }},
+		{"zero rounds", func(c *Config) { c.Rounds = 0 }},
+		{"zero realizations", func(c *Config) { c.Realizations = 0 }},
+		{"no model", func(c *Config) { c.Model.Name = "" }},
+		{"bad alpha", func(c *Config) { c.Alpha1 = 2 }},
+		{"bad beta", func(c *Config) { c.Beta = 0 }},
+		{"bad delta", func(c *Config) { c.DeltaSamples = 0 }},
+		{"bad P", func(c *Config) { c.P = 0 }},
+	}
+	for _, tt := range mutations {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := Default()
+			tt.mut(&cfg)
+			if err := cfg.validate(); err == nil {
+				t.Error("expected validation error")
+			}
+		})
+	}
+	if err := Default().validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+}
+
+func TestFig3ShapeAndNotes(t *testing.T) {
+	fig, err := Fig3(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fig.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != len(AlgorithmNames) {
+		t.Fatalf("series = %d, want %d", len(fig.Series), len(AlgorithmNames))
+	}
+	if len(fig.Notes) != 4 {
+		t.Errorf("notes = %d, want 4", len(fig.Notes))
+	}
+	// OPT must lower-bound every algorithm on every round (same paired
+	// realization).
+	opt, ok := seriesByName(fig, "OPT")
+	if !ok {
+		t.Fatal("missing OPT series")
+	}
+	for _, s := range fig.Series {
+		for k := range s.Y {
+			if opt.Y[k] > s.Y[k]+1e-9 {
+				t.Fatalf("round %d: OPT %v above %s %v", k+1, opt.Y[k], s.Name, s.Y[k])
+			}
+		}
+	}
+	// EQU's final latency must exceed DOLBIE's (the headline comparison).
+	equ, _ := seriesByName(fig, "EQU")
+	dol, _ := seriesByName(fig, "DOLBIE")
+	last := len(equ.Y) - 1
+	if equ.Y[last] <= dol.Y[last] {
+		t.Errorf("EQU final %v not above DOLBIE final %v", equ.Y[last], dol.Y[last])
+	}
+}
+
+func TestFig4And5HaveCIs(t *testing.T) {
+	cfg := testConfig()
+	for _, fn := range []func(Config) (Figure, error){Fig4, Fig5} {
+		fig, err := fn(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range fig.Series {
+			if len(s.YErr) != len(s.Y) {
+				t.Fatalf("%s series %q missing CI", fig.ID, s.Name)
+			}
+		}
+	}
+	// Fig5 (cumulative) must be non-decreasing per series.
+	fig, err := Fig5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range fig.Series {
+		for k := 1; k < len(s.Y); k++ {
+			if s.Y[k] < s.Y[k-1] {
+				t.Fatalf("%s cumulative series %q decreases at %d", fig.ID, s.Name, k)
+			}
+		}
+	}
+}
+
+func TestFig7TimeToAccuracy(t *testing.T) {
+	cfg := testConfig()
+	fig, err := Fig7(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.ID != "fig7" {
+		t.Errorf("id = %s", fig.ID)
+	}
+	if len(fig.Notes) < 5 {
+		t.Errorf("expected speedup notes, got %v", fig.Notes)
+	}
+	// Accuracy series are non-decreasing in both coordinates.
+	for _, s := range fig.Series {
+		for k := 1; k < len(s.Y); k++ {
+			if s.Y[k] < s.Y[k-1] || s.X[k] < s.X[k-1] {
+				t.Fatalf("series %q not monotone at %d", s.Name, k)
+			}
+		}
+	}
+}
+
+func TestFig9And10Panels(t *testing.T) {
+	cfg := testConfig()
+	figs, err := Fig9(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != len(AlgorithmNames) {
+		t.Fatalf("fig9 panels = %d, want %d", len(figs), len(AlgorithmNames))
+	}
+	batches, err := Fig10(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fig10 reports samples: per-round sum across processor groups times
+	// group sizes must equal B.
+	for _, fig := range batches {
+		var sum float64
+		for _, s := range fig.Series {
+			// Series names look like "V100(x3)".
+			openIdx := strings.Index(s.Name, "(x")
+			if openIdx < 0 {
+				t.Fatalf("unexpected series name %q", s.Name)
+			}
+			var count int
+			if _, err := fmt.Sscanf(s.Name[openIdx:], "(x%d)", &count); err != nil {
+				t.Fatalf("parse %q: %v", s.Name, err)
+			}
+			sum += s.Y[0] * float64(count)
+		}
+		if diff := sum - float64(cfg.BatchSize); diff > 1e-6 || diff < -1e-6 {
+			t.Errorf("%s: first-round batch sum = %v, want %d", fig.ID, sum, cfg.BatchSize)
+		}
+	}
+}
+
+func TestFig11(t *testing.T) {
+	tab, err := Fig11(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != len(AlgorithmNames) {
+		t.Fatalf("rows = %d, want %d", len(tab.Rows), len(AlgorithmNames))
+	}
+	if len(tab.Notes) < 5 {
+		t.Errorf("expected idle-time notes, got %d", len(tab.Notes))
+	}
+}
+
+func TestRegretTableBoundHolds(t *testing.T) {
+	tab, err := RegretTable(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, note := range tab.Notes {
+		if strings.Contains(note, "WARNING") {
+			t.Errorf("regret bound violated: %s", note)
+		}
+	}
+	if len(tab.Rows) == 0 {
+		t.Fatal("no checkpoints recorded")
+	}
+}
+
+func TestRegretComparison(t *testing.T) {
+	fig, err := RegretComparison(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fig.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != len(AlgorithmNames)+1 {
+		t.Fatalf("series = %d, want algorithms + BestFixed", len(fig.Series))
+	}
+	opt, ok := seriesByName(fig, "OPT")
+	if !ok {
+		t.Fatal("missing OPT series")
+	}
+	// OPT's cumulative regret is identically zero (it is the comparator).
+	for k, v := range opt.Y {
+		if v < -1e-6 || v > 1e-6 {
+			t.Fatalf("OPT regret at round %d = %v, want 0", k+1, v)
+		}
+	}
+	// Every algorithm's cumulative regret is non-negative and
+	// non-decreasing (each round's regret term is >= 0 by optimality).
+	for _, s := range fig.Series {
+		prev := 0.0
+		for k, v := range s.Y {
+			if v < prev-1e-9 {
+				t.Fatalf("%s cumulative regret decreases at round %d", s.Name, k+1)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestResilienceTable(t *testing.T) {
+	tab, err := ResilienceTable(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, note := range tab.Notes {
+		if strings.Contains(note, "WARNING") {
+			t.Errorf("resilience note: %s", note)
+		}
+	}
+}
+
+func TestEstimatedTable(t *testing.T) {
+	tab, err := EstimatedTable(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d, want revealed + 4 forgetting factors", len(tab.Rows))
+	}
+}
+
+func TestOGDSweep(t *testing.T) {
+	fig, err := OGDSweep(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fig.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 6 {
+		t.Fatalf("series = %d, want 4 betas + DOLBIE + OPT", len(fig.Series))
+	}
+}
+
+func TestSensitivityTable(t *testing.T) {
+	tab, err := SensitivityTable(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5 step sizes", len(tab.Rows))
+	}
+}
+
+func TestTailsTable(t *testing.T) {
+	tab, err := TailsTable(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != len(AlgorithmNames) {
+		t.Fatalf("rows = %d, want %d", len(tab.Rows), len(AlgorithmNames))
+	}
+}
+
+func TestScalingTable(t *testing.T) {
+	tab, err := ScalingTable(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 worker counts", len(tab.Rows))
+	}
+}
+
+func TestQuantizationTable(t *testing.T) {
+	tab, err := QuantizationTable(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) == 0 {
+		t.Fatal("no batch sizes evaluated")
+	}
+}
+
+func TestCommsTableScaling(t *testing.T) {
+	tab, err := CommsTable(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(tab.Rows))
+	}
+}
+
+func TestAblationTable(t *testing.T) {
+	tab, err := AblationTable(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 variants", len(tab.Rows))
+	}
+}
+
+func TestEdgeFigure(t *testing.T) {
+	fig, err := EdgeFigure(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fig.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != len(AlgorithmNames) {
+		t.Fatalf("series = %d, want %d", len(fig.Series), len(AlgorithmNames))
+	}
+}
+
+func TestEdgeTable(t *testing.T) {
+	tab, err := EdgeTable(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != len(AlgorithmNames) {
+		t.Fatalf("rows = %d, want %d", len(tab.Rows), len(AlgorithmNames))
+	}
+}
+
+func TestRegistryRunAndUnknown(t *testing.T) {
+	if _, err := Run("nope", testConfig()); err == nil {
+		t.Error("unknown experiment should error")
+	}
+	res, err := Run("fig3", testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Figures) != 1 {
+		t.Fatalf("figures = %d", len(res.Figures))
+	}
+	ids := IDs()
+	if len(ids) != len(registry) {
+		t.Errorf("IDs() = %d entries, want %d", len(ids), len(registry))
+	}
+}
+
+func TestRenderAndCSV(t *testing.T) {
+	res, err := Run("fig3", testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := res.RenderText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "fig3") || !strings.Contains(sb.String(), "DOLBIE") {
+		t.Error("render missing expected content")
+	}
+	dir := t.TempDir()
+	if err := res.WriteCSV(dir); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig3.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	header := strings.SplitN(string(data), "\n", 2)[0]
+	if !strings.Contains(header, "DOLBIE") {
+		t.Errorf("csv header = %q", header)
+	}
+}
+
+func TestFigureValidate(t *testing.T) {
+	bad := Figure{ID: "x", Series: []Series{{Name: "a", X: []float64{1}, Y: nil}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("mismatched series should fail validation")
+	}
+	if err := (Figure{}).Validate(); err == nil {
+		t.Error("missing ID should fail validation")
+	}
+	badErr := Figure{ID: "x", Series: []Series{{Name: "a", X: []float64{1}, Y: []float64{1}, YErr: []float64{1, 2}}}}
+	if err := badErr.Validate(); err == nil {
+		t.Error("mismatched YErr should fail validation")
+	}
+}
+
+func TestTableValidate(t *testing.T) {
+	bad := Table{ID: "x", Columns: []string{"a", "b"}, Rows: [][]string{{"1"}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("ragged rows should fail validation")
+	}
+	if err := (Table{}).Validate(); err == nil {
+		t.Error("missing ID should fail validation")
+	}
+}

@@ -1,0 +1,283 @@
+// Package experiments regenerates every figure of the paper's Section VI
+// plus two analysis tables (Theorem 1 regret-vs-bound, and the Section
+// IV-C communication complexity) on the simulated substrates. Each
+// experiment returns Figures (line series with optional confidence
+// intervals) and/or Tables that render as aligned text or CSV; the
+// bench harness at the repository root and cmd/dolbie-bench drive them.
+//
+// See DESIGN.md for the experiment index mapping figure IDs to paper
+// figures, and EXPERIMENTS.md for recorded paper-vs-measured outcomes.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// Series is one named line of a figure.
+type Series struct {
+	// Name labels the line (usually an algorithm name).
+	Name string
+	// X and Y are the coordinates; they must have equal length.
+	X []float64
+	Y []float64
+	// YErr optionally holds 95% CI half-widths per point (empty or the
+	// same length as Y).
+	YErr []float64
+}
+
+// Figure is one reproduced plot.
+type Figure struct {
+	// ID is the experiment identifier ("fig3", "fig4", ...).
+	ID string
+	// Title describes the figure, mirroring the paper's caption.
+	Title string
+	// XLabel and YLabel name the axes.
+	XLabel, YLabel string
+	// Series holds the lines.
+	Series []Series
+	// Notes carries derived headline numbers (e.g. percentage reductions)
+	// for EXPERIMENTS.md.
+	Notes []string
+}
+
+// Validate checks internal consistency.
+func (f Figure) Validate() error {
+	if f.ID == "" {
+		return fmt.Errorf("experiments: figure without ID")
+	}
+	for _, s := range f.Series {
+		if len(s.X) != len(s.Y) {
+			return fmt.Errorf("experiments: %s series %q: %d xs vs %d ys", f.ID, s.Name, len(s.X), len(s.Y))
+		}
+		if len(s.YErr) != 0 && len(s.YErr) != len(s.Y) {
+			return fmt.Errorf("experiments: %s series %q: %d errs vs %d ys", f.ID, s.Name, len(s.YErr), len(s.Y))
+		}
+	}
+	return nil
+}
+
+// RenderText writes the figure as an aligned text table: one row per x
+// value, one column per series (with +-err when present). Rows are the
+// union of x values across series; series without a given x print blanks.
+func (f Figure) RenderText(w io.Writer) error {
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "== %s: %s ==\n", f.ID, f.Title)
+	if len(f.Series) == 0 {
+		fmt.Fprintln(w, "(no series)")
+		return nil
+	}
+
+	// Collect the union of x values in first-seen order (series usually
+	// share the grid).
+	var xs []float64
+	seen := map[float64]bool{}
+	for _, s := range f.Series {
+		for _, x := range s.X {
+			if !seen[x] {
+				seen[x] = true
+				xs = append(xs, x)
+			}
+		}
+	}
+	lookup := make([]map[float64]int, len(f.Series))
+	for i, s := range f.Series {
+		lookup[i] = make(map[float64]int, len(s.X))
+		for k, x := range s.X {
+			lookup[i][x] = k
+		}
+	}
+
+	header := make([]string, 0, len(f.Series)+1)
+	header = append(header, f.XLabel)
+	for _, s := range f.Series {
+		header = append(header, s.Name)
+	}
+	rows := [][]string{header}
+	for _, x := range xs {
+		row := make([]string, 0, len(f.Series)+1)
+		row = append(row, trimFloat(x))
+		for i, s := range f.Series {
+			k, ok := lookup[i][x]
+			if !ok {
+				row = append(row, "")
+				continue
+			}
+			cell := trimFloat(s.Y[k])
+			if len(s.YErr) > 0 {
+				cell += "±" + trimFloat(s.YErr[k])
+			}
+			row = append(row, cell)
+		}
+		rows = append(rows, row)
+	}
+	writeAligned(w, rows)
+	for _, note := range f.Notes {
+		fmt.Fprintf(w, "note: %s\n", note)
+	}
+	return nil
+}
+
+// WriteCSV writes the figure to dir/<ID>.csv with columns
+// x,<name>,<name>_err,...
+func (f Figure) WriteCSV(dir string) error {
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	var b strings.Builder
+	b.WriteString(csvEscape(f.XLabel))
+	for _, s := range f.Series {
+		b.WriteString("," + csvEscape(s.Name))
+		if len(s.YErr) > 0 {
+			b.WriteString("," + csvEscape(s.Name+"_err"))
+		}
+	}
+	b.WriteString("\n")
+	// CSV uses the grid of the first series; experiments share grids.
+	if len(f.Series) > 0 {
+		grid := f.Series[0].X
+		for k := range grid {
+			b.WriteString(strconv.FormatFloat(grid[k], 'g', -1, 64))
+			for _, s := range f.Series {
+				if k < len(s.Y) {
+					b.WriteString("," + strconv.FormatFloat(s.Y[k], 'g', -1, 64))
+				} else {
+					b.WriteString(",")
+				}
+				if len(s.YErr) > 0 {
+					if k < len(s.YErr) {
+						b.WriteString("," + strconv.FormatFloat(s.YErr[k], 'g', -1, 64))
+					} else {
+						b.WriteString(",")
+					}
+				}
+			}
+			b.WriteString("\n")
+		}
+	}
+	path := filepath.Join(dir, f.ID+".csv")
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		return fmt.Errorf("experiments: write %s: %w", path, err)
+	}
+	return nil
+}
+
+// Table is one reproduced tabular result.
+type Table struct {
+	// ID is the experiment identifier.
+	ID string
+	// Title describes the table.
+	Title string
+	// Columns and Rows hold the content.
+	Columns []string
+	Rows    [][]string
+	// Notes carries derived headline numbers.
+	Notes []string
+}
+
+// Validate checks internal consistency.
+func (t Table) Validate() error {
+	if t.ID == "" {
+		return fmt.Errorf("experiments: table without ID")
+	}
+	for i, row := range t.Rows {
+		if len(row) != len(t.Columns) {
+			return fmt.Errorf("experiments: %s row %d has %d cells, want %d", t.ID, i, len(row), len(t.Columns))
+		}
+	}
+	return nil
+}
+
+// RenderText writes the table in aligned text form.
+func (t Table) RenderText(w io.Writer) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	rows := append([][]string{t.Columns}, t.Rows...)
+	writeAligned(w, rows)
+	for _, note := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", note)
+	}
+	return nil
+}
+
+// WriteCSV writes the table to dir/<ID>.csv.
+func (t Table) WriteCSV(dir string) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	var b strings.Builder
+	for i, c := range t.Columns {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		b.WriteString(csvEscape(c))
+	}
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			b.WriteString(csvEscape(cell))
+		}
+		b.WriteString("\n")
+	}
+	path := filepath.Join(dir, t.ID+".csv")
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		return fmt.Errorf("experiments: write %s: %w", path, err)
+	}
+	return nil
+}
+
+// writeAligned prints rows with columns padded to equal width.
+func writeAligned(w io.Writer, rows [][]string) {
+	if len(rows) == 0 {
+		return
+	}
+	widths := make([]int, 0)
+	for _, row := range rows {
+		for i, cell := range row {
+			if i >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if n := len([]rune(cell)); n > widths[i] {
+				widths[i] = n
+			}
+		}
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			pad := widths[i] - len([]rune(cell))
+			fmt.Fprint(w, cell, strings.Repeat(" ", pad))
+			if i < len(row)-1 {
+				fmt.Fprint(w, "  ")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// trimFloat formats a float compactly for table cells.
+func trimFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e9 {
+		return strconv.FormatFloat(v, 'f', 0, 64)
+	}
+	return strconv.FormatFloat(v, 'g', 5, 64)
+}
+
+// csvEscape quotes a cell when needed.
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dolbie/internal/stats"
+)
+
+// Fig3 reproduces Fig. 3: per-round training latency of one realization
+// (ResNet18, N = 30, B = 256), one series per algorithm. The note reports
+// DOLBIE's latency reduction at round 40 versus EQU, OGD, LB-BSP and ABS,
+// matching the paper's headline (89.6%, 82.2%, 67.4%, 47.6%).
+func Fig3(cfg Config) (Figure, error) {
+	if err := cfg.validate(); err != nil {
+		return Figure{}, err
+	}
+	results, err := cfg.runAll(0, cfg.Rounds, cfg.Model)
+	if err != nil {
+		return Figure{}, err
+	}
+	fig := Figure{
+		ID:     "fig3",
+		Title:  fmt.Sprintf("Per-round latency, one realization (%s, N=%d, B=%d)", cfg.Model.Name, cfg.N, cfg.BatchSize),
+		XLabel: "round",
+		YLabel: "latency (s)",
+	}
+	xs := roundGrid(cfg.Rounds)
+	byName := map[string][]float64{}
+	for k, res := range results {
+		fig.Series = append(fig.Series, Series{Name: AlgorithmNames[k], X: xs, Y: res.PerRoundLatency})
+		byName[AlgorithmNames[k]] = res.PerRoundLatency
+	}
+
+	probe := 40
+	if probe > cfg.Rounds {
+		probe = cfg.Rounds
+	}
+	dol := byName["DOLBIE"][probe-1]
+	for _, base := range []string{"EQU", "OGD", "LB-BSP", "ABS"} {
+		fig.Notes = append(fig.Notes, fmt.Sprintf(
+			"round %d: DOLBIE reduces per-round latency by %.1f%% vs %s (paper: 89.6/82.2/67.4/47.6%% vs EQU/OGD/LB-BSP/ABS)",
+			probe, pct(byName[base][probe-1], dol), base))
+	}
+	return fig, nil
+}
+
+// Fig4 reproduces Fig. 4: per-round latency with 95% confidence intervals
+// over cfg.Realizations independent processor samplings.
+func Fig4(cfg Config) (Figure, error) {
+	return latencyCI(cfg, "fig4", false)
+}
+
+// Fig5 reproduces Fig. 5: cumulative training latency with 95% confidence
+// intervals over cfg.Realizations independent processor samplings.
+func Fig5(cfg Config) (Figure, error) {
+	return latencyCI(cfg, "fig5", true)
+}
+
+func latencyCI(cfg Config, id string, cumulative bool) (Figure, error) {
+	if err := cfg.validate(); err != nil {
+		return Figure{}, err
+	}
+	// perAlg[k][r] is the length-T series of algorithm k in realization
+	// r. Realizations are independent and seeded, so they run in
+	// parallel with a deterministic merge.
+	perAlg := make([][][]float64, len(AlgorithmNames))
+	for k := range perAlg {
+		perAlg[k] = make([][]float64, cfg.Realizations)
+	}
+	err := forEachRealization(cfg.Realizations, func(r int) error {
+		results, err := cfg.runAll(r, cfg.Rounds, cfg.Model)
+		if err != nil {
+			return err
+		}
+		for k, res := range results {
+			series := res.PerRoundLatency
+			if cumulative {
+				series = res.CumLatency
+			}
+			perAlg[k][r] = series
+		}
+		return nil
+	})
+	if err != nil {
+		return Figure{}, err
+	}
+
+	what := "Per-round latency"
+	ylabel := "latency (s)"
+	if cumulative {
+		what = "Cumulative latency"
+		ylabel = "total latency (s)"
+	}
+	fig := Figure{
+		ID: id,
+		Title: fmt.Sprintf("%s with 95%% CI over %d realizations (%s, N=%d)",
+			what, cfg.Realizations, cfg.Model.Name, cfg.N),
+		XLabel: "round",
+		YLabel: ylabel,
+	}
+	xs := roundGrid(cfg.Rounds)
+	finals := map[string]float64{}
+	for k := range AlgorithmNames {
+		summaries, err := stats.SeriesAggregate(perAlg[k])
+		if err != nil {
+			return Figure{}, err
+		}
+		ys := make([]float64, len(summaries))
+		errs := make([]float64, len(summaries))
+		for t, s := range summaries {
+			ys[t] = s.Mean
+			errs[t] = s.HalfCI95
+		}
+		fig.Series = append(fig.Series, Series{Name: AlgorithmNames[k], X: xs, Y: ys, YErr: errs})
+		finals[AlgorithmNames[k]] = ys[len(ys)-1]
+	}
+	for _, base := range []string{"EQU", "OGD", "LB-BSP", "ABS"} {
+		fig.Notes = append(fig.Notes, fmt.Sprintf(
+			"final round mean: DOLBIE %.1f%% below %s", pct(finals[base], finals["DOLBIE"]), base))
+	}
+	return fig, nil
+}

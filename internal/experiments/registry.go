@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Result bundles the output of one experiment run: any number of figures
+// and tables.
+type Result struct {
+	Figures []Figure
+	Tables  []Table
+}
+
+// RenderText writes every figure and table in the result.
+func (r Result) RenderText(w io.Writer) error {
+	for _, f := range r.Figures {
+		if err := f.RenderText(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	for _, t := range r.Tables {
+		if err := t.RenderText(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// WriteCSV writes every figure and table in the result to dir.
+func (r Result) WriteCSV(dir string) error {
+	for _, f := range r.Figures {
+		if err := f.WriteCSV(dir); err != nil {
+			return err
+		}
+	}
+	for _, t := range r.Tables {
+		if err := t.WriteCSV(dir); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runner executes one registered experiment.
+type runner func(Config) (Result, error)
+
+func figureRunner(f func(Config) (Figure, error)) runner {
+	return func(cfg Config) (Result, error) {
+		fig, err := f(cfg)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Figures: []Figure{fig}}, nil
+	}
+}
+
+func figuresRunner(f func(Config) ([]Figure, error)) runner {
+	return func(cfg Config) (Result, error) {
+		figs, err := f(cfg)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Figures: figs}, nil
+	}
+}
+
+func tableRunner(f func(Config) (Table, error)) runner {
+	return func(cfg Config) (Result, error) {
+		tab, err := f(cfg)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Tables: []Table{tab}}, nil
+	}
+}
+
+// registry maps experiment IDs to their runners. The IDs follow the
+// paper's figure numbers (see DESIGN.md's experiment index).
+var registry = map[string]runner{
+	"fig3":        figureRunner(Fig3),
+	"fig4":        figureRunner(Fig4),
+	"fig5":        figureRunner(Fig5),
+	"fig6":        figureRunner(Fig6),
+	"fig7":        figureRunner(Fig7),
+	"fig8":        figureRunner(Fig8),
+	"fig9":        figuresRunner(Fig9),
+	"fig10":       figuresRunner(Fig10),
+	"fig11":       tableRunner(Fig11),
+	"speedup":     tableRunner(SpeedupAcrossModels),
+	"regret":      tableRunner(RegretTable),
+	"regretcmp":   figureRunner(RegretComparison),
+	"comms":       tableRunner(CommsTable),
+	"quantized":   tableRunner(QuantizationTable),
+	"scaling":     tableRunner(ScalingTable),
+	"ogdsweep":    figureRunner(OGDSweep),
+	"estimated":   tableRunner(EstimatedTable),
+	"resilience":  tableRunner(ResilienceTable),
+	"ablation":    tableRunner(AblationTable),
+	"edge":        tableRunner(EdgeTable),
+	"edgefig":     figureRunner(EdgeFigure),
+	"sensitivity": tableRunner(SensitivityTable),
+	"tails":       tableRunner(TailsTable),
+}
+
+// IDs returns the registered experiment identifiers in sorted order.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Run executes the experiment with the given ID under cfg.
+func Run(id string, cfg Config) (Result, error) {
+	r, ok := registry[id]
+	if !ok {
+		return Result{}, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, IDs())
+	}
+	return r(cfg)
+}
+
+// RunAll executes every registered experiment in sorted-ID order and
+// merges the outputs.
+func RunAll(cfg Config) (Result, error) {
+	var out Result
+	for _, id := range IDs() {
+		r, err := Run(id, cfg)
+		if err != nil {
+			return Result{}, fmt.Errorf("experiments: %s: %w", id, err)
+		}
+		out.Figures = append(out.Figures, r.Figures...)
+		out.Tables = append(out.Tables, r.Tables...)
+	}
+	return out, nil
+}

@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"dolbie/internal/cluster"
+	"dolbie/internal/costfn"
+	"dolbie/internal/mlsim"
+	"dolbie/internal/simplex"
+)
+
+// ResilienceTable exercises the fail-stop extension end to end on the
+// simulated training cluster: a full resilient master-worker deployment
+// runs over real protocol messages while one worker crashes mid-run. The
+// table reports the global latency immediately before the crash, at the
+// crash round (which pays one detection timeout), and after the survivors
+// re-balance — demonstrating that the crashed worker's load is reabsorbed
+// within a few rounds.
+func ResilienceTable(cfg Config) (Table, error) {
+	if err := cfg.validate(); err != nil {
+		return Table{}, err
+	}
+	n := cfg.N
+	if n > 12 {
+		n = 12 // the deployment runs real goroutines per worker; keep it tight
+	}
+	rounds := cfg.Rounds
+	crashRound := rounds / 2
+	crashWorker := 1
+
+	// Pre-realize environments so the cost feedback is the calibrated
+	// training workload, observed per worker.
+	cl, err := mlsim.New(mlsim.Config{N: n, Model: cfg.Model, BatchSize: cfg.BatchSize, Seed: cfg.Seed})
+	if err != nil {
+		return Table{}, err
+	}
+	envs := make([]mlsim.Env, rounds)
+	for t := range envs {
+		envs[t] = cl.NextEnv()
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	net := cluster.NewMemNet()
+	transports := make([]cluster.Transport, n+1)
+	for i := range transports {
+		transports[i] = net.Node(i)
+	}
+
+	type roundCost struct {
+		round int
+		cost  float64
+	}
+	var (
+		mu      sync.Mutex
+		maxCost = map[int]float64{} // round -> max observed latency
+	)
+	recordCost := func(rc roundCost) {
+		mu.Lock()
+		if rc.cost > maxCost[rc.round] {
+			maxCost[rc.round] = rc.cost
+		}
+		mu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			src := cluster.FuncSource(func(round int, x float64) (float64, costfn.Func, error) {
+				if i == crashWorker && round >= crashRound {
+					return 0, nil, errors.New("injected crash")
+				}
+				f := envs[round-1].Funcs[i]
+				cost := f.Eval(x)
+				recordCost(roundCost{round: round, cost: cost})
+				return cost, f, nil
+			})
+			//nolint:errcheck // the crashed worker exits with its injected error
+			cluster.RunWorker(ctx, transports[i], i, n, 1/float64(n), rounds, src)
+		}(i)
+	}
+	res, err := cluster.RunResilientMaster(ctx, transports[n], simplex.Uniform(n), rounds, cluster.ResilientConfig{
+		RoundTimeout:  300 * time.Millisecond,
+		InitialAlpha:  cfg.Alpha1,
+		StepRuleScale: float64(cfg.BatchSize),
+	})
+	if err != nil {
+		return Table{}, fmt.Errorf("experiments: resilient deployment: %w", err)
+	}
+	wg.Wait()
+
+	tab := Table{
+		ID: "resilience",
+		Title: fmt.Sprintf("Fail-stop recovery on the training cluster (%s, N=%d, crash of worker %d at round %d)",
+			cfg.Model.Name, n, crashWorker, crashRound),
+		Columns: []string{"phase", "round", "global latency (s)"},
+	}
+	probe := func(name string, round int) {
+		mu.Lock()
+		cost := maxCost[round]
+		mu.Unlock()
+		tab.Rows = append(tab.Rows, []string{name, fmt.Sprintf("%d", round), fmt.Sprintf("%.3f", cost)})
+	}
+	probe("before crash", crashRound-1)
+	probe("crash detected", crashRound)
+	probe("recovered +2", crashRound+2)
+	probe("recovered +10", minInt(crashRound+10, rounds))
+	probe("final", rounds)
+
+	if len(res.Crashed) == 1 && res.Crashed[0] == crashWorker {
+		tab.Notes = append(tab.Notes, fmt.Sprintf(
+			"worker %d detected as crashed and removed; %d survivors completed all %d rounds",
+			crashWorker, len(res.Survivors), res.Rounds))
+	} else {
+		tab.Notes = append(tab.Notes, fmt.Sprintf("WARNING: crash detection unexpected: %v", res.Crashed))
+	}
+	return tab, nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"dolbie/internal/core"
+	"dolbie/internal/mlsim"
+	"dolbie/internal/optimum"
+	"dolbie/internal/simplex"
+)
+
+// ScalingTable studies how DOLBIE scales with the number of workers: for
+// each N it reports the rounds needed to come within 25% of the per-round
+// clairvoyant optimum, the mean latency gap to the optimum over the final
+// quarter of the horizon, and the measured per-round decision time. The
+// paper's claims under test: per-round computation is O(N) across all
+// workers (Section IV-C) and the regret bound grows sublinearly in N
+// (Theorem 1 discussion).
+func ScalingTable(cfg Config) (Table, error) {
+	if err := cfg.validate(); err != nil {
+		return Table{}, err
+	}
+	tab := Table{
+		ID: "scaling",
+		Title: fmt.Sprintf("DOLBIE scaling with worker count (%s, B=%d, T=%d)",
+			cfg.Model.Name, cfg.BatchSize, cfg.Rounds),
+		Columns: []string{"N", "rounds to 1.25x OPT", "final gap to OPT", "decision µs/round"},
+	}
+	var prevDecision float64
+	superlinear := false
+	for _, n := range []int{10, 30, 60, 100} {
+		row, decision, err := scalingRow(cfg, n)
+		if err != nil {
+			return Table{}, err
+		}
+		tab.Rows = append(tab.Rows, row)
+		if prevDecision > 0 && decision > prevDecision*8 {
+			// Per-round decision time growing much faster than the ~3x
+			// step in N would contradict the O(N) claim.
+			superlinear = true
+		}
+		prevDecision = decision
+	}
+	if superlinear {
+		tab.Notes = append(tab.Notes, "WARNING: decision time grew superlinearly in N")
+	} else {
+		tab.Notes = append(tab.Notes, "decision time grows about linearly in N, matching the O(N) per-round computation of Section IV-C")
+	}
+	return tab, nil
+}
+
+func scalingRow(cfg Config, n int) ([]string, float64, error) {
+	cl, err := mlsim.New(mlsim.Config{
+		N:         n,
+		Model:     cfg.Model,
+		BatchSize: cfg.BatchSize,
+		Seed:      cfg.Seed,
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	b, err := core.NewBalancer(simplex.Uniform(n),
+		core.WithInitialAlpha(cfg.Alpha1),
+		core.WithStepRuleScale(float64(cfg.BatchSize)))
+	if err != nil {
+		return nil, 0, err
+	}
+
+	const targetRatio = 1.25
+	hitRound := -1
+	var gapSum float64
+	gapCount := 0
+	tailStart := cfg.Rounds - cfg.Rounds/4
+	var decisionNanos int64
+	for t := 1; t <= cfg.Rounds; t++ {
+		env := cl.NextEnv()
+		rep, err := env.Apply(b.Assignment())
+		if err != nil {
+			return nil, 0, err
+		}
+		opt, err := optimum.Solve(env.Funcs, 0)
+		if err != nil {
+			return nil, 0, err
+		}
+		if hitRound < 0 && opt.Value > 0 && rep.GlobalLatency <= targetRatio*opt.Value {
+			hitRound = t
+		}
+		if t > tailStart && opt.Value > 0 {
+			gapSum += rep.GlobalLatency/opt.Value - 1
+			gapCount++
+		}
+		start := time.Now()
+		if err := b.Update(rep.Observation); err != nil {
+			return nil, 0, err
+		}
+		decisionNanos += time.Since(start).Nanoseconds()
+	}
+	hit := "never"
+	if hitRound > 0 {
+		hit = fmt.Sprintf("%d", hitRound)
+	}
+	gap := 0.0
+	if gapCount > 0 {
+		gap = gapSum / float64(gapCount)
+	}
+	decisionUs := float64(decisionNanos) / float64(cfg.Rounds) / 1e3
+	row := []string{
+		fmt.Sprintf("%d", n),
+		hit,
+		fmt.Sprintf("%.1f%%", 100*gap),
+		fmt.Sprintf("%.1f", decisionUs),
+	}
+	return row, decisionUs, nil
+}

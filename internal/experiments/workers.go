@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"dolbie/internal/mlsim"
+)
+
+// Fig9 reproduces Fig. 9: per-worker training latency per round, one
+// panel (Figure) per algorithm. Workers are grouped by processor type —
+// the paper colors the fast GPUs, the mid CPUs and the straggling
+// Broadwells — and each series is the mean latency of one processor
+// type's workers.
+func Fig9(cfg Config) ([]Figure, error) {
+	return perWorkerPanels(cfg, "fig9", "latency (s)",
+		func(res mlsim.RunResult) [][]float64 { return res.PerWorkerLatency })
+}
+
+// Fig10 reproduces Fig. 10: per-worker batch size per round (in samples),
+// one panel per algorithm, grouped by processor type as in Fig9.
+func Fig10(cfg Config) ([]Figure, error) {
+	figs, err := perWorkerPanels(cfg, "fig10", "batch size (samples)",
+		func(res mlsim.RunResult) [][]float64 { return res.Batches })
+	if err != nil {
+		return nil, err
+	}
+	// Convert batch fractions to sample counts b_i * B.
+	for f := range figs {
+		for s := range figs[f].Series {
+			for k := range figs[f].Series[s].Y {
+				figs[f].Series[s].Y[k] *= float64(cfg.BatchSize)
+			}
+		}
+	}
+	return figs, nil
+}
+
+func perWorkerPanels(cfg Config, id, ylabel string, extract func(mlsim.RunResult) [][]float64) ([]Figure, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	cl, err := cfg.cluster(0, cfg.Model)
+	if err != nil {
+		return nil, err
+	}
+	// Group worker indices by processor type (stable name order).
+	groups := map[string][]int{}
+	for i, p := range cl.Fleet() {
+		groups[p.Name] = append(groups[p.Name], i)
+	}
+	names := make([]string, 0, len(groups))
+	for name := range groups {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	results, err := cfg.runAll(0, cfg.Rounds, cfg.Model)
+	if err != nil {
+		return nil, err
+	}
+	xs := roundGrid(cfg.Rounds)
+	figs := make([]Figure, 0, len(results))
+	for k, res := range results {
+		data := extract(res)
+		fig := Figure{
+			ID:     fmt.Sprintf("%s-%s", id, AlgorithmNames[k]),
+			Title:  fmt.Sprintf("%s per processor type per round (%s)", ylabel, AlgorithmNames[k]),
+			XLabel: "round",
+			YLabel: ylabel,
+		}
+		for _, name := range names {
+			idx := groups[name]
+			ys := make([]float64, cfg.Rounds)
+			for t := 0; t < cfg.Rounds; t++ {
+				var sum float64
+				for _, i := range idx {
+					sum += data[t][i]
+				}
+				ys[t] = sum / float64(len(idx))
+			}
+			fig.Series = append(fig.Series, Series{
+				Name: fmt.Sprintf("%s(x%d)", name, len(idx)),
+				X:    xs,
+				Y:    ys,
+			})
+		}
+		figs = append(figs, fig)
+	}
+	return figs, nil
+}

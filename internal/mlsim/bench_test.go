@@ -1,0 +1,32 @@
+package mlsim
+
+import (
+	"fmt"
+	"testing"
+
+	"dolbie/internal/procmodel"
+	"dolbie/internal/simplex"
+)
+
+// BenchmarkNextEnvApply measures one simulated training round
+// (environment realization plus latency decomposition) at several
+// cluster sizes.
+func BenchmarkNextEnvApply(b *testing.B) {
+	for _, n := range []int{10, 30, 100} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			c, err := New(Config{N: n, Model: procmodel.ResNet18, BatchSize: 256, Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			x := simplex.Uniform(n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				env := c.NextEnv()
+				if _, err := env.Apply(x); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

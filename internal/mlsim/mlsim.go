@@ -1,0 +1,367 @@
+// Package mlsim simulates synchronous data-parallel distributed training
+// with a parameter server, reproducing the experimental platform of the
+// paper's Section VI as a discrete-event model.
+//
+// Each online round t, worker i processes a batch fraction b_{i,t} of the
+// global batch B and then exchanges the model gradient with the parameter
+// server, so its local latency is the paper's Example 1 cost
+//
+//	f_{i,t}(b) = b*B/gamma_{i,t} + d/phi_{i,t},
+//
+// where gamma_{i,t} is the realized per-round training throughput
+// (samples/s) and phi_{i,t} the realized network rate. The synchronization
+// barrier makes the round latency the maximum over workers; the gap
+// between a worker's own latency and the barrier is its idle time.
+//
+// The realized gamma and phi come from the calibrated processor catalog
+// (internal/procmodel) modulated by seeded stochastic processes
+// (internal/trace): AR(1) drift plus Markov-style contention spikes,
+// substituting for the paper's measured hardware fluctuation (see
+// DESIGN.md, "Substitutions"). Algorithms only ever observe the resulting
+// scalar costs, exactly as in the paper.
+package mlsim
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"dolbie/internal/core"
+	"dolbie/internal/costfn"
+	"dolbie/internal/procmodel"
+	"dolbie/internal/simplex"
+	"dolbie/internal/trace"
+)
+
+// Config parameterizes a simulated training cluster.
+type Config struct {
+	// N is the number of workers (the paper uses 30).
+	N int
+	// Model is the training workload (LeNet5, ResNet18, or VGG16).
+	Model procmodel.MLModel
+	// BatchSize is the global batch B (the paper uses 256).
+	BatchSize int
+	// Seed drives fleet sampling and every fluctuation process; the same
+	// seed reproduces the same realization exactly.
+	Seed int64
+
+	// Fleet optionally pins the processor of every worker. When nil, N
+	// processors are sampled uniformly at random from the catalog
+	// (the paper's setup).
+	Fleet []procmodel.Processor
+
+	// SpeedPhi/SpeedSigma shape the AR(1) drift of per-round throughput
+	// around its calibrated mean (defaults 0.85 and 0.04).
+	SpeedPhi, SpeedSigma float64
+	// ContentionEnter/ContentionExit/ContentionFactor model sustained
+	// background contention (a co-located job) as a two-state Markov
+	// regime per worker: each round an uncontended worker becomes
+	// contended with probability ContentionEnter, a contended worker
+	// recovers with probability ContentionExit, and while contended the
+	// worker's throughput is multiplied by ContentionFactor. Defaults
+	// 0.015 / 0.12 / 0.35 give ~8-round contention dwells on ~11% of
+	// rounds — the dominant straggler mechanism in non-dedicated clusters.
+	ContentionEnter, ContentionExit, ContentionFactor float64
+	// RatePhi/RateSigma shape the AR(1) drift of the network rate
+	// (defaults 0.8 and 0.08).
+	RatePhi, RateSigma float64
+}
+
+func (c *Config) applyDefaults() {
+	if c.SpeedPhi == 0 {
+		c.SpeedPhi = 0.85
+	}
+	if c.SpeedSigma == 0 {
+		c.SpeedSigma = 0.04
+	}
+	if c.ContentionEnter == 0 {
+		c.ContentionEnter = 0.015
+	}
+	if c.ContentionExit == 0 {
+		c.ContentionExit = 0.12
+	}
+	if c.ContentionFactor == 0 {
+		c.ContentionFactor = 0.35
+	}
+	if c.RatePhi == 0 {
+		c.RatePhi = 0.8
+	}
+	if c.RateSigma == 0 {
+		c.RateSigma = 0.08
+	}
+}
+
+// Cluster is a simulated training deployment. It is a sequential
+// discrete-event model: call NextEnv to realize the next round's system
+// state, then Env.Apply to execute a batch assignment under it.
+type Cluster struct {
+	cfg        Config
+	fleet      []procmodel.Processor
+	base       []float64 // calibrated mean throughput per worker (samples/s)
+	speed      []trace.Process
+	contention []trace.Process
+	rate       []trace.Process
+	round      int
+}
+
+// New constructs a cluster. The fleet is sampled from the processor
+// catalog unless pinned in cfg.Fleet.
+func New(cfg Config) (*Cluster, error) {
+	cfg.applyDefaults()
+	if cfg.N <= 0 {
+		return nil, errors.New("mlsim: N must be positive")
+	}
+	if cfg.BatchSize <= 0 {
+		return nil, errors.New("mlsim: BatchSize must be positive")
+	}
+	if cfg.Model.Name == "" {
+		return nil, errors.New("mlsim: Model is required")
+	}
+	fleet := cfg.Fleet
+	if fleet == nil {
+		var err error
+		fleet, err = procmodel.SampleFleet(cfg.N, cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("mlsim: %w", err)
+		}
+	}
+	if len(fleet) != cfg.N {
+		return nil, fmt.Errorf("mlsim: fleet has %d processors, want %d", len(fleet), cfg.N)
+	}
+	c := &Cluster{
+		cfg:        cfg,
+		fleet:      fleet,
+		base:       make([]float64, cfg.N),
+		speed:      make([]trace.Process, cfg.N),
+		contention: make([]trace.Process, cfg.N),
+		rate:       make([]trace.Process, cfg.N),
+	}
+	for i, p := range fleet {
+		thru, err := p.SamplesPerSecond(cfg.Model)
+		if err != nil {
+			return nil, fmt.Errorf("mlsim: worker %d: %w", i, err)
+		}
+		c.base[i] = thru
+
+		drift, err := trace.NewAR1(1, cfg.SpeedPhi, cfg.SpeedSigma, cfg.Seed*1_000_003+int64(i)*7919+1)
+		if err != nil {
+			return nil, fmt.Errorf("mlsim: worker %d speed: %w", i, err)
+		}
+		c.speed[i] = &trace.Clamp{Inner: drift, Min: 0.5, Max: 1.6}
+		if p.SharedHost {
+			c.contention[i], err = trace.NewMarkov(
+				[]float64{1, cfg.ContentionFactor},
+				[][]float64{
+					{1 - cfg.ContentionEnter, cfg.ContentionEnter},
+					{cfg.ContentionExit, 1 - cfg.ContentionExit},
+				},
+				cfg.Seed*1_000_033+int64(i)*104729+2)
+			if err != nil {
+				return nil, fmt.Errorf("mlsim: worker %d contention: %w", i, err)
+			}
+		} else {
+			c.contention[i] = &trace.Constant{Value: 1}
+		}
+
+		rdrift, err := trace.NewAR1(1, cfg.RatePhi, cfg.RateSigma, cfg.Seed*1_000_037+int64(i)*15485863+3)
+		if err != nil {
+			return nil, fmt.Errorf("mlsim: worker %d rate: %w", i, err)
+		}
+		c.rate[i] = &trace.Clamp{Inner: rdrift, Min: 0.2, Max: 2}
+	}
+	return c, nil
+}
+
+// N returns the number of workers.
+func (c *Cluster) N() int { return c.cfg.N }
+
+// Model returns the training workload.
+func (c *Cluster) Model() procmodel.MLModel { return c.cfg.Model }
+
+// Fleet returns the processor of every worker.
+func (c *Cluster) Fleet() []procmodel.Processor { return c.fleet }
+
+// Round returns the number of realized rounds.
+func (c *Cluster) Round() int { return c.round }
+
+// Env is the realized system state of one round: it fully determines the
+// local cost functions, which the algorithms observe only after playing
+// their assignment (except the clairvoyant OPT comparator).
+type Env struct {
+	// Round is the 1-based round index.
+	Round int
+	// Gamma is each worker's realized training throughput (samples/s).
+	Gamma []float64
+	// CommTime is each worker's realized gradient-exchange time (s),
+	// independent of the batch assignment.
+	CommTime []float64
+	// Funcs are the induced local latency functions f_{i,t}.
+	Funcs []costfn.Func
+}
+
+// NextEnv realizes the next round's throughputs and network rates.
+func (c *Cluster) NextEnv() Env {
+	c.round++
+	n := c.cfg.N
+	env := Env{
+		Round:    c.round,
+		Gamma:    make([]float64, n),
+		CommTime: make([]float64, n),
+		Funcs:    make([]costfn.Func, n),
+	}
+	for i := 0; i < n; i++ {
+		gamma := c.base[i] * c.speed[i].Next() * c.contention[i].Next()
+		rate := c.fleet[i].NetRate * c.rate[i].Next()
+		// Gradient up + model down.
+		comm := 2 * c.cfg.Model.ParamBytes / rate
+		env.Gamma[i] = gamma
+		env.CommTime[i] = comm
+		env.Funcs[i] = costfn.Affine{
+			Slope:     float64(c.cfg.BatchSize) / gamma,
+			Intercept: comm + c.fleet[i].RoundOverhead,
+		}
+	}
+	return env
+}
+
+// Report is the outcome of executing one batch assignment under a round
+// environment.
+type Report struct {
+	// Round is the environment's round index.
+	Round int
+	// Comp, Comm and Latency decompose each worker's round time (s);
+	// Latency[i] = Comp[i] + Comm[i].
+	Comp, Comm, Latency []float64
+	// GlobalLatency is the barrier time max_i Latency[i].
+	GlobalLatency float64
+	// Straggler is the slowest worker (lowest index on ties).
+	Straggler int
+	// Idle[i] = GlobalLatency - Latency[i] is time worker i waits at the
+	// synchronization barrier.
+	Idle []float64
+	// Observation is the feedback handed to online algorithms.
+	Observation core.Observation
+}
+
+// Apply executes assignment b (a point on the simplex) under the
+// environment and returns the full latency decomposition.
+func (e Env) Apply(b []float64) (Report, error) {
+	n := len(e.Funcs)
+	if len(b) != n {
+		return Report{}, fmt.Errorf("mlsim: assignment has %d entries, want %d", len(b), n)
+	}
+	if err := simplex.Check(b, 1e-6); err != nil {
+		return Report{}, fmt.Errorf("mlsim: infeasible assignment: %w", err)
+	}
+	rep := Report{
+		Round:   e.Round,
+		Comp:    make([]float64, n),
+		Comm:    make([]float64, n),
+		Latency: make([]float64, n),
+		Idle:    make([]float64, n),
+	}
+	costs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		lat := e.Funcs[i].Eval(b[i])
+		rep.Comm[i] = e.CommTime[i]
+		rep.Comp[i] = lat - e.CommTime[i]
+		rep.Latency[i] = lat
+		costs[i] = lat
+	}
+	rep.Straggler = simplex.ArgMax(costs)
+	rep.GlobalLatency = costs[rep.Straggler]
+	for i := 0; i < n; i++ {
+		rep.Idle[i] = rep.GlobalLatency - rep.Latency[i]
+	}
+	rep.Observation = core.Observation{Costs: costs, Funcs: e.Funcs}
+	return rep, nil
+}
+
+// clairvoyant matches baselines.OPT structurally, avoiding a package
+// dependency: algorithms implementing it are shown the round's cost
+// functions before deciding.
+type clairvoyant interface {
+	Foresee(funcs []costfn.Func) error
+}
+
+// RunResult collects the trajectory of one algorithm over T rounds.
+type RunResult struct {
+	// Algorithm is the algorithm's name.
+	Algorithm string
+	// PerRoundLatency[t] is the barrier latency of round t (s).
+	PerRoundLatency []float64
+	// CumLatency[t] is the total wall-clock training time through round t.
+	CumLatency []float64
+	// PerWorkerLatency[t][i], Batches[t][i], CompTime[t][i],
+	// CommTime[t][i] and IdleTime[t][i] decompose each round.
+	PerWorkerLatency [][]float64
+	Batches          [][]float64
+	CompTime         [][]float64
+	CommTime         [][]float64
+	IdleTime         [][]float64
+	// DecisionNanos[t] is the wall-clock cost of the algorithm's round-t
+	// decision making (Update plus, for OPT, the clairvoyant solve) —
+	// the paper's "overhead" metric in Fig. 11.
+	DecisionNanos []int64
+}
+
+// Run drives an algorithm through T rounds on the cluster and records the
+// full trajectory. The cluster's stochastic state advances, so to compare
+// algorithms on identical realizations construct a fresh cluster with the
+// same seed for each algorithm.
+func Run(c *Cluster, alg core.Algorithm, rounds int) (RunResult, error) {
+	if rounds <= 0 {
+		return RunResult{}, errors.New("mlsim: rounds must be positive")
+	}
+	res := RunResult{
+		Algorithm:        alg.Name(),
+		PerRoundLatency:  make([]float64, rounds),
+		CumLatency:       make([]float64, rounds),
+		PerWorkerLatency: make([][]float64, rounds),
+		Batches:          make([][]float64, rounds),
+		CompTime:         make([][]float64, rounds),
+		CommTime:         make([][]float64, rounds),
+		IdleTime:         make([][]float64, rounds),
+		DecisionNanos:    make([]int64, rounds),
+	}
+	var cum float64
+	for t := 0; t < rounds; t++ {
+		env := c.NextEnv()
+
+		var overhead time.Duration
+		if cv, ok := alg.(clairvoyant); ok {
+			start := time.Now()
+			if err := cv.Foresee(env.Funcs); err != nil {
+				return RunResult{}, fmt.Errorf("mlsim: round %d foresee: %w", t+1, err)
+			}
+			overhead += time.Since(start)
+		}
+
+		b := simplex.Clone(alg.Assignment())
+		rep, err := env.Apply(b)
+		if err != nil {
+			return RunResult{}, fmt.Errorf("mlsim: round %d (%s): %w", t+1, alg.Name(), err)
+		}
+
+		start := time.Now()
+		if err := alg.Update(rep.Observation); err != nil {
+			return RunResult{}, fmt.Errorf("mlsim: round %d update (%s): %w", t+1, alg.Name(), err)
+		}
+		overhead += time.Since(start)
+
+		cum += rep.GlobalLatency
+		res.PerRoundLatency[t] = rep.GlobalLatency
+		res.CumLatency[t] = cum
+		res.PerWorkerLatency[t] = rep.Latency
+		res.Batches[t] = b
+		res.CompTime[t] = rep.Comp
+		res.CommTime[t] = rep.Comm
+		res.IdleTime[t] = rep.Idle
+		res.DecisionNanos[t] = overhead.Nanoseconds()
+	}
+	return res, nil
+}
+
+// AccuracyAt maps completed rounds to modeled training accuracy for the
+// cluster's workload (see procmodel.MLModel.Accuracy).
+func (c *Cluster) AccuracyAt(rounds int) float64 { return c.cfg.Model.Accuracy(rounds) }

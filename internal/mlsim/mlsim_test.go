@@ -1,0 +1,257 @@
+package mlsim
+
+import (
+	"math"
+	"testing"
+
+	"dolbie/internal/baselines"
+	"dolbie/internal/core"
+	"dolbie/internal/procmodel"
+	"dolbie/internal/simplex"
+)
+
+func testConfig() Config {
+	return Config{N: 8, Model: procmodel.ResNet18, BatchSize: 256, Seed: 42}
+}
+
+func TestNewValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		cfg  Config
+	}{
+		{"zero N", Config{Model: procmodel.LeNet5, BatchSize: 256}},
+		{"zero batch", Config{N: 4, Model: procmodel.LeNet5}},
+		{"no model", Config{N: 4, BatchSize: 256}},
+		{"fleet mismatch", Config{N: 4, Model: procmodel.LeNet5, BatchSize: 256,
+			Fleet: []procmodel.Processor{procmodel.V100}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := New(tt.cfg); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+func TestNewSampledFleetDeterministic(t *testing.T) {
+	a, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Fleet() {
+		if a.Fleet()[i].Name != b.Fleet()[i].Name {
+			t.Fatal("same seed must sample the same fleet")
+		}
+	}
+}
+
+func TestNextEnvShape(t *testing.T) {
+	c, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := c.NextEnv()
+	if env.Round != 1 {
+		t.Errorf("round = %d, want 1", env.Round)
+	}
+	if len(env.Gamma) != 8 || len(env.CommTime) != 8 || len(env.Funcs) != 8 {
+		t.Fatalf("env dimensions wrong: %d/%d/%d", len(env.Gamma), len(env.CommTime), len(env.Funcs))
+	}
+	for i := range env.Gamma {
+		if env.Gamma[i] <= 0 {
+			t.Errorf("gamma[%d] = %v must be positive", i, env.Gamma[i])
+		}
+		if env.CommTime[i] <= 0 {
+			t.Errorf("comm[%d] = %v must be positive", i, env.CommTime[i])
+		}
+		// f(0) must equal the batch-independent cost (communication plus
+		// per-round overhead); f increasing.
+		want := env.CommTime[i] + c.Fleet()[i].RoundOverhead
+		if got := env.Funcs[i].Eval(0); math.Abs(got-want) > 1e-12 {
+			t.Errorf("funcs[%d](0) = %v, want %v", i, got, want)
+		}
+		if env.Funcs[i].Eval(1) <= env.Funcs[i].Eval(0) {
+			t.Errorf("funcs[%d] not increasing", i)
+		}
+	}
+	if e2 := c.NextEnv(); e2.Round != 2 {
+		t.Errorf("second round = %d, want 2", e2.Round)
+	}
+}
+
+func TestEnvVariesOverRounds(t *testing.T) {
+	c, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := c.NextEnv(), c.NextEnv()
+	var changed bool
+	for i := range a.Gamma {
+		if a.Gamma[i] != b.Gamma[i] {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Error("throughput never fluctuates across rounds")
+	}
+}
+
+func TestApplyValidation(t *testing.T) {
+	c, _ := New(testConfig())
+	env := c.NextEnv()
+	if _, err := env.Apply([]float64{1}); err == nil {
+		t.Error("wrong-length assignment should error")
+	}
+	bad := make([]float64, 8)
+	bad[0] = 2 // sums to 2
+	if _, err := env.Apply(bad); err == nil {
+		t.Error("infeasible assignment should error")
+	}
+}
+
+func TestApplyDecomposition(t *testing.T) {
+	c, _ := New(testConfig())
+	env := c.NextEnv()
+	b := simplex.Uniform(8)
+	rep, err := env.Apply(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rep.Latency {
+		if math.Abs(rep.Comp[i]+rep.Comm[i]-rep.Latency[i]) > 1e-9 {
+			t.Errorf("worker %d: comp+comm != latency", i)
+		}
+		if rep.Comp[i] < 0 {
+			t.Errorf("worker %d: negative compute time %v", i, rep.Comp[i])
+		}
+		if rep.Idle[i] < -1e-12 {
+			t.Errorf("worker %d: negative idle %v", i, rep.Idle[i])
+		}
+		if rep.Latency[i] > rep.GlobalLatency+1e-12 {
+			t.Errorf("worker %d latency %v exceeds barrier %v", i, rep.Latency[i], rep.GlobalLatency)
+		}
+	}
+	if rep.Idle[rep.Straggler] != 0 {
+		t.Errorf("straggler idle = %v, want 0", rep.Idle[rep.Straggler])
+	}
+	if len(rep.Observation.Costs) != 8 || len(rep.Observation.Funcs) != 8 {
+		t.Error("observation incomplete")
+	}
+}
+
+func TestRunDOLBIEBeatsEqualAssignment(t *testing.T) {
+	const rounds = 80
+	// Same seed => identical realization for both algorithms.
+	cEqu, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	equ, err := baselines.NewEqual(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resEqu, err := Run(cEqu, equ, rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cDol, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dol, err := core.NewBalancer(simplex.Uniform(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resDol, err := Run(cDol, dol, rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if resDol.CumLatency[rounds-1] >= resEqu.CumLatency[rounds-1] {
+		t.Errorf("DOLBIE total %.2fs not better than EQU total %.2fs",
+			resDol.CumLatency[rounds-1], resEqu.CumLatency[rounds-1])
+	}
+	// DOLBIE's tail per-round latency must be well below EQU's.
+	tailDol := resDol.PerRoundLatency[rounds-1]
+	tailEqu := resEqu.PerRoundLatency[rounds-1]
+	if tailDol >= tailEqu {
+		t.Errorf("DOLBIE tail latency %.3fs not better than EQU %.3fs", tailDol, tailEqu)
+	}
+}
+
+func TestRunRecordsFullTrajectory(t *testing.T) {
+	c, _ := New(testConfig())
+	dol, _ := core.NewBalancer(simplex.Uniform(8))
+	res, err := Run(c, dol, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Algorithm != "DOLBIE" {
+		t.Errorf("algorithm = %q", res.Algorithm)
+	}
+	if len(res.PerRoundLatency) != 10 || len(res.Batches) != 10 || len(res.DecisionNanos) != 10 {
+		t.Fatal("trajectory lengths wrong")
+	}
+	for tr := range res.Batches {
+		if err := simplex.Check(res.Batches[tr], 1e-6); err != nil {
+			t.Errorf("round %d batches: %v", tr, err)
+		}
+	}
+	// Cumulative latency must be increasing.
+	for tr := 1; tr < 10; tr++ {
+		if res.CumLatency[tr] <= res.CumLatency[tr-1] {
+			t.Errorf("cumulative latency not increasing at round %d", tr)
+		}
+	}
+}
+
+func TestRunOPTUsesForesight(t *testing.T) {
+	cOpt, _ := New(testConfig())
+	opt, err := baselines.NewOPT(8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resOpt, err := Run(cOpt, opt, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cEqu, _ := New(testConfig())
+	equ, _ := baselines.NewEqual(8)
+	resEqu, err := Run(cEqu, equ, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The clairvoyant optimum dominates EQU on every single round.
+	for tr := 0; tr < 30; tr++ {
+		if resOpt.PerRoundLatency[tr] > resEqu.PerRoundLatency[tr]+1e-9 {
+			t.Errorf("round %d: OPT %.4f worse than EQU %.4f",
+				tr, resOpt.PerRoundLatency[tr], resEqu.PerRoundLatency[tr])
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	c, _ := New(testConfig())
+	dol, _ := core.NewBalancer(simplex.Uniform(8))
+	if _, err := Run(c, dol, 0); err == nil {
+		t.Error("zero rounds should error")
+	}
+	// Algorithm dimension mismatch surfaces as an Apply error.
+	wrong, _ := baselines.NewEqual(3)
+	if _, err := Run(c, wrong, 5); err == nil {
+		t.Error("dimension mismatch should error")
+	}
+}
+
+func TestAccuracyAt(t *testing.T) {
+	c, _ := New(testConfig())
+	if got, want := c.AccuracyAt(100), procmodel.ResNet18.Accuracy(100); got != want {
+		t.Errorf("AccuracyAt = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,144 @@
+package mlsim
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"dolbie/internal/costfn"
+	"dolbie/internal/procmodel"
+)
+
+// Realization is a fully materialized recording of one simulated
+// cluster's stochastic trajectory: the sampled fleet and every round's
+// realized throughputs and communication times. A saved Realization
+// reproduces an experiment exactly — across machines, Go versions, and
+// future changes to the stochastic processes — which is the
+// reproducibility artifact a paper reproduction should ship.
+type Realization struct {
+	// N, ModelName and BatchSize echo the generating configuration.
+	N         int    `json:"n"`
+	ModelName string `json:"model"`
+	BatchSize int    `json:"batchSize"`
+	// Fleet holds each worker's processor name.
+	Fleet []string `json:"fleet"`
+	// Gamma[t][i] is worker i's realized throughput in round t+1;
+	// CommTime[t][i] its realized communication time.
+	Gamma    [][]float64 `json:"gamma"`
+	CommTime [][]float64 `json:"commTime"`
+}
+
+// Capture advances the cluster by rounds rounds and records the realized
+// environments.
+func Capture(c *Cluster, rounds int) (*Realization, error) {
+	if rounds <= 0 {
+		return nil, errors.New("mlsim: rounds must be positive")
+	}
+	r := &Realization{
+		N:         c.N(),
+		ModelName: c.Model().Name,
+		BatchSize: c.cfg.BatchSize,
+		Fleet:     make([]string, c.N()),
+		Gamma:     make([][]float64, rounds),
+		CommTime:  make([][]float64, rounds),
+	}
+	for i, p := range c.Fleet() {
+		r.Fleet[i] = p.Name
+	}
+	for t := 0; t < rounds; t++ {
+		env := c.NextEnv()
+		r.Gamma[t] = append([]float64(nil), env.Gamma...)
+		r.CommTime[t] = append([]float64(nil), env.CommTime...)
+	}
+	return r, nil
+}
+
+// Validate checks the recording's internal consistency.
+func (r *Realization) Validate() error {
+	if r.N <= 0 || r.BatchSize <= 0 {
+		return errors.New("mlsim: realization missing dimensions")
+	}
+	if len(r.Fleet) != r.N {
+		return fmt.Errorf("mlsim: fleet has %d entries, want %d", len(r.Fleet), r.N)
+	}
+	if len(r.Gamma) != len(r.CommTime) {
+		return fmt.Errorf("mlsim: %d gamma rounds vs %d comm rounds", len(r.Gamma), len(r.CommTime))
+	}
+	if len(r.Gamma) == 0 {
+		return errors.New("mlsim: realization has no rounds")
+	}
+	if _, err := procmodel.ModelByName(r.ModelName); err != nil {
+		return err
+	}
+	for t := range r.Gamma {
+		if len(r.Gamma[t]) != r.N || len(r.CommTime[t]) != r.N {
+			return fmt.Errorf("mlsim: round %d has wrong width", t+1)
+		}
+		for i := 0; i < r.N; i++ {
+			if r.Gamma[t][i] <= 0 {
+				return fmt.Errorf("mlsim: round %d worker %d gamma %v", t+1, i, r.Gamma[t][i])
+			}
+			if r.CommTime[t][i] < 0 {
+				return fmt.Errorf("mlsim: round %d worker %d comm %v", t+1, i, r.CommTime[t][i])
+			}
+		}
+	}
+	return nil
+}
+
+// Rounds returns the number of recorded rounds.
+func (r *Realization) Rounds() int { return len(r.Gamma) }
+
+// Env rebuilds the round-t environment (1-based) from the recording,
+// reconstructing the same affine cost functions the live cluster
+// produced (including the per-processor round overhead).
+func (r *Realization) Env(t int) (Env, error) {
+	if err := r.Validate(); err != nil {
+		return Env{}, err
+	}
+	if t < 1 || t > r.Rounds() {
+		return Env{}, fmt.Errorf("mlsim: round %d out of [1, %d]", t, r.Rounds())
+	}
+	env := Env{
+		Round:    t,
+		Gamma:    append([]float64(nil), r.Gamma[t-1]...),
+		CommTime: append([]float64(nil), r.CommTime[t-1]...),
+		Funcs:    make([]costfn.Func, r.N),
+	}
+	for i := 0; i < r.N; i++ {
+		proc, err := procmodel.ProcessorByName(r.Fleet[i])
+		if err != nil {
+			return Env{}, err
+		}
+		env.Funcs[i] = costfn.Affine{
+			Slope:     float64(r.BatchSize) / env.Gamma[i],
+			Intercept: env.CommTime[i] + proc.RoundOverhead,
+		}
+	}
+	return env, nil
+}
+
+// Save writes the recording as JSON.
+func (r *Realization) Save(w io.Writer) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(r); err != nil {
+		return fmt.Errorf("mlsim: save realization: %w", err)
+	}
+	return nil
+}
+
+// LoadRealization reads a recording saved by Save.
+func LoadRealization(rd io.Reader) (*Realization, error) {
+	var r Realization
+	if err := json.NewDecoder(rd).Decode(&r); err != nil {
+		return nil, fmt.Errorf("mlsim: load realization: %w", err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}

@@ -1,0 +1,154 @@
+package mlsim
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"dolbie/internal/core"
+	"dolbie/internal/procmodel"
+	"dolbie/internal/simplex"
+)
+
+func TestCaptureValidation(t *testing.T) {
+	c, _ := New(testConfig())
+	if _, err := Capture(c, 0); err == nil {
+		t.Error("zero rounds should error")
+	}
+}
+
+func TestCaptureAndReplayReproducesEnvironments(t *testing.T) {
+	const rounds = 12
+	// Record one realization.
+	c1, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Capture(c1, rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Rounds() != rounds {
+		t.Fatalf("recorded %d rounds, want %d", rec.Rounds(), rounds)
+	}
+	// The same seed generates the same live environments; the replayed
+	// ones must match both gamma values and cost functions.
+	c2, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tr := 1; tr <= rounds; tr++ {
+		live := c2.NextEnv()
+		replayed, err := rec.Env(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range live.Gamma {
+			if math.Abs(live.Gamma[i]-replayed.Gamma[i]) > 1e-12 {
+				t.Fatalf("round %d worker %d: gamma %v vs %v", tr, i, live.Gamma[i], replayed.Gamma[i])
+			}
+			for _, x := range []float64{0, 0.3, 1} {
+				if math.Abs(live.Funcs[i].Eval(x)-replayed.Funcs[i].Eval(x)) > 1e-9 {
+					t.Fatalf("round %d worker %d: f(%v) mismatch", tr, i, x)
+				}
+			}
+		}
+	}
+}
+
+func TestRealizationSaveLoadRoundTrip(t *testing.T) {
+	c, _ := New(testConfig())
+	rec, err := Capture(c, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rec.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadRealization(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Rounds() != rec.Rounds() || loaded.N != rec.N || loaded.ModelName != rec.ModelName {
+		t.Errorf("loaded = %+v", loaded)
+	}
+	for tr := range rec.Gamma {
+		for i := range rec.Gamma[tr] {
+			if loaded.Gamma[tr][i] != rec.Gamma[tr][i] {
+				t.Fatalf("gamma mismatch at %d/%d", tr, i)
+			}
+		}
+	}
+}
+
+func TestLoadRealizationRejectsCorrupt(t *testing.T) {
+	if _, err := LoadRealization(strings.NewReader("not json")); err == nil {
+		t.Error("corrupt JSON should error")
+	}
+	if _, err := LoadRealization(strings.NewReader(`{"n":0}`)); err == nil {
+		t.Error("invalid realization should error")
+	}
+	if _, err := LoadRealization(strings.NewReader(
+		`{"n":1,"model":"GPT-5","batchSize":256,"fleet":["V100"],"gamma":[[1]],"commTime":[[0.1]]}`)); err == nil {
+		t.Error("unknown model should error")
+	}
+	if _, err := LoadRealization(strings.NewReader(
+		`{"n":1,"model":"ResNet18","batchSize":256,"fleet":["V100"],"gamma":[[-1]],"commTime":[[0.1]]}`)); err == nil {
+		t.Error("non-positive gamma should error")
+	}
+}
+
+func TestRealizationEnvBounds(t *testing.T) {
+	c, _ := New(testConfig())
+	rec, err := Capture(c, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rec.Env(0); err == nil {
+		t.Error("round 0 should error")
+	}
+	if _, err := rec.Env(4); err == nil {
+		t.Error("round beyond recording should error")
+	}
+}
+
+// TestReplayedExperimentIsDeterministic replays a recording through
+// DOLBIE twice and requires bit-identical trajectories — the
+// reproducibility guarantee the artifact exists for.
+func TestReplayedExperimentIsDeterministic(t *testing.T) {
+	c, _ := New(Config{N: 6, Model: procmodel.ResNet18, BatchSize: 256, Seed: 77})
+	rec, err := Capture(c, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() []float64 {
+		b, err := core.NewBalancer(simplex.Uniform(6), core.WithInitialAlpha(0.01))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var latencies []float64
+		for tr := 1; tr <= rec.Rounds(); tr++ {
+			env, err := rec.Env(tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := env.Apply(b.Assignment())
+			if err != nil {
+				t.Fatal(err)
+			}
+			latencies = append(latencies, rep.GlobalLatency)
+			if err := b.Update(rep.Observation); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return latencies
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("round %d: %v vs %v", i+1, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package optimum
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dolbie/internal/costfn"
+)
+
+// BenchmarkSolveAffine measures the water-filling solver on affine costs
+// (the closed-form inverse fast path) at several worker counts; this is
+// the per-round work of the clairvoyant OPT comparator.
+func BenchmarkSolveAffine(b *testing.B) {
+	for _, n := range []int{10, 30, 100, 300} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(int64(n)))
+			funcs := make([]costfn.Func, n)
+			for i := range funcs {
+				funcs[i] = costfn.Affine{Slope: 0.2 + rng.Float64()*8, Intercept: rng.Float64() * 0.3}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Solve(funcs, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSolveBisection measures the solver when every inverse requires
+// generic bisection (piecewise-linear costs without a closed form).
+func BenchmarkSolveBisection(b *testing.B) {
+	const n = 30
+	rng := rand.New(rand.NewSource(7))
+	funcs := make([]costfn.Func, n)
+	for i := range funcs {
+		ys := make([]float64, 4)
+		ys[0] = rng.Float64() * 0.2
+		for k := 1; k < 4; k++ {
+			ys[k] = ys[k-1] + 0.1 + rng.Float64()
+		}
+		pl, err := costfn.NewPiecewiseLinear([]float64{0, 0.3, 0.7, 1}, ys)
+		if err != nil {
+			b.Fatal(err)
+		}
+		funcs[i] = pl
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(funcs, 1e-9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

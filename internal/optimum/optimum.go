@@ -1,0 +1,174 @@
+// Package optimum solves the instantaneous min-max load balancing problem
+//
+//	min_x max_i f_i(x_i)   s.t.  sum_i x_i = 1,  x_i >= 0,
+//
+// for increasing local cost functions f_i. This is the per-round problem
+// whose minimizers x_t^* define the paper's dynamic-regret comparator and
+// the clairvoyant OPT baseline of Section VI-B.
+//
+// The solver is a water-filling bisection on the cost level lambda: for a
+// candidate level, each worker can absorb at most
+// inv_i(lambda) = max{x in [0,1] : f_i(x) <= lambda}; the optimal level is
+// the smallest lambda whose total absorbable workload reaches 1. Each
+// level probe costs one monotone inversion per worker, so the solver runs
+// in O(N log(1/tol)) inversions.
+package optimum
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"dolbie/internal/costfn"
+)
+
+// DefaultTol is the default relative tolerance on the optimal level.
+const DefaultTol = 1e-10
+
+// maxIters bounds the bisection on the cost level; 200 halvings exceed
+// float64 resolution for any finite bracket.
+const maxIters = 200
+
+// ErrNoWorkers is returned when the problem has no workers.
+var ErrNoWorkers = errors.New("optimum: no workers")
+
+// Result is the solution of one instantaneous problem.
+type Result struct {
+	// X is a minimizer on the simplex.
+	X []float64
+	// Value is the achieved global cost max_i f_i(X_i).
+	Value float64
+}
+
+// Solve computes an instantaneous minimizer. tol <= 0 uses DefaultTol.
+func Solve(funcs []costfn.Func, tol float64) (Result, error) {
+	n := len(funcs)
+	if n == 0 {
+		return Result{}, ErrNoWorkers
+	}
+	for i, f := range funcs {
+		if f == nil {
+			return Result{}, fmt.Errorf("optimum: cost function %d is nil", i)
+		}
+	}
+	if tol <= 0 {
+		tol = DefaultTol
+	}
+	if n == 1 {
+		return Result{X: []float64{1}, Value: funcs[0].Eval(1)}, nil
+	}
+
+	// Bracket the optimal level: the global cost is at least
+	// max_i f_i(0) (every worker pays its fixed cost) and at most
+	// max_i f_i(1) is achievable already by loading any single worker, so
+	// the max over i of f_i(1) upper-bounds the optimum grossly; use the
+	// tighter min over single-worker loadings.
+	lo := math.Inf(-1)
+	hi := math.Inf(1)
+	for i, f := range funcs {
+		if v := f.Eval(0); v > lo {
+			lo = v
+		}
+		// Loading everything on worker i yields global cost
+		// max(f_i(1), max_{j != i} f_j(0)); any such loading is feasible.
+		v := f.Eval(1)
+		for j, g := range funcs {
+			if j != i {
+				if w := g.Eval(0); w > v {
+					v = w
+				}
+			}
+		}
+		if v < hi {
+			hi = v
+		}
+	}
+	if hi < lo {
+		hi = lo
+	}
+
+	if absorbable(funcs, lo, tol) >= 1 {
+		hi = lo
+	}
+	for iter := 0; iter < maxIters && hi-lo > tol*(1+math.Abs(hi)); iter++ {
+		mid := lo + (hi-lo)/2
+		if mid <= lo || mid >= hi {
+			break
+		}
+		if absorbable(funcs, mid, tol) >= 1 {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+
+	// Build the assignment at the feasible level hi, then trim the surplus
+	// (trimming only decreases costs, preserving feasibility).
+	x := make([]float64, n)
+	total := 0.0
+	for i, f := range funcs {
+		xi, _, err := costfn.Inverse(f, hi, 0, 1, tol)
+		if err != nil {
+			return Result{}, fmt.Errorf("optimum: inverse for worker %d: %w", i, err)
+		}
+		x[i] = xi
+		total += xi
+	}
+	if total < 1 {
+		// Numerical shortfall: top up the worker with the largest headroom
+		// (its cost increase is bounded by the bisection tolerance).
+		deficit := 1 - total
+		best := 0
+		for i := 1; i < n; i++ {
+			if x[i] > x[best] {
+				best = i
+			}
+		}
+		x[best] += deficit
+		if x[best] > 1 {
+			// Redistribute anything over the box bound.
+			over := x[best] - 1
+			x[best] = 1
+			for i := 0; i < n && over > 1e-18; i++ {
+				if i == best {
+					continue
+				}
+				room := 1 - x[i]
+				give := math.Min(room, over)
+				x[i] += give
+				over -= give
+			}
+		}
+	} else if total > 1 {
+		surplus := total - 1
+		for i := 0; i < n && surplus > 0; i++ {
+			cut := math.Min(x[i], surplus)
+			x[i] -= cut
+			surplus -= cut
+		}
+	}
+
+	value := math.Inf(-1)
+	for i, f := range funcs {
+		if v := f.Eval(x[i]); v > value {
+			value = v
+		}
+	}
+	return Result{X: x, Value: value}, nil
+}
+
+// absorbable returns sum_i max{x in [0,1] : f_i(x) <= level}.
+func absorbable(funcs []costfn.Func, level, tol float64) float64 {
+	var total float64
+	for _, f := range funcs {
+		xi, _, err := costfn.Inverse(f, level, 0, 1, tol)
+		if err != nil {
+			continue
+		}
+		total += xi
+		if total >= 1 {
+			return total
+		}
+	}
+	return total
+}

@@ -1,0 +1,201 @@
+package optimum
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dolbie/internal/costfn"
+	"dolbie/internal/simplex"
+)
+
+func TestSolveValidation(t *testing.T) {
+	if _, err := Solve(nil, 0); err == nil {
+		t.Error("no workers should error")
+	}
+	if _, err := Solve([]costfn.Func{nil}, 0); err == nil {
+		t.Error("nil func should error")
+	}
+}
+
+func TestSolveSingleWorker(t *testing.T) {
+	res, err := Solve([]costfn.Func{costfn.Affine{Slope: 3, Intercept: 1}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.X[0] != 1 || res.Value != 4 {
+		t.Errorf("res = %+v, want x=1 value=4", res)
+	}
+}
+
+func TestSolveTwoAffineWorkersClosedForm(t *testing.T) {
+	// f0 = 2x, f1 = 4x: equalize 2a = 4(1-a) => a = 2/3, value 4/3.
+	res, err := Solve([]costfn.Func{costfn.Affine{Slope: 2}, costfn.Affine{Slope: 4}}, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-2.0/3) > 1e-6 || math.Abs(res.Value-4.0/3) > 1e-6 {
+		t.Errorf("res = %+v, want x0=2/3 value=4/3", res)
+	}
+	if err := simplex.Check(res.X, 1e-8); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveWithIntercepts(t *testing.T) {
+	// f0 = x + 1, f1 = x: equalize a+1 = 1-a => a = 0, value 1.
+	res, err := Solve([]costfn.Func{
+		costfn.Affine{Slope: 1, Intercept: 1},
+		costfn.Affine{Slope: 1},
+	}, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-0) > 1e-6 || math.Abs(res.Value-1) > 1e-6 {
+		t.Errorf("res = %+v, want x0=0 value=1", res)
+	}
+}
+
+func TestSolveDominatedWorkerGetsZero(t *testing.T) {
+	// Worker 1's fixed cost exceeds anything worker 0 can produce: the
+	// optimum parks all load on worker 0.
+	res, err := Solve([]costfn.Func{
+		costfn.Affine{Slope: 1},
+		costfn.Affine{Slope: 1, Intercept: 100},
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-1) > 1e-6 {
+		t.Errorf("x0 = %v, want 1", res.X[0])
+	}
+	if math.Abs(res.Value-100) > 1e-6 {
+		t.Errorf("value = %v, want 100 (the unavoidable fixed cost)", res.Value)
+	}
+}
+
+func TestSolveFlatFunctions(t *testing.T) {
+	// All-flat costs: any feasible point is optimal; value is the max
+	// intercept.
+	res, err := Solve([]costfn.Func{
+		costfn.Affine{Intercept: 2},
+		costfn.Affine{Intercept: 5},
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := simplex.Check(res.X, 1e-8); err != nil {
+		t.Error(err)
+	}
+	if math.Abs(res.Value-5) > 1e-9 {
+		t.Errorf("value = %v, want 5", res.Value)
+	}
+}
+
+func TestSolveNonLinear(t *testing.T) {
+	// Power costs: f0 = x^2, f1 = 4x^2. Equalize: a^2 = 4(1-a)^2 =>
+	// a = 2(1-a) => a = 2/3, value 4/9.
+	res, err := Solve([]costfn.Func{
+		costfn.Power{Coeff: 1, Exponent: 2},
+		costfn.Power{Coeff: 4, Exponent: 2},
+	}, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-2.0/3) > 1e-5 || math.Abs(res.Value-4.0/9) > 1e-5 {
+		t.Errorf("res = %+v, want x0=2/3 value=4/9", res)
+	}
+}
+
+// bruteForce grid-searches the simplex for small N as an oracle.
+func bruteForce(funcs []costfn.Func, steps int) float64 {
+	n := len(funcs)
+	best := math.Inf(1)
+	var rec func(i int, remaining float64, x []float64)
+	rec = func(i int, remaining float64, x []float64) {
+		if i == n-1 {
+			x[i] = remaining
+			v := math.Inf(-1)
+			for j, f := range funcs {
+				if c := f.Eval(x[j]); c > v {
+					v = c
+				}
+			}
+			if v < best {
+				best = v
+			}
+			return
+		}
+		for k := 0; k <= steps; k++ {
+			xi := remaining * float64(k) / float64(steps)
+			x[i] = xi
+			rec(i+1, remaining-xi, x)
+		}
+	}
+	rec(0, 1, make([]float64, n))
+	return best
+}
+
+// Property: the solver never does worse than a fine brute-force grid and
+// always returns a feasible point.
+func TestSolveMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(2) // brute force is exponential; keep N in {2, 3}
+		funcs := make([]costfn.Func, n)
+		for i := range funcs {
+			funcs[i] = costfn.Affine{Slope: 0.2 + 5*r.Float64(), Intercept: r.Float64()}
+		}
+		res, err := Solve(funcs, 1e-12)
+		if err != nil {
+			return false
+		}
+		if simplex.Check(res.X, 1e-7) != nil {
+			return false
+		}
+		oracle := bruteForce(funcs, 120)
+		// The solver must be at least as good as the grid, modulo grid
+		// resolution.
+		return res.Value <= oracle+1e-2
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: no single workload move can beat the solver's level by more
+// than tolerance (local optimality probe on larger N).
+func TestSolveLocalOptimality(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(10)
+		funcs := make([]costfn.Func, n)
+		for i := range funcs {
+			funcs[i] = costfn.Affine{Slope: 0.2 + 5*rng.Float64(), Intercept: rng.Float64() * 0.5}
+		}
+		res, err := Solve(funcs, 1e-12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Random feasible points must not beat the optimum.
+		for probe := 0; probe < 50; probe++ {
+			x := make([]float64, n)
+			var s float64
+			for i := range x {
+				x[i] = rng.ExpFloat64()
+				s += x[i]
+			}
+			v := math.Inf(-1)
+			for i, f := range funcs {
+				if c := f.Eval(x[i] / s); c > v {
+					v = c
+				}
+			}
+			if v < res.Value-1e-6 {
+				t.Fatalf("trial %d: random point value %v beats solver value %v", trial, v, res.Value)
+			}
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package optimum
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"dolbie/internal/costfn"
+	"dolbie/internal/simplex"
+)
+
+// StaticResult is the best fixed allocation in hindsight.
+type StaticResult struct {
+	// X is the fixed allocation.
+	X []float64
+	// Total is its accumulated cost sum_t max_i f_{i,t}(X_i).
+	Total float64
+}
+
+// SolveStatic computes (approximately) the best single fixed allocation
+// in hindsight for a whole instance:
+//
+//	min_x sum_t max_i f_{i,t}(x_i)   s.t.  x on the simplex.
+//
+// This is the comparator of the classical *static* regret, complementing
+// the paper's dynamic regret. For convex increasing f the objective is
+// convex, and projected subgradient descent converges; for the general
+// increasing case the same iteration is a strong heuristic. The
+// subgradient of each round's max is the numerical derivative of the
+// straggler's cost at its coordinate.
+//
+// iters <= 0 uses 400 iterations; the step size follows a 1/sqrt(k)
+// schedule scaled by the initial objective magnitude.
+func SolveStatic(perRound [][]costfn.Func, iters int) (StaticResult, error) {
+	if len(perRound) == 0 {
+		return StaticResult{}, errors.New("optimum: no rounds")
+	}
+	n := len(perRound[0])
+	if n == 0 {
+		return StaticResult{}, ErrNoWorkers
+	}
+	for t, funcs := range perRound {
+		if len(funcs) != n {
+			return StaticResult{}, fmt.Errorf("optimum: round %d has %d funcs, want %d", t, len(funcs), n)
+		}
+		for i, f := range funcs {
+			if f == nil {
+				return StaticResult{}, fmt.Errorf("optimum: round %d func %d is nil", t, i)
+			}
+		}
+	}
+	if iters <= 0 {
+		iters = 400
+	}
+
+	objective := func(x []float64) float64 {
+		var total float64
+		for _, funcs := range perRound {
+			best := math.Inf(-1)
+			for i, f := range funcs {
+				if v := f.Eval(x[i]); v > best {
+					best = v
+				}
+			}
+			total += best
+		}
+		return total
+	}
+
+	x := simplex.Uniform(n)
+	bestX := simplex.Clone(x)
+	bestV := objective(x)
+	// Scale steps to the decision range; the objective scale is absorbed
+	// by normalizing the subgradient.
+	const h = 1e-6
+	for k := 1; k <= iters; k++ {
+		grad := make([]float64, n)
+		for _, funcs := range perRound {
+			s := 0
+			best := math.Inf(-1)
+			for i, f := range funcs {
+				if v := f.Eval(x[i]); v > best {
+					best = v
+					s = i
+				}
+			}
+			lo, hi := x[s]-h, x[s]+h
+			if lo < 0 {
+				lo = 0
+			}
+			if hi > 1 {
+				hi = 1
+			}
+			if hi > lo {
+				grad[s] += (funcs[s].Eval(hi) - funcs[s].Eval(lo)) / (hi - lo)
+			}
+		}
+		norm := simplex.L2Norm(grad)
+		if norm == 0 {
+			break
+		}
+		step := 0.5 / (norm * math.Sqrt(float64(k)))
+		next, err := simplex.Project(simplex.AddScaled(x, -step, grad))
+		if err != nil {
+			return StaticResult{}, fmt.Errorf("optimum: static projection: %w", err)
+		}
+		x = next
+		if v := objective(x); v < bestV {
+			bestV = v
+			bestX = simplex.Clone(x)
+		}
+	}
+	return StaticResult{X: bestX, Total: bestV}, nil
+}

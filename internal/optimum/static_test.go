@@ -1,0 +1,108 @@
+package optimum
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dolbie/internal/costfn"
+	"dolbie/internal/simplex"
+)
+
+func TestSolveStaticValidation(t *testing.T) {
+	if _, err := SolveStatic(nil, 0); err == nil {
+		t.Error("no rounds should error")
+	}
+	if _, err := SolveStatic([][]costfn.Func{{}}, 0); err == nil {
+		t.Error("no workers should error")
+	}
+	if _, err := SolveStatic([][]costfn.Func{
+		{costfn.Affine{Slope: 1}, costfn.Affine{Slope: 2}},
+		{costfn.Affine{Slope: 1}},
+	}, 0); err == nil {
+		t.Error("ragged rounds should error")
+	}
+	if _, err := SolveStatic([][]costfn.Func{{nil}}, 0); err == nil {
+		t.Error("nil func should error")
+	}
+}
+
+func TestSolveStaticStationaryMatchesInstantaneous(t *testing.T) {
+	// On a time-invariant instance the best fixed allocation is the
+	// instantaneous minimizer.
+	funcs := []costfn.Func{
+		costfn.Affine{Slope: 2, Intercept: 0.1},
+		costfn.Affine{Slope: 5, Intercept: 0.05},
+		costfn.Affine{Slope: 9, Intercept: 0.2},
+	}
+	const rounds = 7
+	perRound := make([][]costfn.Func, rounds)
+	for t := range perRound {
+		perRound[t] = funcs
+	}
+	static, err := SolveStatic(perRound, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := Solve(funcs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := simplex.Check(static.X, 1e-7); err != nil {
+		t.Fatal(err)
+	}
+	if static.Total > float64(rounds)*inst.Value*1.02 {
+		t.Errorf("static total %v exceeds %d x instantaneous optimum %v",
+			static.Total, rounds, inst.Value)
+	}
+}
+
+func TestSolveStaticBeatsUniformOnHeterogeneousInstance(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const n, rounds = 6, 20
+	perRound := make([][]costfn.Func, rounds)
+	slopes := make([]float64, n)
+	for i := range slopes {
+		slopes[i] = 0.5 + rng.Float64()*8
+	}
+	for t := range perRound {
+		funcs := make([]costfn.Func, n)
+		for i := range funcs {
+			funcs[i] = costfn.Affine{
+				Slope:     slopes[i] * (0.8 + 0.4*rng.Float64()),
+				Intercept: 0.05 * rng.Float64(),
+			}
+		}
+		perRound[t] = funcs
+	}
+	static, err := SolveStatic(perRound, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniformTotal := 0.0
+	u := simplex.Uniform(n)
+	for _, funcs := range perRound {
+		best := math.Inf(-1)
+		for i, f := range funcs {
+			if v := f.Eval(u[i]); v > best {
+				best = v
+			}
+		}
+		uniformTotal += best
+	}
+	if static.Total >= uniformTotal {
+		t.Errorf("static %v not better than uniform %v", static.Total, uniformTotal)
+	}
+	// The dynamic per-round optimum lower-bounds the static one.
+	var dynTotal float64
+	for _, funcs := range perRound {
+		res, err := Solve(funcs, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dynTotal += res.Value
+	}
+	if static.Total < dynTotal-1e-9 {
+		t.Errorf("static %v beats the dynamic optimum %v (impossible)", static.Total, dynTotal)
+	}
+}

@@ -1,0 +1,151 @@
+package procmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCatalogComplete(t *testing.T) {
+	cat := Catalog()
+	if len(cat) != 5 {
+		t.Fatalf("catalog has %d processors, want 5", len(cat))
+	}
+	for _, p := range cat {
+		for _, m := range Models() {
+			v, err := p.SamplesPerSecond(m)
+			if err != nil {
+				t.Errorf("%s/%s: %v", p.Name, m.Name, err)
+			}
+			if v <= 0 {
+				t.Errorf("%s/%s: throughput %v must be positive", p.Name, m.Name, v)
+			}
+		}
+		if p.NetRate <= 0 {
+			t.Errorf("%s: net rate %v must be positive", p.Name, p.NetRate)
+		}
+	}
+}
+
+func TestHeterogeneityOrdering(t *testing.T) {
+	// GPUs must dominate CPUs on every model, and the GPU/CPU ratio must
+	// widen with model size — the property that drives the paper's
+	// "advantage grows from LeNet5 to VGG16" result.
+	for _, m := range Models() {
+		v100, _ := V100.SamplesPerSecond(m)
+		broad, _ := Broadwell.SamplesPerSecond(m)
+		if v100 <= broad {
+			t.Errorf("%s: V100 (%v) must outrun Broadwell (%v)", m.Name, v100, broad)
+		}
+	}
+	ratio := func(m MLModel) float64 {
+		v, _ := V100.SamplesPerSecond(m)
+		b, _ := Broadwell.SamplesPerSecond(m)
+		return v / b
+	}
+	if !(ratio(LeNet5) < ratio(ResNet18) && ratio(ResNet18) < ratio(VGG16)) {
+		t.Errorf("heterogeneity ratios not increasing: %v, %v, %v",
+			ratio(LeNet5), ratio(ResNet18), ratio(VGG16))
+	}
+}
+
+func TestModelSizesOrdered(t *testing.T) {
+	if !(LeNet5.ParamBytes < ResNet18.ParamBytes && ResNet18.ParamBytes < VGG16.ParamBytes) {
+		t.Error("model payload sizes must increase LeNet5 < ResNet18 < VGG16")
+	}
+}
+
+func TestLookups(t *testing.T) {
+	if _, err := ModelByName("ResNet18"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ModelByName("GPT-5"); err == nil {
+		t.Error("unknown model should error")
+	}
+	if _, err := ProcessorByName("T4"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ProcessorByName("TPU"); err == nil {
+		t.Error("unknown processor should error")
+	}
+	if _, err := V100.SamplesPerSecond(MLModel{Name: "nope"}); err == nil {
+		t.Error("unknown model throughput should error")
+	}
+}
+
+func TestAccuracyCurve(t *testing.T) {
+	m := ResNet18
+	if got := m.Accuracy(0); got != 0 {
+		t.Errorf("Accuracy(0) = %v, want 0", got)
+	}
+	if got := m.Accuracy(-5); got != 0 {
+		t.Errorf("Accuracy(-5) = %v, want 0", got)
+	}
+	prev := 0.0
+	for r := 1; r < 5000; r *= 2 {
+		acc := m.Accuracy(r)
+		if acc <= prev {
+			t.Fatalf("accuracy not increasing at round %d: %v <= %v", r, acc, prev)
+		}
+		if acc >= m.MaxAccuracy {
+			t.Fatalf("accuracy %v exceeded max %v", acc, m.MaxAccuracy)
+		}
+		prev = acc
+	}
+	if got := m.Accuracy(1 << 25); math.Abs(got-m.MaxAccuracy) > 1e-6 {
+		t.Errorf("asymptotic accuracy = %v, want %v", got, m.MaxAccuracy)
+	}
+}
+
+func TestRoundsToAccuracy(t *testing.T) {
+	for _, m := range Models() {
+		r := m.RoundsToAccuracy(0.95)
+		if r <= 0 {
+			t.Fatalf("%s: RoundsToAccuracy(0.95) = %d", m.Name, r)
+		}
+		if m.Accuracy(r) < 0.95 {
+			t.Errorf("%s: accuracy at %d rounds = %v < 0.95", m.Name, r, m.Accuracy(r))
+		}
+		if m.Accuracy(r-1) >= 0.95 {
+			t.Errorf("%s: round %d is not minimal", m.Name, r)
+		}
+	}
+	if r := LeNet5.RoundsToAccuracy(0.999); r != -1 {
+		t.Errorf("unreachable accuracy should return -1, got %d", r)
+	}
+}
+
+func TestSampleFleetDeterministicAndUniformish(t *testing.T) {
+	if _, err := SampleFleet(0, 1); err == nil {
+		t.Error("zero fleet should error")
+	}
+	a, err := SampleFleet(30, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := SampleFleet(30, 7)
+	for i := range a {
+		if a[i].Name != b[i].Name {
+			t.Fatal("same seed must sample the same fleet")
+		}
+	}
+	c, _ := SampleFleet(30, 8)
+	same := true
+	for i := range a {
+		if a[i].Name != c[i].Name {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical fleets")
+	}
+	// Over many draws, all five processor types must appear.
+	seen := map[string]int{}
+	big, _ := SampleFleet(2000, 99)
+	for _, p := range big {
+		seen[p.Name]++
+	}
+	if len(seen) != 5 {
+		t.Errorf("only %d processor types sampled: %v", len(seen), seen)
+	}
+}

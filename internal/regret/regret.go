@@ -1,0 +1,97 @@
+// Package regret implements the dynamic-regret accounting of the paper's
+// Section V: the regret itself, the path length P_T of the instantaneous
+// minimizers, and the Theorem 1 upper bound
+//
+//	Reg_T^d <= sqrt( T L^2 ( 1/alpha_T + P_T/alpha_T
+//	                         + sum_t ((N-1)/2 + N*alpha_t)/2 ) ).
+package regret
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"dolbie/internal/simplex"
+)
+
+// ErrNoRounds is returned by bound computations before any round is
+// recorded.
+var ErrNoRounds = errors.New("regret: no rounds recorded")
+
+// Tracker accumulates per-round regret statistics for one run of an
+// online algorithm against the sequence of instantaneous minimizers.
+type Tracker struct {
+	n int
+	l float64
+
+	rounds    int
+	cumAlgo   float64
+	cumOpt    float64
+	path      float64
+	prevOpt   []float64
+	lastAlpha float64
+	alphaSum  float64 // sum_t ((N-1)/2 + N*alpha_t)/2
+}
+
+// NewTracker constructs a tracker for n workers and Lipschitz constant L
+// (Assumption 1 of the paper).
+func NewTracker(n int, l float64) (*Tracker, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("regret: n = %d must be positive", n)
+	}
+	if l <= 0 || math.IsInf(l, 0) || math.IsNaN(l) {
+		return nil, fmt.Errorf("regret: Lipschitz constant %v must be positive and finite", l)
+	}
+	return &Tracker{n: n, l: l}, nil
+}
+
+// Record ingests one round: the algorithm's global cost f_t(x_t), the
+// optimal global cost f_t(x_t^*), the minimizer x_t^* (for the path
+// length), and the algorithm's step size alpha_t (pass any positive value
+// for algorithms without a step size; it only affects Bound).
+func (t *Tracker) Record(algoCost, optCost float64, xOpt []float64, alpha float64) error {
+	if len(xOpt) != t.n {
+		return fmt.Errorf("regret: minimizer has %d entries, want %d", len(xOpt), t.n)
+	}
+	if alpha <= 0 {
+		return fmt.Errorf("regret: alpha %v must be positive", alpha)
+	}
+	t.rounds++
+	t.cumAlgo += algoCost
+	t.cumOpt += optCost
+	if t.prevOpt != nil {
+		t.path += simplex.L2Dist(t.prevOpt, xOpt)
+	}
+	t.prevOpt = simplex.Clone(xOpt)
+	t.lastAlpha = alpha
+	t.alphaSum += (float64(t.n-1)/2 + float64(t.n)*alpha) / 2
+	return nil
+}
+
+// Rounds returns the number of recorded rounds T.
+func (t *Tracker) Rounds() int { return t.rounds }
+
+// Regret returns the dynamic regret accumulated so far.
+func (t *Tracker) Regret() float64 { return t.cumAlgo - t.cumOpt }
+
+// CumulativeCost returns the algorithm's total cost sum_t f_t(x_t).
+func (t *Tracker) CumulativeCost() float64 { return t.cumAlgo }
+
+// CumulativeOptimum returns the comparator's total cost sum_t f_t(x_t^*).
+func (t *Tracker) CumulativeOptimum() float64 { return t.cumOpt }
+
+// PathLength returns P_T = sum_{t>=2} ||x_{t-1}^* - x_t^*||_2.
+func (t *Tracker) PathLength() float64 { return t.path }
+
+// Bound returns the Theorem 1 upper bound on the dynamic regret for the
+// recorded trajectory.
+func (t *Tracker) Bound() (float64, error) {
+	if t.rounds == 0 {
+		return 0, ErrNoRounds
+	}
+	if t.lastAlpha <= 0 {
+		return 0, fmt.Errorf("regret: final alpha %v must be positive", t.lastAlpha)
+	}
+	inner := 1/t.lastAlpha + t.path/t.lastAlpha + t.alphaSum
+	return math.Sqrt(float64(t.rounds) * t.l * t.l * inner), nil
+}

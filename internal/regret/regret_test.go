@@ -1,0 +1,140 @@
+package regret
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dolbie/internal/core"
+	"dolbie/internal/costfn"
+	"dolbie/internal/optimum"
+	"dolbie/internal/simplex"
+)
+
+func TestNewTrackerValidation(t *testing.T) {
+	if _, err := NewTracker(0, 1); err == nil {
+		t.Error("zero workers should error")
+	}
+	if _, err := NewTracker(2, 0); err == nil {
+		t.Error("zero L should error")
+	}
+	if _, err := NewTracker(2, math.Inf(1)); err == nil {
+		t.Error("infinite L should error")
+	}
+}
+
+func TestTrackerRecordValidation(t *testing.T) {
+	tr, err := NewTracker(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Record(1, 0.5, []float64{1}, 0.1); err == nil {
+		t.Error("wrong-length minimizer should error")
+	}
+	if err := tr.Record(1, 0.5, []float64{0.5, 0.5}, 0); err == nil {
+		t.Error("zero alpha should error")
+	}
+}
+
+func TestTrackerAccounting(t *testing.T) {
+	tr, err := NewTracker(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Record(3, 1, []float64{0.5, 0.5}, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Record(4, 2, []float64{1, 0}, 0.25); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Rounds() != 2 {
+		t.Errorf("rounds = %d, want 2", tr.Rounds())
+	}
+	if got := tr.Regret(); got != 4 {
+		t.Errorf("regret = %v, want 4", got)
+	}
+	if got := tr.CumulativeCost(); got != 7 {
+		t.Errorf("cumulative cost = %v, want 7", got)
+	}
+	if got := tr.CumulativeOptimum(); got != 3 {
+		t.Errorf("cumulative optimum = %v, want 3", got)
+	}
+	wantPath := math.Sqrt(0.5)
+	if got := tr.PathLength(); math.Abs(got-wantPath) > 1e-12 {
+		t.Errorf("path length = %v, want %v", got, wantPath)
+	}
+	// Bound: sqrt(T L^2 (1/a_T + P/a_T + sum)) with
+	// sum = (0.5 + 2*0.5)/2 + (0.5 + 2*0.25)/2 = 0.75 + 0.5 = 1.25.
+	inner := 1/0.25 + wantPath/0.25 + 1.25
+	want := math.Sqrt(2 * 4 * inner)
+	got, err := tr.Bound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("bound = %v, want %v", got, want)
+	}
+}
+
+func TestBoundBeforeAnyRound(t *testing.T) {
+	tr, _ := NewTracker(2, 1)
+	if _, err := tr.Bound(); err == nil {
+		t.Error("bound before rounds should error")
+	}
+}
+
+// TestTheoremOneHoldsEmpirically runs DOLBIE on random Lipschitz
+// instances and checks that the measured dynamic regret never exceeds the
+// Theorem 1 bound.
+func TestTheoremOneHoldsEmpirically(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(8)
+		T := 20 + r.Intn(80)
+		const L = 5.0 // slopes are capped below L
+
+		b, err := core.NewBalancer(simplex.Uniform(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := NewTracker(n, L)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for round := 0; round < T; round++ {
+			funcs := make([]costfn.Func, n)
+			for i := range funcs {
+				funcs[i] = costfn.Affine{Slope: 0.1 + r.Float64()*(L-0.2), Intercept: r.Float64() * 0.5}
+			}
+			x := b.Assignment()
+			g, costs, err := core.GlobalCost(funcs, x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt, err := optimum.Solve(funcs, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			alpha := b.Alpha()
+			if err := tr.Record(g, opt.Value, opt.X, alpha); err != nil {
+				t.Fatal(err)
+			}
+			if err := b.Update(core.Observation{Costs: costs, Funcs: funcs}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		bound, err := tr.Bound()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.Regret() > bound {
+			t.Errorf("seed %d: regret %v exceeds Theorem 1 bound %v (T=%d N=%d)",
+				seed, tr.Regret(), bound, T, n)
+		}
+		if tr.Regret() < -1e-9 {
+			// Dynamic regret against instantaneous minimizers is always
+			// non-negative because x_t^* minimizes f_t.
+			t.Errorf("seed %d: negative regret %v", seed, tr.Regret())
+		}
+	}
+}

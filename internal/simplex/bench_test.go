@@ -1,0 +1,52 @@
+package simplex
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkProject(b *testing.B) {
+	for _, n := range []int{10, 30, 100, 1000} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			v := make([]float64, n)
+			for i := range v {
+				v[i] = rng.NormFloat64()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Project(v); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkRoundToUnits(b *testing.B) {
+	for _, n := range []int{10, 30, 100} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			x := randomSimplexPoint(rng, n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := RoundToUnits(x, 256); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkCheck(b *testing.B) {
+	x := Uniform(100)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := Check(x, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

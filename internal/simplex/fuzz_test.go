@@ -1,0 +1,63 @@
+package simplex
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzProject checks that the simplex projection never produces an
+// infeasible point for any finite input. Runs with the seed corpus under
+// plain `go test`; explore further with `go test -fuzz=FuzzProject`.
+func FuzzProject(f *testing.F) {
+	f.Add(0.5, -1.0, 2.0, 0.25)
+	f.Add(0.0, 0.0, 0.0, 0.0)
+	f.Add(1e12, -1e12, 3.5, -0.1)
+	f.Fuzz(func(t *testing.T, a, b, c, d float64) {
+		v := []float64{a, b, c, d}
+		for _, x := range v {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				t.Skip()
+			}
+		}
+		p, err := Project(v)
+		if err != nil {
+			t.Fatalf("Project(%v): %v", v, err)
+		}
+		if err := Check(p, 1e-6); err != nil {
+			t.Fatalf("Project(%v) = %v infeasible: %v", v, p, err)
+		}
+	})
+}
+
+// FuzzRoundToUnits checks the integer materialization invariants on
+// arbitrary positive weights.
+func FuzzRoundToUnits(f *testing.F) {
+	f.Add(1.0, 2.0, 3.0, uint16(256))
+	f.Add(0.0, 0.0, 1.0, uint16(7))
+	f.Add(1e-9, 1e9, 5.0, uint16(1000))
+	f.Fuzz(func(t *testing.T, a, b, c float64, units uint16) {
+		for _, x := range []float64{a, b, c} {
+			if math.IsNaN(x) || math.IsInf(x, 0) || x < 0 {
+				t.Skip()
+			}
+		}
+		x := Renormalize([]float64{a, b, c})
+		counts, err := RoundToUnits(x, int(units))
+		if err != nil {
+			t.Skip() // Renormalize output can fail Check for extreme inputs
+		}
+		sum := 0
+		for i, cnt := range counts {
+			if cnt < 0 {
+				t.Fatalf("negative count %d", cnt)
+			}
+			if math.Abs(float64(cnt)-x[i]*float64(units)) >= 1 {
+				t.Fatalf("count %d deviates from exact share %v by >= 1", cnt, x[i]*float64(units))
+			}
+			sum += cnt
+		}
+		if sum != int(units) {
+			t.Fatalf("counts sum to %d, want %d", sum, units)
+		}
+	})
+}

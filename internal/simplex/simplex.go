@@ -1,0 +1,218 @@
+// Package simplex provides vector utilities on the probability simplex
+//
+//	F = { x in R^N : sum_i x_i = 1, x_i >= 0 },
+//
+// which is the feasible set of the online min-max load balancing problem.
+// It includes the Euclidean projection onto the simplex needed by the OGD
+// baseline, feasibility checks used to assert the paper's invariants, and
+// small vector helpers shared across the repository.
+package simplex
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// FeasTol is the default absolute tolerance used by feasibility checks.
+const FeasTol = 1e-9
+
+// ErrEmpty is returned for zero-length vectors where a non-empty vector is
+// required.
+var ErrEmpty = errors.New("simplex: empty vector")
+
+// Uniform returns the uniform point (1/n, ..., 1/n).
+func Uniform(n int) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 1 / float64(n)
+	}
+	return x
+}
+
+// Clone returns a copy of x.
+func Clone(x []float64) []float64 {
+	if x == nil {
+		return nil
+	}
+	return append([]float64(nil), x...)
+}
+
+// Sum returns the sum of the entries of x.
+func Sum(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s
+}
+
+// Check verifies that x lies on the simplex within tolerance tol
+// (tol <= 0 uses FeasTol). It returns a descriptive error naming the first
+// violated constraint, or nil.
+func Check(x []float64, tol float64) error {
+	if len(x) == 0 {
+		return ErrEmpty
+	}
+	if tol <= 0 {
+		tol = FeasTol
+	}
+	for i, v := range x {
+		if math.IsNaN(v) {
+			return fmt.Errorf("simplex: x[%d] is NaN", i)
+		}
+		if v < -tol {
+			return fmt.Errorf("simplex: x[%d] = %v violates non-negativity", i, v)
+		}
+	}
+	if s := Sum(x); math.Abs(s-1) > tol {
+		return fmt.Errorf("simplex: sum = %v, want 1", s)
+	}
+	return nil
+}
+
+// L2Dist returns the Euclidean distance between a and b. The vectors must
+// have the same length; mismatched lengths yield NaN to surface bugs
+// loudly in accounting code.
+func L2Dist(a, b []float64) float64 {
+	if len(a) != len(b) {
+		return math.NaN()
+	}
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// L2Norm returns the Euclidean norm of x.
+func L2Norm(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// AddScaled returns a new vector x + c*d.
+func AddScaled(x []float64, c float64, d []float64) []float64 {
+	out := make([]float64, len(x))
+	for i := range x {
+		out[i] = x[i] + c*d[i]
+	}
+	return out
+}
+
+// Project returns the Euclidean projection of v onto the probability
+// simplex using the sort-based algorithm (Held et al.; see also Duchi et
+// al., ICML 2008), running in O(N log N). This is the projection operator
+// pi_F used by the OGD baseline; DOLBIE itself never projects.
+func Project(v []float64) ([]float64, error) {
+	n := len(v)
+	if n == 0 {
+		return nil, ErrEmpty
+	}
+	for i, val := range v {
+		if math.IsNaN(val) {
+			return nil, fmt.Errorf("simplex: v[%d] is NaN", i)
+		}
+	}
+	u := Clone(v)
+	sort.Sort(sort.Reverse(sort.Float64Slice(u)))
+	var cumsum, theta float64
+	rho := -1
+	for k := 0; k < n; k++ {
+		cumsum += u[k]
+		t := (cumsum - 1) / float64(k+1)
+		if u[k]-t > 0 {
+			rho = k
+			theta = t
+		}
+	}
+	if rho < 0 {
+		// All mass would be clipped; fall back to the uniform point. This
+		// can only happen for pathological inputs (e.g. -Inf entries).
+		return Uniform(n), nil
+	}
+	out := make([]float64, n)
+	for i, val := range v {
+		p := val - theta
+		if p < 0 {
+			p = 0
+		}
+		out[i] = p
+	}
+	// Counter floating-point drift so downstream feasibility checks hold.
+	if s := Sum(out); s > 0 && math.Abs(s-1) > 1e-15 {
+		for i := range out {
+			out[i] /= s
+		}
+	}
+	return out, nil
+}
+
+// Renormalize scales a non-negative vector to sum exactly to one. Vectors
+// with non-positive sum are replaced by the uniform point so that callers
+// always receive a feasible assignment.
+func Renormalize(x []float64) []float64 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	var s float64
+	for i, v := range x {
+		if v < 0 || math.IsNaN(v) {
+			v = 0
+		}
+		out[i] = v
+		s += v
+	}
+	if s <= 0 {
+		return Uniform(n)
+	}
+	for i := range out {
+		out[i] /= s
+	}
+	return out
+}
+
+// ArgMax returns the index of the maximum entry, breaking ties in favour
+// of the lowest index (the paper's rule: "select the worker that ranks
+// higher in the worker list"). It returns -1 for an empty vector.
+func ArgMax(x []float64) int {
+	best := -1
+	var bestV float64
+	for i, v := range x {
+		if best == -1 || v > bestV {
+			best, bestV = i, v
+		}
+	}
+	return best
+}
+
+// ArgMin returns the index of the minimum entry, breaking ties in favour
+// of the lowest index. It returns -1 for an empty vector.
+func ArgMin(x []float64) int {
+	best := -1
+	var bestV float64
+	for i, v := range x {
+		if best == -1 || v < bestV {
+			best, bestV = i, v
+		}
+	}
+	return best
+}
+
+// Max returns the maximum entry of x, or NaN for an empty vector.
+func Max(x []float64) float64 {
+	if i := ArgMax(x); i >= 0 {
+		return x[i]
+	}
+	return math.NaN()
+}

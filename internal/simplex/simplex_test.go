@@ -1,0 +1,221 @@
+package simplex
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestUniform(t *testing.T) {
+	if got := Uniform(0); got != nil {
+		t.Errorf("Uniform(0) = %v, want nil", got)
+	}
+	x := Uniform(4)
+	for i, v := range x {
+		if v != 0.25 {
+			t.Errorf("Uniform(4)[%d] = %v, want 0.25", i, v)
+		}
+	}
+	if err := Check(x, 0); err != nil {
+		t.Errorf("Uniform(4) infeasible: %v", err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	x := []float64{1, 2}
+	y := Clone(x)
+	y[0] = 9
+	if x[0] != 1 {
+		t.Error("Clone shares backing array")
+	}
+	if Clone(nil) != nil {
+		t.Error("Clone(nil) should be nil")
+	}
+}
+
+func TestCheck(t *testing.T) {
+	tests := []struct {
+		name    string
+		x       []float64
+		wantErr bool
+	}{
+		{"empty", nil, true},
+		{"feasible", []float64{0.5, 0.5}, false},
+		{"boundary zero", []float64{0, 1}, false},
+		{"negative", []float64{-0.1, 1.1}, true},
+		{"bad sum", []float64{0.5, 0.4}, true},
+		{"nan", []float64{math.NaN(), 1}, true},
+		{"tiny negative within tol", []float64{-1e-12, 1 + 1e-12}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := Check(tt.x, 0)
+			if (err != nil) != tt.wantErr {
+				t.Errorf("Check(%v) = %v, wantErr %v", tt.x, err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestL2DistAndNorm(t *testing.T) {
+	if d := L2Dist([]float64{0, 0}, []float64{3, 4}); d != 5 {
+		t.Errorf("L2Dist = %v, want 5", d)
+	}
+	if !math.IsNaN(L2Dist([]float64{1}, []float64{1, 2})) {
+		t.Error("L2Dist length mismatch should be NaN")
+	}
+	if n := L2Norm([]float64{3, 4}); n != 5 {
+		t.Errorf("L2Norm = %v, want 5", n)
+	}
+}
+
+func TestAddScaled(t *testing.T) {
+	got := AddScaled([]float64{1, 2}, 2, []float64{3, -1})
+	want := []float64{7, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("AddScaled[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestProjectAlreadyFeasible(t *testing.T) {
+	x := []float64{0.2, 0.3, 0.5}
+	p, err := Project(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if math.Abs(p[i]-x[i]) > 1e-12 {
+			t.Errorf("Project changed feasible point: p[%d] = %v, want %v", i, p[i], x[i])
+		}
+	}
+}
+
+func TestProjectKnownCases(t *testing.T) {
+	tests := []struct {
+		name string
+		v    []float64
+		want []float64
+	}{
+		{"all equal", []float64{5, 5}, []float64{0.5, 0.5}},
+		{"dominant coordinate", []float64{10, 0}, []float64{1, 0}},
+		{"negative entries", []float64{-1, 1}, []float64{0, 1}},
+		{"single", []float64{42}, []float64{1}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := Project(tt.v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range tt.want {
+				if math.Abs(got[i]-tt.want[i]) > 1e-9 {
+					t.Errorf("Project(%v)[%d] = %v, want %v", tt.v, i, got[i], tt.want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestProjectErrors(t *testing.T) {
+	if _, err := Project(nil); err == nil {
+		t.Error("Project(nil) should error")
+	}
+	if _, err := Project([]float64{math.NaN()}); err == nil {
+		t.Error("Project(NaN) should error")
+	}
+}
+
+// Property: projection output is feasible and is no farther from v than any
+// random feasible point (projection optimality spot-check).
+func TestProjectProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(20)
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = r.NormFloat64() * 3
+		}
+		p, err := Project(v)
+		if err != nil {
+			return false
+		}
+		if Check(p, 1e-8) != nil {
+			return false
+		}
+		dp := L2Dist(p, v)
+		for trial := 0; trial < 10; trial++ {
+			q := randomSimplexPoint(r, n)
+			if L2Dist(q, v) < dp-1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randomSimplexPoint(r *rand.Rand, n int) []float64 {
+	x := make([]float64, n)
+	var s float64
+	for i := range x {
+		x[i] = r.ExpFloat64()
+		s += x[i]
+	}
+	for i := range x {
+		x[i] /= s
+	}
+	return x
+}
+
+func TestRenormalize(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []float64
+		want []float64
+	}{
+		{"simple", []float64{1, 3}, []float64{0.25, 0.75}},
+		{"negative clamped", []float64{-1, 1}, []float64{0, 1}},
+		{"all zero falls back to uniform", []float64{0, 0}, []float64{0.5, 0.5}},
+		{"nan treated as zero", []float64{math.NaN(), 2}, []float64{0, 1}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := Renormalize(tt.in)
+			for i := range tt.want {
+				if math.Abs(got[i]-tt.want[i]) > 1e-12 {
+					t.Errorf("Renormalize(%v)[%d] = %v, want %v", tt.in, i, got[i], tt.want[i])
+				}
+			}
+		})
+	}
+	if Renormalize(nil) != nil {
+		t.Error("Renormalize(nil) should be nil")
+	}
+}
+
+func TestArgMaxArgMinTieBreaking(t *testing.T) {
+	if got := ArgMax([]float64{1, 3, 3, 2}); got != 1 {
+		t.Errorf("ArgMax tie = %d, want 1 (lowest index)", got)
+	}
+	if got := ArgMin([]float64{2, 1, 1, 3}); got != 1 {
+		t.Errorf("ArgMin tie = %d, want 1 (lowest index)", got)
+	}
+	if ArgMax(nil) != -1 || ArgMin(nil) != -1 {
+		t.Error("Arg{Max,Min}(nil) should be -1")
+	}
+}
+
+func TestMax(t *testing.T) {
+	if got := Max([]float64{1, 5, 3}); got != 5 {
+		t.Errorf("Max = %v, want 5", got)
+	}
+	if !math.IsNaN(Max(nil)) {
+		t.Error("Max(nil) should be NaN")
+	}
+}

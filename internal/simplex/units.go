@@ -1,0 +1,85 @@
+package simplex
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// RoundToUnits converts a point on the simplex into integer unit counts
+// that sum exactly to units, using the largest-remainder (Hamilton)
+// method: each worker first receives floor(x_i * units) units and the
+// remaining units go to the largest fractional remainders (ties broken
+// by lower index). Every count differs from the exact share x_i*units by
+// strictly less than one unit.
+//
+// This is how a fractional batch assignment b_t is materialized into
+// whole data samples in the paper's batch-size application: the global
+// batch B is preserved exactly and no worker is off by a full sample.
+func RoundToUnits(x []float64, units int) ([]int, error) {
+	if err := Check(x, 0); err != nil {
+		return nil, fmt.Errorf("simplex: round to units: %w", err)
+	}
+	if units < 0 {
+		return nil, fmt.Errorf("simplex: units = %d must be non-negative", units)
+	}
+	n := len(x)
+	counts := make([]int, n)
+	type rem struct {
+		idx  int
+		frac float64
+	}
+	rems := make([]rem, n)
+	assigned := 0
+	for i, v := range x {
+		exact := v * float64(units)
+		if exact < 0 {
+			exact = 0
+		}
+		f := math.Floor(exact)
+		counts[i] = int(f)
+		assigned += counts[i]
+		rems[i] = rem{idx: i, frac: exact - f}
+	}
+	remaining := units - assigned
+	if remaining < 0 {
+		// Impossible for feasible x, but guard against pathological
+		// floating-point input.
+		return nil, fmt.Errorf("simplex: rounding overflow: %d assigned of %d", assigned, units)
+	}
+	sort.SliceStable(rems, func(a, b int) bool {
+		if rems[a].frac != rems[b].frac {
+			return rems[a].frac > rems[b].frac
+		}
+		return rems[a].idx < rems[b].idx
+	})
+	for k := 0; k < remaining; k++ {
+		counts[rems[k%n].idx]++
+	}
+	return counts, nil
+}
+
+// FromUnits converts integer unit counts back into a simplex point.
+// A zero total yields the uniform point, mirroring Renormalize.
+func FromUnits(counts []int) []float64 {
+	n := len(counts)
+	if n == 0 {
+		return nil
+	}
+	total := 0
+	for _, c := range counts {
+		if c > 0 {
+			total += c
+		}
+	}
+	if total == 0 {
+		return Uniform(n)
+	}
+	x := make([]float64, n)
+	for i, c := range counts {
+		if c > 0 {
+			x[i] = float64(c) / float64(total)
+		}
+	}
+	return x
+}

@@ -1,0 +1,130 @@
+package simplex
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundToUnitsKnownCases(t *testing.T) {
+	tests := []struct {
+		name  string
+		x     []float64
+		units int
+		want  []int
+	}{
+		{"exact split", []float64{0.5, 0.25, 0.25}, 8, []int{4, 2, 2}},
+		{"remainder to largest fraction", []float64{0.4, 0.35, 0.25}, 10, []int{4, 4, 2}},
+		{"all to one", []float64{1, 0}, 7, []int{7, 0}},
+		{"zero units", []float64{0.5, 0.5}, 0, []int{0, 0}},
+		{"single worker", []float64{1}, 256, []int{256}},
+		// 1/3 each of 256: floors are 85 (sum 255), the spare sample goes
+		// to the lowest index among equal remainders.
+		{"thirds of 256", []float64{1.0 / 3, 1.0 / 3, 1.0 / 3}, 256, []int{86, 85, 85}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := RoundToUnits(tt.x, tt.units)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range tt.want {
+				if got[i] != tt.want[i] {
+					t.Errorf("counts = %v, want %v", got, tt.want)
+					break
+				}
+			}
+		})
+	}
+}
+
+func TestRoundToUnitsValidation(t *testing.T) {
+	if _, err := RoundToUnits([]float64{0.4, 0.4}, 10); err == nil {
+		t.Error("infeasible x should error")
+	}
+	if _, err := RoundToUnits([]float64{0.5, 0.5}, -1); err == nil {
+		t.Error("negative units should error")
+	}
+	if _, err := RoundToUnits(nil, 10); err == nil {
+		t.Error("empty x should error")
+	}
+}
+
+// Property: counts always sum to units and each count is within one unit
+// of the exact share.
+func TestRoundToUnitsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(40)
+		units := r.Intn(1000)
+		x := randomSimplexPoint(r, n)
+		counts, err := RoundToUnits(x, units)
+		if err != nil {
+			return false
+		}
+		sum := 0
+		for i, c := range counts {
+			if c < 0 {
+				return false
+			}
+			sum += c
+			if math.Abs(float64(c)-x[i]*float64(units)) >= 1 {
+				return false
+			}
+		}
+		return sum == units
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromUnits(t *testing.T) {
+	if FromUnits(nil) != nil {
+		t.Error("FromUnits(nil) should be nil")
+	}
+	x := FromUnits([]int{0, 0})
+	if x[0] != 0.5 || x[1] != 0.5 {
+		t.Errorf("zero total should be uniform, got %v", x)
+	}
+	x = FromUnits([]int{3, 1})
+	if x[0] != 0.75 || x[1] != 0.25 {
+		t.Errorf("FromUnits = %v", x)
+	}
+	// Negative counts are treated as zero.
+	x = FromUnits([]int{-5, 4})
+	if x[0] != 0 || x[1] != 1 {
+		t.Errorf("negative counts = %v", x)
+	}
+	if err := Check(x, 0); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: RoundToUnits then FromUnits approximates the original point
+// within 1/units per coordinate.
+func TestUnitsRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(20)
+		units := 64 + r.Intn(512)
+		x := randomSimplexPoint(r, n)
+		counts, err := RoundToUnits(x, units)
+		if err != nil {
+			return false
+		}
+		back := FromUnits(counts)
+		for i := range x {
+			if math.Abs(back[i]-x[i]) > 1.0/float64(units)+1e-12 {
+				return false
+			}
+		}
+		return Check(back, 1e-9) == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,184 @@
+// Package stats provides the aggregation primitives used by the
+// experiment harness: means, standard deviations, 95% confidence
+// intervals over independent realizations (matching Figs. 4-5 and 11 of
+// the paper, which report 95% CIs over 100 realizations of processor
+// sampling), percentiles, and per-round series aggregation.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// z95 is the two-sided 95% normal quantile used for confidence intervals,
+// matching the paper's "95% CI" error bars over 100 realizations.
+const z95 = 1.959963984540054
+
+// ErrEmpty is returned when a computation requires at least one sample.
+var ErrEmpty = errors.New("stats: no samples")
+
+// Mean returns the arithmetic mean of xs, or NaN when empty.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, v := range xs {
+		s += v
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance, or NaN when fewer than
+// two samples are available.
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	var s float64
+	for _, v := range xs {
+		d := v - m
+		s += d * d
+	}
+	return s / float64(n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Summary describes a set of samples with its mean and the half-width of
+// a 95% confidence interval on the mean.
+type Summary struct {
+	N        int
+	Mean     float64
+	StdDev   float64
+	HalfCI95 float64
+}
+
+// Summarize computes a Summary. With a single sample the CI half-width is
+// zero; with none it returns ErrEmpty.
+func Summarize(xs []float64) (Summary, error) {
+	n := len(xs)
+	if n == 0 {
+		return Summary{}, ErrEmpty
+	}
+	s := Summary{N: n, Mean: Mean(xs)}
+	if n >= 2 {
+		s.StdDev = StdDev(xs)
+		s.HalfCI95 = z95 * s.StdDev / math.Sqrt(float64(n))
+	}
+	return s, nil
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) using linear
+// interpolation between closest ranks.
+func Percentile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if p < 0 || p > 100 {
+		return 0, fmt.Errorf("stats: percentile %v out of [0, 100]", p)
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// SeriesAggregate aggregates R realizations of a length-T series into
+// per-round summaries. realizations[r][t] is the value of round t in
+// realization r; all realizations must share the same length.
+func SeriesAggregate(realizations [][]float64) ([]Summary, error) {
+	if len(realizations) == 0 {
+		return nil, ErrEmpty
+	}
+	T := len(realizations[0])
+	for r, series := range realizations {
+		if len(series) != T {
+			return nil, fmt.Errorf("stats: realization %d has length %d, want %d", r, len(series), T)
+		}
+	}
+	out := make([]Summary, T)
+	col := make([]float64, len(realizations))
+	for t := 0; t < T; t++ {
+		for r := range realizations {
+			col[r] = realizations[r][t]
+		}
+		s, err := Summarize(col)
+		if err != nil {
+			return nil, err
+		}
+		out[t] = s
+	}
+	return out, nil
+}
+
+// CumSum returns the running sum of xs.
+func CumSum(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	var s float64
+	for i, v := range xs {
+		s += v
+		out[i] = s
+	}
+	return out
+}
+
+// Welford accumulates mean and variance online in a single pass, for
+// streaming aggregation without retaining samples.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add incorporates one sample.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of samples seen.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean (NaN before any sample).
+func (w *Welford) Mean() float64 {
+	if w.n == 0 {
+		return math.NaN()
+	}
+	return w.mean
+}
+
+// Variance returns the running unbiased variance (NaN with fewer than two
+// samples).
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return math.NaN()
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Summary converts the accumulated state into a Summary.
+func (w *Welford) Summary() Summary {
+	s := Summary{N: w.n, Mean: w.Mean()}
+	if w.n >= 2 {
+		s.StdDev = math.Sqrt(w.Variance())
+		s.HalfCI95 = z95 * s.StdDev / math.Sqrt(float64(w.n))
+	}
+	return s
+}

@@ -1,0 +1,153 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean(nil) should be NaN")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v, want 2", got)
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	if !math.IsNaN(Variance([]float64{1})) {
+		t.Error("Variance of single sample should be NaN")
+	}
+	got := Variance([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(got-4.571428571428571) > 1e-12 {
+		t.Errorf("Variance = %v, want 4.5714...", got)
+	}
+	if sd := StdDev([]float64{1, 1, 1}); sd != 0 {
+		t.Errorf("StdDev of constants = %v, want 0", sd)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	if _, err := Summarize(nil); err == nil {
+		t.Error("Summarize(nil) should error")
+	}
+	s, err := Summarize([]float64{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 1 || s.Mean != 5 || s.HalfCI95 != 0 {
+		t.Errorf("single-sample summary = %+v", s)
+	}
+	s, err = Summarize([]float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Mean != 2.5 {
+		t.Errorf("Mean = %v, want 2.5", s.Mean)
+	}
+	wantHalf := 1.959963984540054 * s.StdDev / 2
+	if math.Abs(s.HalfCI95-wantHalf) > 1e-12 {
+		t.Errorf("HalfCI95 = %v, want %v", s.HalfCI95, wantHalf)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	if _, err := Percentile(nil, 50); err == nil {
+		t.Error("empty percentile should error")
+	}
+	if _, err := Percentile([]float64{1}, -1); err == nil {
+		t.Error("negative p should error")
+	}
+	if _, err := Percentile([]float64{1}, 101); err == nil {
+		t.Error("p > 100 should error")
+	}
+	xs := []float64{4, 1, 3, 2}
+	tests := []struct{ p, want float64 }{
+		{0, 1}, {100, 4}, {50, 2.5}, {25, 1.75},
+	}
+	for _, tt := range tests {
+		got, err := Percentile(xs, tt.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	// Input must not be mutated.
+	if xs[0] != 4 {
+		t.Error("Percentile mutated its input")
+	}
+	got, err := Percentile([]float64{7}, 50)
+	if err != nil || got != 7 {
+		t.Errorf("single-sample percentile = %v, %v", got, err)
+	}
+}
+
+func TestSeriesAggregate(t *testing.T) {
+	if _, err := SeriesAggregate(nil); err == nil {
+		t.Error("empty aggregate should error")
+	}
+	if _, err := SeriesAggregate([][]float64{{1, 2}, {1}}); err == nil {
+		t.Error("ragged realizations should error")
+	}
+	out, err := SeriesAggregate([][]float64{{1, 10}, {3, 20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[0].Mean != 2 || out[1].Mean != 15 {
+		t.Errorf("aggregate = %+v", out)
+	}
+}
+
+func TestCumSum(t *testing.T) {
+	got := CumSum([]float64{1, 2, 3})
+	want := []float64{1, 3, 6}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("CumSum[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if len(CumSum(nil)) != 0 {
+		t.Error("CumSum(nil) should be empty")
+	}
+}
+
+func TestWelfordMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(50)
+		xs := make([]float64, n)
+		var w Welford
+		for i := range xs {
+			xs[i] = r.NormFloat64() * 10
+			w.Add(xs[i])
+		}
+		if w.N() != n {
+			return false
+		}
+		return math.Abs(w.Mean()-Mean(xs)) < 1e-9 &&
+			math.Abs(w.Variance()-Variance(xs)) < 1e-7
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWelfordEmpty(t *testing.T) {
+	var w Welford
+	if !math.IsNaN(w.Mean()) || !math.IsNaN(w.Variance()) {
+		t.Error("empty Welford should report NaN")
+	}
+	w.Add(1)
+	if !math.IsNaN(w.Variance()) {
+		t.Error("single-sample Welford variance should be NaN")
+	}
+	s := w.Summary()
+	if s.N != 1 || s.Mean != 1 || s.HalfCI95 != 0 {
+		t.Errorf("summary = %+v", s)
+	}
+}

@@ -1,0 +1,274 @@
+// Package trace provides seeded stochastic processes and trace
+// record/replay for the time-varying quantities of the paper's system
+// model: per-round processing speeds gamma_{i,t} and data rates phi_{i,t}.
+//
+// The paper's experiments use actual measured computation and transfer
+// times from a physical heterogeneous GPU/CPU testbed. That hardware is
+// unavailable here, so this package implements the closest synthetic
+// equivalent: stationary stochastic processes calibrated to the same
+// qualitative behaviour — persistent heterogeneity across workers,
+// mean-reverting fluctuation within a worker (AR(1)), background
+// contention regimes (Markov-modulated), and occasional transient spikes.
+// The online algorithms only ever observe the resulting scalar costs, so
+// this preserves the code paths and comparison structure of the paper's
+// evaluation (see DESIGN.md, "Substitutions").
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Process produces one sample per online round. Implementations are
+// deterministic given their construction seed, which makes every
+// experiment in this repository reproducible. A Process is NOT safe for
+// concurrent use; each worker owns its own processes.
+type Process interface {
+	// Next advances the process by one round and returns the new sample.
+	Next() float64
+}
+
+// Constant is a degenerate process that always returns Value.
+type Constant struct{ Value float64 }
+
+var _ Process = (*Constant)(nil)
+
+// Next returns the constant value.
+func (c *Constant) Next() float64 { return c.Value }
+
+// AR1 is a mean-reverting first-order autoregressive process:
+//
+//	y_t = Mean + Phi*(y_{t-1} - Mean) + Sigma*eps_t,  eps_t ~ N(0, 1).
+//
+// With 0 <= Phi < 1 the process is stationary around Mean. It models a
+// worker's available processing speed or link rate drifting under
+// background load.
+type AR1 struct {
+	mean  float64
+	phi   float64
+	sigma float64
+	state float64
+	rng   *rand.Rand
+}
+
+var _ Process = (*AR1)(nil)
+
+// NewAR1 constructs an AR(1) process started at its mean.
+func NewAR1(mean, phi, sigma float64, seed int64) (*AR1, error) {
+	if phi < 0 || phi >= 1 {
+		return nil, fmt.Errorf("trace: AR1 phi = %v out of [0, 1)", phi)
+	}
+	if sigma < 0 {
+		return nil, fmt.Errorf("trace: AR1 sigma = %v negative", sigma)
+	}
+	return &AR1{mean: mean, phi: phi, sigma: sigma, state: mean, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// Next advances the recursion by one step.
+func (a *AR1) Next() float64 {
+	a.state = a.mean + a.phi*(a.state-a.mean) + a.sigma*a.rng.NormFloat64()
+	return a.state
+}
+
+// Markov is a Markov-modulated process that switches between Levels with
+// per-round transition matrix P (row-stochastic). It models discrete
+// contention regimes such as a co-located job starting or stopping, the
+// dominant cause of stragglers in non-dedicated clusters.
+type Markov struct {
+	levels []float64
+	p      [][]float64
+	state  int
+	rng    *rand.Rand
+}
+
+var _ Process = (*Markov)(nil)
+
+// NewMarkov constructs the chain starting in state 0.
+func NewMarkov(levels []float64, p [][]float64, seed int64) (*Markov, error) {
+	k := len(levels)
+	if k == 0 {
+		return nil, errors.New("trace: Markov needs at least one level")
+	}
+	if len(p) != k {
+		return nil, fmt.Errorf("trace: transition matrix has %d rows, want %d", len(p), k)
+	}
+	for i, row := range p {
+		if len(row) != k {
+			return nil, fmt.Errorf("trace: row %d has %d entries, want %d", i, len(row), k)
+		}
+		var s float64
+		for j, v := range row {
+			if v < 0 {
+				return nil, fmt.Errorf("trace: p[%d][%d] = %v negative", i, j, v)
+			}
+			s += v
+		}
+		if math.Abs(s-1) > 1e-9 {
+			return nil, fmt.Errorf("trace: row %d sums to %v, want 1", i, s)
+		}
+	}
+	return &Markov{
+		levels: append([]float64(nil), levels...),
+		p:      clone2D(p),
+		rng:    rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+func clone2D(p [][]float64) [][]float64 {
+	out := make([][]float64, len(p))
+	for i, row := range p {
+		out[i] = append([]float64(nil), row...)
+	}
+	return out
+}
+
+// Next samples the next state and returns its level.
+func (m *Markov) Next() float64 {
+	u := m.rng.Float64()
+	var cum float64
+	row := m.p[m.state]
+	next := len(row) - 1
+	for j, v := range row {
+		cum += v
+		if u < cum {
+			next = j
+			break
+		}
+	}
+	m.state = next
+	return m.levels[m.state]
+}
+
+// Jitter draws independent uniform samples on [Mean-Width/2, Mean+Width/2]
+// each round. It models small uncorrelated measurement noise.
+type Jitter struct {
+	mean  float64
+	width float64
+	rng   *rand.Rand
+}
+
+var _ Process = (*Jitter)(nil)
+
+// NewJitter constructs the process.
+func NewJitter(mean, width float64, seed int64) (*Jitter, error) {
+	if width < 0 {
+		return nil, fmt.Errorf("trace: Jitter width = %v negative", width)
+	}
+	return &Jitter{mean: mean, width: width, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// Next returns a fresh uniform sample.
+func (j *Jitter) Next() float64 {
+	return j.mean + (j.rng.Float64()-0.5)*j.width
+}
+
+// Spikes multiplies an inner process by SpikeFactor with probability Prob
+// each round, modelling transient slowdowns (garbage collection, page
+// faults, checkpointing). SpikeFactor < 1 slows a speed process down.
+type Spikes struct {
+	inner  Process
+	prob   float64
+	factor float64
+	rng    *rand.Rand
+}
+
+var _ Process = (*Spikes)(nil)
+
+// NewSpikes constructs the wrapper.
+func NewSpikes(inner Process, prob, factor float64, seed int64) (*Spikes, error) {
+	if inner == nil {
+		return nil, errors.New("trace: Spikes inner process is nil")
+	}
+	if prob < 0 || prob > 1 {
+		return nil, fmt.Errorf("trace: Spikes prob = %v out of [0, 1]", prob)
+	}
+	return &Spikes{inner: inner, prob: prob, factor: factor, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// Next samples the inner process and applies a spike with probability Prob.
+func (s *Spikes) Next() float64 {
+	v := s.inner.Next()
+	if s.rng.Float64() < s.prob {
+		v *= s.factor
+	}
+	return v
+}
+
+// Clamp bounds an inner process to [Min, Max]. Speed and rate processes
+// are clamped away from zero so the induced latencies stay finite.
+type Clamp struct {
+	Inner Process
+	Min   float64
+	Max   float64
+}
+
+var _ Process = (*Clamp)(nil)
+
+// Next samples the inner process and clamps the value.
+func (c *Clamp) Next() float64 {
+	v := c.Inner.Next()
+	if v < c.Min {
+		v = c.Min
+	}
+	if c.Max > c.Min && v > c.Max {
+		v = c.Max
+	}
+	return v
+}
+
+// Scale multiplies an inner process by a constant factor.
+type Scale struct {
+	Inner  Process
+	Factor float64
+}
+
+var _ Process = (*Scale)(nil)
+
+// Next samples the inner process and scales the value.
+func (s *Scale) Next() float64 { return s.Factor * s.Inner.Next() }
+
+// Recorder wraps a Process and records every sample it emits, so that a
+// realization can be exported, inspected, or replayed exactly.
+type Recorder struct {
+	Inner   Process
+	Samples []float64
+}
+
+var _ Process = (*Recorder)(nil)
+
+// Next samples the inner process, appends the sample, and returns it.
+func (r *Recorder) Next() float64 {
+	v := r.Inner.Next()
+	r.Samples = append(r.Samples, v)
+	return v
+}
+
+// Replay replays a fixed sequence of samples. After the sequence is
+// exhausted it keeps returning the final sample, so replays remain usable
+// when an experiment runs slightly longer than the recording.
+type Replay struct {
+	samples []float64
+	pos     int
+}
+
+var _ Process = (*Replay)(nil)
+
+// NewReplay constructs a replay over a copy of samples.
+func NewReplay(samples []float64) (*Replay, error) {
+	if len(samples) == 0 {
+		return nil, errors.New("trace: replay needs at least one sample")
+	}
+	return &Replay{samples: append([]float64(nil), samples...)}, nil
+}
+
+// Next returns the next recorded sample.
+func (r *Replay) Next() float64 {
+	if r.pos >= len(r.samples) {
+		return r.samples[len(r.samples)-1]
+	}
+	v := r.samples[r.pos]
+	r.pos++
+	return v
+}

@@ -1,0 +1,216 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+func TestConstant(t *testing.T) {
+	c := &Constant{Value: 3.5}
+	for i := 0; i < 5; i++ {
+		if got := c.Next(); got != 3.5 {
+			t.Fatalf("Next() = %v, want 3.5", got)
+		}
+	}
+}
+
+func TestAR1Validation(t *testing.T) {
+	if _, err := NewAR1(1, -0.1, 1, 1); err == nil {
+		t.Error("negative phi should error")
+	}
+	if _, err := NewAR1(1, 1.0, 1, 1); err == nil {
+		t.Error("phi = 1 should error")
+	}
+	if _, err := NewAR1(1, 0.5, -1, 1); err == nil {
+		t.Error("negative sigma should error")
+	}
+}
+
+func TestAR1Deterministic(t *testing.T) {
+	a1, err := NewAR1(10, 0.9, 0.5, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, _ := NewAR1(10, 0.9, 0.5, 42)
+	for i := 0; i < 100; i++ {
+		if a1.Next() != a2.Next() {
+			t.Fatal("same seed must produce identical samples")
+		}
+	}
+}
+
+func TestAR1MeanReversion(t *testing.T) {
+	a, err := NewAR1(10, 0.8, 0.1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += a.Next()
+	}
+	mean := sum / n
+	if math.Abs(mean-10) > 0.1 {
+		t.Errorf("empirical mean = %v, want about 10", mean)
+	}
+}
+
+func TestAR1ZeroSigmaIsConstant(t *testing.T) {
+	a, err := NewAR1(5, 0.5, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if got := a.Next(); got != 5 {
+			t.Fatalf("deterministic AR1 at mean should stay at mean, got %v", got)
+		}
+	}
+}
+
+func TestMarkovValidation(t *testing.T) {
+	tests := []struct {
+		name   string
+		levels []float64
+		p      [][]float64
+	}{
+		{"no levels", nil, nil},
+		{"row count", []float64{1, 2}, [][]float64{{1, 0}}},
+		{"row length", []float64{1, 2}, [][]float64{{1}, {0, 1}}},
+		{"negative prob", []float64{1, 2}, [][]float64{{-0.5, 1.5}, {0, 1}}},
+		{"bad row sum", []float64{1, 2}, [][]float64{{0.5, 0.4}, {0, 1}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := NewMarkov(tt.levels, tt.p, 1); err == nil {
+				t.Error("expected validation error")
+			}
+		})
+	}
+}
+
+func TestMarkovOnlyEmitsLevels(t *testing.T) {
+	m, err := NewMarkov([]float64{1, 4}, [][]float64{{0.7, 0.3}, {0.4, 0.6}}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[float64]int{}
+	for i := 0; i < 2000; i++ {
+		seen[m.Next()]++
+	}
+	if len(seen) != 2 || seen[1.0] == 0 || seen[4.0] == 0 {
+		t.Errorf("expected both levels visited, got %v", seen)
+	}
+}
+
+func TestMarkovAbsorbing(t *testing.T) {
+	m, err := NewMarkov([]float64{1, 9}, [][]float64{{0, 1}, {0, 1}}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Next() // leaves state 0 immediately
+	for i := 0; i < 10; i++ {
+		if got := m.Next(); got != 9 {
+			t.Fatalf("absorbing chain escaped to %v", got)
+		}
+	}
+}
+
+func TestJitter(t *testing.T) {
+	if _, err := NewJitter(1, -1, 1); err == nil {
+		t.Error("negative width should error")
+	}
+	j, err := NewJitter(10, 2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		v := j.Next()
+		if v < 9 || v > 11 {
+			t.Fatalf("Jitter sample %v outside [9, 11]", v)
+		}
+	}
+}
+
+func TestSpikes(t *testing.T) {
+	if _, err := NewSpikes(nil, 0.5, 0.1, 1); err == nil {
+		t.Error("nil inner should error")
+	}
+	if _, err := NewSpikes(&Constant{Value: 1}, 1.5, 0.1, 1); err == nil {
+		t.Error("prob > 1 should error")
+	}
+	s, err := NewSpikes(&Constant{Value: 10}, 0.5, 0.1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spiked, normal := 0, 0
+	for i := 0; i < 1000; i++ {
+		switch v := s.Next(); v {
+		case 10:
+			normal++
+		case 1:
+			spiked++
+		default:
+			t.Fatalf("unexpected sample %v", v)
+		}
+	}
+	if spiked == 0 || normal == 0 {
+		t.Errorf("expected a mix of spiked/normal, got %d/%d", spiked, normal)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	c := &Clamp{Inner: &Constant{Value: -5}, Min: 0.1, Max: 2}
+	if got := c.Next(); got != 0.1 {
+		t.Errorf("clamped low = %v, want 0.1", got)
+	}
+	c = &Clamp{Inner: &Constant{Value: 50}, Min: 0.1, Max: 2}
+	if got := c.Next(); got != 2 {
+		t.Errorf("clamped high = %v, want 2", got)
+	}
+	// Max <= Min disables the upper clamp.
+	c = &Clamp{Inner: &Constant{Value: 50}, Min: 0.1}
+	if got := c.Next(); got != 50 {
+		t.Errorf("no upper clamp = %v, want 50", got)
+	}
+}
+
+func TestScale(t *testing.T) {
+	s := &Scale{Inner: &Constant{Value: 3}, Factor: 2}
+	if got := s.Next(); got != 6 {
+		t.Errorf("Scale = %v, want 6", got)
+	}
+}
+
+func TestRecorderAndReplayRoundTrip(t *testing.T) {
+	inner, err := NewAR1(5, 0.5, 1, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &Recorder{Inner: inner}
+	want := make([]float64, 20)
+	for i := range want {
+		want[i] = rec.Next()
+	}
+	if len(rec.Samples) != 20 {
+		t.Fatalf("recorded %d samples, want 20", len(rec.Samples))
+	}
+	rep, err := NewReplay(rec.Samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range want {
+		if got := rep.Next(); got != w {
+			t.Fatalf("replay[%d] = %v, want %v", i, got, w)
+		}
+	}
+	// Replay beyond the recording repeats the last sample.
+	if got := rep.Next(); got != want[len(want)-1] {
+		t.Errorf("exhausted replay = %v, want last sample %v", rep.Next(), want[len(want)-1])
+	}
+}
+
+func TestReplayEmpty(t *testing.T) {
+	if _, err := NewReplay(nil); err == nil {
+		t.Error("empty replay should error")
+	}
+}

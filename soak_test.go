@@ -1,0 +1,129 @@
+package dolbie_test
+
+// Long-horizon soak: DOLBIE runs for thousands of rounds of adversarially
+// shifting dynamics and the structural invariants must never drift —
+// feasibility, non-increasing step size, bounded workloads, finite costs.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dolbie/internal/baselines"
+	"dolbie/internal/core"
+	"dolbie/internal/costfn"
+	"dolbie/internal/simplex"
+)
+
+func TestSoakDOLBIEThousandsOfRounds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	const (
+		n      = 20
+		rounds = 5000
+	)
+	rng := rand.New(rand.NewSource(123))
+	b, err := core.NewBalancer(simplex.Uniform(n), core.WithInitialAlpha(0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Regime-switching adversary: every 50-300 rounds the slope profile
+	// is redrawn, occasionally with extreme spreads, zero slopes, and
+	// huge intercepts.
+	slopes := make([]float64, n)
+	intercepts := make([]float64, n)
+	redraw := func() {
+		scale := math.Pow(10, rng.Float64()*3-1) // 0.1 .. 100
+		for i := range slopes {
+			slopes[i] = rng.Float64() * scale
+			intercepts[i] = 0
+			if rng.Intn(4) == 0 {
+				intercepts[i] = rng.Float64() * scale
+			}
+		}
+	}
+	redraw()
+	nextSwitch := 50
+
+	prevAlpha := b.Alpha()
+	for round := 1; round <= rounds; round++ {
+		if round == nextSwitch {
+			redraw()
+			nextSwitch += 50 + rng.Intn(250)
+		}
+		funcs := make([]costfn.Func, n)
+		for i := range funcs {
+			jitter := 0.9 + 0.2*rng.Float64()
+			funcs[i] = costfn.Affine{Slope: slopes[i] * jitter, Intercept: intercepts[i]}
+		}
+		x := b.Assignment()
+		g, costs, err := core.GlobalCost(funcs, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.IsNaN(g) || math.IsInf(g, 0) {
+			t.Fatalf("round %d: global cost %v", round, g)
+		}
+		if err := b.Update(core.Observation{Costs: costs, Funcs: funcs}); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if err := simplex.Check(b.Assignment(), 1e-6); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if b.Alpha() > prevAlpha+1e-15 {
+			t.Fatalf("round %d: alpha increased %v -> %v", round, prevAlpha, b.Alpha())
+		}
+		prevAlpha = b.Alpha()
+	}
+	if b.Round() != rounds {
+		t.Errorf("completed %d rounds, want %d", b.Round(), rounds)
+	}
+}
+
+// TestSoakAllBaselinesRegimeSwitches subjects every baseline to the same
+// adversary for a shorter horizon.
+func TestSoakAllBaselinesRegimeSwitches(t *testing.T) {
+	const (
+		n      = 12
+		rounds = 1500
+	)
+	rng := rand.New(rand.NewSource(7))
+	x0 := simplex.Uniform(n)
+	equ, _ := baselines.NewEqual(n)
+	ogd, _ := baselines.NewOGD(x0, 0.001)
+	abs, _ := baselines.NewABS(x0, 5)
+	lbbsp, _ := baselines.NewLBBSP(x0, 5.0/256, 5)
+	dol, _ := core.NewBalancer(x0, core.WithInitialAlpha(0.001), core.WithStepRuleScale(256))
+	algs := []core.Algorithm{equ, ogd, abs, lbbsp, dol}
+
+	slopes := make([]float64, n)
+	for i := range slopes {
+		slopes[i] = 0.5 + rng.Float64()*6
+	}
+	for round := 1; round <= rounds; round++ {
+		if round%200 == 0 {
+			for i := range slopes {
+				slopes[i] = 0.5 + rng.Float64()*6
+			}
+		}
+		funcs := make([]costfn.Func, n)
+		for i := range funcs {
+			funcs[i] = costfn.Affine{Slope: slopes[i], Intercept: 0.02 * float64(i%3)}
+		}
+		for _, alg := range algs {
+			x := alg.Assignment()
+			if err := simplex.Check(x, 1e-6); err != nil {
+				t.Fatalf("round %d %s: %v", round, alg.Name(), err)
+			}
+			_, costs, err := core.GlobalCost(funcs, x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := alg.Update(core.Observation{Costs: costs, Funcs: funcs}); err != nil {
+				t.Fatalf("round %d %s: %v", round, alg.Name(), err)
+			}
+		}
+	}
+}
