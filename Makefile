@@ -12,9 +12,14 @@ build:
 
 vet:
 	$(GO) vet ./...
+	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \
+		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
 
+# The concurrency-sensitive packages (metrics registry, cluster runtime)
+# additionally run under the race detector on every default test pass.
 test:
 	$(GO) test ./...
+	$(GO) test -race ./internal/metrics ./internal/cluster
 
 race:
 	$(GO) test -race ./...

@@ -1,0 +1,157 @@
+package dolbie
+
+// This file promotes the distributed runtime to the public API surface.
+// Downstream users previously had to import dolbie/internal/cluster to
+// run a live deployment; everything a deployment needs — transports,
+// cost sources, the deployment drivers of Algorithms 1 and 2, and the
+// fault-tolerance extensions — is re-exported here with its
+// documentation, so `import "dolbie"` is the whole story. The examples
+// under examples/ use only this surface.
+
+import (
+	"context"
+	"time"
+
+	"dolbie/internal/cluster"
+)
+
+// Distributed runtime types, re-exported from the cluster runtime.
+type (
+	// Transport is one node's connection to the rest of the deployment
+	// (Send/Recv/Close). Implementations: the in-memory network (see
+	// NewMemNet), TCP sockets (see ListenTCP), and the reliability
+	// wrapper (see NewReliable).
+	Transport = cluster.Transport
+	// Envelope is the wire unit exchanged by deployment nodes: a typed,
+	// routed JSON payload.
+	Envelope = cluster.Envelope
+	// CostSource supplies a node's local cost feedback after it plays a
+	// workload fraction (standing in for executing the actual work).
+	CostSource = cluster.CostSource
+	// FuncSource adapts a plain function to a CostSource.
+	FuncSource = cluster.FuncSource
+	// MasterResult summarizes a completed master run of Algorithm 1.
+	MasterResult = cluster.MasterResult
+	// WorkerResult summarizes a completed worker run of Algorithm 1.
+	WorkerResult = cluster.WorkerResult
+	// PeerResult summarizes a completed peer run of Algorithm 2.
+	PeerResult = cluster.PeerResult
+	// ResilientConfig parameterizes RunResilientMaster (round deadline,
+	// minimum live worker count, step-size tuning, metrics registry).
+	ResilientConfig = cluster.ResilientConfig
+	// ResilientResult summarizes a fail-stop-tolerant master run.
+	ResilientResult = cluster.ResilientResult
+	// TrafficStats is a node's protocol traffic snapshot (messages and
+	// bytes in both directions).
+	TrafficStats = cluster.TrafficStats
+	// MemNet is the in-memory network hub for tests and single-process
+	// deployments, with deterministic fault injection.
+	MemNet = cluster.MemNet
+	// MemNetOption configures a MemNet (see WithDropProb and
+	// WithInboxBuffer).
+	MemNetOption = cluster.MemNetOption
+	// TCPNode is a TCP transport endpoint (length-prefixed JSON frames
+	// over real sockets).
+	TCPNode = cluster.TCPNode
+	// Reliable upgrades a lossy Transport to at-least-once delivery with
+	// duplicate suppression (acks, retransmission, reordering).
+	Reliable = cluster.Reliable
+	// Meter wraps a Transport with traffic accounting.
+	Meter = cluster.Meter
+)
+
+// NewMemNet constructs an in-memory network hub. Obtain per-node
+// transports with its Node method.
+func NewMemNet(opts ...MemNetOption) *MemNet { return cluster.NewMemNet(opts...) }
+
+// WithDropProb makes a MemNet drop each message independently with
+// probability p, using a deterministic seeded source — pair it with
+// NewReliable to exercise lossy-network deployments.
+func WithDropProb(p float64, seed int64) MemNetOption { return cluster.WithDropProb(p, seed) }
+
+// WithInboxBuffer overrides a MemNet's per-node inbox capacity.
+func WithInboxBuffer(n int) MemNetOption { return cluster.WithInboxBuffer(n) }
+
+// ListenTCP binds a TCP transport endpoint for node id on addr (use
+// "127.0.0.1:0" for an ephemeral port). Wire the full deployment by
+// passing every node's address map to each node's SetRegistry.
+func ListenTCP(id int, addr string) (*TCPNode, error) { return cluster.ListenTCP(id, addr) }
+
+// NewReliable wraps the transport endpoint of node id with
+// acknowledgements, deduplication, and retransmission every retryEvery
+// (<= 0 defaults to 50ms), making deployments survive lossy links.
+func NewReliable(id int, inner Transport, retryEvery time.Duration) *Reliable {
+	return cluster.NewReliable(id, inner, retryEvery)
+}
+
+// NewReliableWithMetrics is NewReliable with registry-backed counters
+// for retransmissions and suppressed duplicates.
+func NewReliableWithMetrics(id int, inner Transport, retryEvery time.Duration, reg *MetricsRegistry) *Reliable {
+	return cluster.NewReliableWithMetrics(id, inner, retryEvery, reg)
+}
+
+// NewMeter wraps a transport with snapshot-only traffic accounting.
+func NewMeter(inner Transport) *Meter { return cluster.NewMeter(inner) }
+
+// NewInstrumentedMeter wraps a transport with traffic accounting that
+// additionally feeds registry-backed dolbie_cluster_* counters, labeling
+// per-node families with node.
+func NewInstrumentedMeter(inner Transport, reg *MetricsRegistry, node string) *Meter {
+	return cluster.NewInstrumentedMeter(inner, reg, node)
+}
+
+// NewSyntheticSource builds a self-contained CostSource for worker id:
+// an affine latency whose slope drifts with a seeded AR(1) process,
+// deterministic in (id, seed).
+func NewSyntheticSource(id int, seed int64) (CostSource, error) {
+	return cluster.NewSyntheticSource(id, seed)
+}
+
+// MasterID returns the node id conventionally used by the master in an
+// n-worker deployment (the workers occupy ids 0..n-1).
+func MasterID(n int) int { return cluster.MasterID(n) }
+
+// MasterWorkerDeployment runs a complete Algorithm 1 deployment — the
+// master on transports[n] (see MasterID) and worker i on transports[i],
+// each in its own goroutine — for the given number of rounds.
+// sources[i] supplies worker i's cost feedback. Options (WithMetrics,
+// WithInitialAlpha, ...) configure every node.
+func MasterWorkerDeployment(ctx context.Context, transports []Transport, x0 []float64, rounds int, sources []CostSource, opts ...Option) (MasterResult, []WorkerResult, error) {
+	return cluster.MasterWorkerDeployment(ctx, transports, x0, rounds, sources, opts...)
+}
+
+// FullyDistributedDeployment runs a complete Algorithm 2 deployment:
+// peer i on transports[i], each in its own goroutine, with no master
+// and no shared cost functions.
+func FullyDistributedDeployment(ctx context.Context, transports []Transport, x0 []float64, rounds int, sources []CostSource, opts ...Option) ([]PeerResult, error) {
+	return cluster.FullyDistributedDeployment(ctx, transports, x0, rounds, sources, opts...)
+}
+
+// RunMaster executes only the master side of Algorithm 1 over the
+// transport (for multi-process deployments where workers run
+// elsewhere).
+func RunMaster(ctx context.Context, tr Transport, x0 []float64, rounds int, opts ...Option) (MasterResult, error) {
+	return cluster.RunMaster(ctx, tr, x0, rounds, opts...)
+}
+
+// RunWorker executes worker id of an n-worker Algorithm 1 deployment.
+func RunWorker(ctx context.Context, tr Transport, id, n int, x0 float64, rounds int, src CostSource, opts ...Option) (WorkerResult, error) {
+	return cluster.RunWorker(ctx, tr, id, n, x0, rounds, src, opts...)
+}
+
+// RunPeer executes peer id of an Algorithm 2 deployment.
+func RunPeer(ctx context.Context, tr Transport, id int, x0 []float64, rounds int, src CostSource, opts ...Option) (PeerResult, error) {
+	return cluster.RunPeer(ctx, tr, id, x0, rounds, src, opts...)
+}
+
+// RunResilientMaster executes the master side of Algorithm 1 with
+// fail-stop crash handling: workers that miss the round deadline are
+// declared crashed and their workload folds back into the balancing
+// loop.
+func RunResilientMaster(ctx context.Context, tr Transport, x0 []float64, rounds int, rc ResilientConfig) (ResilientResult, error) {
+	return cluster.RunResilientMaster(ctx, tr, x0, rounds, rc)
+}
+
+// Trajectory reassembles per-round decision vectors from a set of
+// worker or peer results (the Played series of each node).
+func Trajectory(played [][]float64) ([][]float64, error) { return cluster.Trajectory(played) }

@@ -8,14 +8,21 @@
 //	dolbie-bench -fig fig3                # one realization, Fig. 3
 //	dolbie-bench -fig all -quick          # everything, scaled down
 //	dolbie-bench -fig fig4 -realizations 100 -csv out/
+//
+// With -metrics-addr the process serves its runtime gauges (goroutines,
+// heap, GC) and /debug/pprof while the experiments run — useful for
+// profiling the long Monte-Carlo sweeps.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"dolbie/internal/experiments"
+	"dolbie/internal/metrics"
 	"dolbie/internal/procmodel"
 )
 
@@ -38,8 +45,26 @@ func run() error {
 		model        = flag.String("model", "", "model for single-model figures: LeNet5, ResNet18, VGG16")
 		csvDir       = flag.String("csv", "", "also write CSV files into this directory")
 		ascii        = flag.Bool("ascii", false, "render figures as ASCII charts instead of tables")
+		metricsAddr  = flag.String("metrics-addr", "", "serve process gauges on /metrics plus /debug/pprof on this address while the experiments run (empty disables)")
 	)
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		reg := metrics.NewRegistry()
+		metrics.RegisterProcessGauges(reg)
+		srv, err := metrics.StartServer(*metricsAddr, reg)
+		if err != nil {
+			return fmt.Errorf("metrics server: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics\n", srv.Addr())
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if err := srv.Shutdown(ctx); err != nil {
+				fmt.Fprintln(os.Stderr, "dolbie-bench: metrics shutdown:", err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, id := range experiments.IDs() {

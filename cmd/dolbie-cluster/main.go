@@ -6,16 +6,24 @@
 // load source, and the run reports the decision trajectory and measured
 // protocol traffic (reproducing the Section IV-C complexity analysis).
 //
+// With -metrics-addr the deployment is instrumented end to end: a
+// metrics server exposes the dolbie_core_*, dolbie_cluster_*, and
+// dolbie_process_* families on /metrics (Prometheus text exposition),
+// a liveness probe on /healthz, and the runtime profiler under
+// /debug/pprof.
+//
 // Examples:
 //
 //	dolbie-cluster -mode mw -n 8 -rounds 30
 //	dolbie-cluster -mode fd -n 5 -rounds 20 -tcp
+//	dolbie-cluster -mode mw -n 8 -rounds 200 -metrics-addr :9090
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sync"
 	"time"
@@ -23,30 +31,41 @@ import (
 	"dolbie/internal/cluster"
 	"dolbie/internal/core"
 	"dolbie/internal/costfn"
+	"dolbie/internal/metrics"
 	"dolbie/internal/simplex"
 )
 
+// testHookScrape, when non-nil, is called with the metrics server's
+// bound address after the deployment completes and before the server
+// shuts down — the integration test uses it to scrape /metrics from a
+// finished run.
+var testHookScrape func(addr string)
+
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "dolbie-cluster:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("dolbie-cluster", flag.ContinueOnError)
 	var (
-		mode       = flag.String("mode", "mw", "architecture: mw (master-worker), fd (fully-distributed), or resilient (fail-stop tolerant master)")
-		n          = flag.Int("n", 8, "number of workers")
-		rounds     = flag.Int("rounds", 30, "online rounds to run")
-		useTCP     = flag.Bool("tcp", false, "use real TCP sockets on localhost instead of the in-memory network")
-		seed       = flag.Int64("seed", 1, "seed for the synthetic load sources")
-		alpha      = flag.Float64("alpha", 0.05, "DOLBIE initial step size")
-		timeout    = flag.Duration("timeout", time.Minute, "deployment deadline")
-		crashRound = flag.Int("crash-round", 0, "resilient mode: round at which -crash-worker fails (0 = no crash)")
-		crashID    = flag.Int("crash-worker", 0, "resilient mode: worker that fail-stops at -crash-round")
-		dropProb   = flag.Float64("drop", 0, "in-memory network message drop probability; >0 wraps every node in the reliable delivery layer")
+		mode        = fs.String("mode", "mw", "architecture: mw (master-worker), fd (fully-distributed), or resilient (fail-stop tolerant master)")
+		n           = fs.Int("n", 8, "number of workers")
+		rounds      = fs.Int("rounds", 30, "online rounds to run")
+		useTCP      = fs.Bool("tcp", false, "use real TCP sockets on localhost instead of the in-memory network")
+		seed        = fs.Int64("seed", 1, "seed for the synthetic load sources")
+		alpha       = fs.Float64("alpha", 0.05, "DOLBIE initial step size")
+		timeout     = fs.Duration("timeout", time.Minute, "deployment deadline")
+		crashRound  = fs.Int("crash-round", 0, "resilient mode: round at which -crash-worker fails (0 = no crash)")
+		crashID     = fs.Int("crash-worker", 0, "resilient mode: worker that fail-stops at -crash-round")
+		dropProb    = fs.Float64("drop", 0, "in-memory network message drop probability; >0 wraps every node in the reliable delivery layer")
+		metricsAddr = fs.String("metrics-addr", "", "serve /metrics, /healthz, and /debug/pprof on this address (empty disables)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	if *n < 2 {
 		return fmt.Errorf("need at least 2 workers, got %d", *n)
 	}
@@ -56,6 +75,27 @@ func run() error {
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
+
+	var reg *metrics.Registry
+	if *metricsAddr != "" {
+		reg = metrics.NewRegistry()
+		metrics.RegisterProcessGauges(reg)
+		srv, err := metrics.StartServer(*metricsAddr, reg)
+		if err != nil {
+			return fmt.Errorf("metrics server: %w", err)
+		}
+		fmt.Fprintf(out, "metrics: http://%s/metrics\n", srv.Addr())
+		defer func() {
+			if testHookScrape != nil {
+				testHookScrape(srv.Addr())
+			}
+			shutCtx, shutCancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer shutCancel()
+			if err := srv.Shutdown(shutCtx); err != nil {
+				fmt.Fprintln(os.Stderr, "dolbie-cluster: metrics shutdown:", err)
+			}
+		}()
+	}
 
 	sources := make([]cluster.CostSource, *n)
 	for i := range sources {
@@ -67,13 +107,16 @@ func run() error {
 	}
 	x0 := simplex.Uniform(*n)
 	opts := []core.Option{core.WithInitialAlpha(*alpha)}
+	if reg != nil {
+		opts = append(opts, core.WithMetrics(reg))
+	}
 
 	if *dropProb > 0 && *useTCP {
 		return fmt.Errorf("-drop applies to the in-memory network; omit -tcp")
 	}
 	switch *mode {
 	case "mw":
-		transports, cleanup, err := buildLossy(*n+1, *dropProb, *seed, *useTCP)
+		transports, cleanup, err := buildLossy(*n+1, *dropProb, *seed, *useTCP, reg)
 		if err != nil {
 			return err
 		}
@@ -84,15 +127,15 @@ func run() error {
 			return err
 		}
 		elapsed := time.Since(start)
-		fmt.Printf("master-worker deployment: %d workers, %d rounds, %v (%s transport)\n",
+		fmt.Fprintf(out, "master-worker deployment: %d workers, %d rounds, %v (%s transport)\n",
 			*n, masterRes.Rounds, elapsed.Round(time.Millisecond), transportName(*useTCP))
-		fmt.Printf("final step size alpha_T = %.6f\n", masterRes.FinalAlpha)
-		fmt.Printf("master traffic: sent %d msgs / %d B, received %d msgs / %d B\n",
+		fmt.Fprintf(out, "final step size alpha_T = %.6f\n", masterRes.FinalAlpha)
+		fmt.Fprintf(out, "master traffic: sent %d msgs / %d B, received %d msgs / %d B\n",
 			masterRes.Traffic.MsgsSent, masterRes.Traffic.BytesSent,
 			masterRes.Traffic.MsgsReceived, masterRes.Traffic.BytesRecv)
-		printTrajectory(workersPlayed(workerRes), workersCosts(workerRes))
+		printTrajectory(out, workersPlayed(workerRes), workersCosts(workerRes))
 	case "fd":
-		transports, cleanup, err := buildLossy(*n, *dropProb, *seed, *useTCP)
+		transports, cleanup, err := buildLossy(*n, *dropProb, *seed, *useTCP, reg)
 		if err != nil {
 			return err
 		}
@@ -112,13 +155,13 @@ func run() error {
 			played[i] = pr.Played
 			costs[i] = pr.Costs
 		}
-		fmt.Printf("fully-distributed deployment: %d peers, %d rounds, %v (%s transport)\n",
+		fmt.Fprintf(out, "fully-distributed deployment: %d peers, %d rounds, %v (%s transport)\n",
 			*n, *rounds, elapsed.Round(time.Millisecond), transportName(*useTCP))
-		fmt.Printf("total traffic: %d msgs / %d B (%.1f msgs/round, O(N^2) by design)\n",
+		fmt.Fprintf(out, "total traffic: %d msgs / %d B (%.1f msgs/round, O(N^2) by design)\n",
 			msgs, bytes, float64(msgs)/float64(*rounds))
-		printTrajectory(played, costs)
+		printTrajectory(out, played, costs)
 	case "resilient":
-		return runResilient(ctx, *n, *rounds, *alpha, *crashID, *crashRound, sources, x0)
+		return runResilient(ctx, out, *n, *rounds, *alpha, *crashID, *crashRound, sources, x0, reg, opts)
 	default:
 		return fmt.Errorf("unknown mode %q (want mw, fd, or resilient)", *mode)
 	}
@@ -142,7 +185,7 @@ func (c crashingSource) Observe(round int, x float64) (float64, costfn.Func, err
 // detects the crashed worker via the round deadline, removes it, folds
 // its workload back into the balancing loop, and finishes the run with
 // the survivors.
-func runResilient(ctx context.Context, n, rounds int, alpha float64, crashID, crashRound int, sources []cluster.CostSource, x0 []float64) error {
+func runResilient(ctx context.Context, out io.Writer, n, rounds int, alpha float64, crashID, crashRound int, sources []cluster.CostSource, x0 []float64, reg *metrics.Registry, opts []core.Option) error {
 	net := cluster.NewMemNet()
 	transports := make([]cluster.Transport, n+1)
 	for i := range transports {
@@ -161,13 +204,14 @@ func runResilient(ctx context.Context, n, rounds int, alpha float64, crashID, cr
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			_, workerErrs[i] = cluster.RunWorker(ctx, transports[i], i, n, x0[i], rounds, sources[i])
+			_, workerErrs[i] = cluster.RunWorker(ctx, transports[i], i, n, x0[i], rounds, sources[i], opts...)
 		}(i)
 	}
 	start := time.Now()
 	res, err := cluster.RunResilientMaster(ctx, transports[n], x0, rounds, cluster.ResilientConfig{
 		RoundTimeout: 500 * time.Millisecond,
 		InitialAlpha: alpha,
+		Metrics:      reg,
 	})
 	elapsed := time.Since(start)
 	if err != nil {
@@ -175,17 +219,17 @@ func runResilient(ctx context.Context, n, rounds int, alpha float64, crashID, cr
 	}
 	wg.Wait()
 
-	fmt.Printf("resilient master-worker deployment: %d workers, %d rounds, %v\n", n, res.Rounds, elapsed.Round(time.Millisecond))
+	fmt.Fprintf(out, "resilient master-worker deployment: %d workers, %d rounds, %v\n", n, res.Rounds, elapsed.Round(time.Millisecond))
 	if len(res.Crashed) > 0 {
-		fmt.Printf("crashed workers (detected and removed): %v\n", res.Crashed)
+		fmt.Fprintf(out, "crashed workers (detected and removed): %v\n", res.Crashed)
 	} else {
-		fmt.Println("no crashes detected")
+		fmt.Fprintln(out, "no crashes detected")
 	}
-	fmt.Printf("survivors: %v\n", res.Survivors)
-	fmt.Printf("final step size alpha_T = %.6f\n", res.FinalAlpha)
+	fmt.Fprintf(out, "survivors: %v\n", res.Survivors)
+	fmt.Fprintf(out, "final step size alpha_T = %.6f\n", res.FinalAlpha)
 	for i, werr := range workerErrs {
 		if werr != nil {
-			fmt.Printf("worker %d exited: %v\n", i, werr)
+			fmt.Fprintf(out, "worker %d exited: %v\n", i, werr)
 		}
 	}
 	return nil
@@ -200,8 +244,9 @@ func transportName(tcp bool) string {
 
 // buildLossy returns in-memory transports, optionally over a dropping
 // network with the reliability layer; dropProb = 0 defers to
-// buildTransports for the -tcp choice.
-func buildLossy(count int, dropProb float64, seed int64, useTCP bool) ([]cluster.Transport, func(), error) {
+// buildTransports for the -tcp choice. A non-nil registry instruments
+// the reliability layer's retransmission/duplicate counters.
+func buildLossy(count int, dropProb float64, seed int64, useTCP bool, reg *metrics.Registry) ([]cluster.Transport, func(), error) {
 	if dropProb <= 0 {
 		return buildTransports(count, useTCP)
 	}
@@ -209,7 +254,7 @@ func buildLossy(count int, dropProb float64, seed int64, useTCP bool) ([]cluster
 	transports := make([]cluster.Transport, count)
 	reliables := make([]*cluster.Reliable, count)
 	for i := range transports {
-		reliables[i] = cluster.NewReliable(i, net.Node(i), 10*time.Millisecond)
+		reliables[i] = cluster.NewReliableWithMetrics(i, net.Node(i), 10*time.Millisecond, reg)
 		transports[i] = reliables[i]
 	}
 	cleanup := func() {
@@ -273,7 +318,7 @@ func workersCosts(res []cluster.WorkerResult) [][]float64 {
 
 // printTrajectory summarizes how the deployment balanced load: the global
 // cost of the first and last rounds, and each worker's first/last share.
-func printTrajectory(played, costs [][]float64) {
+func printTrajectory(out io.Writer, played, costs [][]float64) {
 	if len(played) == 0 || len(played[0]) == 0 {
 		return
 	}
@@ -287,10 +332,10 @@ func printTrajectory(played, costs [][]float64) {
 			last = costs[i][rounds-1]
 		}
 	}
-	fmt.Printf("global cost: round 1 = %.4f, round %d = %.4f (%.1f%% reduction)\n",
+	fmt.Fprintf(out, "global cost: round 1 = %.4f, round %d = %.4f (%.1f%% reduction)\n",
 		first, rounds, last, 100*(first-last)/first)
-	fmt.Println("worker  first-share  last-share")
+	fmt.Fprintln(out, "worker  first-share  last-share")
 	for i := range played {
-		fmt.Printf("%6d  %11.4f  %10.4f\n", i, played[i][0], played[i][rounds-1])
+		fmt.Fprintf(out, "%6d  %11.4f  %10.4f\n", i, played[i][0], played[i][rounds-1])
 	}
 }

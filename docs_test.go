@@ -26,6 +26,7 @@ var docPackages = []string{
 	"internal/edgesim",
 	"internal/estimate",
 	"internal/experiments",
+	"internal/metrics",
 	"internal/mlsim",
 	"internal/optimum",
 	"internal/procmodel",

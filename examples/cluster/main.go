@@ -6,7 +6,11 @@
 //
 // This example shows the library's distributed runtime rather than the
 // centralized Balancer: the peers never see each other's cost functions,
-// matching the paper's privacy model.
+// matching the paper's privacy model. Everything here comes from the
+// public dolbie package — no internal imports. The deployment is also
+// instrumented: a shared metrics registry collects the dolbie_core_* and
+// dolbie_cluster_* families, and the program prints a few of them the
+// way a Prometheus scrape of /metrics would render them.
 //
 // Run with: go run ./examples/cluster
 package main
@@ -15,12 +19,10 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"strings"
 	"time"
 
 	"dolbie"
-	"dolbie/internal/cluster"
-	"dolbie/internal/core"
-	"dolbie/internal/costfn"
 )
 
 const (
@@ -32,9 +34,9 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
 	defer cancel()
 
-	// In-memory network; swap for cluster.ListenTCP to cross processes.
-	net := cluster.NewMemNet()
-	transports := make([]cluster.Transport, peers)
+	// In-memory network; swap for dolbie.ListenTCP to cross processes.
+	net := dolbie.NewMemNet()
+	transports := make([]dolbie.Transport, peers)
 	for i := range transports {
 		transports[i] = net.Node(i)
 	}
@@ -42,18 +44,19 @@ func main() {
 	// Each peer's private cost: affine latency with heterogeneous slopes.
 	// Only the realized scalar cost ever leaves the peer.
 	slopes := []float64{1, 2, 3, 5, 9}
-	sources := make([]cluster.CostSource, peers)
+	sources := make([]dolbie.CostSource, peers)
 	for i := range sources {
 		i := i
-		sources[i] = cluster.FuncSource(func(_ int, x float64) (float64, costfn.Func, error) {
-			f := costfn.Affine{Slope: slopes[i], Intercept: 0.02}
+		sources[i] = dolbie.FuncSource(func(_ int, x float64) (float64, dolbie.CostFunc, error) {
+			f := dolbie.Affine{Slope: slopes[i], Intercept: 0.02}
 			return f.Eval(x), f, nil
 		})
 	}
 
-	results, err := cluster.FullyDistributedDeployment(ctx, transports,
+	reg := dolbie.NewMetricsRegistry()
+	results, err := dolbie.FullyDistributedDeployment(ctx, transports,
 		dolbie.Uniform(peers), rounds, sources,
-		core.WithInitialAlpha(0.05))
+		dolbie.WithInitialAlpha(0.05), dolbie.WithMetrics(reg))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -74,4 +77,20 @@ func main() {
 	}
 	fmt.Printf("\nglobal cost: %.4f -> %.4f (%.1f%% reduction, no master, no shared cost functions)\n",
 		firstGlobal, lastGlobal, 100*(firstGlobal-lastGlobal)/firstGlobal)
+
+	// A live deployment would serve reg over HTTP with
+	// dolbie.StartMetricsServer and let Prometheus scrape /metrics; here
+	// we render the exposition in-process and show a sample.
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nselected metrics (Prometheus text exposition):")
+	for _, line := range strings.Split(sb.String(), "\n") {
+		if strings.HasPrefix(line, "dolbie_core_rounds_total") ||
+			strings.HasPrefix(line, "dolbie_core_global_cost") ||
+			strings.HasPrefix(line, "dolbie_core_alpha") {
+			fmt.Println("  " + line)
+		}
+	}
 }

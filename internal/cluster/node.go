@@ -48,7 +48,7 @@ func RunMaster(ctx context.Context, tr Transport, x0 []float64, rounds int, opts
 	if rounds <= 0 {
 		return MasterResult{}, errors.New("cluster: rounds must be positive")
 	}
-	meter := NewMeter(tr)
+	meter := NewInstrumentedMeter(tr, core.RegistryFrom(opts...), "master")
 	m, err := core.NewMaster(x0, opts...)
 	if err != nil {
 		return MasterResult{}, err
@@ -131,7 +131,7 @@ func RunWorker(ctx context.Context, tr Transport, id, n int, x0 float64, rounds 
 	if src == nil {
 		return WorkerResult{}, errors.New("cluster: nil cost source")
 	}
-	meter := NewMeter(tr)
+	meter := NewInstrumentedMeter(tr, core.RegistryFrom(opts...), fmt.Sprintf("worker-%d", id))
 	w, err := core.NewWorker(id, n, x0, opts...)
 	if err != nil {
 		return WorkerResult{}, err
@@ -230,7 +230,7 @@ func RunPeer(ctx context.Context, tr Transport, id int, x0 []float64, rounds int
 	if src == nil {
 		return PeerResult{}, errors.New("cluster: nil cost source")
 	}
-	meter := NewMeter(tr)
+	meter := NewInstrumentedMeter(tr, core.RegistryFrom(opts...), fmt.Sprintf("peer-%d", id))
 	p, err := core.NewPeer(id, x0, opts...)
 	if err != nil {
 		return PeerResult{}, err

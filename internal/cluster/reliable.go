@@ -4,8 +4,11 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
+
+	"dolbie/internal/metrics"
 )
 
 // Reliable wraps a lossy Transport with acknowledgements, deduplication,
@@ -36,6 +39,9 @@ type Reliable struct {
 	delivered chan Envelope
 	done      chan struct{}
 	wg        sync.WaitGroup
+
+	retrans *metrics.Counter // frames re-sent by the retry loop; nil when uninstrumented
+	dups    *metrics.Counter // duplicate frames suppressed; nil when uninstrumented
 }
 
 // wire is the reliable framing around a protocol envelope.
@@ -53,6 +59,13 @@ const reliableKind Kind = "reliable"
 // defaults to 50ms. Close the Reliable (not the inner transport) to shut
 // down cleanly.
 func NewReliable(id int, inner Transport, retryEvery time.Duration) *Reliable {
+	return NewReliableWithMetrics(id, inner, retryEvery, nil)
+}
+
+// NewReliableWithMetrics is NewReliable with registry-backed counters
+// for the reliability layer's retransmissions and suppressed duplicate
+// frames (labeled by node id). A nil registry behaves like NewReliable.
+func NewReliableWithMetrics(id int, inner Transport, retryEvery time.Duration, reg *metrics.Registry) *Reliable {
 	if retryEvery <= 0 {
 		retryEvery = 50 * time.Millisecond
 	}
@@ -66,6 +79,11 @@ func NewReliable(id int, inner Transport, retryEvery time.Duration) *Reliable {
 		reorder:    make(map[int]map[uint64]Envelope),
 		delivered:  make(chan Envelope, 1024),
 		done:       make(chan struct{}),
+	}
+	if reg != nil {
+		node := strconv.Itoa(id)
+		r.retrans = reg.CounterVec(MetricRetransmissions, "Frames re-sent by the reliability layer.", "node").WithLabelValues(node)
+		r.dups = reg.CounterVec(MetricDuplicateFrames, "Duplicate frames suppressed by the reliability layer.", "node").WithLabelValues(node)
 	}
 	r.wg.Add(2)
 	go r.recvLoop()
@@ -187,6 +205,9 @@ func (r *Reliable) recvLoop() {
 		switch {
 		case frame.Seq < exp:
 			// Duplicate of an already-delivered frame; ack was enough.
+			if r.dups != nil {
+				r.dups.Inc()
+			}
 		case frame.Seq > exp:
 			if r.reorder[from] == nil {
 				r.reorder[from] = make(map[uint64]Envelope)
@@ -250,6 +271,9 @@ func (r *Reliable) retryLoop() {
 			wrapped, err := wrapFrame(r.id, p.to, p.frame)
 			if err != nil {
 				continue
+			}
+			if r.retrans != nil {
+				r.retrans.Inc()
 			}
 			//nolint:errcheck // best-effort; retried on the next tick
 			r.inner.Send(ctx, p.to, wrapped)

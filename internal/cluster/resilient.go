@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"dolbie/internal/core"
+	"dolbie/internal/metrics"
 	"dolbie/internal/simplex"
 )
 
@@ -31,6 +32,12 @@ type ResilientConfig struct {
 	// StepRuleScale evaluates the rule-(7) cap in units of 1/scale of the
 	// total workload (see core.AlphaCapScaled); <= 0 means 1.
 	StepRuleScale float64
+	// Metrics instruments the run: the master's traffic feeds the
+	// dolbie_cluster_* counters, completed rounds feed the dolbie_core_*
+	// families, and deadline expiries / crash detections feed
+	// dolbie_cluster_round_timeouts_total and
+	// dolbie_cluster_workers_crashed_total. Nil disables instrumentation.
+	Metrics *metrics.Registry
 }
 
 // ResilientResult summarizes a resilient master run.
@@ -73,8 +80,30 @@ func RunResilientMaster(ctx context.Context, tr Transport, x0 []float64, rounds 
 
 	n := len(x0)
 	self := MasterID(n)
-	meter := NewMeter(tr)
+	meter := NewInstrumentedMeter(tr, rc.Metrics, "master")
 	loop := &resilientLoop{tr: meter}
+	var res ResilientResult
+	rec := core.NewRecorder(rc.Metrics)
+	var timeouts, crashCount *metrics.Counter
+	if rc.Metrics != nil {
+		timeouts = rc.Metrics.Counter(MetricRoundTimeouts, "Resilient-master collection phases that hit their deadline.")
+		crashCount = rc.Metrics.Counter(MetricWorkersCrashed, "Workers declared crashed by the resilient master.")
+	}
+	// markCrashed funnels every crash-detection site through the shared
+	// accounting (result list + counters; deadline expiries also count a
+	// round timeout).
+	markCrashed := func(ids []int, deadline bool) {
+		if len(ids) == 0 {
+			return
+		}
+		res.Crashed = append(res.Crashed, ids...)
+		if crashCount != nil {
+			crashCount.Add(float64(len(ids)))
+		}
+		if deadline && timeouts != nil {
+			timeouts.Inc()
+		}
+	}
 
 	alive := make(map[int]bool, n)
 	x := simplex.Clone(x0)
@@ -86,14 +115,16 @@ func RunResilientMaster(ctx context.Context, tr Transport, x0 []float64, rounds 
 		alpha = rc.InitialAlpha
 	}
 
-	res := ResilientResult{}
 	for round := 1; round <= rounds; round++ {
 		// Phase 1: collect cost reports from live workers under deadline.
 		costs, crashed, err := loop.collectCosts(ctx, alive, round, rc.RoundTimeout)
 		if err != nil {
 			return res, err
 		}
-		res.Crashed = append(res.Crashed, crashed...)
+		markCrashed(crashed, true)
+		for id, c := range costs {
+			rec.RecordWorkerCost(id, c)
+		}
 		if countTrue(alive) < rc.MinWorkers {
 			return res, fmt.Errorf("%w: %d alive, need %d", ErrTooFewWorkers, countTrue(alive), rc.MinWorkers)
 		}
@@ -128,7 +159,7 @@ func RunResilientMaster(ctx context.Context, tr Transport, x0 []float64, rounds 
 					return res, fmt.Errorf("cluster: resilient master coordinate to %d: %w", i, err)
 				}
 				alive[i] = false
-				res.Crashed = append(res.Crashed, i)
+				markCrashed([]int{i}, false)
 			}
 		}
 		if !alive[straggler] {
@@ -145,7 +176,7 @@ func RunResilientMaster(ctx context.Context, tr Transport, x0 []float64, rounds 
 		if err != nil {
 			return res, err
 		}
-		res.Crashed = append(res.Crashed, crashed...)
+		markCrashed(crashed, true)
 		if !alive[straggler] {
 			// The straggler itself cannot crash in phase 3 (it sends
 			// nothing), but keep the invariant check for clarity.
@@ -184,7 +215,7 @@ func RunResilientMaster(ctx context.Context, tr Transport, x0 []float64, rounds 
 				return res, fmt.Errorf("cluster: resilient master assign to %d: %w", straggler, err)
 			}
 			alive[straggler] = false
-			res.Crashed = append(res.Crashed, straggler)
+			markCrashed([]int{straggler}, false)
 		}
 
 		// Step-size rule (7) in the configured units, with the same
@@ -194,6 +225,7 @@ func RunResilientMaster(ctx context.Context, tr Transport, x0 []float64, rounds 
 				alpha = c
 			}
 		}
+		rec.RecordRound(straggler, globalCost, alpha)
 		res.Rounds = round
 	}
 	res.FinalAlpha = alpha

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"sync"
+
+	"dolbie/internal/metrics"
 )
 
 // Transport is one node's connection to the rest of the deployment.
@@ -28,7 +30,10 @@ var ErrClosed = errors.New("cluster: transport closed")
 var ErrUnknownNode = errors.New("cluster: unknown node")
 
 // TrafficStats counts a node's protocol traffic. All counters are totals
-// since construction.
+// since construction. It remains the per-run snapshot embedded in the
+// deployment results; live scraping goes through the registry-backed
+// counters of an instrumented Meter (see NewInstrumentedMeter and the
+// README's Observability section).
 type TrafficStats struct {
 	MsgsSent     int
 	MsgsReceived int
@@ -37,9 +42,12 @@ type TrafficStats struct {
 }
 
 // Meter wraps a Transport and counts messages and bytes in both
-// directions. It is safe for concurrent use.
+// directions — always into a TrafficStats snapshot, and additionally
+// into registry-backed dolbie_cluster_* counter families when
+// constructed with NewInstrumentedMeter. It is safe for concurrent use.
 type Meter struct {
 	inner Transport
+	nm    *netMetrics // nil when not registry-backed
 
 	mu    sync.Mutex
 	stats TrafficStats
@@ -47,8 +55,16 @@ type Meter struct {
 
 var _ Transport = (*Meter)(nil)
 
-// NewMeter wraps a transport with traffic accounting.
+// NewMeter wraps a transport with snapshot-only traffic accounting.
 func NewMeter(inner Transport) *Meter { return &Meter{inner: inner} }
+
+// NewInstrumentedMeter wraps a transport with traffic accounting that
+// additionally feeds the registry-backed dolbie_cluster_* counters,
+// labeling per-node families with node (e.g. "master", "worker-3").
+// A nil registry degrades to NewMeter.
+func NewInstrumentedMeter(inner Transport, reg *metrics.Registry, node string) *Meter {
+	return &Meter{inner: inner, nm: newNetMetrics(reg, node)}
+}
 
 // Send implements Transport.
 func (m *Meter) Send(ctx context.Context, to int, env Envelope) error {
@@ -60,6 +76,7 @@ func (m *Meter) Send(ctx context.Context, to int, env Envelope) error {
 	m.stats.MsgsSent++
 	m.stats.BytesSent += n
 	m.mu.Unlock()
+	m.nm.recordSend(env, n)
 	return nil
 }
 
@@ -74,6 +91,7 @@ func (m *Meter) Recv(ctx context.Context) (Envelope, error) {
 	m.stats.MsgsReceived++
 	m.stats.BytesRecv += n
 	m.mu.Unlock()
+	m.nm.recordRecv(env, n)
 	return env, nil
 }
 

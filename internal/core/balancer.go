@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"dolbie/internal/costfn"
+	"dolbie/internal/metrics"
 	"dolbie/internal/simplex"
 )
 
@@ -21,6 +22,7 @@ type Balancer struct {
 	alpha float64
 	round int
 	opts  balancerOptions
+	rec   *Recorder
 
 	lastReport Report
 }
@@ -35,6 +37,7 @@ type balancerOptions struct {
 	capScale      float64 // <= 0 means 1 (strict fraction units)
 	tieRNG        *rand.Rand
 	name          string
+	metrics       *metrics.Registry
 }
 
 // Option configures a Balancer.
@@ -104,6 +107,7 @@ func NewBalancer(x0 []float64, opts ...Option) (*Balancer, error) {
 		n:    len(x0),
 		x:    simplex.Clone(x0),
 		opts: o,
+		rec:  NewRecorder(o.metrics),
 	}
 	if o.initialAlpha > 0 {
 		if o.initialAlpha > 1 {
@@ -127,9 +131,15 @@ func (b *Balancer) Name() string {
 // N returns the number of workers.
 func (b *Balancer) N() int { return b.n }
 
-// Assignment implements Algorithm. The returned slice is owned by the
-// balancer and must not be modified.
-func (b *Balancer) Assignment() []float64 { return b.x }
+// Assignment implements Algorithm. The returned slice is a copy: the
+// caller may keep or modify it freely without corrupting the balancer's
+// simplex feasibility invariant (sum x = 1), which every subsequent
+// round's update depends on.
+func (b *Balancer) Assignment() []float64 { return simplex.Clone(b.x) }
+
+// Metrics returns the metrics registry the balancer was instrumented
+// with via WithMetrics, or nil when uninstrumented.
+func (b *Balancer) Metrics() *metrics.Registry { return b.rec.Registry() }
 
 // Alpha returns the current step size alpha_t.
 func (b *Balancer) Alpha() float64 { return b.alpha }
@@ -159,7 +169,13 @@ type Report struct {
 func (b *Balancer) LastReport() Report { return b.lastReport }
 
 // Update implements Algorithm: it consumes the round-t observation and
-// computes x_{t+1} per DOLBIE's risk-averse update.
+// computes x_{t+1} per DOLBIE's risk-averse update. It is a thin
+// wrapper over Step that discards the Report; Step is the primary
+// entry point, and callers that want the per-round detail (straggler,
+// x'_{i,t}, applied step) should call it directly or read LastReport.
+//
+// Deprecated: prefer Step in new code. Update remains for the
+// Algorithm interface shared with the baselines and is not going away.
 func (b *Balancer) Update(obs Observation) error {
 	_, err := b.Step(obs)
 	return err
@@ -178,11 +194,16 @@ func (b *Balancer) Step(obs Observation) (Report, error) {
 	rep.Straggler = s
 	rep.GlobalCost = l
 
+	for i, c := range obs.Costs {
+		b.rec.RecordWorkerCost(i, c)
+	}
+
 	if b.n == 1 {
 		rep.XPrime = []float64{b.x[0]}
 		rep.Applied = 0
 		rep.Next = simplex.Clone(b.x)
 		b.lastReport = rep
+		b.rec.RecordRound(s, l, b.alpha)
 		return rep, nil
 	}
 
@@ -194,10 +215,11 @@ func (b *Balancer) Step(obs Observation) (Report, error) {
 			xp[i] = b.x[i]
 			continue
 		}
-		xi, _, err := costfn.Inverse(obs.Funcs[i], l, 0, 1, b.opts.bisectTol)
+		xi, _, iters, err := costfn.InverseIters(obs.Funcs[i], l, 0, 1, b.opts.bisectTol)
 		if err != nil {
 			return Report{}, fmt.Errorf("core: inverse for worker %d: %w", i, err)
 		}
+		b.rec.RecordBisection(iters)
 		// By construction f_{i,t}(x_{i,t}) <= l, so x'_{i,t} >= x_{i,t};
 		// enforce it against bisection tolerance so the non-straggler
 		// update never moves a worker backwards.
@@ -263,6 +285,7 @@ func (b *Balancer) Step(obs Observation) (Report, error) {
 	b.x = next
 	rep.Next = simplex.Clone(next)
 	b.lastReport = rep
+	b.rec.RecordRound(s, l, b.alpha)
 	return rep, nil
 }
 

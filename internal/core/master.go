@@ -32,6 +32,8 @@ type MasterState struct {
 
 	pendingCosts     map[int][]CostReport
 	pendingDecisions map[int][]DecisionReport
+
+	rec *Recorder
 }
 
 // MasterOutput is one message the master must transmit: exactly one of
@@ -71,6 +73,7 @@ func NewMaster(x0 []float64, opts ...Option) (*MasterState, error) {
 		decSeen:          make([]bool, n),
 		pendingCosts:     make(map[int][]CostReport),
 		pendingDecisions: make(map[int][]DecisionReport),
+		rec:              NewRecorder(o.metrics),
 	}
 	return m, nil
 }
@@ -105,6 +108,7 @@ func (m *MasterState) acceptCost(r CostReport) ([]MasterOutput, error) {
 	}
 	m.costSeen[r.From] = true
 	m.costs[r.From] = r.Cost
+	m.rec.RecordWorkerCost(r.From, r.Cost)
 	m.collected++
 	if m.collected < m.n {
 		return nil, nil
@@ -130,6 +134,7 @@ func (m *MasterState) acceptCost(r CostReport) ([]MasterOutput, error) {
 			To:    0,
 			Next:  1,
 		}})
+		m.rec.RecordRound(m.straggler, m.costs[m.straggler], m.alpha)
 		m.round++
 		m.inDecide = false
 		m.collected = 0
@@ -201,6 +206,7 @@ func (m *MasterState) acceptDecision(r DecisionReport) ([]MasterOutput, error) {
 	}}}
 
 	// Advance to the next round and drain any buffered cost reports.
+	m.rec.RecordRound(m.straggler, m.costs[m.straggler], m.alpha)
 	m.round++
 	m.inDecide = false
 	m.collected = 0

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"strconv"
+
+	"dolbie/internal/metrics"
+)
+
+// Core-layer metric family names. The "dolbie_core_" prefix groups the
+// algorithm-level signals of the paper's evaluation: the per-round
+// global cost f_t(x_t), the straggler identity s_t, the step size
+// alpha_t, and the cost of the bisection kernel behind eq. (4).
+const (
+	MetricRounds          = "dolbie_core_rounds_total"
+	MetricGlobalCost      = "dolbie_core_global_cost"
+	MetricWorkerCost      = "dolbie_core_worker_cost"
+	MetricStraggler       = "dolbie_core_straggler_index"
+	MetricStragglerRounds = "dolbie_core_straggler_rounds_total"
+	MetricAlpha           = "dolbie_core_alpha"
+	MetricBisectionIters  = "dolbie_core_bisection_iterations"
+)
+
+// WithMetrics instruments the constructed algorithm (Balancer or the
+// distributed state machines) with the given registry: every completed
+// round updates the dolbie_core_* families documented in the README's
+// Observability section. A nil registry leaves the algorithm
+// uninstrumented (the default); instrument registration is idempotent,
+// so all nodes of a deployment can share one registry.
+func WithMetrics(reg *metrics.Registry) Option {
+	return func(o *balancerOptions) { o.metrics = reg }
+}
+
+// RegistryFrom applies the options and returns the metrics registry
+// configured by WithMetrics, or nil. The cluster runtime uses it to
+// hand the same registry to its transport-level instrumentation.
+func RegistryFrom(opts ...Option) *metrics.Registry {
+	var o balancerOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o.metrics
+}
+
+// Recorder bundles the core-layer instruments of one registry. A nil
+// *Recorder is valid and records nothing, so call sites stay free of
+// metrics conditionals.
+type Recorder struct {
+	registry   *metrics.Registry
+	rounds     *metrics.Counter
+	globalCost *metrics.Gauge
+	workerCost *metrics.GaugeVec
+	straggler  *metrics.Gauge
+	sRounds    *metrics.CounterVec
+	alpha      *metrics.Gauge
+	bisect     *metrics.Histogram
+}
+
+// NewRecorder creates (or re-binds, registration being idempotent) the
+// core instrument set on reg. A nil registry yields a nil Recorder,
+// which is a no-op.
+func NewRecorder(reg *metrics.Registry) *Recorder {
+	if reg == nil {
+		return nil
+	}
+	return &Recorder{
+		registry:   reg,
+		rounds:     reg.Counter(MetricRounds, "Completed DOLBIE rounds."),
+		globalCost: reg.Gauge(MetricGlobalCost, "Global cost f_t(x_t) = max_i f_{i,t}(x_{i,t}) of the last completed round."),
+		workerCost: reg.GaugeVec(MetricWorkerCost, "Realized per-worker cost l_{i,t} of the last completed round.", "worker"),
+		straggler:  reg.Gauge(MetricStraggler, "Straggler index s_t of the last completed round."),
+		sRounds:    reg.CounterVec(MetricStragglerRounds, "Rounds in which each worker was the straggler.", "worker"),
+		alpha:      reg.Gauge(MetricAlpha, "Current step size alpha_t."),
+		bisect:     reg.Histogram(MetricBisectionIters, "Bisection iterations per monotone-inverse call (eq. (4)).", nil),
+	}
+}
+
+// Registry returns the registry the recorder is bound to (nil for a nil
+// recorder).
+func (r *Recorder) Registry() *metrics.Registry {
+	if r == nil {
+		return nil
+	}
+	return r.registry
+}
+
+// RecordRound records one completed round: the straggler identity, the
+// realized global cost, and the step size that will drive the next
+// round.
+func (r *Recorder) RecordRound(straggler int, globalCost, alpha float64) {
+	if r == nil {
+		return
+	}
+	r.rounds.Inc()
+	r.globalCost.Set(globalCost)
+	r.straggler.Set(float64(straggler))
+	r.sRounds.WithLabelValues(strconv.Itoa(straggler)).Inc()
+	r.alpha.Set(alpha)
+}
+
+// RecordWorkerCost records worker i's realized cost of the round.
+func (r *Recorder) RecordWorkerCost(i int, cost float64) {
+	if r == nil {
+		return
+	}
+	r.workerCost.WithLabelValues(strconv.Itoa(i)).Set(cost)
+}
+
+// RecordBisection records the iteration count of one monotone-inverse
+// bisection.
+func (r *Recorder) RecordBisection(iters int) {
+	if r == nil {
+		return
+	}
+	r.bisect.Observe(float64(iters))
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"dolbie/internal/costfn"
+	"dolbie/internal/metrics"
+	"dolbie/internal/simplex"
+)
+
+// TestAssignmentReturnsCopy is the regression test for the aliasing bug
+// where Assignment handed out the balancer's internal slice: a caller
+// mutating the result must not corrupt the balancer's simplex
+// feasibility, and two calls must be independent.
+func TestAssignmentReturnsCopy(t *testing.T) {
+	b, err := NewBalancer(simplex.Uniform(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := b.Assignment()
+	for i := range x {
+		x[i] = 99 // hostile caller mutation
+	}
+	if got := b.Assignment(); got[0] == 99 {
+		t.Fatal("Assignment aliases internal state: caller mutation leaked into the balancer")
+	}
+	if err := simplex.Check(b.Assignment(), 0); err != nil {
+		t.Fatalf("feasibility corrupted by caller mutation: %v", err)
+	}
+
+	funcs := []costfn.Func{
+		costfn.Affine{Slope: 4, Intercept: 0.1},
+		costfn.Affine{Slope: 1, Intercept: 0.1},
+		costfn.Affine{Slope: 1, Intercept: 0.1},
+		costfn.Affine{Slope: 1, Intercept: 0.1},
+	}
+	_, costs, err := GlobalCost(funcs, b.Assignment())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Update(Observation{Costs: costs, Funcs: funcs}); err != nil {
+		t.Fatalf("update after hostile mutation: %v", err)
+	}
+	if err := simplex.Check(b.Assignment(), 1e-9); err != nil {
+		t.Fatalf("x_{t+1} infeasible: %v", err)
+	}
+}
+
+// opaqueFunc hides any Inverter fast path so the monotone inverse must
+// genuinely bisect, exercising the iteration histogram.
+type opaqueFunc struct{ inner costfn.Func }
+
+// Eval implements costfn.Func.
+func (o opaqueFunc) Eval(x float64) float64 { return o.inner.Eval(x) }
+
+// TestBalancerWithMetrics verifies that an instrumented balancer
+// populates every dolbie_core_* family after a few rounds and that
+// Metrics returns the wired registry.
+func TestBalancerWithMetrics(t *testing.T) {
+	reg := metrics.NewRegistry()
+	b, err := NewBalancer(simplex.Uniform(3), WithMetrics(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Metrics() != reg {
+		t.Fatal("Metrics() did not return the registry passed to WithMetrics")
+	}
+	funcs := []costfn.Func{
+		opaqueFunc{costfn.Power{Coeff: 3, Exponent: 2}},
+		opaqueFunc{costfn.Affine{Slope: 1, Intercept: 0.05}},
+		opaqueFunc{costfn.Affine{Slope: 2, Intercept: 0.05}},
+	}
+	for t2 := 0; t2 < 5; t2++ {
+		_, costs, err := GlobalCost(funcs, b.Assignment())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.Step(Observation{Costs: costs, Funcs: funcs}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	expo := sb.String()
+	for _, fam := range []string{
+		MetricRounds, MetricGlobalCost, MetricWorkerCost,
+		MetricStraggler, MetricStragglerRounds, MetricAlpha, MetricBisectionIters,
+	} {
+		if !strings.Contains(expo, fam) {
+			t.Errorf("family %s missing from exposition", fam)
+		}
+	}
+	if !strings.Contains(expo, MetricRounds+" 5\n") {
+		t.Errorf("rounds counter != 5 in exposition:\n%s", expo)
+	}
+	// The Power cost function has no closed-form inverse, so real
+	// bisection iterations must have been observed.
+	if !strings.Contains(expo, MetricBisectionIters+"_count") {
+		t.Errorf("bisection histogram missing:\n%s", expo)
+	}
+}
+
+// TestUninstrumentedBalancerHasNilRegistry pins the default: no
+// WithMetrics, no registry, zero overhead.
+func TestUninstrumentedBalancerHasNilRegistry(t *testing.T) {
+	b, err := NewBalancer(simplex.Uniform(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Metrics() != nil {
+		t.Fatal("uninstrumented balancer reports a registry")
+	}
+	if got := RegistryFrom(WithInitialAlpha(0.5)); got != nil {
+		t.Fatalf("RegistryFrom without WithMetrics = %v, want nil", got)
+	}
+	reg := metrics.NewRegistry()
+	if got := RegistryFrom(WithMetrics(reg)); got != reg {
+		t.Fatal("RegistryFrom did not surface the configured registry")
+	}
+}

@@ -62,6 +62,7 @@ type PeerState struct {
 
 	bisectTol float64
 	capScale  float64
+	rec       *Recorder
 }
 
 // PeerOutput is one action the peer must take. Exactly one of the fields
@@ -107,6 +108,7 @@ func NewPeer(id int, x0 []float64, opts ...Option) (*PeerState, error) {
 		pendingDecisions: make(map[int][]PeerDecision),
 		bisectTol:        o.bisectTol,
 		capScale:         o.capScale,
+		rec:              NewRecorder(o.metrics),
 	}, nil
 }
 
@@ -204,10 +206,11 @@ func (p *PeerState) acceptShare(s PeerShare) ([]PeerOutput, error) {
 
 	if p.id != p.straggler {
 		// Risk-averse assistance (Algorithm 2, lines 8-10).
-		xp, _, err := costfn.Inverse(p.f, l, 0, 1, p.bisectTol)
+		xp, _, iters, err := costfn.InverseIters(p.f, l, 0, 1, p.bisectTol)
 		if err != nil {
 			return nil, fmt.Errorf("core: peer %d: inverse: %w", p.id, err)
 		}
+		p.rec.RecordBisection(iters)
 		if xp < p.x {
 			xp = p.x
 		}
@@ -219,6 +222,7 @@ func (p *PeerState) acceptShare(s PeerShare) ([]PeerOutput, error) {
 	if p.n == 1 {
 		// Degenerate single-peer deployment: keep the whole load.
 		p.x = 1
+		p.rec.RecordRound(p.id, l, p.localAlpha)
 		return p.finishRound([]PeerOutput{{Done: true}})
 	}
 	// Straggler: collect the other peers' decisions (Algorithm 2, line 11).
@@ -274,6 +278,13 @@ func (p *PeerState) acceptDecision(d PeerDecision) ([]PeerOutput, error) {
 			p.localAlpha = c
 		}
 	}
+	// The straggler is the unique peer that sees the round through to its
+	// remainder, so it alone advances the shared round counter; every
+	// peer's gauges would agree (the consensus values are identical).
+	for i, c := range p.costs {
+		p.rec.RecordWorkerCost(i, c)
+	}
+	p.rec.RecordRound(p.id, p.costs[p.id], p.localAlpha)
 	return p.finishRound([]PeerOutput{{Done: true}})
 }
 

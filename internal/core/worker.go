@@ -38,6 +38,7 @@ type WorkerState struct {
 	f    costfn.Func
 
 	bisectTol float64
+	rec       *Recorder
 }
 
 // NewWorker constructs worker id of an n-worker deployment with initial
@@ -53,7 +54,7 @@ func NewWorker(id, n int, x0 float64, opts ...Option) (*WorkerState, error) {
 	for _, opt := range opts {
 		opt(&o)
 	}
-	return &WorkerState{id: id, n: n, x: x0, round: 1, bisectTol: o.bisectTol}, nil
+	return &WorkerState{id: id, n: n, x: x0, round: 1, bisectTol: o.bisectTol, rec: NewRecorder(o.metrics)}, nil
 }
 
 // ID returns the worker's index in the worker list.
@@ -102,10 +103,11 @@ func (w *WorkerState) HandleCoordinate(c Coordinate) (*DecisionReport, error) {
 	}
 	// Maximum acceptable workload x'_{i,t} (eq. (4)) from the worker's own
 	// revealed cost function and the global cost.
-	xp, _, err := costfn.Inverse(w.f, c.GlobalCost, 0, 1, w.bisectTol)
+	xp, _, iters, err := costfn.InverseIters(w.f, c.GlobalCost, 0, 1, w.bisectTol)
 	if err != nil {
 		return nil, fmt.Errorf("core: worker %d: inverse: %w", w.id, err)
 	}
+	w.rec.RecordBisection(iters)
 	if xp < w.x {
 		xp = w.x // f(x) <= l_t guarantees x' >= x; guard bisection tolerance
 	}

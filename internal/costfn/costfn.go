@@ -48,21 +48,32 @@ var ErrInvalidInterval = errors.New("costfn: invalid search interval")
 // returned (up to tol), matching the paper's definition of the maximum
 // acceptable workload x~_{i,t}.
 func Inverse(f Func, l, lo, hi, tol float64) (x float64, ok bool, err error) {
+	x, ok, _, err = InverseIters(f, l, lo, hi, tol)
+	return x, ok, err
+}
+
+// InverseIters is Inverse, additionally reporting the number of
+// bisection iterations performed. iters is 0 when a closed-form
+// Inverter short-circuits the search or an endpoint already resolves
+// the query; otherwise it is the number of interval halvings, the
+// quantity the observability layer tracks to size the solver's per-round
+// compute cost.
+func InverseIters(f Func, l, lo, hi, tol float64) (x float64, ok bool, iters int, err error) {
 	if math.IsNaN(lo) || math.IsNaN(hi) || math.IsInf(lo, 0) || math.IsInf(hi, 0) || lo > hi {
-		return 0, false, fmt.Errorf("%w: [%v, %v]", ErrInvalidInterval, lo, hi)
+		return 0, false, 0, fmt.Errorf("%w: [%v, %v]", ErrInvalidInterval, lo, hi)
 	}
 	if tol <= 0 {
 		tol = DefaultTol
 	}
 	if inv, isInv := f.(Inverter); isInv {
 		x, ok = inv.MaxWorkload(l, lo, hi)
-		return x, ok, nil
+		return x, ok, 0, nil
 	}
 	if f.Eval(lo) > l {
-		return lo, false, nil
+		return lo, false, 0, nil
 	}
 	if f.Eval(hi) <= l {
-		return hi, true, nil
+		return hi, true, 0, nil
 	}
 	// Invariant: f(a) <= l < f(b).
 	a, b := lo, hi
@@ -71,13 +82,14 @@ func Inverse(f Func, l, lo, hi, tol float64) (x float64, ok bool, err error) {
 		if m <= a || m >= b { // no representable midpoint left
 			break
 		}
+		iters++
 		if f.Eval(m) <= l {
 			a = m
 		} else {
 			b = m
 		}
 	}
-	return a, true, nil
+	return a, true, iters, nil
 }
 
 // Affine is the latency model of the paper's Example 1:

@@ -1,0 +1,91 @@
+package metrics
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// ContentType is the Content-Type of the text exposition format served
+// by Handler.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Handler returns an http.Handler that serves the registry in the
+// Prometheus text exposition format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		//nolint:errcheck // a broken scrape connection is the scraper's problem
+		r.WriteText(w)
+	})
+}
+
+// NewMux returns the observability endpoint surface used by the
+// commands and tests:
+//
+//	/metrics      — the registry in text exposition format
+//	/healthz      — 200 "ok" liveness probe
+//	/debug/pprof/ — net/http/pprof profiles (heap, goroutine, CPU, ...)
+//
+// Mounting pprof explicitly keeps it off http.DefaultServeMux, so
+// importing this package never widens the attack surface of an
+// application's own default mux.
+func NewMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running observability HTTP server (see StartServer).
+type Server struct {
+	srv  *http.Server
+	addr string
+	done chan error
+}
+
+// StartServer binds addr (e.g. ":9090", or "127.0.0.1:0" to let the
+// kernel pick a port) and serves NewMux(reg) in a background goroutine.
+// Use Addr for the bound address and Shutdown for a graceful stop.
+func StartServer(addr string, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("metrics: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		srv:  &http.Server{Handler: NewMux(reg)},
+		addr: ln.Addr().String(),
+		done: make(chan error, 1),
+	}
+	go func() {
+		err := s.srv.Serve(ln)
+		if err == http.ErrServerClosed {
+			err = nil
+		}
+		s.done <- err
+	}()
+	return s, nil
+}
+
+// Addr returns the server's bound address.
+func (s *Server) Addr() string { return s.addr }
+
+// Shutdown gracefully stops the server: it stops accepting connections,
+// waits for in-flight scrapes up to the context deadline, and returns
+// the terminal serve error, if any.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if err := s.srv.Shutdown(ctx); err != nil {
+		return err
+	}
+	return <-s.done
+}

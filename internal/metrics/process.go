@@ -1,0 +1,36 @@
+package metrics
+
+import "runtime"
+
+// Process-level runtime gauge names registered by RegisterProcessGauges.
+const (
+	// MetricGoroutines is the current goroutine count.
+	MetricGoroutines = "dolbie_process_goroutines"
+	// MetricHeapAlloc is the live heap allocation in bytes.
+	MetricHeapAlloc = "dolbie_process_heap_alloc_bytes"
+	// MetricGCCycles is the number of completed GC cycles.
+	MetricGCCycles = "dolbie_process_gc_cycles"
+)
+
+// RegisterProcessGauges adds process-health gauges (goroutine count,
+// heap allocation, GC cycles) to the registry, sampled lazily at scrape
+// time. The commands register these next to the algorithm families so a
+// single scrape covers both the protocol and the process hosting it.
+func RegisterProcessGauges(r *Registry) {
+	r.GaugeFunc(MetricGoroutines, "Current number of goroutines.", func() float64 {
+		return float64(runtime.NumGoroutine())
+	})
+	memStat := func(pick func(*runtime.MemStats) float64) func() float64 {
+		return func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return pick(&ms)
+		}
+	}
+	r.GaugeFunc(MetricHeapAlloc, "Bytes of allocated heap objects.", memStat(func(ms *runtime.MemStats) float64 {
+		return float64(ms.HeapAlloc)
+	}))
+	r.GaugeFunc(MetricGCCycles, "Completed GC cycles since process start.", memStat(func(ms *runtime.MemStats) float64 {
+		return float64(ms.NumGC)
+	}))
+}

@@ -1,0 +1,49 @@
+package dolbie
+
+import (
+	"net/http"
+
+	"dolbie/internal/core"
+	"dolbie/internal/metrics"
+)
+
+// Observability surface: a stdlib-only metrics registry with Prometheus
+// text exposition, re-exported so downstream users can instrument a
+// balancer or deployment without importing internal packages. Pass a
+// registry via WithMetrics, then serve it with MetricsHandler (or
+// StartMetricsServer) and scrape /metrics.
+
+// MetricsRegistry is a concurrency-safe registry of counters, gauges,
+// and histograms with Prometheus text exposition (format 0.0.4).
+// Registration is idempotent: asking for an existing name with the same
+// kind and label schema returns the same instrument, so every node of a
+// deployment can share one registry without coordination.
+type MetricsRegistry = metrics.Registry
+
+// MetricsServer is a minimal HTTP server hosting a registry's /metrics,
+// /healthz, and /debug/pprof endpoints (see StartMetricsServer).
+type MetricsServer = metrics.Server
+
+// NewMetricsRegistry constructs an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// MetricsHandler returns an http.Handler exposing the registry: GET
+// /metrics serves the Prometheus text exposition, GET /healthz serves a
+// liveness probe, and /debug/pprof/... serves the runtime profiler.
+func MetricsHandler(reg *MetricsRegistry) http.Handler { return metrics.NewMux(reg) }
+
+// StartMetricsServer binds addr (use ":0" for an ephemeral port),
+// serves MetricsHandler(reg) in a background goroutine, and returns the
+// running server; query its bound address with Addr and stop it with
+// Shutdown.
+func StartMetricsServer(addr string, reg *MetricsRegistry) (*MetricsServer, error) {
+	return metrics.StartServer(addr, reg)
+}
+
+// WithMetrics instruments a Balancer or deployment node with the
+// registry: completed rounds feed the dolbie_core_* families (rounds,
+// global cost, per-worker cost, straggler index, step size, bisection
+// iterations), and the deployment drivers additionally feed the
+// dolbie_cluster_* traffic counters. A nil registry disables
+// instrumentation.
+func WithMetrics(reg *MetricsRegistry) Option { return core.WithMetrics(reg) }
