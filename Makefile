@@ -10,22 +10,32 @@ all: build vet test
 build:
 	$(GO) build ./...
 
+# vet also runs a short fuzz smoke over the wire codecs: frame decoding
+# is the one surface fed by untrusted bytes, so it gets fuzzed on every
+# static-check pass (one invocation per target: -fuzz matches only one).
 vet:
 	$(GO) vet ./...
 	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \
 		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
+	$(GO) test -run='^$$' -fuzz=FuzzDecodeFrameBinary -fuzztime=5s ./internal/wire/
+	$(GO) test -run='^$$' -fuzz=FuzzDecodeFrameJSON -fuzztime=5s ./internal/wire/
 
-# The concurrency-sensitive packages (metrics registry, cluster runtime)
-# additionally run under the race detector on every default test pass.
+# The concurrency-sensitive packages (metrics registry, cluster runtime,
+# wire codecs) additionally run under the race detector on every default
+# test pass.
 test:
 	$(GO) test ./...
-	$(GO) test -race ./internal/metrics ./internal/cluster
+	$(GO) test -race ./internal/metrics ./internal/cluster ./internal/wire
 
 race:
 	$(GO) test -race ./...
 
+# bench also regenerates BENCH_wire.json: the wire-codec benchmark
+# (bytes/round per protocol per codec on real TCP, allocs/op, and the
+# metering path's allocation overhead).
 bench:
 	$(GO) test -bench=. -benchmem ./...
+	$(GO) run ./cmd/dolbie-bench -wire -out BENCH_wire.json
 
 # Regenerate every paper figure/table at paper scale (N=30, 100
 # realizations) as text; add -csv out/ for CSV export.
@@ -35,11 +45,14 @@ repro:
 repro-csv:
 	$(GO) run ./cmd/dolbie-bench -fig all -csv out/
 
-# Short fuzzing pass over the numerical kernels.
+# Short fuzzing pass over the numerical kernels and the wire codecs
+# (one go test invocation per target: -fuzz only accepts a single match).
 fuzz:
 	$(GO) test -fuzz=FuzzInverse -fuzztime=10s ./internal/costfn/
 	$(GO) test -fuzz=FuzzProject -fuzztime=10s ./internal/simplex/
 	$(GO) test -fuzz=FuzzRoundToUnits -fuzztime=10s ./internal/simplex/
+	$(GO) test -fuzz=FuzzDecodeFrameBinary -fuzztime=10s ./internal/wire/
+	$(GO) test -fuzz=FuzzDecodeFrameJSON -fuzztime=10s ./internal/wire/
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -13,18 +13,25 @@ import (
 	"time"
 
 	"dolbie/internal/cluster"
+	"dolbie/internal/wire"
 )
 
 // Distributed runtime types, re-exported from the cluster runtime.
 type (
-	// Transport is one node's connection to the rest of the deployment
-	// (Send/Recv/Close). Implementations: the in-memory network (see
-	// NewMemNet), TCP sockets (see ListenTCP), and the reliability
-	// wrapper (see NewReliable).
+	// Transport is one node's connection to the rest of the deployment.
+	// Send and Recv report each message's encoded frame size so traffic
+	// accounting never re-marshals an envelope. Implementations: the
+	// in-memory network (see NewMemNet), TCP sockets (see ListenTCP),
+	// and the reliability wrapper (see NewReliable).
 	Transport = cluster.Transport
 	// Envelope is the wire unit exchanged by deployment nodes: a typed,
-	// routed JSON payload.
+	// routed protocol message, encoded by the transport's Codec.
 	Envelope = cluster.Envelope
+	// Codec turns envelopes into wire frames and back. Two built-in
+	// codecs exist: CodecBinary (compact, versioned, the default) and
+	// CodecJSON (debugging-friendly). Every node of a deployment must
+	// use the same codec.
+	Codec = wire.Codec
 	// CostSource supplies a node's local cost feedback after it plays a
 	// workload fraction (standing in for executing the actual work).
 	CostSource = cluster.CostSource
@@ -47,18 +54,35 @@ type (
 	// MemNet is the in-memory network hub for tests and single-process
 	// deployments, with deterministic fault injection.
 	MemNet = cluster.MemNet
-	// MemNetOption configures a MemNet (see WithDropProb and
-	// WithInboxBuffer).
+	// MemNetOption configures a MemNet (see WithDropProb, WithInboxBuffer
+	// and WithCodec).
 	MemNetOption = cluster.MemNetOption
-	// TCPNode is a TCP transport endpoint (length-prefixed JSON frames
-	// over real sockets).
+	// TCPNode is a TCP transport endpoint (length-prefixed frames over
+	// real sockets, encoded by the node's codec; see WithTCPCodec).
 	TCPNode = cluster.TCPNode
+	// TCPOption configures a TCPNode at listen time (see WithTCPCodec).
+	TCPOption = cluster.TCPOption
 	// Reliable upgrades a lossy Transport to at-least-once delivery with
 	// duplicate suppression (acks, retransmission, reordering).
 	Reliable = cluster.Reliable
 	// Meter wraps a Transport with traffic accounting.
 	Meter = cluster.Meter
 )
+
+// Built-in wire codecs.
+var (
+	// CodecJSON frames each envelope as one JSON object — readable in
+	// packet captures and byte-compatible with pre-codec deployments.
+	CodecJSON = wire.JSON
+	// CodecBinary is the compact versioned binary framing (one version
+	// byte, kind/from/to header, fixed-width scalar payloads): the
+	// production default, a few dozen bytes per protocol message.
+	CodecBinary = wire.Binary
+)
+
+// CodecByName resolves a codec registry name ("json", "binary"), as
+// accepted by the -codec command-line flags.
+func CodecByName(name string) (Codec, error) { return wire.ByName(name) }
 
 // NewMemNet constructs an in-memory network hub. Obtain per-node
 // transports with its Node method.
@@ -72,10 +96,22 @@ func WithDropProb(p float64, seed int64) MemNetOption { return cluster.WithDropP
 // WithInboxBuffer overrides a MemNet's per-node inbox capacity.
 func WithInboxBuffer(n int) MemNetOption { return cluster.WithInboxBuffer(n) }
 
+// WithCodec selects the wire codec a MemNet uses to size simulated
+// traffic, so metered bytes match a real deployment of the same codec.
+func WithCodec(c Codec) MemNetOption { return cluster.WithCodec(c) }
+
 // ListenTCP binds a TCP transport endpoint for node id on addr (use
 // "127.0.0.1:0" for an ephemeral port). Wire the full deployment by
 // passing every node's address map to each node's SetRegistry.
-func ListenTCP(id int, addr string) (*TCPNode, error) { return cluster.ListenTCP(id, addr) }
+func ListenTCP(id int, addr string, opts ...TCPOption) (*TCPNode, error) {
+	return cluster.ListenTCP(id, addr, opts...)
+}
+
+// WithTCPCodec selects the wire codec for all of a TCPNode's
+// connections (default CodecBinary). Every node in a deployment must
+// use the same codec; mismatched peers fail decoding with a
+// descriptive error.
+func WithTCPCodec(c Codec) TCPOption { return cluster.WithTCPCodec(c) }
 
 // NewReliable wraps the transport endpoint of node id with
 // acknowledgements, deduplication, and retransmission every retryEvery

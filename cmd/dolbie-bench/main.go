@@ -8,10 +8,17 @@
 //	dolbie-bench -fig fig3                # one realization, Fig. 3
 //	dolbie-bench -fig all -quick          # everything, scaled down
 //	dolbie-bench -fig fig4 -realizations 100 -csv out/
+//	dolbie-bench -wire                    # wire-codec benchmark -> BENCH_wire.json
 //
 // With -metrics-addr the process serves its runtime gauges (goroutines,
 // heap, GC) and /debug/pprof while the experiments run — useful for
 // profiling the long Monte-Carlo sweeps.
+//
+// The -wire mode sidesteps the figure machinery entirely: it runs both
+// DOLBIE protocols over real localhost TCP under each wire codec,
+// records bytes/round, single-hop allocations, and the metering-path
+// allocation overhead, and writes the report to -out (default
+// BENCH_wire.json).
 package main
 
 import (
@@ -46,8 +53,15 @@ func run() error {
 		csvDir       = flag.String("csv", "", "also write CSV files into this directory")
 		ascii        = flag.Bool("ascii", false, "render figures as ASCII charts instead of tables")
 		metricsAddr  = flag.String("metrics-addr", "", "serve process gauges on /metrics plus /debug/pprof on this address while the experiments run (empty disables)")
+		wireBench    = flag.Bool("wire", false, "run the wire-codec benchmark (TCP deployments per codec) instead of a figure")
+		codecName    = flag.String("codec", "all", "wire codec to benchmark in -wire mode: all, or a registry name")
+		outPath      = flag.String("out", "BENCH_wire.json", "output file for the -wire benchmark report")
 	)
 	flag.Parse()
+
+	if *wireBench {
+		return runWireBench(*codecName, *outPath, os.Stdout)
+	}
 
 	if *metricsAddr != "" {
 		reg := metrics.NewRegistry()

@@ -1,0 +1,293 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"testing"
+	"time"
+
+	"dolbie/internal/cluster"
+	"dolbie/internal/core"
+	"dolbie/internal/costfn"
+	"dolbie/internal/simplex"
+	"dolbie/internal/wire"
+)
+
+// This file implements the -wire benchmark mode: it measures the wire
+// codec layer end to end — bytes/round for both DOLBIE protocols on a
+// real 8-worker TCP deployment, single-hop transport latency and
+// allocations, and the metering path's allocation overhead (which must
+// be re-marshal-free) — and writes the results to a JSON file so the
+// perf trajectory of the codec layer is tracked in-repo.
+
+const (
+	wireWorkers = 8
+	wireRounds  = 30
+)
+
+// wireProtocolStats is one protocol's traffic under one codec.
+type wireProtocolStats struct {
+	MsgsPerRound  float64 `json:"msgs_per_round"`
+	BytesPerRound float64 `json:"bytes_per_round"`
+}
+
+// wireTransportStats is the single-hop TCP send+recv cost under one codec.
+type wireTransportStats struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"alloc_bytes_per_op"`
+}
+
+// wireMeteringStats compares a metered hop against a raw one: the
+// overhead must be free of marshaling work.
+type wireMeteringStats struct {
+	RawAllocsPerOp      int64 `json:"raw_allocs_per_op"`
+	MeteredAllocsPerOp  int64 `json:"metered_allocs_per_op"`
+	OverheadAllocsPerOp int64 `json:"overhead_allocs_per_op"`
+}
+
+// wireReport is the BENCH_wire.json document.
+type wireReport struct {
+	Workers          int                           `json:"workers"`
+	Rounds           int                           `json:"rounds"`
+	MasterWorker     map[string]wireProtocolStats  `json:"master_worker_tcp"`
+	FullyDistributed map[string]wireProtocolStats  `json:"fully_distributed_tcp"`
+	Transport        map[string]wireTransportStats `json:"transport_hop_tcp"`
+	Metering         map[string]wireMeteringStats  `json:"metering_overhead_memnet"`
+	MWBytesRatio     float64                       `json:"mw_bytes_json_over_binary"`
+	FDBytesRatio     float64                       `json:"fd_bytes_json_over_binary"`
+}
+
+// runWireBench measures every registered codec (or just the named one)
+// and writes the report to outPath.
+func runWireBench(codecName, outPath string, out io.Writer) error {
+	names := wire.Names()
+	if codecName != "all" {
+		if _, err := wire.ByName(codecName); err != nil {
+			return err
+		}
+		names = []string{codecName}
+	}
+	rep := wireReport{
+		Workers:          wireWorkers,
+		Rounds:           wireRounds,
+		MasterWorker:     make(map[string]wireProtocolStats),
+		FullyDistributed: make(map[string]wireProtocolStats),
+		Transport:        make(map[string]wireTransportStats),
+		Metering:         make(map[string]wireMeteringStats),
+	}
+	for _, name := range names {
+		codec, err := wire.ByName(name)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wire bench: %s codec (TCP, %d workers, %d rounds)\n", name, wireWorkers, wireRounds)
+		mw, err := wireMasterWorkerTCP(codec)
+		if err != nil {
+			return err
+		}
+		rep.MasterWorker[name] = mw
+		fd, err := wireFullyDistributedTCP(codec)
+		if err != nil {
+			return err
+		}
+		rep.FullyDistributed[name] = fd
+		tp, err := wireTransportHop(codec)
+		if err != nil {
+			return err
+		}
+		rep.Transport[name] = tp
+		rep.Metering[name] = wireMeteringOverhead(codec)
+		fmt.Fprintf(out, "  mw %.0f B/round, fd %.0f B/round, hop %d allocs/op, metering overhead %+d allocs/op\n",
+			mw.BytesPerRound, fd.BytesPerRound, tp.AllocsPerOp, rep.Metering[name].OverheadAllocsPerOp)
+	}
+	if j, ok := rep.MasterWorker["json"]; ok {
+		if b, ok := rep.MasterWorker["binary"]; ok && b.BytesPerRound > 0 {
+			rep.MWBytesRatio = j.BytesPerRound / b.BytesPerRound
+		}
+	}
+	if j, ok := rep.FullyDistributed["json"]; ok {
+		if b, ok := rep.FullyDistributed["binary"]; ok && b.BytesPerRound > 0 {
+			rep.FDBytesRatio = j.BytesPerRound / b.BytesPerRound
+		}
+	}
+	if rep.MWBytesRatio > 0 {
+		fmt.Fprintf(out, "bytes/round json/binary: mw %.2fx, fd %.2fx\n", rep.MWBytesRatio, rep.FDBytesRatio)
+	}
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %s\n", outPath)
+	return nil
+}
+
+// wireSources mirrors the deterministic affine sources of the comms
+// experiment so byte counts are reproducible run to run.
+func wireSources(n int) []cluster.CostSource {
+	sources := make([]cluster.CostSource, n)
+	for i := range sources {
+		i := i
+		sources[i] = cluster.FuncSource(func(round int, x float64) (float64, costfn.Func, error) {
+			f := costfn.Affine{
+				Slope:     1 + float64((i*13+round*5)%17),
+				Intercept: 0.05 * float64((i+round)%7),
+			}
+			return f.Eval(x), f, nil
+		})
+	}
+	return sources
+}
+
+// wireTCPNodes builds count connected localhost TCP nodes on codec.
+func wireTCPNodes(count int, codec wire.Codec) ([]*cluster.TCPNode, func(), error) {
+	nodes := make([]*cluster.TCPNode, count)
+	registry := make(map[int]string, count)
+	for i := 0; i < count; i++ {
+		node, err := cluster.ListenTCP(i, "127.0.0.1:0", cluster.WithTCPCodec(codec))
+		if err != nil {
+			for _, n := range nodes[:i] {
+				n.Close() //nolint:errcheck // best-effort unwind
+			}
+			return nil, nil, err
+		}
+		nodes[i] = node
+		registry[i] = node.Addr()
+	}
+	for _, node := range nodes {
+		node.SetRegistry(registry)
+	}
+	cleanup := func() {
+		for _, node := range nodes {
+			node.Close() //nolint:errcheck // best-effort teardown
+		}
+	}
+	return nodes, cleanup, nil
+}
+
+func wireMasterWorkerTCP(codec wire.Codec) (wireProtocolStats, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	nodes, cleanup, err := wireTCPNodes(wireWorkers+1, codec)
+	if err != nil {
+		return wireProtocolStats{}, err
+	}
+	defer cleanup()
+	transports := make([]cluster.Transport, len(nodes))
+	for i, node := range nodes {
+		transports[i] = node
+	}
+	masterRes, workerRes, err := cluster.MasterWorkerDeployment(ctx, transports,
+		simplex.Uniform(wireWorkers), wireRounds, wireSources(wireWorkers), core.WithInitialAlpha(0.05))
+	if err != nil {
+		return wireProtocolStats{}, fmt.Errorf("master-worker TCP bench: %w", err)
+	}
+	msgs := masterRes.Traffic.MsgsSent
+	bytes := masterRes.Traffic.BytesSent
+	for _, wr := range workerRes {
+		msgs += wr.Traffic.MsgsSent
+		bytes += wr.Traffic.BytesSent
+	}
+	return wireProtocolStats{
+		MsgsPerRound:  float64(msgs) / wireRounds,
+		BytesPerRound: float64(bytes) / wireRounds,
+	}, nil
+}
+
+func wireFullyDistributedTCP(codec wire.Codec) (wireProtocolStats, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	nodes, cleanup, err := wireTCPNodes(wireWorkers, codec)
+	if err != nil {
+		return wireProtocolStats{}, err
+	}
+	defer cleanup()
+	transports := make([]cluster.Transport, len(nodes))
+	for i, node := range nodes {
+		transports[i] = node
+	}
+	res, err := cluster.FullyDistributedDeployment(ctx, transports,
+		simplex.Uniform(wireWorkers), wireRounds, wireSources(wireWorkers), core.WithInitialAlpha(0.05))
+	if err != nil {
+		return wireProtocolStats{}, fmt.Errorf("fully-distributed TCP bench: %w", err)
+	}
+	var msgs, bytes int
+	for _, pr := range res {
+		msgs += pr.Traffic.MsgsSent
+		bytes += pr.Traffic.BytesSent
+	}
+	return wireProtocolStats{
+		MsgsPerRound:  float64(msgs) / wireRounds,
+		BytesPerRound: float64(bytes) / wireRounds,
+	}, nil
+}
+
+// wireTransportHop benchmarks one framed protocol message over a real
+// localhost TCP connection (send + matching recv).
+func wireTransportHop(codec wire.Codec) (wireTransportStats, error) {
+	nodes, cleanup, err := wireTCPNodes(2, codec)
+	if err != nil {
+		return wireTransportStats{}, err
+	}
+	defer cleanup()
+	ctx := context.Background()
+	env := cluster.NewEnvelope(cluster.KindCost, 0, 1, core.CostReport{Round: 1, From: 0, Cost: 1.25})
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := nodes[0].Send(ctx, 1, env); err != nil {
+				b.Fatal(err)
+			}
+			if _, _, err := nodes[1].Recv(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return wireTransportStats{
+		NsPerOp:     float64(res.NsPerOp()),
+		AllocsPerOp: res.AllocsPerOp(),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+	}, nil
+}
+
+// wireMeteringOverhead compares a raw in-memory hop against a metered
+// one under the same codec. The difference is the full cost of traffic
+// accounting; since Meter uses the transport-reported frame size, the
+// overhead contains no marshaling (0 allocs/op for the binary codec,
+// whose frame sizes are pure arithmetic).
+func wireMeteringOverhead(codec wire.Codec) wireMeteringStats {
+	ctx := context.Background()
+	env := cluster.NewEnvelope(cluster.KindCost, 0, 1, core.CostReport{Round: 1, From: 0, Cost: 1.25})
+	hop := func(metered bool) int64 {
+		net := cluster.NewMemNet(cluster.WithCodec(codec))
+		send, recv := net.Node(0), net.Node(1)
+		if metered {
+			send, recv = cluster.NewMeter(send), cluster.NewMeter(recv)
+		}
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := send.Send(ctx, 1, env); err != nil {
+					b.Fatal(err)
+				}
+				if _, _, err := recv.Recv(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		return res.AllocsPerOp()
+	}
+	raw := hop(false)
+	metered := hop(true)
+	return wireMeteringStats{
+		RawAllocsPerOp:      raw,
+		MeteredAllocsPerOp:  metered,
+		OverheadAllocsPerOp: metered - raw,
+	}
+}

@@ -16,6 +16,7 @@
 //
 //	dolbie-cluster -mode mw -n 8 -rounds 30
 //	dolbie-cluster -mode fd -n 5 -rounds 20 -tcp
+//	dolbie-cluster -mode mw -n 8 -rounds 30 -tcp -codec json
 //	dolbie-cluster -mode mw -n 8 -rounds 200 -metrics-addr :9090
 package main
 
@@ -25,6 +26,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"sync"
 	"time"
 
@@ -33,6 +35,7 @@ import (
 	"dolbie/internal/costfn"
 	"dolbie/internal/metrics"
 	"dolbie/internal/simplex"
+	"dolbie/internal/wire"
 )
 
 // testHookScrape, when non-nil, is called with the metrics server's
@@ -62,6 +65,7 @@ func run(args []string, out io.Writer) error {
 		crashID     = fs.Int("crash-worker", 0, "resilient mode: worker that fail-stops at -crash-round")
 		dropProb    = fs.Float64("drop", 0, "in-memory network message drop probability; >0 wraps every node in the reliable delivery layer")
 		metricsAddr = fs.String("metrics-addr", "", "serve /metrics, /healthz, and /debug/pprof on this address (empty disables)")
+		codecName   = fs.String("codec", wire.Default.Name(), "wire codec for protocol frames: "+strings.Join(wire.Names(), " or "))
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -71,6 +75,10 @@ func run(args []string, out io.Writer) error {
 	}
 	if *rounds < 1 {
 		return fmt.Errorf("need at least 1 round, got %d", *rounds)
+	}
+	codec, err := wire.ByName(*codecName)
+	if err != nil {
+		return err
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
@@ -116,7 +124,7 @@ func run(args []string, out io.Writer) error {
 	}
 	switch *mode {
 	case "mw":
-		transports, cleanup, err := buildLossy(*n+1, *dropProb, *seed, *useTCP, reg)
+		transports, cleanup, err := buildLossy(*n+1, *dropProb, *seed, *useTCP, codec, reg)
 		if err != nil {
 			return err
 		}
@@ -127,15 +135,15 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		elapsed := time.Since(start)
-		fmt.Fprintf(out, "master-worker deployment: %d workers, %d rounds, %v (%s transport)\n",
-			*n, masterRes.Rounds, elapsed.Round(time.Millisecond), transportName(*useTCP))
+		fmt.Fprintf(out, "master-worker deployment: %d workers, %d rounds, %v (%s transport, %s codec)\n",
+			*n, masterRes.Rounds, elapsed.Round(time.Millisecond), transportName(*useTCP), codec.Name())
 		fmt.Fprintf(out, "final step size alpha_T = %.6f\n", masterRes.FinalAlpha)
 		fmt.Fprintf(out, "master traffic: sent %d msgs / %d B, received %d msgs / %d B\n",
 			masterRes.Traffic.MsgsSent, masterRes.Traffic.BytesSent,
 			masterRes.Traffic.MsgsReceived, masterRes.Traffic.BytesRecv)
 		printTrajectory(out, workersPlayed(workerRes), workersCosts(workerRes))
 	case "fd":
-		transports, cleanup, err := buildLossy(*n, *dropProb, *seed, *useTCP, reg)
+		transports, cleanup, err := buildLossy(*n, *dropProb, *seed, *useTCP, codec, reg)
 		if err != nil {
 			return err
 		}
@@ -155,13 +163,13 @@ func run(args []string, out io.Writer) error {
 			played[i] = pr.Played
 			costs[i] = pr.Costs
 		}
-		fmt.Fprintf(out, "fully-distributed deployment: %d peers, %d rounds, %v (%s transport)\n",
-			*n, *rounds, elapsed.Round(time.Millisecond), transportName(*useTCP))
+		fmt.Fprintf(out, "fully-distributed deployment: %d peers, %d rounds, %v (%s transport, %s codec)\n",
+			*n, *rounds, elapsed.Round(time.Millisecond), transportName(*useTCP), codec.Name())
 		fmt.Fprintf(out, "total traffic: %d msgs / %d B (%.1f msgs/round, O(N^2) by design)\n",
 			msgs, bytes, float64(msgs)/float64(*rounds))
 		printTrajectory(out, played, costs)
 	case "resilient":
-		return runResilient(ctx, out, *n, *rounds, *alpha, *crashID, *crashRound, sources, x0, reg, opts)
+		return runResilient(ctx, out, *n, *rounds, *alpha, *crashID, *crashRound, sources, x0, codec, reg, opts)
 	default:
 		return fmt.Errorf("unknown mode %q (want mw, fd, or resilient)", *mode)
 	}
@@ -185,8 +193,8 @@ func (c crashingSource) Observe(round int, x float64) (float64, costfn.Func, err
 // detects the crashed worker via the round deadline, removes it, folds
 // its workload back into the balancing loop, and finishes the run with
 // the survivors.
-func runResilient(ctx context.Context, out io.Writer, n, rounds int, alpha float64, crashID, crashRound int, sources []cluster.CostSource, x0 []float64, reg *metrics.Registry, opts []core.Option) error {
-	net := cluster.NewMemNet()
+func runResilient(ctx context.Context, out io.Writer, n, rounds int, alpha float64, crashID, crashRound int, sources []cluster.CostSource, x0 []float64, codec wire.Codec, reg *metrics.Registry, opts []core.Option) error {
+	net := cluster.NewMemNet(cluster.WithCodec(codec))
 	transports := make([]cluster.Transport, n+1)
 	for i := range transports {
 		transports[i] = net.Node(i)
@@ -246,11 +254,11 @@ func transportName(tcp bool) string {
 // network with the reliability layer; dropProb = 0 defers to
 // buildTransports for the -tcp choice. A non-nil registry instruments
 // the reliability layer's retransmission/duplicate counters.
-func buildLossy(count int, dropProb float64, seed int64, useTCP bool, reg *metrics.Registry) ([]cluster.Transport, func(), error) {
+func buildLossy(count int, dropProb float64, seed int64, useTCP bool, codec wire.Codec, reg *metrics.Registry) ([]cluster.Transport, func(), error) {
 	if dropProb <= 0 {
-		return buildTransports(count, useTCP)
+		return buildTransports(count, useTCP, codec)
 	}
-	net := cluster.NewMemNet(cluster.WithDropProb(dropProb, seed))
+	net := cluster.NewMemNet(cluster.WithDropProb(dropProb, seed), cluster.WithCodec(codec))
 	transports := make([]cluster.Transport, count)
 	reliables := make([]*cluster.Reliable, count)
 	for i := range transports {
@@ -265,9 +273,9 @@ func buildLossy(count int, dropProb float64, seed int64, useTCP bool, reg *metri
 	return transports, cleanup, nil
 }
 
-func buildTransports(count int, useTCP bool) ([]cluster.Transport, func(), error) {
+func buildTransports(count int, useTCP bool, codec wire.Codec) ([]cluster.Transport, func(), error) {
 	if !useTCP {
-		net := cluster.NewMemNet()
+		net := cluster.NewMemNet(cluster.WithCodec(codec))
 		transports := make([]cluster.Transport, count)
 		for i := range transports {
 			transports[i] = net.Node(i)
@@ -277,7 +285,7 @@ func buildTransports(count int, useTCP bool) ([]cluster.Transport, func(), error
 	nodes := make([]*cluster.TCPNode, count)
 	registry := make(map[int]string, count)
 	for i := 0; i < count; i++ {
-		node, err := cluster.ListenTCP(i, "127.0.0.1:0")
+		node, err := cluster.ListenTCP(i, "127.0.0.1:0", cluster.WithTCPCodec(codec))
 		if err != nil {
 			for _, n := range nodes[:i] {
 				n.Close() //nolint:errcheck // best-effort unwind

@@ -34,6 +34,7 @@ var docPackages = []string{
 	"internal/simplex",
 	"internal/stats",
 	"internal/trace",
+	"internal/wire",
 }
 
 func TestExportedDeclarationsAreDocumented(t *testing.T) {

@@ -7,15 +7,13 @@ import (
 
 	"dolbie/internal/core"
 	"dolbie/internal/simplex"
+	"dolbie/internal/wire"
 )
 
 func BenchmarkEnvelopeRoundTrip(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		env, err := NewEnvelope(KindCost, 3, 30, core.CostReport{Round: i, From: 3, Cost: 1.25})
-		if err != nil {
-			b.Fatal(err)
-		}
+		env := NewEnvelope(KindCost, 3, 30, core.CostReport{Round: i, From: 3, Cost: 1.25})
 		var r core.CostReport
 		if err := env.Decode(&r); err != nil {
 			b.Fatal(err)
@@ -29,31 +27,33 @@ func BenchmarkMemNetSendRecv(b *testing.B) {
 	a := net.Node(0)
 	c := net.Node(1)
 	ctx := context.Background()
-	env, err := NewEnvelope(KindCost, 0, 1, core.CostReport{Round: 1, From: 0, Cost: 1})
-	if err != nil {
-		b.Fatal(err)
-	}
+	env := NewEnvelope(KindCost, 0, 1, core.CostReport{Round: 1, From: 0, Cost: 1})
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := a.Send(ctx, 1, env); err != nil {
+		if _, err := a.Send(ctx, 1, env); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := c.Recv(ctx); err != nil {
+		if _, _, err := c.Recv(ctx); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
 // BenchmarkTCPSendRecv measures one framed protocol message over a real
-// localhost TCP connection.
+// localhost TCP connection, once per wire codec.
 func BenchmarkTCPSendRecv(b *testing.B) {
-	n0, err := ListenTCP(0, "127.0.0.1:0")
+	b.Run("binary", func(b *testing.B) { benchTCPSendRecv(b, wire.Binary) })
+	b.Run("json", func(b *testing.B) { benchTCPSendRecv(b, wire.JSON) })
+}
+
+func benchTCPSendRecv(b *testing.B, codec wire.Codec) {
+	n0, err := ListenTCP(0, "127.0.0.1:0", WithTCPCodec(codec))
 	if err != nil {
 		b.Fatal(err)
 	}
 	defer n0.Close() //nolint:errcheck // bench teardown
-	n1, err := ListenTCP(1, "127.0.0.1:0")
+	n1, err := ListenTCP(1, "127.0.0.1:0", WithTCPCodec(codec))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -63,17 +63,14 @@ func BenchmarkTCPSendRecv(b *testing.B) {
 	n1.SetRegistry(registry)
 
 	ctx := context.Background()
-	env, err := NewEnvelope(KindCost, 0, 1, core.CostReport{Round: 1, From: 0, Cost: 1})
-	if err != nil {
-		b.Fatal(err)
-	}
+	env := NewEnvelope(KindCost, 0, 1, core.CostReport{Round: 1, From: 0, Cost: 1})
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := n0.Send(ctx, 1, env); err != nil {
+		if _, err := n0.Send(ctx, 1, env); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := n1.Recv(ctx); err != nil {
+		if _, _, err := n1.Recv(ctx); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -10,6 +10,7 @@ import (
 	"dolbie/internal/core"
 	"dolbie/internal/costfn"
 	"dolbie/internal/simplex"
+	"dolbie/internal/wire"
 )
 
 // instSource builds a deterministic CostSource for worker id: per-round
@@ -320,11 +321,8 @@ func TestTrajectory(t *testing.T) {
 func TestMemNetUnknownNode(t *testing.T) {
 	net := NewMemNet()
 	tr := net.Node(0)
-	env, err := NewEnvelope(KindCost, 0, 9, core.CostReport{Round: 1, From: 0, Cost: 1})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := tr.Send(context.Background(), 9, env); !errors.Is(err, ErrUnknownNode) {
+	env := NewEnvelope(KindCost, 0, 9, core.CostReport{Round: 1, From: 0, Cost: 1})
+	if _, err := tr.Send(context.Background(), 9, env); !errors.Is(err, ErrUnknownNode) {
 		t.Errorf("send to unregistered node = %v, want ErrUnknownNode", err)
 	}
 }
@@ -335,11 +333,11 @@ func TestMemNetClose(t *testing.T) {
 	if err := b.Close(); err != nil {
 		t.Fatal(err)
 	}
-	env, _ := NewEnvelope(KindCost, 0, 1, core.CostReport{})
-	if err := a.Send(context.Background(), 1, env); err == nil {
+	env := NewEnvelope(KindCost, 0, 1, core.CostReport{})
+	if _, err := a.Send(context.Background(), 1, env); err == nil {
 		t.Error("send to closed node should error")
 	}
-	if _, err := b.Recv(context.Background()); !errors.Is(err, ErrClosed) {
+	if _, _, err := b.Recv(context.Background()); !errors.Is(err, ErrClosed) {
 		t.Errorf("recv on closed node = %v, want ErrClosed", err)
 	}
 }
@@ -349,17 +347,17 @@ func TestMemNetHeal(t *testing.T) {
 	a := net.Node(0)
 	net.Node(1)
 	net.Cut(0, 1)
-	env, _ := NewEnvelope(KindCost, 0, 1, core.CostReport{Round: 1})
-	if err := a.Send(context.Background(), 1, env); err != nil {
+	env := NewEnvelope(KindCost, 0, 1, core.CostReport{Round: 1})
+	if _, err := a.Send(context.Background(), 1, env); err != nil {
 		t.Fatalf("cut link should drop silently, got %v", err)
 	}
 	net.Heal(0, 1)
-	if err := a.Send(context.Background(), 1, env); err != nil {
+	if _, err := a.Send(context.Background(), 1, env); err != nil {
 		t.Fatal(err)
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
 	defer cancel()
-	got, err := net.Node(1).Recv(ctx)
+	got, _, err := net.Node(1).Recv(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -370,12 +368,15 @@ func TestMemNetHeal(t *testing.T) {
 
 func TestEnvelopeRoundTrip(t *testing.T) {
 	want := core.Coordinate{Round: 3, GlobalCost: 1.5, Alpha: 0.01, Straggler: 2}
-	env, err := NewEnvelope(KindCoordinate, 5, 1, want)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if env.WireBytes() == 0 {
-		t.Error("wire bytes should be positive")
+	env := NewEnvelope(KindCoordinate, 5, 1, want)
+	for _, codec := range []wire.Codec{wire.JSON, wire.Binary} {
+		n, err := wire.FrameSize(codec, env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 {
+			t.Errorf("%s wire bytes should be positive", codec.Name())
+		}
 	}
 	var got core.Coordinate
 	if err := env.Decode(&got); err != nil {
@@ -384,7 +385,7 @@ func TestEnvelopeRoundTrip(t *testing.T) {
 	if got != want {
 		t.Errorf("round trip = %+v, want %+v", got, want)
 	}
-	if err := env.Decode(&struct{ Round string }{}); err == nil {
+	if err := env.Decode(&core.CostReport{}); err == nil {
 		t.Error("type mismatch should error")
 	}
 }
@@ -394,8 +395,8 @@ func TestTCPNodeCloseIdempotentAndUnknownPeer(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	env, _ := NewEnvelope(KindCost, 0, 1, core.CostReport{})
-	if err := node.Send(context.Background(), 1, env); !errors.Is(err, ErrUnknownNode) {
+	env := NewEnvelope(KindCost, 0, 1, core.CostReport{})
+	if _, err := node.Send(context.Background(), 1, env); !errors.Is(err, ErrUnknownNode) {
 		t.Errorf("send without registry = %v, want ErrUnknownNode", err)
 	}
 	if err := node.Close(); err != nil {
@@ -404,10 +405,10 @@ func TestTCPNodeCloseIdempotentAndUnknownPeer(t *testing.T) {
 	if err := node.Close(); err != nil {
 		t.Errorf("second close should be a no-op, got %v", err)
 	}
-	if err := node.Send(context.Background(), 1, env); !errors.Is(err, ErrClosed) {
+	if _, err := node.Send(context.Background(), 1, env); !errors.Is(err, ErrClosed) {
 		t.Errorf("send after close = %v, want ErrClosed", err)
 	}
-	if _, err := node.Recv(context.Background()); !errors.Is(err, ErrClosed) {
+	if _, _, err := node.Recv(context.Background()); !errors.Is(err, ErrClosed) {
 		t.Errorf("recv after close = %v, want ErrClosed", err)
 	}
 }

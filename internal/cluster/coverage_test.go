@@ -14,16 +14,16 @@ func TestWithInboxBuffer(t *testing.T) {
 	net.Node(1)
 	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
 	defer cancel()
-	env, _ := NewEnvelope(KindCost, 0, 1, core.CostReport{Round: 1})
+	env := NewEnvelope(KindCost, 0, 1, core.CostReport{Round: 1})
 	// Two sends fill the buffer; the third blocks until the context
 	// deadline because nobody drains the inbox.
-	if err := a.Send(ctx, 1, env); err != nil {
+	if _, err := a.Send(ctx, 1, env); err != nil {
 		t.Fatal(err)
 	}
-	if err := a.Send(ctx, 1, env); err != nil {
+	if _, err := a.Send(ctx, 1, env); err != nil {
 		t.Fatal(err)
 	}
-	if err := a.Send(ctx, 1, env); err == nil {
+	if _, err := a.Send(ctx, 1, env); err == nil {
 		t.Error("third send into a full 2-slot inbox should block until deadline")
 	}
 	// Non-positive buffer values are ignored (default stays).
@@ -78,7 +78,7 @@ func TestMeterClose(t *testing.T) {
 	if err := m.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.Recv(context.Background()); err == nil {
+	if _, _, err := m.Recv(context.Background()); err == nil {
 		t.Error("recv after close should error")
 	}
 }
@@ -98,11 +98,11 @@ func TestTCPSendRedialsAfterPeerRestart(t *testing.T) {
 
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
-	env, _ := NewEnvelope(KindCost, 0, 1, core.CostReport{Round: 1, From: 0})
-	if err := a.Send(ctx, 1, env); err != nil {
+	env := NewEnvelope(KindCost, 0, 1, core.CostReport{Round: 1, From: 0})
+	if _, err := a.Send(ctx, 1, env); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := b.Recv(ctx); err != nil {
+	if _, _, err := b.Recv(ctx); err != nil {
 		t.Fatal(err)
 	}
 
@@ -122,11 +122,11 @@ func TestTCPSendRedialsAfterPeerRestart(t *testing.T) {
 
 	delivered := false
 	for attempt := 0; attempt < 20 && !delivered; attempt++ {
-		if err := a.Send(ctx, 1, env); err != nil {
+		if _, err := a.Send(ctx, 1, env); err != nil {
 			continue // dead conn detected and dropped; next attempt redials
 		}
 		recvCtx, recvCancel := context.WithTimeout(ctx, 300*time.Millisecond)
-		if _, err := b2.Recv(recvCtx); err == nil {
+		if _, _, err := b2.Recv(recvCtx); err == nil {
 			delivered = true
 		}
 		recvCancel()

@@ -5,21 +5,35 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+
+	"dolbie/internal/wire"
 )
+
+// delivery is an in-flight MemNet message: the envelope plus its frame
+// size under the hub's codec, computed once at send so both ends meter
+// identical byte counts without re-encoding.
+type delivery struct {
+	env Envelope
+	n   int
+}
 
 // MemNet is an in-memory network hub for tests and single-process
 // simulations. Every registered node gets a buffered inbox; Send enqueues
 // directly, so delivery preserves per-receiver FIFO order of the send
 // operations. Deterministic fault injection (message drops and node
-// partitions) is available for failure testing.
+// partitions) is available for failure testing. Messages are not
+// actually encoded, but every send is sized with the hub's codec
+// (wire.FrameSize, default binary) so metered traffic matches what a
+// real TCP deployment of the same codec would carry.
 type MemNet struct {
 	mu       sync.Mutex
-	inboxes  map[int]chan Envelope
+	inboxes  map[int]chan delivery
 	closed   map[int]bool
 	dropProb float64
 	rng      *rand.Rand
 	cut      map[[2]int]bool // severed directed links
 	buffer   int
+	codec    wire.Codec
 }
 
 // MemNetOption configures a MemNet.
@@ -43,13 +57,24 @@ func WithInboxBuffer(n int) MemNetOption {
 	}
 }
 
+// WithCodec selects the wire codec used to size simulated traffic
+// (default wire.Default). A nil codec is ignored.
+func WithCodec(c wire.Codec) MemNetOption {
+	return func(m *MemNet) {
+		if c != nil {
+			m.codec = c
+		}
+	}
+}
+
 // NewMemNet constructs an empty hub.
 func NewMemNet(opts ...MemNetOption) *MemNet {
 	m := &MemNet{
-		inboxes: make(map[int]chan Envelope),
+		inboxes: make(map[int]chan delivery),
 		closed:  make(map[int]bool),
 		cut:     make(map[[2]int]bool),
 		buffer:  1024,
+		codec:   wire.Default,
 	}
 	for _, opt := range opts {
 		opt(m)
@@ -62,7 +87,7 @@ func (m *MemNet) Node(id int) Transport {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if _, ok := m.inboxes[id]; !ok {
-		m.inboxes[id] = make(chan Envelope, m.buffer)
+		m.inboxes[id] = make(chan delivery, m.buffer)
 	}
 	return &memTransport{net: m, id: id}
 }
@@ -82,48 +107,52 @@ func (m *MemNet) Heal(from, to int) {
 	delete(m.cut, [2]int{from, to})
 }
 
-func (m *MemNet) send(ctx context.Context, from, to int, env Envelope) error {
+func (m *MemNet) send(ctx context.Context, from, to int, env Envelope) (int, error) {
+	n, err := wire.FrameSize(m.codec, env)
+	if err != nil {
+		return 0, fmt.Errorf("cluster: send to %d: %w", to, err)
+	}
 	m.mu.Lock()
 	if m.closed[from] {
 		m.mu.Unlock()
-		return fmt.Errorf("%w (node %d)", ErrClosed, from)
+		return 0, fmt.Errorf("%w (node %d)", ErrClosed, from)
 	}
 	inbox, ok := m.inboxes[to]
 	if !ok || m.closed[to] {
 		m.mu.Unlock()
-		return fmt.Errorf("%w: %d", ErrUnknownNode, to)
+		return 0, fmt.Errorf("%w: %d", ErrUnknownNode, to)
 	}
 	if m.cut[[2]int{from, to}] {
 		m.mu.Unlock()
-		return nil // silently dropped: partition
+		return n, nil // silently dropped: partition
 	}
 	if m.rng != nil && m.rng.Float64() < m.dropProb {
 		m.mu.Unlock()
-		return nil // silently dropped: lossy link
+		return n, nil // silently dropped: lossy link
 	}
 	m.mu.Unlock()
 
 	select {
-	case inbox <- env:
-		return nil
+	case inbox <- delivery{env: env, n: n}:
+		return n, nil
 	case <-ctx.Done():
-		return fmt.Errorf("cluster: send to %d: %w", to, ctx.Err())
+		return 0, fmt.Errorf("cluster: send to %d: %w", to, ctx.Err())
 	}
 }
 
-func (m *MemNet) recv(ctx context.Context, id int) (Envelope, error) {
+func (m *MemNet) recv(ctx context.Context, id int) (Envelope, int, error) {
 	m.mu.Lock()
 	inbox, ok := m.inboxes[id]
 	closed := m.closed[id]
 	m.mu.Unlock()
 	if !ok || closed {
-		return Envelope{}, fmt.Errorf("%w (node %d)", ErrClosed, id)
+		return Envelope{}, 0, fmt.Errorf("%w (node %d)", ErrClosed, id)
 	}
 	select {
-	case env := <-inbox:
-		return env, nil
+	case d := <-inbox:
+		return d.env, d.n, nil
 	case <-ctx.Done():
-		return Envelope{}, fmt.Errorf("cluster: recv on %d: %w", id, ctx.Err())
+		return Envelope{}, 0, fmt.Errorf("cluster: recv on %d: %w", id, ctx.Err())
 	}
 }
 
@@ -142,11 +171,11 @@ type memTransport struct {
 
 var _ Transport = (*memTransport)(nil)
 
-func (t *memTransport) Send(ctx context.Context, to int, env Envelope) error {
+func (t *memTransport) Send(ctx context.Context, to int, env Envelope) (int, error) {
 	return t.net.send(ctx, t.id, to, env)
 }
 
-func (t *memTransport) Recv(ctx context.Context) (Envelope, error) {
+func (t *memTransport) Recv(ctx context.Context) (Envelope, int, error) {
 	return t.net.recv(ctx, t.id)
 }
 

@@ -3,8 +3,12 @@
 // (Algorithm 2) as real concurrent nodes exchanging messages over a
 // pluggable transport. Two transports are provided: an in-memory network
 // with deterministic fault injection (drops, partitions) for tests and
-// simulation, and a TCP transport with length-prefixed JSON frames for
-// actual multi-process deployments.
+// simulation, and a TCP transport with length-prefixed frames for actual
+// multi-process deployments. Message encoding is owned by internal/wire:
+// every transport accepts a wire.Codec (compact versioned binary by
+// default, JSON for debugging) and all traffic metering uses the frame
+// sizes the codec actually produced — envelopes are never re-marshaled
+// to be counted.
 //
 // The protocol logic itself lives in internal/core as pure state
 // machines; this package only moves bytes, enforces deadlines via
@@ -14,82 +18,58 @@
 package cluster
 
 import (
-	"encoding/json"
-	"fmt"
-
 	"dolbie/internal/core"
+	"dolbie/internal/wire"
 )
 
-// Kind tags the payload type of an Envelope.
-type Kind string
+// Kind tags the payload type of an Envelope. It aliases wire.Kind; see
+// internal/wire for the full wire-format contract.
+type Kind = wire.Kind
 
 // The six message kinds of the two DOLBIE protocols.
 const (
-	KindCost         Kind = "cost"          // core.CostReport (worker -> master)
-	KindCoordinate   Kind = "coordinate"    // core.Coordinate (master -> all workers)
-	KindDecision     Kind = "decision"      // core.DecisionReport (worker -> master)
-	KindAssign       Kind = "assign"        // core.StragglerAssign (master -> straggler)
-	KindShare        Kind = "share"         // core.PeerShare (peer -> all peers)
-	KindPeerDecision Kind = "peer-decision" // core.PeerDecision (peer -> straggler)
+	KindCost         = wire.KindCost         // core.CostReport (worker -> master)
+	KindCoordinate   = wire.KindCoordinate   // core.Coordinate (master -> all workers)
+	KindDecision     = wire.KindDecision     // core.DecisionReport (worker -> master)
+	KindAssign       = wire.KindAssign       // core.StragglerAssign (master -> straggler)
+	KindShare        = wire.KindShare        // core.PeerShare (peer -> all peers)
+	KindPeerDecision = wire.KindPeerDecision // core.PeerDecision (peer -> straggler)
 )
 
-// Envelope is the wire unit: a typed, routed JSON payload.
-type Envelope struct {
-	Kind    Kind            `json:"kind"`
-	From    int             `json:"from"`
-	To      int             `json:"to"`
-	Payload json.RawMessage `json:"payload"`
-}
+// Envelope is the wire unit: a typed, routed protocol message. It
+// aliases wire.Envelope, which carries the payload as a typed value and
+// defers all encoding to the transport's codec.
+type Envelope = wire.Envelope
 
-// NewEnvelope marshals payload into a routed envelope.
-func NewEnvelope(kind Kind, from, to int, payload any) (Envelope, error) {
-	raw, err := json.Marshal(payload)
-	if err != nil {
-		return Envelope{}, fmt.Errorf("cluster: marshal %s payload: %w", kind, err)
-	}
-	return Envelope{Kind: kind, From: from, To: to, Payload: raw}, nil
-}
-
-// Decode unmarshals the payload into v.
-func (e Envelope) Decode(v any) error {
-	if err := json.Unmarshal(e.Payload, v); err != nil {
-		return fmt.Errorf("cluster: decode %s payload: %w", e.Kind, err)
-	}
-	return nil
-}
-
-// WireBytes returns the envelope's marshaled size, used by traffic
-// accounting.
-func (e Envelope) WireBytes() int {
-	raw, err := json.Marshal(e)
-	if err != nil {
-		return 0
-	}
-	return len(raw)
+// NewEnvelope routes a typed payload into an envelope. It performs no
+// marshaling; payload/kind consistency is checked when a codec encodes
+// the frame.
+func NewEnvelope(kind Kind, from, to int, payload any) Envelope {
+	return wire.NewEnvelope(kind, from, to, payload)
 }
 
 // Convenience constructors for each protocol message.
 
-func costEnvelope(to int, r core.CostReport) (Envelope, error) {
+func costEnvelope(to int, r core.CostReport) Envelope {
 	return NewEnvelope(KindCost, r.From, to, r)
 }
 
-func coordinateEnvelope(from, to int, c core.Coordinate) (Envelope, error) {
+func coordinateEnvelope(from, to int, c core.Coordinate) Envelope {
 	return NewEnvelope(KindCoordinate, from, to, c)
 }
 
-func decisionEnvelope(to int, r core.DecisionReport) (Envelope, error) {
+func decisionEnvelope(to int, r core.DecisionReport) Envelope {
 	return NewEnvelope(KindDecision, r.From, to, r)
 }
 
-func assignEnvelope(from int, a core.StragglerAssign) (Envelope, error) {
+func assignEnvelope(from int, a core.StragglerAssign) Envelope {
 	return NewEnvelope(KindAssign, from, a.To, a)
 }
 
-func shareEnvelope(to int, s core.PeerShare) (Envelope, error) {
+func shareEnvelope(to int, s core.PeerShare) Envelope {
 	return NewEnvelope(KindShare, s.From, to, s)
 }
 
-func peerDecisionEnvelope(d core.PeerDecision) (Envelope, error) {
+func peerDecisionEnvelope(d core.PeerDecision) Envelope {
 	return NewEnvelope(KindPeerDecision, d.From, d.To, d)
 }

@@ -70,7 +70,7 @@ func (nm *netMetrics) recordSend(env Envelope, n int) {
 	}
 	nm.msgsSent.Inc()
 	nm.bytesSent.Add(float64(n))
-	nm.byKind.WithLabelValues(string(env.Kind), "sent").Inc()
+	nm.byKind.WithLabelValues(env.Kind.String(), "sent").Inc()
 }
 
 // recordRecv accounts one received envelope of n wire bytes.
@@ -80,5 +80,5 @@ func (nm *netMetrics) recordRecv(env Envelope, n int) {
 	}
 	nm.msgsRecv.Inc()
 	nm.bytesRecv.Add(float64(n))
-	nm.byKind.WithLabelValues(string(env.Kind), "received").Inc()
+	nm.byKind.WithLabelValues(env.Kind.String(), "received").Inc()
 }

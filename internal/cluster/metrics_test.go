@@ -37,15 +37,12 @@ func TestMeterFeedsRegistry(t *testing.T) {
 	a := NewInstrumentedMeter(net.Node(0), reg, "a")
 	b := NewInstrumentedMeter(net.Node(1), reg, "b")
 
-	env, err := NewEnvelope(KindCost, 0, 1, core.CostReport{Round: 1, From: 0, Cost: 0.5})
-	if err != nil {
-		t.Fatal(err)
-	}
+	env := NewEnvelope(KindCost, 0, 1, core.CostReport{Round: 1, From: 0, Cost: 0.5})
 	ctx := context.Background()
-	if err := a.Send(ctx, 1, env); err != nil {
+	if _, err := a.Send(ctx, 1, env); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := b.Recv(ctx); err != nil {
+	if _, _, err := b.Recv(ctx); err != nil {
 		t.Fatal(err)
 	}
 

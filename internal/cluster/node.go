@@ -57,7 +57,7 @@ func RunMaster(ctx context.Context, tr Transport, x0 []float64, rounds int, opts
 	self := MasterID(n)
 	completed := 0
 	for completed < rounds {
-		env, err := meter.Recv(ctx)
+		env, _, err := meter.Recv(ctx)
 		if err != nil {
 			return MasterResult{}, fmt.Errorf("cluster: master recv (round %d): %w", m.Round(), err)
 		}
@@ -85,21 +85,13 @@ func RunMaster(ctx context.Context, tr Transport, x0 []float64, rounds int, opts
 		for _, o := range outs {
 			if o.Coordinate != nil {
 				for i := 0; i < n; i++ {
-					env, err := coordinateEnvelope(self, i, *o.Coordinate)
-					if err != nil {
-						return MasterResult{}, err
-					}
-					if err := meter.Send(ctx, i, env); err != nil {
+					if _, err := meter.Send(ctx, i, coordinateEnvelope(self, i, *o.Coordinate)); err != nil {
 						return MasterResult{}, fmt.Errorf("cluster: master coordinate to %d: %w", i, err)
 					}
 				}
 			}
 			if o.Assign != nil {
-				env, err := assignEnvelope(self, *o.Assign)
-				if err != nil {
-					return MasterResult{}, err
-				}
-				if err := meter.Send(ctx, o.Assign.To, env); err != nil {
+				if _, err := meter.Send(ctx, o.Assign.To, assignEnvelope(self, *o.Assign)); err != nil {
 					return MasterResult{}, fmt.Errorf("cluster: master assign to %d: %w", o.Assign.To, err)
 				}
 				completed++
@@ -152,11 +144,7 @@ func RunWorker(ctx context.Context, tr Transport, id, n int, x0 float64, rounds 
 		if err != nil {
 			return WorkerResult{}, err
 		}
-		env, err := costEnvelope(master, rep)
-		if err != nil {
-			return WorkerResult{}, err
-		}
-		if err := meter.Send(ctx, master, env); err != nil {
+		if _, err := meter.Send(ctx, master, costEnvelope(master, rep)); err != nil {
 			return WorkerResult{}, fmt.Errorf("cluster: worker %d cost report: %w", id, err)
 		}
 		res.Played = append(res.Played, x)
@@ -165,7 +153,7 @@ func RunWorker(ctx context.Context, tr Transport, id, n int, x0 float64, rounds 
 		// Await the coordinate (and, as the straggler, the assignment).
 		roundDone := false
 		for !roundDone {
-			env, err := meter.Recv(ctx)
+			env, _, err := meter.Recv(ctx)
 			if err != nil {
 				return WorkerResult{}, fmt.Errorf("cluster: worker %d recv round %d: %w", id, r, err)
 			}
@@ -180,11 +168,7 @@ func RunWorker(ctx context.Context, tr Transport, id, n int, x0 float64, rounds 
 					return WorkerResult{}, fmt.Errorf("cluster: worker %d: %w", id, err)
 				}
 				if dec != nil {
-					env, err := decisionEnvelope(master, *dec)
-					if err != nil {
-						return WorkerResult{}, err
-					}
-					if err := meter.Send(ctx, master, env); err != nil {
+					if _, err := meter.Send(ctx, master, decisionEnvelope(master, *dec)); err != nil {
 						return WorkerResult{}, fmt.Errorf("cluster: worker %d decision: %w", id, err)
 					}
 					roundDone = true
@@ -251,20 +235,12 @@ func RunPeer(ctx context.Context, tr Transport, id int, x0 []float64, rounds int
 					if j == id {
 						continue
 					}
-					env, err := shareEnvelope(j, *o.Share)
-					if err != nil {
-						return false, err
-					}
-					if err := meter.Send(ctx, j, env); err != nil {
+					if _, err := meter.Send(ctx, j, shareEnvelope(j, *o.Share)); err != nil {
 						return false, fmt.Errorf("cluster: peer %d share to %d: %w", id, j, err)
 					}
 				}
 			case o.Decision != nil:
-				env, err := peerDecisionEnvelope(*o.Decision)
-				if err != nil {
-					return false, err
-				}
-				if err := meter.Send(ctx, o.Decision.To, env); err != nil {
+				if _, err := meter.Send(ctx, o.Decision.To, peerDecisionEnvelope(*o.Decision)); err != nil {
 					return false, fmt.Errorf("cluster: peer %d decision to %d: %w", id, o.Decision.To, err)
 				}
 			case o.Done:
@@ -291,7 +267,7 @@ func RunPeer(ctx context.Context, tr Transport, id int, x0 []float64, rounds int
 			return PeerResult{}, err
 		}
 		for !done {
-			env, err := meter.Recv(ctx)
+			env, _, err := meter.Recv(ctx)
 			if err != nil {
 				return PeerResult{}, fmt.Errorf("cluster: peer %d recv round %d: %w", id, r, err)
 			}

@@ -2,13 +2,13 @@ package cluster
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 	"strconv"
 	"sync"
 	"time"
 
 	"dolbie/internal/metrics"
+	"dolbie/internal/wire"
 )
 
 // Reliable wraps a lossy Transport with acknowledgements, deduplication,
@@ -22,7 +22,10 @@ import (
 // Wire format: every data frame carries a per-destination sequence
 // number; the receiver acks each frame and suppresses already-seen
 // sequence numbers. Unacked frames are retransmitted on a fixed
-// interval until acked or closed.
+// interval until acked or closed. Frames travel as wire.ReliableFrame
+// payloads of the inner transport — the reliability layer itself does
+// no encoding, so its overhead under the binary codec is 18 bytes per
+// data frame plus a 23-byte ack frame.
 type Reliable struct {
 	inner Transport
 	id    int
@@ -30,30 +33,19 @@ type Reliable struct {
 	retryEvery time.Duration
 
 	mu       sync.Mutex
-	nextSeq  map[int]uint64              // per-destination next sequence number
-	unacked  map[int]map[uint64]wire     // per-destination in-flight frames
-	expected map[int]uint64              // per-sender next in-order sequence
-	reorder  map[int]map[uint64]Envelope // per-sender out-of-order buffer
+	nextSeq  map[int]uint64                        // per-destination next sequence number
+	unacked  map[int]map[uint64]wire.ReliableFrame // per-destination in-flight frames
+	expected map[int]uint64                        // per-sender next in-order sequence
+	reorder  map[int]map[uint64]delivery           // per-sender out-of-order buffer
 	closed   bool
 
-	delivered chan Envelope
+	delivered chan delivery
 	done      chan struct{}
 	wg        sync.WaitGroup
 
 	retrans *metrics.Counter // frames re-sent by the retry loop; nil when uninstrumented
 	dups    *metrics.Counter // duplicate frames suppressed; nil when uninstrumented
 }
-
-// wire is the reliable framing around a protocol envelope.
-type wire struct {
-	Seq  uint64    `json:"seq"`
-	Ack  bool      `json:"ack"`
-	Data *Envelope `json:"data,omitempty"`
-}
-
-// reliableKind tags frames of the reliability layer on the inner
-// transport.
-const reliableKind Kind = "reliable"
 
 // NewReliable wraps the transport endpoint of node id. retryEvery <= 0
 // defaults to 50ms. Close the Reliable (not the inner transport) to shut
@@ -74,10 +66,10 @@ func NewReliableWithMetrics(id int, inner Transport, retryEvery time.Duration, r
 		id:         id,
 		retryEvery: retryEvery,
 		nextSeq:    make(map[int]uint64),
-		unacked:    make(map[int]map[uint64]wire),
+		unacked:    make(map[int]map[uint64]wire.ReliableFrame),
 		expected:   make(map[int]uint64),
-		reorder:    make(map[int]map[uint64]Envelope),
-		delivered:  make(chan Envelope, 1024),
+		reorder:    make(map[int]map[uint64]delivery),
+		delivered:  make(chan delivery, 1024),
 		done:       make(chan struct{}),
 	}
 	if reg != nil {
@@ -94,42 +86,40 @@ func NewReliableWithMetrics(id int, inner Transport, retryEvery time.Duration, r
 var _ Transport = (*Reliable)(nil)
 
 // Send implements Transport: the frame is buffered for retransmission
-// until the receiver acknowledges it.
-func (r *Reliable) Send(ctx context.Context, to int, env Envelope) error {
+// until the receiver acknowledges it. The returned size is the wrapped
+// frame as the inner transport encoded it.
+func (r *Reliable) Send(ctx context.Context, to int, env Envelope) (int, error) {
 	r.mu.Lock()
 	if r.closed {
 		r.mu.Unlock()
-		return fmt.Errorf("%w (reliable node %d)", ErrClosed, r.id)
+		return 0, fmt.Errorf("%w (reliable node %d)", ErrClosed, r.id)
 	}
 	seq := r.nextSeq[to]
 	r.nextSeq[to] = seq + 1
-	frame := wire{Seq: seq, Data: &env}
+	frame := wire.ReliableFrame{Seq: seq, Data: &env}
 	if r.unacked[to] == nil {
-		r.unacked[to] = make(map[uint64]wire)
+		r.unacked[to] = make(map[uint64]wire.ReliableFrame)
 	}
 	r.unacked[to][seq] = frame
 	r.mu.Unlock()
 
-	wrapped, err := wrapFrame(r.id, to, frame)
-	if err != nil {
-		return err
-	}
 	// A send error here is fine: the retry loop re-sends until acked.
-	if err := r.inner.Send(ctx, to, wrapped); err != nil && ctx.Err() != nil {
-		return err
+	n, err := r.inner.Send(ctx, to, wrapFrame(r.id, to, frame))
+	if err != nil && ctx.Err() != nil {
+		return n, err
 	}
-	return nil
+	return n, nil
 }
 
 // Recv implements Transport: it yields deduplicated data frames.
-func (r *Reliable) Recv(ctx context.Context) (Envelope, error) {
+func (r *Reliable) Recv(ctx context.Context) (Envelope, int, error) {
 	select {
-	case env := <-r.delivered:
-		return env, nil
+	case d := <-r.delivered:
+		return d.env, d.n, nil
 	case <-r.done:
-		return Envelope{}, fmt.Errorf("%w (reliable node %d)", ErrClosed, r.id)
+		return Envelope{}, 0, fmt.Errorf("%w (reliable node %d)", ErrClosed, r.id)
 	case <-ctx.Done():
-		return Envelope{}, fmt.Errorf("cluster: reliable recv on %d: %w", r.id, ctx.Err())
+		return Envelope{}, 0, fmt.Errorf("cluster: reliable recv on %d: %w", r.id, ctx.Err())
 	}
 }
 
@@ -159,22 +149,22 @@ func (r *Reliable) recvLoop() {
 		cancel()
 	}()
 	for {
-		env, err := r.inner.Recv(ctx)
+		env, size, err := r.inner.Recv(ctx)
 		if err != nil {
 			return // closed or canceled
 		}
-		if env.Kind != reliableKind {
+		if env.Kind != wire.KindReliable {
 			// Interop: pass through unwrapped traffic (a peer not using
 			// the reliability layer).
 			select {
-			case r.delivered <- env:
+			case r.delivered <- delivery{env: env, n: size}:
 			case <-r.done:
 				return
 			}
 			continue
 		}
-		var frame wire
-		if err := json.Unmarshal(env.Payload, &frame); err != nil {
+		var frame wire.ReliableFrame
+		if err := env.Decode(&frame); err != nil {
 			continue // corrupt frame; drop (sender will retransmit)
 		}
 		from := env.From
@@ -191,17 +181,15 @@ func (r *Reliable) recvLoop() {
 		// buffer so a retransmitted early frame cannot be overtaken by a
 		// later one — preserving the FIFO property the protocol state
 		// machines rely on.
-		ack, err := wrapFrame(r.id, from, wire{Seq: frame.Seq, Ack: true})
-		if err == nil {
-			//nolint:errcheck // best-effort; sender retransmits on loss
-			r.inner.Send(ctx, from, ack)
-		}
+		ack := wrapFrame(r.id, from, wire.ReliableFrame{Seq: frame.Seq, Ack: true})
+		//nolint:errcheck // best-effort; sender retransmits on loss
+		r.inner.Send(ctx, from, ack)
 		if frame.Data == nil {
 			continue
 		}
 		r.mu.Lock()
 		exp := r.expected[from]
-		var ready []Envelope
+		var ready []delivery
 		switch {
 		case frame.Seq < exp:
 			// Duplicate of an already-delivered frame; ack was enough.
@@ -210,11 +198,11 @@ func (r *Reliable) recvLoop() {
 			}
 		case frame.Seq > exp:
 			if r.reorder[from] == nil {
-				r.reorder[from] = make(map[uint64]Envelope)
+				r.reorder[from] = make(map[uint64]delivery)
 			}
-			r.reorder[from][frame.Seq] = *frame.Data
+			r.reorder[from][frame.Seq] = delivery{env: *frame.Data, n: size}
 		default:
-			ready = append(ready, *frame.Data)
+			ready = append(ready, delivery{env: *frame.Data, n: size})
 			exp++
 			for {
 				buffered, ok := r.reorder[from][exp]
@@ -228,9 +216,9 @@ func (r *Reliable) recvLoop() {
 			r.expected[from] = exp
 		}
 		r.mu.Unlock()
-		for _, env := range ready {
+		for _, d := range ready {
 			select {
-			case r.delivered <- env:
+			case r.delivered <- d:
 			case <-r.done:
 				return
 			}
@@ -258,7 +246,7 @@ func (r *Reliable) retryLoop() {
 		r.mu.Lock()
 		type pending struct {
 			to    int
-			frame wire
+			frame wire.ReliableFrame
 		}
 		var frames []pending
 		for to, m := range r.unacked {
@@ -268,25 +256,17 @@ func (r *Reliable) retryLoop() {
 		}
 		r.mu.Unlock()
 		for _, p := range frames {
-			wrapped, err := wrapFrame(r.id, p.to, p.frame)
-			if err != nil {
-				continue
-			}
 			if r.retrans != nil {
 				r.retrans.Inc()
 			}
 			//nolint:errcheck // best-effort; retried on the next tick
-			r.inner.Send(ctx, p.to, wrapped)
+			r.inner.Send(ctx, p.to, wrapFrame(r.id, p.to, p.frame))
 		}
 	}
 }
 
-// wrapFrame marshals a reliability frame into an inner-transport
-// envelope.
-func wrapFrame(from, to int, frame wire) (Envelope, error) {
-	raw, err := json.Marshal(frame)
-	if err != nil {
-		return Envelope{}, fmt.Errorf("cluster: marshal reliable frame: %w", err)
-	}
-	return Envelope{Kind: reliableKind, From: from, To: to, Payload: raw}, nil
+// wrapFrame routes a reliability frame as an inner-transport envelope;
+// the inner transport's codec performs the only encoding.
+func wrapFrame(from, to int, frame wire.ReliableFrame) Envelope {
+	return Envelope{Kind: wire.KindReliable, From: from, To: to, Msg: frame}
 }

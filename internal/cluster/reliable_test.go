@@ -33,11 +33,8 @@ func TestReliableDeliversOverLossyLink(t *testing.T) {
 	const total = 50
 	go func() {
 		for i := 0; i < total; i++ {
-			env, err := NewEnvelope(KindCost, 0, 1, core.CostReport{Round: i + 1, From: 0, Cost: float64(i)})
-			if err != nil {
-				return
-			}
-			if err := transports[0].Send(ctx, 1, env); err != nil {
+			env := NewEnvelope(KindCost, 0, 1, core.CostReport{Round: i + 1, From: 0, Cost: float64(i)})
+			if _, err := transports[0].Send(ctx, 1, env); err != nil {
 				return
 			}
 		}
@@ -45,7 +42,7 @@ func TestReliableDeliversOverLossyLink(t *testing.T) {
 
 	seen := map[int]bool{}
 	for len(seen) < total {
-		env, err := transports[1].Recv(ctx)
+		env, _, err := transports[1].Recv(ctx)
 		if err != nil {
 			t.Fatalf("received %d of %d before failure: %v", len(seen), total, err)
 		}
@@ -68,14 +65,11 @@ func TestReliablePreservesPerPairContent(t *testing.T) {
 	defer cancel()
 
 	want := core.Coordinate{Round: 7, GlobalCost: 1.25, Alpha: 0.001, Straggler: 3}
-	env, err := NewEnvelope(KindCoordinate, 0, 1, want)
-	if err != nil {
+	env := NewEnvelope(KindCoordinate, 0, 1, want)
+	if _, err := transports[0].Send(ctx, 1, env); err != nil {
 		t.Fatal(err)
 	}
-	if err := transports[0].Send(ctx, 1, env); err != nil {
-		t.Fatal(err)
-	}
-	got, err := transports[1].Recv(ctx)
+	got, _, err := transports[1].Recv(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,11 +91,11 @@ func TestReliableClose(t *testing.T) {
 	if err := r.Close(); err != nil {
 		t.Errorf("second close should be a no-op, got %v", err)
 	}
-	env, _ := NewEnvelope(KindCost, 0, 1, core.CostReport{})
-	if err := r.Send(context.Background(), 1, env); !errors.Is(err, ErrClosed) {
+	env := NewEnvelope(KindCost, 0, 1, core.CostReport{})
+	if _, err := r.Send(context.Background(), 1, env); !errors.Is(err, ErrClosed) {
 		t.Errorf("send after close = %v, want ErrClosed", err)
 	}
-	if _, err := r.Recv(context.Background()); !errors.Is(err, ErrClosed) {
+	if _, _, err := r.Recv(context.Background()); !errors.Is(err, ErrClosed) {
 		t.Errorf("recv after close = %v, want ErrClosed", err)
 	}
 }
@@ -222,17 +216,14 @@ func TestReliableRandomLossProperty(t *testing.T) {
 			const total = 20
 			go func() {
 				for i := 0; i < total; i++ {
-					env, err := NewEnvelope(KindCost, 0, 1, core.CostReport{Round: i + 1, From: 0})
-					if err != nil {
-						return
-					}
-					if err := a.Send(ctx, 1, env); err != nil {
+					env := NewEnvelope(KindCost, 0, 1, core.CostReport{Round: i + 1, From: 0})
+					if _, err := a.Send(ctx, 1, env); err != nil {
 						return
 					}
 				}
 			}()
 			for i := 0; i < total; i++ {
-				env, err := b.Recv(ctx)
+				env, _, err := b.Recv(ctx)
 				if err != nil {
 					t.Fatalf("drop=%v seed=%d: delivery %d failed: %v", drop, seed, i, err)
 				}

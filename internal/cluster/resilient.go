@@ -150,11 +150,7 @@ func RunResilientMaster(ctx context.Context, tr Transport, x0 []float64, rounds 
 			if !alive[i] {
 				continue
 			}
-			env, err := coordinateEnvelope(self, i, coord)
-			if err != nil {
-				return res, err
-			}
-			if err := meter.Send(ctx, i, env); err != nil {
+			if _, err := meter.Send(ctx, i, coordinateEnvelope(self, i, coord)); err != nil {
 				if ctx.Err() != nil {
 					return res, fmt.Errorf("cluster: resilient master coordinate to %d: %w", i, err)
 				}
@@ -206,11 +202,8 @@ func RunResilientMaster(ctx context.Context, tr Transport, x0 []float64, rounds 
 		}
 		x[straggler] = xs
 
-		env, err := assignEnvelope(self, core.StragglerAssign{Round: round, To: straggler, Next: xs})
-		if err != nil {
-			return res, err
-		}
-		if err := meter.Send(ctx, straggler, env); err != nil {
+		assign := assignEnvelope(self, core.StragglerAssign{Round: round, To: straggler, Next: xs})
+		if _, err := meter.Send(ctx, straggler, assign); err != nil {
 			if ctx.Err() != nil {
 				return res, fmt.Errorf("cluster: resilient master assign to %d: %w", straggler, err)
 			}
@@ -278,7 +271,7 @@ func (l *resilientLoop) collectCosts(ctx context.Context, alive map[int]bool, ro
 	}
 	for len(costs) < countTrue(alive) {
 		phaseCtx, cancel := context.WithDeadline(ctx, deadline)
-		env, err := l.tr.Recv(phaseCtx)
+		env, _, err := l.tr.Recv(phaseCtx)
 		cancel()
 		if err != nil {
 			if errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
@@ -312,7 +305,7 @@ func (l *resilientLoop) collectDecisions(ctx context.Context, alive map[int]bool
 	deadline := time.Now().Add(timeout)
 	for len(decisions) < want {
 		phaseCtx, cancel := context.WithDeadline(ctx, deadline)
-		env, err := l.tr.Recv(phaseCtx)
+		env, _, err := l.tr.Recv(phaseCtx)
 		cancel()
 		if err != nil {
 			if errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {

@@ -2,33 +2,40 @@ package cluster
 
 import (
 	"context"
-	"encoding/binary"
-	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
 	"time"
+
+	"dolbie/internal/wire"
 )
 
 // maxFrame bounds a single wire frame; DOLBIE messages are tiny scalars,
-// so anything near this limit indicates corruption.
-const maxFrame = 1 << 20
+// so anything near this limit indicates corruption. The limit is owned
+// by the wire layer and enforced before a declared body is read.
+const maxFrame = wire.MaxFrame
 
 // TCPNode is a Transport backed by real TCP sockets: one listener for
 // inbound traffic and one lazily-dialed outbound connection per peer,
-// carrying length-prefixed JSON frames. Per-peer ordering is inherited
-// from TCP; the protocol state machines tolerate cross-peer interleaving.
+// carrying length-prefixed frames in the node's configured wire codec
+// (compact binary by default; see WithTCPCodec). Per-peer ordering is
+// inherited from TCP; the protocol state machines tolerate cross-peer
+// interleaving.
 type TCPNode struct {
 	id    int
 	ln    net.Listener
-	inbox chan Envelope
+	inbox chan delivery
+	codec wire.Codec
 
-	mu       sync.Mutex
-	registry map[int]string
-	conns    map[int]net.Conn
-	inbound  map[net.Conn]struct{}
-	closed   bool
+	mu         sync.Mutex
+	registry   map[int]string
+	conns      map[int]net.Conn
+	inbound    map[net.Conn]struct{}
+	closed     bool
+	frameErrs  int
+	lastFrmErr error
 
 	done chan struct{}
 	wg   sync.WaitGroup
@@ -36,9 +43,25 @@ type TCPNode struct {
 
 var _ Transport = (*TCPNode)(nil)
 
+// TCPOption configures a TCPNode at listen time.
+type TCPOption func(*TCPNode)
+
+// WithTCPCodec selects the wire codec for all of the node's
+// connections (default wire.Default). Every node in a deployment must
+// use the same codec; a mismatched peer's frames fail decoding with a
+// descriptive error (see FrameErrors) and its connection is dropped.
+// A nil codec is ignored.
+func WithTCPCodec(c wire.Codec) TCPOption {
+	return func(n *TCPNode) {
+		if c != nil {
+			n.codec = c
+		}
+	}
+}
+
 // ListenTCP starts node id listening on addr (use "127.0.0.1:0" to pick a
 // free port; read the chosen address back with Addr).
-func ListenTCP(id int, addr string) (*TCPNode, error) {
+func ListenTCP(id int, addr string, opts ...TCPOption) (*TCPNode, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: node %d listen: %w", id, err)
@@ -46,11 +69,15 @@ func ListenTCP(id int, addr string) (*TCPNode, error) {
 	n := &TCPNode{
 		id:       id,
 		ln:       ln,
-		inbox:    make(chan Envelope, 1024),
+		inbox:    make(chan delivery, 1024),
+		codec:    wire.Default,
 		registry: make(map[int]string),
 		conns:    make(map[int]net.Conn),
 		inbound:  make(map[net.Conn]struct{}),
 		done:     make(chan struct{}),
+	}
+	for _, opt := range opts {
+		opt(n)
 	}
 	n.wg.Add(1)
 	go n.acceptLoop()
@@ -68,6 +95,15 @@ func (n *TCPNode) SetRegistry(registry map[int]string) {
 	for id, addr := range registry {
 		n.registry[id] = addr
 	}
+}
+
+// FrameErrors reports how many inbound frames failed to decode (corrupt
+// bytes, oversized declarations, codec/version mismatches) and the last
+// such error. Each failure drops the offending connection.
+func (n *TCPNode) FrameErrors() (int, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.frameErrs, n.lastFrmErr
 }
 
 func (n *TCPNode) acceptLoop() {
@@ -99,37 +135,51 @@ func (n *TCPNode) readLoop(conn net.Conn) {
 		conn.Close() //nolint:errcheck // best-effort teardown of inbound conn
 	}()
 	for {
-		env, err := readFrame(conn)
+		env, size, err := wire.ReadFrame(conn, n.codec)
 		if err != nil {
-			return
+			n.recordFrameErr(err)
+			return // drop the connection; peer redials with clean framing
 		}
 		select {
-		case n.inbox <- env:
+		case n.inbox <- delivery{env: env, n: size}:
 		case <-n.done:
 			return
 		}
 	}
 }
 
+// recordFrameErr counts a failed inbound frame, ignoring the ordinary
+// ways a connection ends (EOF, peer reset, local close).
+func (n *TCPNode) recordFrameErr(err error) {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed) {
+		return
+	}
+	n.mu.Lock()
+	n.frameErrs++
+	n.lastFrmErr = err
+	n.mu.Unlock()
+}
+
 // Send implements Transport.
-func (n *TCPNode) Send(ctx context.Context, to int, env Envelope) error {
+func (n *TCPNode) Send(ctx context.Context, to int, env Envelope) (int, error) {
 	conn, err := n.conn(to)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	if deadline, ok := ctx.Deadline(); ok {
 		if err := conn.SetWriteDeadline(deadline); err != nil {
-			return fmt.Errorf("cluster: node %d set deadline: %w", n.id, err)
+			return 0, fmt.Errorf("cluster: node %d set deadline: %w", n.id, err)
 		}
 	} else if err := conn.SetWriteDeadline(time.Time{}); err != nil {
-		return fmt.Errorf("cluster: node %d clear deadline: %w", n.id, err)
+		return 0, fmt.Errorf("cluster: node %d clear deadline: %w", n.id, err)
 	}
-	if err := writeFrame(conn, env); err != nil {
+	size, err := wire.WriteFrame(conn, n.codec, env)
+	if err != nil {
 		// Drop the connection so the next Send redials.
 		n.dropConn(to, conn)
-		return fmt.Errorf("cluster: node %d send to %d: %w", n.id, to, err)
+		return size, fmt.Errorf("cluster: node %d send to %d: %w", n.id, to, err)
 	}
-	return nil
+	return size, nil
 }
 
 func (n *TCPNode) conn(to int) (net.Conn, error) {
@@ -163,14 +213,14 @@ func (n *TCPNode) dropConn(to int, conn net.Conn) {
 }
 
 // Recv implements Transport.
-func (n *TCPNode) Recv(ctx context.Context) (Envelope, error) {
+func (n *TCPNode) Recv(ctx context.Context) (Envelope, int, error) {
 	select {
-	case env := <-n.inbox:
-		return env, nil
+	case d := <-n.inbox:
+		return d.env, d.n, nil
 	case <-n.done:
-		return Envelope{}, fmt.Errorf("%w (node %d)", ErrClosed, n.id)
+		return Envelope{}, 0, fmt.Errorf("%w (node %d)", ErrClosed, n.id)
 	case <-ctx.Done():
-		return Envelope{}, fmt.Errorf("cluster: recv on %d: %w", n.id, ctx.Err())
+		return Envelope{}, 0, fmt.Errorf("cluster: recv on %d: %w", n.id, ctx.Err())
 	}
 }
 
@@ -204,44 +254,4 @@ func (n *TCPNode) Close() error {
 		return fmt.Errorf("cluster: node %d close: %w", n.id, err)
 	}
 	return nil
-}
-
-// writeFrame emits a 4-byte big-endian length followed by the JSON
-// envelope.
-func writeFrame(w io.Writer, env Envelope) error {
-	raw, err := json.Marshal(env)
-	if err != nil {
-		return fmt.Errorf("marshal frame: %w", err)
-	}
-	if len(raw) > maxFrame {
-		return fmt.Errorf("frame of %d bytes exceeds limit %d", len(raw), maxFrame)
-	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(raw)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err = w.Write(raw)
-	return err
-}
-
-// readFrame reads one length-prefixed JSON envelope.
-func readFrame(r io.Reader) (Envelope, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return Envelope{}, err
-	}
-	size := binary.BigEndian.Uint32(hdr[:])
-	if size > maxFrame {
-		return Envelope{}, fmt.Errorf("frame of %d bytes exceeds limit %d", size, maxFrame)
-	}
-	raw := make([]byte, size)
-	if _, err := io.ReadFull(r, raw); err != nil {
-		return Envelope{}, err
-	}
-	var env Envelope
-	if err := json.Unmarshal(raw, &env); err != nil {
-		return Envelope{}, fmt.Errorf("unmarshal frame: %w", err)
-	}
-	return env, nil
 }

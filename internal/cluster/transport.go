@@ -9,15 +9,20 @@ import (
 )
 
 // Transport is one node's connection to the rest of the deployment.
+// Send and Recv report the envelope's on-the-wire frame size so callers
+// (Meter in particular) can account traffic without re-encoding
+// anything; the size is whatever the transport's codec actually framed.
 // Implementations must be safe for one concurrent sender and one
 // concurrent receiver (the node run loops are sequential, but metrics
 // wrappers and tests may probe concurrently).
 type Transport interface {
-	// Send delivers an envelope to node `to`. It returns once the message
-	// is accepted for delivery (not once it is processed).
-	Send(ctx context.Context, to int, env Envelope) error
-	// Recv blocks for the next incoming envelope.
-	Recv(ctx context.Context) (Envelope, error)
+	// Send delivers an envelope to node `to`, returning the encoded frame
+	// size in bytes. It returns once the message is accepted for delivery
+	// (not once it is processed).
+	Send(ctx context.Context, to int, env Envelope) (int, error)
+	// Recv blocks for the next incoming envelope and returns it together
+	// with its frame size in bytes.
+	Recv(ctx context.Context) (Envelope, int, error)
 	// Close releases the node's resources; pending Recv calls unblock
 	// with ErrClosed.
 	Close() error
@@ -44,7 +49,9 @@ type TrafficStats struct {
 // Meter wraps a Transport and counts messages and bytes in both
 // directions — always into a TrafficStats snapshot, and additionally
 // into registry-backed dolbie_cluster_* counter families when
-// constructed with NewInstrumentedMeter. It is safe for concurrent use.
+// constructed with NewInstrumentedMeter. Byte counts come from the
+// frame sizes the wrapped transport reports, so metering adds no
+// marshaling work. It is safe for concurrent use.
 type Meter struct {
 	inner Transport
 	nm    *netMetrics // nil when not registry-backed
@@ -67,32 +74,31 @@ func NewInstrumentedMeter(inner Transport, reg *metrics.Registry, node string) *
 }
 
 // Send implements Transport.
-func (m *Meter) Send(ctx context.Context, to int, env Envelope) error {
-	if err := m.inner.Send(ctx, to, env); err != nil {
-		return err
+func (m *Meter) Send(ctx context.Context, to int, env Envelope) (int, error) {
+	n, err := m.inner.Send(ctx, to, env)
+	if err != nil {
+		return n, err
 	}
-	n := env.WireBytes()
 	m.mu.Lock()
 	m.stats.MsgsSent++
 	m.stats.BytesSent += n
 	m.mu.Unlock()
 	m.nm.recordSend(env, n)
-	return nil
+	return n, nil
 }
 
 // Recv implements Transport.
-func (m *Meter) Recv(ctx context.Context) (Envelope, error) {
-	env, err := m.inner.Recv(ctx)
+func (m *Meter) Recv(ctx context.Context) (Envelope, int, error) {
+	env, n, err := m.inner.Recv(ctx)
 	if err != nil {
-		return env, err
+		return env, n, err
 	}
-	n := env.WireBytes()
 	m.mu.Lock()
 	m.stats.MsgsReceived++
 	m.stats.BytesRecv += n
 	m.mu.Unlock()
 	m.nm.recordRecv(env, n)
-	return env, nil
+	return env, n, nil
 }
 
 // Close implements Transport.
