@@ -3,39 +3,51 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench repro repro-csv fuzz examples clean
+.PHONY: all build vet docs test race bench repro repro-csv fuzz examples clean
 
 all: build vet test
 
 build:
 	$(GO) build ./...
 
-# vet also runs a short fuzz smoke over the wire codecs: frame decoding
-# is the one surface fed by untrusted bytes, so it gets fuzzed on every
-# static-check pass (one invocation per target: -fuzz matches only one).
-vet:
+# vet also runs the documentation gate and a short fuzz smoke over the
+# wire codecs: frame decoding is the one surface fed by untrusted bytes,
+# so it gets fuzzed on every static-check pass (one invocation per
+# target: -fuzz matches only one).
+vet: docs
 	$(GO) vet ./...
 	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \
 		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeFrameBinary -fuzztime=5s ./internal/wire/
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeFrameJSON -fuzztime=5s ./internal/wire/
 
+# Documentation coverage and link integrity: every exported declaration
+# and every package needs a real doc comment, and every relative link in
+# the markdown docs must resolve (see docs_test.go).
+docs:
+	$(GO) test -run 'TestExportedDeclarationsAreDocumented|TestPackageCommentsPresent|TestMarkdownLinksResolve' .
+
 # The concurrency-sensitive packages (metrics registry, cluster runtime,
 # wire codecs) additionally run under the race detector on every default
-# test pass.
+# test pass, as does the chaos soak — fault injection plus fail-stop
+# recovery is the most schedule-sensitive path in the repository.
 test:
 	$(GO) test ./...
 	$(GO) test -race ./internal/metrics ./internal/cluster ./internal/wire
+	$(GO) test -race -run TestSoakChaosFullyDistributed .
 
 race:
 	$(GO) test -race ./...
 
-# bench also regenerates BENCH_wire.json: the wire-codec benchmark
+# bench also regenerates the committed benchmark reports: BENCH_wire.json
 # (bytes/round per protocol per codec on real TCP, allocs/op, and the
-# metering path's allocation overhead).
+# metering path's allocation overhead) and BENCH_chaos.json (fail-stop
+# recovery under the deterministic chaos transport; reproduces bit for
+# bit).
 bench:
 	$(GO) test -bench=. -benchmem ./...
 	$(GO) run ./cmd/dolbie-bench -wire -out BENCH_wire.json
+	$(GO) run ./cmd/dolbie-bench -chaos -out BENCH_chaos.json
 
 # Regenerate every paper figure/table at paper scale (N=30, 100
 # realizations) as text; add -csv out/ for CSV export.

@@ -67,6 +67,38 @@ type (
 	Reliable = cluster.Reliable
 	// Meter wraps a Transport with traffic accounting.
 	Meter = cluster.Meter
+	// Chaos is the deterministic fault-injection layer: it wraps any
+	// Transport (in-memory or TCP) and injects delay, jitter, drops,
+	// duplication, reordering, asymmetric partitions, and fail-stop
+	// crashes, all reproducible from a seed (see NewChaos).
+	Chaos = cluster.Chaos
+	// ChaosConfig selects the fault classes a Chaos layer injects and
+	// their seeds, probabilities, and schedules.
+	ChaosConfig = cluster.ChaosConfig
+	// ChaosPartition schedules an asymmetric one-way partition of a
+	// single link for a span of protocol rounds.
+	ChaosPartition = cluster.ChaosPartition
+	// ChaosCrash schedules a fail-stop crash of one node's transport at
+	// the start of a protocol round.
+	ChaosCrash = cluster.ChaosCrash
+	// ChaosStats counts the faults a Chaos layer actually injected.
+	ChaosStats = cluster.ChaosStats
+	// ResilientPeerConfig parameterizes RunResilientPeer (collection
+	// deadline, minimum survivor count, metrics registry).
+	ResilientPeerConfig = cluster.ResilientPeerConfig
+	// ResilientPeerResult summarizes a fail-stop-tolerant peer run of
+	// Algorithm 2, including the evictions it applied.
+	ResilientPeerResult = cluster.ResilientPeerResult
+)
+
+// Fault-tolerance sentinel errors, re-exported for errors.Is checks.
+var (
+	// ErrChaosCrashed is returned by a chaos-wrapped transport after its
+	// scheduled fail-stop crash fired.
+	ErrChaosCrashed = cluster.ErrChaosCrashed
+	// ErrTooFewPeers aborts a resilient peer when evictions push the
+	// survivor count below ResilientPeerConfig.MinPeers.
+	ErrTooFewPeers = cluster.ErrTooFewPeers
 )
 
 // Built-in wire codecs.
@@ -186,6 +218,39 @@ func RunPeer(ctx context.Context, tr Transport, id int, x0 []float64, rounds int
 // loop.
 func RunResilientMaster(ctx context.Context, tr Transport, x0 []float64, rounds int, rc ResilientConfig) (ResilientResult, error) {
 	return cluster.RunResilientMaster(ctx, tr, x0, rounds, rc)
+}
+
+// NewChaos builds a deterministic fault-injection layer from cfg. Wrap
+// each node's transport with Wrap (or a whole deployment with WithChaos)
+// before layering NewReliable on top when the configuration includes
+// drops, duplication, or reordering — those classes need the reliability
+// layer to stay protocol-transparent, while delay, jitter, partitions,
+// and crashes are safe on a bare transport.
+func NewChaos(cfg ChaosConfig) *Chaos { return cluster.NewChaos(cfg) }
+
+// WithChaos wraps every transport of a deployment with the same chaos
+// layer (transports[i] becomes node i) and returns the wrapped slice
+// alongside the layer, whose Stats method reports the injected faults.
+func WithChaos(cfg ChaosConfig, transports []Transport) ([]Transport, *Chaos) {
+	chaos := cluster.NewChaos(cfg)
+	return chaos.WrapAll(transports), chaos
+}
+
+// RunResilientPeer executes peer id of an Algorithm 2 deployment with
+// fail-stop crash handling: peers that miss the collection deadline are
+// declared crashed, announced to the whole deployment, and their frozen
+// workload share folds back into the straggler's remainder.
+func RunResilientPeer(ctx context.Context, tr Transport, id int, x0 []float64, rounds int, src CostSource, rc ResilientPeerConfig, opts ...Option) (ResilientPeerResult, error) {
+	return cluster.RunResilientPeer(ctx, tr, id, x0, rounds, src, rc, opts...)
+}
+
+// ResilientFullyDistributedDeployment runs a complete fail-stop-tolerant
+// Algorithm 2 deployment: peer i on transports[i], each in its own
+// goroutine, every peer imposing the rc collection deadline on its
+// neighbours. Unlike FullyDistributedDeployment, one peer's death does
+// not cancel the others — survivors evict it and finish the run.
+func ResilientFullyDistributedDeployment(ctx context.Context, transports []Transport, x0 []float64, rounds int, sources []CostSource, rc ResilientPeerConfig, opts ...Option) ([]ResilientPeerResult, error) {
+	return cluster.ResilientFullyDistributedDeployment(ctx, transports, x0, rounds, sources, rc, opts...)
 }
 
 // Trajectory reassembles per-round decision vectors from a set of

@@ -9,6 +9,7 @@
 //	dolbie-bench -fig all -quick          # everything, scaled down
 //	dolbie-bench -fig fig4 -realizations 100 -csv out/
 //	dolbie-bench -wire                    # wire-codec benchmark -> BENCH_wire.json
+//	dolbie-bench -chaos                   # fault-tolerance benchmark -> BENCH_chaos.json
 //
 // With -metrics-addr the process serves its runtime gauges (goroutines,
 // heap, GC) and /debug/pprof while the experiments run — useful for
@@ -19,6 +20,12 @@
 // records bytes/round, single-hop allocations, and the metering-path
 // allocation overhead, and writes the report to -out (default
 // BENCH_wire.json).
+//
+// The -chaos mode runs the fail-stop-tolerant fully-distributed
+// deployment under the deterministic chaos transport, one scenario per
+// fault class (message loss, node crash, asymmetric partition), and
+// writes rounds-to-reabsorb and the latency penalty against a
+// fault-free run to -out (default BENCH_chaos.json).
 package main
 
 import (
@@ -54,13 +61,25 @@ func run() error {
 		ascii        = flag.Bool("ascii", false, "render figures as ASCII charts instead of tables")
 		metricsAddr  = flag.String("metrics-addr", "", "serve process gauges on /metrics plus /debug/pprof on this address while the experiments run (empty disables)")
 		wireBench    = flag.Bool("wire", false, "run the wire-codec benchmark (TCP deployments per codec) instead of a figure")
+		chaosBench   = flag.Bool("chaos", false, "run the fault-tolerance benchmark (resilient deployments under the chaos transport) instead of a figure")
 		codecName    = flag.String("codec", "all", "wire codec to benchmark in -wire mode: all, or a registry name")
-		outPath      = flag.String("out", "BENCH_wire.json", "output file for the -wire benchmark report")
+		outPath      = flag.String("out", "", "output file for the -wire / -chaos benchmark report (default BENCH_wire.json / BENCH_chaos.json)")
 	)
 	flag.Parse()
 
 	if *wireBench {
-		return runWireBench(*codecName, *outPath, os.Stdout)
+		out := *outPath
+		if out == "" {
+			out = "BENCH_wire.json"
+		}
+		return runWireBench(*codecName, out, os.Stdout)
+	}
+	if *chaosBench {
+		out := *outPath
+		if out == "" {
+			out = "BENCH_chaos.json"
+		}
+		return runChaosBench(out, os.Stdout)
 	}
 
 	if *metricsAddr != "" {

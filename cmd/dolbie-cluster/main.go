@@ -18,10 +18,13 @@
 //	dolbie-cluster -mode fd -n 5 -rounds 20 -tcp
 //	dolbie-cluster -mode mw -n 8 -rounds 30 -tcp -codec json
 //	dolbie-cluster -mode mw -n 8 -rounds 200 -metrics-addr :9090
+//	dolbie-cluster -mode rfd -n 4 -rounds 30 -crash-worker 1 -crash-round 10
+//	dolbie-cluster -mode rfd -n 4 -rounds 30 -chaos-partition 0:1:5:7 -chaos-delay 10ms
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -54,18 +57,21 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("dolbie-cluster", flag.ContinueOnError)
 	var (
-		mode        = fs.String("mode", "mw", "architecture: mw (master-worker), fd (fully-distributed), or resilient (fail-stop tolerant master)")
-		n           = fs.Int("n", 8, "number of workers")
-		rounds      = fs.Int("rounds", 30, "online rounds to run")
-		useTCP      = fs.Bool("tcp", false, "use real TCP sockets on localhost instead of the in-memory network")
-		seed        = fs.Int64("seed", 1, "seed for the synthetic load sources")
-		alpha       = fs.Float64("alpha", 0.05, "DOLBIE initial step size")
-		timeout     = fs.Duration("timeout", time.Minute, "deployment deadline")
-		crashRound  = fs.Int("crash-round", 0, "resilient mode: round at which -crash-worker fails (0 = no crash)")
-		crashID     = fs.Int("crash-worker", 0, "resilient mode: worker that fail-stops at -crash-round")
-		dropProb    = fs.Float64("drop", 0, "in-memory network message drop probability; >0 wraps every node in the reliable delivery layer")
-		metricsAddr = fs.String("metrics-addr", "", "serve /metrics, /healthz, and /debug/pprof on this address (empty disables)")
-		codecName   = fs.String("codec", wire.Default.Name(), "wire codec for protocol frames: "+strings.Join(wire.Names(), " or "))
+		mode         = fs.String("mode", "mw", "architecture: mw (master-worker), fd (fully-distributed), resilient (fail-stop tolerant master), or rfd (fail-stop tolerant fully-distributed)")
+		n            = fs.Int("n", 8, "number of workers")
+		rounds       = fs.Int("rounds", 30, "online rounds to run")
+		useTCP       = fs.Bool("tcp", false, "use real TCP sockets on localhost instead of the in-memory network")
+		seed         = fs.Int64("seed", 1, "seed for the synthetic load sources and the chaos layer")
+		alpha        = fs.Float64("alpha", 0.05, "DOLBIE initial step size")
+		timeout      = fs.Duration("timeout", time.Minute, "deployment deadline")
+		crashRound   = fs.Int("crash-round", 0, "resilient/rfd modes: round at which -crash-worker fails (0 = no crash)")
+		crashID      = fs.Int("crash-worker", 0, "resilient/rfd modes: worker/peer that fail-stops at -crash-round")
+		dropProb     = fs.Float64("drop", 0, "in-memory network message drop probability; >0 wraps every node in the reliable delivery layer")
+		roundTimeout = fs.Duration("round-timeout", 500*time.Millisecond, "resilient/rfd modes: per-round collection deadline before silent nodes are declared crashed")
+		chaosDelay   = fs.Duration("chaos-delay", 0, "rfd mode: per-delivery latency injected by the chaos layer")
+		partition    = fs.String("chaos-partition", "", "rfd mode: asymmetric partition as from:to:firstRound:lastRound (e.g. 0:1:5:7)")
+		metricsAddr  = fs.String("metrics-addr", "", "serve /metrics, /healthz, and /debug/pprof on this address (empty disables)")
+		codecName    = fs.String("codec", wire.Default.Name(), "wire codec for protocol frames: "+strings.Join(wire.Names(), " or "))
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -169,9 +175,15 @@ func run(args []string, out io.Writer) error {
 			msgs, bytes, float64(msgs)/float64(*rounds))
 		printTrajectory(out, played, costs)
 	case "resilient":
-		return runResilient(ctx, out, *n, *rounds, *alpha, *crashID, *crashRound, sources, x0, codec, reg, opts)
+		return runResilient(ctx, out, *n, *rounds, *alpha, *crashID, *crashRound, *roundTimeout, sources, x0, codec, reg, opts)
+	case "rfd":
+		return runResilientFD(ctx, out, resilientFDConfig{
+			n: *n, rounds: *rounds, seed: *seed,
+			crashID: *crashID, crashRound: *crashRound,
+			roundTimeout: *roundTimeout, chaosDelay: *chaosDelay, partition: *partition,
+		}, sources, x0, codec, reg, opts)
 	default:
-		return fmt.Errorf("unknown mode %q (want mw, fd, or resilient)", *mode)
+		return fmt.Errorf("unknown mode %q (want mw, fd, resilient, or rfd)", *mode)
 	}
 	return nil
 }
@@ -193,7 +205,7 @@ func (c crashingSource) Observe(round int, x float64) (float64, costfn.Func, err
 // detects the crashed worker via the round deadline, removes it, folds
 // its workload back into the balancing loop, and finishes the run with
 // the survivors.
-func runResilient(ctx context.Context, out io.Writer, n, rounds int, alpha float64, crashID, crashRound int, sources []cluster.CostSource, x0 []float64, codec wire.Codec, reg *metrics.Registry, opts []core.Option) error {
+func runResilient(ctx context.Context, out io.Writer, n, rounds int, alpha float64, crashID, crashRound int, roundTimeout time.Duration, sources []cluster.CostSource, x0 []float64, codec wire.Codec, reg *metrics.Registry, opts []core.Option) error {
 	net := cluster.NewMemNet(cluster.WithCodec(codec))
 	transports := make([]cluster.Transport, n+1)
 	for i := range transports {
@@ -217,7 +229,7 @@ func runResilient(ctx context.Context, out io.Writer, n, rounds int, alpha float
 	}
 	start := time.Now()
 	res, err := cluster.RunResilientMaster(ctx, transports[n], x0, rounds, cluster.ResilientConfig{
-		RoundTimeout: 500 * time.Millisecond,
+		RoundTimeout: roundTimeout,
 		InitialAlpha: alpha,
 		Metrics:      reg,
 	})
@@ -240,6 +252,149 @@ func runResilient(ctx context.Context, out io.Writer, n, rounds int, alpha float
 			fmt.Fprintf(out, "worker %d exited: %v\n", i, werr)
 		}
 	}
+	return nil
+}
+
+// resilientFDConfig gathers the rfd-mode knobs.
+type resilientFDConfig struct {
+	n, rounds    int
+	seed         int64
+	crashID      int
+	crashRound   int
+	roundTimeout time.Duration
+	chaosDelay   time.Duration
+	partition    string
+}
+
+// parsePartition decodes "from:to:firstRound:lastRound".
+func parsePartition(spec string, n int) (cluster.ChaosPartition, error) {
+	var p cluster.ChaosPartition
+	if _, err := fmt.Sscanf(spec, "%d:%d:%d:%d", &p.From, &p.To, &p.FromRound, &p.ToRound); err != nil {
+		return p, fmt.Errorf("bad -chaos-partition %q (want from:to:firstRound:lastRound): %w", spec, err)
+	}
+	if p.From < 0 || p.From >= n || p.To < 0 || p.To >= n || p.From == p.To {
+		return p, fmt.Errorf("bad -chaos-partition %q: nodes must be distinct ids in [0, %d)", spec, n)
+	}
+	if p.FromRound < 1 || p.ToRound < p.FromRound {
+		return p, fmt.Errorf("bad -chaos-partition %q: need 1 <= firstRound <= lastRound", spec)
+	}
+	return p, nil
+}
+
+// runResilientFD demonstrates the fully-distributed fail-stop extension:
+// every peer imposes the collection deadline on its neighbours, evicts
+// silent ones, announces the eviction to the whole deployment, and the
+// survivors renormalize the workload simplex. Faults come from the
+// deterministic chaos layer: a scheduled peer crash, an asymmetric link
+// partition, or both.
+func runResilientFD(ctx context.Context, out io.Writer, cfg resilientFDConfig, sources []cluster.CostSource, x0 []float64, codec wire.Codec, reg *metrics.Registry, opts []core.Option) error {
+	chaosCfg := cluster.ChaosConfig{Seed: cfg.seed, Delay: cfg.chaosDelay, Metrics: reg}
+	if cfg.crashRound > 0 {
+		if cfg.crashID < 0 || cfg.crashID >= cfg.n {
+			return fmt.Errorf("crash-worker %d out of range [0, %d)", cfg.crashID, cfg.n)
+		}
+		chaosCfg.Crashes = []cluster.ChaosCrash{{Node: cfg.crashID, Round: cfg.crashRound}}
+	}
+	if cfg.partition != "" {
+		p, err := parsePartition(cfg.partition, cfg.n)
+		if err != nil {
+			return err
+		}
+		chaosCfg.Partitions = []cluster.ChaosPartition{p}
+	}
+	chaos := cluster.NewChaos(chaosCfg)
+	net := cluster.NewMemNet(cluster.WithCodec(codec))
+	transports := make([]cluster.Transport, cfg.n)
+	for i := range transports {
+		transports[i] = chaos.Wrap(i, net.Node(i))
+	}
+	defer func() {
+		for _, tr := range transports {
+			tr.Close() //nolint:errcheck // best-effort teardown
+		}
+	}()
+
+	// Under an asymmetric partition the genuine detector is the cut
+	// link's destination — it is the only peer actually missing frames;
+	// everyone else merely stalls behind it one round later. Symmetric
+	// deadlines then race (every peer's timer was reset by the same last
+	// broadcast) and the wrong peer can win detection, splitting the
+	// deployment. Staggering settles the race: the destination keeps the
+	// configured deadline, the rest get a generous multiple, so its
+	// eviction notice lands before any other timer fires. Longer
+	// deadlines on the non-detectors cost nothing in healthy rounds.
+	timeoutFor := func(i int) time.Duration { return cfg.roundTimeout }
+	if len(chaosCfg.Partitions) > 0 {
+		detector := chaosCfg.Partitions[0].To
+		timeoutFor = func(i int) time.Duration {
+			if i == detector {
+				return cfg.roundTimeout
+			}
+			return 3 * cfg.roundTimeout
+		}
+	}
+
+	start := time.Now()
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		errs []error
+		res  = make([]cluster.ResilientPeerResult, cfg.n)
+	)
+	for i := 0; i < cfg.n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rc := cluster.ResilientPeerConfig{RoundTimeout: timeoutFor(i), Metrics: reg}
+			r, err := cluster.RunResilientPeer(ctx, transports[i], i, x0, cfg.rounds, sources[i], rc, opts...)
+			mu.Lock()
+			res[i] = r
+			if err != nil {
+				errs = append(errs, fmt.Errorf("peer %d: %w", i, err))
+			}
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if len(errs) > 0 {
+		return errors.Join(errs...)
+	}
+
+	fmt.Fprintf(out, "resilient fully-distributed deployment: %d peers, %d rounds, %v (%s codec)\n",
+		cfg.n, cfg.rounds, elapsed.Round(time.Millisecond), codec.Name())
+	stats := chaos.Stats()
+	fmt.Fprintf(out, "chaos faults injected: %d crashes, %d partition drops\n", stats.Crashes, stats.PartitionDrops)
+	evicted := map[int]bool{}
+	for _, pr := range res {
+		switch {
+		case pr.Crashed:
+			fmt.Fprintf(out, "peer %d crashed after %d rounds\n", pr.ID, pr.Rounds)
+		case pr.SelfEvicted:
+			fmt.Fprintf(out, "peer %d was declared crashed by its peers and stopped after %d rounds\n", pr.ID, pr.Rounds)
+		}
+		for _, v := range pr.Evicted {
+			if !evicted[v] {
+				evicted[v] = true
+				fmt.Fprintf(out, "peer %d evicted in round %d (first detected by peer %d)\n", v, pr.EvictionRound[v], pr.ID)
+			}
+		}
+	}
+	if len(evicted) == 0 {
+		fmt.Fprintln(out, "no evictions")
+	}
+	played := make([][]float64, 0, len(res))
+	costs := make([][]float64, 0, len(res))
+	survivors := make([]int, 0, len(res))
+	for _, pr := range res {
+		if pr.Rounds == cfg.rounds {
+			played = append(played, pr.Played)
+			costs = append(costs, pr.Costs)
+			survivors = append(survivors, pr.ID)
+		}
+	}
+	fmt.Fprintf(out, "survivors: %v (trajectory rows in this order)\n", survivors)
+	printTrajectory(out, played, costs)
 	return nil
 }
 

@@ -1,0 +1,374 @@
+package cluster
+
+import (
+	"context"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"dolbie/internal/core"
+	"dolbie/internal/costfn"
+	"dolbie/internal/simplex"
+)
+
+// chaosStack builds the lossy-chaos stack for node i: the reliability
+// layer above the chaos wrapper, as required for the drop/duplicate/
+// reorder fault classes.
+func chaosStack(net *MemNet, chaos *Chaos, n int, retry time.Duration) []Transport {
+	ts := make([]Transport, n)
+	for i := range ts {
+		ts[i] = NewReliable(i, chaos.Wrap(i, net.Node(i)), retry)
+	}
+	return ts
+}
+
+func closeAll(t *testing.T, ts []Transport) {
+	t.Helper()
+	for _, tr := range ts {
+		if err := tr.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}
+}
+
+// TestChaosLossyFullyDistributed runs a plain (non-resilient) Algorithm 2
+// deployment over a chaos transport injecting drops, duplicates, and
+// reordering, masked by the reliability layer — and requires the exact
+// same trajectory as a fault-free run, proving the chaos wrapper is
+// protocol-transparent under Reliable.
+func TestChaosLossyFullyDistributed(t *testing.T) {
+	const n, rounds = 3, 12
+	x0 := simplex.Uniform(n)
+	sources := func() []CostSource {
+		srcs := make([]CostSource, n)
+		for i := range srcs {
+			srcs[i] = instSource(i)
+		}
+		return srcs
+	}
+
+	clean, err := FullyDistributedDeployment(context.Background(), memTransports(NewMemNet(), n), x0, rounds, sources())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	chaos := NewChaos(ChaosConfig{
+		Seed:          42,
+		DropProb:      0.2,
+		DuplicateProb: 0.15,
+		ReorderProb:   0.15,
+		Jitter:        500 * time.Microsecond,
+	})
+	ts := chaosStack(NewMemNet(), chaos, n, 5*time.Millisecond)
+	defer closeAll(t, ts)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	faulty, err := FullyDistributedDeployment(ctx, ts, x0, rounds, sources())
+	if err != nil {
+		t.Fatalf("deployment under chaos: %v", err)
+	}
+	for i := range clean {
+		for tt := range clean[i].Played {
+			if math.Abs(clean[i].Played[tt]-faulty[i].Played[tt]) > 1e-12 {
+				t.Fatalf("peer %d round %d: chaos trajectory %v != clean %v", i, tt+1, faulty[i].Played[tt], clean[i].Played[tt])
+			}
+		}
+	}
+	stats := chaos.Stats()
+	if stats.Drops == 0 || stats.Duplicates == 0 || stats.Reorders == 0 {
+		t.Fatalf("expected all configured fault classes to fire, got %+v", stats)
+	}
+	if stats.Crashes != 0 || stats.PartitionDrops != 0 {
+		t.Fatalf("unconfigured fault classes fired: %+v", stats)
+	}
+}
+
+// TestChaosCrashTransport checks the fail-stop contract of an injected
+// crash at the transport level: no message of the crash round leaves the
+// node and every later operation fails with ErrChaosCrashed.
+func TestChaosCrashTransport(t *testing.T) {
+	net := NewMemNet()
+	chaos := NewChaos(ChaosConfig{Seed: 1, Crashes: []ChaosCrash{{Node: 0, Round: 3}}})
+	tr0 := chaos.Wrap(0, net.Node(0))
+	tr1 := net.Node(1)
+	defer tr0.Close()
+	defer tr1.Close()
+	ctx := context.Background()
+
+	share := func(round int) Envelope {
+		return shareEnvelope(1, core.PeerShare{Round: round, From: 0, Cost: 1, LocalAlpha: 0.5})
+	}
+	if _, err := tr0.Send(ctx, 1, share(2)); err != nil {
+		t.Fatalf("pre-crash send: %v", err)
+	}
+	if _, err := tr0.Send(ctx, 1, share(3)); err == nil {
+		t.Fatal("crash-round send should fail")
+	}
+	if _, err := tr0.Send(ctx, 1, share(2)); !errorsIsChaosCrashed(err) {
+		t.Fatalf("post-crash send: %v, want ErrChaosCrashed", err)
+	}
+	rctx, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	if _, _, err := tr0.Recv(rctx); !errorsIsChaosCrashed(err) {
+		t.Fatalf("post-crash recv: %v, want ErrChaosCrashed", err)
+	}
+	// The peer side saw exactly the one pre-crash message.
+	env, _, err := tr1.Recv(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s core.PeerShare
+	if err := env.Decode(&s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Round != 2 {
+		t.Fatalf("delivered round %d, want 2", s.Round)
+	}
+	if got := chaos.Stats().Crashes; got != 1 {
+		t.Fatalf("crash fault count = %d, want 1", got)
+	}
+}
+
+func errorsIsChaosCrashed(err error) bool {
+	for ; err != nil; err = unwrapOnce(err) {
+		if err == ErrChaosCrashed {
+			return true
+		}
+	}
+	return false
+}
+
+func unwrapOnce(err error) error {
+	type unwrapper interface{ Unwrap() error }
+	if u, ok := err.(unwrapper); ok {
+		return u.Unwrap()
+	}
+	return nil
+}
+
+// TestReliableInnerDeathPropagates checks that the reliability layer
+// surfaces the death of its inner transport (the chaos crash path)
+// instead of blocking Recv forever.
+func TestReliableInnerDeathPropagates(t *testing.T) {
+	net := NewMemNet()
+	inner := net.Node(0)
+	rel := NewReliable(0, inner, 5*time.Millisecond)
+	defer rel.Close()
+	// Kill the inner transport out from under the reliability layer.
+	if err := inner.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, _, err := rel.Recv(ctx); err == nil || ctx.Err() != nil {
+		t.Fatalf("recv after inner death: err=%v ctx=%v, want prompt inner-transport error", err, ctx.Err())
+	}
+	if _, err := rel.Send(ctx, 1, shareEnvelope(1, core.PeerShare{Round: 1, From: 0})); err == nil {
+		t.Fatal("send after inner death should fail")
+	}
+}
+
+// crashScenario runs the acceptance scenario: a 4-peer fully-distributed
+// deployment for 30 rounds with peer 2 fail-stopped at round 10 by the
+// chaos wrapper.
+func crashScenario(t *testing.T, seed int64) []ResilientPeerResult {
+	t.Helper()
+	const n, rounds = 4, 30
+	chaos := NewChaos(ChaosConfig{Seed: seed, Crashes: []ChaosCrash{{Node: 2, Round: 10}}})
+	net := NewMemNet()
+	ts := make([]Transport, n)
+	for i := range ts {
+		ts[i] = chaos.Wrap(i, net.Node(i))
+	}
+	defer closeAll(t, ts)
+	srcs := make([]CostSource, n)
+	for i := range srcs {
+		srcs[i] = instSource(i)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	rc := ResilientPeerConfig{RoundTimeout: 150 * time.Millisecond}
+	res, err := ResilientFullyDistributedDeployment(ctx, ts, simplex.Uniform(n), rounds, srcs, rc)
+	if err != nil {
+		t.Fatalf("resilient deployment: %v", err)
+	}
+	if got := chaos.Stats().Crashes; got != 1 {
+		t.Fatalf("injected crashes = %d, want 1", got)
+	}
+	return res
+}
+
+// sumPlayed adds the workload the given peers played in `round`
+// (1-indexed); peers that stopped before it contribute nothing.
+func sumPlayed(res []ResilientPeerResult, peers []int, round int) float64 {
+	var sum float64
+	for _, i := range peers {
+		if len(res[i].Played) >= round {
+			sum += res[i].Played[round-1]
+		}
+	}
+	return sum
+}
+
+// assertReabsorbed finds the first round at or after detection where the
+// survivors' played shares again sum to 1, and fails if that takes more
+// than 5 rounds (the ISSUE acceptance bound) or if the balance is lost
+// again afterwards.
+func assertReabsorbed(t *testing.T, res []ResilientPeerResult, survivors []int, detection, lastRound int) int {
+	t.Helper()
+	reabsorbed := -1
+	for r := detection; r <= lastRound; r++ {
+		if math.Abs(sumPlayed(res, survivors, r)-1) < 1e-9 {
+			reabsorbed = r
+			break
+		}
+	}
+	if reabsorbed < 0 {
+		t.Fatalf("survivors never reabsorbed the load after detection round %d", detection)
+	}
+	if reabsorbed-detection > 5 {
+		t.Fatalf("reabsorbed at round %d, more than 5 rounds after detection %d", reabsorbed, detection)
+	}
+	for r := reabsorbed; r <= lastRound; r++ {
+		if s := sumPlayed(res, survivors, r); math.Abs(s-1) > 1e-9 {
+			t.Fatalf("round %d: survivor load sum %v after reabsorption", r, s)
+		}
+	}
+	return reabsorbed
+}
+
+// TestResilientPeerCrash is the crash half of the ISSUE acceptance
+// criterion: peers detect the silent peer via their collection deadline,
+// evict it everywhere, reabsorb its load within 5 rounds, and the whole
+// run is deterministic per seed.
+func TestResilientPeerCrash(t *testing.T) {
+	res := crashScenario(t, 7)
+	survivors := []int{0, 1, 3}
+	if !res[2].Crashed {
+		t.Fatalf("peer 2 should report its injected crash: %+v", res[2])
+	}
+	if res[2].Rounds != 9 {
+		t.Fatalf("peer 2 completed %d rounds, want 9 (crashes broadcasting its round-10 share)", res[2].Rounds)
+	}
+	for _, i := range survivors {
+		if res[i].Rounds != 30 {
+			t.Fatalf("survivor %d completed %d rounds, want 30", i, res[i].Rounds)
+		}
+		if got := res[i].Evicted; len(got) != 1 || got[0] != 2 {
+			t.Fatalf("survivor %d evicted %v, want [2]", i, got)
+		}
+		if got := res[i].EvictionRound[2]; got != 10 {
+			t.Fatalf("survivor %d evicted peer 2 in round %d, want 10", i, got)
+		}
+		if got := res[i].Survivors; len(got) != 3 {
+			t.Fatalf("survivor %d final view %v, want 3 peers", i, got)
+		}
+	}
+	// Rounds 1-9 are balanced, round 10 leaks peer 2's frozen share, and
+	// the next completed round's straggler remainder restores the simplex.
+	if s := sumPlayed(res, []int{0, 1, 2, 3}, 9); math.Abs(s-1) > 1e-9 {
+		t.Fatalf("pre-crash round 9 sum %v, want 1", s)
+	}
+	if s := sumPlayed(res, survivors, 10); s >= 1-1e-9 {
+		t.Fatalf("crash round 10 survivor sum %v, want < 1 (peer 2's share frozen)", s)
+	}
+	assertReabsorbed(t, res, survivors, 10, 30)
+
+	// Determinism: an identical seed reproduces the trajectory exactly.
+	again := crashScenario(t, 7)
+	for _, i := range survivors {
+		if len(res[i].Played) != len(again[i].Played) {
+			t.Fatalf("peer %d: run lengths differ (%d vs %d)", i, len(res[i].Played), len(again[i].Played))
+		}
+		for r := range res[i].Played {
+			if res[i].Played[r] != again[i].Played[r] {
+				t.Fatalf("peer %d round %d: %v vs %v across same-seed runs", i, r+1, res[i].Played[r], again[i].Played[r])
+			}
+		}
+	}
+}
+
+// partitionSource keeps peer 0's cost strictly below everyone else's so
+// the straggler is never the partitioned peer — the documented
+// limitation of the fail-stop extension (see DESIGN.md's fault model).
+// The intercepts are mild enough that the min-max equilibrium keeps
+// every peer at a positive share (no peer is fully drained), for any
+// survivor subset that can arise here.
+func partitionSource(i int) CostSource {
+	f := costfn.Affine{Slope: float64(i + 1), Intercept: 0.2 * float64(i)}
+	return FuncSource(func(round int, x float64) (float64, costfn.Func, error) {
+		return f.Eval(x), f, nil
+	})
+}
+
+// TestResilientPeerAsymmetricPartition is the partition half of the
+// ISSUE acceptance criterion: a 3-round asymmetric partition of the
+// 0 -> 1 link makes peer 1 declare peer 0 crashed; the notice reaches
+// the (living) peer 0, which fail-stops; the survivors reabsorb its load
+// within 5 rounds of detection.
+//
+// The peers run with staggered detection timeouts (the genuine detector,
+// peer 1, fires well before anyone else). A partition — unlike a crash —
+// stalls every peer within one round of the victim, so symmetric
+// deadlines race over who evicts whom; staggering the timeouts is the
+// standard operational remedy and is documented in the fault model
+// (DESIGN.md) and the runbook (docs/OPERATIONS.md).
+func TestResilientPeerAsymmetricPartition(t *testing.T) {
+	const n, rounds = 3, 30
+	chaos := NewChaos(ChaosConfig{
+		Seed:       11,
+		Delay:      15 * time.Millisecond,
+		Partitions: []ChaosPartition{{From: 0, To: 1, FromRound: 5, ToRound: 7}},
+	})
+	net := NewMemNet()
+	ts := make([]Transport, n)
+	for i := range ts {
+		ts[i] = chaos.Wrap(i, net.Node(i))
+	}
+	defer closeAll(t, ts)
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	timeouts := []time.Duration{700 * time.Millisecond, 250 * time.Millisecond, 700 * time.Millisecond}
+	x0 := simplex.Uniform(n)
+	res := make([]ResilientPeerResult, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rc := ResilientPeerConfig{RoundTimeout: timeouts[i]}
+			res[i], errs[i] = RunResilientPeer(ctx, ts[i], i, x0, rounds, partitionSource(i), rc)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("peer %d: %v", i, err)
+		}
+	}
+	if !res[0].SelfEvicted {
+		t.Fatalf("partitioned peer 0 should have learned of its eviction and stopped: %+v", res[0])
+	}
+	if res[0].Crashed {
+		t.Fatal("peer 0 is alive (partitioned, not crashed)")
+	}
+	survivors := []int{1, 2}
+	for _, i := range survivors {
+		if res[i].Rounds != rounds {
+			t.Fatalf("survivor %d completed %d rounds, want %d", i, res[i].Rounds, rounds)
+		}
+		if got := res[i].EvictionRound[0]; got == 0 {
+			t.Fatalf("survivor %d never evicted peer 0", i)
+		}
+	}
+	detection := res[1].EvictionRound[0]
+	if detection < 5 || detection > 7 {
+		t.Fatalf("peer 1 detected the partition in round %d, want within the partition window [5, 7]", detection)
+	}
+	if got := chaos.Stats().PartitionDrops; got == 0 {
+		t.Fatal("partition fault class never fired")
+	}
+	assertReabsorbed(t, res, survivors, detection, rounds)
+}

@@ -40,7 +40,13 @@ type MemNet struct {
 type MemNetOption func(*MemNet)
 
 // WithDropProb drops each message independently with probability p, using
-// a deterministic seeded source.
+// a deterministic seeded source. The DOLBIE protocols stall forever on a
+// single lost message, so a lossy MemNet must run beneath a Reliable
+// wrapper, which masks the drops with retransmission — on its own this
+// option only simulates an unusable network. For richer, per-link fault
+// injection (delay, duplication, reordering, round-gated partitions,
+// crashes) use the Chaos wrapper instead, which composes over any
+// Transport.
 func WithDropProb(p float64, seed int64) MemNetOption {
 	return func(m *MemNet) {
 		m.dropProb = p
@@ -93,7 +99,13 @@ func (m *MemNet) Node(id int) Transport {
 }
 
 // Cut severs the directed link from -> to; messages sent over it are
-// silently dropped until Heal.
+// silently dropped until Heal. Unlike WithDropProb's losses, a cut is
+// NOT masked by a Reliable wrapper — retransmissions die on the severed
+// link just like first attempts — so the protocols stall until Heal or,
+// under the fail-stop extension, until the silent peer is evicted. For
+// partitions that start and end at protocol-round boundaries (and are
+// therefore reproducible independent of scheduling) use the Chaos
+// wrapper's ChaosPartition instead.
 func (m *MemNet) Cut(from, to int) {
 	m.mu.Lock()
 	defer m.mu.Unlock()

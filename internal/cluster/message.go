@@ -26,7 +26,8 @@ import (
 // internal/wire for the full wire-format contract.
 type Kind = wire.Kind
 
-// The six message kinds of the two DOLBIE protocols.
+// The six message kinds of the two DOLBIE protocols, plus the
+// fail-stop extension's eviction notice.
 const (
 	KindCost         = wire.KindCost         // core.CostReport (worker -> master)
 	KindCoordinate   = wire.KindCoordinate   // core.Coordinate (master -> all workers)
@@ -34,6 +35,7 @@ const (
 	KindAssign       = wire.KindAssign       // core.StragglerAssign (master -> straggler)
 	KindShare        = wire.KindShare        // core.PeerShare (peer -> all peers)
 	KindPeerDecision = wire.KindPeerDecision // core.PeerDecision (peer -> straggler)
+	KindEvict        = wire.KindEvict        // core.PeerEvict (peer -> all peers)
 )
 
 // Envelope is the wire unit: a typed, routed protocol message. It
@@ -72,4 +74,8 @@ func shareEnvelope(to int, s core.PeerShare) Envelope {
 
 func peerDecisionEnvelope(d core.PeerDecision) Envelope {
 	return NewEnvelope(KindPeerDecision, d.From, d.To, d)
+}
+
+func evictEnvelope(to int, e core.PeerEvict) Envelope {
+	return NewEnvelope(KindEvict, e.From, to, e)
 }

@@ -33,6 +33,15 @@ const (
 	// MetricWorkersCrashed counts workers declared crashed by the
 	// resilient master.
 	MetricWorkersCrashed = "dolbie_cluster_workers_crashed_total"
+	// MetricPeersEvicted counts fail-stop evictions declared by resilient
+	// fully-distributed peers (each eviction is counted once per peer
+	// that applies it, so an N-peer deployment records up to N-1
+	// increments per crashed peer).
+	MetricPeersEvicted = "dolbie_cluster_peers_evicted_total"
+	// MetricChaosFaults counts faults injected by the chaos transport
+	// wrapper, labeled by fault class (drop, duplicate, reorder,
+	// partition, crash) and node.
+	MetricChaosFaults = "dolbie_cluster_chaos_faults_total"
 )
 
 // netMetrics is the per-node instrument set behind an instrumented

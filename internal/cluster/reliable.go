@@ -41,6 +41,8 @@ type Reliable struct {
 
 	delivered chan delivery
 	done      chan struct{}
+	innerDead chan struct{} // closed when the inner transport dies mid-run
+	innerErr  error         // the fatal inner error; set before innerDead closes
 	wg        sync.WaitGroup
 
 	retrans *metrics.Counter // frames re-sent by the retry loop; nil when uninstrumented
@@ -71,6 +73,7 @@ func NewReliableWithMetrics(id int, inner Transport, retryEvery time.Duration, r
 		reorder:    make(map[int]map[uint64]delivery),
 		delivered:  make(chan delivery, 1024),
 		done:       make(chan struct{}),
+		innerDead:  make(chan struct{}),
 	}
 	if reg != nil {
 		node := strconv.Itoa(id)
@@ -89,6 +92,11 @@ var _ Transport = (*Reliable)(nil)
 // until the receiver acknowledges it. The returned size is the wrapped
 // frame as the inner transport encoded it.
 func (r *Reliable) Send(ctx context.Context, to int, env Envelope) (int, error) {
+	select {
+	case <-r.innerDead:
+		return 0, fmt.Errorf("cluster: reliable node %d: inner transport: %w", r.id, r.innerErr)
+	default:
+	}
 	r.mu.Lock()
 	if r.closed {
 		r.mu.Unlock()
@@ -111,11 +119,23 @@ func (r *Reliable) Send(ctx context.Context, to int, env Envelope) (int, error) 
 	return n, nil
 }
 
-// Recv implements Transport: it yields deduplicated data frames.
+// Recv implements Transport: it yields deduplicated data frames. If the
+// inner transport dies mid-run (for example a chaos-injected node
+// crash), already-delivered frames are drained first and then the inner
+// error is propagated, so the node run loop sees the failure instead of
+// blocking forever.
 func (r *Reliable) Recv(ctx context.Context) (Envelope, int, error) {
+	// Prefer buffered deliveries over the death signal.
 	select {
 	case d := <-r.delivered:
 		return d.env, d.n, nil
+	default:
+	}
+	select {
+	case d := <-r.delivered:
+		return d.env, d.n, nil
+	case <-r.innerDead:
+		return Envelope{}, 0, fmt.Errorf("cluster: reliable node %d: inner transport: %w", r.id, r.innerErr)
 	case <-r.done:
 		return Envelope{}, 0, fmt.Errorf("%w (reliable node %d)", ErrClosed, r.id)
 	case <-ctx.Done():
@@ -151,7 +171,13 @@ func (r *Reliable) recvLoop() {
 	for {
 		env, size, err := r.inner.Recv(ctx)
 		if err != nil {
-			return // closed or canceled
+			if ctx.Err() == nil {
+				// The inner transport failed on its own (not our shutdown):
+				// surface the error to Recv callers.
+				r.innerErr = err
+				close(r.innerDead)
+			}
+			return
 		}
 		if env.Kind != wire.KindReliable {
 			// Interop: pass through unwrapped traffic (a peer not using

@@ -1,0 +1,381 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"dolbie/internal/core"
+	"dolbie/internal/metrics"
+)
+
+// This file extends the fully-distributed deployment (Algorithm 2) with
+// the same fail-stop fault tolerance the resilient master gives
+// Algorithm 1 — but without a trusted detector: every peer imposes a
+// collection deadline of its own, declares the peers it is still missing
+// crashed when the deadline expires (the identical detection rule the
+// resilient master applies to silent workers), broadcasts the eviction
+// so survivors converge by union, and continues DOLBIE over the survivor
+// set. The survivor simplex is restored by the protocol itself: the next
+// completed round's straggler remainder x_s = 1 - sum(survivor
+// decisions) absorbs the evicted peers' frozen workload with no extra
+// message exchange, and the rule-(8) step-size cap is re-evaluated at
+// the survivor count (see core.PeerState.Evict).
+
+// ResilientPeerConfig parameterizes RunResilientPeer.
+type ResilientPeerConfig struct {
+	// RoundTimeout is the progress deadline: when a peer spends this long
+	// in a collection phase without accepting any protocol message, it
+	// declares every peer it is still missing crashed. It must be
+	// generously longer than a healthy round (including chaos delays), or
+	// live peers will be evicted.
+	RoundTimeout time.Duration
+	// MinPeers aborts the run with ErrTooFewPeers when fewer peers
+	// survive (default 1).
+	MinPeers int
+	// Metrics instruments the run: traffic feeds the dolbie_cluster_*
+	// counters, deadline expiries feed
+	// dolbie_cluster_round_timeouts_total, evictions feed
+	// dolbie_cluster_peers_evicted_total, and completed rounds feed the
+	// dolbie_core_* families. Nil disables instrumentation.
+	Metrics *metrics.Registry
+}
+
+// ResilientPeerResult summarizes one peer's run under the fail-stop
+// extension. A peer can finish in three ways: completing all rounds,
+// learning of its own eviction (SelfEvicted — a partitioned but living
+// peer told to stop), or losing its transport mid-run (Crashed — e.g. a
+// chaos-injected crash). Only the first is a full-length run; none of
+// the three is an error.
+type ResilientPeerResult struct {
+	// ID is the peer's index.
+	ID int
+	// Rounds is the number of rounds this peer completed locally.
+	Rounds int
+	// Played[t] is the workload fraction executed in round t+1.
+	Played []float64
+	// Costs[t] is the realized local cost of round t+1.
+	Costs []float64
+	// Evicted lists the peers this peer removed, in application order
+	// (whether detected by its own deadline or learned from a notice).
+	Evicted []int
+	// EvictionRound maps each evicted peer to the round this peer was
+	// executing when it applied the eviction.
+	EvictionRound map[int]int
+	// SelfEvicted reports that the peer stopped because a survivor
+	// declared it crashed (fail-stop: it must not continue).
+	SelfEvicted bool
+	// Crashed reports that the peer's transport died mid-run.
+	Crashed bool
+	// FinalX is the peer's workload fraction when it stopped.
+	FinalX float64
+	// FinalLocalAlpha is the peer's local step size when it stopped.
+	FinalLocalAlpha float64
+	// Survivors is the peer's final view of the live peer set.
+	Survivors []int
+	// Traffic counts the peer's protocol messages and bytes.
+	Traffic TrafficStats
+}
+
+// ErrTooFewPeers is returned when evictions reduce a peer's view of the
+// live set below ResilientPeerConfig.MinPeers.
+var ErrTooFewPeers = errors.New("cluster: too few live peers")
+
+// RunResilientPeer executes peer id of an Algorithm 2 deployment with
+// fail-stop crash handling. Unlike RunPeer it survives silent peers
+// (deadline eviction), honors eviction notices from other peers (union
+// rule: any single accuser suffices), stops cleanly when it learns of
+// its own eviction, and reports — rather than fails on — the death of
+// its own transport.
+func RunResilientPeer(ctx context.Context, tr Transport, id int, x0 []float64, rounds int, src CostSource, rc ResilientPeerConfig, opts ...core.Option) (ResilientPeerResult, error) {
+	if rounds <= 0 {
+		return ResilientPeerResult{}, errors.New("cluster: rounds must be positive")
+	}
+	if src == nil {
+		return ResilientPeerResult{}, errors.New("cluster: nil cost source")
+	}
+	if rc.RoundTimeout <= 0 {
+		return ResilientPeerResult{}, errors.New("cluster: RoundTimeout must be positive")
+	}
+	if rc.MinPeers <= 0 {
+		rc.MinPeers = 1
+	}
+	if rc.Metrics != nil {
+		opts = append(opts, core.WithMetrics(rc.Metrics))
+	}
+	meter := NewInstrumentedMeter(tr, rc.Metrics, fmt.Sprintf("peer-%d", id))
+	p, err := core.NewPeer(id, x0, opts...)
+	if err != nil {
+		return ResilientPeerResult{}, err
+	}
+	n := len(x0)
+	res := ResilientPeerResult{
+		ID:            id,
+		Played:        make([]float64, 0, rounds),
+		Costs:         make([]float64, 0, rounds),
+		EvictionRound: make(map[int]int),
+	}
+	var timeouts, evictions *metrics.Counter
+	if rc.Metrics != nil {
+		timeouts = rc.Metrics.Counter(MetricRoundTimeouts, "Resilient-master collection phases that hit their deadline.")
+		evictions = rc.Metrics.Counter(MetricPeersEvicted, "Fail-stop evictions applied by resilient fully-distributed peers.")
+	}
+	finalize := func() ResilientPeerResult {
+		res.FinalX = p.X()
+		res.FinalLocalAlpha = p.LocalAlpha()
+		res.Survivors = p.Survivors()
+		res.Traffic = meter.Stats()
+		return res
+	}
+	// ownDeath distinguishes "my transport is gone" (a reportable
+	// outcome under the fail-stop model) from peer-directed send
+	// failures (a crash signal about the target).
+	ownDeath := func(err error) bool {
+		return errors.Is(err, ErrChaosCrashed) || errors.Is(err, ErrClosed)
+	}
+	// evictPeer applies one eviction and, when broadcast is set (own
+	// detection rather than a received notice), tells every other peer —
+	// including the victim, so a partitioned-but-living peer learns it
+	// must stop. Notice sends are best-effort: truly dead receivers are
+	// caught by deadlines, not by send errors.
+	evictPeer := func(target int, broadcast bool) ([]core.PeerOutput, error) {
+		if !p.Alive(target) {
+			return nil, nil
+		}
+		// Record the round before applying the eviction: retracting the
+		// victim's missing message can complete the current collection
+		// and advance the peer to the next round.
+		round := p.Round()
+		outs, err := p.Evict(target)
+		if err != nil {
+			return nil, err
+		}
+		res.Evicted = append(res.Evicted, target)
+		res.EvictionRound[target] = round
+		if evictions != nil {
+			evictions.Inc()
+		}
+		if broadcast {
+			note := core.PeerEvict{Round: round, From: id, Evicted: target}
+			for j := 0; j < n; j++ {
+				if j == id || (!p.Alive(j) && j != target) {
+					continue
+				}
+				//nolint:errcheck // best-effort; survivors also detect by deadline
+				meter.Send(ctx, j, evictEnvelope(j, note))
+			}
+		}
+		return outs, nil
+	}
+	// dispatch transmits a batch of peer outputs to the current
+	// survivors; a send failure to a live target is itself a fail-stop
+	// crash signal and converts into an eviction (whose unlocked outputs
+	// join the queue).
+	dispatch := func(outs []core.PeerOutput) (bool, error) {
+		done := false
+		queue := outs
+		for len(queue) > 0 {
+			o := queue[0]
+			queue = queue[1:]
+			var failed []int
+			switch {
+			case o.Share != nil:
+				for j := 0; j < n; j++ {
+					if j == id || !p.Alive(j) {
+						continue
+					}
+					if _, err := meter.Send(ctx, j, shareEnvelope(j, *o.Share)); err != nil {
+						if ctx.Err() != nil || ownDeath(err) {
+							return false, err
+						}
+						failed = append(failed, j)
+					}
+				}
+			case o.Decision != nil:
+				if p.Alive(o.Decision.To) {
+					if _, err := meter.Send(ctx, o.Decision.To, peerDecisionEnvelope(*o.Decision)); err != nil {
+						if ctx.Err() != nil || ownDeath(err) {
+							return false, err
+						}
+						failed = append(failed, o.Decision.To)
+					}
+				}
+			case o.Done:
+				done = true
+			}
+			for _, j := range failed {
+				more, err := evictPeer(j, true)
+				if err != nil {
+					return false, err
+				}
+				queue = append(queue, more...)
+			}
+		}
+		return done, nil
+	}
+
+	for r := 1; r <= rounds; r++ {
+		x := p.Play()
+		cost, f, err := src.Observe(r, x)
+		if err != nil {
+			return finalize(), fmt.Errorf("cluster: peer %d observe round %d: %w", id, r, err)
+		}
+		outs, err := p.Observe(cost, f)
+		if err != nil {
+			return finalize(), err
+		}
+		res.Played = append(res.Played, x)
+		res.Costs = append(res.Costs, cost)
+		done, err := dispatch(outs)
+		if err != nil {
+			if ctx.Err() == nil && ownDeath(err) {
+				res.Crashed = true
+				return finalize(), nil
+			}
+			return finalize(), fmt.Errorf("cluster: peer %d round %d: %w", id, r, err)
+		}
+		deadline := time.Now().Add(rc.RoundTimeout)
+		for !done {
+			if p.AliveCount() < rc.MinPeers {
+				return finalize(), fmt.Errorf("%w: %d alive, need %d", ErrTooFewPeers, p.AliveCount(), rc.MinPeers)
+			}
+			phaseCtx, cancel := context.WithDeadline(ctx, deadline)
+			env, _, err := meter.Recv(phaseCtx)
+			cancel()
+			if err != nil {
+				if errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
+					// Progress deadline expired: every peer still missing
+					// from the current collection is declared crashed.
+					missing := p.Missing()
+					if timeouts != nil && len(missing) > 0 {
+						timeouts.Inc()
+					}
+					var unlocked []core.PeerOutput
+					for _, m := range missing {
+						more, err := evictPeer(m, true)
+						if err != nil {
+							return finalize(), err
+						}
+						unlocked = append(unlocked, more...)
+					}
+					if done, err = dispatch(unlocked); err != nil {
+						if ctx.Err() == nil && ownDeath(err) {
+							res.Crashed = true
+							return finalize(), nil
+						}
+						return finalize(), fmt.Errorf("cluster: peer %d round %d: %w", id, r, err)
+					}
+					deadline = time.Now().Add(rc.RoundTimeout)
+					continue
+				}
+				if ctx.Err() != nil {
+					return finalize(), fmt.Errorf("cluster: peer %d recv round %d: %w", id, r, err)
+				}
+				// The transport itself died (e.g. chaos-injected crash).
+				res.Crashed = true
+				return finalize(), nil
+			}
+			var outs []core.PeerOutput
+			accepted := true
+			switch env.Kind {
+			case KindShare:
+				var s core.PeerShare
+				if err := env.Decode(&s); err != nil {
+					return finalize(), err
+				}
+				if s.Round < p.Round() {
+					accepted = false // stale: the sender's view lagged ours
+					break
+				}
+				if outs, err = p.HandleShare(s); err != nil {
+					return finalize(), fmt.Errorf("cluster: peer %d: %w", id, err)
+				}
+			case KindPeerDecision:
+				var d core.PeerDecision
+				if err := env.Decode(&d); err != nil {
+					return finalize(), err
+				}
+				if d.Round < p.Round() || d.To != id {
+					// Stale, or routed under a diverged straggler view that
+					// an in-flight eviction is about to reconcile.
+					accepted = false
+					break
+				}
+				if outs, err = p.HandleDecision(d); err != nil {
+					return finalize(), fmt.Errorf("cluster: peer %d: %w", id, err)
+				}
+			case KindEvict:
+				var e core.PeerEvict
+				if err := env.Decode(&e); err != nil {
+					return finalize(), err
+				}
+				if e.Evicted == id {
+					// A survivor declared us crashed: fail-stop demands we
+					// actually stop, even though we are alive (the typical
+					// cause is an asymmetric partition).
+					res.SelfEvicted = true
+					return finalize(), nil
+				}
+				if outs, err = evictPeer(e.Evicted, false); err != nil {
+					return finalize(), err
+				}
+			default:
+				accepted = false
+			}
+			if accepted {
+				deadline = time.Now().Add(rc.RoundTimeout)
+			}
+			if done, err = dispatch(outs); err != nil {
+				if ctx.Err() == nil && ownDeath(err) {
+					res.Crashed = true
+					return finalize(), nil
+				}
+				return finalize(), fmt.Errorf("cluster: peer %d round %d: %w", id, r, err)
+			}
+		}
+		res.Rounds = r
+	}
+	return finalize(), nil
+}
+
+// ResilientFullyDistributedDeployment runs a complete fail-stop
+// Algorithm 2 deployment: peer i on transports[i], each in its own
+// goroutine. Unlike FullyDistributedDeployment, one peer's death does
+// not cancel the others — crashed and self-evicted peers are reported
+// in their results while the survivors keep balancing. The returned
+// error joins only genuine failures (configuration or protocol errors).
+func ResilientFullyDistributedDeployment(ctx context.Context, transports []Transport, x0 []float64, rounds int, sources []CostSource, rc ResilientPeerConfig, opts ...core.Option) ([]ResilientPeerResult, error) {
+	n := len(x0)
+	if len(transports) != n {
+		return nil, fmt.Errorf("cluster: need %d transports, got %d", n, len(transports))
+	}
+	if len(sources) != n {
+		return nil, fmt.Errorf("cluster: need %d cost sources, got %d", n, len(sources))
+	}
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		errs []error
+		res  = make([]ResilientPeerResult, n)
+	)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := RunResilientPeer(ctx, transports[i], i, x0, rounds, sources[i], rc, opts...)
+			mu.Lock()
+			res[i] = r
+			if err != nil {
+				errs = append(errs, fmt.Errorf("peer %d: %w", i, err))
+			}
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	if len(errs) > 0 {
+		return res, errors.Join(errs...)
+	}
+	return res, nil
+}

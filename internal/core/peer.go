@@ -36,6 +36,15 @@ const (
 //
 // Messages arriving for future rounds, or decisions arriving before the
 // share collection finishes, are buffered. Not safe for concurrent use.
+//
+// The paper assumes a fixed, reliable peer set; this state machine
+// additionally supports the runtime's fail-stop extension: Evict removes
+// a crashed peer mid-run, after which every consensus quantity (share
+// collection target, straggler identity, step size alpha_t = min_j
+// alpha-bar_{j,t}, and the rule-(8) cap denominator) is re-derived over
+// the survivor set. The removed peer's workload share is reabsorbed by
+// the next completed round's straggler remainder, restoring the simplex
+// constraint over the survivors without any extra message exchange.
 type PeerState struct {
 	id    int
 	n     int
@@ -47,15 +56,19 @@ type PeerState struct {
 	cost       float64
 	f          costfn.Func
 
+	alive      []bool
+	aliveCount int
+
 	costs      []float64
 	alphas     []float64
 	shareSeen  []bool
 	shareCount int
 
-	straggler int
-	decSum    float64
-	decSeen   []bool
-	decCount  int
+	straggler      int
+	consensusAlpha float64
+	decSeen        []bool
+	decVals        []float64
+	decCount       int
 
 	pendingShares    map[int][]PeerShare
 	pendingDecisions map[int][]PeerDecision
@@ -94,16 +107,24 @@ func NewPeer(id int, x0 []float64, opts ...Option) (*PeerState, error) {
 	if o.initialAlpha > 0 && o.initialAlpha < alpha {
 		alpha = o.initialAlpha
 	}
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
 	return &PeerState{
 		id:               id,
 		n:                n,
 		x:                x0[id],
 		round:            1,
 		localAlpha:       alpha,
+		alive:            alive,
+		aliveCount:       n,
+		straggler:        -1,
 		costs:            make([]float64, n),
 		alphas:           make([]float64, n),
 		shareSeen:        make([]bool, n),
 		decSeen:          make([]bool, n),
+		decVals:          make([]float64, n),
 		pendingShares:    make(map[int][]PeerShare),
 		pendingDecisions: make(map[int][]PeerDecision),
 		bisectTol:        o.bisectTol,
@@ -123,6 +144,101 @@ func (p *PeerState) Round() int { return p.round }
 
 // LocalAlpha returns the peer's local step size alpha-bar_{i,t}.
 func (p *PeerState) LocalAlpha() float64 { return p.localAlpha }
+
+// Alive reports whether peer id is still part of the deployment from
+// this peer's point of view (out-of-range ids are dead).
+func (p *PeerState) Alive(id int) bool {
+	return id >= 0 && id < p.n && p.alive[id]
+}
+
+// AliveCount returns the current number of surviving peers, including
+// this one.
+func (p *PeerState) AliveCount() int { return p.aliveCount }
+
+// Survivors lists the surviving peer ids in ascending order.
+func (p *PeerState) Survivors() []int {
+	out := make([]int, 0, p.aliveCount)
+	for i, ok := range p.alive {
+		if ok {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Straggler returns the straggler chosen by the last completed share
+// collection (-1 before the first consensus).
+func (p *PeerState) Straggler() int { return p.straggler }
+
+// ConsensusAlpha returns the step size alpha_t agreed in the last
+// completed share collection: min_j alpha-bar_{j,t} over the peers that
+// were alive at that consensus (0 before the first one).
+func (p *PeerState) ConsensusAlpha() float64 { return p.consensusAlpha }
+
+// Missing lists the peers whose message this peer is currently waiting
+// for: unseen shares during share collection, unseen decisions while
+// collecting as the straggler, nil between rounds. The resilient runner
+// evicts exactly this set when a collection deadline expires (the same
+// detection rule the resilient master applies to silent workers).
+func (p *PeerState) Missing() []int {
+	var out []int
+	switch p.phase {
+	case peerShares:
+		for i, ok := range p.alive {
+			if ok && !p.shareSeen[i] {
+				out = append(out, i)
+			}
+		}
+	case peerDecision:
+		for i, ok := range p.alive {
+			if ok && i != p.id && !p.decSeen[i] {
+				out = append(out, i)
+			}
+		}
+	}
+	return out
+}
+
+// Evict removes peer id from the deployment (fail-stop: it never
+// returns). The call is idempotent; evicting an unknown peer or the
+// peer itself is an error. If the eviction unblocks the current phase —
+// the evicted peer's share or decision was the last one outstanding —
+// the returned outputs carry the unlocked actions, exactly as if the
+// final message had arrived. A share or decision already counted from
+// the evicted peer in the current phase is retracted first, so the
+// survivor-set consensus never includes a dead peer's values.
+func (p *PeerState) Evict(id int) ([]PeerOutput, error) {
+	if id < 0 || id >= p.n {
+		return nil, fmt.Errorf("core: peer %d: evict unknown peer %d", p.id, id)
+	}
+	if id == p.id {
+		return nil, fmt.Errorf("core: peer %d: cannot evict self", p.id)
+	}
+	if !p.alive[id] {
+		return nil, nil
+	}
+	p.alive[id] = false
+	p.aliveCount--
+	switch p.phase {
+	case peerShares:
+		if p.shareSeen[id] {
+			p.shareSeen[id] = false
+			p.shareCount--
+		}
+		if p.shareCount == p.aliveCount {
+			return p.completeShares()
+		}
+	case peerDecision:
+		if p.decSeen[id] {
+			p.decSeen[id] = false
+			p.decCount--
+		}
+		if p.decCount == p.aliveCount-1 {
+			return p.completeDecisions()
+		}
+	}
+	return nil, nil
+}
 
 // Play returns the workload fraction to execute this round (Algorithm 2,
 // line 1).
@@ -166,9 +282,15 @@ func (p *PeerState) Observe(cost float64, f costfn.Func) ([]PeerOutput, error) {
 }
 
 // HandleShare ingests another peer's broadcast (Algorithm 2, line 4).
+// Shares from evicted peers are ignored, not errors: under the
+// fail-stop extension a dead peer's delayed or retransmitted traffic
+// may trail its eviction.
 func (p *PeerState) HandleShare(s PeerShare) ([]PeerOutput, error) {
 	if s.From < 0 || s.From >= p.n {
 		return nil, fmt.Errorf("core: peer %d: share from unknown peer %d", p.id, s.From)
+	}
+	if !p.alive[s.From] {
+		return nil, nil
 	}
 	switch {
 	case s.Round < p.round:
@@ -183,6 +305,9 @@ func (p *PeerState) HandleShare(s PeerShare) ([]PeerOutput, error) {
 }
 
 func (p *PeerState) acceptShare(s PeerShare) ([]PeerOutput, error) {
+	if !p.alive[s.From] {
+		return nil, nil // evicted while buffered
+	}
 	if p.shareSeen[s.From] {
 		return nil, fmt.Errorf("core: peer %d: duplicate share from %d in round %d", p.id, s.From, p.round)
 	}
@@ -190,18 +315,31 @@ func (p *PeerState) acceptShare(s PeerShare) ([]PeerOutput, error) {
 	p.costs[s.From] = s.Cost
 	p.alphas[s.From] = s.LocalAlpha
 	p.shareCount++
-	if p.shareCount < p.n {
+	if p.shareCount < p.aliveCount {
 		return nil, nil
 	}
-	// All shares in: every peer independently reaches the same global
-	// cost, straggler, and consensus step size (Algorithm 2, lines 5-7).
-	p.straggler = simplex.ArgMax(p.costs)
+	return p.completeShares()
+}
+
+// completeShares closes the share collection once every surviving
+// peer's share is in: every peer independently reaches the same global
+// cost, straggler, and consensus step size (Algorithm 2, lines 5-7),
+// all derived over the survivor set.
+func (p *PeerState) completeShares() ([]PeerOutput, error) {
+	p.straggler = -1
 	alpha := math.Inf(1)
-	for _, a := range p.alphas {
-		if a < alpha {
-			alpha = a
+	for i, ok := range p.alive {
+		if !ok {
+			continue
+		}
+		if p.straggler == -1 || p.costs[i] > p.costs[p.straggler] {
+			p.straggler = i
+		}
+		if p.alphas[i] < alpha {
+			alpha = p.alphas[i]
 		}
 	}
+	p.consensusAlpha = alpha
 	l := p.costs[p.straggler]
 
 	if p.id != p.straggler {
@@ -219,15 +357,14 @@ func (p *PeerState) acceptShare(s PeerShare) ([]PeerOutput, error) {
 		out := []PeerOutput{{Decision: dec}, {Done: true}}
 		return p.finishRound(out)
 	}
-	if p.n == 1 {
-		// Degenerate single-peer deployment: keep the whole load.
+	if p.aliveCount == 1 {
+		// Degenerate single-survivor deployment: keep the whole load.
 		p.x = 1
 		p.rec.RecordRound(p.id, l, p.localAlpha)
 		return p.finishRound([]PeerOutput{{Done: true}})
 	}
 	// Straggler: collect the other peers' decisions (Algorithm 2, line 11).
 	p.phase = peerDecision
-	p.decSum = 0
 	p.decCount = 0
 	for i := range p.decSeen {
 		p.decSeen[i] = false
@@ -236,13 +373,17 @@ func (p *PeerState) acceptShare(s PeerShare) ([]PeerOutput, error) {
 }
 
 // HandleDecision ingests a non-straggler's decision sent to this peer as
-// the round's straggler (Algorithm 2, lines 11-13).
+// the round's straggler (Algorithm 2, lines 11-13). Decisions from
+// evicted peers are ignored, mirroring HandleShare.
 func (p *PeerState) HandleDecision(d PeerDecision) ([]PeerOutput, error) {
 	if d.From < 0 || d.From >= p.n {
 		return nil, fmt.Errorf("core: peer %d: decision from unknown peer %d", p.id, d.From)
 	}
 	if d.To != p.id {
 		return nil, fmt.Errorf("core: peer %d: decision addressed to %d", p.id, d.To)
+	}
+	if !p.alive[d.From] {
+		return nil, nil
 	}
 	switch {
 	case d.Round < p.round:
@@ -258,23 +399,43 @@ func (p *PeerState) acceptDecision(d PeerDecision) ([]PeerOutput, error) {
 	if d.From == p.id {
 		return nil, fmt.Errorf("core: peer %d: decision from self", p.id)
 	}
+	if !p.alive[d.From] {
+		return nil, nil // evicted while buffered
+	}
 	if p.decSeen[d.From] {
 		return nil, fmt.Errorf("core: peer %d: duplicate decision from %d in round %d", p.id, d.From, p.round)
 	}
 	p.decSeen[d.From] = true
-	p.decSum += d.Next
+	p.decVals[d.From] = d.Next
 	p.decCount++
-	if p.decCount < p.n-1 {
+	if p.decCount < p.aliveCount-1 {
 		return nil, nil
 	}
-	// Remainder workload (line 12) and local step-size shrink (line 13).
-	xs := 1 - p.decSum
+	return p.completeDecisions()
+}
+
+// completeDecisions closes the straggler's decision collection:
+// remainder workload (Algorithm 2, line 12) and local step-size shrink
+// (line 13), with the rule-(8) cap evaluated over the survivor count.
+// A peer evicted mid-collection has its decision retracted before this
+// point, so its frozen workload share is absorbed into the remainder.
+func (p *PeerState) completeDecisions() ([]PeerOutput, error) {
+	// Sum the collected decisions in peer-id order: float addition is not
+	// associative, so summing in arrival order would make the remainder
+	// depend on message timing and break run-for-run determinism.
+	var taken float64
+	for i, seen := range p.decSeen {
+		if seen {
+			taken += p.decVals[i]
+		}
+	}
+	xs := 1 - taken
 	if xs < 0 {
 		xs = 0
 	}
 	p.x = xs
 	if xs > drainEps { // a fully drained straggler degenerates the cap; see balancer.go
-		if c := AlphaCapScaled(xs, p.n, p.capScale); c < p.localAlpha {
+		if c := AlphaCapScaled(xs, p.aliveCount, p.capScale); c < p.localAlpha {
 			p.localAlpha = c
 		}
 	}
@@ -282,7 +443,9 @@ func (p *PeerState) acceptDecision(d PeerDecision) ([]PeerOutput, error) {
 	// remainder, so it alone advances the shared round counter; every
 	// peer's gauges would agree (the consensus values are identical).
 	for i, c := range p.costs {
-		p.rec.RecordWorkerCost(i, c)
+		if p.alive[i] {
+			p.rec.RecordWorkerCost(i, c)
+		}
 	}
 	p.rec.RecordRound(p.id, p.costs[p.id], p.localAlpha)
 	return p.finishRound([]PeerOutput{{Done: true}})

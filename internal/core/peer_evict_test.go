@@ -1,0 +1,237 @@
+package core
+
+// Tests for the fail-stop extension of the fully-distributed state
+// machine: evicting a peer mid-run must re-derive every consensus
+// quantity — share collection target, straggler tie-break, the rule-(8)
+// step-size minimum, and the cap's survivor-count denominator — over
+// the survivor set.
+
+import (
+	"math"
+	"testing"
+
+	"dolbie/internal/costfn"
+)
+
+// evictObserve starts peer p's round with a fixed cost and an affine
+// cost function, failing the test on any state-machine error.
+func evictObserve(t *testing.T, p *PeerState, cost float64) []PeerOutput {
+	t.Helper()
+	outs, err := p.Observe(cost, costfn.Affine{Slope: 2, Intercept: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return outs
+}
+
+func TestEvictCompletesShareCollection(t *testing.T) {
+	// Peer 0 of 3 is waiting on shares from 1 and 2; evicting silent
+	// peer 2 must complete the collection as if its share had arrived,
+	// with the consensus derived over the survivors only.
+	p, err := NewPeer(0, []float64{0.2, 0.3, 0.5}, WithInitialAlpha(0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	evictObserve(t, p, 1.0)
+	if _, err := p.HandleShare(PeerShare{Round: 1, From: 1, Cost: 0.5, LocalAlpha: 0.05}); err != nil {
+		t.Fatal(err)
+	}
+	missing := p.Missing()
+	if len(missing) != 1 || missing[0] != 2 {
+		t.Fatalf("Missing() = %v, want [2]", missing)
+	}
+	if _, err := p.Evict(2); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.AliveCount(); got != 2 {
+		t.Fatalf("AliveCount() = %d, want 2", got)
+	}
+	if got := p.Straggler(); got != 0 {
+		t.Fatalf("straggler = %d, want 0 (max survivor cost)", got)
+	}
+	// The rule-(8) consensus minimum excludes the dead peer: min(0.1, 0.05).
+	if got := p.ConsensusAlpha(); got != 0.05 {
+		t.Fatalf("ConsensusAlpha() = %v, want 0.05", got)
+	}
+}
+
+func TestEvictRetractsCountedShare(t *testing.T) {
+	// Peer 2's share is already counted — with the max cost AND the min
+	// step size. Evicting it must retract both from the consensus.
+	p, err := NewPeer(0, []float64{0.2, 0.3, 0.5}, WithInitialAlpha(0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	evictObserve(t, p, 1.0)
+	if _, err := p.HandleShare(PeerShare{Round: 1, From: 2, Cost: 9.0, LocalAlpha: 0.001}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Evict(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.HandleShare(PeerShare{Round: 1, From: 1, Cost: 1.0, LocalAlpha: 0.08}); err != nil {
+		t.Fatal(err)
+	}
+	// Tie between survivors 0 and 1 (cost 1.0 each): lowest index wins.
+	if got := p.Straggler(); got != 0 {
+		t.Fatalf("straggler = %d, want 0 on tie-break", got)
+	}
+	// As the straggler, peer 0 is now collecting decisions from the
+	// single survivor — the dead peer must not be awaited.
+	if missing := p.Missing(); len(missing) != 1 || missing[0] != 1 {
+		t.Fatalf("Missing() = %v, want [1] (decision phase over survivors)", missing)
+	}
+	if got := p.ConsensusAlpha(); got != 0.08 {
+		t.Fatalf("ConsensusAlpha() = %v, want 0.08 (dead peer's 0.001 retracted)", got)
+	}
+	// Late traffic from the dead peer is ignored, never an error.
+	if outs, err := p.HandleShare(PeerShare{Round: 1, From: 2, Cost: 9.0, LocalAlpha: 0.001}); err != nil || outs != nil {
+		t.Fatalf("share from evicted peer: outs=%v err=%v, want nil, nil", outs, err)
+	}
+}
+
+// TestRule8SurvivorDenominator drives the straggler through a full round
+// with an eviction and checks the rule-(8) shrink against the cap
+// evaluated at the survivor count: alpha <- min(alpha, x_s/(N'-2+x_s))
+// with N' survivors. The N'=2 row exercises the degenerate zero
+// denominator (cap saturates at 1, so the step size must NOT shrink),
+// which only arises after eviction.
+func TestRule8SurvivorDenominator(t *testing.T) {
+	// A uniform N=3 start pins the initial local step size at the rule-(8)
+	// cap for x=1/3: (1/3)/(1+1/3) = 0.25. Every case below ends the round
+	// with the same remainder xs = 0.2, so the only variable is the cap's
+	// survivor-count denominator.
+	const alphaInit = 0.25
+	cases := []struct {
+		name      string
+		n         int
+		evict     int // peer to evict during decision collection (-1: none)
+		decisions map[int]float64
+		wantAlpha float64 // expected local step size after the round
+		wantX     float64 // expected straggler remainder
+	}{
+		{
+			// No eviction: xs = 1-0.8 = 0.2, cap = 0.2/(3-2+0.2) = 1/6
+			// < 0.25, so the step size shrinks.
+			name:      "N=3 intact",
+			n:         3,
+			evict:     -1,
+			decisions: map[int]float64{1: 0.4, 2: 0.4},
+			wantAlpha: 0.2 / 1.2,
+			wantX:     0.2,
+		},
+		{
+			// Peer 2 evicted mid-collection: the SAME remainder now meets
+			// a degenerate denominator (N'-2 = 0), cap = 0.2/(0+0.2) = 1,
+			// so the step size must NOT shrink. Without the survivor-count
+			// re-derivation this row would shrink to 1/6 like the intact row.
+			name:      "N=3 evict to N'=2",
+			n:         3,
+			evict:     2,
+			decisions: map[int]float64{1: 0.8},
+			wantAlpha: alphaInit,
+			wantX:     0.2,
+		},
+		{
+			// Eviction after peer 2's decision was already counted: the
+			// retraction folds the dead peer's frozen share back into the
+			// remainder (xs = 1-0.8, not 1-0.8-0.25) before the cap is
+			// evaluated at N'=2.
+			name:      "N=3 retract counted decision",
+			n:         3,
+			evict:     2,
+			decisions: map[int]float64{2: 0.25, 1: 0.8},
+			wantAlpha: alphaInit,
+			wantX:     0.2,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			x0 := make([]float64, tc.n)
+			for i := range x0 {
+				x0[i] = 1 / float64(tc.n)
+			}
+			p, err := NewPeer(0, x0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := p.LocalAlpha(); math.Abs(got-alphaInit) > 1e-12 {
+				t.Fatalf("initial alpha = %v, want %v", got, alphaInit)
+			}
+			// Peer 0 is the straggler: its cost dominates.
+			evictObserve(t, p, 10.0)
+			for i := 1; i < tc.n; i++ {
+				if _, err := p.HandleShare(PeerShare{Round: 1, From: i, Cost: 1.0, LocalAlpha: 0.9}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if got := p.Straggler(); got != 0 {
+				t.Fatalf("straggler = %d, want 0", got)
+			}
+			// Feed decisions in deterministic order (counted ones first so
+			// the retraction case is exercised), then evict.
+			if next, ok := tc.decisions[tc.evict]; ok && tc.evict >= 0 {
+				if _, err := p.HandleDecision(PeerDecision{Round: 1, From: tc.evict, To: 0, Next: next}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if tc.evict >= 0 {
+				if _, err := p.Evict(tc.evict); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for from, next := range tc.decisions {
+				if from == tc.evict {
+					continue
+				}
+				if _, err := p.HandleDecision(PeerDecision{Round: 1, From: from, To: 0, Next: next}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if got := p.Round(); got != 2 {
+				t.Fatalf("round = %d, want 2 (decision collection complete)", got)
+			}
+			if got := p.X(); math.Abs(got-tc.wantX) > 1e-12 {
+				t.Fatalf("straggler remainder = %v, want %v", got, tc.wantX)
+			}
+			if got := p.LocalAlpha(); math.Abs(got-tc.wantAlpha) > 1e-12 {
+				t.Fatalf("local alpha = %v, want %v", got, tc.wantAlpha)
+			}
+		})
+	}
+}
+
+func TestEvictToSingleSurvivor(t *testing.T) {
+	// N=2: evicting the only other peer mid-share-collection leaves a
+	// single survivor, which must absorb the whole load and keep its
+	// step size (no consensus partner remains).
+	p, err := NewPeer(0, []float64{0.4, 0.6}, WithInitialAlpha(0.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	evictObserve(t, p, 1.0)
+	outs, err := p.Evict(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := false
+	for _, o := range outs {
+		done = done || o.Done
+	}
+	if !done {
+		t.Fatal("eviction of the last outstanding peer should complete the round")
+	}
+	if got := p.X(); got != 1 {
+		t.Fatalf("single survivor x = %v, want 1", got)
+	}
+	if got := p.LocalAlpha(); got != 0.2 {
+		t.Fatalf("single survivor alpha = %v, want 0.2 (unchanged)", got)
+	}
+	// Eviction is idempotent; self-eviction is an error.
+	if _, err := p.Evict(1); err != nil {
+		t.Fatalf("re-evicting a dead peer: %v, want nil", err)
+	}
+	if _, err := p.Evict(0); err == nil {
+		t.Fatal("self-eviction should be an error")
+	}
+}

@@ -67,3 +67,18 @@ type PeerDecision struct {
 	To    int     `json:"to"`
 	Next  float64 `json:"next"`
 }
+
+// PeerEvict is the fail-stop extension's crash declaration for the
+// fully-distributed architecture: when peer From's collection deadline
+// expires, it declares the silent peer Evicted crashed and broadcasts
+// this notice to every surviving peer. Receivers remove Evicted
+// immediately (union rule: any single accuser suffices, mirroring the
+// trusted detection of the resilient master); a peer that learns of its
+// own eviction must stop. The paper itself assumes a fixed, reliable
+// worker set — this message exists only in the runtime's fault-tolerance
+// extension (see DESIGN.md, "Fault model").
+type PeerEvict struct {
+	Round   int `json:"round"`
+	From    int `json:"from"`
+	Evicted int `json:"evicted"`
+}

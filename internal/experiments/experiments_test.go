@@ -256,6 +256,43 @@ func TestResilienceTable(t *testing.T) {
 	}
 }
 
+func TestChaosTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos table runs real deployments with detection deadlines")
+	}
+	tab, err := ChaosTable(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d, want one per fault class", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		switch row[0] {
+		case "loss":
+			if row[5] != "none" {
+				t.Errorf("loss scenario evicted %s, want none", row[5])
+			}
+		case "crash", "partition":
+			if row[5] == "none" {
+				t.Errorf("%s scenario evicted no peer", row[0])
+			}
+			var reabsorb int
+			if _, err := fmt.Sscanf(row[3], "%d", &reabsorb); err != nil {
+				t.Fatalf("%s rounds-to-reabsorb %q: %v", row[0], row[3], err)
+			}
+			if reabsorb > 5 {
+				t.Errorf("%s reabsorbed in %d rounds, want <= 5", row[0], reabsorb)
+			}
+		default:
+			t.Errorf("unexpected fault class %q", row[0])
+		}
+	}
+}
+
 func TestEstimatedTable(t *testing.T) {
 	tab, err := EstimatedTable(testConfig())
 	if err != nil {

@@ -99,6 +99,7 @@ var registry = map[string]runner{
 	"ogdsweep":    figureRunner(OGDSweep),
 	"estimated":   tableRunner(EstimatedTable),
 	"resilience":  tableRunner(ResilienceTable),
+	"chaos":       tableRunner(ChaosTable),
 	"ablation":    tableRunner(AblationTable),
 	"edge":        tableRunner(EdgeTable),
 	"edgefig":     figureRunner(EdgeFigure),

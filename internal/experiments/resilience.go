@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
+	"sort"
 	"sync"
 	"time"
 
@@ -128,4 +130,275 @@ func minInt(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// Fixed scenario geometry for the chaos table. The numbers mirror the
+// committed BENCH_chaos.json (cmd/dolbie-bench -chaos) so the table and
+// the benchmark report describe the same runs.
+const (
+	chaosExpPeers      = 4
+	chaosExpRounds     = 30
+	chaosExpCrashNode  = 1
+	chaosExpCrashRound = 10
+	chaosExpPartFirst  = 5
+	chaosExpPartLast   = 7
+)
+
+// ChaosTable runs the fail-stop-tolerant fully-distributed deployment
+// (Algorithm 2 with peer evictions) under the deterministic chaos
+// transport, one row per fault class: masked message loss, a node
+// crash, and an asymmetric link partition. Each row reports the round
+// the survivors detected the fault, how many further rounds they needed
+// to reabsorb the lost workload share, and the latency penalty the
+// smaller deployment pays against a fault-free reference run of the
+// same seed.
+func ChaosTable(cfg Config) (Table, error) {
+	if err := cfg.validate(); err != nil {
+		return Table{}, err
+	}
+	seed := cfg.Seed
+	uniform := func(d time.Duration) func(int) time.Duration {
+		return func(int) time.Duration { return d }
+	}
+	baseline, _, err := runChaosExpCase(nil, false, uniform(2*time.Second))
+	if err != nil {
+		return Table{}, fmt.Errorf("experiments: chaos baseline: %w", err)
+	}
+
+	type chaosCase struct {
+		name     string
+		injected string
+		cfg      *cluster.ChaosConfig
+		reliable bool
+		timeout  func(int) time.Duration
+	}
+	cases := []chaosCase{
+		{
+			name:     "loss",
+			injected: "drop 20% / dup 10% / reorder 10% under Reliable",
+			cfg: &cluster.ChaosConfig{
+				Seed:          seed,
+				DropProb:      0.2,
+				DuplicateProb: 0.1,
+				ReorderProb:   0.1,
+				Jitter:        500 * time.Microsecond,
+			},
+			reliable: true,
+			timeout:  uniform(5 * time.Second),
+		},
+		{
+			name:     "crash",
+			injected: fmt.Sprintf("peer %d fail-stops at round %d", chaosExpCrashNode, chaosExpCrashRound),
+			cfg: &cluster.ChaosConfig{
+				Seed:    seed,
+				Crashes: []cluster.ChaosCrash{{Node: chaosExpCrashNode, Round: chaosExpCrashRound}},
+			},
+			timeout: uniform(150 * time.Millisecond),
+		},
+		{
+			name:     "partition",
+			injected: fmt.Sprintf("link 0->1 cut rounds %d-%d", chaosExpPartFirst, chaosExpPartLast),
+			cfg: &cluster.ChaosConfig{
+				Seed:  seed,
+				Delay: 10 * time.Millisecond,
+				Partitions: []cluster.ChaosPartition{
+					{From: 0, To: 1, FromRound: chaosExpPartFirst, ToRound: chaosExpPartLast},
+				},
+			},
+			// Staggered detection deadlines (see the fault model in
+			// DESIGN.md): peer 1 is the only peer the partition actually
+			// silences, so it gets the short deadline and wins the
+			// detection race against the peers that merely stall behind it.
+			timeout: func(i int) time.Duration {
+				if i == 1 {
+					return 250 * time.Millisecond
+				}
+				return 700 * time.Millisecond
+			},
+		},
+	}
+
+	tab := Table{
+		ID: "chaos",
+		Title: fmt.Sprintf("Chaos transport vs. the fail-stop fully-distributed deployment (N=%d, T=%d, seed %d)",
+			chaosExpPeers, chaosExpRounds, seed),
+		Columns: []string{"fault class", "injected", "detection round", "rounds to reabsorb", "latency penalty", "evicted"},
+	}
+	for _, c := range cases {
+		res, injected, err := runChaosExpCase(c.cfg, c.reliable, c.timeout)
+		if err != nil {
+			return Table{}, fmt.Errorf("experiments: chaos %s: %w", c.name, err)
+		}
+		row, note, err := chaosExpRow(c.name, c.injected, res, baseline, injected)
+		if err != nil {
+			return Table{}, fmt.Errorf("experiments: chaos %s: %w", c.name, err)
+		}
+		tab.Rows = append(tab.Rows, row)
+		if note != "" {
+			tab.Notes = append(tab.Notes, note)
+		}
+	}
+	return tab, nil
+}
+
+// runChaosExpCase runs one resilient fully-distributed deployment over
+// MemNet, optionally under a chaos wrapper (and a Reliable wrapper above
+// it for the lossy fault classes), with a per-peer detection deadline.
+func runChaosExpCase(ccfg *cluster.ChaosConfig, reliable bool, timeout func(int) time.Duration) ([]cluster.ResilientPeerResult, cluster.ChaosStats, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	net := cluster.NewMemNet()
+	var chaos *cluster.Chaos
+	if ccfg != nil {
+		chaos = cluster.NewChaos(*ccfg)
+	}
+	transports := make([]cluster.Transport, chaosExpPeers)
+	for i := range transports {
+		tr := cluster.Transport(net.Node(i))
+		if chaos != nil {
+			tr = chaos.Wrap(i, tr)
+		}
+		if reliable {
+			tr = cluster.NewReliable(i, tr, 5*time.Millisecond)
+		}
+		transports[i] = tr
+	}
+	defer func() {
+		for _, tr := range transports {
+			tr.Close() //nolint:errcheck // best-effort teardown
+		}
+	}()
+
+	// The chaos sources deliberately give every peer an interior min-max
+	// share (mild intercepts) and keep the consensus straggler away from
+	// the scheduled fault victims — the regime the fail-stop protocol
+	// supports (DESIGN.md, "Fault model").
+	sources := make([]cluster.CostSource, chaosExpPeers)
+	for i := range sources {
+		f := costfn.Affine{Slope: float64(i + 1), Intercept: 0.2 * float64(i)}
+		sources[i] = cluster.FuncSource(func(round int, x float64) (float64, costfn.Func, error) {
+			return f.Eval(x), f, nil
+		})
+	}
+	x0 := simplex.Uniform(chaosExpPeers)
+	res := make([]cluster.ResilientPeerResult, chaosExpPeers)
+	errs := make([]error, chaosExpPeers)
+	var wg sync.WaitGroup
+	for i := 0; i < chaosExpPeers; i++ {
+		rc := cluster.ResilientPeerConfig{RoundTimeout: timeout(i)}
+		wg.Add(1)
+		go func(i int, rc cluster.ResilientPeerConfig) {
+			defer wg.Done()
+			res[i], errs[i] = cluster.RunResilientPeer(ctx, transports[i], i, x0, chaosExpRounds, sources[i], rc)
+		}(i, rc)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, cluster.ChaosStats{}, fmt.Errorf("peer %d: %w", i, err)
+		}
+	}
+	var stats cluster.ChaosStats
+	if chaos != nil {
+		stats = chaos.Stats()
+	}
+	return res, stats, nil
+}
+
+// chaosExpRow turns one scenario's results into a table row plus an
+// optional note. Measurements follow cmd/dolbie-bench -chaos: detection
+// is the earliest survivor eviction record, reabsorption the first round
+// from detection whose surviving played shares sum to 1 again, and the
+// penalty the relative increase of the mean per-round maximum cost over
+// the post-detection window against the fault-free baseline.
+func chaosExpRow(name, injected string, res, baseline []cluster.ResilientPeerResult, stats cluster.ChaosStats) ([]string, string, error) {
+	evicted := make(map[int]bool)
+	for _, r := range res {
+		for _, v := range r.Evicted {
+			evicted[v] = true
+		}
+	}
+	if len(evicted) == 0 {
+		exact := true
+		for i := range res {
+			for r, x := range res[i].Played {
+				if baseline[i].Played[r] != x {
+					exact = false
+				}
+			}
+		}
+		note := ""
+		if exact {
+			note = fmt.Sprintf("%s: %d drops / %d duplicates / %d reorders injected, trajectory identical to the fault-free run",
+				name, stats.Drops, stats.Duplicates, stats.Reorders)
+		}
+		return []string{name, injected, "-", "-",
+			fmt.Sprintf("%+.1f%%", chaosExpPenalty(res, baseline, 1)), "none"}, note, nil
+	}
+	victims := make([]int, 0, len(evicted))
+	for v := range evicted {
+		victims = append(victims, v)
+	}
+	sort.Ints(victims)
+	victim := victims[0]
+	survivors := make([]int, 0, len(res))
+	detection := 0
+	for i := range res {
+		if evicted[i] {
+			continue
+		}
+		survivors = append(survivors, i)
+		if r := res[i].EvictionRound[victim]; detection == 0 || (r > 0 && r < detection) {
+			detection = r
+		}
+	}
+	if detection == 0 {
+		return nil, "", fmt.Errorf("no survivor has an eviction record for victim %d", victim)
+	}
+	reabsorbed := -1
+	for r := detection; r <= chaosExpRounds; r++ {
+		var sum float64
+		for _, i := range survivors {
+			if len(res[i].Played) >= r {
+				sum += res[i].Played[r-1]
+			}
+		}
+		if math.Abs(sum-1) < 1e-9 {
+			reabsorbed = r
+			break
+		}
+	}
+	if reabsorbed < 0 {
+		return nil, "", fmt.Errorf("survivors never reabsorbed the victim's load")
+	}
+	note := fmt.Sprintf("%s: peer %d removed in round %d, %d survivors rebalanced by round %d",
+		name, victim, detection, len(survivors), reabsorbed)
+	return []string{name, injected,
+		fmt.Sprintf("%d", detection),
+		fmt.Sprintf("%d", reabsorbed-detection),
+		fmt.Sprintf("%+.1f%%", chaosExpPenalty(res, baseline, detection)),
+		fmt.Sprintf("%v", victims)}, note, nil
+}
+
+// chaosExpPenalty is the min-max objective penalty: the relative
+// increase of the mean per-round maximum realized cost from round `from`
+// onward, against the fault-free baseline over the same window.
+func chaosExpPenalty(res, baseline []cluster.ResilientPeerResult, from int) float64 {
+	meanMax := func(rs []cluster.ResilientPeerResult) float64 {
+		var total float64
+		var rounds int
+		for r := from; r <= chaosExpRounds; r++ {
+			maxCost := math.Inf(-1)
+			for _, pr := range rs {
+				if len(pr.Costs) >= r && pr.Costs[r-1] > maxCost {
+					maxCost = pr.Costs[r-1]
+				}
+			}
+			total += maxCost
+			rounds++
+		}
+		return total / float64(rounds)
+	}
+	free := meanMax(baseline)
+	return (meanMax(res) - free) / free * 100
 }

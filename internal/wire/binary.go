@@ -30,6 +30,7 @@ const binaryVersion = 0x01
 //	assign        round u32, next f64                          (12 B)
 //	share         round u32, cost f64, localAlpha f64          (20 B)
 //	peer-decision round u32, next f64                          (12 B)
+//	evict         round u32, evicted u32                       (8 B)
 //	reliable      seq u64, flags u8 (bit0 ack, bit1 data),
 //	              then the nested envelope's kind/from/to and
 //	              payload when bit1 is set                     (9+ B)
@@ -53,6 +54,7 @@ var binPayloadSize = map[Kind]int{
 	KindAssign:       12,
 	KindShare:        20,
 	KindPeerDecision: 12,
+	KindEvict:        8,
 }
 
 // frameSize implements the arithmetic fast path used by FrameSize: no
@@ -148,6 +150,15 @@ func appendBinaryEnvelope(dst []byte, env Envelope) ([]byte, error) {
 			return dst, err
 		}
 		dst = appendFloat(dst, m.Next)
+	case core.PeerEvict:
+		if dst, err = appendRound(dst, m.Round); err != nil {
+			return dst, err
+		}
+		evicted, err := asUint32("evicted", m.Evicted)
+		if err != nil {
+			return dst, err
+		}
+		dst = binary.BigEndian.AppendUint32(dst, evicted)
 	case ReliableFrame:
 		dst = binary.BigEndian.AppendUint64(dst, m.Seq)
 		var flags byte
@@ -233,6 +244,8 @@ func decodeBinaryEnvelope(b []byte, nested bool) (Envelope, []byte, error) {
 		env.Msg = core.PeerShare{Round: round, From: env.From, Cost: getFloat(b[4:12]), LocalAlpha: getFloat(b[12:20])}
 	case KindPeerDecision:
 		env.Msg = core.PeerDecision{Round: round, From: env.From, To: env.To, Next: getFloat(b[4:12])}
+	case KindEvict:
+		env.Msg = core.PeerEvict{Round: round, From: env.From, Evicted: int(binary.BigEndian.Uint32(b[4:8]))}
 	}
 	return env, b[want:], nil
 }

@@ -77,6 +77,8 @@ func decodeJSONPayload(kind Kind, raw json.RawMessage) (any, error) {
 		return unmarshalPayload[core.PeerShare](kind, raw)
 	case KindPeerDecision:
 		return unmarshalPayload[core.PeerDecision](kind, raw)
+	case KindEvict:
+		return unmarshalPayload[core.PeerEvict](kind, raw)
 	case KindReliable:
 		return unmarshalPayload[ReliableFrame](kind, raw)
 	default:

@@ -1,9 +1,10 @@
 // Package wire is the versioned codec layer of the cluster runtime: it
 // owns the wire representation of every protocol message the transports
 // exchange. A single Envelope type carries a typed payload (one of the
-// six DOLBIE protocol messages from internal/core, or a reliability
-// frame), and a Codec turns envelopes into length-prefixed frames and
-// back. Two codecs ship:
+// DOLBIE protocol messages from internal/core — the six of Algorithms 1
+// and 2 plus the fail-stop eviction notice — or a reliability frame),
+// and a Codec turns envelopes into length-prefixed frames and back. Two
+// codecs ship:
 //
 //   - "json": the original debugging-friendly framing — a JSON object
 //     {"kind","from","to","payload"} — kept for interop and for reading
@@ -33,8 +34,8 @@ import (
 type Kind uint8
 
 // The protocol message kinds: the six DOLBIE messages of Algorithms 1
-// and 2, plus the reliability-layer frame that wraps them on lossy
-// links.
+// and 2, the reliability-layer frame that wraps them on lossy links,
+// and the fail-stop extension's eviction notice.
 const (
 	// KindInvalid is the zero Kind; it never appears on a valid frame.
 	KindInvalid Kind = iota
@@ -52,6 +53,11 @@ const (
 	KindPeerDecision
 	// KindReliable tags a ReliableFrame (reliability layer framing).
 	KindReliable
+	// KindEvict tags a core.PeerEvict (peer -> all peers): the fail-stop
+	// extension's crash declaration for the fully-distributed protocol.
+	// It is appended after KindReliable so the byte values of the
+	// original kinds stay stable on the versioned binary wire.
+	KindEvict
 
 	kindCount // sentinel: one past the last valid kind
 )
@@ -65,6 +71,7 @@ var kindNames = [kindCount]string{
 	KindShare:        "share",
 	KindPeerDecision: "peer-decision",
 	KindReliable:     "reliable",
+	KindEvict:        "evict",
 }
 
 // String returns the kind's wire name (also used as a metric label).
@@ -187,6 +194,11 @@ func (e Envelope) Decode(v any) error {
 			*dst = m
 			return nil
 		}
+	case *core.PeerEvict:
+		if m, ok := e.Msg.(core.PeerEvict); ok {
+			*dst = m
+			return nil
+		}
 	}
 	return fmt.Errorf("wire: %s envelope holds %T, cannot decode into %T", e.Kind, e.Msg, v)
 }
@@ -247,6 +259,14 @@ func (e Envelope) check() error {
 		}
 		if m.To != e.To {
 			return mismatch("To")
+		}
+	case KindEvict:
+		m, ok := e.Msg.(core.PeerEvict)
+		if !ok {
+			return e.typeErr()
+		}
+		if m.From != e.From {
+			return mismatch("From")
 		}
 	case KindReliable:
 		m, ok := e.Msg.(ReliableFrame)

@@ -22,6 +22,7 @@ func allKindsEnvelopes() []Envelope {
 		NewEnvelope(KindAssign, 8, 4, core.StragglerAssign{Round: 7, To: 4, Next: 0.4}),
 		share,
 		NewEnvelope(KindPeerDecision, 2, 4, core.PeerDecision{Round: 7, From: 2, To: 4, Next: 0.3}),
+		NewEnvelope(KindEvict, 2, 4, core.PeerEvict{Round: 7, From: 2, Evicted: 5}),
 		NewEnvelope(KindReliable, 3, 1, ReliableFrame{Seq: 42, Ack: true}),
 		NewEnvelope(KindReliable, 3, 1, ReliableFrame{Seq: 43, Data: &share}),
 	}

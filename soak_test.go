@@ -5,10 +5,13 @@ package dolbie_test
 // feasibility, non-increasing step size, bounded workloads, finite costs.
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
+	"time"
 
+	"dolbie"
 	"dolbie/internal/baselines"
 	"dolbie/internal/core"
 	"dolbie/internal/costfn"
@@ -80,6 +83,214 @@ func TestSoakDOLBIEThousandsOfRounds(t *testing.T) {
 	if b.Round() != rounds {
 		t.Errorf("completed %d rounds, want %d", b.Round(), rounds)
 	}
+}
+
+// soakChaosPeers/soakChaosRounds size the chaos soak below.
+const (
+	soakChaosPeers  = 5
+	soakChaosRounds = 150
+)
+
+// soakChaosSources builds the affine costs shared by the chaos soak
+// runs: slopes and intercepts grow mildly with the peer id so every
+// survivor subset has an interior min-max equilibrium (each peer keeps a
+// positive share) and the consensus straggler is never the crash victim
+// — the regime the fail-stop protocol supports (DESIGN.md, "Fault
+// model").
+func soakChaosSources() []dolbie.CostSource {
+	sources := make([]dolbie.CostSource, soakChaosPeers)
+	for i := range sources {
+		f := costfn.Affine{Slope: float64(i + 1), Intercept: 0.2 * float64(i)}
+		sources[i] = dolbie.FuncSource(func(round int, x float64) (float64, costfn.Func, error) {
+			return f.Eval(x), f, nil
+		})
+	}
+	return sources
+}
+
+// soakChaosRun executes one long-horizon resilient fully-distributed
+// deployment, wrapping each MemNet node with wrap (identity when nil).
+func soakChaosRun(t *testing.T, wrap func(i int, tr dolbie.Transport) dolbie.Transport, rc dolbie.ResilientPeerConfig) []dolbie.ResilientPeerResult {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	net := dolbie.NewMemNet()
+	transports := make([]dolbie.Transport, soakChaosPeers)
+	for i := range transports {
+		tr := dolbie.Transport(net.Node(i))
+		if wrap != nil {
+			tr = wrap(i, tr)
+		}
+		transports[i] = tr
+	}
+	defer func() {
+		for _, tr := range transports {
+			tr.Close() //nolint:errcheck // best-effort teardown
+		}
+	}()
+	res, err := dolbie.ResilientFullyDistributedDeployment(ctx, transports,
+		simplex.Uniform(soakChaosPeers), soakChaosRounds, soakChaosSources(), rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestSoakChaosFullyDistributed is the chaos soak: the fail-stop
+// tolerant fully-distributed deployment runs a long horizon under each
+// supported chaos regime. Under sustained message loss (drops,
+// duplicates, reordering beneath a Reliable wrapper) the trajectory must
+// stay bit-for-bit the fault-free one; under a clean mid-run fail-stop
+// crash the survivors must evict the victim and reabsorb its workload
+// share within five rounds, holding the simplex invariant throughout.
+// The two regimes are soaked separately because combining them is
+// outside the protocol's fault model: a victim that dies with dropped
+// frames still awaiting retransmission strands its peers in different
+// rounds, and the symmetric detection deadlines then race (see the
+// fault model in DESIGN.md). Run under -race via `make test`.
+func TestSoakChaosFullyDistributed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	reference := soakChaosRun(t, nil, dolbie.ResilientPeerConfig{RoundTimeout: 2 * time.Second})
+
+	t.Run("lossy", func(t *testing.T) {
+		chaos := dolbie.NewChaos(dolbie.ChaosConfig{
+			Seed:          99,
+			DropProb:      0.15,
+			DuplicateProb: 0.1,
+			ReorderProb:   0.1,
+			Jitter:        200 * time.Microsecond,
+		})
+		res := soakChaosRun(t, func(i int, tr dolbie.Transport) dolbie.Transport {
+			return dolbie.NewReliable(i, chaos.Wrap(i, tr), 5*time.Millisecond)
+		}, dolbie.ResilientPeerConfig{RoundTimeout: 10 * time.Second})
+
+		stats := chaos.Stats()
+		if stats.Drops == 0 || stats.Duplicates == 0 || stats.Reorders == 0 {
+			t.Errorf("chaos injected too little: %+v", stats)
+		}
+		for i, pr := range res {
+			if pr.Rounds != soakChaosRounds || pr.Crashed || pr.SelfEvicted || len(pr.Evicted) != 0 {
+				t.Fatalf("peer %d did not complete cleanly: %+v", i, pr)
+			}
+			// The reliability layer must mask every injected fault exactly:
+			// same shares, to the last bit, as the fault-free run.
+			for r := range pr.Played {
+				if pr.Played[r] != reference[i].Played[r] {
+					t.Fatalf("peer %d round %d: played %v, fault-free run played %v",
+						i, r+1, pr.Played[r], reference[i].Played[r])
+				}
+			}
+		}
+	})
+
+	t.Run("crash", func(t *testing.T) {
+		const (
+			victim     = 2
+			crashRound = 75
+		)
+		chaos := dolbie.NewChaos(dolbie.ChaosConfig{
+			Seed:    99,
+			Crashes: []dolbie.ChaosCrash{{Node: victim, Round: crashRound}},
+		})
+		res := soakChaosRun(t, func(i int, tr dolbie.Transport) dolbie.Transport {
+			return chaos.Wrap(i, tr)
+		}, dolbie.ResilientPeerConfig{RoundTimeout: 150 * time.Millisecond})
+
+		if got := chaos.Stats().Crashes; got != 1 {
+			t.Errorf("chaos crashes = %d, want 1", got)
+		}
+		// The victim fail-stops the moment it tries to send its
+		// crash-round share: it completes exactly crashRound-1 rounds.
+		if !res[victim].Crashed {
+			t.Errorf("peer %d: Crashed = false, want true", victim)
+		}
+		if res[victim].Rounds != crashRound-1 {
+			t.Errorf("peer %d completed %d rounds, want %d", victim, res[victim].Rounds, crashRound-1)
+		}
+		detection := 0
+		for i, pr := range res {
+			if i == victim {
+				continue
+			}
+			if pr.Rounds != soakChaosRounds {
+				t.Fatalf("survivor %d completed %d rounds, want %d", i, pr.Rounds, soakChaosRounds)
+			}
+			if pr.Crashed || pr.SelfEvicted {
+				t.Errorf("survivor %d: Crashed=%v SelfEvicted=%v", i, pr.Crashed, pr.SelfEvicted)
+			}
+			if len(pr.Survivors) != soakChaosPeers-1 {
+				t.Errorf("survivor %d: final peer set %v, want %d survivors", i, pr.Survivors, soakChaosPeers-1)
+			}
+			r, ok := pr.EvictionRound[victim]
+			if !ok {
+				t.Fatalf("survivor %d never evicted peer %d", i, victim)
+			}
+			if r < crashRound {
+				t.Errorf("survivor %d evicted peer %d in round %d, before the crash round %d", i, victim, r, crashRound)
+			}
+			if detection == 0 || r < detection {
+				detection = r
+			}
+		}
+
+		// Every played share must be a valid simplex coordinate and every
+		// realized cost finite, across both regimes.
+		for i, pr := range res {
+			for r, x := range pr.Played {
+				if x < -1e-9 || x > 1+1e-9 || math.IsNaN(x) {
+					t.Fatalf("peer %d round %d: played %v outside [0,1]", i, r+1, x)
+				}
+			}
+			for r, c := range pr.Costs {
+				if math.IsNaN(c) || math.IsInf(c, 0) {
+					t.Fatalf("peer %d round %d: cost %v", i, r+1, c)
+				}
+			}
+		}
+		// Before the crash the full deployment plays a point of the
+		// simplex.
+		for r := 1; r < crashRound; r++ {
+			var sum float64
+			for _, pr := range res {
+				sum += pr.Played[r-1]
+			}
+			if math.Abs(sum-1) > 1e-6 {
+				t.Fatalf("round %d: shares sum to %v, want 1", r, sum)
+			}
+		}
+		// After detection the survivors must reabsorb the victim's share
+		// within five rounds and then hold the simplex for the rest of
+		// the run.
+		survivorSum := func(r int) float64 {
+			var sum float64
+			for i, pr := range res {
+				if i != victim {
+					sum += pr.Played[r-1]
+				}
+			}
+			return sum
+		}
+		reabsorbed := 0
+		for r := detection; r <= soakChaosRounds; r++ {
+			if math.Abs(survivorSum(r)-1) < 1e-9 {
+				reabsorbed = r
+				break
+			}
+		}
+		if reabsorbed == 0 {
+			t.Fatalf("survivors never reabsorbed peer %d's share", victim)
+		}
+		if reabsorbed > detection+5 {
+			t.Errorf("reabsorbed in round %d, want within 5 rounds of detection round %d", reabsorbed, detection)
+		}
+		for r := reabsorbed; r <= soakChaosRounds; r++ {
+			if math.Abs(survivorSum(r)-1) > 1e-6 {
+				t.Fatalf("round %d: survivor shares sum to %v after rebalancing", r, survivorSum(r))
+			}
+		}
+	})
 }
 
 // TestSoakAllBaselinesRegimeSwitches subjects every baseline to the same
