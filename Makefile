@@ -11,15 +11,17 @@ build:
 	$(GO) build ./...
 
 # vet also runs the documentation gate and a short fuzz smoke over the
-# wire codecs: frame decoding is the one surface fed by untrusted bytes,
-# so it gets fuzzed on every static-check pass (one invocation per
-# target: -fuzz matches only one).
+# surfaces fed by untrusted input: wire-frame decoding (arbitrary bytes
+# off the network) and dispatcher request admission / policy parsing
+# (arbitrary HTTP ingest traffic and operator flags). One invocation per
+# target: -fuzz matches only one.
 vet: docs
 	$(GO) vet ./...
 	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \
 		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeFrameBinary -fuzztime=5s ./internal/wire/
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeFrameJSON -fuzztime=5s ./internal/wire/
+	$(GO) test -run='^$$' -fuzz=FuzzDispatcherAdmission -fuzztime=5s ./internal/dispatch/
 
 # Documentation coverage and link integrity: every exported declaration
 # and every package needs a real doc comment, and every relative link in
@@ -28,12 +30,13 @@ docs:
 	$(GO) test -run 'TestExportedDeclarationsAreDocumented|TestPackageCommentsPresent|TestMarkdownLinksResolve' .
 
 # The concurrency-sensitive packages (metrics registry, cluster runtime,
-# wire codecs) additionally run under the race detector on every default
-# test pass, as does the chaos soak — fault injection plus fail-stop
-# recovery is the most schedule-sensitive path in the repository.
+# wire codecs, request dispatcher) additionally run under the race
+# detector on every default test pass, as does the chaos soak — fault
+# injection plus fail-stop recovery is the most schedule-sensitive path
+# in the repository.
 test:
 	$(GO) test ./...
-	$(GO) test -race ./internal/metrics ./internal/cluster ./internal/wire
+	$(GO) test -race ./internal/metrics ./internal/cluster ./internal/wire ./internal/dispatch
 	$(GO) test -race -run TestSoakChaosFullyDistributed .
 
 race:
@@ -41,13 +44,15 @@ race:
 
 # bench also regenerates the committed benchmark reports: BENCH_wire.json
 # (bytes/round per protocol per codec on real TCP, allocs/op, and the
-# metering path's allocation overhead) and BENCH_chaos.json (fail-stop
+# metering path's allocation overhead), BENCH_chaos.json (fail-stop
 # recovery under the deterministic chaos transport; reproduces bit for
-# bit).
+# bit), and BENCH_serve.json (data-plane dispatch: DOLBIE's closed loop
+# vs uniform WRR vs JSQ on p99 max-worker latency).
 bench:
 	$(GO) test -bench=. -benchmem ./...
 	$(GO) run ./cmd/dolbie-bench -wire -out BENCH_wire.json
 	$(GO) run ./cmd/dolbie-bench -chaos -out BENCH_chaos.json
+	$(GO) run ./cmd/dolbie-bench -serve -out BENCH_serve.json
 
 # Regenerate every paper figure/table at paper scale (N=30, 100
 # realizations) as text; add -csv out/ for CSV export.
@@ -65,6 +70,8 @@ fuzz:
 	$(GO) test -fuzz=FuzzRoundToUnits -fuzztime=10s ./internal/simplex/
 	$(GO) test -fuzz=FuzzDecodeFrameBinary -fuzztime=10s ./internal/wire/
 	$(GO) test -fuzz=FuzzDecodeFrameJSON -fuzztime=10s ./internal/wire/
+	$(GO) test -fuzz=FuzzDispatcherAdmission -fuzztime=10s ./internal/dispatch/
+	$(GO) test -fuzz=FuzzParsePolicies -fuzztime=10s ./internal/dispatch/
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -10,6 +10,7 @@
 //	dolbie-bench -fig fig4 -realizations 100 -csv out/
 //	dolbie-bench -wire                    # wire-codec benchmark -> BENCH_wire.json
 //	dolbie-bench -chaos                   # fault-tolerance benchmark -> BENCH_chaos.json
+//	dolbie-bench -serve                   # data-plane benchmark -> BENCH_serve.json
 //
 // With -metrics-addr the process serves its runtime gauges (goroutines,
 // heap, GC) and /debug/pprof while the experiments run — useful for
@@ -26,6 +27,12 @@
 // fault class (message loss, node crash, asymmetric partition), and
 // writes rounds-to-reabsorb and the latency penalty against a
 // fault-free run to -out (default BENCH_chaos.json).
+//
+// The -serve mode runs the request-serving data plane under the three
+// control policies (DOLBIE closed loop, uniform weighted round-robin,
+// join-shortest-queue) on the same seeded traffic realization and
+// writes the p99 max-worker latency comparison, shed rates, and
+// modeled control bytes/round to -out (default BENCH_serve.json).
 package main
 
 import (
@@ -62,6 +69,7 @@ func run() error {
 		metricsAddr  = flag.String("metrics-addr", "", "serve process gauges on /metrics plus /debug/pprof on this address while the experiments run (empty disables)")
 		wireBench    = flag.Bool("wire", false, "run the wire-codec benchmark (TCP deployments per codec) instead of a figure")
 		chaosBench   = flag.Bool("chaos", false, "run the fault-tolerance benchmark (resilient deployments under the chaos transport) instead of a figure")
+		serveBench   = flag.Bool("serve", false, "run the data-plane serving benchmark (DOLBIE vs WRR vs JSQ dispatch) instead of a figure")
 		codecName    = flag.String("codec", "all", "wire codec to benchmark in -wire mode: all, or a registry name")
 		outPath      = flag.String("out", "", "output file for the -wire / -chaos benchmark report (default BENCH_wire.json / BENCH_chaos.json)")
 	)
@@ -80,6 +88,13 @@ func run() error {
 			out = "BENCH_chaos.json"
 		}
 		return runChaosBench(out, os.Stdout)
+	}
+	if *serveBench {
+		out := *outPath
+		if out == "" {
+			out = "BENCH_serve.json"
+		}
+		return runServeBench(out, os.Stdout)
 	}
 
 	if *metricsAddr != "" {

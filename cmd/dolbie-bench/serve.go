@@ -1,0 +1,87 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"dolbie/internal/dispatch"
+)
+
+// This file implements the -serve benchmark mode: it runs the
+// request-serving data plane under the three control policies on the
+// same seeded traffic and worker-speed realization, and writes the
+// comparison to a JSON file so the data plane's performance trajectory
+// is tracked in-repo. The headline metric is the p99 of the per-round
+// max-worker drain latency — the paper's global cost measured on live
+// queues — and the acceptance bar is DOLBIE beating uniform weighted
+// round-robin while staying within a small factor of join-shortest-
+// queue (which reacts per request and serves as the latency floor,
+// at the cost of global queue-state visibility on every arrival).
+
+// serveReport is the BENCH_serve.json document.
+type serveReport struct {
+	Config struct {
+		N           int     `json:"n"`
+		Rounds      int     `json:"rounds"`
+		RoundDur    float64 `json:"round_dur_s"`
+		ArrivalRate float64 `json:"arrival_rate"`
+		Utilization float64 `json:"utilization"`
+		QueueCap    int     `json:"queue_cap"`
+		Shed        string  `json:"shed"`
+		Seed        int64   `json:"seed"`
+	} `json:"config"`
+	Policies map[string]*dispatch.ServeResult `json:"policies"`
+	// P99RatioWRROverDOLBIE > 1 means DOLBIE beats uniform WRR on p99
+	// max-worker latency (the acceptance criterion).
+	P99RatioWRROverDOLBIE float64 `json:"p99_ratio_wrr_over_dolbie"`
+	// P99RatioDOLBIEOverJSQ reports how close DOLBIE stays to the JSQ
+	// latency floor (1.0 = parity).
+	P99RatioDOLBIEOverJSQ float64 `json:"p99_ratio_dolbie_over_jsq"`
+}
+
+// runServeBench runs the three-policy serving comparison and writes the
+// report to outPath.
+func runServeBench(outPath string, out io.Writer) error {
+	cfg := dispatch.DefaultServeConfig()
+	fmt.Fprintf(out, "serve bench: %d workers, %d rounds, rate %.0f req/s, util %.0f%%, cap %d, shed %s\n",
+		cfg.N, cfg.Rounds, cfg.ArrivalRate, 100*cfg.Utilization, cfg.QueueCap, cfg.Shed)
+	results, err := dispatch.RunComparison(cfg)
+	if err != nil {
+		return err
+	}
+	rep := serveReport{Policies: make(map[string]*dispatch.ServeResult, len(results))}
+	rep.Config.N = cfg.N
+	rep.Config.Rounds = cfg.Rounds
+	rep.Config.RoundDur = cfg.RoundDur
+	rep.Config.ArrivalRate = cfg.ArrivalRate
+	rep.Config.Utilization = cfg.Utilization
+	rep.Config.QueueCap = cfg.QueueCap
+	rep.Config.Shed = cfg.Shed.String()
+	rep.Config.Seed = cfg.Seed
+	for _, r := range results {
+		rep.Policies[r.Policy] = r
+		fmt.Fprintf(out, "  %-6s p99 max-worker %.3fs, mean %.3fs, req p99 %.3fs, shed %.2f%%, %.0f B/round\n",
+			r.Policy, r.MaxWorkerLatencyP99, r.MaxWorkerLatencyMean, r.RequestLatencyP99,
+			100*r.ShedRate, r.BytesPerRound)
+	}
+	dolbie, wrr, jsq := rep.Policies["dolbie"], rep.Policies["wrr"], rep.Policies["jsq"]
+	if dolbie.MaxWorkerLatencyP99 > 0 {
+		rep.P99RatioWRROverDOLBIE = wrr.MaxWorkerLatencyP99 / dolbie.MaxWorkerLatencyP99
+	}
+	if jsq.MaxWorkerLatencyP99 > 0 {
+		rep.P99RatioDOLBIEOverJSQ = dolbie.MaxWorkerLatencyP99 / jsq.MaxWorkerLatencyP99
+	}
+	fmt.Fprintf(out, "p99 max-worker latency: DOLBIE %.2fx better than uniform WRR, %.2fx of the JSQ floor\n",
+		rep.P99RatioWRROverDOLBIE, rep.P99RatioDOLBIEOverJSQ)
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %s\n", outPath)
+	return nil
+}

@@ -1,0 +1,203 @@
+// Command dolbie-serve runs the request-serving data plane: a seeded
+// open-loop traffic generator feeds the weighted dispatcher, workers
+// drain bounded FIFO queues at simulated time-varying speeds, and —
+// under the default dolbie policy — every round's observed per-worker
+// drain latency is fed back to the DOLBIE balancer, whose retuned
+// assignment becomes the next round's routing weights.
+//
+// The default mode is a deterministic virtual-time simulation: the same
+// seed always produces the same run, byte for byte. -compare runs the
+// identical traffic realization under all three control policies
+// (dolbie, uniform wrr, jsq) and prints them side by side; -json emits
+// machine-readable results. With -http-addr the command instead serves
+// a live dispatcher: POST /ingest admits requests (200 routed, 429
+// shed, 503 blocked) and /metrics exposes the dolbie_dispatch_* family.
+//
+// Examples:
+//
+//	dolbie-serve -n 8 -rounds 240
+//	dolbie-serve -compare -json
+//	dolbie-serve -policy jsq -shed spill -cap 32
+//	dolbie-serve -http-addr :8080
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"time"
+
+	"dolbie"
+	"dolbie/internal/metrics"
+)
+
+// testHookServe, when non-nil, replaces the blocking wait of the live
+// HTTP mode: it is called with the bound address and the mode returns
+// when it does. The command test uses it to drive the live endpoints.
+var testHookServe func(addr string)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dolbie-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("dolbie-serve", flag.ContinueOnError)
+	def := dolbie.DefaultServeConfig()
+	var (
+		n        = fs.Int("n", def.N, "number of workers")
+		rounds   = fs.Int("rounds", def.Rounds, "control rounds to simulate")
+		roundDur = fs.Float64("round-dur", def.RoundDur, "round length in virtual seconds")
+		rate     = fs.Float64("rate", def.ArrivalRate, "open-loop arrival rate in requests per virtual second")
+		demand   = fs.Float64("demand", def.DemandMean, "mean service demand per request in work units")
+		util     = fs.Float64("util", def.Utilization, "target mean utilization (worker speeds are scaled to it)")
+		capacity = fs.Int("cap", def.QueueCap, "per-worker queue capacity")
+		shed     = fs.String("shed", def.Shed.String(), "backpressure policy: reject, block, or spill")
+		policy   = fs.String("policy", def.Policy.String(), "control policy: dolbie, wrr, or jsq")
+		alpha    = fs.Float64("alpha", def.Alpha1, "DOLBIE initial step size")
+		seed     = fs.Int64("seed", def.Seed, "seed for traffic and worker speed processes")
+		compare  = fs.Bool("compare", false, "run the same traffic under all three control policies")
+		jsonOut  = fs.Bool("json", false, "emit results as JSON")
+		metrics_ = fs.String("metrics-addr", "", "simulation mode: serve /metrics during the run (empty disables)")
+		httpAddr = fs.String("http-addr", "", "live mode: serve POST /ingest and /metrics on this address instead of simulating")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	shedPolicy, err := dolbie.ParseShedPolicy(*shed)
+	if err != nil {
+		return err
+	}
+	controlPolicy, err := dolbie.ParseControlPolicy(*policy)
+	if err != nil {
+		return err
+	}
+
+	if *httpAddr != "" {
+		return runLive(out, *n, *capacity, shedPolicy, *httpAddr)
+	}
+
+	cfg := dolbie.ServeConfig{
+		N:           *n,
+		Rounds:      *rounds,
+		RoundDur:    *roundDur,
+		ArrivalRate: *rate,
+		DemandMean:  *demand,
+		Utilization: *util,
+		QueueCap:    *capacity,
+		Shed:        shedPolicy,
+		Policy:      controlPolicy,
+		Alpha1:      *alpha,
+		Seed:        *seed,
+	}
+	if *metrics_ != "" {
+		reg := metrics.NewRegistry()
+		cfg.Metrics = reg
+		srv, err := metrics.StartServer(*metrics_, reg)
+		if err != nil {
+			return fmt.Errorf("metrics server: %w", err)
+		}
+		fmt.Fprintf(out, "metrics: http://%s/metrics\n", srv.Addr())
+		defer func() {
+			shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if err := srv.Shutdown(shutCtx); err != nil {
+				fmt.Fprintln(os.Stderr, "dolbie-serve: metrics shutdown:", err)
+			}
+		}()
+	}
+
+	if *compare {
+		results, err := dolbie.ServeComparison(cfg)
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			enc := json.NewEncoder(out)
+			enc.SetIndent("", "  ")
+			return enc.Encode(results)
+		}
+		printHeader(out)
+		for _, r := range results {
+			printRow(out, r)
+		}
+		return nil
+	}
+
+	res, err := dolbie.Serve(cfg)
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
+	}
+	fmt.Fprintf(out, "serve: %d workers, %d rounds, policy %s, shed %s, seed %d\n",
+		res.N, res.Rounds, res.Policy, res.Shed, res.Seed)
+	printHeader(out)
+	printRow(out, res)
+	return nil
+}
+
+func printHeader(out io.Writer) {
+	fmt.Fprintf(out, "%-8s %12s %12s %12s %10s %10s %12s\n",
+		"policy", "p99max(s)", "meanmax(s)", "reqP99(s)", "shed", "completed", "bytes/round")
+}
+
+func printRow(out io.Writer, r *dolbie.ServeResult) {
+	fmt.Fprintf(out, "%-8s %12.4f %12.4f %12.4f %9.2f%% %10d %12.0f\n",
+		r.Policy, r.MaxWorkerLatencyP99, r.MaxWorkerLatencyMean, r.RequestLatencyP99,
+		100*r.ShedRate, r.Completed, r.BytesPerRound)
+}
+
+// runLive serves a real dispatcher over HTTP: POST /ingest admits
+// requests with wall-clock arrival timestamps, /metrics exposes the
+// dolbie_dispatch_* family. It blocks until interrupted (or until the
+// test hook returns).
+func runLive(out io.Writer, n, capacity int, shed dolbie.ShedPolicy, addr string) error {
+	reg := metrics.NewRegistry()
+	metrics.RegisterProcessGauges(reg)
+	d, err := dolbie.NewDispatcher(dolbie.DispatcherConfig{
+		N:        n,
+		QueueCap: capacity,
+		Shed:     shed,
+		Metrics:  reg,
+	})
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	mux := metrics.NewMux(reg)
+	mux.Handle("/ingest", dolbie.IngestHandler(d, func() float64 {
+		return time.Since(start).Seconds()
+	}))
+	srv, err := metrics.StartServerMux(addr, mux)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "ingest: POST http://%s/ingest  metrics: http://%s/metrics\n", srv.Addr(), srv.Addr())
+	defer func() {
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "dolbie-serve: shutdown:", err)
+		}
+	}()
+	if testHookServe != nil {
+		testHookServe(srv.Addr())
+		return nil
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Fprintln(out, "interrupted; shutting down")
+	return nil
+}

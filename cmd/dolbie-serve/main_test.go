@@ -1,0 +1,83 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestRunSimulationDeterministic(t *testing.T) {
+	args := []string{"-n", "4", "-rounds", "20", "-rate", "60", "-json"}
+	var a, b strings.Builder
+	if err := run(args, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(args, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("identical invocations diverged:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	if !strings.Contains(a.String(), `"policy": "dolbie"`) {
+		t.Errorf("unexpected output: %s", a.String())
+	}
+}
+
+func TestRunCompare(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-compare", "-n", "4", "-rounds", "20", "-rate", "60"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"dolbie", "wrr", "jsq", "p99max"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("compare output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-shed", "nope"},
+		{"-policy", "nope"},
+		{"-n", "0"},
+		{"-rounds", "20", "-util", "9"},
+	} {
+		if err := run(args, io.Discard); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}
+
+func TestRunLiveHTTP(t *testing.T) {
+	defer func() { testHookServe = nil }()
+	testHookServe = func(addr string) {
+		resp, err := http.Post("http://"+addr+"/ingest?demand=2", "", nil)
+		if err != nil {
+			t.Errorf("ingest: %v", err)
+			return
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != 200 || !strings.Contains(string(body), `"outcome":"routed"`) {
+			t.Errorf("ingest response %d %s", resp.StatusCode, body)
+		}
+		scrape, err := http.Get("http://" + addr + "/metrics")
+		if err != nil {
+			t.Errorf("scrape: %v", err)
+			return
+		}
+		defer scrape.Body.Close()
+		text, _ := io.ReadAll(scrape.Body)
+		if !strings.Contains(string(text), "dolbie_dispatch_arrivals_total 1") {
+			t.Errorf("metrics scrape missing dispatch family:\n%.400s", text)
+		}
+	}
+	var out strings.Builder
+	if err := run([]string{"-http-addr", "127.0.0.1:0", "-n", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "/ingest") {
+		t.Errorf("live mode output: %s", out.String())
+	}
+}

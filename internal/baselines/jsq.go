@@ -1,0 +1,111 @@
+package baselines
+
+import (
+	"fmt"
+
+	"dolbie/internal/core"
+	"dolbie/internal/simplex"
+)
+
+// JSQ is the join-shortest-queue greedy baseline, the workload-partition
+// analogue of the per-request dispatcher policy in internal/dispatch. In
+// this setting worker i's "queue" is its estimated drain time x_i * u_i,
+// where u_i is an exponentially smoothed estimate of the per-unit-work
+// cost inferred from bandit feedback (observed local cost divided by the
+// assigned share). Each round JSQ greedily equalizes the estimated
+// queues — equivalently, re-partitions inversely proportional to the
+// smoothed per-unit cost — but only when the relative queue imbalance
+// exceeds a tolerance. The EWMA and the tolerance gate are what keep it
+// from oscillating the way ABS does; the greed is what keeps it from
+// being regret-optimal, since it chases whatever fluctuation survives
+// the smoothing instead of bounding the step like DOLBIE's rule (7).
+type JSQ struct {
+	x []float64
+	// unit[i] is the EWMA estimate of worker i's per-unit-work cost.
+	unit   []float64
+	lambda float64
+	tol    float64
+	primed bool
+}
+
+var _ core.Algorithm = (*JSQ)(nil)
+
+// NewJSQ constructs the baseline. lambda in (0, 1] is the EWMA weight on
+// the newest per-unit-cost sample, and tol >= 0 is the relative queue
+// imbalance below which the assignment is left untouched; the classic
+// greedy-balancer settings are lambda = 0.9 and tol = 0.05.
+func NewJSQ(x0 []float64, lambda, tol float64) (*JSQ, error) {
+	if err := simplex.Check(x0, 0); err != nil {
+		return nil, fmt.Errorf("baselines: JSQ initial partition: %w", err)
+	}
+	if lambda <= 0 || lambda > 1 {
+		return nil, fmt.Errorf("baselines: JSQ smoothing weight %v out of (0, 1]", lambda)
+	}
+	if tol < 0 {
+		return nil, fmt.Errorf("baselines: JSQ imbalance tolerance %v must be non-negative", tol)
+	}
+	return &JSQ{
+		x:      simplex.Clone(x0),
+		unit:   make([]float64, len(x0)),
+		lambda: lambda,
+		tol:    tol,
+	}, nil
+}
+
+// Name implements core.Algorithm.
+func (j *JSQ) Name() string { return "JSQ" }
+
+// Assignment implements core.Algorithm.
+func (j *JSQ) Assignment() []float64 { return j.x }
+
+// Update implements core.Algorithm.
+func (j *JSQ) Update(obs core.Observation) error {
+	n := len(j.x)
+	if err := obs.Validate(n); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		if j.x[i] <= 0 {
+			// An unloaded worker reveals nothing about its speed this
+			// round; keep the previous estimate.
+			continue
+		}
+		u := obs.Costs[i] / j.x[i]
+		if !j.primed {
+			j.unit[i] = u
+			continue
+		}
+		j.unit[i] = (1-j.lambda)*j.unit[i] + j.lambda*u
+	}
+	j.primed = true
+
+	// Estimated queues under the current assignment; move only when the
+	// relative imbalance clears the tolerance.
+	minQ, maxQ, sumQ := j.x[0]*j.unit[0], j.x[0]*j.unit[0], 0.0
+	for i := 0; i < n; i++ {
+		q := j.x[i] * j.unit[i]
+		if q < minQ {
+			minQ = q
+		}
+		if q > maxQ {
+			maxQ = q
+		}
+		sumQ += q
+	}
+	if sumQ <= 0 || (maxQ-minQ)*float64(n) <= j.tol*sumQ {
+		return nil
+	}
+	// Equalize: x_i * u_i constant, i.e. shares inversely proportional to
+	// the per-unit cost. A worker estimated free dominates the split;
+	// Renormalize caps its share.
+	inv := make([]float64, n)
+	for i := 0; i < n; i++ {
+		if j.unit[i] <= 0 {
+			inv[i] = 1e12
+			continue
+		}
+		inv[i] = 1 / j.unit[i]
+	}
+	j.x = simplex.Renormalize(inv)
+	return nil
+}

@@ -1,0 +1,136 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dolbie/internal/costfn"
+	"dolbie/internal/simplex"
+)
+
+func TestNewJSQValidation(t *testing.T) {
+	if _, err := NewJSQ([]float64{0.4, 0.4}, 0.9, 0.05); err == nil {
+		t.Error("infeasible x0 should error")
+	}
+	if _, err := NewJSQ(simplex.Uniform(2), 0, 0.05); err == nil {
+		t.Error("zero lambda should error")
+	}
+	if _, err := NewJSQ(simplex.Uniform(2), 1.5, 0.05); err == nil {
+		t.Error("lambda > 1 should error")
+	}
+	if _, err := NewJSQ(simplex.Uniform(2), 0.9, -0.1); err == nil {
+		t.Error("negative tolerance should error")
+	}
+}
+
+func TestJSQEqualizesQueuesOnStaticCosts(t *testing.T) {
+	j, err := NewJSQ(simplex.Uniform(2), 0.9, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Name() != "JSQ" {
+		t.Errorf("name = %q", j.Name())
+	}
+	// Pure-slope costs: per-unit cost equals the slope, so equalizing the
+	// queues puts shares at (2/3, 1/3), after which the observed costs are
+	// identical and the assignment must hold still.
+	funcs := []costfn.Func{costfn.Affine{Slope: 2}, costfn.Affine{Slope: 4}}
+	if err := j.Update(obsFor(funcs, j.Assignment())); err != nil {
+		t.Fatal(err)
+	}
+	got := j.Assignment()
+	if math.Abs(got[0]-2.0/3) > 1e-9 || math.Abs(got[1]-1.0/3) > 1e-9 {
+		t.Fatalf("JSQ assignment = %v, want [2/3, 1/3]", got)
+	}
+	for round := 0; round < 5; round++ {
+		if err := j.Update(obsFor(funcs, j.Assignment())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got = j.Assignment()
+	if math.Abs(got[0]-2.0/3) > 1e-9 {
+		t.Errorf("JSQ drifted off the balanced point: %v", got)
+	}
+	if err := simplex.Check(got, 1e-9); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJSQHoldsWithinTolerance(t *testing.T) {
+	j, err := NewJSQ(simplex.Uniform(2), 0.9, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Relative queue imbalance at the uniform split is about 3.9%, under
+	// the 5% tolerance, so the greedy move must be suppressed.
+	funcs := []costfn.Func{costfn.Affine{Slope: 1}, costfn.Affine{Slope: 1.04}}
+	if err := j.Update(obsFor(funcs, j.Assignment())); err != nil {
+		t.Fatal(err)
+	}
+	if got := j.Assignment()[0]; got != 0.5 {
+		t.Errorf("JSQ moved inside the tolerance band: %v", j.Assignment())
+	}
+}
+
+func TestJSQSmoothsTransients(t *testing.T) {
+	// With a small lambda, one outlier round must not yank the assignment
+	// all the way to the outlier's inverse-cost split.
+	j, err := NewJSQ(simplex.Uniform(2), 0.1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steady := []costfn.Func{costfn.Affine{Slope: 2}, costfn.Affine{Slope: 2}}
+	for round := 0; round < 10; round++ {
+		if err := j.Update(obsFor(steady, j.Assignment())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	spike := []costfn.Func{costfn.Affine{Slope: 2}, costfn.Affine{Slope: 20}}
+	if err := j.Update(obsFor(spike, j.Assignment())); err != nil {
+		t.Fatal(err)
+	}
+	// Unsmoothed inverse-cost split would be (10/11, 1/11); the EWMA keeps
+	// the reaction an order of magnitude smaller.
+	if got := j.Assignment()[0]; got > 0.7 {
+		t.Errorf("JSQ overreacted to a single spike: %v", j.Assignment())
+	}
+}
+
+func TestJSQZeroCostWorkerAbsorbsLoad(t *testing.T) {
+	j, err := NewJSQ(simplex.Uniform(2), 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	funcs := []costfn.Func{costfn.Affine{}, costfn.Affine{Slope: 1}}
+	if err := j.Update(obsFor(funcs, j.Assignment())); err != nil {
+		t.Fatal(err)
+	}
+	if got := j.Assignment()[0]; got < 0.99 {
+		t.Errorf("free worker share = %v, want about 1", got)
+	}
+	if err := simplex.Check(j.Assignment(), 1e-9); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJSQStaysFeasibleOnRandomInstance(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	const n, T = 6, 80
+	j, err := NewJSQ(simplex.Uniform(n), 0.9, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < T; round++ {
+		funcs := make([]costfn.Func, n)
+		for i := range funcs {
+			funcs[i] = costfn.Affine{Slope: 0.2 + rng.Float64()*8, Intercept: rng.Float64() * 0.3}
+		}
+		if err := j.Update(obsFor(funcs, j.Assignment())); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if err := simplex.Check(j.Assignment(), 1e-7); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+}

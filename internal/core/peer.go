@@ -61,8 +61,15 @@ type PeerState struct {
 
 	costs      []float64
 	alphas     []float64
+	renorms    []float64
 	shareSeen  []bool
 	shareCount int
+
+	// renorm is the factor this peer owes the deployment on its next
+	// share: the straggler sets it to the survivors' decision sum R when
+	// R > 1 (the drained-straggler overshoot; see completeDecisions), and
+	// Observe clears it once broadcast.
+	renorm float64
 
 	straggler      int
 	consensusAlpha float64
@@ -122,6 +129,7 @@ func NewPeer(id int, x0 []float64, opts ...Option) (*PeerState, error) {
 		straggler:        -1,
 		costs:            make([]float64, n),
 		alphas:           make([]float64, n),
+		renorms:          make([]float64, n),
 		shareSeen:        make([]bool, n),
 		decSeen:          make([]bool, n),
 		decVals:          make([]float64, n),
@@ -262,14 +270,17 @@ func (p *PeerState) Observe(cost float64, f costfn.Func) ([]PeerOutput, error) {
 	for i := range p.shareSeen {
 		p.shareSeen[i] = false
 	}
-	out := []PeerOutput{{Share: &PeerShare{
+	share := PeerShare{
 		Round:      p.round,
 		From:       p.id,
 		Cost:       cost,
 		LocalAlpha: p.localAlpha,
-	}}}
+		Renorm:     p.renorm,
+	}
+	p.renorm = 0
+	out := []PeerOutput{{Share: &share}}
 	// Record our own share, then drain anything that arrived early.
-	more, err := p.acceptShare(PeerShare{Round: p.round, From: p.id, Cost: cost, LocalAlpha: p.localAlpha})
+	more, err := p.acceptShare(share)
 	if err != nil {
 		return nil, err
 	}
@@ -314,6 +325,7 @@ func (p *PeerState) acceptShare(s PeerShare) ([]PeerOutput, error) {
 	p.shareSeen[s.From] = true
 	p.costs[s.From] = s.Cost
 	p.alphas[s.From] = s.LocalAlpha
+	p.renorms[s.From] = s.Renorm
 	p.shareCount++
 	if p.shareCount < p.aliveCount {
 		return nil, nil
@@ -341,6 +353,17 @@ func (p *PeerState) completeShares() ([]PeerOutput, error) {
 	}
 	p.consensusAlpha = alpha
 	l := p.costs[p.straggler]
+
+	// Overshoot clamp: if the previous round's straggler piggybacked a
+	// renorm factor R > 1, every peer scales its share by 1/R before
+	// updating, so the survivor set re-enters the simplex in lockstep (the
+	// drained straggler itself holds x = 0, unchanged by the scaling). At
+	// most one share per round can carry a factor (only a straggler sets
+	// it); max over the survivor set is order-independent, preserving
+	// run-for-run determinism.
+	if r := p.maxRenorm(); r > 1 {
+		p.x /= r
+	}
 
 	if p.id != p.straggler {
 		// Risk-averse assistance (Algorithm 2, lines 8-10).
@@ -432,6 +455,14 @@ func (p *PeerState) completeDecisions() ([]PeerOutput, error) {
 	xs := 1 - taken
 	if xs < 0 {
 		xs = 0
+		// The survivors' decisions overshot the simplex — possible only
+		// when this straggler was already drained, so the rule-(8) cap
+		// below could not have bound last round. Owe the deployment the
+		// renormalization factor on the next share broadcast; tolerate
+		// float dust so feasible rounds never trigger a renorm.
+		if taken > 1+drainEps {
+			p.renorm = taken
+		}
 	}
 	p.x = xs
 	if xs > drainEps { // a fully drained straggler degenerates the cap; see balancer.go
@@ -449,6 +480,18 @@ func (p *PeerState) completeDecisions() ([]PeerOutput, error) {
 	}
 	p.rec.RecordRound(p.id, p.costs[p.id], p.localAlpha)
 	return p.finishRound([]PeerOutput{{Done: true}})
+}
+
+// maxRenorm returns the largest renorm factor piggybacked on this
+// round's surviving shares (0 when none carried one).
+func (p *PeerState) maxRenorm() float64 {
+	var r float64
+	for i, ok := range p.alive {
+		if ok && p.renorms[i] > r {
+			r = p.renorms[i]
+		}
+	}
+	return r
 }
 
 // finishRound advances to the next round and drains buffered shares that

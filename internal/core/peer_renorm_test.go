@@ -1,0 +1,145 @@
+package core
+
+// Regression tests for the straggler-share degeneracy (DESIGN.md, "Known
+// limitations" #3): on cost mixes with no interior min-max equilibrium
+// the straggler drains to zero share, rule (8)'s cap never binds, and —
+// absent the renorm clamp — the survivors' shares compound past the
+// simplex round after round. The clamp makes the overshoot a bounded
+// transient: the drained straggler piggybacks the decision sum R > 1 on
+// its next share and every peer scales by 1/R before updating.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dolbie/internal/costfn"
+)
+
+// drainedMix is a cost mix with no interior equilibrium: the straggler's
+// cost is dominated by a batch-independent intercept no survivor can
+// match, so every non-straggler's x'_{i,t} = f^{-1}(l_t) clamps to the
+// full workload and the straggler drains to zero share in one round.
+func drainedMix(n, rounds, straggler int) [][]costfn.Affine {
+	funcs := make([][]costfn.Affine, rounds)
+	for t := range funcs {
+		funcs[t] = make([]costfn.Affine, n)
+		for i := range funcs[t] {
+			if i == straggler {
+				funcs[t][i] = costfn.Affine{Slope: 0.01, Intercept: 100}
+			} else {
+				funcs[t][i] = costfn.Affine{Slope: 1}
+			}
+		}
+	}
+	return funcs
+}
+
+func TestDrainedStragglerRenormBoundsOvershoot(t *testing.T) {
+	// Uniform N=3 start: alpha_1 = (1/3)/(1+1/3) = 0.25, and rule (8)
+	// never shrinks it (the straggler remainder is 0 from round 1 on), so
+	// the whole trajectory is computable by hand:
+	//
+	//	round 1: x_ns = 1/3 + 0.25*(1-1/3) = 0.5        sum = 1.0
+	//	round 2: x_ns = 0.5 + 0.25*0.5     = 0.625      sum = 1.25 -> R=1.25
+	//	round 3: clamp 0.625/1.25 = 0.5, then 0.625     sum = 1.25 -> R=1.25
+	//	...steady oscillation; without the clamp x_ns compounds toward 1
+	//	and the sum toward 2 (0.71875, 0.789, ... by round 3, 4).
+	const rounds = 12
+	traj := runPeers(t, drainedMix(3, rounds, 2), []float64{1.0 / 3, 1.0 / 3, 1.0 / 3}, rand.New(rand.NewSource(7)))
+	for r, x := range traj {
+		sum := x[0] + x[1] + x[2]
+		if sum > 1.25+1e-9 {
+			t.Fatalf("round %d: shares %v sum to %v; overshoot is compounding", r+1, x, sum)
+		}
+		if x[2] != 0 && r > 0 {
+			t.Fatalf("round %d: straggler share = %v, want fully drained", r+1, x[2])
+		}
+	}
+	// Pin the clamp itself: from round 3 on, each non-straggler plays the
+	// renormalized 0.5 and lands back on 0.625 — not the compounding
+	// 0.71875 the unclamped update would produce.
+	for r := 2; r < rounds; r++ {
+		if math.Abs(traj[r][0]-0.625) > 1e-12 || math.Abs(traj[r][1]-0.625) > 1e-12 {
+			t.Fatalf("round %d: non-straggler shares %v, want the renormalized 0.625", r+1, traj[r][:2])
+		}
+	}
+}
+
+func TestDrainedStragglerRenormAfterEviction(t *testing.T) {
+	// The fail-stop recovery shape of the same degeneracy: peer 3 of 4
+	// crashes before the first round, the survivors re-derive the
+	// consensus over {0, 1, 2}, and the dead peer's 0.25 share plus the
+	// drained-straggler mix push the survivors' decisions past the
+	// simplex. The renorm clamp must keep the survivor sum bounded
+	// instead of letting it compound toward the survivor count.
+	x0 := []float64{0.25, 0.25, 0.25, 0.25}
+	peers := make([]*PeerState, 3)
+	for i := range peers {
+		p, err := NewPeer(i, x0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.Evict(3); err != nil {
+			t.Fatal(err)
+		}
+		peers[i] = p
+	}
+
+	const rounds = 10
+	funcs := drainedMix(3, rounds, 2)
+	var maxSum float64
+	for round := 0; round < rounds; round++ {
+		var shares []PeerShare
+		var decisions []PeerDecision
+		for i, p := range peers {
+			f := funcs[round][i]
+			outs, err := p.Observe(f.Eval(p.Play()), f)
+			if err != nil {
+				t.Fatalf("round %d peer %d observe: %v", round+1, i, err)
+			}
+			for _, o := range outs {
+				if o.Share != nil {
+					shares = append(shares, *o.Share)
+				}
+			}
+		}
+		for _, s := range shares {
+			for i, p := range peers {
+				if i == s.From {
+					continue
+				}
+				outs, err := p.HandleShare(s)
+				if err != nil {
+					t.Fatalf("round %d share to peer %d: %v", round+1, i, err)
+				}
+				for _, o := range outs {
+					if o.Decision != nil {
+						decisions = append(decisions, *o.Decision)
+					}
+				}
+			}
+		}
+		for _, d := range decisions {
+			if _, err := peers[d.To].HandleDecision(d); err != nil {
+				t.Fatalf("round %d decision to peer %d: %v", round+1, d.To, err)
+			}
+		}
+		var sum float64
+		for _, p := range peers {
+			sum += p.X()
+		}
+		if sum > maxSum {
+			maxSum = sum
+		}
+	}
+	// One step past the simplex is the worst the clamp allows (the scaled
+	// shares re-enter the simplex, then move by at most alpha*(1-x) each);
+	// the unclamped recovery blows through this within three rounds.
+	if maxSum > 1.3 {
+		t.Fatalf("survivor share sum reached %v; renorm clamp not engaging", maxSum)
+	}
+	if maxSum <= 1+drainEps {
+		t.Fatal("cost mix never overshot; the regression scenario lost its teeth")
+	}
+}

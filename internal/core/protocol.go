@@ -51,11 +51,21 @@ type StragglerAssign struct {
 // PeerShare is broadcast by every worker in the fully-distributed
 // architecture after observing its local cost: the cost value l_{i,t} and
 // the local step size alpha-bar_{i,t} (Algorithm 2, line 4).
+//
+// Renorm is the runtime's overshoot clamp (not in the paper): when the
+// previous round's straggler found the survivors' decisions summing to
+// R > 1 — possible only when it had drained to zero share, so rule (8)'s
+// cap could not bind — it piggybacks R on its next share. Every peer
+// then scales its workload by 1/R before updating, restoring the simplex
+// in one round. Renorm is 0 (or 1) on every share of a feasible round,
+// so the field is inert outside the documented degeneracy (DESIGN.md,
+// "Known limitations" #3).
 type PeerShare struct {
 	Round      int     `json:"round"`
 	From       int     `json:"from"`
 	Cost       float64 `json:"cost"`
 	LocalAlpha float64 `json:"localAlpha"`
+	Renorm     float64 `json:"renorm,omitempty"`
 }
 
 // PeerDecision is sent by each non-straggling worker directly (and only)

@@ -1,0 +1,338 @@
+package dispatch
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+
+	"dolbie/internal/metrics"
+)
+
+// Config parameterizes a Dispatcher.
+type Config struct {
+	// N is the number of workers (queues).
+	N int
+	// QueueCap bounds every worker's FIFO queue (the in-service request
+	// counts against the bound).
+	QueueCap int
+	// Shed selects the backpressure behaviour when the routed target's
+	// queue is full.
+	Shed ShedPolicy
+	// Route selects the routing policy. RouteWeighted starts from
+	// uniform weights; drive it with SetWeights to close the DOLBIE
+	// loop.
+	Route RoutePolicy
+	// Metrics instruments the dispatcher with the dolbie_dispatch_*
+	// family; nil disables instrumentation.
+	Metrics *metrics.Registry
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.N <= 0 {
+		return fmt.Errorf("dispatch: N = %d must be positive", c.N)
+	}
+	if c.QueueCap <= 0 {
+		return fmt.Errorf("dispatch: QueueCap = %d must be positive", c.QueueCap)
+	}
+	switch c.Shed {
+	case ShedReject, ShedBlock, ShedSpill:
+	default:
+		return fmt.Errorf("dispatch: unknown shed policy %d", int(c.Shed))
+	}
+	switch c.Route {
+	case RouteWeighted, RouteJSQ:
+	default:
+		return fmt.Errorf("dispatch: unknown route policy %d", int(c.Route))
+	}
+	return nil
+}
+
+// Totals is a consistent snapshot of the dispatcher's counters. The
+// conservation law Arrivals == sum(Routed) + Shed + Blocked holds for
+// every snapshot (spilled requests are counted in Routed on the queue
+// they landed on).
+type Totals struct {
+	// Arrivals counts every Submit call.
+	Arrivals int64
+	// Routed counts enqueued requests per worker.
+	Routed []int64
+	// Shed counts dropped requests.
+	Shed int64
+	// Spilled counts requests rerouted off their weighted target.
+	Spilled int64
+	// Blocked counts refused admission attempts (ShedBlock).
+	Blocked int64
+	// Completed counts requests fully served.
+	Completed int64
+}
+
+// dispatcherInstruments pre-resolves every label series the hot path
+// touches, so Submit/Complete never take the registry's family locks.
+// All updates happen under the dispatcher mutex, which keeps the
+// exported gauges and counters consistent with Totals at quiescence
+// (the concurrency contract the metrics race test pins down).
+type dispatcherInstruments struct {
+	arrivals      *metrics.Counter
+	routedByW     []*metrics.Counter
+	depthByW      []*metrics.Gauge
+	shedReject    *metrics.Counter
+	shedExhausted *metrics.Counter
+	spilled       *metrics.Counter
+	blocked       *metrics.Counter
+	latency       *metrics.Histogram
+	retunes       *metrics.Counter
+}
+
+func newDispatcherInstruments(in *instruments, n int) *dispatcherInstruments {
+	if in == nil {
+		return nil
+	}
+	di := &dispatcherInstruments{
+		arrivals:      in.arrivals,
+		routedByW:     make([]*metrics.Counter, n),
+		depthByW:      make([]*metrics.Gauge, n),
+		shedReject:    in.shed.WithLabelValues("reject"),
+		shedExhausted: in.shed.WithLabelValues("spill_exhausted"),
+		spilled:       in.spilled,
+		blocked:       in.blocked,
+		latency:       in.latency,
+		retunes:       in.retunes,
+	}
+	for i := 0; i < n; i++ {
+		di.routedByW[i] = in.routed.WithLabelValues(strconv.Itoa(i))
+		di.depthByW[i] = in.depth.WithLabelValues(strconv.Itoa(i))
+	}
+	return di
+}
+
+// Dispatcher routes requests onto bounded per-worker FIFO queues
+// according to the configured policy and the current weight vector. It
+// is safe for concurrent use: the virtual-time engine drives it from
+// one goroutine, while the HTTP ingest handler and metrics scrapes may
+// hit it from many.
+type Dispatcher struct {
+	cfg  Config
+	inst *dispatcherInstruments
+
+	mu      sync.Mutex
+	queues  []*queue
+	weights []float64
+	wrr     []float64 // smooth weighted round-robin accumulators
+	totals  Totals
+}
+
+// New constructs a Dispatcher with uniform initial weights.
+func New(cfg Config) (*Dispatcher, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	d := &Dispatcher{
+		cfg:     cfg,
+		inst:    newDispatcherInstruments(newInstruments(cfg.Metrics), cfg.N),
+		queues:  make([]*queue, cfg.N),
+		weights: make([]float64, cfg.N),
+		wrr:     make([]float64, cfg.N),
+	}
+	d.totals.Routed = make([]int64, cfg.N)
+	for i := range d.queues {
+		d.queues[i] = newQueue(cfg.QueueCap)
+		d.weights[i] = 1 / float64(cfg.N)
+	}
+	return d, nil
+}
+
+// N returns the number of workers.
+func (d *Dispatcher) N() int { return d.cfg.N }
+
+// SetWeights installs a new routing weight vector (DOLBIE's x_{t+1}).
+// Weights must be non-negative with a positive sum; they need not be
+// normalized. The smooth-WRR accumulators are preserved so routing
+// stays deterministic across retunes.
+func (d *Dispatcher) SetWeights(w []float64) error {
+	if len(w) != d.cfg.N {
+		return fmt.Errorf("dispatch: got %d weights for %d workers", len(w), d.cfg.N)
+	}
+	var sum float64
+	for i, v := range w {
+		if v < 0 || v != v {
+			return fmt.Errorf("dispatch: weight[%d] = %v must be non-negative", i, v)
+		}
+		sum += v
+	}
+	if sum <= 0 {
+		return fmt.Errorf("dispatch: weights sum to %v, want > 0", sum)
+	}
+	d.mu.Lock()
+	copy(d.weights, w)
+	if d.inst != nil {
+		d.inst.retunes.Inc()
+	}
+	d.mu.Unlock()
+	return nil
+}
+
+// Weights returns a copy of the current routing weights.
+func (d *Dispatcher) Weights() []float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]float64(nil), d.weights...)
+}
+
+// Submit routes one request. The returned verdict reports where it
+// landed (or why it did not); Blocked verdicts leave no trace in the
+// queues and the caller is expected to resubmit after a completion.
+func (d *Dispatcher) Submit(r Request) Verdict {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.totals.Arrivals++
+	if d.inst != nil {
+		d.inst.arrivals.Inc()
+	}
+	target := d.pickLocked()
+	v := Verdict{Outcome: Routed, Worker: target}
+	switch {
+	case !d.queues[target].full():
+		// Fast path: the routed target has room.
+	case d.cfg.Shed == ShedBlock:
+		d.totals.Blocked++
+		if d.inst != nil {
+			d.inst.blocked.Inc()
+		}
+		return Verdict{Outcome: Blocked, Worker: -1}
+	case d.cfg.Shed == ShedSpill:
+		alt := d.leastLoadedWithSpaceLocked()
+		if alt < 0 {
+			d.totals.Shed++
+			if d.inst != nil {
+				d.inst.shedExhausted.Inc()
+			}
+			return Verdict{Outcome: Shed, Worker: -1}
+		}
+		d.totals.Spilled++
+		if d.inst != nil {
+			d.inst.spilled.Inc()
+		}
+		v = Verdict{Outcome: Spilled, Worker: alt}
+	default: // ShedReject
+		d.totals.Shed++
+		if d.inst != nil {
+			d.inst.shedReject.Inc()
+		}
+		return Verdict{Outcome: Shed, Worker: -1}
+	}
+	d.queues[v.Worker].push(r)
+	d.totals.Routed[v.Worker]++
+	if d.inst != nil {
+		d.inst.routedByW[v.Worker].Inc()
+		d.inst.depthByW[v.Worker].Set(float64(d.queues[v.Worker].len()))
+	}
+	return v
+}
+
+// pickLocked selects the routed target under d.mu.
+func (d *Dispatcher) pickLocked() int {
+	if d.cfg.Route == RouteJSQ {
+		best := 0
+		for i := 1; i < len(d.queues); i++ {
+			if d.queues[i].len() < d.queues[best].len() {
+				best = i
+			}
+		}
+		return best
+	}
+	// Smooth weighted round-robin (the nginx algorithm): deterministic,
+	// drift-free, and spreads each worker's turns evenly through the
+	// sequence instead of bursting them.
+	var total float64
+	best := -1
+	for i, w := range d.weights {
+		d.wrr[i] += w
+		total += w
+		if best == -1 || d.wrr[i] > d.wrr[best] {
+			best = i
+		}
+	}
+	d.wrr[best] -= total
+	return best
+}
+
+// leastLoadedWithSpaceLocked returns the worker with the fewest queued
+// requests among those with queue space, or -1 when every queue is
+// full. Ties break to the lowest index.
+func (d *Dispatcher) leastLoadedWithSpaceLocked() int {
+	best := -1
+	for i, q := range d.queues {
+		if q.full() {
+			continue
+		}
+		if best == -1 || q.len() < d.queues[best].len() {
+			best = i
+		}
+	}
+	return best
+}
+
+// Head returns the oldest request on the worker's queue without
+// removing it (the request currently in service).
+func (d *Dispatcher) Head(worker int) (Request, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if worker < 0 || worker >= d.cfg.N {
+		return Request{}, false
+	}
+	return d.queues[worker].peek()
+}
+
+// Complete pops the worker's in-service head and records its
+// completion at time now (virtual or wall seconds, matching the
+// request arrivals). It returns the completed request.
+func (d *Dispatcher) Complete(worker int, now float64) (Request, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if worker < 0 || worker >= d.cfg.N {
+		return Request{}, false
+	}
+	r, ok := d.queues[worker].pop()
+	if !ok {
+		return Request{}, false
+	}
+	d.totals.Completed++
+	if d.inst != nil {
+		d.inst.depthByW[worker].Set(float64(d.queues[worker].len()))
+		d.inst.latency.Observe(now - r.Arrival)
+	}
+	return r, true
+}
+
+// Depths returns the current queue depth of every worker.
+func (d *Dispatcher) Depths() []int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]int, d.cfg.N)
+	for i, q := range d.queues {
+		out[i] = q.len()
+	}
+	return out
+}
+
+// Backlog returns every worker's queued work in demand units
+// (including the in-service head).
+func (d *Dispatcher) Backlog() []float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]float64, d.cfg.N)
+	for i, q := range d.queues {
+		out[i] = q.work
+	}
+	return out
+}
+
+// Totals returns a consistent snapshot of the dispatcher's counters.
+func (d *Dispatcher) Totals() Totals {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	t := d.totals
+	t.Routed = append([]int64(nil), d.totals.Routed...)
+	return t
+}

@@ -1,0 +1,116 @@
+package dispatch
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzDispatcherAdmission drives a dispatcher through an arbitrary
+// interleaving of submissions and completions and checks the admission
+// invariants that everything downstream (metrics consistency, the serve
+// loop's virtual clock) relies on: the conservation law
+// Arrivals == sum(Routed) + Shed + Blocked, queue depths bounded by the
+// configured capacity, and Backlog matching the work actually enqueued.
+// Runs with the seed corpus under plain `go test`; explore further with
+// `go test -fuzz=FuzzDispatcherAdmission`.
+func FuzzDispatcherAdmission(f *testing.F) {
+	f.Add(uint8(3), uint8(2), uint8(0), uint8(0), []byte{0, 1, 2, 3, 4, 5})
+	f.Add(uint8(1), uint8(1), uint8(1), uint8(1), []byte{7, 7, 7, 3, 3})
+	f.Add(uint8(8), uint8(4), uint8(2), uint8(0), []byte{255, 128, 64, 32, 16, 8, 4, 2, 1})
+	f.Fuzz(func(t *testing.T, n, queueCap, shed, route uint8, ops []byte) {
+		cfg := Config{
+			N:        int(n%8) + 1,
+			QueueCap: int(queueCap%16) + 1,
+			Shed:     ShedPolicy(int(shed) % 3),
+			Route:    RoutePolicy(int(route) % 2),
+		}
+		d, err := New(cfg)
+		if err != nil {
+			t.Fatalf("New(%+v): %v", cfg, err)
+		}
+		var id int64
+		var enqueued float64
+		depths := make([]int, cfg.N)
+		for k, op := range ops {
+			if op%4 == 3 {
+				w := int(op>>2) % cfg.N
+				if req, ok := d.Complete(w, float64(k)); ok {
+					depths[w]--
+					enqueued -= req.Demand
+				}
+				continue
+			}
+			id++
+			demand := 0.1 + float64(op%7)
+			v := d.Submit(Request{ID: id, Arrival: float64(k), Demand: demand})
+			switch v.Outcome {
+			case Routed, Spilled:
+				if v.Worker < 0 || v.Worker >= cfg.N {
+					t.Fatalf("op %d: routed to worker %d of %d", k, v.Worker, cfg.N)
+				}
+				depths[v.Worker]++
+				enqueued += demand
+			case Shed:
+				if cfg.Shed == ShedBlock {
+					t.Fatalf("op %d: block policy shed a request", k)
+				}
+			case Blocked:
+				if cfg.Shed != ShedBlock {
+					t.Fatalf("op %d: %v policy blocked a request", k, cfg.Shed)
+				}
+			default:
+				t.Fatalf("op %d: unknown outcome %v", k, v.Outcome)
+			}
+		}
+		tot := d.Totals()
+		var routed int64
+		for w, r := range tot.Routed {
+			if gotDepth := d.Depths()[w]; gotDepth != depths[w] {
+				t.Fatalf("worker %d depth = %d, want %d", w, gotDepth, depths[w])
+			}
+			if depths[w] > cfg.QueueCap {
+				t.Fatalf("worker %d depth %d exceeds cap %d", w, depths[w], cfg.QueueCap)
+			}
+			routed += r
+		}
+		if tot.Arrivals != routed+tot.Shed+tot.Blocked {
+			t.Fatalf("conservation violated: %d arrivals != %d routed + %d shed + %d blocked",
+				tot.Arrivals, routed, tot.Shed, tot.Blocked)
+		}
+		var backlog float64
+		for _, b := range d.Backlog() {
+			backlog += b
+		}
+		if math.Abs(backlog-enqueued) > 1e-9*(1+math.Abs(enqueued)) {
+			t.Fatalf("backlog %v != enqueued work %v", backlog, enqueued)
+		}
+	})
+}
+
+// FuzzParsePolicies checks that the three policy parsers never panic on
+// arbitrary input and that every successful parse round-trips through
+// String back to the same value.
+func FuzzParsePolicies(f *testing.F) {
+	f.Add("reject")
+	f.Add("JSQ")
+	f.Add(" Spill ")
+	f.Add("uniform")
+	f.Add("\x00\xff")
+	f.Fuzz(func(t *testing.T, s string) {
+		if p, err := ParseShedPolicy(s); err == nil {
+			if rt, err := ParseShedPolicy(p.String()); err != nil || rt != p {
+				t.Fatalf("ShedPolicy %q -> %v does not round-trip (%v, %v)", s, p, rt, err)
+			}
+		}
+		if p, err := ParseRoutePolicy(s); err == nil {
+			if rt, err := ParseRoutePolicy(p.String()); err != nil || rt != p {
+				t.Fatalf("RoutePolicy %q -> %v does not round-trip (%v, %v)", s, p, rt, err)
+			}
+		}
+		if p, err := ParseControlPolicy(s); err == nil {
+			if rt, err := ParseControlPolicy(p.String()); err != nil || rt != p {
+				t.Fatalf("ControlPolicy %q -> %v does not round-trip (%v, %v)", s, p, rt, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,54 @@
+package dispatch
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+)
+
+// ingestResponse is the JSON body the ingest handler returns for every
+// admission attempt.
+type ingestResponse struct {
+	ID      int64  `json:"id"`
+	Outcome string `json:"outcome"`
+	Worker  int    `json:"worker"`
+}
+
+// IngestHandler adapts a Dispatcher to live HTTP traffic: each POST is
+// one request admission. The optional "demand" query parameter sets
+// the service demand in work units (default 1). Status codes map the
+// verdict: 200 routed/spilled, 429 shed (drop and back off), 503
+// blocked (retry after a completion). now supplies arrival timestamps
+// in seconds — pass a monotonic clock for live use.
+func IngestHandler(d *Dispatcher, now func() float64) http.Handler {
+	var seq atomic.Int64
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		demand := 1.0
+		if s := req.URL.Query().Get("demand"); s != "" {
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil || v <= 0 || v != v {
+				http.Error(w, fmt.Sprintf("bad demand %q", s), http.StatusBadRequest)
+				return
+			}
+			demand = v
+		}
+		r := Request{ID: seq.Add(1), Arrival: now(), Demand: demand}
+		v := d.Submit(r)
+		status := http.StatusOK
+		switch v.Outcome {
+		case Shed:
+			status = http.StatusTooManyRequests
+		case Blocked:
+			status = http.StatusServiceUnavailable
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		_ = json.NewEncoder(w).Encode(ingestResponse{ID: r.ID, Outcome: v.Outcome.String(), Worker: v.Worker})
+	})
+}

@@ -1,0 +1,70 @@
+package dispatch
+
+import "dolbie/internal/metrics"
+
+// Metric names of the dolbie_dispatch_* family. The data plane is the
+// first subsystem whose health is invisible in the algorithm-level
+// families (a balancer can converge beautifully while the dispatcher
+// sheds half the traffic), so it gets its own instruments; the alert
+// guide lives in docs/OPERATIONS.md.
+const (
+	// MetricArrivals counts every request submitted to the dispatcher
+	// (including blocked admission attempts).
+	MetricArrivals = "dolbie_dispatch_arrivals_total"
+	// MetricRouted counts requests enqueued per worker, labeled
+	// {worker}; spilled requests count on the queue they landed on.
+	MetricRouted = "dolbie_dispatch_routed_total"
+	// MetricShed counts dropped requests, labeled {reason}: "reject"
+	// (full queue under ShedReject) or "spill_exhausted" (every queue
+	// full under ShedSpill).
+	MetricShed = "dolbie_dispatch_shed_total"
+	// MetricSpilled counts requests rerouted off their weighted target
+	// by ShedSpill.
+	MetricSpilled = "dolbie_dispatch_spilled_total"
+	// MetricBlocked counts admission attempts refused by ShedBlock.
+	MetricBlocked = "dolbie_dispatch_blocked_total"
+	// MetricQueueDepth gauges the current queue depth per worker,
+	// labeled {worker} (the in-service request counts as queued until
+	// completion).
+	MetricQueueDepth = "dolbie_dispatch_queue_depth"
+	// MetricCompletionLatency is the histogram of request completion
+	// latency in seconds (completion time minus original arrival,
+	// including any blocked wait).
+	MetricCompletionLatency = "dolbie_dispatch_completion_latency_seconds"
+	// MetricRetunes counts closed-loop weight updates applied to the
+	// dispatcher (one per round when DOLBIE drives the weights).
+	MetricRetunes = "dolbie_dispatch_retunes_total"
+)
+
+// latencyBuckets spans sub-millisecond dispatch latencies up to the
+// multi-second drain times of a saturated queue.
+var latencyBuckets = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+// instruments bundles the dispatcher's registry-backed metrics; nil
+// when the dispatcher is uninstrumented.
+type instruments struct {
+	arrivals *metrics.Counter
+	routed   *metrics.CounterVec
+	shed     *metrics.CounterVec
+	spilled  *metrics.Counter
+	blocked  *metrics.Counter
+	depth    *metrics.GaugeVec
+	latency  *metrics.Histogram
+	retunes  *metrics.Counter
+}
+
+func newInstruments(reg *metrics.Registry) *instruments {
+	if reg == nil {
+		return nil
+	}
+	return &instruments{
+		arrivals: reg.Counter(MetricArrivals, "Requests submitted to the dispatcher (including blocked attempts)."),
+		routed:   reg.CounterVec(MetricRouted, "Requests enqueued, by worker.", "worker"),
+		shed:     reg.CounterVec(MetricShed, "Requests dropped by backpressure, by reason.", "reason"),
+		spilled:  reg.Counter(MetricSpilled, "Requests rerouted to the least-loaded worker by the spill policy."),
+		blocked:  reg.Counter(MetricBlocked, "Admission attempts refused by the block policy."),
+		depth:    reg.GaugeVec(MetricQueueDepth, "Current queue depth, by worker.", "worker"),
+		latency:  reg.Histogram(MetricCompletionLatency, "Request completion latency in seconds.", latencyBuckets),
+		retunes:  reg.Counter(MetricRetunes, "Closed-loop routing weight updates applied to the dispatcher."),
+	}
+}

@@ -1,0 +1,57 @@
+package dispatch
+
+// queue is a bounded FIFO ring buffer of requests. The zero value is
+// not usable; construct with newQueue. Not safe for concurrent use on
+// its own — the Dispatcher serializes access under its mutex.
+type queue struct {
+	buf   []Request
+	head  int
+	count int
+	// work is the total demand currently queued (including the
+	// in-service head); the engine uses it as the worker's backlog.
+	work float64
+}
+
+func newQueue(capacity int) *queue {
+	return &queue{buf: make([]Request, capacity)}
+}
+
+// full reports whether the queue is at capacity.
+func (q *queue) full() bool { return q.count == len(q.buf) }
+
+// len returns the number of queued requests.
+func (q *queue) len() int { return q.count }
+
+// push appends a request; it must not be called on a full queue.
+func (q *queue) push(r Request) {
+	if q.full() {
+		panic("dispatch: push on full queue")
+	}
+	q.buf[(q.head+q.count)%len(q.buf)] = r
+	q.count++
+	q.work += r.Demand
+}
+
+// peek returns the oldest request without removing it.
+func (q *queue) peek() (Request, bool) {
+	if q.count == 0 {
+		return Request{}, false
+	}
+	return q.buf[q.head], true
+}
+
+// pop removes and returns the oldest request.
+func (q *queue) pop() (Request, bool) {
+	if q.count == 0 {
+		return Request{}, false
+	}
+	r := q.buf[q.head]
+	q.buf[q.head] = Request{}
+	q.head = (q.head + 1) % len(q.buf)
+	q.count--
+	q.work -= r.Demand
+	if q.count == 0 {
+		q.work = 0 // clear float dust so an idle worker reports zero backlog
+	}
+	return r, true
+}

@@ -1,0 +1,140 @@
+package dispatch
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"dolbie/internal/metrics"
+)
+
+// scrapeValue extracts one sample value from Prometheus text exposition
+// output, matching the series name (including any label set) exactly.
+func scrapeValue(t *testing.T, text, series string) float64 {
+	t.Helper()
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 2 && fields[0] == series {
+			v, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil {
+				t.Fatalf("bad sample %q: %v", line, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("series %q not found in scrape output:\n%s", series, text)
+	return 0
+}
+
+// TestConcurrentScrapeConsistency hammers the dispatcher from several
+// routing and completing goroutines while other goroutines scrape the
+// /metrics endpoint, then — at quiescence — asserts the exported
+// queue-depth gauges and shed/arrival counters agree exactly with the
+// dispatcher's own totals. Run under -race this also proves the
+// instrument updates never race the scrape path.
+func TestConcurrentScrapeConsistency(t *testing.T) {
+	const (
+		n          = 4
+		submitters = 4
+		scrapers   = 3
+		perWorker  = 500
+	)
+	reg := metrics.NewRegistry()
+	d, err := New(Config{N: n, QueueCap: 8, Shed: ShedSpill, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(metrics.NewMux(reg))
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Scrapers: read the live endpoint for the duration of the load.
+	for s := 0; s < scrapers; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := srv.Client().Get(srv.URL + "/metrics")
+				if err != nil {
+					t.Errorf("scrape: %v", err)
+					return
+				}
+				if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+					t.Errorf("scrape read: %v", err)
+				}
+				resp.Body.Close()
+			}
+		}()
+	}
+	// Submitters and completers: route under load, drain concurrently.
+	var loadWG sync.WaitGroup
+	for g := 0; g < submitters; g++ {
+		loadWG.Add(1)
+		go func(g int) {
+			defer loadWG.Done()
+			for i := 0; i < perWorker; i++ {
+				d.Submit(Request{ID: int64(g*perWorker + i), Demand: 1})
+				if i%3 == 0 {
+					d.Complete(i%n, float64(i))
+				}
+			}
+		}(g)
+	}
+	loadWG.Wait()
+	close(stop)
+	wg.Wait()
+
+	// Quiesced: the exported series must agree with the dispatcher.
+	tot := d.Totals()
+	depths := d.Depths()
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+
+	if got := scrapeValue(t, text, MetricArrivals); got != float64(tot.Arrivals) {
+		t.Errorf("arrivals gauge %v != totals %d", got, tot.Arrivals)
+	}
+	var shedSum float64
+	for _, reason := range []string{"reject", "spill_exhausted"} {
+		series := fmt.Sprintf("%s{reason=%q}", MetricShed, reason)
+		if strings.Contains(text, series) {
+			shedSum += scrapeValue(t, text, series)
+		}
+	}
+	if shedSum != float64(tot.Shed) {
+		t.Errorf("shed counters %v != totals %d", shedSum, tot.Shed)
+	}
+	var routedSum int64
+	for w := 0; w < n; w++ {
+		series := fmt.Sprintf("%s{worker=\"%d\"}", MetricQueueDepth, w)
+		if got := scrapeValue(t, text, series); got != float64(depths[w]) {
+			t.Errorf("worker %d depth gauge %v != dispatcher depth %d", w, got, depths[w])
+		}
+		routed := fmt.Sprintf("%s{worker=\"%d\"}", MetricRouted, w)
+		if got := scrapeValue(t, text, routed); got != float64(tot.Routed[w]) {
+			t.Errorf("worker %d routed counter %v != totals %d", w, got, tot.Routed[w])
+		}
+		routedSum += tot.Routed[w]
+	}
+	if routedSum+tot.Shed+tot.Blocked != tot.Arrivals {
+		t.Errorf("conservation violated at quiescence: %+v", tot)
+	}
+}

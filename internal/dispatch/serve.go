@@ -1,0 +1,448 @@
+package dispatch
+
+import (
+	"fmt"
+	"math"
+
+	"dolbie/internal/core"
+	"dolbie/internal/costfn"
+	"dolbie/internal/metrics"
+	"dolbie/internal/stats"
+	"dolbie/internal/trace"
+)
+
+// ControlPolicy selects the control plane driving the dispatcher's
+// routing in a Serve run.
+type ControlPolicy int
+
+const (
+	// PolicyDOLBIE routes by smooth WRR over weights retuned every
+	// round by the DOLBIE balancer from observed drain latencies (the
+	// closed loop).
+	PolicyDOLBIE ControlPolicy = iota
+	// PolicyWRR routes by smooth WRR over static uniform weights (the
+	// speed-oblivious baseline).
+	PolicyWRR
+	// PolicyJSQ joins the shortest queue on every request (the greedy
+	// queue-depth baseline).
+	PolicyJSQ
+)
+
+// String returns the policy's flag spelling ("dolbie", "wrr", "jsq").
+func (p ControlPolicy) String() string {
+	switch p {
+	case PolicyDOLBIE:
+		return "dolbie"
+	case PolicyWRR:
+		return "wrr"
+	case PolicyJSQ:
+		return "jsq"
+	}
+	return fmt.Sprintf("ControlPolicy(%d)", int(p))
+}
+
+// ParseControlPolicy parses a -policy flag value: "dolbie", "wrr" (or
+// "uniform"), "jsq".
+func ParseControlPolicy(s string) (ControlPolicy, error) {
+	switch s {
+	case "dolbie", "DOLBIE":
+		return PolicyDOLBIE, nil
+	case "wrr", "uniform", "WRR":
+		return PolicyWRR, nil
+	case "jsq", "JSQ":
+		return PolicyJSQ, nil
+	}
+	return 0, fmt.Errorf("dispatch: unknown control policy %q (want dolbie, wrr, or jsq)", s)
+}
+
+// ServeConfig parameterizes one closed-loop serving run.
+type ServeConfig struct {
+	// N is the number of workers.
+	N int
+	// Rounds is the number of control rounds to simulate.
+	Rounds int
+	// RoundDur is the round length in virtual seconds; worker speeds
+	// are resampled and (under PolicyDOLBIE) routing weights retuned at
+	// every round boundary.
+	RoundDur float64
+	// ArrivalRate is the open-loop Poisson arrival rate in requests per
+	// virtual second.
+	ArrivalRate float64
+	// DemandMean is the mean exponential service demand per request in
+	// work units.
+	DemandMean float64
+	// Utilization is the target offered-load fraction: worker mean
+	// speeds are scaled so that the cluster's total mean capacity is
+	// ArrivalRate*DemandMean/Utilization. Values near 1 saturate the
+	// system. Zero defaults to 0.75.
+	Utilization float64
+	// QueueCap bounds every worker's FIFO queue.
+	QueueCap int
+	// Shed selects the backpressure policy.
+	Shed ShedPolicy
+	// Policy selects the control plane (dolbie, wrr, jsq).
+	Policy ControlPolicy
+	// Alpha1 pins DOLBIE's initial step size; zero defaults to 0.05, a
+	// tracking-friendly choice for short serving runs (the paper's
+	// 0.001 is tuned for 100+-round batch experiments).
+	Alpha1 float64
+	// Seed makes the whole run deterministic: generator, demands, and
+	// worker speed processes all derive from it.
+	Seed int64
+	// Metrics instruments the underlying dispatcher; nil disables.
+	Metrics *metrics.Registry
+}
+
+// DefaultServeConfig returns the serving defaults used by dolbie-serve
+// and the serve bench: 8 workers with 5x speed heterogeneity at 75%
+// mean utilization, 240 one-second rounds, reject backpressure.
+func DefaultServeConfig() ServeConfig {
+	return ServeConfig{
+		N:           8,
+		Rounds:      240,
+		RoundDur:    1,
+		ArrivalRate: 200,
+		DemandMean:  1,
+		Utilization: 0.75,
+		QueueCap:    64,
+		Shed:        ShedReject,
+		Policy:      PolicyDOLBIE,
+		Alpha1:      0.05,
+		Seed:        1,
+	}
+}
+
+// Validate checks the configuration.
+func (c ServeConfig) Validate() error {
+	if c.N <= 0 {
+		return fmt.Errorf("dispatch: N = %d must be positive", c.N)
+	}
+	if c.Rounds <= 0 {
+		return fmt.Errorf("dispatch: Rounds = %d must be positive", c.Rounds)
+	}
+	if c.RoundDur <= 0 {
+		return fmt.Errorf("dispatch: RoundDur = %v must be positive", c.RoundDur)
+	}
+	if c.ArrivalRate <= 0 {
+		return fmt.Errorf("dispatch: ArrivalRate = %v must be positive", c.ArrivalRate)
+	}
+	if c.DemandMean <= 0 {
+		return fmt.Errorf("dispatch: DemandMean = %v must be positive", c.DemandMean)
+	}
+	if c.Utilization < 0 || c.Utilization >= 1.5 {
+		return fmt.Errorf("dispatch: Utilization = %v out of (0, 1.5)", c.Utilization)
+	}
+	if c.QueueCap <= 0 {
+		return fmt.Errorf("dispatch: QueueCap = %d must be positive", c.QueueCap)
+	}
+	switch c.Policy {
+	case PolicyDOLBIE, PolicyWRR, PolicyJSQ:
+	default:
+		return fmt.Errorf("dispatch: unknown control policy %d", int(c.Policy))
+	}
+	if c.Alpha1 < 0 || c.Alpha1 > 1 {
+		return fmt.Errorf("dispatch: Alpha1 = %v out of [0, 1]", c.Alpha1)
+	}
+	return Config{N: c.N, QueueCap: c.QueueCap, Shed: c.Shed, Route: RouteWeighted}.Validate()
+}
+
+// ServeResult summarizes one closed-loop serving run.
+type ServeResult struct {
+	// Policy is the control policy's name ("dolbie", "wrr", "jsq").
+	Policy string `json:"policy"`
+	// N, Rounds, QueueCap, Seed echo the configuration.
+	N        int   `json:"n"`
+	Rounds   int   `json:"rounds"`
+	QueueCap int   `json:"queue_cap"`
+	Seed     int64 `json:"seed"`
+	// Shed is the backpressure policy's name.
+	Shed string `json:"shed"`
+	// Arrivals counts admission attempts; Completed, ShedCount,
+	// Spilled, and Blocked are the dispatcher's totals.
+	Arrivals  int64 `json:"arrivals"`
+	Completed int64 `json:"completed"`
+	ShedCount int64 `json:"shed_count"`
+	Spilled   int64 `json:"spilled"`
+	Blocked   int64 `json:"blocked"`
+	// ShedRate is ShedCount/Arrivals (0 when there were no arrivals).
+	ShedRate float64 `json:"shed_rate"`
+	// MaxWorkerLatencyP99 and MaxWorkerLatencyMean summarize the
+	// per-round max-worker drain latency max_i l_{i,t} in seconds — the
+	// paper's global cost, measured on live queues. The p99 is the
+	// bench's headline comparison metric.
+	MaxWorkerLatencyP99  float64 `json:"max_worker_latency_p99_s"`
+	MaxWorkerLatencyMean float64 `json:"max_worker_latency_mean_s"`
+	// RequestLatencyP50 and RequestLatencyP99 summarize per-request
+	// completion latency (completion minus arrival) in seconds.
+	RequestLatencyP50 float64 `json:"request_latency_p50_s"`
+	RequestLatencyP99 float64 `json:"request_latency_p99_s"`
+	// BytesPerRound is the modeled control-plane traffic per round:
+	// DOLBIE broadcasts N float64 weights behind a 12-byte frame header
+	// (8N+12), JSQ refreshes N uint32 queue depths (4N), and static WRR
+	// sends nothing after setup (0). Worker execution is simulated, so
+	// this is a model, not a wire measurement.
+	BytesPerRound float64 `json:"bytes_per_round"`
+	// Retunes counts closed-loop weight updates applied.
+	Retunes int64 `json:"retunes"`
+}
+
+// workerSpeeds builds the heterogeneous seeded speed processes: mean
+// speeds follow the repository's 5x-spread catalog (matching
+// cluster.SyntheticSource), scaled so total mean capacity hits the
+// configured utilization, with clamped AR(1) fluctuation per worker.
+func workerSpeeds(cfg ServeConfig) ([]trace.Process, []float64, error) {
+	catalog := []float64{1, 1.5, 2.5, 6, 10}
+	means := make([]float64, cfg.N)
+	var sum float64
+	for i := range means {
+		means[i] = catalog[i%len(catalog)]
+		sum += means[i]
+	}
+	util := cfg.Utilization
+	if util == 0 {
+		util = 0.75
+	}
+	scale := cfg.ArrivalRate * cfg.DemandMean / (util * sum)
+	procs := make([]trace.Process, cfg.N)
+	for i := range procs {
+		means[i] *= scale
+		ar, err := trace.NewAR1(means[i], 0.8, 0.1*means[i], cfg.Seed+101*int64(i)+1)
+		if err != nil {
+			return nil, nil, err
+		}
+		procs[i] = &trace.Clamp{Inner: ar, Min: 0.2 * means[i], Max: 3 * means[i]}
+	}
+	return procs, means, nil
+}
+
+// Serve runs one deterministic closed-loop serving simulation: the
+// seeded open-loop generator feeds the dispatcher, workers drain their
+// queues at time-varying simulated speeds, and — under PolicyDOLBIE —
+// each round's observed drain latencies l_{i,t} are fed back to the
+// balancer, whose x_{t+1} becomes the next round's routing weights.
+// Virtual time advances event by event, so results are bit-identical
+// across runs with the same configuration.
+func Serve(cfg ServeConfig) (*ServeResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	route := RouteWeighted
+	if cfg.Policy == PolicyJSQ {
+		route = RouteJSQ
+	}
+	d, err := New(Config{N: cfg.N, QueueCap: cfg.QueueCap, Shed: cfg.Shed, Route: route, Metrics: cfg.Metrics})
+	if err != nil {
+		return nil, err
+	}
+	gen, err := NewGenerator(cfg.ArrivalRate, cfg.DemandMean, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	speeds, _, err := workerSpeeds(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	var bal *core.Balancer
+	if cfg.Policy == PolicyDOLBIE {
+		alpha := cfg.Alpha1
+		if alpha == 0 {
+			alpha = 0.05
+		}
+		x0 := make([]float64, cfg.N)
+		for i := range x0 {
+			x0[i] = 1 / float64(cfg.N)
+		}
+		bal, err = core.NewBalancer(x0, core.WithInitialAlpha(alpha))
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	var (
+		now       float64
+		remaining = make([]float64, cfg.N) // work left on each in-service head
+		gamma     = make([]float64, cfg.N)
+		pending   *Request // blocked request stalling the open-loop source
+		reqLat    []float64
+		maxLat    []float64
+		retunes   int64
+	)
+	next := gen.Next()
+
+	// admit routes one request into the dispatcher and starts service if
+	// the target worker was idle. It reports whether the request was
+	// admitted (anything but Blocked).
+	admit := func(r Request, routedWork []float64) bool {
+		v := d.Submit(r)
+		switch v.Outcome {
+		case Routed, Spilled:
+			routedWork[v.Worker] += r.Demand
+			if remaining[v.Worker] == 0 {
+				remaining[v.Worker] = r.Demand
+			}
+		case Blocked:
+			return false
+		}
+		return true
+	}
+
+	// advance moves virtual time forward, draining every busy worker at
+	// its current speed. Callers only advance to the earliest completion
+	// time or earlier, so remaining work cannot go negative except for
+	// float dust (cleared at the completion event itself).
+	advance := func(to float64) {
+		dt := to - now
+		for i := range remaining {
+			if remaining[i] > 0 {
+				remaining[i] -= gamma[i] * dt
+			}
+		}
+		now = to
+	}
+
+	for t := 0; t < cfg.Rounds; t++ {
+		roundEnd := float64(t+1) * cfg.RoundDur
+		for i := range gamma {
+			gamma[i] = speeds[i].Next()
+		}
+		backlogStart := d.Backlog()
+		routedWork := make([]float64, cfg.N)
+		var offeredWork float64
+
+		for {
+			// Earliest completion across busy workers.
+			cw, ct := -1, math.Inf(1)
+			for i, rem := range remaining {
+				if rem > 0 {
+					if tc := now + rem/gamma[i]; tc < ct {
+						cw, ct = i, tc
+					}
+				}
+			}
+			// Next admission attempt: a blocked request stalls the source.
+			at := math.Inf(1)
+			if pending == nil {
+				at = next.Arrival
+			}
+			switch {
+			case ct <= at && ct <= roundEnd:
+				advance(ct)
+				remaining[cw] = 0
+				r, _ := d.Complete(cw, ct)
+				reqLat = append(reqLat, ct-r.Arrival)
+				if h, ok := d.Head(cw); ok {
+					remaining[cw] = h.Demand
+				}
+				if pending != nil && admit(*pending, routedWork) {
+					pending = nil
+				}
+				continue
+			case at < roundEnd:
+				advance(at)
+				r := next
+				next = gen.Next()
+				offeredWork += r.Demand
+				if !admit(r, routedWork) {
+					pending = &r
+				}
+				continue
+			}
+			break
+		}
+		advance(roundEnd)
+
+		// The round's observed local cost l_{i,t}: the time worker i needs
+		// to drain everything it was responsible for this round (backlog
+		// carried in plus work routed to it) at this round's speed.
+		costs := make([]float64, cfg.N)
+		worst := 0.0
+		for i := range costs {
+			costs[i] = (backlogStart[i] + routedWork[i]) / gamma[i]
+			if costs[i] > worst {
+				worst = costs[i]
+			}
+		}
+		maxLat = append(maxLat, worst)
+
+		if bal != nil {
+			x := bal.Assignment()
+			// Fit an affine cost model through the observation: a worker
+			// holding share x of the round's offered work W drains in about
+			// (backlog + x*W)/gamma seconds, so slope = W/gamma and the
+			// intercept anchors the fit at the realized point, f_i(x_i) =
+			// l_{i,t}. Negative intercepts (backlog dominated by spill or
+			// JSQ-free routing noise) clamp to zero; the balancer's own
+			// monotone guard absorbs the resulting slack.
+			funcs := make([]costfn.Func, cfg.N)
+			for i := range funcs {
+				slope := offeredWork / gamma[i]
+				if slope <= 0 {
+					slope = 1e-9 // idle round: keep the model increasing
+				}
+				intercept := costs[i] - slope*x[i]
+				if intercept < 0 {
+					intercept = 0
+				}
+				funcs[i] = costfn.Affine{Slope: slope, Intercept: intercept}
+			}
+			if err := bal.Update(core.Observation{Costs: costs, Funcs: funcs}); err != nil {
+				return nil, fmt.Errorf("dispatch: round %d retune: %w", t+1, err)
+			}
+			if err := d.SetWeights(bal.Assignment()); err != nil {
+				return nil, fmt.Errorf("dispatch: round %d weights: %w", t+1, err)
+			}
+			retunes++
+		}
+	}
+
+	tot := d.Totals()
+	res := &ServeResult{
+		Policy:    cfg.Policy.String(),
+		N:         cfg.N,
+		Rounds:    cfg.Rounds,
+		QueueCap:  cfg.QueueCap,
+		Seed:      cfg.Seed,
+		Shed:      cfg.Shed.String(),
+		Arrivals:  tot.Arrivals,
+		Completed: tot.Completed,
+		ShedCount: tot.Shed,
+		Spilled:   tot.Spilled,
+		Blocked:   tot.Blocked,
+		Retunes:   retunes,
+	}
+	if tot.Arrivals > 0 {
+		res.ShedRate = float64(tot.Shed) / float64(tot.Arrivals)
+	}
+	res.MaxWorkerLatencyP99, _ = stats.Percentile(maxLat, 99)
+	res.MaxWorkerLatencyMean = stats.Mean(maxLat)
+	if len(reqLat) > 0 {
+		res.RequestLatencyP50, _ = stats.Percentile(reqLat, 50)
+		res.RequestLatencyP99, _ = stats.Percentile(reqLat, 99)
+	}
+	switch cfg.Policy {
+	case PolicyDOLBIE:
+		res.BytesPerRound = float64(8*cfg.N + 12)
+	case PolicyJSQ:
+		res.BytesPerRound = float64(4 * cfg.N)
+	}
+	return res, nil
+}
+
+// RunComparison runs the same seeded traffic and speed realization
+// under all three control policies (dolbie, wrr, jsq) and returns the
+// results in that order. cfg.Policy is ignored.
+func RunComparison(cfg ServeConfig) ([]*ServeResult, error) {
+	out := make([]*ServeResult, 0, 3)
+	for _, p := range []ControlPolicy{PolicyDOLBIE, PolicyWRR, PolicyJSQ} {
+		c := cfg
+		c.Policy = p
+		c.Metrics = nil // one shared registry would mix the three runs
+		r, err := Serve(c)
+		if err != nil {
+			return nil, fmt.Errorf("dispatch: %s run: %w", p, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

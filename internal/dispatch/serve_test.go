@@ -1,0 +1,179 @@
+package dispatch
+
+import (
+	"reflect"
+	"testing"
+
+	"dolbie/internal/metrics"
+)
+
+// quickServeConfig is a small config that keeps serve tests fast while
+// still exercising queueing, shedding, and the closed loop.
+func quickServeConfig() ServeConfig {
+	cfg := DefaultServeConfig()
+	cfg.N = 4
+	cfg.Rounds = 40
+	cfg.ArrivalRate = 80
+	cfg.QueueCap = 32
+	return cfg
+}
+
+func TestServeConfigValidate(t *testing.T) {
+	if err := DefaultServeConfig().Validate(); err != nil {
+		t.Fatalf("default config rejected: %v", err)
+	}
+	mut := []func(*ServeConfig){
+		func(c *ServeConfig) { c.N = 0 },
+		func(c *ServeConfig) { c.Rounds = 0 },
+		func(c *ServeConfig) { c.RoundDur = 0 },
+		func(c *ServeConfig) { c.ArrivalRate = 0 },
+		func(c *ServeConfig) { c.DemandMean = 0 },
+		func(c *ServeConfig) { c.Utilization = 2 },
+		func(c *ServeConfig) { c.QueueCap = 0 },
+		func(c *ServeConfig) { c.Policy = ControlPolicy(7) },
+		func(c *ServeConfig) { c.Alpha1 = 1.5 },
+		func(c *ServeConfig) { c.Shed = ShedPolicy(7) },
+	}
+	for i, m := range mut {
+		c := DefaultServeConfig()
+		m(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestServeDeterministic(t *testing.T) {
+	for _, p := range []ControlPolicy{PolicyDOLBIE, PolicyWRR, PolicyJSQ} {
+		cfg := quickServeConfig()
+		cfg.Policy = p
+		a, err := Serve(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		b, err := Serve(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: results differ across identical runs:\n%+v\n%+v", p, a, b)
+		}
+	}
+}
+
+func TestServeSeedChangesRealization(t *testing.T) {
+	cfg := quickServeConfig()
+	a, err := Serve(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Seed = 99
+	b, err := Serve(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MaxWorkerLatencyP99 == b.MaxWorkerLatencyP99 && a.Arrivals == b.Arrivals {
+		t.Error("different seeds produced identical runs")
+	}
+}
+
+func TestServeClosedLoopRetunes(t *testing.T) {
+	cfg := quickServeConfig()
+	reg := metrics.NewRegistry()
+	cfg.Metrics = reg
+	res, err := Serve(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Retunes != int64(cfg.Rounds) {
+		t.Errorf("retunes = %d, want %d (one per round)", res.Retunes, cfg.Rounds)
+	}
+	if res.Completed == 0 {
+		t.Error("no completions in a 40-round run")
+	}
+	if res.Arrivals == 0 || res.MaxWorkerLatencyP99 <= 0 {
+		t.Errorf("implausible result: %+v", res)
+	}
+	// Conservation at quiescence.
+	if res.Completed > res.Arrivals-res.ShedCount-res.Blocked {
+		t.Errorf("completed %d exceeds admitted: %+v", res.Completed, res)
+	}
+}
+
+func TestServeBaselinesDoNotRetune(t *testing.T) {
+	for _, p := range []ControlPolicy{PolicyWRR, PolicyJSQ} {
+		cfg := quickServeConfig()
+		cfg.Policy = p
+		res, err := Serve(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if res.Retunes != 0 {
+			t.Errorf("%s retuned %d times, want 0", p, res.Retunes)
+		}
+	}
+}
+
+func TestServeBlockPolicyTerminates(t *testing.T) {
+	cfg := quickServeConfig()
+	cfg.Shed = ShedBlock
+	cfg.QueueCap = 4
+	cfg.Utilization = 1.2 // overload so blocking actually binds
+	res, err := Serve(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Blocked == 0 {
+		t.Error("overloaded block run never blocked")
+	}
+	if res.ShedCount != 0 {
+		t.Errorf("block policy shed %d requests", res.ShedCount)
+	}
+}
+
+func TestServeSpillPolicySheds(t *testing.T) {
+	cfg := quickServeConfig()
+	cfg.Shed = ShedSpill
+	cfg.QueueCap = 2
+	cfg.Utilization = 1.3
+	res, err := Serve(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Spilled == 0 {
+		t.Error("tiny queues under overload never spilled")
+	}
+}
+
+func TestRunComparisonDOLBIEBeatsUniformWRR(t *testing.T) {
+	cfg := DefaultServeConfig()
+	cfg.Rounds = 120
+	results, err := RunComparison(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results", len(results))
+	}
+	dolbie, wrr, jsq := results[0], results[1], results[2]
+	if dolbie.Policy != "dolbie" || wrr.Policy != "wrr" || jsq.Policy != "jsq" {
+		t.Fatalf("unexpected order: %s %s %s", dolbie.Policy, wrr.Policy, jsq.Policy)
+	}
+	// The headline acceptance criterion: with 5x speed heterogeneity,
+	// uniform WRR overloads the slow workers and DOLBIE must beat it on
+	// p99 max-worker drain latency.
+	if dolbie.MaxWorkerLatencyP99 >= wrr.MaxWorkerLatencyP99 {
+		t.Errorf("DOLBIE p99 %.3fs not better than uniform WRR %.3fs",
+			dolbie.MaxWorkerLatencyP99, wrr.MaxWorkerLatencyP99)
+	}
+	// JSQ reacts per request; DOLBIE should stay within 3x of it while
+	// sending comparable control bytes.
+	if dolbie.MaxWorkerLatencyP99 > 3*jsq.MaxWorkerLatencyP99 {
+		t.Errorf("DOLBIE p99 %.3fs more than 3x JSQ %.3fs",
+			dolbie.MaxWorkerLatencyP99, jsq.MaxWorkerLatencyP99)
+	}
+	if wrr.BytesPerRound != 0 || jsq.BytesPerRound == 0 || dolbie.BytesPerRound == 0 {
+		t.Errorf("bytes/round: dolbie %v wrr %v jsq %v",
+			dolbie.BytesPerRound, wrr.BytesPerRound, jsq.BytesPerRound)
+	}
+}

@@ -215,8 +215,11 @@ func TestRegretComparison(t *testing.T) {
 	if err := fig.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	if len(fig.Series) != len(AlgorithmNames)+1 {
-		t.Fatalf("series = %d, want algorithms + BestFixed", len(fig.Series))
+	if len(fig.Series) != len(AlgorithmNames)+2 {
+		t.Fatalf("series = %d, want algorithms + JSQ + BestFixed", len(fig.Series))
+	}
+	if _, ok := seriesByName(fig, "JSQ"); !ok {
+		t.Fatal("missing JSQ series")
 	}
 	opt, ok := seriesByName(fig, "OPT")
 	if !ok {

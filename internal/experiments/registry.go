@@ -104,6 +104,7 @@ var registry = map[string]runner{
 	"edge":        tableRunner(EdgeTable),
 	"edgefig":     figureRunner(EdgeFigure),
 	"sensitivity": tableRunner(SensitivityTable),
+	"serve":       tableRunner(ServeTable),
 	"tails":       tableRunner(TailsTable),
 }
 

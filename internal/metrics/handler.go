@@ -58,12 +58,19 @@ type Server struct {
 // kernel pick a port) and serves NewMux(reg) in a background goroutine.
 // Use Addr for the bound address and Shutdown for a graceful stop.
 func StartServer(addr string, reg *Registry) (*Server, error) {
+	return StartServerMux(addr, NewMux(reg))
+}
+
+// StartServerMux is StartServer for a caller-built mux — commonly
+// NewMux(reg) extended with application endpoints (dolbie-serve mounts
+// its /ingest handler next to /metrics this way).
+func StartServerMux(addr string, mux *http.ServeMux) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("metrics: listen %s: %w", addr, err)
 	}
 	s := &Server{
-		srv:  &http.Server{Handler: NewMux(reg)},
+		srv:  &http.Server{Handler: mux},
 		addr: ln.Addr().String(),
 		done: make(chan error, 1),
 	}

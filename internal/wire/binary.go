@@ -28,7 +28,8 @@ const binaryVersion = 0x01
 //	              alpha f64                                    (24 B)
 //	decision      round u32, next f64                          (12 B)
 //	assign        round u32, next f64                          (12 B)
-//	share         round u32, cost f64, localAlpha f64          (20 B)
+//	share         round u32, cost f64, localAlpha f64,
+//	              renorm f64                                   (28 B)
 //	peer-decision round u32, next f64                          (12 B)
 //	evict         round u32, evicted u32                       (8 B)
 //	reliable      seq u64, flags u8 (bit0 ack, bit1 data),
@@ -52,7 +53,7 @@ var binPayloadSize = map[Kind]int{
 	KindCoordinate:   24,
 	KindDecision:     12,
 	KindAssign:       12,
-	KindShare:        20,
+	KindShare:        28,
 	KindPeerDecision: 12,
 	KindEvict:        8,
 }
@@ -145,6 +146,7 @@ func appendBinaryEnvelope(dst []byte, env Envelope) ([]byte, error) {
 		}
 		dst = appendFloat(dst, m.Cost)
 		dst = appendFloat(dst, m.LocalAlpha)
+		dst = appendFloat(dst, m.Renorm)
 	case core.PeerDecision:
 		if dst, err = appendRound(dst, m.Round); err != nil {
 			return dst, err
@@ -241,7 +243,13 @@ func decodeBinaryEnvelope(b []byte, nested bool) (Envelope, []byte, error) {
 	case KindAssign:
 		env.Msg = core.StragglerAssign{Round: round, To: env.To, Next: getFloat(b[4:12])}
 	case KindShare:
-		env.Msg = core.PeerShare{Round: round, From: env.From, Cost: getFloat(b[4:12]), LocalAlpha: getFloat(b[12:20])}
+		env.Msg = core.PeerShare{
+			Round:      round,
+			From:       env.From,
+			Cost:       getFloat(b[4:12]),
+			LocalAlpha: getFloat(b[12:20]),
+			Renorm:     getFloat(b[20:28]),
+		}
 	case KindPeerDecision:
 		env.Msg = core.PeerDecision{Round: round, From: env.From, To: env.To, Next: getFloat(b[4:12])}
 	case KindEvict:

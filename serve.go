@@ -1,0 +1,124 @@
+package dolbie
+
+// This file promotes the request-serving data plane to the public API
+// surface: the weighted Dispatcher with bounded queues and
+// backpressure, the seeded open-loop traffic generator, the HTTP
+// ingest adapter, and the closed-loop Serve simulation that feeds
+// observed drain latencies back into DOLBIE. The dolbie-serve command
+// is a thin shell over exactly this surface.
+
+import (
+	"net/http"
+
+	"dolbie/internal/dispatch"
+)
+
+// Data-plane types, re-exported from the dispatch subsystem.
+type (
+	// DispatcherConfig parameterizes a Dispatcher: worker count, queue
+	// capacity, backpressure policy, routing policy, and an optional
+	// metrics registry for the dolbie_dispatch_* family.
+	DispatcherConfig = dispatch.Config
+	// Dispatcher routes requests onto bounded per-worker FIFO queues by
+	// smooth weighted round-robin over the current assignment vector
+	// (or join-shortest-queue), applying the configured backpressure
+	// policy when a queue is full. Safe for concurrent use.
+	Dispatcher = dispatch.Dispatcher
+	// ServeRequest is one unit of work entering the data plane.
+	ServeRequest = dispatch.Request
+	// Verdict is the dispatcher's decision for one submitted request.
+	Verdict = dispatch.Verdict
+	// Outcome classifies a verdict (routed, spilled, shed, blocked).
+	Outcome = dispatch.Outcome
+	// ShedPolicy selects the backpressure behaviour on a full queue
+	// (ShedReject, ShedBlock, ShedSpill).
+	ShedPolicy = dispatch.ShedPolicy
+	// RoutePolicy selects the per-request routing rule (RouteWeighted,
+	// RouteJSQ).
+	RoutePolicy = dispatch.RoutePolicy
+	// ControlPolicy selects the control plane of a Serve run
+	// (PolicyDOLBIE, PolicyWRR, PolicyJSQ).
+	ControlPolicy = dispatch.ControlPolicy
+	// ServeConfig parameterizes a closed-loop serving run: traffic,
+	// worker heterogeneity and utilization, queue bounds, backpressure,
+	// control policy, and seed.
+	ServeConfig = dispatch.ServeConfig
+	// ServeResult summarizes a serving run: shed/spill/block totals,
+	// p99 and mean max-worker drain latency, request latency
+	// percentiles, and modeled control bytes per round.
+	ServeResult = dispatch.ServeResult
+	// TrafficGenerator is the seeded open-loop Poisson traffic source
+	// used by Serve; drive a Dispatcher directly with it for custom
+	// load patterns.
+	TrafficGenerator = dispatch.Generator
+)
+
+// Re-exported data-plane enum values.
+const (
+	// ShedReject drops a request whose target queue is full (HTTP 429).
+	ShedReject = dispatch.ShedReject
+	// ShedBlock refuses admission without dropping; the caller retries
+	// after a completion (HTTP 503).
+	ShedBlock = dispatch.ShedBlock
+	// ShedSpill reroutes to the least-loaded worker with queue space.
+	ShedSpill = dispatch.ShedSpill
+	// RouteWeighted routes by smooth weighted round-robin.
+	RouteWeighted = dispatch.RouteWeighted
+	// RouteJSQ joins the shortest queue.
+	RouteJSQ = dispatch.RouteJSQ
+	// PolicyDOLBIE retunes routing weights from observed drain
+	// latencies every round (the closed loop).
+	PolicyDOLBIE = dispatch.PolicyDOLBIE
+	// PolicyWRR keeps static uniform weights.
+	PolicyWRR = dispatch.PolicyWRR
+	// PolicyJSQ joins the shortest queue per request.
+	PolicyJSQ = dispatch.PolicyJSQ
+)
+
+// NewDispatcher constructs a request dispatcher with uniform initial
+// weights; retune it with SetWeights (typically from a Balancer's
+// Assignment).
+func NewDispatcher(cfg DispatcherConfig) (*Dispatcher, error) { return dispatch.New(cfg) }
+
+// NewTrafficGenerator constructs the seeded open-loop traffic source:
+// Poisson arrivals at rate requests per second with exponential
+// demands around demandMean work units.
+func NewTrafficGenerator(rate, demandMean float64, seed int64) (*TrafficGenerator, error) {
+	return dispatch.NewGenerator(rate, demandMean, seed)
+}
+
+// DefaultServeConfig returns the serving defaults used by dolbie-serve
+// and the serve bench.
+func DefaultServeConfig() ServeConfig { return dispatch.DefaultServeConfig() }
+
+// Serve runs one deterministic closed-loop serving simulation and
+// returns its summary: seeded traffic feeds the dispatcher, simulated
+// workers drain their queues at time-varying speeds, and (under
+// PolicyDOLBIE) each round's observed per-worker drain latency becomes
+// l_{i,t}, retuning the routing weights for the next round.
+func Serve(cfg ServeConfig) (*ServeResult, error) { return dispatch.Serve(cfg) }
+
+// ServeComparison runs the same seeded traffic realization under all
+// three control policies — DOLBIE, uniform WRR, JSQ — and returns the
+// results in that order.
+func ServeComparison(cfg ServeConfig) ([]*ServeResult, error) { return dispatch.RunComparison(cfg) }
+
+// IngestHandler adapts a Dispatcher to live HTTP traffic: each POST is
+// one admission (200 routed/spilled, 429 shed, 503 blocked), with the
+// service demand taken from the "demand" query parameter. now supplies
+// arrival timestamps in seconds.
+func IngestHandler(d *Dispatcher, now func() float64) http.Handler {
+	return dispatch.IngestHandler(d, now)
+}
+
+// ParseShedPolicy parses a -shed flag value: "reject", "block",
+// "spill".
+func ParseShedPolicy(s string) (ShedPolicy, error) { return dispatch.ParseShedPolicy(s) }
+
+// ParseRoutePolicy parses a routing policy name: "weighted" (or
+// "wrr"), "jsq".
+func ParseRoutePolicy(s string) (RoutePolicy, error) { return dispatch.ParseRoutePolicy(s) }
+
+// ParseControlPolicy parses a -policy flag value: "dolbie", "wrr" (or
+// "uniform"), "jsq".
+func ParseControlPolicy(s string) (ControlPolicy, error) { return dispatch.ParseControlPolicy(s) }
