@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet docs test race bench repro repro-csv fuzz examples clean
+.PHONY: all build vet docs test race bench cover repro repro-csv fuzz examples clean
 
 all: build vet test
 
@@ -42,17 +42,33 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Coverage gate: atomic-mode coverage across the repository into
+# cover.out, failing if internal/dispatch — the sharded admission path —
+# drops below the figure it shipped at (92.6%). Atomic mode keeps the
+# counters exact under the concurrent-scrape and fuzz replay tests.
+DISPATCH_COVER_FLOOR = 92.6
+cover:
+	$(GO) test -covermode=atomic -coverprofile=cover.out ./...
+	@pct=$$($(GO) test -covermode=atomic -cover ./internal/dispatch/ \
+		| sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p'); \
+	echo "internal/dispatch coverage: $$pct% (floor $(DISPATCH_COVER_FLOOR)%)"; \
+	awk "BEGIN { exit !($$pct >= $(DISPATCH_COVER_FLOOR)) }" || \
+		{ echo "FAIL: internal/dispatch coverage $$pct% below $(DISPATCH_COVER_FLOOR)%"; exit 1; }
+
 # bench also regenerates the committed benchmark reports: BENCH_wire.json
 # (bytes/round per protocol per codec on real TCP, allocs/op, and the
 # metering path's allocation overhead), BENCH_chaos.json (fail-stop
 # recovery under the deterministic chaos transport; reproduces bit for
-# bit), and BENCH_serve.json (data-plane dispatch: DOLBIE's closed loop
-# vs uniform WRR vs JSQ on p99 max-worker latency).
+# bit), BENCH_serve.json (data-plane dispatch: DOLBIE's closed loop
+# vs uniform WRR vs JSQ on p99 max-worker latency), and
+# BENCH_dispatch.json (admission path: single-lock reference vs the
+# sharded dispatcher at 1/4/8 shards).
 bench:
 	$(GO) test -bench=. -benchmem ./...
 	$(GO) run ./cmd/dolbie-bench -wire -out BENCH_wire.json
 	$(GO) run ./cmd/dolbie-bench -chaos -out BENCH_chaos.json
 	$(GO) run ./cmd/dolbie-bench -serve -out BENCH_serve.json
+	$(GO) run ./cmd/dolbie-bench -dispatch -out BENCH_dispatch.json
 
 # Regenerate every paper figure/table at paper scale (N=30, 100
 # realizations) as text; add -csv out/ for CSV export.

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"dolbie/internal/dispatch"
+)
+
+// This file implements the -dispatch benchmark mode: it times the full
+// admission hot path — hash, admission critical section, routing pick,
+// queue commit, and verdict serialization — first through the pre-shard
+// single-lock reference (every instrument updated inside the global
+// critical section, a fresh reflective JSON encoder per verdict) and
+// then through the sharded dispatcher at 1, 4, and 8 shards (plain
+// shard-local counters aggregated at scrape time, pooled verdict
+// buffers), on the same seeded open-loop trace with live metrics
+// attached in both modes. The acceptance bar is the 8-shard
+// configuration admitting at least 2x the single-lock baseline's
+// requests per second.
+
+// dispatchShardCounts are the sharded configurations the bench sweeps.
+var dispatchShardCounts = []int{1, 4, 8}
+
+// dispatchReport is the BENCH_dispatch.json document.
+type dispatchReport struct {
+	Config struct {
+		Workers       int   `json:"workers"`
+		QueueCap      int   `json:"queue_cap"`
+		Submitters    int   `json:"submitters"`
+		Requests      int   `json:"requests"`
+		CompleteEvery int   `json:"complete_every"`
+		Seed          int64 `json:"seed"`
+		GOMAXPROCS    int   `json:"gomaxprocs"`
+	} `json:"config"`
+	// SingleLock is the pre-shard baseline run.
+	SingleLock *dispatch.AdmissionBenchResult `json:"single_lock"`
+	// Sharded holds one run per swept shard count, keyed by the count.
+	Sharded map[string]*dispatch.AdmissionBenchResult `json:"sharded"`
+	// SpeedupByShards is sharded admissions/sec over the single-lock
+	// baseline, keyed by shard count. The acceptance criterion is the
+	// 8-shard entry staying at or above 2.
+	SpeedupByShards map[string]float64 `json:"speedup_by_shards"`
+}
+
+// runDispatchBench runs the single-lock-vs-sharded admission sweep and
+// writes the report to outPath.
+func runDispatchBench(outPath string, out io.Writer) error {
+	base := dispatch.AdmissionBenchConfig{}
+	ref, err := dispatch.RunAdmissionBench(dispatch.AdmissionBenchConfig{Reference: true})
+	if err != nil {
+		return fmt.Errorf("single-lock baseline: %w", err)
+	}
+	fmt.Fprintf(out, "dispatch bench: %d workers, cap %d, %d submitters, %d requests, GOMAXPROCS %d\n",
+		ref.Workers, ref.QueueCap, ref.Submitters, ref.Requests, ref.GOMAXPROCS)
+	fmt.Fprintf(out, "  %-12s %14.0f adm/s\n", "single-lock", ref.AdmissionsPerSec)
+
+	rep := dispatchReport{
+		SingleLock:      ref,
+		Sharded:         make(map[string]*dispatch.AdmissionBenchResult, len(dispatchShardCounts)),
+		SpeedupByShards: make(map[string]float64, len(dispatchShardCounts)),
+	}
+	rep.Config.Workers = ref.Workers
+	rep.Config.QueueCap = ref.QueueCap
+	rep.Config.Submitters = ref.Submitters
+	rep.Config.Requests = ref.Requests
+	rep.Config.CompleteEvery = ref.CompleteEvery
+	rep.Config.Seed = ref.Seed
+	rep.Config.GOMAXPROCS = ref.GOMAXPROCS
+
+	for _, shards := range dispatchShardCounts {
+		cfg := base
+		cfg.Shards = shards
+		res, err := dispatch.RunAdmissionBench(cfg)
+		if err != nil {
+			return fmt.Errorf("%d shards: %w", shards, err)
+		}
+		key := fmt.Sprint(shards)
+		rep.Sharded[key] = res
+		rep.SpeedupByShards[key] = res.AdmissionsPerSec / ref.AdmissionsPerSec
+		fmt.Fprintf(out, "  %-12s %14.0f adm/s  (%.2fx single-lock)\n",
+			fmt.Sprintf("%d-shard", shards), res.AdmissionsPerSec, rep.SpeedupByShards[key])
+	}
+
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %s\n", outPath)
+	return nil
+}

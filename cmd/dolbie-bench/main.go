@@ -11,6 +11,7 @@
 //	dolbie-bench -wire                    # wire-codec benchmark -> BENCH_wire.json
 //	dolbie-bench -chaos                   # fault-tolerance benchmark -> BENCH_chaos.json
 //	dolbie-bench -serve                   # data-plane benchmark -> BENCH_serve.json
+//	dolbie-bench -dispatch                # admission-path benchmark -> BENCH_dispatch.json
 //
 // With -metrics-addr the process serves its runtime gauges (goroutines,
 // heap, GC) and /debug/pprof while the experiments run — useful for
@@ -33,6 +34,12 @@
 // join-shortest-queue) on the same seeded traffic realization and
 // writes the p99 max-worker latency comparison, shed rates, and
 // modeled control bytes/round to -out (default BENCH_serve.json).
+//
+// The -dispatch mode times the admission hot path end to end — the
+// pre-shard single-lock reference against the sharded dispatcher at 1,
+// 4, and 8 shards, both fully instrumented, on the same seeded
+// open-loop trace — and writes admissions/sec plus speedup ratios to
+// -out (default BENCH_dispatch.json).
 package main
 
 import (
@@ -70,6 +77,7 @@ func run() error {
 		wireBench    = flag.Bool("wire", false, "run the wire-codec benchmark (TCP deployments per codec) instead of a figure")
 		chaosBench   = flag.Bool("chaos", false, "run the fault-tolerance benchmark (resilient deployments under the chaos transport) instead of a figure")
 		serveBench   = flag.Bool("serve", false, "run the data-plane serving benchmark (DOLBIE vs WRR vs JSQ dispatch) instead of a figure")
+		dispBench    = flag.Bool("dispatch", false, "run the admission-path benchmark (single-lock vs sharded dispatcher) instead of a figure")
 		codecName    = flag.String("codec", "all", "wire codec to benchmark in -wire mode: all, or a registry name")
 		outPath      = flag.String("out", "", "output file for the -wire / -chaos benchmark report (default BENCH_wire.json / BENCH_chaos.json)")
 	)
@@ -95,6 +103,13 @@ func run() error {
 			out = "BENCH_serve.json"
 		}
 		return runServeBench(out, os.Stdout)
+	}
+	if *dispBench {
+		out := *outPath
+		if out == "" {
+			out = "BENCH_dispatch.json"
+		}
+		return runDispatchBench(out, os.Stdout)
 	}
 
 	if *metricsAddr != "" {

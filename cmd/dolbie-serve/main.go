@@ -58,6 +58,7 @@ func run(args []string, out io.Writer) error {
 		demand   = fs.Float64("demand", def.DemandMean, "mean service demand per request in work units")
 		util     = fs.Float64("util", def.Utilization, "target mean utilization (worker speeds are scaled to it)")
 		capacity = fs.Int("cap", def.QueueCap, "per-worker queue capacity")
+		shards   = fs.Int("shards", def.Shards, "admission shards (0 = 1; split the dispatcher lock for concurrent ingest)")
 		shed     = fs.String("shed", def.Shed.String(), "backpressure policy: reject, block, or spill")
 		policy   = fs.String("policy", def.Policy.String(), "control policy: dolbie, wrr, or jsq")
 		alpha    = fs.Float64("alpha", def.Alpha1, "DOLBIE initial step size")
@@ -81,7 +82,7 @@ func run(args []string, out io.Writer) error {
 	}
 
 	if *httpAddr != "" {
-		return runLive(out, *n, *capacity, shedPolicy, *httpAddr)
+		return runLive(out, *n, *capacity, *shards, shedPolicy, *httpAddr)
 	}
 
 	cfg := dolbie.ServeConfig{
@@ -92,6 +93,7 @@ func run(args []string, out io.Writer) error {
 		DemandMean:  *demand,
 		Utilization: *util,
 		QueueCap:    *capacity,
+		Shards:      *shards,
 		Shed:        shedPolicy,
 		Policy:      controlPolicy,
 		Alpha1:      *alpha,
@@ -162,12 +164,13 @@ func printRow(out io.Writer, r *dolbie.ServeResult) {
 // requests with wall-clock arrival timestamps, /metrics exposes the
 // dolbie_dispatch_* family. It blocks until interrupted (or until the
 // test hook returns).
-func runLive(out io.Writer, n, capacity int, shed dolbie.ShedPolicy, addr string) error {
+func runLive(out io.Writer, n, capacity, shards int, shed dolbie.ShedPolicy, addr string) error {
 	reg := metrics.NewRegistry()
 	metrics.RegisterProcessGauges(reg)
 	d, err := dolbie.NewDispatcher(dolbie.DispatcherConfig{
 		N:        n,
 		QueueCap: capacity,
+		Shards:   shards,
 		Shed:     shed,
 		Metrics:  reg,
 	})

@@ -1,0 +1,212 @@
+package dispatch
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"dolbie/internal/metrics"
+)
+
+// AdmissionBenchConfig parameterizes one timed admission run for the
+// dispatch bench (dolbie-bench -dispatch).
+type AdmissionBenchConfig struct {
+	// Workers is the number of worker queues.
+	Workers int
+	// QueueCap bounds every worker's queue (split across shards in
+	// sharded mode).
+	QueueCap int
+	// Shards is the dispatcher's admission shard count; ignored when
+	// Reference is set.
+	Shards int
+	// Submitters is the number of concurrent submitting goroutines.
+	Submitters int
+	// Requests is the total number of admissions, pre-generated from the
+	// seeded Poisson source and split across the submitters.
+	Requests int
+	// CompleteEvery makes each submitter complete one request after every
+	// CompleteEvery submissions, so queues keep draining and the timed
+	// region exercises the steady mixed admission/completion workload
+	// rather than a fill-until-shed transient. 0 defaults to 4.
+	CompleteEvery int
+	// Seed drives the traffic source.
+	Seed int64
+	// Reference selects the pre-shard single-lock admission path (the
+	// baseline) instead of the sharded Dispatcher.
+	Reference bool
+}
+
+// withDefaults fills zero fields with the bench defaults.
+func (c AdmissionBenchConfig) withDefaults() AdmissionBenchConfig {
+	if c.Workers == 0 {
+		c.Workers = 4
+	}
+	if c.QueueCap == 0 {
+		c.QueueCap = 1024
+	}
+	if c.Shards == 0 {
+		c.Shards = 1
+	}
+	if c.Submitters == 0 {
+		c.Submitters = 4
+	}
+	if c.Requests == 0 {
+		c.Requests = 400000
+	}
+	if c.CompleteEvery == 0 {
+		c.CompleteEvery = 4
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// AdmissionBenchResult is one timed admission run over the full
+// admission hot path as the ingest handler drives it: hash, shard lock,
+// routing pick, queue commit, and verdict serialization. Both modes run
+// fully instrumented (a metrics registry is attached, as in
+// production). The single-lock baseline is the pre-shard path end to
+// end — every instrument updated inside its global critical section and
+// a fresh reflective JSON encoder per verdict — while the sharded path
+// keeps the registry off the hot path entirely and renders verdicts
+// into pooled buffers. That per-admission cost, not parallel speedup,
+// is what the bench measures (the numbers are honest on a single-core
+// box, where sharded mutexes alone would win nothing).
+type AdmissionBenchResult struct {
+	// Mode is "single_lock" (reference) or "sharded".
+	Mode string `json:"mode"`
+	// Shards echoes the shard count (1 for the reference path).
+	Shards int `json:"shards"`
+	// Workers, QueueCap, Submitters, Requests, CompleteEvery, Seed echo
+	// the configuration.
+	Workers       int   `json:"workers"`
+	QueueCap      int   `json:"queue_cap"`
+	Submitters    int   `json:"submitters"`
+	Requests      int   `json:"requests"`
+	CompleteEvery int   `json:"complete_every"`
+	Seed          int64 `json:"seed"`
+	// GOMAXPROCS records the scheduler width the run saw.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// ElapsedSec is the wall time of the timed region (submissions plus
+	// interleaved completions; trace generation is excluded).
+	ElapsedSec float64 `json:"elapsed_sec"`
+	// AdmissionsPerSec is Requests/ElapsedSec — the headline number.
+	AdmissionsPerSec float64 `json:"admissions_per_sec"`
+	// Routed, Shed, Blocked split the admission outcomes; they sum to
+	// Requests (the conservation law, asserted after the run).
+	Routed  int64 `json:"routed"`
+	Shed    int64 `json:"shed"`
+	Blocked int64 `json:"blocked"`
+}
+
+// RunAdmissionBench runs one timed admission benchmark: a pre-generated
+// seeded trace is split across Submitters goroutines which drive the
+// full admission path — Submit plus verdict serialization (and, every
+// CompleteEvery submissions, Complete) — as fast as they can, with each
+// mode using its own era's serialization (reflective per-request
+// encoder for the single-lock baseline, pooled buffers for the sharded
+// path). It verifies the conservation law on the final totals before
+// reporting.
+func RunAdmissionBench(cfg AdmissionBenchConfig) (*AdmissionBenchResult, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Submitters < 1 {
+		return nil, fmt.Errorf("dispatch: Submitters = %d must be positive", cfg.Submitters)
+	}
+	if cfg.Requests < cfg.Submitters {
+		return nil, fmt.Errorf("dispatch: Requests = %d below Submitters = %d", cfg.Requests, cfg.Submitters)
+	}
+
+	// Both modes get a live registry: that is the production
+	// configuration, and instrument cost is exactly what sharding moves
+	// off the admission path.
+	reg := metrics.NewRegistry()
+	var (
+		plane  dataPlane
+		shards = 1
+		mode   = "single_lock"
+		err    error
+	)
+	if cfg.Reference {
+		plane, err = newRefDispatcher(Config{N: cfg.Workers, QueueCap: cfg.QueueCap, Shed: ShedReject, Route: RouteWeighted, Metrics: reg})
+	} else {
+		shards = cfg.Shards
+		mode = "sharded"
+		plane, err = New(Config{N: cfg.Workers, QueueCap: cfg.QueueCap, Shards: cfg.Shards, Shed: ShedReject, Route: RouteWeighted, Metrics: reg})
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	gen, err := NewGenerator(1000, 1, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	trace := gen.Trace(cfg.Requests)
+
+	var wg sync.WaitGroup
+	per := cfg.Requests / cfg.Submitters
+	start := time.Now()
+	for g := 0; g < cfg.Submitters; g++ {
+		lo := g * per
+		hi := lo + per
+		if g == cfg.Submitters-1 {
+			hi = cfg.Requests
+		}
+		wg.Add(1)
+		go func(g, lo, hi int) {
+			defer wg.Done()
+			worker := g % cfg.Workers
+			for k := lo; k < hi; k++ {
+				r := trace[k]
+				v := plane.Submit(r)
+				if cfg.Reference {
+					refEncodeVerdict(io.Discard, r.ID, v.Outcome.String(), v.Worker)
+				} else {
+					buf := ingestBufPool.Get().(*[]byte)
+					*buf = appendIngestResponse((*buf)[:0], r.ID, v.Outcome.String(), v.Worker)
+					_, _ = io.Discard.Write(*buf)
+					ingestBufPool.Put(buf)
+				}
+				if (k-lo+1)%cfg.CompleteEvery == 0 {
+					plane.Complete(worker, r.Arrival)
+					worker++
+					if worker == cfg.Workers {
+						worker = 0
+					}
+				}
+			}
+		}(g, lo, hi)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	tot := plane.Totals()
+	var routed int64
+	for _, r := range tot.Routed {
+		routed += r
+	}
+	if got := routed + tot.Shed + tot.Blocked; got != tot.Arrivals || tot.Arrivals != int64(cfg.Requests) {
+		return nil, fmt.Errorf("dispatch: bench conservation violated: arrivals %d, routed+shed+blocked %d, submitted %d",
+			tot.Arrivals, got, cfg.Requests)
+	}
+
+	return &AdmissionBenchResult{
+		Mode:             mode,
+		Shards:           shards,
+		Workers:          cfg.Workers,
+		QueueCap:         cfg.QueueCap,
+		Submitters:       cfg.Submitters,
+		Requests:         cfg.Requests,
+		CompleteEvery:    cfg.CompleteEvery,
+		Seed:             cfg.Seed,
+		GOMAXPROCS:       runtime.GOMAXPROCS(0),
+		ElapsedSec:       elapsed,
+		AdmissionsPerSec: float64(cfg.Requests) / elapsed,
+		Routed:           routed,
+		Shed:             tot.Shed,
+		Blocked:          tot.Blocked,
+	}, nil
+}

@@ -4,6 +4,7 @@ import (
 	"math"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"dolbie/internal/metrics"
@@ -54,7 +55,7 @@ func TestParseRouteAndControlPolicy(t *testing.T) {
 }
 
 func TestQueueRing(t *testing.T) {
-	q := newQueue(3)
+	q := newQueue(3, new(atomic.Int64))
 	for i := 0; i < 2; i++ { // exercise wraparound twice
 		for j := int64(0); j < 3; j++ {
 			q.push(Request{ID: j, Demand: 2})

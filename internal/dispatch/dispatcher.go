@@ -2,8 +2,11 @@ package dispatch
 
 import (
 	"fmt"
-	"strconv"
+	"math"
+	"math/bits"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"dolbie/internal/metrics"
 )
@@ -12,9 +15,16 @@ import (
 type Config struct {
 	// N is the number of workers (queues).
 	N int
-	// QueueCap bounds every worker's FIFO queue (the in-service request
-	// counts against the bound).
+	// QueueCap bounds every worker's FIFO queue across all shards (the
+	// in-service request counts against the bound). It is split across
+	// the admission shards, so it must be at least Shards.
 	QueueCap int
+	// Shards is the number of admission shards. Each shard owns its own
+	// smooth-WRR cursor, its own slice of every worker's queue capacity,
+	// and its own counters, so admissions on different shards never
+	// contend. 0 defaults to 1; Shards=1 reproduces the single-lock
+	// admission semantics bit for bit.
+	Shards int
 	// Shed selects the backpressure behaviour when the routed target's
 	// queue is full.
 	Shed ShedPolicy
@@ -23,7 +33,9 @@ type Config struct {
 	// loop.
 	Route RoutePolicy
 	// Metrics instruments the dispatcher with the dolbie_dispatch_*
-	// family; nil disables instrumentation.
+	// family; nil disables instrumentation. The hot path never touches
+	// the registry: series are refreshed to a consistent snapshot at
+	// scrape time via the registry's collect hook.
 	Metrics *metrics.Registry
 }
 
@@ -34,6 +46,12 @@ func (c Config) Validate() error {
 	}
 	if c.QueueCap <= 0 {
 		return fmt.Errorf("dispatch: QueueCap = %d must be positive", c.QueueCap)
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("dispatch: Shards = %d must be non-negative", c.Shards)
+	}
+	if s := c.shardCount(); c.QueueCap < s {
+		return fmt.Errorf("dispatch: QueueCap = %d below shard count %d (each shard needs at least one slot per worker)", c.QueueCap, s)
 	}
 	switch c.Shed {
 	case ShedReject, ShedBlock, ShedSpill:
@@ -48,10 +66,19 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// shardCount resolves the effective shard count (0 defaults to 1).
+func (c Config) shardCount() int {
+	if c.Shards <= 0 {
+		return 1
+	}
+	return c.Shards
+}
+
 // Totals is a consistent snapshot of the dispatcher's counters. The
 // conservation law Arrivals == sum(Routed) + Shed + Blocked holds for
 // every snapshot (spilled requests are counted in Routed on the queue
-// they landed on).
+// they landed on): each admission commits atomically inside one shard's
+// critical section, and Totals stops the world across all shards.
 type Totals struct {
 	// Arrivals counts every Submit call.
 	Arrivals int64
@@ -67,59 +94,120 @@ type Totals struct {
 	Completed int64
 }
 
-// dispatcherInstruments pre-resolves every label series the hot path
-// touches, so Submit/Complete never take the registry's family locks.
-// All updates happen under the dispatcher mutex, which keeps the
-// exported gauges and counters consistent with Totals at quiescence
-// (the concurrency contract the metrics race test pins down).
-type dispatcherInstruments struct {
-	arrivals      *metrics.Counter
-	routedByW     []*metrics.Counter
-	depthByW      []*metrics.Gauge
-	shedReject    *metrics.Counter
-	shedExhausted *metrics.Counter
-	spilled       *metrics.Counter
-	blocked       *metrics.Counter
-	latency       *metrics.Histogram
-	retunes       *metrics.Counter
+// shard is one admission shard: a smooth-WRR cursor, one bounded queue
+// slice per worker, and plain counters, all guarded by a single short
+// mutex. A whole admission (arrival count, routing pick, queue push or
+// shed/block, outcome count) commits inside one critical section, so
+// every per-shard snapshot satisfies the conservation law exactly — the
+// property the scrape-time aggregation and the stop-the-world Totals
+// both build on.
+type shard struct {
+	mu      sync.Mutex
+	queues  []*queue  // one bounded slice of each worker's capacity
+	weights []float64 // shard-local copy, swapped at retune epochs
+	wrr     []float64 // smooth weighted round-robin accumulators
+
+	// Counters, guarded by mu. Plain (non-atomic) on purpose: they are
+	// only read under mu (scrape-time collection and stop-the-world
+	// snapshots), which keeps the admission critical section as cheap as
+	// possible.
+	arrivals      int64
+	routed        []int64
+	shedReject    int64
+	shedExhausted int64
+	spilled       int64
+	blocked       int64
+	completed     int64
+
+	// Completion-latency tally, binned per shard on the layout of
+	// latencyBuckets (latCounts[len] would be +Inf; it is kept in latInf)
+	// and merged into the registry histogram at scrape time. nil when the
+	// dispatcher is uninstrumented.
+	latCounts []int64
+	latInf    int64
+	latSum    float64
+	latCount  int64
 }
 
-func newDispatcherInstruments(in *instruments, n int) *dispatcherInstruments {
-	if in == nil {
-		return nil
+// observeLatencyLocked bins one completion latency into the shard's
+// local tally under s.mu — the instrumented completion path's only
+// metrics cost (the registry histogram and its mutex are touched once
+// per scrape, not per completion).
+func (s *shard) observeLatencyLocked(v float64) {
+	if i := sort.SearchFloat64s(latencyBuckets, v); i < len(s.latCounts) {
+		s.latCounts[i]++
+	} else {
+		s.latInf++
 	}
-	di := &dispatcherInstruments{
-		arrivals:      in.arrivals,
-		routedByW:     make([]*metrics.Counter, n),
-		depthByW:      make([]*metrics.Gauge, n),
-		shedReject:    in.shed.WithLabelValues("reject"),
-		shedExhausted: in.shed.WithLabelValues("spill_exhausted"),
-		spilled:       in.spilled,
-		blocked:       in.blocked,
-		latency:       in.latency,
-		retunes:       in.retunes,
+	s.latSum += v
+	s.latCount++
+}
+
+// pickLocked selects the routed target under s.mu: smooth weighted
+// round-robin (the nginx algorithm — deterministic, drift-free, and
+// spreads each worker's turns evenly), or the shard-local shortest
+// queue under RouteJSQ. Both are shard-local decisions, so shards never
+// read each other's state on the hot path.
+func (s *shard) pickLocked(route RoutePolicy) int {
+	if route == RouteJSQ {
+		best := 0
+		for i := 1; i < len(s.queues); i++ {
+			if s.queues[i].len() < s.queues[best].len() {
+				best = i
+			}
+		}
+		return best
 	}
-	for i := 0; i < n; i++ {
-		di.routedByW[i] = in.routed.WithLabelValues(strconv.Itoa(i))
-		di.depthByW[i] = in.depth.WithLabelValues(strconv.Itoa(i))
+	var total float64
+	best := -1
+	for i, w := range s.weights {
+		s.wrr[i] += w
+		total += w
+		if best == -1 || s.wrr[i] > s.wrr[best] {
+			best = i
+		}
 	}
-	return di
+	s.wrr[best] -= total
+	return best
+}
+
+// leastLoadedWithSpaceLocked returns the worker with the fewest queued
+// requests on this shard among those with shard-queue space, or -1 when
+// every shard queue is full. Ties break to the lowest index.
+func (s *shard) leastLoadedWithSpaceLocked() int {
+	best := -1
+	for i, q := range s.queues {
+		if q.full() {
+			continue
+		}
+		if best == -1 || q.len() < s.queues[best].len() {
+			best = i
+		}
+	}
+	return best
 }
 
 // Dispatcher routes requests onto bounded per-worker FIFO queues
 // according to the configured policy and the current weight vector. It
-// is safe for concurrent use: the virtual-time engine drives it from
-// one goroutine, while the HTTP ingest handler and metrics scrapes may
-// hit it from many.
+// is safe for concurrent use and its admission path is sharded: each
+// request hashes to one of Config.Shards shards and commits entirely
+// inside that shard's short critical section, so concurrent Submit
+// calls on different shards never contend. Cross-shard coordination is
+// either lock-free (completion discovers the oldest head via atomic
+// per-queue head keys) or a brief stop-the-world epoch across all
+// shards (SetWeights, Totals, Depths, Backlog — the round-boundary
+// repartition operations).
 type Dispatcher struct {
-	cfg  Config
-	inst *dispatcherInstruments
-
-	mu      sync.Mutex
-	queues  []*queue
-	weights []float64
-	wrr     []float64 // smooth weighted round-robin accumulators
-	totals  Totals
+	cfg    Config
+	shards []*shard
+	// heads is the flat array of atomic head keys, one slot per
+	// (worker, shard) pair laid out with a worker's shards contiguous
+	// (index worker*len(shards)+shard), so the lock-free oldest-head scan
+	// in Complete reads consecutive memory instead of chasing a pointer
+	// into every shard.
+	heads []atomic.Int64
+	inst  *dispatcherInstruments
+	col   *collector
 }
 
 // New constructs a Dispatcher with uniform initial weights.
@@ -127,17 +215,41 @@ func New(cfg Config) (*Dispatcher, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	ns := cfg.shardCount()
 	d := &Dispatcher{
-		cfg:     cfg,
-		inst:    newDispatcherInstruments(newInstruments(cfg.Metrics), cfg.N),
-		queues:  make([]*queue, cfg.N),
-		weights: make([]float64, cfg.N),
-		wrr:     make([]float64, cfg.N),
+		cfg:    cfg,
+		shards: make([]*shard, ns),
+		heads:  make([]atomic.Int64, cfg.N*ns),
 	}
-	d.totals.Routed = make([]int64, cfg.N)
-	for i := range d.queues {
-		d.queues[i] = newQueue(cfg.QueueCap)
-		d.weights[i] = 1 / float64(cfg.N)
+	// Split each worker's capacity across the shards: shard si gets
+	// QueueCap/ns slots plus one of the remainder slots, so per-worker
+	// capacity sums exactly to QueueCap (no overshoot, no loss).
+	base, extra := cfg.QueueCap/ns, cfg.QueueCap%ns
+	for si := range d.shards {
+		capS := base
+		if si < extra {
+			capS++
+		}
+		s := &shard{
+			queues:  make([]*queue, cfg.N),
+			weights: make([]float64, cfg.N),
+			wrr:     make([]float64, cfg.N),
+			routed:  make([]int64, cfg.N),
+		}
+		for w := range s.queues {
+			s.queues[w] = newQueue(capS, &d.heads[w*ns+si])
+			s.weights[w] = 1 / float64(cfg.N)
+		}
+		d.shards[si] = s
+	}
+	if cfg.Metrics != nil {
+		d.inst = newDispatcherInstruments(newInstruments(cfg.Metrics), cfg.N, ns)
+		d.inst.shards.Set(float64(ns))
+		d.col = newCollector(cfg.N, ns)
+		for _, s := range d.shards {
+			s.latCounts = make([]int64, len(latencyBuckets))
+		}
+		cfg.Metrics.OnCollect(d.collect)
 	}
 	return d, nil
 }
@@ -145,13 +257,49 @@ func New(cfg Config) (*Dispatcher, error) {
 // N returns the number of workers.
 func (d *Dispatcher) N() int { return d.cfg.N }
 
-// SetWeights installs a new routing weight vector (DOLBIE's x_{t+1}).
-// Weights must be non-negative with a positive sum; they need not be
-// normalized. The smooth-WRR accumulators are preserved so routing
-// stays deterministic across retunes.
-func (d *Dispatcher) SetWeights(w []float64) error {
-	if len(w) != d.cfg.N {
-		return fmt.Errorf("dispatch: got %d weights for %d workers", len(w), d.cfg.N)
+// Shards returns the effective number of admission shards.
+func (d *Dispatcher) Shards() int { return len(d.shards) }
+
+// shardFor hashes a request ID onto a shard. The mixer is
+// splitmix64-style so sequential IDs (the generator, the HTTP ingest
+// counter) spread uniformly instead of striding, and the hash maps to a
+// shard index by fixed-point multiply (bits.Mul64 high word) rather
+// than a modulo — an integer divide would cost more than the rest of
+// the hash combined.
+func (d *Dispatcher) shardFor(id int64) *shard {
+	if len(d.shards) == 1 {
+		return d.shards[0]
+	}
+	h := uint64(id)
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	hi, _ := bits.Mul64(h, uint64(len(d.shards)))
+	return d.shards[hi]
+}
+
+// lockAll begins a stop-the-world epoch: it acquires every shard mutex
+// in index order (submitters hold at most one, so ordered acquisition
+// cannot deadlock). While held, no admission or completion can move.
+func (d *Dispatcher) lockAll() {
+	for _, s := range d.shards {
+		s.mu.Lock()
+	}
+}
+
+// unlockAll ends the stop-the-world epoch.
+func (d *Dispatcher) unlockAll() {
+	for _, s := range d.shards {
+		s.mu.Unlock()
+	}
+}
+
+// validateWeights checks a routing weight vector for SetWeights.
+func validateWeights(w []float64, n int) error {
+	if len(w) != n {
+		return fmt.Errorf("dispatch: got %d weights for %d workers", len(w), n)
 	}
 	var sum float64
 	for i, v := range w {
@@ -163,176 +311,233 @@ func (d *Dispatcher) SetWeights(w []float64) error {
 	if sum <= 0 {
 		return fmt.Errorf("dispatch: weights sum to %v, want > 0", sum)
 	}
-	d.mu.Lock()
-	copy(d.weights, w)
+	return nil
+}
+
+// SetWeights installs a new routing weight vector (DOLBIE's x_{t+1})
+// in one stop-the-world epoch across all shards, so every shard swaps
+// to the new assignment at the same admission boundary. Weights must be
+// non-negative with a positive sum; they need not be normalized. Each
+// shard's smooth-WRR accumulators are preserved so routing stays
+// deterministic across retunes.
+func (d *Dispatcher) SetWeights(w []float64) error {
+	if err := validateWeights(w, d.cfg.N); err != nil {
+		return err
+	}
+	d.lockAll()
+	for _, s := range d.shards {
+		copy(s.weights, w)
+	}
+	d.unlockAll()
 	if d.inst != nil {
 		d.inst.retunes.Inc()
 	}
-	d.mu.Unlock()
 	return nil
 }
 
 // Weights returns a copy of the current routing weights.
 func (d *Dispatcher) Weights() []float64 {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return append([]float64(nil), d.weights...)
+	s := d.shards[0]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]float64(nil), s.weights...)
 }
 
 // Submit routes one request. The returned verdict reports where it
 // landed (or why it did not); Blocked verdicts leave no trace in the
 // queues and the caller is expected to resubmit after a completion.
+// The whole admission commits inside one shard's critical section.
 func (d *Dispatcher) Submit(r Request) Verdict {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.totals.Arrivals++
-	if d.inst != nil {
-		d.inst.arrivals.Inc()
-	}
-	target := d.pickLocked()
+	s := d.shardFor(r.ID)
+	s.mu.Lock()
+	s.arrivals++
+	target := s.pickLocked(d.cfg.Route)
 	v := Verdict{Outcome: Routed, Worker: target}
 	switch {
-	case !d.queues[target].full():
-		// Fast path: the routed target has room.
+	case !s.queues[target].full():
+		// Fast path: the routed target has room on this shard.
 	case d.cfg.Shed == ShedBlock:
-		d.totals.Blocked++
-		if d.inst != nil {
-			d.inst.blocked.Inc()
-		}
+		s.blocked++
+		s.mu.Unlock()
 		return Verdict{Outcome: Blocked, Worker: -1}
 	case d.cfg.Shed == ShedSpill:
-		alt := d.leastLoadedWithSpaceLocked()
+		alt := s.leastLoadedWithSpaceLocked()
 		if alt < 0 {
-			d.totals.Shed++
-			if d.inst != nil {
-				d.inst.shedExhausted.Inc()
-			}
+			s.shedExhausted++
+			s.mu.Unlock()
 			return Verdict{Outcome: Shed, Worker: -1}
 		}
-		d.totals.Spilled++
-		if d.inst != nil {
-			d.inst.spilled.Inc()
-		}
+		s.spilled++
 		v = Verdict{Outcome: Spilled, Worker: alt}
 	default: // ShedReject
-		d.totals.Shed++
-		if d.inst != nil {
-			d.inst.shedReject.Inc()
-		}
+		s.shedReject++
+		s.mu.Unlock()
 		return Verdict{Outcome: Shed, Worker: -1}
 	}
-	d.queues[v.Worker].push(r)
-	d.totals.Routed[v.Worker]++
-	if d.inst != nil {
-		d.inst.routedByW[v.Worker].Inc()
-		d.inst.depthByW[v.Worker].Set(float64(d.queues[v.Worker].len()))
-	}
+	s.queues[v.Worker].push(r)
+	s.routed[v.Worker]++
+	s.mu.Unlock()
 	return v
 }
 
-// pickLocked selects the routed target under d.mu.
-func (d *Dispatcher) pickLocked() int {
-	if d.cfg.Route == RouteJSQ {
-		best := 0
-		for i := 1; i < len(d.queues); i++ {
-			if d.queues[i].len() < d.queues[best].len() {
-				best = i
-			}
-		}
-		return best
-	}
-	// Smooth weighted round-robin (the nginx algorithm): deterministic,
-	// drift-free, and spreads each worker's turns evenly through the
-	// sequence instead of bursting them.
-	var total float64
-	best := -1
-	for i, w := range d.weights {
-		d.wrr[i] += w
-		total += w
-		if best == -1 || d.wrr[i] > d.wrr[best] {
-			best = i
+// oldestShard scans the worker's per-shard head keys lock-free and
+// returns the shard index holding the smallest (oldest) head ID, or -1
+// when every shard queue for the worker looked empty. The keys are
+// contiguous in the flat head array, so the scan stays within one or
+// two cache lines even at high shard counts.
+func (d *Dispatcher) oldestShard(worker int) (int, int64) {
+	ns := len(d.shards)
+	keys := d.heads[worker*ns : worker*ns+ns]
+	best, bestID := -1, int64(math.MaxInt64)
+	for si := range keys {
+		if id := keys[si].Load(); id < bestID {
+			bestID, best = id, si
 		}
 	}
-	d.wrr[best] -= total
-	return best
+	return best, bestID
 }
 
-// leastLoadedWithSpaceLocked returns the worker with the fewest queued
-// requests among those with queue space, or -1 when every queue is
-// full. Ties break to the lowest index.
-func (d *Dispatcher) leastLoadedWithSpaceLocked() int {
-	best := -1
-	for i, q := range d.queues {
-		if q.full() {
-			continue
-		}
-		if best == -1 || q.len() < d.queues[best].len() {
-			best = i
-		}
-	}
-	return best
-}
-
-// Head returns the oldest request on the worker's queue without
-// removing it (the request currently in service).
+// Head returns the worker's in-service request: the oldest head (by
+// request ID) across the worker's shard queues, without removing it.
 func (d *Dispatcher) Head(worker int) (Request, bool) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	if worker < 0 || worker >= d.cfg.N {
 		return Request{}, false
 	}
-	return d.queues[worker].peek()
+	for attempt := 0; attempt <= len(d.shards); attempt++ {
+		si, bestID := d.oldestShard(worker)
+		if si < 0 {
+			return Request{}, false
+		}
+		s := d.shards[si]
+		s.mu.Lock()
+		h, ok := s.queues[worker].peek()
+		s.mu.Unlock()
+		if ok && h.ID == bestID {
+			return h, true
+		}
+		// The head moved under us (a racing completion); rescan.
+	}
+	return d.headStopTheWorld(worker)
 }
 
-// Complete pops the worker's in-service head and records its
-// completion at time now (virtual or wall seconds, matching the
-// request arrivals). It returns the completed request.
+// Complete pops the worker's in-service head — the oldest head across
+// the worker's shard queues — and records its completion at time now
+// (virtual or wall seconds, matching the request arrivals). It returns
+// the completed request. The common path is optimistic: a lock-free
+// scan of atomic head keys picks the shard, and only that shard's
+// mutex is taken; persistent races fall back to a stop-the-world pop.
 func (d *Dispatcher) Complete(worker int, now float64) (Request, bool) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	if worker < 0 || worker >= d.cfg.N {
 		return Request{}, false
 	}
-	r, ok := d.queues[worker].pop()
-	if !ok {
+	for attempt := 0; attempt <= len(d.shards); attempt++ {
+		si, bestID := d.oldestShard(worker)
+		if si < 0 {
+			return Request{}, false
+		}
+		s := d.shards[si]
+		s.mu.Lock()
+		if h, ok := s.queues[worker].peek(); ok && h.ID == bestID {
+			r, _ := s.queues[worker].pop()
+			s.completed++
+			if d.inst != nil {
+				s.observeLatencyLocked(now - r.Arrival)
+			}
+			s.mu.Unlock()
+			return r, true
+		}
+		s.mu.Unlock()
+	}
+	return d.completeStopTheWorld(worker, now)
+}
+
+// oldestShardLocked resolves the worker's oldest-head shard while every
+// shard mutex is held.
+func (d *Dispatcher) oldestShardLocked(worker int) int {
+	best, bestID := -1, int64(math.MaxInt64)
+	for si, s := range d.shards {
+		if h, ok := s.queues[worker].peek(); ok && h.ID < bestID {
+			bestID, best = h.ID, si
+		}
+	}
+	return best
+}
+
+// headStopTheWorld resolves the worker's oldest head under the full
+// epoch lock — the contention fallback that guarantees progress when
+// optimistic scans keep losing races.
+func (d *Dispatcher) headStopTheWorld(worker int) (Request, bool) {
+	d.lockAll()
+	defer d.unlockAll()
+	best := d.oldestShardLocked(worker)
+	if best < 0 {
 		return Request{}, false
 	}
-	d.totals.Completed++
+	r, _ := d.shards[best].queues[worker].peek()
+	return r, true
+}
+
+// completeStopTheWorld pops the worker's oldest head under the full
+// epoch lock — the contention fallback for Complete.
+func (d *Dispatcher) completeStopTheWorld(worker int, now float64) (Request, bool) {
+	d.lockAll()
+	defer d.unlockAll()
+	best := d.oldestShardLocked(worker)
+	if best < 0 {
+		return Request{}, false
+	}
+	s := d.shards[best]
+	r, _ := s.queues[worker].pop()
+	s.completed++
 	if d.inst != nil {
-		d.inst.depthByW[worker].Set(float64(d.queues[worker].len()))
-		d.inst.latency.Observe(now - r.Arrival)
+		s.observeLatencyLocked(now - r.Arrival)
 	}
 	return r, true
 }
 
-// Depths returns the current queue depth of every worker.
+// Depths returns the current queue depth of every worker (summed over
+// shards), collected in one stop-the-world epoch.
 func (d *Dispatcher) Depths() []int {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.lockAll()
+	defer d.unlockAll()
 	out := make([]int, d.cfg.N)
-	for i, q := range d.queues {
-		out[i] = q.len()
+	for _, s := range d.shards {
+		for w, q := range s.queues {
+			out[w] += q.len()
+		}
 	}
 	return out
 }
 
-// Backlog returns every worker's queued work in demand units
-// (including the in-service head).
+// Backlog returns every worker's queued work in demand units (including
+// the in-service head), collected in one stop-the-world epoch.
 func (d *Dispatcher) Backlog() []float64 {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.lockAll()
+	defer d.unlockAll()
 	out := make([]float64, d.cfg.N)
-	for i, q := range d.queues {
-		out[i] = q.work
+	for _, s := range d.shards {
+		for w, q := range s.queues {
+			out[w] += q.work
+		}
 	}
 	return out
 }
 
-// Totals returns a consistent snapshot of the dispatcher's counters.
+// Totals returns a consistent snapshot of the dispatcher's counters,
+// collected in one stop-the-world epoch across all shards.
 func (d *Dispatcher) Totals() Totals {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	t := d.totals
-	t.Routed = append([]int64(nil), d.totals.Routed...)
+	d.lockAll()
+	defer d.unlockAll()
+	t := Totals{Routed: make([]int64, d.cfg.N)}
+	for _, s := range d.shards {
+		t.Arrivals += s.arrivals
+		t.Shed += s.shedReject + s.shedExhausted
+		t.Spilled += s.spilled
+		t.Blocked += s.blocked
+		t.Completed += s.completed
+		for w, r := range s.routed {
+			t.Routed[w] += r
+		}
+	}
 	return t
 }

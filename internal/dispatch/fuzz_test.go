@@ -2,6 +2,7 @@ package dispatch
 
 import (
 	"math"
+	"sync"
 	"testing"
 )
 
@@ -11,18 +12,28 @@ import (
 // loop's virtual clock) relies on: the conservation law
 // Arrivals == sum(Routed) + Shed + Blocked, queue depths bounded by the
 // configured capacity, and Backlog matching the work actually enqueued.
-// Runs with the seed corpus under plain `go test`; explore further with
+// The shard count is fuzzed alongside the policies, and every input is
+// replayed a second time as concurrent offered load (several submitting
+// goroutines racing completions) under which the conservation and
+// capacity invariants must still hold at quiescence — the strict
+// depth/backlog bookkeeping is sequential-only, since under concurrency
+// the interleaving of verdicts is not deterministic. Runs with the seed
+// corpus under plain `go test`; explore further with
 // `go test -fuzz=FuzzDispatcherAdmission`.
 func FuzzDispatcherAdmission(f *testing.F) {
-	f.Add(uint8(3), uint8(2), uint8(0), uint8(0), []byte{0, 1, 2, 3, 4, 5})
-	f.Add(uint8(1), uint8(1), uint8(1), uint8(1), []byte{7, 7, 7, 3, 3})
-	f.Add(uint8(8), uint8(4), uint8(2), uint8(0), []byte{255, 128, 64, 32, 16, 8, 4, 2, 1})
-	f.Fuzz(func(t *testing.T, n, queueCap, shed, route uint8, ops []byte) {
+	f.Add(uint8(3), uint8(2), uint8(0), uint8(0), uint8(0), uint8(1), []byte{0, 1, 2, 3, 4, 5})
+	f.Add(uint8(1), uint8(1), uint8(1), uint8(1), uint8(3), uint8(2), []byte{7, 7, 7, 3, 3})
+	f.Add(uint8(8), uint8(4), uint8(2), uint8(0), uint8(7), uint8(3), []byte{255, 128, 64, 32, 16, 8, 4, 2, 1})
+	f.Fuzz(func(t *testing.T, n, queueCap, shed, route, shards, par uint8, ops []byte) {
 		cfg := Config{
 			N:        int(n%8) + 1,
 			QueueCap: int(queueCap%16) + 1,
 			Shed:     ShedPolicy(int(shed) % 3),
 			Route:    RoutePolicy(int(route) % 2),
+			Shards:   int(shards%8) + 1,
+		}
+		if cfg.Shards > cfg.QueueCap {
+			cfg.Shards = cfg.QueueCap // Validate requires a slot per shard
 		}
 		d, err := New(cfg)
 		if err != nil {
@@ -83,6 +94,47 @@ func FuzzDispatcherAdmission(f *testing.F) {
 		}
 		if math.Abs(backlog-enqueued) > 1e-9*(1+math.Abs(enqueued)) {
 			t.Fatalf("backlog %v != enqueued work %v", backlog, enqueued)
+		}
+
+		// Concurrent replay: the same op stream offered from several
+		// goroutines at once, racing completions against submissions. The
+		// interleaving is nondeterministic, so only the interleaving-free
+		// invariants are asserted at quiescence: conservation, and no
+		// worker's aggregate depth above the configured capacity.
+		dc, err := New(cfg)
+		if err != nil {
+			t.Fatalf("New(%+v): %v", cfg, err)
+		}
+		submitters := int(par%4) + 1
+		var wg sync.WaitGroup
+		for g := 0; g < submitters; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				base := int64(g+1) * (int64(len(ops)) + 1)
+				for k, op := range ops {
+					if op%4 == 3 {
+						dc.Complete(int(op>>2)%cfg.N, float64(k))
+						continue
+					}
+					dc.Submit(Request{ID: base + int64(k), Arrival: float64(k), Demand: 0.1 + float64(op%7)})
+				}
+			}(g)
+		}
+		wg.Wait()
+		ctot := dc.Totals()
+		var crouted int64
+		for _, r := range ctot.Routed {
+			crouted += r
+		}
+		if ctot.Arrivals != crouted+ctot.Shed+ctot.Blocked {
+			t.Fatalf("concurrent conservation violated: %d arrivals != %d routed + %d shed + %d blocked",
+				ctot.Arrivals, crouted, ctot.Shed, ctot.Blocked)
+		}
+		for w, depth := range dc.Depths() {
+			if depth > cfg.QueueCap {
+				t.Fatalf("concurrent replay: worker %d depth %d exceeds cap %d", w, depth, cfg.QueueCap)
+			}
 		}
 	})
 }

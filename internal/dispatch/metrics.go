@@ -1,6 +1,11 @@
 package dispatch
 
-import "dolbie/internal/metrics"
+import (
+	"strconv"
+	"sync"
+
+	"dolbie/internal/metrics"
+)
 
 // Metric names of the dolbie_dispatch_* family. The data plane is the
 // first subsystem whose health is invisible in the algorithm-level
@@ -34,6 +39,17 @@ const (
 	// MetricRetunes counts closed-loop weight updates applied to the
 	// dispatcher (one per round when DOLBIE drives the weights).
 	MetricRetunes = "dolbie_dispatch_retunes_total"
+	// MetricShards gauges the configured number of admission shards.
+	MetricShards = "dolbie_dispatch_shards"
+	// MetricShardAdmissions counts admission attempts per shard, labeled
+	// {shard}. The shard values sum to MetricArrivals at every scrape;
+	// persistent skew means the request-ID hash is unbalanced.
+	MetricShardAdmissions = "dolbie_dispatch_shard_admissions_total"
+	// MetricShardDepth gauges the total queued requests per shard,
+	// labeled {shard} (summed over the shard's worker queues). One shard
+	// pinned while others idle sheds early: per-worker capacity is split
+	// across shards.
+	MetricShardDepth = "dolbie_dispatch_shard_queue_depth"
 )
 
 // latencyBuckets spans sub-millisecond dispatch latencies up to the
@@ -43,14 +59,17 @@ var latencyBuckets = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.2
 // instruments bundles the dispatcher's registry-backed metrics; nil
 // when the dispatcher is uninstrumented.
 type instruments struct {
-	arrivals *metrics.Counter
-	routed   *metrics.CounterVec
-	shed     *metrics.CounterVec
-	spilled  *metrics.Counter
-	blocked  *metrics.Counter
-	depth    *metrics.GaugeVec
-	latency  *metrics.Histogram
-	retunes  *metrics.Counter
+	arrivals        *metrics.Counter
+	routed          *metrics.CounterVec
+	shed            *metrics.CounterVec
+	spilled         *metrics.Counter
+	blocked         *metrics.Counter
+	depth           *metrics.GaugeVec
+	latency         *metrics.Histogram
+	retunes         *metrics.Counter
+	shards          *metrics.Gauge
+	shardAdmissions *metrics.CounterVec
+	shardDepth      *metrics.GaugeVec
 }
 
 func newInstruments(reg *metrics.Registry) *instruments {
@@ -58,13 +77,172 @@ func newInstruments(reg *metrics.Registry) *instruments {
 		return nil
 	}
 	return &instruments{
-		arrivals: reg.Counter(MetricArrivals, "Requests submitted to the dispatcher (including blocked attempts)."),
-		routed:   reg.CounterVec(MetricRouted, "Requests enqueued, by worker.", "worker"),
-		shed:     reg.CounterVec(MetricShed, "Requests dropped by backpressure, by reason.", "reason"),
-		spilled:  reg.Counter(MetricSpilled, "Requests rerouted to the least-loaded worker by the spill policy."),
-		blocked:  reg.Counter(MetricBlocked, "Admission attempts refused by the block policy."),
-		depth:    reg.GaugeVec(MetricQueueDepth, "Current queue depth, by worker.", "worker"),
-		latency:  reg.Histogram(MetricCompletionLatency, "Request completion latency in seconds.", latencyBuckets),
-		retunes:  reg.Counter(MetricRetunes, "Closed-loop routing weight updates applied to the dispatcher."),
+		arrivals:        reg.Counter(MetricArrivals, "Requests submitted to the dispatcher (including blocked attempts)."),
+		routed:          reg.CounterVec(MetricRouted, "Requests enqueued, by worker.", "worker"),
+		shed:            reg.CounterVec(MetricShed, "Requests dropped by backpressure, by reason.", "reason"),
+		spilled:         reg.Counter(MetricSpilled, "Requests rerouted to the least-loaded worker by the spill policy."),
+		blocked:         reg.Counter(MetricBlocked, "Admission attempts refused by the block policy."),
+		depth:           reg.GaugeVec(MetricQueueDepth, "Current queue depth, by worker.", "worker"),
+		latency:         reg.Histogram(MetricCompletionLatency, "Request completion latency in seconds.", latencyBuckets),
+		retunes:         reg.Counter(MetricRetunes, "Closed-loop routing weight updates applied to the dispatcher."),
+		shards:          reg.Gauge(MetricShards, "Configured number of admission shards."),
+		shardAdmissions: reg.CounterVec(MetricShardAdmissions, "Admission attempts, by shard.", "shard"),
+		shardDepth:      reg.GaugeVec(MetricShardDepth, "Queued requests, by shard.", "shard"),
+	}
+}
+
+// dispatcherInstruments pre-resolves every label series the dispatcher
+// touches, so neither the hot path (reference dispatcher: updates under
+// its admission mutex) nor the scrape-time collector (sharded
+// dispatcher) ever takes the registry's family locks.
+type dispatcherInstruments struct {
+	arrivals      *metrics.Counter
+	routedByW     []*metrics.Counter
+	depthByW      []*metrics.Gauge
+	shedReject    *metrics.Counter
+	shedExhausted *metrics.Counter
+	spilled       *metrics.Counter
+	blocked       *metrics.Counter
+	latency       *metrics.Histogram
+	retunes       *metrics.Counter
+	shards        *metrics.Gauge
+	shardAdmByS   []*metrics.Counter
+	shardDepthByS []*metrics.Gauge
+}
+
+// newDispatcherInstruments resolves the per-worker series and, when
+// shards > 0, the per-shard series (the reference dispatcher passes 0:
+// it predates sharding and must not export empty shard series).
+func newDispatcherInstruments(in *instruments, n, shards int) *dispatcherInstruments {
+	if in == nil {
+		return nil
+	}
+	di := &dispatcherInstruments{
+		arrivals:      in.arrivals,
+		routedByW:     make([]*metrics.Counter, n),
+		depthByW:      make([]*metrics.Gauge, n),
+		shedReject:    in.shed.WithLabelValues("reject"),
+		shedExhausted: in.shed.WithLabelValues("spill_exhausted"),
+		spilled:       in.spilled,
+		blocked:       in.blocked,
+		latency:       in.latency,
+		retunes:       in.retunes,
+		shards:        in.shards,
+	}
+	for i := 0; i < n; i++ {
+		di.routedByW[i] = in.routed.WithLabelValues(strconv.Itoa(i))
+		di.depthByW[i] = in.depth.WithLabelValues(strconv.Itoa(i))
+	}
+	if shards > 0 {
+		di.shardAdmByS = make([]*metrics.Counter, shards)
+		di.shardDepthByS = make([]*metrics.Gauge, shards)
+		for s := 0; s < shards; s++ {
+			di.shardAdmByS[s] = in.shardAdmissions.WithLabelValues(strconv.Itoa(s))
+			di.shardDepthByS[s] = in.shardDepth.WithLabelValues(strconv.Itoa(s))
+		}
+	}
+	return di
+}
+
+// collector carries the last-exported snapshot of the sharded
+// dispatcher's counters, so each scrape advances the registry's
+// monotonic counters by exact deltas. Guarded by its mutex (scrapes may
+// overlap); the per-shard snapshots it sums are each taken under that
+// shard's own mutex, and every admission commits atomically inside one
+// such critical section — which is why the exported family values
+// satisfy arrivals == sum(routed) + shed + blocked at every scrape,
+// even mid-load.
+type collector struct {
+	mu                sync.Mutex
+	lastArrivals      int64
+	lastRouted        []int64
+	lastShedReject    int64
+	lastShedExhausted int64
+	lastSpilled       int64
+	lastBlocked       int64
+	lastShardAdm      []int64
+	lastLatCounts     []int64
+	lastLatInf        int64
+	lastLatSum        float64
+	lastLatCount      int64
+}
+
+func newCollector(n, shards int) *collector {
+	return &collector{
+		lastRouted:    make([]int64, n),
+		lastShardAdm:  make([]int64, shards),
+		lastLatCounts: make([]int64, len(latencyBuckets)),
+	}
+}
+
+// collect refreshes the registry series from the shard counters. It is
+// registered as the registry's OnCollect hook, so every /metrics scrape
+// sees one consistent snapshot; the collector mutex serializes
+// overlapping scrapes.
+func (d *Dispatcher) collect() {
+	d.col.mu.Lock()
+	defer d.col.mu.Unlock()
+	n, ns := d.cfg.N, len(d.shards)
+	var (
+		arrivals, shedReject, shedExhausted, spilled, blocked int64
+		latInf, latCount                                      int64
+		latSum                                                float64
+		routed                                                = make([]int64, n)
+		depths                                                = make([]int, n)
+		shardAdm                                              = make([]int64, ns)
+		shardDepth                                            = make([]int, ns)
+		latCounts                                             = make([]int64, len(latencyBuckets))
+	)
+	for si, s := range d.shards {
+		s.mu.Lock()
+		arrivals += s.arrivals
+		shedReject += s.shedReject
+		shedExhausted += s.shedExhausted
+		spilled += s.spilled
+		blocked += s.blocked
+		shardAdm[si] = s.arrivals
+		for w, r := range s.routed {
+			routed[w] += r
+			l := s.queues[w].len()
+			depths[w] += l
+			shardDepth[si] += l
+		}
+		for b, c := range s.latCounts {
+			latCounts[b] += c
+		}
+		latInf += s.latInf
+		latSum += s.latSum
+		latCount += s.latCount
+		s.mu.Unlock()
+	}
+	c := d.col
+	d.inst.arrivals.Add(float64(arrivals - c.lastArrivals))
+	c.lastArrivals = arrivals
+	d.inst.shedReject.Add(float64(shedReject - c.lastShedReject))
+	c.lastShedReject = shedReject
+	d.inst.shedExhausted.Add(float64(shedExhausted - c.lastShedExhausted))
+	c.lastShedExhausted = shedExhausted
+	d.inst.spilled.Add(float64(spilled - c.lastSpilled))
+	c.lastSpilled = spilled
+	d.inst.blocked.Add(float64(blocked - c.lastBlocked))
+	c.lastBlocked = blocked
+	for w := 0; w < n; w++ {
+		d.inst.routedByW[w].Add(float64(routed[w] - c.lastRouted[w]))
+		c.lastRouted[w] = routed[w]
+		d.inst.depthByW[w].Set(float64(depths[w]))
+	}
+	for si := 0; si < ns; si++ {
+		d.inst.shardAdmByS[si].Add(float64(shardAdm[si] - c.lastShardAdm[si]))
+		c.lastShardAdm[si] = shardAdm[si]
+		d.inst.shardDepthByS[si].Set(float64(shardDepth[si]))
+	}
+	if latCount != c.lastLatCount {
+		deltas := make([]uint64, len(latCounts))
+		for b := range latCounts {
+			deltas[b] = uint64(latCounts[b] - c.lastLatCounts[b])
+			c.lastLatCounts[b] = latCounts[b]
+		}
+		d.inst.latency.Merge(deltas, uint64(latInf-c.lastLatInf), latSum-c.lastLatSum, uint64(latCount-c.lastLatCount))
+		c.lastLatInf, c.lastLatSum, c.lastLatCount = latInf, latSum, latCount
 	}
 }

@@ -1,8 +1,24 @@
 package dispatch
 
+import (
+	"math"
+	"sync/atomic"
+)
+
+// emptyHeadID is the head key published by an empty queue; it sorts
+// after every real request ID.
+const emptyHeadID = int64(math.MaxInt64)
+
 // queue is a bounded FIFO ring buffer of requests. The zero value is
 // not usable; construct with newQueue. Not safe for concurrent use on
-// its own — the Dispatcher serializes access under its mutex.
+// its own — the owning shard serializes push/peek/pop under its mutex.
+// The one concurrent affordance is the head slot: the ID of the current
+// head (or emptyHeadID), published atomically by every mutation so the
+// dispatcher's completion path can discover the oldest head across
+// shards without taking any lock. The slot lives in the dispatcher's
+// flat head-key array (all shards of one worker contiguous), which
+// keeps the lock-free scan inside one or two cache lines instead of
+// chasing a pointer into every shard.
 type queue struct {
 	buf   []Request
 	head  int
@@ -10,10 +26,16 @@ type queue struct {
 	// work is the total demand currently queued (including the
 	// in-service head); the engine uses it as the worker's backlog.
 	work float64
+	// headSlot publishes buf[head].ID (emptyHeadID when empty) for
+	// lock-free cross-shard head discovery. Written only under the shard
+	// mutex.
+	headSlot *atomic.Int64
 }
 
-func newQueue(capacity int) *queue {
-	return &queue{buf: make([]Request, capacity)}
+func newQueue(capacity int, headSlot *atomic.Int64) *queue {
+	q := &queue{buf: make([]Request, capacity), headSlot: headSlot}
+	q.headSlot.Store(emptyHeadID)
+	return q
 }
 
 // full reports whether the queue is at capacity.
@@ -30,6 +52,9 @@ func (q *queue) push(r Request) {
 	q.buf[(q.head+q.count)%len(q.buf)] = r
 	q.count++
 	q.work += r.Demand
+	if q.count == 1 {
+		q.headSlot.Store(r.ID)
+	}
 }
 
 // peek returns the oldest request without removing it.
@@ -52,6 +77,9 @@ func (q *queue) pop() (Request, bool) {
 	q.work -= r.Demand
 	if q.count == 0 {
 		q.work = 0 // clear float dust so an idle worker reports zero backlog
+		q.headSlot.Store(emptyHeadID)
+	} else {
+		q.headSlot.Store(q.buf[q.head].ID)
 	}
 	return r, true
 }

@@ -36,21 +36,80 @@ func scrapeValue(t *testing.T, text, series string) float64 {
 	return 0
 }
 
-// TestConcurrentScrapeConsistency hammers the dispatcher from several
-// routing and completing goroutines while other goroutines scrape the
-// /metrics endpoint, then — at quiescence — asserts the exported
+// parseScrape turns Prometheus text exposition output into a map from
+// series (name plus label set, exactly as printed) to sample value.
+func parseScrape(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			t.Errorf("bad sample %q: %v", line, err)
+			continue
+		}
+		out[fields[0]] = v
+	}
+	return out
+}
+
+// checkScrapeConservation asserts the admission conservation law on one
+// scrape: arrivals == sum(routed) + shed + blocked, exactly. Because an
+// admission commits entirely inside one shard's critical section and
+// the collector snapshots each shard under that same lock, every scrape
+// — including one taken mid-admission-storm — is a sum of internally
+// consistent per-shard snapshots, so the law holds with equality, not
+// merely as the routed+shed+blocked <= arrivals inequality. The
+// per-shard admission counters must also sum to the same arrivals
+// total.
+func checkScrapeConservation(t *testing.T, samples map[string]float64, n, shards int) {
+	t.Helper()
+	arrivals := samples[MetricArrivals]
+	sum := samples[MetricBlocked]
+	for _, reason := range []string{"reject", "spill_exhausted"} {
+		sum += samples[fmt.Sprintf("%s{reason=%q}", MetricShed, reason)]
+	}
+	for w := 0; w < n; w++ {
+		sum += samples[fmt.Sprintf("%s{worker=\"%d\"}", MetricRouted, w)]
+	}
+	if sum != arrivals {
+		t.Errorf("scrape conservation violated: routed+shed+blocked = %v, arrivals = %v", sum, arrivals)
+	}
+	var byShard float64
+	for s := 0; s < shards; s++ {
+		byShard += samples[fmt.Sprintf("%s{shard=\"%d\"}", MetricShardAdmissions, s)]
+	}
+	if byShard != arrivals {
+		t.Errorf("scrape shard admissions sum %v != arrivals %v", byShard, arrivals)
+	}
+}
+
+// TestConcurrentScrapeConsistency hammers a sharded dispatcher from
+// several routing and completing goroutines while other goroutines
+// scrape the /metrics endpoint, asserting the conservation law on every
+// in-flight scrape (never routed+shed+blocked > arrivals — in fact
+// exact equality), then — at quiescence — asserts the exported
 // queue-depth gauges and shed/arrival counters agree exactly with the
 // dispatcher's own totals. Run under -race this also proves the
 // instrument updates never race the scrape path.
 func TestConcurrentScrapeConsistency(t *testing.T) {
 	const (
 		n          = 4
+		shards     = 4
 		submitters = 4
 		scrapers   = 3
 		perWorker  = 500
 	)
 	reg := metrics.NewRegistry()
-	d, err := New(Config{N: n, QueueCap: 8, Shed: ShedSpill, Metrics: reg})
+	d, err := New(Config{N: n, QueueCap: 8, Shards: shards, Shed: ShedSpill, Metrics: reg})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +118,8 @@ func TestConcurrentScrapeConsistency(t *testing.T) {
 
 	var wg sync.WaitGroup
 	stop := make(chan struct{})
-	// Scrapers: read the live endpoint for the duration of the load.
+	// Scrapers: read the live endpoint for the duration of the load and
+	// verify conservation on every single scrape they observe.
 	for s := 0; s < scrapers; s++ {
 		wg.Add(1)
 		go func() {
@@ -75,10 +135,13 @@ func TestConcurrentScrapeConsistency(t *testing.T) {
 					t.Errorf("scrape: %v", err)
 					return
 				}
-				if _, err := io.Copy(io.Discard, resp.Body); err != nil {
-					t.Errorf("scrape read: %v", err)
-				}
+				body, err := io.ReadAll(resp.Body)
 				resp.Body.Close()
+				if err != nil {
+					t.Errorf("scrape read: %v", err)
+					return
+				}
+				checkScrapeConservation(t, parseScrape(t, string(body)), n, shards)
 			}
 		}()
 	}

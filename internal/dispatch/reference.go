@@ -1,0 +1,235 @@
+package dispatch
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// refEncodeVerdict serializes an admission verdict the way the
+// pre-shard ingest path did: a fresh reflective JSON encoder per
+// request. It produces byte-identical output to appendIngestResponse
+// (asserted by the equivalence tests) and is what the admission bench
+// times as the single-lock baseline's serialization cost.
+func refEncodeVerdict(w io.Writer, id int64, outcome string, worker int) {
+	_ = json.NewEncoder(w).Encode(ingestResponse{ID: id, Outcome: outcome, Worker: worker})
+}
+
+// refDispatcher is the pre-shard, single-lock admission path, kept
+// build-tag-free as the executable specification of the dispatcher's
+// semantics. Every admission — counter updates, smooth-WRR pick, queue
+// push, and instrument updates — happens inside one global critical
+// section, which makes its behaviour trivially sequential: the sharded
+// Dispatcher configured with Shards=1 must match it bit for bit on any
+// trace (asserted by the equivalence tests), and the admission
+// benchmark uses it as the single-lock baseline. It is not exported:
+// production code always goes through Dispatcher.
+type refDispatcher struct {
+	cfg  Config
+	inst *dispatcherInstruments
+
+	mu      sync.Mutex
+	queues  []*queue
+	weights []float64
+	wrr     []float64
+	totals  Totals
+}
+
+// newRefDispatcher constructs the reference dispatcher with uniform
+// initial weights, mirroring New.
+func newRefDispatcher(cfg Config) (*refDispatcher, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	d := &refDispatcher{
+		cfg:     cfg,
+		inst:    newDispatcherInstruments(newInstruments(cfg.Metrics), cfg.N, 0),
+		queues:  make([]*queue, cfg.N),
+		weights: make([]float64, cfg.N),
+		wrr:     make([]float64, cfg.N),
+	}
+	d.totals.Routed = make([]int64, cfg.N)
+	heads := make([]atomic.Int64, cfg.N) // head keys are unused pre-shard, but queues require slots
+	for i := range d.queues {
+		d.queues[i] = newQueue(cfg.QueueCap, &heads[i])
+		d.weights[i] = 1 / float64(cfg.N)
+	}
+	return d, nil
+}
+
+// N returns the number of workers.
+func (d *refDispatcher) N() int { return d.cfg.N }
+
+// SetWeights installs a new routing weight vector.
+func (d *refDispatcher) SetWeights(w []float64) error {
+	if err := validateWeights(w, d.cfg.N); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	copy(d.weights, w)
+	if d.inst != nil {
+		d.inst.retunes.Inc()
+	}
+	d.mu.Unlock()
+	return nil
+}
+
+// Weights returns a copy of the current routing weights.
+func (d *refDispatcher) Weights() []float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]float64(nil), d.weights...)
+}
+
+// Submit routes one request under the global mutex.
+func (d *refDispatcher) Submit(r Request) Verdict {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.totals.Arrivals++
+	if d.inst != nil {
+		d.inst.arrivals.Inc()
+	}
+	target := d.pickLocked()
+	v := Verdict{Outcome: Routed, Worker: target}
+	switch {
+	case !d.queues[target].full():
+		// Fast path: the routed target has room.
+	case d.cfg.Shed == ShedBlock:
+		d.totals.Blocked++
+		if d.inst != nil {
+			d.inst.blocked.Inc()
+		}
+		return Verdict{Outcome: Blocked, Worker: -1}
+	case d.cfg.Shed == ShedSpill:
+		alt := d.leastLoadedWithSpaceLocked()
+		if alt < 0 {
+			d.totals.Shed++
+			if d.inst != nil {
+				d.inst.shedExhausted.Inc()
+			}
+			return Verdict{Outcome: Shed, Worker: -1}
+		}
+		d.totals.Spilled++
+		if d.inst != nil {
+			d.inst.spilled.Inc()
+		}
+		v = Verdict{Outcome: Spilled, Worker: alt}
+	default: // ShedReject
+		d.totals.Shed++
+		if d.inst != nil {
+			d.inst.shedReject.Inc()
+		}
+		return Verdict{Outcome: Shed, Worker: -1}
+	}
+	d.queues[v.Worker].push(r)
+	d.totals.Routed[v.Worker]++
+	if d.inst != nil {
+		d.inst.routedByW[v.Worker].Inc()
+		d.inst.depthByW[v.Worker].Set(float64(d.queues[v.Worker].len()))
+	}
+	return v
+}
+
+// pickLocked selects the routed target under d.mu: smooth weighted
+// round-robin, or shortest queue under RouteJSQ.
+func (d *refDispatcher) pickLocked() int {
+	if d.cfg.Route == RouteJSQ {
+		best := 0
+		for i := 1; i < len(d.queues); i++ {
+			if d.queues[i].len() < d.queues[best].len() {
+				best = i
+			}
+		}
+		return best
+	}
+	var total float64
+	best := -1
+	for i, w := range d.weights {
+		d.wrr[i] += w
+		total += w
+		if best == -1 || d.wrr[i] > d.wrr[best] {
+			best = i
+		}
+	}
+	d.wrr[best] -= total
+	return best
+}
+
+// leastLoadedWithSpaceLocked returns the worker with the fewest queued
+// requests among those with queue space, or -1 when every queue is
+// full. Ties break to the lowest index.
+func (d *refDispatcher) leastLoadedWithSpaceLocked() int {
+	best := -1
+	for i, q := range d.queues {
+		if q.full() {
+			continue
+		}
+		if best == -1 || q.len() < d.queues[best].len() {
+			best = i
+		}
+	}
+	return best
+}
+
+// Head returns the oldest request on the worker's queue without
+// removing it.
+func (d *refDispatcher) Head(worker int) (Request, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if worker < 0 || worker >= d.cfg.N {
+		return Request{}, false
+	}
+	return d.queues[worker].peek()
+}
+
+// Complete pops the worker's in-service head and records its
+// completion at time now.
+func (d *refDispatcher) Complete(worker int, now float64) (Request, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if worker < 0 || worker >= d.cfg.N {
+		return Request{}, false
+	}
+	r, ok := d.queues[worker].pop()
+	if !ok {
+		return Request{}, false
+	}
+	d.totals.Completed++
+	if d.inst != nil {
+		d.inst.depthByW[worker].Set(float64(d.queues[worker].len()))
+		d.inst.latency.Observe(now - r.Arrival)
+	}
+	return r, true
+}
+
+// Depths returns the current queue depth of every worker.
+func (d *refDispatcher) Depths() []int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]int, d.cfg.N)
+	for i, q := range d.queues {
+		out[i] = q.len()
+	}
+	return out
+}
+
+// Backlog returns every worker's queued work in demand units.
+func (d *refDispatcher) Backlog() []float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]float64, d.cfg.N)
+	for i, q := range d.queues {
+		out[i] = q.work
+	}
+	return out
+}
+
+// Totals returns a consistent snapshot of the dispatcher's counters.
+func (d *refDispatcher) Totals() Totals {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	t := d.totals
+	t.Routed = append([]int64(nil), d.totals.Routed...)
+	return t
+}

@@ -78,6 +78,11 @@ type ServeConfig struct {
 	Utilization float64
 	// QueueCap bounds every worker's FIFO queue.
 	QueueCap int
+	// Shards is the dispatcher's admission shard count (0 defaults to
+	// 1). The virtual-time engine is single-threaded either way, so any
+	// shard count is deterministic; Shards=1 reproduces the single-lock
+	// admission sequence bit for bit.
+	Shards int
 	// Shed selects the backpressure policy.
 	Shed ShedPolicy
 	// Policy selects the control plane (dolbie, wrr, jsq).
@@ -91,6 +96,12 @@ type ServeConfig struct {
 	Seed int64
 	// Metrics instruments the underlying dispatcher; nil disables.
 	Metrics *metrics.Registry
+
+	// observeRound, when non-nil, is called at every round boundary with
+	// the round's observed per-worker drain latencies l_{i,t} (the slice
+	// is reused; copy to retain). Unexported: the equivalence tests use
+	// it to compare the fed-back cost sequence bit for bit.
+	observeRound func(round int, costs []float64)
 }
 
 // DefaultServeConfig returns the serving defaults used by dolbie-serve
@@ -143,17 +154,18 @@ func (c ServeConfig) Validate() error {
 	if c.Alpha1 < 0 || c.Alpha1 > 1 {
 		return fmt.Errorf("dispatch: Alpha1 = %v out of [0, 1]", c.Alpha1)
 	}
-	return Config{N: c.N, QueueCap: c.QueueCap, Shed: c.Shed, Route: RouteWeighted}.Validate()
+	return Config{N: c.N, QueueCap: c.QueueCap, Shards: c.Shards, Shed: c.Shed, Route: RouteWeighted}.Validate()
 }
 
 // ServeResult summarizes one closed-loop serving run.
 type ServeResult struct {
 	// Policy is the control policy's name ("dolbie", "wrr", "jsq").
 	Policy string `json:"policy"`
-	// N, Rounds, QueueCap, Seed echo the configuration.
+	// N, Rounds, QueueCap, Shards, Seed echo the configuration.
 	N        int   `json:"n"`
 	Rounds   int   `json:"rounds"`
 	QueueCap int   `json:"queue_cap"`
+	Shards   int   `json:"shards"`
 	Seed     int64 `json:"seed"`
 	// Shed is the backpressure policy's name.
 	Shed string `json:"shed"`
@@ -215,6 +227,20 @@ func workerSpeeds(cfg ServeConfig) ([]trace.Process, []float64, error) {
 	return procs, means, nil
 }
 
+// dataPlane is the slice of the dispatcher surface the closed-loop
+// serving engine drives. Both the sharded Dispatcher and the single-lock
+// refDispatcher satisfy it, which is what lets the equivalence tests run
+// the identical engine over both implementations and compare every
+// observable bit for bit.
+type dataPlane interface {
+	Submit(r Request) Verdict
+	Head(worker int) (Request, bool)
+	Complete(worker int, now float64) (Request, bool)
+	Backlog() []float64
+	SetWeights(w []float64) error
+	Totals() Totals
+}
+
 // Serve runs one deterministic closed-loop serving simulation: the
 // seeded open-loop generator feeds the dispatcher, workers drain their
 // queues at time-varying simulated speeds, and — under PolicyDOLBIE —
@@ -230,10 +256,16 @@ func Serve(cfg ServeConfig) (*ServeResult, error) {
 	if cfg.Policy == PolicyJSQ {
 		route = RouteJSQ
 	}
-	d, err := New(Config{N: cfg.N, QueueCap: cfg.QueueCap, Shed: cfg.Shed, Route: route, Metrics: cfg.Metrics})
+	d, err := New(Config{N: cfg.N, QueueCap: cfg.QueueCap, Shards: cfg.Shards, Shed: cfg.Shed, Route: route, Metrics: cfg.Metrics})
 	if err != nil {
 		return nil, err
 	}
+	return serveWith(cfg, d)
+}
+
+// serveWith runs the closed-loop engine over an already-constructed data
+// plane. It assumes cfg has been validated.
+func serveWith(cfg ServeConfig, d dataPlane) (*ServeResult, error) {
 	gen, err := NewGenerator(cfg.ArrivalRate, cfg.DemandMean, cfg.Seed)
 	if err != nil {
 		return nil, err
@@ -301,13 +333,22 @@ func Serve(cfg ServeConfig) (*ServeResult, error) {
 		now = to
 	}
 
+	// Per-round scratch, hoisted out of the loop: a serving run touches
+	// these every round, and the engine is the inner loop of the serve
+	// bench, so round boundaries should not allocate.
+	routedWork := make([]float64, cfg.N)
+	costs := make([]float64, cfg.N)
+	funcs := make([]costfn.Func, cfg.N)
+
 	for t := 0; t < cfg.Rounds; t++ {
 		roundEnd := float64(t+1) * cfg.RoundDur
 		for i := range gamma {
 			gamma[i] = speeds[i].Next()
 		}
 		backlogStart := d.Backlog()
-		routedWork := make([]float64, cfg.N)
+		for i := range routedWork {
+			routedWork[i] = 0
+		}
 		var offeredWork float64
 
 		for {
@@ -355,7 +396,6 @@ func Serve(cfg ServeConfig) (*ServeResult, error) {
 		// The round's observed local cost l_{i,t}: the time worker i needs
 		// to drain everything it was responsible for this round (backlog
 		// carried in plus work routed to it) at this round's speed.
-		costs := make([]float64, cfg.N)
 		worst := 0.0
 		for i := range costs {
 			costs[i] = (backlogStart[i] + routedWork[i]) / gamma[i]
@@ -364,6 +404,9 @@ func Serve(cfg ServeConfig) (*ServeResult, error) {
 			}
 		}
 		maxLat = append(maxLat, worst)
+		if cfg.observeRound != nil {
+			cfg.observeRound(t, costs)
+		}
 
 		if bal != nil {
 			x := bal.Assignment()
@@ -374,7 +417,6 @@ func Serve(cfg ServeConfig) (*ServeResult, error) {
 			// l_{i,t}. Negative intercepts (backlog dominated by spill or
 			// JSQ-free routing noise) clamp to zero; the balancer's own
 			// monotone guard absorbs the resulting slack.
-			funcs := make([]costfn.Func, cfg.N)
 			for i := range funcs {
 				slope := offeredWork / gamma[i]
 				if slope <= 0 {
@@ -402,6 +444,7 @@ func Serve(cfg ServeConfig) (*ServeResult, error) {
 		N:         cfg.N,
 		Rounds:    cfg.Rounds,
 		QueueCap:  cfg.QueueCap,
+		Shards:    Config{Shards: cfg.Shards}.shardCount(),
 		Seed:      cfg.Seed,
 		Shed:      cfg.Shed.String(),
 		Arrivals:  tot.Arrivals,

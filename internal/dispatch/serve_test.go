@@ -33,6 +33,8 @@ func TestServeConfigValidate(t *testing.T) {
 		func(c *ServeConfig) { c.Policy = ControlPolicy(7) },
 		func(c *ServeConfig) { c.Alpha1 = 1.5 },
 		func(c *ServeConfig) { c.Shed = ShedPolicy(7) },
+		func(c *ServeConfig) { c.Shards = -1 },
+		func(c *ServeConfig) { c.Shards = c.QueueCap + 1 },
 	}
 	for i, m := range mut {
 		c := DefaultServeConfig()

@@ -15,6 +15,12 @@ import (
 // values, so the output is deterministic and diffable in golden tests.
 func (r *Registry) WriteText(w io.Writer) error {
 	r.mu.Lock()
+	hooks := append([]func(){}, r.hooks...)
+	r.mu.Unlock()
+	for _, hook := range hooks {
+		hook()
+	}
+	r.mu.Lock()
 	fams := make([]*family, 0, len(r.families))
 	for _, f := range r.families {
 		fams = append(fams, f)

@@ -58,11 +58,29 @@ func (k metricKind) String() string {
 type Registry struct {
 	mu       sync.Mutex
 	families map[string]*family
+	hooks    []func()
 }
 
 // NewRegistry constructs an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{families: make(map[string]*family)}
+}
+
+// OnCollect registers fn to run at the start of every WriteText call,
+// before any family is snapshotted. Subsystems that keep hot-path
+// counters in their own storage (for example sharded or per-goroutine
+// tallies) use the hook to refresh their registry series to one
+// consistent snapshot per scrape instead of paying a registry update on
+// every event. Hooks run in registration order on the scraping
+// goroutine and must be safe for concurrent invocation (scrapes can
+// overlap).
+func (r *Registry) OnCollect(fn func()) {
+	if fn == nil {
+		panic("metrics: nil OnCollect hook")
+	}
+	r.mu.Lock()
+	r.hooks = append(r.hooks, fn)
+	r.mu.Unlock()
 }
 
 // family is one named metric family: a type, a help string, a label
@@ -327,6 +345,26 @@ func (h *Histogram) Observe(v float64) {
 	h.sum += v
 	h.count++
 	h.mu.Unlock()
+}
+
+// Merge adds a batch of pre-binned observations: counts[i] observations
+// in bucket i (aligned with the histogram's upper bounds), inf above the
+// last bound, together contributing sum over count observations.
+// Subsystems that bin observations into their own hot-path storage (for
+// example sharded tallies) use Merge from an OnCollect hook to flush at
+// scrape time instead of paying the histogram mutex per observation.
+func (h *Histogram) Merge(counts []uint64, inf uint64, sum float64, count uint64) {
+	if len(counts) != len(h.counts) {
+		panic(fmt.Sprintf("metrics: merging %d buckets into a %d-bucket histogram", len(counts), len(h.counts)))
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i, c := range counts {
+		h.counts[i] += c
+	}
+	h.inf += inf
+	h.sum += sum
+	h.count += count
 }
 
 // Count returns the total number of observations.

@@ -236,3 +236,72 @@ func TestServerEndpoints(t *testing.T) {
 		t.Errorf("/debug/pprof/goroutine = %d (len %d)", code, len(body))
 	}
 }
+
+// TestOnCollectHook checks that collect hooks run at the start of every
+// WriteText call (in registration order, before families are
+// snapshotted, so a hook's updates land in the same scrape), and that a
+// nil hook is rejected.
+func TestOnCollectHook(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("hooked_total", "refreshed by hook")
+	var calls []int
+	reg.OnCollect(func() { calls = append(calls, 1); c.Inc() })
+	reg.OnCollect(func() { calls = append(calls, 2) })
+
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "hooked_total 1") {
+		t.Errorf("hook update missing from the same scrape:\n%s", sb.String())
+	}
+	sb.Reset()
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "hooked_total 2") {
+		t.Errorf("hook did not run on second scrape:\n%s", sb.String())
+	}
+	if want := []int{1, 2, 1, 2}; fmt.Sprint(calls) != fmt.Sprint(want) {
+		t.Errorf("hook call order = %v, want %v", calls, want)
+	}
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("nil OnCollect hook did not panic")
+			}
+		}()
+		reg.OnCollect(nil)
+	}()
+}
+
+// TestHistogramMerge checks that Merge folds a pre-binned batch into
+// the histogram exactly as the equivalent Observe sequence would, and
+// that a bucket-count mismatch panics.
+func TestHistogramMerge(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("m", "merged", []float64{1, 2, 4})
+	h.Observe(0.5)
+	// Batch: one observation <=1, two in (1,2], one above 4.
+	h.Merge([]uint64{1, 2, 0}, 1, 0.9+1.5+1.8+9.0, 4)
+	cum, sum, count := h.snapshot()
+	want := []uint64{2, 4, 4, 5} // cumulative: le=1, le=2, le=4, +Inf
+	for i, w := range want {
+		if cum[i] != w {
+			t.Errorf("cumulative bucket %d = %d, want %d", i, cum[i], w)
+		}
+	}
+	if count != 5 || math.Abs(sum-13.7) > 1e-12 {
+		t.Errorf("count, sum = %d, %v; want 5, 13.7", count, sum)
+	}
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("bucket-count mismatch did not panic")
+			}
+		}()
+		h.Merge([]uint64{1}, 0, 0, 1)
+	}()
+}

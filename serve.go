@@ -16,13 +16,19 @@ import (
 // Data-plane types, re-exported from the dispatch subsystem.
 type (
 	// DispatcherConfig parameterizes a Dispatcher: worker count, queue
-	// capacity, backpressure policy, routing policy, and an optional
-	// metrics registry for the dolbie_dispatch_* family.
+	// capacity, admission shard count, backpressure policy, routing
+	// policy, and an optional metrics registry for the dolbie_dispatch_*
+	// family.
 	DispatcherConfig = dispatch.Config
 	// Dispatcher routes requests onto bounded per-worker FIFO queues by
 	// smooth weighted round-robin over the current assignment vector
 	// (or join-shortest-queue), applying the configured backpressure
-	// policy when a queue is full. Safe for concurrent use.
+	// policy when a queue is full. Safe for concurrent use: admissions
+	// are sharded (each request hashes to one of Shards admission shards
+	// and commits inside that shard's short critical section), while
+	// weight retunes take a brief stop-the-world epoch across all shards
+	// so every shard swaps to the new assignment at the same admission
+	// boundary.
 	Dispatcher = dispatch.Dispatcher
 	// ServeRequest is one unit of work entering the data plane.
 	ServeRequest = dispatch.Request
