@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 
 	"dolbie/internal/dispatch"
 )
@@ -17,12 +18,29 @@ import (
 // then through the sharded dispatcher at 1, 4, and 8 shards (plain
 // shard-local counters aggregated at scrape time, pooled verdict
 // buffers), on the same seeded open-loop trace with live metrics
-// attached in both modes. The acceptance bar is the 8-shard
-// configuration admitting at least 2x the single-lock baseline's
-// requests per second.
+// attached in both modes. The whole sweep runs once per unique
+// GOMAXPROCS value in {1, NumCPU}, so single-core per-admission cost
+// and full-width throughput are both on record. The acceptance bar is
+// the 8-shard configuration admitting at least 2x the single-lock
+// baseline's requests per second at every recorded width.
 
 // dispatchShardCounts are the sharded configurations the bench sweeps.
 var dispatchShardCounts = []int{1, 4, 8}
+
+// dispatchProcsRun is one full single-lock-vs-sharded sweep at a pinned
+// GOMAXPROCS.
+type dispatchProcsRun struct {
+	// Procs is the GOMAXPROCS the sweep was pinned to.
+	Procs int `json:"procs"`
+	// SingleLock is the pre-shard baseline run.
+	SingleLock *dispatch.AdmissionBenchResult `json:"single_lock"`
+	// Sharded holds one run per swept shard count, keyed by the count.
+	Sharded map[string]*dispatch.AdmissionBenchResult `json:"sharded"`
+	// SpeedupByShards is sharded admissions/sec over the single-lock
+	// baseline at the same width, keyed by shard count. The acceptance
+	// criterion is the 8-shard entry staying at or above 2.
+	SpeedupByShards map[string]float64 `json:"speedup_by_shards"`
+}
 
 // dispatchReport is the BENCH_dispatch.json document.
 type dispatchReport struct {
@@ -33,55 +51,68 @@ type dispatchReport struct {
 		Requests      int   `json:"requests"`
 		CompleteEvery int   `json:"complete_every"`
 		Seed          int64 `json:"seed"`
-		GOMAXPROCS    int   `json:"gomaxprocs"`
+		NumCPU        int   `json:"num_cpu"`
 	} `json:"config"`
-	// SingleLock is the pre-shard baseline run.
-	SingleLock *dispatch.AdmissionBenchResult `json:"single_lock"`
-	// Sharded holds one run per swept shard count, keyed by the count.
-	Sharded map[string]*dispatch.AdmissionBenchResult `json:"sharded"`
-	// SpeedupByShards is sharded admissions/sec over the single-lock
-	// baseline, keyed by shard count. The acceptance criterion is the
-	// 8-shard entry staying at or above 2.
-	SpeedupByShards map[string]float64 `json:"speedup_by_shards"`
+	// Runs holds one sweep per unique GOMAXPROCS in {1, NumCPU} (a
+	// single entry on a single-core box).
+	Runs []*dispatchProcsRun `json:"runs"`
 }
 
-// runDispatchBench runs the single-lock-vs-sharded admission sweep and
-// writes the report to outPath.
+// dispatchProcsSweep returns the unique GOMAXPROCS values {1, NumCPU}
+// in ascending order.
+func dispatchProcsSweep() []int {
+	if n := runtime.NumCPU(); n > 1 {
+		return []int{1, n}
+	}
+	return []int{1}
+}
+
+// runDispatchBench runs the single-lock-vs-sharded admission sweep at
+// each recorded scheduler width and writes the report to outPath.
 func runDispatchBench(outPath string, out io.Writer) error {
-	base := dispatch.AdmissionBenchConfig{}
-	ref, err := dispatch.RunAdmissionBench(dispatch.AdmissionBenchConfig{Reference: true})
-	if err != nil {
-		return fmt.Errorf("single-lock baseline: %w", err)
-	}
-	fmt.Fprintf(out, "dispatch bench: %d workers, cap %d, %d submitters, %d requests, GOMAXPROCS %d\n",
-		ref.Workers, ref.QueueCap, ref.Submitters, ref.Requests, ref.GOMAXPROCS)
-	fmt.Fprintf(out, "  %-12s %14.0f adm/s\n", "single-lock", ref.AdmissionsPerSec)
-
-	rep := dispatchReport{
-		SingleLock:      ref,
-		Sharded:         make(map[string]*dispatch.AdmissionBenchResult, len(dispatchShardCounts)),
-		SpeedupByShards: make(map[string]float64, len(dispatchShardCounts)),
-	}
-	rep.Config.Workers = ref.Workers
-	rep.Config.QueueCap = ref.QueueCap
-	rep.Config.Submitters = ref.Submitters
-	rep.Config.Requests = ref.Requests
-	rep.Config.CompleteEvery = ref.CompleteEvery
-	rep.Config.Seed = ref.Seed
-	rep.Config.GOMAXPROCS = ref.GOMAXPROCS
-
-	for _, shards := range dispatchShardCounts {
-		cfg := base
-		cfg.Shards = shards
-		res, err := dispatch.RunAdmissionBench(cfg)
+	rep := dispatchReport{}
+	for _, procs := range dispatchProcsSweep() {
+		base := dispatch.AdmissionBenchConfig{Procs: procs}
+		refCfg := base
+		refCfg.Reference = true
+		ref, err := dispatch.RunAdmissionBench(refCfg)
 		if err != nil {
-			return fmt.Errorf("%d shards: %w", shards, err)
+			return fmt.Errorf("single-lock baseline (procs %d): %w", procs, err)
 		}
-		key := fmt.Sprint(shards)
-		rep.Sharded[key] = res
-		rep.SpeedupByShards[key] = res.AdmissionsPerSec / ref.AdmissionsPerSec
-		fmt.Fprintf(out, "  %-12s %14.0f adm/s  (%.2fx single-lock)\n",
-			fmt.Sprintf("%d-shard", shards), res.AdmissionsPerSec, rep.SpeedupByShards[key])
+		if rep.Runs == nil {
+			fmt.Fprintf(out, "dispatch bench: %d workers, cap %d, %d submitters, %d requests, %d CPUs\n",
+				ref.Workers, ref.QueueCap, ref.Submitters, ref.Requests, runtime.NumCPU())
+			rep.Config.Workers = ref.Workers
+			rep.Config.QueueCap = ref.QueueCap
+			rep.Config.Submitters = ref.Submitters
+			rep.Config.Requests = ref.Requests
+			rep.Config.CompleteEvery = ref.CompleteEvery
+			rep.Config.Seed = ref.Seed
+			rep.Config.NumCPU = runtime.NumCPU()
+		}
+		fmt.Fprintf(out, " GOMAXPROCS %d:\n", procs)
+		fmt.Fprintf(out, "  %-12s %14.0f adm/s\n", "single-lock", ref.AdmissionsPerSec)
+
+		run := &dispatchProcsRun{
+			Procs:           procs,
+			SingleLock:      ref,
+			Sharded:         make(map[string]*dispatch.AdmissionBenchResult, len(dispatchShardCounts)),
+			SpeedupByShards: make(map[string]float64, len(dispatchShardCounts)),
+		}
+		for _, shards := range dispatchShardCounts {
+			cfg := base
+			cfg.Shards = shards
+			res, err := dispatch.RunAdmissionBench(cfg)
+			if err != nil {
+				return fmt.Errorf("%d shards (procs %d): %w", shards, procs, err)
+			}
+			key := fmt.Sprint(shards)
+			run.Sharded[key] = res
+			run.SpeedupByShards[key] = res.AdmissionsPerSec / ref.AdmissionsPerSec
+			fmt.Fprintf(out, "  %-12s %14.0f adm/s  (%.2fx single-lock)\n",
+				fmt.Sprintf("%d-shard", shards), res.AdmissionsPerSec, run.SpeedupByShards[key])
+		}
+		rep.Runs = append(rep.Runs, run)
 	}
 
 	raw, err := json.MarshalIndent(rep, "", "  ")

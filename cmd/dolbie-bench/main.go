@@ -33,13 +33,18 @@
 // control policies (DOLBIE closed loop, uniform weighted round-robin,
 // join-shortest-queue) on the same seeded traffic realization and
 // writes the p99 max-worker latency comparison, shed rates, and
-// modeled control bytes/round to -out (default BENCH_serve.json).
+// modeled control bytes/round to -out (default BENCH_serve.json),
+// along with a three-tenant per-tenant breakdown and the
+// noisy-neighbour isolation drill (a rate-limited bronze tenant spiking
+// to 10x its contract must not move the gold tenant's p99 by more than
+// 5%, with bronze shedding strictly before gold).
 //
 // The -dispatch mode times the admission hot path end to end — the
 // pre-shard single-lock reference against the sharded dispatcher at 1,
 // 4, and 8 shards, both fully instrumented, on the same seeded
-// open-loop trace — and writes admissions/sec plus speedup ratios to
-// -out (default BENCH_dispatch.json).
+// open-loop trace — once per unique GOMAXPROCS in {1, NumCPU}, and
+// writes admissions/sec plus speedup ratios per width to -out (default
+// BENCH_dispatch.json).
 package main
 
 import (

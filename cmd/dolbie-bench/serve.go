@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 
 	"dolbie/internal/dispatch"
@@ -39,6 +40,98 @@ type serveReport struct {
 	// P99RatioDOLBIEOverJSQ reports how close DOLBIE stays to the JSQ
 	// latency floor (1.0 = parity).
 	P99RatioDOLBIEOverJSQ float64 `json:"p99_ratio_dolbie_over_jsq"`
+	// MultiTenant is the per-tenant breakdown of a three-tenant DOLBIE
+	// run (gold/silver/bronze, equal weights) on the default traffic:
+	// each tenant drives its own DOLBIE simplex over the shared pool.
+	MultiTenant []dispatch.TenantServeResult `json:"multi_tenant"`
+	// Isolation is the noisy-neighbour drill result.
+	Isolation isolationReport `json:"isolation"`
+}
+
+// isolationReport is the serve bench's noisy-neighbour drill: a gold
+// tenant shares the pool with a rate-limited bronze tenant, the bronze
+// offered rate is spiked to 10x its admission contract, and the drill
+// passes iff the spike is paid for entirely by bronze — bronze
+// throttled at the door and shedding at its queue threshold while
+// gold's shed rate stays negligible and gold's p99 request latency
+// moves at most 5% from its quiet-neighbour baseline.
+type isolationReport struct {
+	// BronzeSpikeRate is the spiked offered rate in requests per second
+	// (10x the contract).
+	BronzeSpikeRate float64 `json:"bronze_spike_rate"`
+	// BronzeRateLimit is bronze's admission contract in requests per
+	// second.
+	BronzeRateLimit float64 `json:"bronze_rate_limit"`
+	// GoldP99Quiet and GoldP99Spiked are gold's p99 request latency with
+	// the quiet and spiking bronze neighbour.
+	GoldP99Quiet  float64 `json:"gold_p99_quiet_s"`
+	GoldP99Spiked float64 `json:"gold_p99_spiked_s"`
+	// GoldP99Drift is |spiked-quiet|/quiet; the pinned tolerance is
+	// 0.05.
+	GoldP99Drift float64 `json:"gold_p99_drift"`
+	// GoldShedRate and BronzeShedRate are the shed fractions under the
+	// spike (throttles included); bronze shedding strictly before gold
+	// means the former stays negligible while the latter is large.
+	GoldShedRate   float64 `json:"gold_shed_rate"`
+	BronzeShedRate float64 `json:"bronze_shed_rate"`
+	// BronzeThrottled counts bronze arrivals dropped at the door by the
+	// rate contract under the spike.
+	BronzeThrottled int64 `json:"bronze_throttled"`
+	// Pass reports the drill verdict: drift <= 0.05, bronze throttled,
+	// gold never throttled, and gold's shed rate both absolutely small
+	// (<= 0.005) and at least 20x below bronze's.
+	Pass bool `json:"pass"`
+}
+
+// runIsolationDrill runs the quiet and spiked two-tenant scenarios and
+// fills the isolation report.
+func runIsolationDrill() (isolationReport, error) {
+	base := dispatch.DefaultServeConfig()
+	base.Rounds = 120
+	tenants := func(bronzeRate float64) []dispatch.TenantConfig {
+		return []dispatch.TenantConfig{
+			{Name: "gold", Priority: dispatch.PriorityGold, Rate: 120},
+			{Name: "bronze", Priority: dispatch.PriorityBronze, Rate: bronzeRate, RateLimit: 80},
+		}
+	}
+	quiet := base
+	quiet.Tenants = tenants(80)
+	qres, err := dispatch.Serve(quiet)
+	if err != nil {
+		return isolationReport{}, fmt.Errorf("quiet neighbour: %w", err)
+	}
+	spiked := base
+	spiked.Tenants = tenants(800)
+	sres, err := dispatch.Serve(spiked)
+	if err != nil {
+		return isolationReport{}, fmt.Errorf("spiked neighbour: %w", err)
+	}
+	gq, gs, bs := qres.Tenants[0], sres.Tenants[0], sres.Tenants[1]
+	rep := isolationReport{
+		BronzeSpikeRate: 800,
+		BronzeRateLimit: 80,
+		GoldP99Quiet:    gq.RequestLatencyP99,
+		GoldP99Spiked:   gs.RequestLatencyP99,
+		GoldShedRate:    gs.ShedRate,
+		BronzeShedRate:  bs.ShedRate,
+		BronzeThrottled: bs.Throttled,
+	}
+	if gq.RequestLatencyP99 > 0 {
+		rep.GoldP99Drift = math.Abs(gs.RequestLatencyP99-gq.RequestLatencyP99) / gq.RequestLatencyP99
+	}
+	rep.Pass = rep.GoldP99Drift <= 0.05 &&
+		bs.Throttled > 0 && gs.Throttled == 0 &&
+		bs.ShedRate >= 0.1 &&
+		gs.ShedRate <= 0.005 && gs.ShedRate <= bs.ShedRate/20
+	return rep, nil
+}
+
+// passString renders a drill verdict.
+func passString(ok bool) string {
+	if ok {
+		return "PASS"
+	}
+	return "FAIL"
 }
 
 // runServeBench runs the three-policy serving comparison and writes the
@@ -75,6 +168,33 @@ func runServeBench(outPath string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "p99 max-worker latency: DOLBIE %.2fx better than uniform WRR, %.2fx of the JSQ floor\n",
 		rep.P99RatioWRROverDOLBIE, rep.P99RatioDOLBIEOverJSQ)
+
+	// Multi-tenant breakdown: three equal-weight tenants across the
+	// priority classes, each with its own DOLBIE simplex.
+	mt := cfg
+	mt.Tenants = dispatch.DefaultTenants(3)
+	mtRes, err := dispatch.Serve(mt)
+	if err != nil {
+		return fmt.Errorf("multi-tenant run: %w", err)
+	}
+	rep.MultiTenant = mtRes.Tenants
+	for _, ts := range mtRes.Tenants {
+		fmt.Fprintf(out, "  tenant %-8s %-7s arrivals %6d, shed %.2f%%, req p99 %.3fs\n",
+			ts.Name, ts.Priority, ts.Arrivals, 100*ts.ShedRate, ts.RequestLatencyP99)
+	}
+
+	rep.Isolation, err = runIsolationDrill()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "isolation drill: gold p99 %.3fs -> %.3fs (drift %.1f%%), bronze shed %.1f%% (throttled %d), gold shed %.2f%%: %s\n",
+		rep.Isolation.GoldP99Quiet, rep.Isolation.GoldP99Spiked, 100*rep.Isolation.GoldP99Drift,
+		100*rep.Isolation.BronzeShedRate, rep.Isolation.BronzeThrottled,
+		100*rep.Isolation.GoldShedRate, passString(rep.Isolation.Pass))
+	if !rep.Isolation.Pass {
+		return fmt.Errorf("isolation drill failed: %+v", rep.Isolation)
+	}
+
 	raw, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err

@@ -18,6 +18,7 @@
 //	dolbie-serve -n 8 -rounds 240
 //	dolbie-serve -compare -json
 //	dolbie-serve -policy jsq -shed spill -cap 32
+//	dolbie-serve -tenants 3 -objective l2
 //	dolbie-serve -http-addr :8080
 package main
 
@@ -51,6 +52,14 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("dolbie-serve", flag.ContinueOnError)
 	def := dolbie.DefaultServeConfig()
 	var (
+		shedPolicy    dolbie.ShedPolicy
+		controlPolicy dolbie.ControlPolicy
+		objective     dolbie.Objective
+	)
+	fs.TextVar(&shedPolicy, "shed", def.Shed, "backpressure policy: reject, block, or spill")
+	fs.TextVar(&controlPolicy, "policy", def.Policy, "control policy: dolbie, wrr, or jsq")
+	fs.TextVar(&objective, "objective", dolbie.ObjectiveMinMax(), "balancing objective: minmax or l<p> (e.g. l2)")
+	var (
 		n        = fs.Int("n", def.N, "number of workers")
 		rounds   = fs.Int("rounds", def.Rounds, "control rounds to simulate")
 		roundDur = fs.Float64("round-dur", def.RoundDur, "round length in virtual seconds")
@@ -59,10 +68,9 @@ func run(args []string, out io.Writer) error {
 		util     = fs.Float64("util", def.Utilization, "target mean utilization (worker speeds are scaled to it)")
 		capacity = fs.Int("cap", def.QueueCap, "per-worker queue capacity")
 		shards   = fs.Int("shards", def.Shards, "admission shards (0 = 1; split the dispatcher lock for concurrent ingest)")
-		shed     = fs.String("shed", def.Shed.String(), "backpressure policy: reject, block, or spill")
-		policy   = fs.String("policy", def.Policy.String(), "control policy: dolbie, wrr, or jsq")
 		alpha    = fs.Float64("alpha", def.Alpha1, "DOLBIE initial step size")
 		seed     = fs.Int64("seed", def.Seed, "seed for traffic and worker speed processes")
+		tenants  = fs.Int("tenants", 0, "tenant count: 0 runs the anonymous single stream; t > 0 runs t equal-weight tenants cycling gold/silver/bronze")
 		compare  = fs.Bool("compare", false, "run the same traffic under all three control policies")
 		jsonOut  = fs.Bool("json", false, "emit results as JSON")
 		metrics_ = fs.String("metrics-addr", "", "simulation mode: serve /metrics during the run (empty disables)")
@@ -72,17 +80,27 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	shedPolicy, err := dolbie.ParseShedPolicy(*shed)
-	if err != nil {
-		return err
+	// The -objective flag applies to every tenant; a non-minmax
+	// objective with -tenants 0 promotes the run to one explicit tenant,
+	// since objectives are a per-tenant knob.
+	if *tenants < 0 {
+		return fmt.Errorf("-tenants %d must be non-negative", *tenants)
 	}
-	controlPolicy, err := dolbie.ParseControlPolicy(*policy)
-	if err != nil {
-		return err
+	nTenants := *tenants
+	if nTenants == 0 && !objective.IsMinMax() {
+		nTenants = 1
+	}
+	var tenantCfgs []dolbie.TenantConfig
+	if nTenants > 0 {
+		tenantCfgs = dolbie.DefaultTenants(nTenants)
+		for i := range tenantCfgs {
+			tenantCfgs[i].Objective = objective
+			tenantCfgs[i].Shed = shedPolicy
+		}
 	}
 
 	if *httpAddr != "" {
-		return runLive(out, *n, *capacity, *shards, shedPolicy, *httpAddr)
+		return runLive(out, *n, *capacity, *shards, shedPolicy, tenantCfgs, *httpAddr)
 	}
 
 	cfg := dolbie.ServeConfig{
@@ -98,6 +116,7 @@ func run(args []string, out io.Writer) error {
 		Policy:      controlPolicy,
 		Alpha1:      *alpha,
 		Seed:        *seed,
+		Tenants:     tenantCfgs,
 	}
 	if *metrics_ != "" {
 		reg := metrics.NewRegistry()
@@ -130,6 +149,9 @@ func run(args []string, out io.Writer) error {
 		for _, r := range results {
 			printRow(out, r)
 		}
+		for _, r := range results {
+			printTenants(out, r)
+		}
 		return nil
 	}
 
@@ -146,6 +168,7 @@ func run(args []string, out io.Writer) error {
 		res.N, res.Rounds, res.Policy, res.Shed, res.Seed)
 	printHeader(out)
 	printRow(out, res)
+	printTenants(out, res)
 	return nil
 }
 
@@ -160,11 +183,29 @@ func printRow(out io.Writer, r *dolbie.ServeResult) {
 		100*r.ShedRate, r.Completed, r.BytesPerRound)
 }
 
+// printTenants renders the per-tenant breakdown of a multi-tenant run;
+// single-stream results carry no tenant slice and print nothing.
+func printTenants(out io.Writer, r *dolbie.ServeResult) {
+	if len(r.Tenants) == 0 {
+		return
+	}
+	fmt.Fprintf(out, "tenants (%s):\n", r.Policy)
+	fmt.Fprintf(out, "  %-10s %-7s %-8s %10s %10s %10s %10s %9s %12s\n",
+		"tenant", "class", "obj", "arrivals", "completed", "shed", "throttled", "shed%", "reqP99(s)")
+	for _, ts := range r.Tenants {
+		fmt.Fprintf(out, "  %-10s %-7s %-8s %10d %10d %10d %10d %8.2f%% %12.4f\n",
+			ts.Name, ts.Priority, ts.Objective, ts.Arrivals, ts.Completed,
+			ts.ShedCount, ts.Throttled, 100*ts.ShedRate, ts.RequestLatencyP99)
+	}
+}
+
 // runLive serves a real dispatcher over HTTP: POST /ingest admits
-// requests with wall-clock arrival timestamps, /metrics exposes the
-// dolbie_dispatch_* family. It blocks until interrupted (or until the
+// requests with wall-clock arrival timestamps (the "tenant" query
+// parameter selects the submitting tenant by index), /metrics exposes
+// the dolbie_dispatch_* family including the per-tenant series when
+// tenants are configured. It blocks until interrupted (or until the
 // test hook returns).
-func runLive(out io.Writer, n, capacity, shards int, shed dolbie.ShedPolicy, addr string) error {
+func runLive(out io.Writer, n, capacity, shards int, shed dolbie.ShedPolicy, tenants []dolbie.TenantConfig, addr string) error {
 	reg := metrics.NewRegistry()
 	metrics.RegisterProcessGauges(reg)
 	d, err := dolbie.NewDispatcher(dolbie.DispatcherConfig{
@@ -172,6 +213,7 @@ func runLive(out io.Writer, n, capacity, shards int, shed dolbie.ShedPolicy, add
 		QueueCap: capacity,
 		Shards:   shards,
 		Shed:     shed,
+		Tenants:  tenants,
 		Metrics:  reg,
 	})
 	if err != nil {

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"dolbie/internal/optimum"
+	"dolbie/internal/simplex"
+)
+
+// LpBalancer is the certainty-equivalent tracker for the lp-norm
+// objective family: each round it solves the revealed instantaneous
+// problem min_x (sum_i f_{i,t}(x_i)^p)^(1/p) exactly (via
+// optimum.SolveLp's marginal water-filling) and moves a diminishing
+// step alpha_t = alpha_1/sqrt(t) toward that minimizer,
+//
+//	x_{t+1} = (1 - alpha_t) x_t + alpha_t x_t^*.
+//
+// Because x_t^* lies on the simplex and alpha_t is in (0, 1], every
+// iterate is a convex combination of simplex points and stays feasible
+// without projection — the lp counterpart of DOLBIE's risk-averse
+// partial step, in the follow-the-leader style that Molinaro and
+// Liu/Hatano/Takimoto analyze for lp-norm online load balancing.
+// Unlike DOLBIE it inspects the full revealed cost functions rather
+// than only scalar costs, so it fits the centralized serving loop, not
+// the scalar-message distributed protocols.
+type LpBalancer struct {
+	n     int
+	x     []float64
+	obj   optimum.Objective
+	alpha float64
+	round int
+}
+
+var _ Algorithm = (*LpBalancer)(nil)
+
+// NewLpBalancer constructs an lp tracker from an initial feasible
+// partition x0, an lp objective (minmax is also accepted, in which case
+// the tracker steps toward the min-max water-filling optimum — a useful
+// ablation against DOLBIE's risk-averse update), and the initial step
+// size alpha1 in (0, 1].
+func NewLpBalancer(x0 []float64, obj optimum.Objective, alpha1 float64) (*LpBalancer, error) {
+	if err := simplex.Check(x0, 0); err != nil {
+		return nil, fmt.Errorf("core: initial partition: %w", err)
+	}
+	if err := obj.Validate(); err != nil {
+		return nil, err
+	}
+	if alpha1 <= 0 || alpha1 > 1 {
+		return nil, fmt.Errorf("core: lp initial alpha %v out of (0, 1]", alpha1)
+	}
+	return &LpBalancer{
+		n:     len(x0),
+		x:     simplex.Clone(x0),
+		obj:   obj,
+		alpha: alpha1,
+	}, nil
+}
+
+// Name implements Algorithm.
+func (b *LpBalancer) Name() string { return "LPSTEP(" + b.obj.String() + ")" }
+
+// Objective returns the objective the tracker optimizes.
+func (b *LpBalancer) Objective() optimum.Objective { return b.obj }
+
+// Assignment implements Algorithm. The returned slice is a copy.
+func (b *LpBalancer) Assignment() []float64 { return simplex.Clone(b.x) }
+
+// Round returns the number of completed rounds.
+func (b *LpBalancer) Round() int { return b.round }
+
+// Update implements Algorithm: it solves the revealed instantaneous lp
+// problem and steps alpha_1/sqrt(t) of the way toward its minimizer.
+func (b *LpBalancer) Update(obs Observation) error {
+	if err := obs.Validate(b.n); err != nil {
+		return err
+	}
+	b.round++
+	opt, err := b.obj.Solve(obs.Funcs, 0)
+	if err != nil {
+		return fmt.Errorf("core: lp round %d optimum: %w", b.round, err)
+	}
+	step := b.alpha / math.Sqrt(float64(b.round))
+	for i := range b.x {
+		b.x[i] += step * (opt.X[i] - b.x[i])
+	}
+	return nil
+}

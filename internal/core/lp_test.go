@@ -1,0 +1,94 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"dolbie/internal/costfn"
+	"dolbie/internal/optimum"
+	"dolbie/internal/simplex"
+)
+
+func TestNewLpBalancerValidation(t *testing.T) {
+	if _, err := NewLpBalancer([]float64{0.7, 0.2}, optimum.Lp(2), 0.5); err == nil {
+		t.Error("off-simplex x0 accepted")
+	}
+	if _, err := NewLpBalancer(simplex.Uniform(2), optimum.Lp(0.5), 0.5); err == nil {
+		t.Error("invalid objective accepted")
+	}
+	if _, err := NewLpBalancer(simplex.Uniform(2), optimum.Lp(2), 0); err == nil {
+		t.Error("alpha 0 accepted")
+	}
+	if _, err := NewLpBalancer(simplex.Uniform(2), optimum.Lp(2), 1.5); err == nil {
+		t.Error("alpha > 1 accepted")
+	}
+	b, err := NewLpBalancer(simplex.Uniform(3), optimum.Lp(2), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Name() != "LPSTEP(l2)" {
+		t.Errorf("Name = %q", b.Name())
+	}
+	if b.Objective() != optimum.Lp(2) {
+		t.Errorf("Objective = %v", b.Objective())
+	}
+}
+
+func TestLpBalancerConvergesToStationaryOptimum(t *testing.T) {
+	// Fixed heterogeneous linear costs: the tracker should approach the
+	// stationary l2 optimum and cut the objective well below uniform.
+	funcs := []costfn.Func{
+		costfn.Affine{Slope: 1},
+		costfn.Affine{Slope: 2},
+		costfn.Affine{Slope: 4},
+	}
+	opt, err := optimum.SolveLp(funcs, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewLpBalancer(simplex.Uniform(3), optimum.Lp(2), 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 200; round++ {
+		x := b.Assignment()
+		costs := make([]float64, 3)
+		for i, f := range funcs {
+			costs[i] = f.Eval(x[i])
+		}
+		if err := b.Update(Observation{Costs: costs, Funcs: funcs}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	x := b.Assignment()
+	if err := simplex.Check(x, 1e-9); err != nil {
+		t.Fatalf("final assignment off simplex: %v", err)
+	}
+	final := optimum.Lp(2).Global([]float64{funcs[0].Eval(x[0]), funcs[1].Eval(x[1]), funcs[2].Eval(x[2])})
+	uniform := optimum.Lp(2).Global([]float64{funcs[0].Eval(1.0 / 3), funcs[1].Eval(1.0 / 3), funcs[2].Eval(1.0 / 3)})
+	if final >= uniform {
+		t.Fatalf("tracker did not improve on uniform: %v >= %v", final, uniform)
+	}
+	if final > opt.Value*1.05 {
+		t.Fatalf("tracker objective %v more than 5%% above optimum %v", final, opt.Value)
+	}
+	if b.Round() != 200 {
+		t.Errorf("Round = %d, want 200", b.Round())
+	}
+}
+
+func TestLpBalancerUpdateValidation(t *testing.T) {
+	b, err := NewLpBalancer(simplex.Uniform(2), optimum.Lp(2), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Update(Observation{Costs: []float64{1}, Funcs: []costfn.Func{costfn.Affine{Slope: 1}}}); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+	if err := b.Update(Observation{Costs: []float64{1, 2}, Funcs: []costfn.Func{costfn.Affine{Slope: 1}, nil}}); err == nil {
+		t.Error("nil func accepted")
+	}
+	if got := b.Assignment(); math.Abs(got[0]-0.5) > 1e-12 {
+		t.Errorf("failed updates moved the assignment: %v", got)
+	}
+}

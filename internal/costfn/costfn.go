@@ -277,6 +277,56 @@ var _ Func = Scaled{}
 // Eval returns Factor * Inner(x).
 func (s Scaled) Eval(x float64) float64 { return s.Factor * s.Inner.Eval(x) }
 
+// Pow raises an inner cost to a fixed power P >= 1: f(x) = Inner(x)^P.
+// Because Inner is non-negative and non-decreasing, so is Pow, and for
+// convex Inner with P >= 1 the composition stays convex. It is the
+// per-worker term of the lp-norm objective family: minimizing
+// (sum_i f_i(x_i)^p)^{1/p} over the simplex reduces to water-filling on
+// the marginals of g_i = f_i^p (see internal/optimum.SolveLp). Negative
+// inner values (which would violate the costfn contract) clamp to zero
+// so the power is always defined.
+type Pow struct {
+	Inner Func
+	P     float64
+}
+
+var _ Func = Pow{}
+var _ Inverter = Pow{}
+
+// Eval returns max(Inner(x), 0)^P.
+func (p Pow) Eval(x float64) float64 {
+	v := p.Inner.Eval(x)
+	if v < 0 {
+		v = 0
+	}
+	if p.P == 1 {
+		return v
+	}
+	return math.Pow(v, p.P)
+}
+
+// MaxWorkload inverts the power through the inner cost: f(x)^P <= l is
+// equivalent to f(x) <= l^(1/P) for l >= 0, so the query delegates to
+// the inner function's inverse at the de-powered level (closed form when
+// Inner is itself an Inverter, bisection at DefaultTol otherwise).
+func (p Pow) MaxWorkload(l, lo, hi float64) (float64, bool) {
+	if l < 0 {
+		return lo, p.Eval(lo) <= l
+	}
+	root := l
+	if p.P != 1 {
+		root = math.Pow(l, 1/p.P)
+	}
+	if inv, ok := p.Inner.(Inverter); ok {
+		return inv.MaxWorkload(root, lo, hi)
+	}
+	x, ok, err := Inverse(p.Inner, root, lo, hi, DefaultTol)
+	if err != nil {
+		return lo, false
+	}
+	return x, ok
+}
+
 // Lipschitz estimates a Lipschitz constant of f on [lo, hi] by sampling n+1
 // equally spaced points and taking the maximum secant slope. For the affine
 // and piecewise-linear families used in the paper this recovers the exact

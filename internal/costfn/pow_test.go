@@ -1,0 +1,73 @@
+package costfn
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPowEval(t *testing.T) {
+	p := Pow{Inner: Affine{Slope: 2, Intercept: 1}, P: 2}
+	for _, x := range []float64{0, 0.25, 0.5, 1} {
+		want := math.Pow(2*x+1, 2)
+		if got := p.Eval(x); math.Abs(got-want) > 1e-12 {
+			t.Errorf("Eval(%v) = %v, want %v", x, got, want)
+		}
+	}
+	if got := (Pow{Inner: Affine{Slope: 1}, P: 1}).Eval(0.3); got != 0.3 {
+		t.Errorf("P=1 Eval = %v, want 0.3", got)
+	}
+	// Negative inner values clamp to zero before the power.
+	neg := Pow{Inner: Affine{Slope: 1, Intercept: -1}, P: 2}
+	if got := neg.Eval(0.5); got != 0 {
+		t.Errorf("negative inner Eval = %v, want 0", got)
+	}
+}
+
+func TestPowMaxWorkloadClosedForm(t *testing.T) {
+	p := Pow{Inner: Affine{Slope: 2, Intercept: 1}, P: 2}
+	// f(x)^2 <= 4  <=>  2x+1 <= 2  <=>  x <= 0.5.
+	x, ok := p.MaxWorkload(4, 0, 1)
+	if !ok || math.Abs(x-0.5) > 1e-9 {
+		t.Fatalf("MaxWorkload(4) = (%v, %v), want (0.5, true)", x, ok)
+	}
+	// Level below f(0)^2 = 1: infeasible.
+	if x, ok := p.MaxWorkload(0.5, 0, 1); ok || x != 0 {
+		t.Fatalf("MaxWorkload(0.5) = (%v, %v), want (0, false)", x, ok)
+	}
+	// Negative level: always infeasible for non-negative costs.
+	if _, ok := p.MaxWorkload(-1, 0, 1); ok {
+		t.Fatal("MaxWorkload(-1) reported feasible")
+	}
+}
+
+// flatFunc is a non-Inverter Func, forcing Pow's bisection fallback.
+type flatFunc struct{ slope float64 }
+
+func (f flatFunc) Eval(x float64) float64 { return f.slope * x }
+
+func TestPowMaxWorkloadBisectionFallback(t *testing.T) {
+	p := Pow{Inner: flatFunc{slope: 2}, P: 3}
+	// (2x)^3 <= 1  <=>  x <= 0.5.
+	x, ok := p.MaxWorkload(1, 0, 1)
+	if !ok || math.Abs(x-0.5) > 1e-6 {
+		t.Fatalf("MaxWorkload = (%v, %v), want (~0.5, true)", x, ok)
+	}
+	// Inverse via the generic bisection agrees with the Inverter fast path.
+	xi, ok, err := Inverse(p, 1, 0, 1, 1e-9)
+	if err != nil || !ok || math.Abs(xi-0.5) > 1e-6 {
+		t.Fatalf("Inverse = (%v, %v, %v), want (~0.5, true, nil)", xi, ok, err)
+	}
+}
+
+func TestPowMonotone(t *testing.T) {
+	p := Pow{Inner: Power{Coeff: 3, Exponent: 1.7, Intercept: 0.2}, P: 1.5}
+	prev := math.Inf(-1)
+	for k := 0; k <= 100; k++ {
+		x := float64(k) / 100
+		v := p.Eval(x)
+		if v < prev {
+			t.Fatalf("Pow not monotone at x=%v: %v < %v", x, v, prev)
+		}
+		prev = v
+	}
+}

@@ -33,6 +33,11 @@ type AdmissionBenchConfig struct {
 	CompleteEvery int
 	// Seed drives the traffic source.
 	Seed int64
+	// Procs pins GOMAXPROCS for the timed region (restored afterwards);
+	// 0 keeps the ambient setting. The dispatch bench sweeps the unique
+	// values of {1, NumCPU} so single-core and full-width throughput are
+	// both on record.
+	Procs int
 	// Reference selects the pre-shard single-lock admission path (the
 	// baseline) instead of the sharded Dispatcher.
 	Reference bool
@@ -117,6 +122,13 @@ func RunAdmissionBench(cfg AdmissionBenchConfig) (*AdmissionBenchResult, error) 
 	}
 	if cfg.Requests < cfg.Submitters {
 		return nil, fmt.Errorf("dispatch: Requests = %d below Submitters = %d", cfg.Requests, cfg.Submitters)
+	}
+	if cfg.Procs < 0 {
+		return nil, fmt.Errorf("dispatch: Procs = %d must be non-negative", cfg.Procs)
+	}
+	if cfg.Procs > 0 {
+		prev := runtime.GOMAXPROCS(cfg.Procs)
+		defer runtime.GOMAXPROCS(prev)
 	}
 
 	// Both modes get a live registry: that is the production

@@ -38,6 +38,11 @@ type Request struct {
 	// Demand is the request's service demand in abstract work units; a
 	// worker with speed gamma serves it in Demand/gamma seconds.
 	Demand float64
+	// Tenant is the index of the submitting tenant in the dispatcher's
+	// Tenants configuration. Out-of-range values (including the zero
+	// value on a single-tenant dispatcher) fold to tenant 0, so
+	// single-stream callers never need to set it.
+	Tenant int
 }
 
 // ShedPolicy selects the backpressure behaviour when a routed request
@@ -59,7 +64,7 @@ const (
 )
 
 // String returns the policy's flag spelling ("reject", "block",
-// "spill").
+// "spill"). It implements fmt.Stringer.
 func (s ShedPolicy) String() string {
 	switch s {
 	case ShedReject:
@@ -72,18 +77,44 @@ func (s ShedPolicy) String() string {
 	return fmt.Sprintf("ShedPolicy(%d)", int(s))
 }
 
+// MarshalText implements encoding.TextMarshaler with the String
+// spelling, so ShedPolicy works directly with flag.TextVar and text
+// configs; unknown values error instead of leaking "ShedPolicy(7)".
+func (s ShedPolicy) MarshalText() ([]byte, error) {
+	switch s {
+	case ShedReject, ShedBlock, ShedSpill:
+		return []byte(s.String()), nil
+	}
+	return nil, fmt.Errorf("dispatch: unknown shed policy %d", int(s))
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler, accepting
+// "reject", "block", "spill" (case-insensitive).
+func (s *ShedPolicy) UnmarshalText(text []byte) error {
+	switch strings.ToLower(strings.TrimSpace(string(text))) {
+	case "reject":
+		*s = ShedReject
+	case "block":
+		*s = ShedBlock
+	case "spill":
+		*s = ShedSpill
+	default:
+		return fmt.Errorf("dispatch: unknown shed policy %q (want reject, block, or spill)", text)
+	}
+	return nil
+}
+
 // ParseShedPolicy parses a -shed flag value. Accepted spellings are
 // "reject", "block", and "spill" (case-insensitive).
+//
+// Deprecated: use ShedPolicy.UnmarshalText (or flag.TextVar) instead;
+// this wrapper remains so existing callers keep compiling.
 func ParseShedPolicy(s string) (ShedPolicy, error) {
-	switch strings.ToLower(strings.TrimSpace(s)) {
-	case "reject":
-		return ShedReject, nil
-	case "block":
-		return ShedBlock, nil
-	case "spill":
-		return ShedSpill, nil
+	var p ShedPolicy
+	if err := p.UnmarshalText([]byte(s)); err != nil {
+		return 0, err
 	}
-	return 0, fmt.Errorf("dispatch: unknown shed policy %q (want reject, block, or spill)", s)
+	return p, nil
 }
 
 // RoutePolicy selects how the dispatcher picks a worker for each
@@ -103,7 +134,8 @@ const (
 	RouteJSQ
 )
 
-// String returns the policy's flag spelling ("weighted", "jsq").
+// String returns the policy's flag spelling ("weighted", "jsq"). It
+// implements fmt.Stringer.
 func (r RoutePolicy) String() string {
 	switch r {
 	case RouteWeighted:
@@ -114,16 +146,41 @@ func (r RoutePolicy) String() string {
 	return fmt.Sprintf("RoutePolicy(%d)", int(r))
 }
 
+// MarshalText implements encoding.TextMarshaler with the String
+// spelling.
+func (r RoutePolicy) MarshalText() ([]byte, error) {
+	switch r {
+	case RouteWeighted, RouteJSQ:
+		return []byte(r.String()), nil
+	}
+	return nil, fmt.Errorf("dispatch: unknown route policy %d", int(r))
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler, accepting
+// "weighted" (or "wrr") and "jsq" (case-insensitive).
+func (r *RoutePolicy) UnmarshalText(text []byte) error {
+	switch strings.ToLower(strings.TrimSpace(string(text))) {
+	case "weighted", "wrr":
+		*r = RouteWeighted
+	case "jsq":
+		*r = RouteJSQ
+	default:
+		return fmt.Errorf("dispatch: unknown route policy %q (want weighted or jsq)", text)
+	}
+	return nil
+}
+
 // ParseRoutePolicy parses a routing policy name: "weighted" (or
 // "wrr"), "jsq".
+//
+// Deprecated: use RoutePolicy.UnmarshalText (or flag.TextVar) instead;
+// this wrapper remains so existing callers keep compiling.
 func ParseRoutePolicy(s string) (RoutePolicy, error) {
-	switch strings.ToLower(strings.TrimSpace(s)) {
-	case "weighted", "wrr":
-		return RouteWeighted, nil
-	case "jsq":
-		return RouteJSQ, nil
+	var p RoutePolicy
+	if err := p.UnmarshalText([]byte(s)); err != nil {
+		return 0, err
 	}
-	return 0, fmt.Errorf("dispatch: unknown route policy %q (want weighted or jsq)", s)
+	return p, nil
 }
 
 // Outcome classifies what the dispatcher did with a submitted request.
@@ -135,12 +192,18 @@ const (
 	// Spilled: the target queue was full and the request was enqueued
 	// on the least-loaded worker with space instead (ShedSpill only).
 	Spilled
-	// Shed: the request was dropped (full queue under ShedReject, or
-	// every queue full under ShedSpill).
+	// Shed: the request was dropped by queue backpressure (admission
+	// threshold reached under ShedReject, or every queue at the
+	// threshold under ShedSpill).
 	Shed
 	// Blocked: admission was refused without dropping (ShedBlock); the
 	// caller should wait for a completion and resubmit.
 	Blocked
+	// Throttled: the request was dropped at the door by its tenant's
+	// admission rate contract, before touching any queue. Distinct from
+	// Shed so callers (and the serving engine's cost model) can tell
+	// "the system is full" from "this tenant exceeded its contract".
+	Throttled
 )
 
 // String names the outcome for logs and HTTP responses.
@@ -154,6 +217,8 @@ func (o Outcome) String() string {
 		return "shed"
 	case Blocked:
 		return "blocked"
+	case Throttled:
+		return "throttled"
 	}
 	return fmt.Sprintf("Outcome(%d)", int(o))
 }

@@ -32,6 +32,14 @@ type Config struct {
 	// uniform weights; drive it with SetWeights to close the DOLBIE
 	// loop.
 	Route RoutePolicy
+	// Tenants configures multi-tenant admission: each tenant gets its
+	// own smooth-WRR cursor per shard (retuned via SetTenantWeights),
+	// its own shed policy and priority-class admission threshold, and an
+	// optional admission rate contract. Empty runs one anonymous gold
+	// tenant with the Config-level Shed policy — the single-stream path
+	// is exactly the one-tenant special case of the same code, and no
+	// per-tenant metric series are exported.
+	Tenants []TenantConfig
 	// Metrics instruments the dispatcher with the dolbie_dispatch_*
 	// family; nil disables instrumentation. The hot path never touches
 	// the registry: series are refreshed to a consistent snapshot at
@@ -63,7 +71,31 @@ func (c Config) Validate() error {
 	default:
 		return fmt.Errorf("dispatch: unknown route policy %d", int(c.Route))
 	}
+	for i, t := range c.Tenants {
+		if err := t.Validate(); err != nil {
+			return fmt.Errorf("dispatch: tenant %d: %w", i, err)
+		}
+	}
 	return nil
+}
+
+// resolvedTenants returns the effective tenant list: a copy of
+// c.Tenants with empty names filled in, or the single anonymous gold
+// tenant carrying the Config-level shed policy when none are
+// configured. The copy means the dispatcher never aliases (or mutates)
+// the caller's backing array.
+func (c Config) resolvedTenants() []TenantConfig {
+	if len(c.Tenants) == 0 {
+		return []TenantConfig{{Name: "default", Priority: PriorityGold, Shed: c.Shed}}
+	}
+	out := make([]TenantConfig, len(c.Tenants))
+	copy(out, c.Tenants)
+	for i := range out {
+		if out[i].Name == "" {
+			out[i].Name = fmt.Sprintf("tenant%d", i)
+		}
+	}
+	return out
 }
 
 // shardCount resolves the effective shard count (0 defaults to 1).
@@ -103,9 +135,12 @@ type Totals struct {
 // both build on.
 type shard struct {
 	mu      sync.Mutex
-	queues  []*queue  // one bounded slice of each worker's capacity
-	weights []float64 // shard-local copy, swapped at retune epochs
-	wrr     []float64 // smooth weighted round-robin accumulators
+	queues  []*queue    // one bounded slice of each worker's capacity
+	weights [][]float64 // shard-local copy per tenant, swapped at retune epochs
+	wrr     [][]float64 // smooth weighted round-robin accumulators per tenant
+	limits  []int       // per-tenant priority-class admission depth threshold
+	tokens  []float64   // per-tenant rate-contract tokens (see Submit)
+	tlast   []float64   // per-tenant last token refill time
 
 	// Counters, guarded by mu. Plain (non-atomic) on purpose: they are
 	// only read under mu (scrape-time collection and stop-the-world
@@ -115,9 +150,22 @@ type shard struct {
 	routed        []int64
 	shedReject    int64
 	shedExhausted int64
+	shedThrottled int64
 	spilled       int64
 	blocked       int64
 	completed     int64
+
+	// Per-tenant counters, one slot per tenant, guarded by mu like the
+	// aggregates. Every admission updates its tenant's slot inside the
+	// same critical section as the aggregate, so the per-tenant
+	// conservation law holds at every snapshot too.
+	tArrivals  []int64
+	tRouted    []int64
+	tShed      []int64
+	tThrottled []int64
+	tSpilled   []int64
+	tBlocked   []int64
+	tCompleted []int64
 
 	// Completion-latency tally, binned per shard on the layout of
 	// latencyBuckets (latCounts[len] would be +Inf; it is kept in latInf)
@@ -143,12 +191,13 @@ func (s *shard) observeLatencyLocked(v float64) {
 	s.latCount++
 }
 
-// pickLocked selects the routed target under s.mu: smooth weighted
-// round-robin (the nginx algorithm — deterministic, drift-free, and
-// spreads each worker's turns evenly), or the shard-local shortest
-// queue under RouteJSQ. Both are shard-local decisions, so shards never
-// read each other's state on the hot path.
-func (s *shard) pickLocked(route RoutePolicy) int {
+// pickLocked selects the routed target for tenant k under s.mu: smooth
+// weighted round-robin (the nginx algorithm — deterministic,
+// drift-free, and spreads each worker's turns evenly) over the tenant's
+// own weight vector and cursor, or the shard-local shortest queue under
+// RouteJSQ. Both are shard-local decisions, so shards never read each
+// other's state on the hot path.
+func (s *shard) pickLocked(route RoutePolicy, k int) int {
 	if route == RouteJSQ {
 		best := 0
 		for i := 1; i < len(s.queues); i++ {
@@ -160,24 +209,26 @@ func (s *shard) pickLocked(route RoutePolicy) int {
 	}
 	var total float64
 	best := -1
-	for i, w := range s.weights {
-		s.wrr[i] += w
+	weights, wrr := s.weights[k], s.wrr[k]
+	for i, w := range weights {
+		wrr[i] += w
 		total += w
-		if best == -1 || s.wrr[i] > s.wrr[best] {
+		if best == -1 || wrr[i] > wrr[best] {
 			best = i
 		}
 	}
-	s.wrr[best] -= total
+	wrr[best] -= total
 	return best
 }
 
 // leastLoadedWithSpaceLocked returns the worker with the fewest queued
-// requests on this shard among those with shard-queue space, or -1 when
-// every shard queue is full. Ties break to the lowest index.
-func (s *shard) leastLoadedWithSpaceLocked() int {
+// requests on this shard among those below the tenant's admission
+// depth threshold, or -1 when every shard queue is at the threshold.
+// Ties break to the lowest index.
+func (s *shard) leastLoadedWithSpaceLocked(limit int) int {
 	best := -1
 	for i, q := range s.queues {
-		if q.full() {
+		if q.len() >= limit {
 			continue
 		}
 		if best == -1 || q.len() < s.queues[best].len() {
@@ -198,8 +249,15 @@ func (s *shard) leastLoadedWithSpaceLocked() int {
 // shards (SetWeights, Totals, Depths, Backlog — the round-boundary
 // repartition operations).
 type Dispatcher struct {
-	cfg    Config
-	shards []*shard
+	cfg     Config
+	tenants []TenantConfig // resolved: at least one entry, names filled
+	// rateShare is each tenant's admission rate contract split evenly
+	// across the shards (requests per second per shard); 0 disables the
+	// tenant's token bucket. burst is the per-shard bucket capacity (one
+	// second of contract, at least one request).
+	rateShare []float64
+	burst     []float64
+	shards    []*shard
 	// heads is the flat array of atomic head keys, one slot per
 	// (worker, shard) pair laid out with a worker's shards contiguous
 	// (index worker*len(shards)+shard), so the lock-free oldest-head scan
@@ -210,16 +268,28 @@ type Dispatcher struct {
 	col   *collector
 }
 
-// New constructs a Dispatcher with uniform initial weights.
+// New constructs a Dispatcher with uniform initial weights for every
+// tenant.
 func New(cfg Config) (*Dispatcher, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	ns := cfg.shardCount()
+	tenants := cfg.resolvedTenants()
+	nt := len(tenants)
 	d := &Dispatcher{
-		cfg:    cfg,
-		shards: make([]*shard, ns),
-		heads:  make([]atomic.Int64, cfg.N*ns),
+		cfg:       cfg,
+		tenants:   tenants,
+		rateShare: make([]float64, nt),
+		burst:     make([]float64, nt),
+		shards:    make([]*shard, ns),
+		heads:     make([]atomic.Int64, cfg.N*ns),
+	}
+	for k, t := range tenants {
+		if t.RateLimit > 0 {
+			d.rateShare[k] = t.RateLimit / float64(ns)
+			d.burst[k] = math.Max(1, d.rateShare[k])
+		}
 	}
 	// Split each worker's capacity across the shards: shard si gets
 	// QueueCap/ns slots plus one of the remainder slots, so per-worker
@@ -231,21 +301,45 @@ func New(cfg Config) (*Dispatcher, error) {
 			capS++
 		}
 		s := &shard{
-			queues:  make([]*queue, cfg.N),
-			weights: make([]float64, cfg.N),
-			wrr:     make([]float64, cfg.N),
-			routed:  make([]int64, cfg.N),
+			queues:     make([]*queue, cfg.N),
+			weights:    make([][]float64, nt),
+			wrr:        make([][]float64, nt),
+			limits:     make([]int, nt),
+			tokens:     make([]float64, nt),
+			tlast:      make([]float64, nt),
+			routed:     make([]int64, cfg.N),
+			tArrivals:  make([]int64, nt),
+			tRouted:    make([]int64, nt),
+			tShed:      make([]int64, nt),
+			tThrottled: make([]int64, nt),
+			tSpilled:   make([]int64, nt),
+			tBlocked:   make([]int64, nt),
+			tCompleted: make([]int64, nt),
+		}
+		for k, t := range tenants {
+			s.weights[k] = make([]float64, cfg.N)
+			s.wrr[k] = make([]float64, cfg.N)
+			for w := range s.weights[k] {
+				s.weights[k][w] = 1 / float64(cfg.N)
+			}
+			s.limits[k] = t.Priority.queueLimit(capS)
+			s.tokens[k] = d.burst[k] // buckets start full
 		}
 		for w := range s.queues {
 			s.queues[w] = newQueue(capS, &d.heads[w*ns+si])
-			s.weights[w] = 1 / float64(cfg.N)
 		}
 		d.shards[si] = s
 	}
 	if cfg.Metrics != nil {
-		d.inst = newDispatcherInstruments(newInstruments(cfg.Metrics), cfg.N, ns)
+		names := make([]string, 0, nt)
+		if len(cfg.Tenants) > 0 { // anonymous single-stream stays label-free
+			for _, t := range tenants {
+				names = append(names, t.Name)
+			}
+		}
+		d.inst = newDispatcherInstruments(newInstruments(cfg.Metrics), cfg.N, ns, names)
 		d.inst.shards.Set(float64(ns))
-		d.col = newCollector(cfg.N, ns)
+		d.col = newCollector(cfg.N, ns, len(names))
 		for _, s := range d.shards {
 			s.latCounts = make([]int64, len(latencyBuckets))
 		}
@@ -259,6 +353,20 @@ func (d *Dispatcher) N() int { return d.cfg.N }
 
 // Shards returns the effective number of admission shards.
 func (d *Dispatcher) Shards() int { return len(d.shards) }
+
+// TenantCount returns the number of tenants (1 for the anonymous
+// single-stream configuration).
+func (d *Dispatcher) TenantCount() int { return len(d.tenants) }
+
+// tenantIndex folds a request's tenant field into the configured range;
+// out-of-range values (including the zero value on single-tenant
+// dispatchers) map to tenant 0.
+func (d *Dispatcher) tenantIndex(k int) int {
+	if k < 0 || k >= len(d.tenants) {
+		return 0
+	}
+	return k
+}
 
 // shardFor hashes a request ID onto a shard. The mixer is
 // splitmix64-style so sequential IDs (the generator, the HTTP ingest
@@ -315,18 +423,26 @@ func validateWeights(w []float64, n int) error {
 }
 
 // SetWeights installs a new routing weight vector (DOLBIE's x_{t+1})
-// in one stop-the-world epoch across all shards, so every shard swaps
-// to the new assignment at the same admission boundary. Weights must be
-// non-negative with a positive sum; they need not be normalized. Each
-// shard's smooth-WRR accumulators are preserved so routing stays
-// deterministic across retunes.
-func (d *Dispatcher) SetWeights(w []float64) error {
+// for tenant 0 — the whole stream on a single-tenant dispatcher. See
+// SetTenantWeights.
+func (d *Dispatcher) SetWeights(w []float64) error { return d.SetTenantWeights(0, w) }
+
+// SetTenantWeights installs tenant k's routing weight vector (its
+// balancer's x_{t+1}) in one stop-the-world epoch across all shards, so
+// every shard swaps to the new assignment at the same admission
+// boundary. Weights must be non-negative with a positive sum; they need
+// not be normalized. Each shard's smooth-WRR accumulators are preserved
+// so routing stays deterministic across retunes.
+func (d *Dispatcher) SetTenantWeights(k int, w []float64) error {
+	if k < 0 || k >= len(d.tenants) {
+		return fmt.Errorf("dispatch: tenant %d out of range [0, %d)", k, len(d.tenants))
+	}
 	if err := validateWeights(w, d.cfg.N); err != nil {
 		return err
 	}
 	d.lockAll()
 	for _, s := range d.shards {
-		copy(s.weights, w)
+		copy(s.weights[k], w)
 	}
 	d.unlockAll()
 	if d.inst != nil {
@@ -335,47 +451,84 @@ func (d *Dispatcher) SetWeights(w []float64) error {
 	return nil
 }
 
-// Weights returns a copy of the current routing weights.
-func (d *Dispatcher) Weights() []float64 {
+// Weights returns a copy of tenant 0's current routing weights — the
+// whole stream on a single-tenant dispatcher. See TenantWeights.
+func (d *Dispatcher) Weights() []float64 { return d.TenantWeights(0) }
+
+// TenantWeights returns a copy of tenant k's current routing weights
+// (nil when k is out of range).
+func (d *Dispatcher) TenantWeights(k int) []float64 {
+	if k < 0 || k >= len(d.tenants) {
+		return nil
+	}
 	s := d.shards[0]
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return append([]float64(nil), s.weights...)
+	return append([]float64(nil), s.weights[k]...)
 }
 
 // Submit routes one request. The returned verdict reports where it
 // landed (or why it did not); Blocked verdicts leave no trace in the
 // queues and the caller is expected to resubmit after a completion.
-// The whole admission commits inside one shard's critical section.
+// The whole admission — rate contract, priority threshold, routing
+// pick, queue push, and every counter — commits inside one shard's
+// critical section.
 func (d *Dispatcher) Submit(r Request) Verdict {
+	k := d.tenantIndex(r.Tenant)
 	s := d.shardFor(r.ID)
 	s.mu.Lock()
 	s.arrivals++
-	target := s.pickLocked(d.cfg.Route)
+	s.tArrivals[k]++
+	if rate := d.rateShare[k]; rate > 0 {
+		// Token bucket on the tenant's admission rate contract: refill
+		// from the arrival clock (monotone per shard; negative deltas
+		// from cross-shard clock skew are ignored), spend one token per
+		// admission, shed at the door when empty.
+		if dt := r.Arrival - s.tlast[k]; dt > 0 {
+			s.tokens[k] = math.Min(d.burst[k], s.tokens[k]+dt*rate)
+			s.tlast[k] = r.Arrival
+		}
+		if s.tokens[k] < 1 {
+			s.shedThrottled++
+			s.tThrottled[k]++
+			s.mu.Unlock()
+			return Verdict{Outcome: Throttled, Worker: -1}
+		}
+		s.tokens[k]--
+	}
+	target := s.pickLocked(d.cfg.Route, k)
+	limit := s.limits[k]
 	v := Verdict{Outcome: Routed, Worker: target}
 	switch {
-	case !s.queues[target].full():
-		// Fast path: the routed target has room on this shard.
-	case d.cfg.Shed == ShedBlock:
+	case s.queues[target].len() < limit:
+		// Fast path: the routed target is below the tenant's admission
+		// threshold on this shard (the full capacity for gold tenants —
+		// identical to the historical full-queue check).
+	case d.tenants[k].Shed == ShedBlock:
 		s.blocked++
+		s.tBlocked[k]++
 		s.mu.Unlock()
 		return Verdict{Outcome: Blocked, Worker: -1}
-	case d.cfg.Shed == ShedSpill:
-		alt := s.leastLoadedWithSpaceLocked()
+	case d.tenants[k].Shed == ShedSpill:
+		alt := s.leastLoadedWithSpaceLocked(limit)
 		if alt < 0 {
 			s.shedExhausted++
+			s.tShed[k]++
 			s.mu.Unlock()
 			return Verdict{Outcome: Shed, Worker: -1}
 		}
 		s.spilled++
+		s.tSpilled[k]++
 		v = Verdict{Outcome: Spilled, Worker: alt}
 	default: // ShedReject
 		s.shedReject++
+		s.tShed[k]++
 		s.mu.Unlock()
 		return Verdict{Outcome: Shed, Worker: -1}
 	}
 	s.queues[v.Worker].push(r)
 	s.routed[v.Worker]++
+	s.tRouted[k]++
 	s.mu.Unlock()
 	return v
 }
@@ -440,6 +593,7 @@ func (d *Dispatcher) Complete(worker int, now float64) (Request, bool) {
 		if h, ok := s.queues[worker].peek(); ok && h.ID == bestID {
 			r, _ := s.queues[worker].pop()
 			s.completed++
+			s.tCompleted[d.tenantIndex(r.Tenant)]++
 			if d.inst != nil {
 				s.observeLatencyLocked(now - r.Arrival)
 			}
@@ -489,6 +643,7 @@ func (d *Dispatcher) completeStopTheWorld(worker int, now float64) (Request, boo
 	s := d.shards[best]
 	r, _ := s.queues[worker].pop()
 	s.completed++
+	s.tCompleted[d.tenantIndex(r.Tenant)]++
 	if d.inst != nil {
 		s.observeLatencyLocked(now - r.Arrival)
 	}
@@ -524,14 +679,15 @@ func (d *Dispatcher) Backlog() []float64 {
 }
 
 // Totals returns a consistent snapshot of the dispatcher's counters,
-// collected in one stop-the-world epoch across all shards.
+// collected in one stop-the-world epoch across all shards. Shed
+// includes rate-contract throttles.
 func (d *Dispatcher) Totals() Totals {
 	d.lockAll()
 	defer d.unlockAll()
 	t := Totals{Routed: make([]int64, d.cfg.N)}
 	for _, s := range d.shards {
 		t.Arrivals += s.arrivals
-		t.Shed += s.shedReject + s.shedExhausted
+		t.Shed += s.shedReject + s.shedExhausted + s.shedThrottled
 		t.Spilled += s.spilled
 		t.Blocked += s.blocked
 		t.Completed += s.completed
@@ -540,4 +696,29 @@ func (d *Dispatcher) Totals() Totals {
 		}
 	}
 	return t
+}
+
+// TenantTotals returns a consistent per-tenant snapshot of the
+// dispatcher's counters, collected in one stop-the-world epoch across
+// all shards. The per-tenant conservation law Arrivals == Routed +
+// Shed + Throttled + Blocked holds for every snapshot.
+func (d *Dispatcher) TenantTotals() []TenantTotals {
+	d.lockAll()
+	defer d.unlockAll()
+	out := make([]TenantTotals, len(d.tenants))
+	for k, t := range d.tenants {
+		out[k].Name = t.Name
+	}
+	for _, s := range d.shards {
+		for k := range out {
+			out[k].Arrivals += s.tArrivals[k]
+			out[k].Routed += s.tRouted[k]
+			out[k].Shed += s.tShed[k]
+			out[k].Throttled += s.tThrottled[k]
+			out[k].Spilled += s.tSpilled[k]
+			out[k].Blocked += s.tBlocked[k]
+			out[k].Completed += s.tCompleted[k]
+		}
+	}
+	return out
 }

@@ -3,6 +3,7 @@ package dispatch
 import (
 	"bytes"
 	"math"
+	"reflect"
 	"testing"
 
 	"dolbie/internal/metrics"
@@ -54,7 +55,7 @@ func TestShards1ClosedLoopEquivalence(t *testing.T) {
 				t.Fatalf("%v/%v: reference serve: %v", shed, policy, err)
 			}
 
-			if *sharded != *ref {
+			if !reflect.DeepEqual(sharded, ref) {
 				t.Errorf("%v/%v: results diverge:\nsharded:  %+v\nreference: %+v", shed, policy, sharded, ref)
 			}
 			if len(shardedCosts) != len(refCosts) {

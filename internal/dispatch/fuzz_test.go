@@ -4,6 +4,8 @@ import (
 	"math"
 	"sync"
 	"testing"
+
+	"dolbie/internal/optimum"
 )
 
 // FuzzDispatcherAdmission drives a dispatcher through an arbitrary
@@ -135,6 +137,62 @@ func FuzzDispatcherAdmission(f *testing.F) {
 			if depth > cfg.QueueCap {
 				t.Fatalf("concurrent replay: worker %d depth %d exceeds cap %d", w, depth, cfg.QueueCap)
 			}
+		}
+	})
+}
+
+// FuzzTenantConfig checks that TenantConfig.Validate never panics on
+// arbitrary field values and that it is the single admission gate for
+// tenant configurations: any tenant it accepts must construct a working
+// dispatcher through New, and the accepted enum fields (priority class,
+// shed policy, objective) must round-trip through their text encodings
+// — the same path flag.TextVar and text configs go through.
+func FuzzTenantConfig(f *testing.F) {
+	f.Add("gold", 1.0, uint8(0), 100.0, 50.0, 2.0, uint8(0), 0.0, 0.05)
+	f.Add("t-1.api", 0.5, uint8(2), 0.0, 0.0, 0.0, uint8(2), 2.0, 0.0)
+	f.Add("bad name!", -1.0, uint8(7), math.Inf(1), math.NaN(), -3.0, uint8(9), 0.5, 2.0)
+	f.Add("", 0.0, uint8(1), 10.0, 10.0, 1.0, uint8(1), 1.5, 1.0)
+	f.Fuzz(func(t *testing.T, name string, weight float64, prio uint8, rate, rateLimit, demandMean float64, shed uint8, p, alpha float64) {
+		tc := TenantConfig{
+			Name:       name,
+			Weight:     weight,
+			Priority:   PriorityClass(prio),
+			Rate:       rate,
+			RateLimit:  rateLimit,
+			DemandMean: demandMean,
+			Shed:       ShedPolicy(shed),
+			Alpha1:     alpha,
+		}
+		if p != 0 {
+			tc.Objective = optimum.Lp(p)
+		}
+		if err := tc.Validate(); err != nil {
+			if err.Error() == "" {
+				t.Fatal("empty validation error")
+			}
+			return
+		}
+		d, err := New(Config{N: 2, QueueCap: 4, Tenants: []TenantConfig{tc}})
+		if err != nil {
+			t.Fatalf("Validate accepted %+v but New rejected it: %v", tc, err)
+		}
+		v := d.Submit(Request{ID: 1, Demand: 1})
+		switch v.Outcome {
+		case Routed, Spilled, Shed, Blocked, Throttled:
+		default:
+			t.Fatalf("unknown outcome %v for tenant %+v", v.Outcome, tc)
+		}
+		var pc PriorityClass
+		if err := pc.UnmarshalText([]byte(tc.Priority.String())); err != nil || pc != tc.Priority {
+			t.Fatalf("priority %v does not round-trip (%v, %v)", tc.Priority, pc, err)
+		}
+		var sp ShedPolicy
+		if err := sp.UnmarshalText([]byte(tc.Shed.String())); err != nil || sp != tc.Shed {
+			t.Fatalf("shed policy %v does not round-trip (%v, %v)", tc.Shed, sp, err)
+		}
+		var obj optimum.Objective
+		if err := obj.UnmarshalText([]byte(tc.Objective.String())); err != nil || obj != tc.Objective {
+			t.Fatalf("objective %v does not round-trip (%v, %v)", tc.Objective, obj, err)
 		}
 	})
 }

@@ -47,10 +47,12 @@ func appendIngestResponse(b []byte, id int64, outcome string, worker int) []byte
 
 // IngestHandler adapts a Dispatcher to live HTTP traffic: each POST is
 // one request admission. The optional "demand" query parameter sets
-// the service demand in work units (default 1). Status codes map the
-// verdict: 200 routed/spilled, 429 shed (drop and back off), 503
-// blocked (retry after a completion). now supplies arrival timestamps
-// in seconds — pass a monotonic clock for live use.
+// the service demand in work units (default 1); the optional "tenant"
+// query parameter selects the submitting tenant by index (default 0,
+// rejected with 400 when out of range). Status codes map the verdict:
+// 200 routed/spilled, 429 shed (drop and back off), 503 blocked (retry
+// after a completion). now supplies arrival timestamps in seconds —
+// pass a monotonic clock for live use.
 func IngestHandler(d *Dispatcher, now func() float64) http.Handler {
 	var seq atomic.Int64
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
@@ -67,11 +69,20 @@ func IngestHandler(d *Dispatcher, now func() float64) http.Handler {
 			}
 			demand = v
 		}
-		r := Request{ID: seq.Add(1), Arrival: now(), Demand: demand}
+		tenant := 0
+		if s := req.URL.Query().Get("tenant"); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil || v < 0 || v >= d.TenantCount() {
+				http.Error(w, fmt.Sprintf("bad tenant %q (want 0..%d)", s, d.TenantCount()-1), http.StatusBadRequest)
+				return
+			}
+			tenant = v
+		}
+		r := Request{ID: seq.Add(1), Arrival: now(), Demand: demand, Tenant: tenant}
 		v := d.Submit(r)
 		status := http.StatusOK
 		switch v.Outcome {
-		case Shed:
+		case Shed, Throttled:
 			status = http.StatusTooManyRequests
 		case Blocked:
 			status = http.StatusServiceUnavailable

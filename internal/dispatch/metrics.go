@@ -20,8 +20,9 @@ const (
 	// {worker}; spilled requests count on the queue they landed on.
 	MetricRouted = "dolbie_dispatch_routed_total"
 	// MetricShed counts dropped requests, labeled {reason}: "reject"
-	// (full queue under ShedReject) or "spill_exhausted" (every queue
-	// full under ShedSpill).
+	// (admission threshold reached under ShedReject), "spill_exhausted"
+	// (every queue at the threshold under ShedSpill), or "throttled"
+	// (tenant admission rate contract exceeded).
 	MetricShed = "dolbie_dispatch_shed_total"
 	// MetricSpilled counts requests rerouted off their weighted target
 	// by ShedSpill.
@@ -50,6 +51,26 @@ const (
 	// pinned while others idle sheds early: per-worker capacity is split
 	// across shards.
 	MetricShardDepth = "dolbie_dispatch_shard_queue_depth"
+	// MetricTenantArrivals counts admission attempts per tenant, labeled
+	// {tenant}. The per-tenant family is exported only on multi-tenant
+	// dispatchers (Config.Tenants non-empty) and is aggregated at scrape
+	// time like the rest of the dolbie_dispatch_* family, so the
+	// admission hot path stays registry-free.
+	MetricTenantArrivals = "dolbie_dispatch_tenant_arrivals_total"
+	// MetricTenantRouted counts enqueued requests per tenant, labeled
+	// {tenant} (spills count on the tenant that spilled).
+	MetricTenantRouted = "dolbie_dispatch_tenant_routed_total"
+	// MetricTenantShed counts dropped requests per tenant, labeled
+	// {tenant}; it includes both queue-pressure sheds and rate-contract
+	// throttles, so arrivals == routed + shed + blocked holds per tenant
+	// at every scrape.
+	MetricTenantShed = "dolbie_dispatch_tenant_shed_total"
+	// MetricTenantBlocked counts refused admission attempts per tenant,
+	// labeled {tenant} (ShedBlock tenants only).
+	MetricTenantBlocked = "dolbie_dispatch_tenant_blocked_total"
+	// MetricTenantCompleted counts fully served requests per tenant,
+	// labeled {tenant}.
+	MetricTenantCompleted = "dolbie_dispatch_tenant_completed_total"
 )
 
 // latencyBuckets spans sub-millisecond dispatch latencies up to the
@@ -70,6 +91,11 @@ type instruments struct {
 	shards          *metrics.Gauge
 	shardAdmissions *metrics.CounterVec
 	shardDepth      *metrics.GaugeVec
+	tenantArrivals  *metrics.CounterVec
+	tenantRouted    *metrics.CounterVec
+	tenantShed      *metrics.CounterVec
+	tenantBlocked   *metrics.CounterVec
+	tenantCompleted *metrics.CounterVec
 }
 
 func newInstruments(reg *metrics.Registry) *instruments {
@@ -88,6 +114,11 @@ func newInstruments(reg *metrics.Registry) *instruments {
 		shards:          reg.Gauge(MetricShards, "Configured number of admission shards."),
 		shardAdmissions: reg.CounterVec(MetricShardAdmissions, "Admission attempts, by shard.", "shard"),
 		shardDepth:      reg.GaugeVec(MetricShardDepth, "Queued requests, by shard.", "shard"),
+		tenantArrivals:  reg.CounterVec(MetricTenantArrivals, "Admission attempts, by tenant.", "tenant"),
+		tenantRouted:    reg.CounterVec(MetricTenantRouted, "Requests enqueued, by tenant.", "tenant"),
+		tenantShed:      reg.CounterVec(MetricTenantShed, "Requests dropped (queue pressure or rate contract), by tenant.", "tenant"),
+		tenantBlocked:   reg.CounterVec(MetricTenantBlocked, "Admission attempts refused, by tenant.", "tenant"),
+		tenantCompleted: reg.CounterVec(MetricTenantCompleted, "Requests fully served, by tenant.", "tenant"),
 	}
 }
 
@@ -101,6 +132,7 @@ type dispatcherInstruments struct {
 	depthByW      []*metrics.Gauge
 	shedReject    *metrics.Counter
 	shedExhausted *metrics.Counter
+	shedThrottled *metrics.Counter
 	spilled       *metrics.Counter
 	blocked       *metrics.Counter
 	latency       *metrics.Histogram
@@ -108,12 +140,25 @@ type dispatcherInstruments struct {
 	shards        *metrics.Gauge
 	shardAdmByS   []*metrics.Counter
 	shardDepthByS []*metrics.Gauge
+
+	// Per-tenant series, resolved only on multi-tenant dispatchers
+	// (tenants is the resolved name list; nil/empty keeps the families
+	// out of the export, like shards == 0 does for the shard series).
+	tenantArrByT       []*metrics.Counter
+	tenantRoutedByT    []*metrics.Counter
+	tenantShedByT      []*metrics.Counter
+	tenantBlockedByT   []*metrics.Counter
+	tenantCompletedByT []*metrics.Counter
 }
 
 // newDispatcherInstruments resolves the per-worker series and, when
 // shards > 0, the per-shard series (the reference dispatcher passes 0:
 // it predates sharding and must not export empty shard series).
-func newDispatcherInstruments(in *instruments, n, shards int) *dispatcherInstruments {
+// tenants carries the resolved tenant names of a multi-tenant
+// dispatcher; nil keeps the per-tenant families unexported, which is
+// how the anonymous single-stream configuration stays byte-identical
+// to its pre-tenancy scrapes.
+func newDispatcherInstruments(in *instruments, n, shards int, tenants []string) *dispatcherInstruments {
 	if in == nil {
 		return nil
 	}
@@ -141,6 +186,21 @@ func newDispatcherInstruments(in *instruments, n, shards int) *dispatcherInstrum
 			di.shardDepthByS[s] = in.shardDepth.WithLabelValues(strconv.Itoa(s))
 		}
 	}
+	if len(tenants) > 0 {
+		di.shedThrottled = in.shed.WithLabelValues("throttled")
+		di.tenantArrByT = make([]*metrics.Counter, len(tenants))
+		di.tenantRoutedByT = make([]*metrics.Counter, len(tenants))
+		di.tenantShedByT = make([]*metrics.Counter, len(tenants))
+		di.tenantBlockedByT = make([]*metrics.Counter, len(tenants))
+		di.tenantCompletedByT = make([]*metrics.Counter, len(tenants))
+		for k, name := range tenants {
+			di.tenantArrByT[k] = in.tenantArrivals.WithLabelValues(name)
+			di.tenantRoutedByT[k] = in.tenantRouted.WithLabelValues(name)
+			di.tenantShedByT[k] = in.tenantShed.WithLabelValues(name)
+			di.tenantBlockedByT[k] = in.tenantBlocked.WithLabelValues(name)
+			di.tenantCompletedByT[k] = in.tenantCompleted.WithLabelValues(name)
+		}
+	}
 	return di
 }
 
@@ -158,6 +218,7 @@ type collector struct {
 	lastRouted        []int64
 	lastShedReject    int64
 	lastShedExhausted int64
+	lastShedThrottled int64
 	lastSpilled       int64
 	lastBlocked       int64
 	lastShardAdm      []int64
@@ -165,13 +226,26 @@ type collector struct {
 	lastLatInf        int64
 	lastLatSum        float64
 	lastLatCount      int64
+
+	// Per-tenant last-exported snapshots; zero-length on single-stream
+	// dispatchers (the per-tenant families are not exported there).
+	lastTenantArr       []int64
+	lastTenantRouted    []int64
+	lastTenantShed      []int64
+	lastTenantBlocked   []int64
+	lastTenantCompleted []int64
 }
 
-func newCollector(n, shards int) *collector {
+func newCollector(n, shards, tenants int) *collector {
 	return &collector{
-		lastRouted:    make([]int64, n),
-		lastShardAdm:  make([]int64, shards),
-		lastLatCounts: make([]int64, len(latencyBuckets)),
+		lastRouted:          make([]int64, n),
+		lastShardAdm:        make([]int64, shards),
+		lastLatCounts:       make([]int64, len(latencyBuckets)),
+		lastTenantArr:       make([]int64, tenants),
+		lastTenantRouted:    make([]int64, tenants),
+		lastTenantShed:      make([]int64, tenants),
+		lastTenantBlocked:   make([]int64, tenants),
+		lastTenantCompleted: make([]int64, tenants),
 	}
 }
 
@@ -182,22 +256,28 @@ func newCollector(n, shards int) *collector {
 func (d *Dispatcher) collect() {
 	d.col.mu.Lock()
 	defer d.col.mu.Unlock()
-	n, ns := d.cfg.N, len(d.shards)
+	n, ns, nt := d.cfg.N, len(d.shards), len(d.col.lastTenantArr)
 	var (
-		arrivals, shedReject, shedExhausted, spilled, blocked int64
-		latInf, latCount                                      int64
-		latSum                                                float64
-		routed                                                = make([]int64, n)
-		depths                                                = make([]int, n)
-		shardAdm                                              = make([]int64, ns)
-		shardDepth                                            = make([]int, ns)
-		latCounts                                             = make([]int64, len(latencyBuckets))
+		arrivals, shedReject, shedExhausted, shedThrottled, spilled, blocked int64
+		latInf, latCount                                                     int64
+		latSum                                                               float64
+		routed                                                               = make([]int64, n)
+		depths                                                               = make([]int, n)
+		shardAdm                                                             = make([]int64, ns)
+		shardDepth                                                           = make([]int, ns)
+		latCounts                                                            = make([]int64, len(latencyBuckets))
+		tenantArr                                                            = make([]int64, nt)
+		tenantRouted                                                         = make([]int64, nt)
+		tenantShed                                                           = make([]int64, nt)
+		tenantBlocked                                                        = make([]int64, nt)
+		tenantCompleted                                                      = make([]int64, nt)
 	)
 	for si, s := range d.shards {
 		s.mu.Lock()
 		arrivals += s.arrivals
 		shedReject += s.shedReject
 		shedExhausted += s.shedExhausted
+		shedThrottled += s.shedThrottled
 		spilled += s.spilled
 		blocked += s.blocked
 		shardAdm[si] = s.arrivals
@@ -206,6 +286,13 @@ func (d *Dispatcher) collect() {
 			l := s.queues[w].len()
 			depths[w] += l
 			shardDepth[si] += l
+		}
+		for k := 0; k < nt; k++ {
+			tenantArr[k] += s.tArrivals[k]
+			tenantRouted[k] += s.tRouted[k]
+			tenantShed[k] += s.tShed[k] + s.tThrottled[k]
+			tenantBlocked[k] += s.tBlocked[k]
+			tenantCompleted[k] += s.tCompleted[k]
 		}
 		for b, c := range s.latCounts {
 			latCounts[b] += c
@@ -222,10 +309,26 @@ func (d *Dispatcher) collect() {
 	c.lastShedReject = shedReject
 	d.inst.shedExhausted.Add(float64(shedExhausted - c.lastShedExhausted))
 	c.lastShedExhausted = shedExhausted
+	if d.inst.shedThrottled != nil {
+		d.inst.shedThrottled.Add(float64(shedThrottled - c.lastShedThrottled))
+		c.lastShedThrottled = shedThrottled
+	}
 	d.inst.spilled.Add(float64(spilled - c.lastSpilled))
 	c.lastSpilled = spilled
 	d.inst.blocked.Add(float64(blocked - c.lastBlocked))
 	c.lastBlocked = blocked
+	for k := 0; k < nt; k++ {
+		d.inst.tenantArrByT[k].Add(float64(tenantArr[k] - c.lastTenantArr[k]))
+		c.lastTenantArr[k] = tenantArr[k]
+		d.inst.tenantRoutedByT[k].Add(float64(tenantRouted[k] - c.lastTenantRouted[k]))
+		c.lastTenantRouted[k] = tenantRouted[k]
+		d.inst.tenantShedByT[k].Add(float64(tenantShed[k] - c.lastTenantShed[k]))
+		c.lastTenantShed[k] = tenantShed[k]
+		d.inst.tenantBlockedByT[k].Add(float64(tenantBlocked[k] - c.lastTenantBlocked[k]))
+		c.lastTenantBlocked[k] = tenantBlocked[k]
+		d.inst.tenantCompletedByT[k].Add(float64(tenantCompleted[k] - c.lastTenantCompleted[k]))
+		c.lastTenantCompleted[k] = tenantCompleted[k]
+	}
 	for w := 0; w < n; w++ {
 		d.inst.routedByW[w].Add(float64(routed[w] - c.lastRouted[w]))
 		c.lastRouted[w] = routed[w]

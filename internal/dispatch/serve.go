@@ -29,6 +29,7 @@ const (
 )
 
 // String returns the policy's flag spelling ("dolbie", "wrr", "jsq").
+// It implements fmt.Stringer.
 func (p ControlPolicy) String() string {
 	switch p {
 	case PolicyDOLBIE:
@@ -41,18 +42,44 @@ func (p ControlPolicy) String() string {
 	return fmt.Sprintf("ControlPolicy(%d)", int(p))
 }
 
+// MarshalText implements encoding.TextMarshaler with the String
+// spelling.
+func (p ControlPolicy) MarshalText() ([]byte, error) {
+	switch p {
+	case PolicyDOLBIE, PolicyWRR, PolicyJSQ:
+		return []byte(p.String()), nil
+	}
+	return nil, fmt.Errorf("dispatch: unknown control policy %d", int(p))
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler, accepting
+// "dolbie", "wrr" (or "uniform"), "jsq" in the spellings the -policy
+// flag has always taken.
+func (p *ControlPolicy) UnmarshalText(text []byte) error {
+	switch string(text) {
+	case "dolbie", "DOLBIE":
+		*p = PolicyDOLBIE
+	case "wrr", "uniform", "WRR":
+		*p = PolicyWRR
+	case "jsq", "JSQ":
+		*p = PolicyJSQ
+	default:
+		return fmt.Errorf("dispatch: unknown control policy %q (want dolbie, wrr, or jsq)", text)
+	}
+	return nil
+}
+
 // ParseControlPolicy parses a -policy flag value: "dolbie", "wrr" (or
 // "uniform"), "jsq".
+//
+// Deprecated: use ControlPolicy.UnmarshalText (or flag.TextVar)
+// instead; this wrapper remains so existing callers keep compiling.
 func ParseControlPolicy(s string) (ControlPolicy, error) {
-	switch s {
-	case "dolbie", "DOLBIE":
-		return PolicyDOLBIE, nil
-	case "wrr", "uniform", "WRR":
-		return PolicyWRR, nil
-	case "jsq", "JSQ":
-		return PolicyJSQ, nil
+	var p ControlPolicy
+	if err := p.UnmarshalText([]byte(s)); err != nil {
+		return 0, err
 	}
-	return 0, fmt.Errorf("dispatch: unknown control policy %q (want dolbie, wrr, or jsq)", s)
+	return p, nil
 }
 
 // ServeConfig parameterizes one closed-loop serving run.
@@ -91,8 +118,21 @@ type ServeConfig struct {
 	// tracking-friendly choice for short serving runs (the paper's
 	// 0.001 is tuned for 100+-round batch experiments).
 	Alpha1 float64
+	// Tenants configures multi-tenant serving: each tenant runs its own
+	// seeded open-loop traffic source and, under PolicyDOLBIE, its own
+	// balancer (simplex, step rule, and objective) over the shared
+	// worker pool, with priority-class shedding and optional admission
+	// rate contracts enforced by the dispatcher. A tenant's Rate is its
+	// offered arrival rate; zero derives it as the tenant's Weight share
+	// of ArrivalRate. DemandMean and Alpha1 inherit the run level when
+	// zero. Empty Tenants runs the single anonymous stream — the
+	// historical behaviour, reproduced bit for bit as the one-tenant
+	// special case of the same engine.
+	Tenants []TenantConfig
 	// Seed makes the whole run deterministic: generator, demands, and
-	// worker speed processes all derive from it.
+	// worker speed processes all derive from it (tenant k's traffic
+	// stream is seeded Seed + 7919k, so tenant 0 replays the
+	// single-stream trace exactly).
 	Seed int64
 	// Metrics instruments the underlying dispatcher; nil disables.
 	Metrics *metrics.Registry
@@ -106,7 +146,10 @@ type ServeConfig struct {
 
 // DefaultServeConfig returns the serving defaults used by dolbie-serve
 // and the serve bench: 8 workers with 5x speed heterogeneity at 75%
-// mean utilization, 240 one-second rounds, reject backpressure.
+// mean utilization, 240 one-second rounds, reject backpressure, and no
+// tenants (the anonymous single stream). Every call returns freshly
+// allocated slice fields (use DefaultTenants to populate Tenants), so
+// two configurations never alias.
 func DefaultServeConfig() ServeConfig {
 	return ServeConfig{
 		N:           8,
@@ -154,7 +197,61 @@ func (c ServeConfig) Validate() error {
 	if c.Alpha1 < 0 || c.Alpha1 > 1 {
 		return fmt.Errorf("dispatch: Alpha1 = %v out of [0, 1]", c.Alpha1)
 	}
-	return Config{N: c.N, QueueCap: c.QueueCap, Shards: c.Shards, Shed: c.Shed, Route: RouteWeighted}.Validate()
+	for i, t := range c.Tenants {
+		if err := t.Validate(); err != nil {
+			return fmt.Errorf("dispatch: tenant %d: %w", i, err)
+		}
+		if t.Rate == 0 && t.Weight == 0 {
+			return fmt.Errorf("dispatch: tenant %d (%q) needs a positive Rate or Weight to receive traffic", i, t.Name)
+		}
+	}
+	return Config{N: c.N, QueueCap: c.QueueCap, Shards: c.Shards, Shed: c.Shed, Route: RouteWeighted, Tenants: c.Tenants}.Validate()
+}
+
+// tenantSeedStride separates per-tenant generator seeds; tenant 0 keeps
+// the run seed itself so the one-tenant run replays the single-stream
+// trace exactly.
+const tenantSeedStride = 7919
+
+// resolvedServeTenants returns the effective serving tenant list with
+// every inherited field filled in: the single anonymous tenant carrying
+// the run-level rate, demand, shed policy, and step size when Tenants
+// is empty; otherwise a copy with zero Rates derived from Weight shares
+// of ArrivalRate and zero DemandMean/Alpha1 inheriting the run level.
+func (c ServeConfig) resolvedServeTenants() []TenantConfig {
+	if len(c.Tenants) == 0 {
+		return []TenantConfig{{
+			Name:       "default",
+			Priority:   PriorityGold,
+			Shed:       c.Shed,
+			Rate:       c.ArrivalRate,
+			DemandMean: c.DemandMean,
+			Alpha1:     c.Alpha1,
+		}}
+	}
+	out := make([]TenantConfig, len(c.Tenants))
+	copy(out, c.Tenants)
+	var totalW float64
+	for _, t := range out {
+		if t.Rate == 0 {
+			totalW += t.Weight
+		}
+	}
+	for i := range out {
+		if out[i].Name == "" {
+			out[i].Name = fmt.Sprintf("tenant%d", i)
+		}
+		if out[i].Rate == 0 {
+			out[i].Rate = c.ArrivalRate * (out[i].Weight / totalW)
+		}
+		if out[i].DemandMean == 0 {
+			out[i].DemandMean = c.DemandMean
+		}
+		if out[i].Alpha1 == 0 {
+			out[i].Alpha1 = c.Alpha1
+		}
+	}
+	return out
 }
 
 // ServeResult summarizes one closed-loop serving run.
@@ -194,14 +291,60 @@ type ServeResult struct {
 	// sends nothing after setup (0). Worker execution is simulated, so
 	// this is a model, not a wire measurement.
 	BytesPerRound float64 `json:"bytes_per_round"`
-	// Retunes counts closed-loop weight updates applied.
+	// Retunes counts closed-loop weight updates applied (one per tenant
+	// per round under PolicyDOLBIE).
+	Retunes int64 `json:"retunes"`
+	// Tenants breaks the run down per tenant; nil on single-stream runs
+	// (empty ServeConfig.Tenants), so historical JSON output is
+	// unchanged.
+	Tenants []TenantServeResult `json:"tenants,omitempty"`
+}
+
+// TenantServeResult summarizes one tenant's slice of a multi-tenant
+// serving run.
+type TenantServeResult struct {
+	// Name is the tenant's resolved name.
+	Name string `json:"name"`
+	// Priority is the tenant's service tier ("gold", "silver",
+	// "bronze").
+	Priority string `json:"priority"`
+	// Objective names the tenant's balancing objective ("minmax",
+	// "l2", ...).
+	Objective string `json:"objective"`
+	// Rate is the tenant's resolved offered arrival rate in requests
+	// per virtual second.
+	Rate float64 `json:"rate"`
+	// RateLimit echoes the tenant's admission rate contract (0 =
+	// unlimited).
+	RateLimit float64 `json:"rate_limit"`
+	// Arrivals, Completed, Routed, ShedCount, Throttled, Spilled, and
+	// Blocked are the dispatcher's per-tenant totals.
+	Arrivals  int64 `json:"arrivals"`
+	Completed int64 `json:"completed"`
+	Routed    int64 `json:"routed"`
+	ShedCount int64 `json:"shed_count"`
+	Throttled int64 `json:"throttled"`
+	Spilled   int64 `json:"spilled"`
+	Blocked   int64 `json:"blocked"`
+	// ShedRate is (ShedCount+Throttled)/Arrivals (0 with no arrivals).
+	ShedRate float64 `json:"shed_rate"`
+	// RequestLatencyP50 and RequestLatencyP99 summarize the tenant's
+	// per-request completion latency in seconds.
+	RequestLatencyP50 float64 `json:"request_latency_p50_s"`
+	RequestLatencyP99 float64 `json:"request_latency_p99_s"`
+	// Retunes counts the tenant's closed-loop weight updates.
 	Retunes int64 `json:"retunes"`
 }
 
 // workerSpeeds builds the heterogeneous seeded speed processes: mean
 // speeds follow the repository's 5x-spread catalog (matching
-// cluster.SyntheticSource), scaled so total mean capacity hits the
-// configured utilization, with clamped AR(1) fluctuation per worker.
+// cluster.SyntheticSource), scaled so total mean capacity serves the
+// run-level nominal load ArrivalRate*DemandMean at the configured
+// utilization, with clamped AR(1) fluctuation per worker. Capacity is
+// deliberately provisioned from the run-level knobs, never from the
+// tenants' summed rates: a tenant spiking past its share is genuine
+// overload (the isolation drills depend on this), not a bigger
+// cluster.
 func workerSpeeds(cfg ServeConfig) ([]trace.Process, []float64, error) {
 	catalog := []float64{1, 1.5, 2.5, 6, 10}
 	means := make([]float64, cfg.N)
@@ -238,7 +381,49 @@ type dataPlane interface {
 	Complete(worker int, now float64) (Request, bool)
 	Backlog() []float64
 	SetWeights(w []float64) error
+	SetTenantWeights(k int, w []float64) error
 	Totals() Totals
+	TenantTotals() []TenantTotals
+}
+
+// roundController is the per-tenant control plane the serving engine
+// retunes every round: DOLBIE's risk-averse balancer for the min-max
+// objective, the lp-norm follow-the-optimum stepper otherwise. Both
+// expose the same simplex point / observation surface.
+type roundController interface {
+	Assignment() []float64
+	Update(obs core.Observation) error
+}
+
+// newTenantController builds tenant t's controller at the uniform
+// initial assignment. alpha 0 falls back to the serving default 0.05.
+func newTenantController(n int, t TenantConfig) (roundController, error) {
+	alpha := t.Alpha1
+	if alpha == 0 {
+		alpha = 0.05
+	}
+	x0 := make([]float64, n)
+	for i := range x0 {
+		x0[i] = 1 / float64(n)
+	}
+	if t.Objective.IsMinMax() {
+		return core.NewBalancer(x0, core.WithInitialAlpha(alpha))
+	}
+	return core.NewLpBalancer(x0, t.Objective, alpha)
+}
+
+// tenantRuntime is one tenant's slice of the serving engine: its seeded
+// open-loop source, its blocked-request slot, and (under PolicyDOLBIE)
+// its controller.
+type tenantRuntime struct {
+	cfg     TenantConfig // resolved (rate, demand, alpha filled)
+	gen     *Generator
+	next    Request
+	pending *Request // blocked request stalling this tenant's source
+	ctl     roundController
+	offered float64 // work offered this round (reset at round start)
+	reqLat  []float64
+	retunes int64
 }
 
 // Serve runs one deterministic closed-loop serving simulation: the
@@ -256,7 +441,7 @@ func Serve(cfg ServeConfig) (*ServeResult, error) {
 	if cfg.Policy == PolicyJSQ {
 		route = RouteJSQ
 	}
-	d, err := New(Config{N: cfg.N, QueueCap: cfg.QueueCap, Shards: cfg.Shards, Shed: cfg.Shed, Route: route, Metrics: cfg.Metrics})
+	d, err := New(Config{N: cfg.N, QueueCap: cfg.QueueCap, Shards: cfg.Shards, Shed: cfg.Shed, Route: route, Tenants: cfg.Tenants, Metrics: cfg.Metrics})
 	if err != nil {
 		return nil, err
 	}
@@ -264,48 +449,47 @@ func Serve(cfg ServeConfig) (*ServeResult, error) {
 }
 
 // serveWith runs the closed-loop engine over an already-constructed data
-// plane. It assumes cfg has been validated.
+// plane. It assumes cfg has been validated. The engine is tenant-first:
+// the anonymous single stream is literally the one-tenant run of the
+// same code (no separate path), which is what keeps historical results
+// bit-identical.
 func serveWith(cfg ServeConfig, d dataPlane) (*ServeResult, error) {
-	gen, err := NewGenerator(cfg.ArrivalRate, cfg.DemandMean, cfg.Seed)
-	if err != nil {
-		return nil, err
+	tenants := cfg.resolvedServeTenants()
+	trs := make([]tenantRuntime, len(tenants))
+	for k, tc := range tenants {
+		gen, err := NewGenerator(tc.Rate, tc.DemandMean, cfg.Seed+tenantSeedStride*int64(k))
+		if err != nil {
+			return nil, fmt.Errorf("dispatch: tenant %q: %w", tc.Name, err)
+		}
+		trs[k] = tenantRuntime{cfg: tc, gen: gen, next: gen.Next()}
+		if cfg.Policy == PolicyDOLBIE {
+			ctl, err := newTenantController(cfg.N, tc)
+			if err != nil {
+				return nil, fmt.Errorf("dispatch: tenant %q: %w", tc.Name, err)
+			}
+			trs[k].ctl = ctl
+		}
 	}
 	speeds, _, err := workerSpeeds(cfg)
 	if err != nil {
 		return nil, err
 	}
 
-	var bal *core.Balancer
-	if cfg.Policy == PolicyDOLBIE {
-		alpha := cfg.Alpha1
-		if alpha == 0 {
-			alpha = 0.05
-		}
-		x0 := make([]float64, cfg.N)
-		for i := range x0 {
-			x0[i] = 1 / float64(cfg.N)
-		}
-		bal, err = core.NewBalancer(x0, core.WithInitialAlpha(alpha))
-		if err != nil {
-			return nil, err
-		}
-	}
-
 	var (
 		now       float64
 		remaining = make([]float64, cfg.N) // work left on each in-service head
 		gamma     = make([]float64, cfg.N)
-		pending   *Request // blocked request stalling the open-loop source
+		seq       int64 // global request IDs, assigned in arrival order
 		reqLat    []float64
 		maxLat    []float64
 		retunes   int64
 	)
-	next := gen.Next()
 
 	// admit routes one request into the dispatcher and starts service if
-	// the target worker was idle. It reports whether the request was
-	// admitted (anything but Blocked).
-	admit := func(r Request, routedWork []float64) bool {
+	// the target worker was idle, returning the dispatcher's verdict
+	// (Blocked requests stall their tenant's source until the next
+	// completion).
+	admit := func(r Request, routedWork []float64) Verdict {
 		v := d.Submit(r)
 		switch v.Outcome {
 		case Routed, Spilled:
@@ -313,10 +497,8 @@ func serveWith(cfg ServeConfig, d dataPlane) (*ServeResult, error) {
 			if remaining[v.Worker] == 0 {
 				remaining[v.Worker] = r.Demand
 			}
-		case Blocked:
-			return false
 		}
-		return true
+		return v
 	}
 
 	// advance moves virtual time forward, draining every busy worker at
@@ -349,7 +531,9 @@ func serveWith(cfg ServeConfig, d dataPlane) (*ServeResult, error) {
 		for i := range routedWork {
 			routedWork[i] = 0
 		}
-		var offeredWork float64
+		for k := range trs {
+			trs[k].offered = 0
+		}
 
 		for {
 			// Earliest completion across busy workers.
@@ -361,31 +545,56 @@ func serveWith(cfg ServeConfig, d dataPlane) (*ServeResult, error) {
 					}
 				}
 			}
-			// Next admission attempt: a blocked request stalls the source.
-			at := math.Inf(1)
-			if pending == nil {
-				at = next.Arrival
+			// Next admission attempt across tenants (a blocked request
+			// stalls only its own tenant's source); ties break to the
+			// lowest tenant index.
+			ak, at := -1, math.Inf(1)
+			for k := range trs {
+				if trs[k].pending == nil && trs[k].next.Arrival < at {
+					ak, at = k, trs[k].next.Arrival
+				}
 			}
 			switch {
 			case ct <= at && ct <= roundEnd:
 				advance(ct)
 				remaining[cw] = 0
 				r, _ := d.Complete(cw, ct)
-				reqLat = append(reqLat, ct-r.Arrival)
+				lat := ct - r.Arrival
+				reqLat = append(reqLat, lat)
+				rt := &trs[0]
+				if r.Tenant > 0 && r.Tenant < len(trs) {
+					rt = &trs[r.Tenant]
+				}
+				rt.reqLat = append(rt.reqLat, lat)
 				if h, ok := d.Head(cw); ok {
 					remaining[cw] = h.Demand
 				}
-				if pending != nil && admit(*pending, routedWork) {
-					pending = nil
+				for k := range trs {
+					if trs[k].pending != nil && admit(*trs[k].pending, routedWork).Outcome != Blocked {
+						trs[k].pending = nil
+					}
 				}
 				continue
 			case at < roundEnd:
 				advance(at)
-				r := next
-				next = gen.Next()
-				offeredWork += r.Demand
-				if !admit(r, routedWork) {
-					pending = &r
+				tr := &trs[ak]
+				r := tr.next
+				tr.next = tr.gen.Next()
+				seq++
+				r.ID = seq
+				r.Tenant = ak
+				switch admit(r, routedWork).Outcome {
+				case Blocked:
+					tr.offered += r.Demand
+					tr.pending = &r
+				case Throttled:
+					// Contract-throttled work never entered the system:
+					// excluding it from the tenant's offered work keeps its
+					// cost model (and so its routing) tracking the admitted
+					// load, not the spike — the fed-back l_{i,t} only ever
+					// reflects admitted work anyway.
+				default:
+					tr.offered += r.Demand
 				}
 				continue
 			}
@@ -408,33 +617,37 @@ func serveWith(cfg ServeConfig, d dataPlane) (*ServeResult, error) {
 			cfg.observeRound(t, costs)
 		}
 
-		if bal != nil {
-			x := bal.Assignment()
-			// Fit an affine cost model through the observation: a worker
-			// holding share x of the round's offered work W drains in about
-			// (backlog + x*W)/gamma seconds, so slope = W/gamma and the
-			// intercept anchors the fit at the realized point, f_i(x_i) =
-			// l_{i,t}. Negative intercepts (backlog dominated by spill or
-			// JSQ-free routing noise) clamp to zero; the balancer's own
-			// monotone guard absorbs the resulting slack.
-			for i := range funcs {
-				slope := offeredWork / gamma[i]
-				if slope <= 0 {
-					slope = 1e-9 // idle round: keep the model increasing
+		if cfg.Policy == PolicyDOLBIE {
+			for k := range trs {
+				tr := &trs[k]
+				x := tr.ctl.Assignment()
+				// Fit an affine cost model through the observation: a worker
+				// holding share x of the tenant's offered work W_k drains its
+				// slice in about (backlog + x*W_k)/gamma seconds, so slope =
+				// W_k/gamma and the intercept anchors the fit at the realized
+				// point, f_i(x_i) = l_{i,t}. Negative intercepts (backlog
+				// dominated by spill or another tenant's routing) clamp to
+				// zero; the controllers' own guards absorb the slack.
+				for i := range funcs {
+					slope := tr.offered / gamma[i]
+					if slope <= 0 {
+						slope = 1e-9 // idle round: keep the model increasing
+					}
+					intercept := costs[i] - slope*x[i]
+					if intercept < 0 {
+						intercept = 0
+					}
+					funcs[i] = costfn.Affine{Slope: slope, Intercept: intercept}
 				}
-				intercept := costs[i] - slope*x[i]
-				if intercept < 0 {
-					intercept = 0
+				if err := tr.ctl.Update(core.Observation{Costs: costs, Funcs: funcs}); err != nil {
+					return nil, fmt.Errorf("dispatch: round %d tenant %q retune: %w", t+1, tr.cfg.Name, err)
 				}
-				funcs[i] = costfn.Affine{Slope: slope, Intercept: intercept}
+				if err := d.SetTenantWeights(k, tr.ctl.Assignment()); err != nil {
+					return nil, fmt.Errorf("dispatch: round %d tenant %q weights: %w", t+1, tr.cfg.Name, err)
+				}
+				retunes++
+				tr.retunes++
 			}
-			if err := bal.Update(core.Observation{Costs: costs, Funcs: funcs}); err != nil {
-				return nil, fmt.Errorf("dispatch: round %d retune: %w", t+1, err)
-			}
-			if err := d.SetWeights(bal.Assignment()); err != nil {
-				return nil, fmt.Errorf("dispatch: round %d weights: %w", t+1, err)
-			}
-			retunes++
 		}
 	}
 
@@ -465,9 +678,39 @@ func serveWith(cfg ServeConfig, d dataPlane) (*ServeResult, error) {
 	}
 	switch cfg.Policy {
 	case PolicyDOLBIE:
-		res.BytesPerRound = float64(8*cfg.N + 12)
+		res.BytesPerRound = float64(len(trs) * (8*cfg.N + 12))
 	case PolicyJSQ:
 		res.BytesPerRound = float64(4 * cfg.N)
+	}
+	if len(cfg.Tenants) > 0 {
+		ttot := d.TenantTotals()
+		res.Tenants = make([]TenantServeResult, len(trs))
+		for k := range trs {
+			tr := &trs[k]
+			tsr := TenantServeResult{
+				Name:      ttot[k].Name,
+				Priority:  tr.cfg.Priority.String(),
+				Objective: tr.cfg.Objective.String(),
+				Rate:      tr.cfg.Rate,
+				RateLimit: tr.cfg.RateLimit,
+				Arrivals:  ttot[k].Arrivals,
+				Completed: ttot[k].Completed,
+				Routed:    ttot[k].Routed,
+				ShedCount: ttot[k].Shed,
+				Throttled: ttot[k].Throttled,
+				Spilled:   ttot[k].Spilled,
+				Blocked:   ttot[k].Blocked,
+				Retunes:   tr.retunes,
+			}
+			if tsr.Arrivals > 0 {
+				tsr.ShedRate = float64(tsr.ShedCount+tsr.Throttled) / float64(tsr.Arrivals)
+			}
+			if len(tr.reqLat) > 0 {
+				tsr.RequestLatencyP50, _ = stats.Percentile(tr.reqLat, 50)
+				tsr.RequestLatencyP99, _ = stats.Percentile(tr.reqLat, 99)
+			}
+			res.Tenants[k] = tsr
+		}
 	}
 	return res, nil
 }
@@ -480,7 +723,8 @@ func RunComparison(cfg ServeConfig) ([]*ServeResult, error) {
 	for _, p := range []ControlPolicy{PolicyDOLBIE, PolicyWRR, PolicyJSQ} {
 		c := cfg
 		c.Policy = p
-		c.Metrics = nil // one shared registry would mix the three runs
+		c.Metrics = nil                                         // one shared registry would mix the three runs
+		c.Tenants = append([]TenantConfig(nil), cfg.Tenants...) // never alias the caller's slice
 		r, err := Serve(c)
 		if err != nil {
 			return nil, fmt.Errorf("dispatch: %s run: %w", p, err)

@@ -1,0 +1,250 @@
+package dispatch
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dolbie/internal/optimum"
+)
+
+// TestServeSingleStreamPinned is the API redesign's acceptance bar:
+// the tenant-first engine with empty Tenants must reproduce the
+// committed single-stream BENCH_serve.json numbers bit for bit — the
+// anonymous stream is the one-tenant special case of the same code, not
+// a compatibility fork. If an intentional engine change moves these,
+// regenerate BENCH_serve.json in the same commit.
+func TestServeSingleStreamPinned(t *testing.T) {
+	res, err := RunComparison(DefaultServeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dolbie, wrr, jsq := res[0], res[1], res[2]
+	pins := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"dolbie arrivals", float64(dolbie.Arrivals), 48069},
+		{"dolbie completed", float64(dolbie.Completed), 47057},
+		{"dolbie shed_count", float64(dolbie.ShedCount), 1003},
+		{"dolbie shed_rate", dolbie.ShedRate, 0.02086583869021615},
+		{"dolbie max p99", dolbie.MaxWorkerLatencyP99, 4.33027699211217},
+		{"dolbie max mean", dolbie.MaxWorkerLatencyMean, 1.7954994148686494},
+		{"dolbie req p50", dolbie.RequestLatencyP50, 0.047533605207803475},
+		{"dolbie req p99", dolbie.RequestLatencyP99, 2.728178110311728},
+		{"dolbie retunes", float64(dolbie.Retunes), 240},
+		{"dolbie bytes/round", dolbie.BytesPerRound, 76},
+		{"wrr max p99", wrr.MaxWorkerLatencyP99, 11.693314704170884},
+		{"jsq max p99", jsq.MaxWorkerLatencyP99, 1.9895531280300238},
+	}
+	for _, p := range pins {
+		if p.got != p.want {
+			t.Errorf("%s = %v, want exactly %v", p.name, p.got, p.want)
+		}
+	}
+	if dolbie.Tenants != nil {
+		t.Errorf("single-stream run exported per-tenant results: %+v", dolbie.Tenants)
+	}
+	// The JSON shape must not grow a tenants key on single-stream runs.
+	b, err := json.Marshal(dolbie)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(b), "tenants") {
+		t.Errorf("single-stream JSON leaked a tenants field: %s", b)
+	}
+}
+
+// TestServeAnonymousMatchesExplicitOneTenant pins the other half of the
+// special-case promise: one explicit tenant inheriting every run-level
+// default produces the identical aggregate result (only the per-tenant
+// breakdown, absent on the anonymous run, differs).
+func TestServeAnonymousMatchesExplicitOneTenant(t *testing.T) {
+	for _, p := range []ControlPolicy{PolicyDOLBIE, PolicyWRR, PolicyJSQ} {
+		cfg := quickServeConfig()
+		cfg.Policy = p
+		anon, err := Serve(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		cfg.Tenants = []TenantConfig{{Name: "only", Weight: 1, Shed: cfg.Shed}}
+		expl, err := Serve(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if len(expl.Tenants) != 1 {
+			t.Fatalf("%s: explicit run has %d tenant results", p, len(expl.Tenants))
+		}
+		ta := expl.Tenants
+		expl.Tenants = nil
+		if !reflect.DeepEqual(anon, expl) {
+			t.Errorf("%s: aggregate results diverge:\nanon:     %+v\nexplicit: %+v", p, anon, expl)
+		}
+		if ta[0].Arrivals != anon.Arrivals || ta[0].Completed != anon.Completed {
+			t.Errorf("%s: tenant slice %+v does not cover the whole run %+v", p, ta[0], anon)
+		}
+	}
+}
+
+// TestServeMultiTenant runs three tenants across the priority classes
+// with mixed objectives and checks the per-tenant accounting: every
+// tenant appears, conservation holds, each DOLBIE tenant retunes once
+// per round, and the lp tenant reports its objective.
+func TestServeMultiTenant(t *testing.T) {
+	cfg := quickServeConfig()
+	cfg.Tenants = []TenantConfig{
+		{Name: "gold", Weight: 2, Priority: PriorityGold},
+		{Name: "silver", Weight: 1, Priority: PrioritySilver, Objective: optimum.Lp(2)},
+		{Name: "bronze", Weight: 1, Priority: PriorityBronze},
+	}
+	res, err := Serve(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tenants) != 3 {
+		t.Fatalf("got %d tenant results", len(res.Tenants))
+	}
+	var arr, completed int64
+	for _, tr := range res.Tenants {
+		if tr.Arrivals == 0 {
+			t.Errorf("tenant %s got no traffic", tr.Name)
+		}
+		if got := tr.Routed + tr.ShedCount + tr.Throttled + tr.Blocked; got != tr.Arrivals {
+			t.Errorf("tenant %s conservation broken: %+v", tr.Name, tr)
+		}
+		if tr.Retunes != int64(cfg.Rounds) {
+			t.Errorf("tenant %s retuned %d times, want %d", tr.Name, tr.Retunes, cfg.Rounds)
+		}
+		arr += tr.Arrivals
+		completed += tr.Completed
+	}
+	if arr != res.Arrivals || completed != res.Completed {
+		t.Errorf("tenant sums diverge from aggregates: arrivals %d/%d completed %d/%d",
+			arr, res.Arrivals, completed, res.Completed)
+	}
+	if res.Tenants[1].Objective != "l2" || res.Tenants[0].Objective != "minmax" {
+		t.Errorf("objectives not reported: %+v", res.Tenants)
+	}
+	// Gold has 2x bronze's weight, so roughly 2x the arrivals.
+	ratio := float64(res.Tenants[0].Arrivals) / float64(res.Tenants[2].Arrivals)
+	if ratio < 1.5 || ratio > 2.5 {
+		t.Errorf("weight shares not respected: gold/bronze arrivals ratio %v", ratio)
+	}
+	// Control-plane traffic scales with the tenant count.
+	if res.BytesPerRound != float64(3*(8*cfg.N+12)) {
+		t.Errorf("bytes/round %v, want %v", res.BytesPerRound, 3*(8*cfg.N+12))
+	}
+	if res.Retunes != int64(3*cfg.Rounds) {
+		t.Errorf("aggregate retunes %d, want %d", res.Retunes, 3*cfg.Rounds)
+	}
+}
+
+// TestServeMultiTenantDeterministic: multi-tenant runs are as
+// reproducible as single-stream ones.
+func TestServeMultiTenantDeterministic(t *testing.T) {
+	cfg := quickServeConfig()
+	cfg.Tenants = DefaultTenants(3)
+	a, err := Serve(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := quickServeConfig()
+	cfg2.Tenants = DefaultTenants(3)
+	b, err := Serve(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("identical multi-tenant runs diverge:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestServeTenantIsolation is the in-tree version of the bench's
+// isolation drill: a 10x spike on a rate-limited bronze tenant must be
+// throttled at the door, shedding bronze strictly before gold and
+// leaving the gold tenant's p99 within 5% of its quiet-neighbour
+// baseline.
+func TestServeTenantIsolation(t *testing.T) {
+	base := DefaultServeConfig()
+	base.Rounds = 120
+	tenants := func(bronzeRate float64) []TenantConfig {
+		return []TenantConfig{
+			{Name: "gold", Priority: PriorityGold, Rate: 120},
+			{Name: "bronze", Priority: PriorityBronze, Rate: bronzeRate, RateLimit: 80},
+		}
+	}
+	quiet := base
+	quiet.Tenants = tenants(80)
+	qres, err := Serve(quiet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spiked := base
+	spiked.Tenants = tenants(800) // 10x the contract
+	sres, err := Serve(spiked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gq, gs := qres.Tenants[0], sres.Tenants[0]
+	bs := sres.Tenants[1]
+	if bs.Throttled == 0 {
+		t.Fatal("spiked bronze was never throttled")
+	}
+	// Bronze sheds strictly before gold: the spiking tenant pays for its
+	// own overload (throttled at the door, then shed at the bronze queue
+	// threshold) while gold's shed rate stays negligible.
+	if gs.Throttled != 0 {
+		t.Errorf("gold throttled without a contract: %+v", gs)
+	}
+	if bs.ShedRate < 0.1 {
+		t.Errorf("spiked bronze shed rate %v implausibly low", bs.ShedRate)
+	}
+	if gs.ShedRate > 0.005 || gs.ShedRate > bs.ShedRate/20 {
+		t.Errorf("gold shed rate %v not negligible next to bronze %v", gs.ShedRate, bs.ShedRate)
+	}
+	// Capacity is provisioned for the quiet scenario in both runs (the
+	// spike is overload, not extra capacity), so gold's latency movement
+	// isolates the neighbour effect. Pinned tolerance: 5%.
+	if gq.RequestLatencyP99 <= 0 {
+		t.Fatalf("no gold baseline latency: %+v", gq)
+	}
+	drift := math.Abs(gs.RequestLatencyP99-gq.RequestLatencyP99) / gq.RequestLatencyP99
+	if drift > 0.05 {
+		t.Errorf("gold p99 moved %.1f%% under bronze spike (%.4fs -> %.4fs), want <= 5%%",
+			100*drift, gq.RequestLatencyP99, gs.RequestLatencyP99)
+	}
+}
+
+func TestServeTenantValidate(t *testing.T) {
+	cfg := quickServeConfig()
+	cfg.Tenants = []TenantConfig{{Name: "starved"}} // no Rate, no Weight
+	if err := cfg.Validate(); err == nil || !strings.Contains(err.Error(), "Rate or Weight") {
+		t.Errorf("starved tenant accepted: %v", err)
+	}
+	cfg.Tenants = []TenantConfig{{Name: "bad", Weight: -1}}
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative weight accepted")
+	}
+	cfg.Tenants = []TenantConfig{{Name: "lp", Weight: 1, Objective: optimum.Lp(0.5)}}
+	if err := cfg.Validate(); err == nil {
+		t.Error("p < 1 objective accepted")
+	}
+}
+
+// TestRunComparisonDoesNotAliasTenants: RunComparison must deep-copy
+// the tenant slice so one policy run can never see another's mutations.
+func TestRunComparisonDoesNotAliasTenants(t *testing.T) {
+	cfg := quickServeConfig()
+	cfg.Rounds = 10
+	cfg.Tenants = DefaultTenants(2)
+	before := append([]TenantConfig(nil), cfg.Tenants...)
+	if _, err := RunComparison(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cfg.Tenants, before) {
+		t.Errorf("RunComparison mutated the caller's tenant slice")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"net/http"
 
 	"dolbie/internal/dispatch"
+	"dolbie/internal/optimum"
 )
 
 // Data-plane types, re-exported from the dispatch subsystem.
@@ -57,6 +58,28 @@ type (
 	// used by Serve; drive a Dispatcher directly with it for custom
 	// load patterns.
 	TrafficGenerator = dispatch.Generator
+	// TenantConfig describes one tenant of a multi-tenant dispatcher or
+	// serving run: its traffic share, priority class, admission rate
+	// contract, backpressure policy, and balancing objective. The zero
+	// value is a valid gold tenant inheriting every run-level default.
+	TenantConfig = dispatch.TenantConfig
+	// PriorityClass is a tenant's service tier (PriorityGold,
+	// PrioritySilver, PriorityBronze); under queue pressure lower
+	// classes shed strictly before higher ones.
+	PriorityClass = dispatch.PriorityClass
+	// TenantTotals is a consistent per-tenant snapshot of a Dispatcher's
+	// counters, satisfying Arrivals == Routed + Shed + Throttled +
+	// Blocked on every snapshot.
+	TenantTotals = dispatch.TenantTotals
+	// TenantServeResult is one tenant's slice of a multi-tenant Serve
+	// run: per-tenant arrivals, outcome split, latency percentiles, and
+	// retune count.
+	TenantServeResult = dispatch.TenantServeResult
+	// Objective selects a tenant's balancing objective: the zero value
+	// is the paper's min-max (makespan); ObjectiveLp(p) selects the
+	// lp-norm family that interpolates between total cost (p = 1) and
+	// makespan fairness (p -> inf).
+	Objective = optimum.Objective
 )
 
 // Re-exported data-plane enum values.
@@ -79,6 +102,31 @@ const (
 	PolicyWRR = dispatch.PolicyWRR
 	// PolicyJSQ joins the shortest queue per request.
 	PolicyJSQ = dispatch.PolicyJSQ
+	// PriorityGold admits up to the full queue capacity (sheds last).
+	PriorityGold = dispatch.PriorityGold
+	// PrioritySilver admits up to 3/4 of the queue capacity.
+	PrioritySilver = dispatch.PrioritySilver
+	// PriorityBronze admits up to 1/2 of the queue capacity (sheds
+	// first).
+	PriorityBronze = dispatch.PriorityBronze
+	// Routed is the verdict outcome for a request enqueued on its
+	// weighted target.
+	Routed = dispatch.Routed
+	// Spilled is the verdict outcome for a request rerouted to the
+	// least-loaded worker with space (ShedSpill).
+	Spilled = dispatch.Spilled
+	// OutcomeShed is the verdict outcome for a request dropped by queue
+	// backpressure (named to avoid colliding with the ShedPolicy
+	// constants).
+	OutcomeShed = dispatch.Shed
+	// Blocked is the verdict outcome for a refused admission the caller
+	// should retry after a completion (ShedBlock).
+	Blocked = dispatch.Blocked
+	// Throttled is the verdict outcome for a request dropped at the door
+	// by its tenant's admission rate contract — distinct from shed so
+	// callers can tell "the system is full" from "this tenant exceeded
+	// its contract".
+	Throttled = dispatch.Throttled
 )
 
 // NewDispatcher constructs a request dispatcher with uniform initial
@@ -117,14 +165,52 @@ func IngestHandler(d *Dispatcher, now func() float64) http.Handler {
 	return dispatch.IngestHandler(d, now)
 }
 
+// DefaultTenants returns a freshly allocated slice of t equal-weight
+// tenants cycling through the priority classes gold, silver, bronze —
+// the multi-tenant counterpart of DefaultServeConfig.
+func DefaultTenants(t int) []TenantConfig { return dispatch.DefaultTenants(t) }
+
+// ObjectiveMinMax returns the paper's min-max (makespan) objective —
+// the zero Objective value.
+func ObjectiveMinMax() Objective { return optimum.MinMax() }
+
+// ObjectiveLp returns the lp-norm balancing objective of order p >= 1;
+// validity is checked by TenantConfig.Validate (and ServeConfig /
+// DispatcherConfig validation), not here.
+func ObjectiveLp(p float64) Objective { return optimum.Lp(p) }
+
 // ParseShedPolicy parses a -shed flag value: "reject", "block",
 // "spill".
+//
+// Deprecated: ShedPolicy implements encoding.TextUnmarshaler; use
+// UnmarshalText or flag.TextVar instead.
 func ParseShedPolicy(s string) (ShedPolicy, error) { return dispatch.ParseShedPolicy(s) }
 
 // ParseRoutePolicy parses a routing policy name: "weighted" (or
 // "wrr"), "jsq".
+//
+// Deprecated: RoutePolicy implements encoding.TextUnmarshaler; use
+// UnmarshalText or flag.TextVar instead.
 func ParseRoutePolicy(s string) (RoutePolicy, error) { return dispatch.ParseRoutePolicy(s) }
 
 // ParseControlPolicy parses a -policy flag value: "dolbie", "wrr" (or
 // "uniform"), "jsq".
+//
+// Deprecated: ControlPolicy implements encoding.TextUnmarshaler; use
+// UnmarshalText or flag.TextVar instead.
 func ParseControlPolicy(s string) (ControlPolicy, error) { return dispatch.ParseControlPolicy(s) }
+
+// ParsePriorityClass parses a priority class name: "gold", "silver",
+// "bronze" (case-insensitive).
+//
+// Deprecated: PriorityClass implements encoding.TextUnmarshaler; use
+// UnmarshalText or flag.TextVar instead.
+func ParsePriorityClass(s string) (PriorityClass, error) { return dispatch.ParsePriorityClass(s) }
+
+// ParseObjective parses an objective name: "minmax" (or "max",
+// "makespan") and "l<p>" (or "lp<p>") for the lp family,
+// case-insensitive.
+//
+// Deprecated: Objective implements encoding.TextUnmarshaler; use
+// UnmarshalText or flag.TextVar instead.
+func ParseObjective(s string) (Objective, error) { return optimum.ParseObjective(s) }
