@@ -12,9 +12,10 @@ build:
 
 # vet also runs the documentation gate and a short fuzz smoke over the
 # surfaces fed by untrusted input: wire-frame decoding (arbitrary bytes
-# off the network) and dispatcher request admission / policy parsing
-# (arbitrary HTTP ingest traffic and operator flags). One invocation per
-# target: -fuzz matches only one.
+# off the network; the seed corpus spans every kind, including the
+# membership frames join/roster-update/aggregate) and dispatcher
+# request admission / policy parsing (arbitrary HTTP ingest traffic and
+# operator flags). One invocation per target: -fuzz matches only one.
 vet: docs
 	$(GO) vet ./...
 	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \
@@ -30,15 +31,16 @@ vet: docs
 docs:
 	$(GO) test -run 'TestExportedDeclarationsAreDocumented|TestPackageCommentsPresent|TestMarkdownLinksResolve' .
 
-# The concurrency-sensitive packages (metrics registry, cluster runtime,
-# wire codecs, request dispatcher) additionally run under the race
-# detector on every default test pass, as does the chaos soak — fault
-# injection plus fail-stop recovery is the most schedule-sensitive path
-# in the repository.
+# The concurrency-sensitive packages (metrics registry, cluster runtime
+# including the elastic membership tests, wire codecs, request
+# dispatcher) additionally run under the race detector on every default
+# test pass, as do the chaos and join-churn soaks — fault injection,
+# fail-stop recovery, and roster churn are the most schedule-sensitive
+# paths in the repository.
 test:
 	$(GO) test ./...
 	$(GO) test -race ./internal/metrics ./internal/cluster ./internal/wire ./internal/dispatch
-	$(GO) test -race -run TestSoakChaosFullyDistributed .
+	$(GO) test -race -run 'TestSoakChaosFullyDistributed|TestSoakJoinChurnElastic' .
 
 race:
 	$(GO) test -race ./...
@@ -61,15 +63,18 @@ cover:
 # metering path's allocation overhead), BENCH_chaos.json (fail-stop
 # recovery under the deterministic chaos transport; reproduces bit for
 # bit), BENCH_serve.json (data-plane dispatch: DOLBIE's closed loop
-# vs uniform WRR vs JSQ on p99 max-worker latency), and
-# BENCH_dispatch.json (admission path: single-lock reference vs the
-# sharded dispatcher at 1/4/8 shards).
+# vs uniform WRR vs JSQ on p99 max-worker latency), BENCH_dispatch.json
+# (admission path: single-lock reference vs the sharded dispatcher at
+# 1/4/8 shards), and BENCH_scale.json (elastic deployments at N up to
+# 4096: per-worker traffic O(N) flat vs O(1) under the aggregation
+# tree, with bit-identical consensus).
 bench:
 	$(GO) test -bench=. -benchmem ./...
 	$(GO) run ./cmd/dolbie-bench -wire -out BENCH_wire.json
 	$(GO) run ./cmd/dolbie-bench -chaos -out BENCH_chaos.json
 	$(GO) run ./cmd/dolbie-bench -serve -out BENCH_serve.json
 	$(GO) run ./cmd/dolbie-bench -dispatch -out BENCH_dispatch.json
+	$(GO) run ./cmd/dolbie-bench -scale -out BENCH_scale.json
 
 # Regenerate every paper figure/table at paper scale (N=30, 100
 # realizations) as text; add -csv out/ for CSV export.

@@ -89,6 +89,37 @@ type (
 	// ResilientPeerResult summarizes a fail-stop-tolerant peer run of
 	// Algorithm 2, including the evictions it applied.
 	ResilientPeerResult = cluster.ResilientPeerResult
+	// Topology selects the per-round communication pattern of an elastic
+	// Algorithm 2 deployment: TopologyFlat is the paper's all-to-all
+	// exchange (O(N^2) messages per round), TopologyTree aggregates the
+	// round consensus up and down a deterministic k-ary tree (~3N
+	// messages over O(log N) hops) with bit-identical results. The type
+	// implements encoding.TextMarshaler/TextUnmarshaler ("flat", "tree")
+	// so it can back a flag.TextVar flag.
+	Topology = cluster.Topology
+	// Roster is a peer's versioned view of cluster membership under
+	// elastic deployments: the live set, every identity ever admitted
+	// (evicted ids are never readmitted), and the ordered event log.
+	Roster = cluster.Roster
+	// RosterEvent records one membership change (join or eviction) with
+	// the roster version it produced and the round it took effect.
+	RosterEvent = cluster.RosterEvent
+	// ElasticPeerConfig parameterizes RunElasticPeer and JoinElasticPeer:
+	// collection deadline, minimum survivor count, aggregation topology
+	// and fanout, join admission rate, and metrics registry.
+	ElasticPeerConfig = cluster.ElasticPeerConfig
+	// ElasticPeerResult extends ResilientPeerResult with membership
+	// outcomes: the rounds joiners were admitted, the final roster
+	// version, the ordered roster event log, and the aggregation tree
+	// depth.
+	ElasticPeerResult = cluster.ElasticPeerResult
+	// ElasticJoin schedules one joiner in an ElasticDeployment: its id,
+	// contact member, arrival round, and cost source.
+	ElasticJoin = cluster.ElasticJoin
+	// ElasticDeploymentConfig wires a complete elastic Algorithm 2
+	// deployment: incumbent start state, total rounds, per-peer cost
+	// sources, scheduled joiners, and the shared peer configuration.
+	ElasticDeploymentConfig = cluster.ElasticDeploymentConfig
 )
 
 // Fault-tolerance sentinel errors, re-exported for errors.Is checks.
@@ -99,6 +130,23 @@ var (
 	// ErrTooFewPeers aborts a resilient peer when evictions push the
 	// survivor count below ResilientPeerConfig.MinPeers.
 	ErrTooFewPeers = cluster.ErrTooFewPeers
+	// ErrJoinDenied is returned by JoinElasticPeer when the coordinator
+	// rejects the join — an evicted identity can never rejoin.
+	ErrJoinDenied = cluster.ErrJoinDenied
+	// ErrJoinTimeout is returned by JoinElasticPeer when no admission
+	// decision arrives within ElasticPeerConfig.JoinTimeout.
+	ErrJoinTimeout = cluster.ErrJoinTimeout
+)
+
+// Aggregation topologies for elastic deployments (see Topology).
+const (
+	// TopologyFlat is the paper's all-to-all share exchange.
+	TopologyFlat = cluster.TopologyFlat
+	// TopologyTree is the hierarchical tree aggregation overlay.
+	TopologyTree = cluster.TopologyTree
+	// DefaultFanout is the aggregation tree fanout used when
+	// ElasticPeerConfig.Fanout is zero.
+	DefaultFanout = cluster.DefaultFanout
 )
 
 // Built-in wire codecs.
@@ -252,6 +300,40 @@ func RunResilientPeer(ctx context.Context, tr Transport, id int, x0 []float64, r
 func ResilientFullyDistributedDeployment(ctx context.Context, transports []Transport, x0 []float64, rounds int, sources []CostSource, rc ResilientPeerConfig, opts ...Option) ([]ResilientPeerResult, error) {
 	return cluster.ResilientFullyDistributedDeployment(ctx, transports, x0, rounds, sources, rc, opts...)
 }
+
+// RunElasticPeer executes incumbent peer id of an elastic Algorithm 2
+// deployment: fail-stop eviction as in RunResilientPeer, plus versioned
+// membership (joins admitted by the coordinator, the lowest live id)
+// and, under TopologyTree, hierarchical round aggregation that reduces
+// the per-round message cost from O(N^2) to ~3N with bit-identical
+// consensus. With a flat topology and no joiners it is message-for-
+// message identical to RunResilientPeer.
+func RunElasticPeer(ctx context.Context, tr Transport, id int, x0 []float64, rounds int, src CostSource, ec ElasticPeerConfig, opts ...Option) (ElasticPeerResult, error) {
+	return cluster.RunElasticPeer(ctx, tr, id, x0, rounds, src, ec, opts...)
+}
+
+// JoinElasticPeer runs a joiner: it sends a join request to the contact
+// member, waits for the coordinator's admission grant (ErrJoinDenied or
+// ErrJoinTimeout otherwise), adopts the granted roster snapshot, and
+// participates like any incumbent from the granted round to the end of
+// the deployment.
+func JoinElasticPeer(ctx context.Context, tr Transport, id, contact, rounds int, src CostSource, ec ElasticPeerConfig, opts ...Option) (ElasticPeerResult, error) {
+	return cluster.JoinElasticPeer(ctx, tr, id, contact, rounds, src, ec, opts...)
+}
+
+// ElasticDeployment runs a complete elastic Algorithm 2 deployment:
+// incumbent i on transports[i] and each scheduled joiner on its own
+// transport, every node in its own goroutine. Joiner k must use id
+// len(X0)+k. Crashed and self-evicted peers are reported in their
+// results while the survivors keep balancing.
+func ElasticDeployment(ctx context.Context, transports []Transport, dc ElasticDeploymentConfig, opts ...Option) ([]ElasticPeerResult, error) {
+	return cluster.ElasticDeployment(ctx, transports, dc, opts...)
+}
+
+// NewRoster builds a version-zero roster over the given initial member
+// set (elastic deployments derive later versions from join and eviction
+// events).
+func NewRoster(members []int) *Roster { return cluster.NewRoster(members) }
 
 // Trajectory reassembles per-round decision vectors from a set of
 // worker or peer results (the Played series of each node).

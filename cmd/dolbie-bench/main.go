@@ -12,6 +12,7 @@
 //	dolbie-bench -chaos                   # fault-tolerance benchmark -> BENCH_chaos.json
 //	dolbie-bench -serve                   # data-plane benchmark -> BENCH_serve.json
 //	dolbie-bench -dispatch                # admission-path benchmark -> BENCH_dispatch.json
+//	dolbie-bench -scale                   # scaling benchmark -> BENCH_scale.json
 //
 // With -metrics-addr the process serves its runtime gauges (goroutines,
 // heap, GC) and /debug/pprof while the experiments run — useful for
@@ -38,6 +39,14 @@
 // noisy-neighbour isolation drill (a rate-limited bronze tenant spiking
 // to 10x its contract must not move the gold tenant's p99 by more than
 // 5%, with bronze shedding strictly before gold).
+//
+// The -scale mode sweeps elastic Algorithm 2 deployments over the
+// in-memory network at N in {8, 64, 512, 4096}, flat all-to-all
+// aggregation against the hierarchical tree overlay, and writes rounds
+// per second, per-worker traffic, aggregation depth, and the final
+// min-max gap against the offline optimum to -out (default
+// BENCH_scale.json). Per-worker bytes per round stay O(1) under the
+// tree overlay while growing O(N) flat.
 //
 // The -dispatch mode times the admission hot path end to end — the
 // pre-shard single-lock reference against the sharded dispatcher at 1,
@@ -83,6 +92,7 @@ func run() error {
 		chaosBench   = flag.Bool("chaos", false, "run the fault-tolerance benchmark (resilient deployments under the chaos transport) instead of a figure")
 		serveBench   = flag.Bool("serve", false, "run the data-plane serving benchmark (DOLBIE vs WRR vs JSQ dispatch) instead of a figure")
 		dispBench    = flag.Bool("dispatch", false, "run the admission-path benchmark (single-lock vs sharded dispatcher) instead of a figure")
+		scaleBench   = flag.Bool("scale", false, "run the scaling benchmark (flat vs tree aggregation across deployment sizes) instead of a figure")
 		codecName    = flag.String("codec", "all", "wire codec to benchmark in -wire mode: all, or a registry name")
 		outPath      = flag.String("out", "", "output file for the -wire / -chaos benchmark report (default BENCH_wire.json / BENCH_chaos.json)")
 	)
@@ -115,6 +125,13 @@ func run() error {
 			out = "BENCH_dispatch.json"
 		}
 		return runDispatchBench(out, os.Stdout)
+	}
+	if *scaleBench {
+		out := *outPath
+		if out == "" {
+			out = "BENCH_scale.json"
+		}
+		return runScaleBench(out, os.Stdout)
 	}
 
 	if *metricsAddr != "" {

@@ -17,7 +17,7 @@
 //	for t := 0; t < rounds; t++ {
 //	    x := b.Assignment()              // play x_t
 //	    costs, funcs := observe(x)       // system reveals f_{i,t}
-//	    err := b.Update(dolbie.Observation{Costs: costs, Funcs: funcs})
+//	    _, err := b.Step(dolbie.Observation{Costs: costs, Funcs: funcs})
 //	    if err != nil { ... }
 //	}
 //

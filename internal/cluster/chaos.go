@@ -468,6 +468,12 @@ func chaosRound(env Envelope) (int, bool) {
 		return m.Round, true
 	case core.PeerEvict:
 		return m.Round, true
+	case core.JoinRequest:
+		return m.Round, true
+	case core.RosterUpdate:
+		return m.Round, true
+	case core.PeerAggregate:
+		return m.Round, true
 	case wire.ReliableFrame:
 		if m.Data != nil {
 			return chaosRound(*m.Data)

@@ -372,3 +372,95 @@ func TestResilientPeerAsymmetricPartition(t *testing.T) {
 	}
 	assertReabsorbed(t, res, survivors, detection, rounds)
 }
+
+// TestResilientPeerSymmetricDeadlineRace pins DESIGN.md known
+// limitation 1 — the symmetric-deadline race — rather than the remedy
+// the test above exercises. An asymmetric partition of the 0 -> 1 link
+// genuinely cuts off only peer 1, but the round barrier stalls every
+// peer within one round of it; with the stagger inverted (the innocent
+// peer 0 holds the short deadline) the first deadline to fire evicts
+// whatever its owner happens to be missing, and the deployment splits
+// deterministically: 0 wrongly evicts the LIVING peer 1, 0's notice to
+// 1 dies on the same severed link that caused the stall, and 1 — never
+// told to stop — counter-evicts 0 and 2 by its own later deadlines and
+// finishes all rounds in a disjoint singleton deployment. Both halves
+// believe they are the cluster. This divergence is exactly why the
+// operations guidance insists on staggering deadlines toward the
+// genuine detector (the test above), and why the elastic tree overlay
+// uses child-first deadline eviction.
+func TestResilientPeerSymmetricDeadlineRace(t *testing.T) {
+	const n, rounds = 3, 16
+	chaos := NewChaos(ChaosConfig{
+		Seed:       11,
+		Delay:      10 * time.Millisecond,
+		Partitions: []ChaosPartition{{From: 0, To: 1, FromRound: 5, ToRound: 7}},
+	})
+	net := NewMemNet()
+	ts := make([]Transport, n)
+	for i := range ts {
+		ts[i] = chaos.Wrap(i, net.Node(i))
+	}
+	defer closeAll(t, ts)
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	// Inverted stagger: the cut-off peer 1 — the genuine detector — gets
+	// the LONG deadline, so the innocent peer 0 fires first. The long
+	// deadlines are generous enough that peers 0 and 2 finish their run
+	// before peer 1's counter-notices go out, keeping the split (and not
+	// a notice race) the measured outcome.
+	timeouts := []time.Duration{250 * time.Millisecond, 3 * time.Second, 3 * time.Second}
+	x0 := simplex.Uniform(n)
+	res := make([]ResilientPeerResult, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rc := ResilientPeerConfig{RoundTimeout: timeouts[i]}
+			res[i], errs[i] = RunResilientPeer(ctx, ts[i], i, x0, rounds, partitionSource(i), rc)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("peer %d: %v", i, err)
+		}
+	}
+	// The majority half: 0 and 2 evicted the living peer 1 and finished
+	// together, convinced the cluster is {0, 2}.
+	for _, i := range []int{0, 2} {
+		if res[i].SelfEvicted {
+			t.Fatalf("peer %d self-evicted: %+v", i, res[i])
+		}
+		if res[i].Rounds != rounds {
+			t.Fatalf("peer %d completed %d rounds, want %d", i, res[i].Rounds, rounds)
+		}
+		d := res[i].EvictionRound[1]
+		if d < 5 || d > 7 {
+			t.Fatalf("peer %d evicted peer 1 in round %d, want within the partition window [5, 7]", i, d)
+		}
+		if got := res[i].Survivors; len(got) != 2 || got[0] != 0 || got[1] != 2 {
+			t.Fatalf("peer %d survivor view = %v, want [0 2]", i, got)
+		}
+	}
+	// The minority half: the living, innocent peer 1 never received the
+	// eviction notice (it died on the severed 0 -> 1 link), so instead
+	// of fail-stopping it counter-evicted everyone it was missing and
+	// finished all rounds alone — a genuine split-brain.
+	if res[1].SelfEvicted {
+		t.Fatalf("peer 1 should never learn of its eviction (the notice crossed the severed link): %+v", res[1])
+	}
+	if res[1].Rounds != rounds {
+		t.Fatalf("peer 1 completed %d rounds, want %d (solo)", res[1].Rounds, rounds)
+	}
+	if got := res[1].Survivors; len(got) != 1 || got[0] != 1 {
+		t.Fatalf("peer 1 survivor view = %v, want [1]", got)
+	}
+	if res[1].EvictionRound[0] == 0 || res[1].EvictionRound[2] == 0 {
+		t.Fatalf("peer 1 should have counter-evicted 0 and 2: %+v", res[1].EvictionRound)
+	}
+	if got := chaos.Stats().PartitionDrops; got == 0 {
+		t.Fatal("partition fault class never fired")
+	}
+}

@@ -1,0 +1,144 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file generalizes the eviction-only peer bookkeeping of the
+// fail-stop extension into a full membership module: a versioned roster
+// that supports both evictions (fail-stop departures) and admissions
+// (elastic joins), with a per-peer event log that makes churn auditable
+// and lets tests assert version monotonicity and cross-run determinism.
+//
+// The roster is a local view — there is no membership service. Peers
+// converge the same way evictions already converge (union of broadcast
+// notices), extended with coordinator-announced admissions: the lowest
+// live id announces each join with an explicit application round two
+// rounds in the future, and every member applies it at that round
+// boundary, so the simplex renormalization of core.PeerState.Admit
+// happens at the same round on every peer.
+
+// RosterEvent records one applied membership change. Join reports
+// whether the change was an admission (true) or an eviction (false);
+// Round is the round the applying peer was executing; Version is the
+// roster version after applying.
+type RosterEvent struct {
+	// Version is the roster version after this event was applied.
+	Version uint64
+	// Round is the local round at application time.
+	Round int
+	// Join distinguishes admissions (true) from evictions (false).
+	Join bool
+	// Peer is the id that joined or was evicted.
+	Peer int
+}
+
+// Roster is one peer's versioned view of the elastic membership. The
+// zero value is not usable; construct with NewRoster or NewRosterAt.
+// Versions increase by at least one per applied change and never
+// decrease; between churn events all live peers converge to the same
+// member set (evictions by union of notices, admissions by applying the
+// coordinator's announcement at its stated round).
+type Roster struct {
+	version uint64
+	alive   map[int]bool
+	known   map[int]bool // ever-seen ids; evicted ids are never readmitted
+	events  []RosterEvent
+}
+
+// NewRoster builds a version-0 roster over the given initial members.
+func NewRoster(members []int) *Roster {
+	return NewRosterAt(members, 0)
+}
+
+// NewRosterAt builds a roster over the given members starting at the
+// given version. Joiners use it to adopt the coordinator's snapshot at
+// the announced version.
+func NewRosterAt(members []int, version uint64) *Roster {
+	r := &Roster{
+		version: version,
+		alive:   make(map[int]bool, len(members)),
+		known:   make(map[int]bool, len(members)),
+	}
+	for _, id := range members {
+		r.alive[id] = true
+		r.known[id] = true
+	}
+	return r
+}
+
+// Version returns the current roster version.
+func (r *Roster) Version() uint64 { return r.version }
+
+// Size returns the number of live members.
+func (r *Roster) Size() int { return len(r.alive) }
+
+// Has reports whether id is a live member.
+func (r *Roster) Has(id int) bool { return r.alive[id] }
+
+// Knows reports whether id has ever been a member (live or evicted).
+// Known ids are never readmitted, which keeps the fail-stop model
+// sound: an evicted peer's frozen workload was already absorbed.
+func (r *Roster) Knows(id int) bool { return r.known[id] }
+
+// Members returns the live member ids in ascending order. This is the
+// canonical order every derived structure uses (broadcast order, the
+// aggregation tree layout), so all peers with the same view derive the
+// same topology.
+func (r *Roster) Members() []int {
+	ids := make([]int, 0, len(r.alive))
+	for id := range r.alive {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// Coordinator returns the membership coordinator under this view: the
+// lowest live id (which is also the root of the aggregation tree, so
+// join announcements and down-phase consensus traverse the same FIFO
+// links). It returns -1 on an empty roster.
+func (r *Roster) Coordinator() int {
+	c := -1
+	for id := range r.alive {
+		if c < 0 || id < c {
+			c = id
+		}
+	}
+	return c
+}
+
+// ApplyJoin admits id at the given round. The announced version comes
+// from the coordinator's RosterUpdate; the local version advances to
+// max(local+1, announced) so versions stay monotone on every peer even
+// when concurrent evictions were applied in different orders.
+func (r *Roster) ApplyJoin(id, round int, version uint64) error {
+	if r.known[id] {
+		return fmt.Errorf("cluster: roster already knows peer %d", id)
+	}
+	r.alive[id] = true
+	r.known[id] = true
+	if version <= r.version {
+		version = r.version + 1
+	}
+	r.version = version
+	r.events = append(r.events, RosterEvent{Version: r.version, Round: round, Join: true, Peer: id})
+	return nil
+}
+
+// ApplyEvict removes id at the given round, bumping the version. It
+// reports whether id was live (a duplicate eviction is a no-op).
+func (r *Roster) ApplyEvict(id, round int) bool {
+	if !r.alive[id] {
+		return false
+	}
+	delete(r.alive, id)
+	r.version++
+	r.events = append(r.events, RosterEvent{Version: r.version, Round: round, Join: false, Peer: id})
+	return true
+}
+
+// Events returns the applied membership changes in application order.
+// The slice aliases internal state; callers must not mutate it.
+func (r *Roster) Events() []RosterEvent { return r.events }

@@ -27,7 +27,8 @@ import (
 type Kind = wire.Kind
 
 // The six message kinds of the two DOLBIE protocols, plus the
-// fail-stop extension's eviction notice.
+// fail-stop extension's eviction notice and the elastic-membership
+// extension's join, roster-update, and tree-aggregation messages.
 const (
 	KindCost         = wire.KindCost         // core.CostReport (worker -> master)
 	KindCoordinate   = wire.KindCoordinate   // core.Coordinate (master -> all workers)
@@ -36,6 +37,9 @@ const (
 	KindShare        = wire.KindShare        // core.PeerShare (peer -> all peers)
 	KindPeerDecision = wire.KindPeerDecision // core.PeerDecision (peer -> straggler)
 	KindEvict        = wire.KindEvict        // core.PeerEvict (peer -> all peers)
+	KindJoin         = wire.KindJoin         // core.JoinRequest (joiner -> any member)
+	KindRosterUpdate = wire.KindRosterUpdate // core.RosterUpdate (coordinator -> members + joiner)
+	KindAggregate    = wire.KindAggregate    // core.PeerAggregate (tree child <-> parent)
 )
 
 // Envelope is the wire unit: a typed, routed protocol message. It
@@ -78,4 +82,16 @@ func peerDecisionEnvelope(d core.PeerDecision) Envelope {
 
 func evictEnvelope(to int, e core.PeerEvict) Envelope {
 	return NewEnvelope(KindEvict, e.From, to, e)
+}
+
+func joinEnvelope(to int, j core.JoinRequest) Envelope {
+	return NewEnvelope(KindJoin, j.From, to, j)
+}
+
+func rosterUpdateEnvelope(to int, u core.RosterUpdate) Envelope {
+	return NewEnvelope(KindRosterUpdate, u.From, to, u)
+}
+
+func aggregateEnvelope(to int, a core.PeerAggregate) Envelope {
+	return NewEnvelope(KindAggregate, a.From, to, a)
 }

@@ -42,6 +42,20 @@ const (
 	// wrapper, labeled by fault class (drop, duplicate, reorder,
 	// partition, crash) and node.
 	MetricChaosFaults = "dolbie_cluster_chaos_faults_total"
+	// MetricRosterSize gauges each peer's current view of the live
+	// roster (elastic membership), labeled by node.
+	MetricRosterSize = "dolbie_cluster_roster_size"
+	// MetricRosterVersion gauges each peer's applied roster version,
+	// labeled by node. All peers converge to the same version between
+	// churn events; persistent divergence indicates a membership split.
+	MetricRosterVersion = "dolbie_cluster_roster_version"
+	// MetricRosterJoins counts admissions applied by elastic peers,
+	// labeled by node (like evictions, each join is counted once per
+	// peer that applies it).
+	MetricRosterJoins = "dolbie_cluster_roster_joins_total"
+	// MetricRosterAggDepth gauges the depth of the hierarchical
+	// aggregation tree (0 in flat all-to-all mode), labeled by node.
+	MetricRosterAggDepth = "dolbie_cluster_roster_aggregation_depth"
 )
 
 // netMetrics is the per-node instrument set behind an instrumented

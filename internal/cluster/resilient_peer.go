@@ -90,254 +90,16 @@ var ErrTooFewPeers = errors.New("cluster: too few live peers")
 // its own eviction, and reports — rather than fails on — the death of
 // its own transport.
 func RunResilientPeer(ctx context.Context, tr Transport, id int, x0 []float64, rounds int, src CostSource, rc ResilientPeerConfig, opts ...core.Option) (ResilientPeerResult, error) {
-	if rounds <= 0 {
-		return ResilientPeerResult{}, errors.New("cluster: rounds must be positive")
-	}
-	if src == nil {
-		return ResilientPeerResult{}, errors.New("cluster: nil cost source")
-	}
-	if rc.RoundTimeout <= 0 {
-		return ResilientPeerResult{}, errors.New("cluster: RoundTimeout must be positive")
-	}
-	if rc.MinPeers <= 0 {
-		rc.MinPeers = 1
-	}
-	if rc.Metrics != nil {
-		opts = append(opts, core.WithMetrics(rc.Metrics))
-	}
-	meter := NewInstrumentedMeter(tr, rc.Metrics, fmt.Sprintf("peer-%d", id))
-	p, err := core.NewPeer(id, x0, opts...)
-	if err != nil {
-		return ResilientPeerResult{}, err
-	}
-	n := len(x0)
-	res := ResilientPeerResult{
-		ID:            id,
-		Played:        make([]float64, 0, rounds),
-		Costs:         make([]float64, 0, rounds),
-		EvictionRound: make(map[int]int),
-	}
-	var timeouts, evictions *metrics.Counter
-	if rc.Metrics != nil {
-		timeouts = rc.Metrics.Counter(MetricRoundTimeouts, "Resilient-master collection phases that hit their deadline.")
-		evictions = rc.Metrics.Counter(MetricPeersEvicted, "Fail-stop evictions applied by resilient fully-distributed peers.")
-	}
-	finalize := func() ResilientPeerResult {
-		res.FinalX = p.X()
-		res.FinalLocalAlpha = p.LocalAlpha()
-		res.Survivors = p.Survivors()
-		res.Traffic = meter.Stats()
-		return res
-	}
-	// ownDeath distinguishes "my transport is gone" (a reportable
-	// outcome under the fail-stop model) from peer-directed send
-	// failures (a crash signal about the target).
-	ownDeath := func(err error) bool {
-		return errors.Is(err, ErrChaosCrashed) || errors.Is(err, ErrClosed)
-	}
-	// evictPeer applies one eviction and, when broadcast is set (own
-	// detection rather than a received notice), tells every other peer —
-	// including the victim, so a partitioned-but-living peer learns it
-	// must stop. Notice sends are best-effort: truly dead receivers are
-	// caught by deadlines, not by send errors.
-	evictPeer := func(target int, broadcast bool) ([]core.PeerOutput, error) {
-		if !p.Alive(target) {
-			return nil, nil
-		}
-		// Record the round before applying the eviction: retracting the
-		// victim's missing message can complete the current collection
-		// and advance the peer to the next round.
-		round := p.Round()
-		outs, err := p.Evict(target)
-		if err != nil {
-			return nil, err
-		}
-		res.Evicted = append(res.Evicted, target)
-		res.EvictionRound[target] = round
-		if evictions != nil {
-			evictions.Inc()
-		}
-		if broadcast {
-			note := core.PeerEvict{Round: round, From: id, Evicted: target}
-			for j := 0; j < n; j++ {
-				if j == id || (!p.Alive(j) && j != target) {
-					continue
-				}
-				//nolint:errcheck // best-effort; survivors also detect by deadline
-				meter.Send(ctx, j, evictEnvelope(j, note))
-			}
-		}
-		return outs, nil
-	}
-	// dispatch transmits a batch of peer outputs to the current
-	// survivors; a send failure to a live target is itself a fail-stop
-	// crash signal and converts into an eviction (whose unlocked outputs
-	// join the queue).
-	dispatch := func(outs []core.PeerOutput) (bool, error) {
-		done := false
-		queue := outs
-		for len(queue) > 0 {
-			o := queue[0]
-			queue = queue[1:]
-			var failed []int
-			switch {
-			case o.Share != nil:
-				for j := 0; j < n; j++ {
-					if j == id || !p.Alive(j) {
-						continue
-					}
-					if _, err := meter.Send(ctx, j, shareEnvelope(j, *o.Share)); err != nil {
-						if ctx.Err() != nil || ownDeath(err) {
-							return false, err
-						}
-						failed = append(failed, j)
-					}
-				}
-			case o.Decision != nil:
-				if p.Alive(o.Decision.To) {
-					if _, err := meter.Send(ctx, o.Decision.To, peerDecisionEnvelope(*o.Decision)); err != nil {
-						if ctx.Err() != nil || ownDeath(err) {
-							return false, err
-						}
-						failed = append(failed, o.Decision.To)
-					}
-				}
-			case o.Done:
-				done = true
-			}
-			for _, j := range failed {
-				more, err := evictPeer(j, true)
-				if err != nil {
-					return false, err
-				}
-				queue = append(queue, more...)
-			}
-		}
-		return done, nil
-	}
-
-	for r := 1; r <= rounds; r++ {
-		x := p.Play()
-		cost, f, err := src.Observe(r, x)
-		if err != nil {
-			return finalize(), fmt.Errorf("cluster: peer %d observe round %d: %w", id, r, err)
-		}
-		outs, err := p.Observe(cost, f)
-		if err != nil {
-			return finalize(), err
-		}
-		res.Played = append(res.Played, x)
-		res.Costs = append(res.Costs, cost)
-		done, err := dispatch(outs)
-		if err != nil {
-			if ctx.Err() == nil && ownDeath(err) {
-				res.Crashed = true
-				return finalize(), nil
-			}
-			return finalize(), fmt.Errorf("cluster: peer %d round %d: %w", id, r, err)
-		}
-		deadline := time.Now().Add(rc.RoundTimeout)
-		for !done {
-			if p.AliveCount() < rc.MinPeers {
-				return finalize(), fmt.Errorf("%w: %d alive, need %d", ErrTooFewPeers, p.AliveCount(), rc.MinPeers)
-			}
-			phaseCtx, cancel := context.WithDeadline(ctx, deadline)
-			env, _, err := meter.Recv(phaseCtx)
-			cancel()
-			if err != nil {
-				if errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
-					// Progress deadline expired: every peer still missing
-					// from the current collection is declared crashed.
-					missing := p.Missing()
-					if timeouts != nil && len(missing) > 0 {
-						timeouts.Inc()
-					}
-					var unlocked []core.PeerOutput
-					for _, m := range missing {
-						more, err := evictPeer(m, true)
-						if err != nil {
-							return finalize(), err
-						}
-						unlocked = append(unlocked, more...)
-					}
-					if done, err = dispatch(unlocked); err != nil {
-						if ctx.Err() == nil && ownDeath(err) {
-							res.Crashed = true
-							return finalize(), nil
-						}
-						return finalize(), fmt.Errorf("cluster: peer %d round %d: %w", id, r, err)
-					}
-					deadline = time.Now().Add(rc.RoundTimeout)
-					continue
-				}
-				if ctx.Err() != nil {
-					return finalize(), fmt.Errorf("cluster: peer %d recv round %d: %w", id, r, err)
-				}
-				// The transport itself died (e.g. chaos-injected crash).
-				res.Crashed = true
-				return finalize(), nil
-			}
-			var outs []core.PeerOutput
-			accepted := true
-			switch env.Kind {
-			case KindShare:
-				var s core.PeerShare
-				if err := env.Decode(&s); err != nil {
-					return finalize(), err
-				}
-				if s.Round < p.Round() {
-					accepted = false // stale: the sender's view lagged ours
-					break
-				}
-				if outs, err = p.HandleShare(s); err != nil {
-					return finalize(), fmt.Errorf("cluster: peer %d: %w", id, err)
-				}
-			case KindPeerDecision:
-				var d core.PeerDecision
-				if err := env.Decode(&d); err != nil {
-					return finalize(), err
-				}
-				if d.Round < p.Round() || d.To != id {
-					// Stale, or routed under a diverged straggler view that
-					// an in-flight eviction is about to reconcile.
-					accepted = false
-					break
-				}
-				if outs, err = p.HandleDecision(d); err != nil {
-					return finalize(), fmt.Errorf("cluster: peer %d: %w", id, err)
-				}
-			case KindEvict:
-				var e core.PeerEvict
-				if err := env.Decode(&e); err != nil {
-					return finalize(), err
-				}
-				if e.Evicted == id {
-					// A survivor declared us crashed: fail-stop demands we
-					// actually stop, even though we are alive (the typical
-					// cause is an asymmetric partition).
-					res.SelfEvicted = true
-					return finalize(), nil
-				}
-				if outs, err = evictPeer(e.Evicted, false); err != nil {
-					return finalize(), err
-				}
-			default:
-				accepted = false
-			}
-			if accepted {
-				deadline = time.Now().Add(rc.RoundTimeout)
-			}
-			if done, err = dispatch(outs); err != nil {
-				if ctx.Err() == nil && ownDeath(err) {
-					res.Crashed = true
-					return finalize(), nil
-				}
-				return finalize(), fmt.Errorf("cluster: peer %d round %d: %w", id, r, err)
-			}
-		}
-		res.Rounds = r
-	}
-	return finalize(), nil
+	// The fail-stop runtime is the flat, no-join degenerate case of the
+	// elastic membership runtime (see elastic.go): same deadline
+	// eviction, same union rule, same message-for-message behavior.
+	er, err := RunElasticPeer(ctx, tr, id, x0, rounds, src, ElasticPeerConfig{
+		RoundTimeout: rc.RoundTimeout,
+		MinPeers:     rc.MinPeers,
+		Metrics:      rc.Metrics,
+		Topology:     TopologyFlat,
+	}, opts...)
+	return er.resilient(), err
 }
 
 // ResilientFullyDistributedDeployment runs a complete fail-stop

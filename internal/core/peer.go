@@ -248,6 +248,122 @@ func (p *PeerState) Evict(id int) ([]PeerOutput, error) {
 	return nil, nil
 }
 
+// Admit adds peer id to the deployment with the given initial workload
+// weight in (0, 1) — the symmetric counterpart of Evict, used by the
+// elastic-membership extension. The caller (the membership runner)
+// invokes it on every incumbent at the agreed roster-apply round
+// boundary, so the survivor consensus stays over an identical view.
+// This peer rescales its own share x *= 1-weight; with every incumbent
+// doing the same and the joiner starting at x = weight, the deployment
+// re-enters the simplex exactly (the inverse of the eviction
+// reabsorption rule). Ids are never reused: admitting an id that is
+// alive, or one that was previously evicted, is an error, as is a call
+// outside the round boundary (mid-collection the share and decision
+// targets would change under the consensus).
+func (p *PeerState) Admit(id int, weight float64) error {
+	if p.phase != peerPlay {
+		return fmt.Errorf("core: peer %d: admit of %d mid-round %d", p.id, id, p.round)
+	}
+	if id < 0 {
+		return fmt.Errorf("core: peer %d: admit negative id %d", p.id, id)
+	}
+	if !(weight > 0 && weight < 1) {
+		return fmt.Errorf("core: peer %d: admit weight %v outside (0, 1)", p.id, weight)
+	}
+	if id < p.n {
+		if p.alive[id] {
+			return fmt.Errorf("core: peer %d: admit of live peer %d", p.id, id)
+		}
+		return fmt.Errorf("core: peer %d: admit would reuse evicted id %d", p.id, id)
+	}
+	p.grow(id + 1)
+	p.alive[id] = true
+	p.aliveCount++
+	p.x *= 1 - weight
+	return nil
+}
+
+// grow extends the per-peer state arrays to capacity n (new slots dead).
+func (p *PeerState) grow(n int) {
+	if n <= p.n {
+		return
+	}
+	p.alive = append(p.alive, make([]bool, n-p.n)...)
+	p.costs = append(p.costs, make([]float64, n-p.n)...)
+	p.alphas = append(p.alphas, make([]float64, n-p.n)...)
+	p.renorms = append(p.renorms, make([]float64, n-p.n)...)
+	p.shareSeen = append(p.shareSeen, make([]bool, n-p.n)...)
+	p.decSeen = append(p.decSeen, make([]bool, n-p.n)...)
+	p.decVals = append(p.decVals, make([]float64, n-p.n)...)
+	p.n = n
+}
+
+// NewJoinedPeer constructs the state machine of a peer admitted into a
+// running deployment: members is the roster snapshot from the
+// coordinator's RosterUpdate (it must contain id), weight the joiner's
+// initial simplex share (every incumbent scales by 1-weight via Admit),
+// alpha the coordinator's local step size at admission (keeping the
+// min-alpha consensus non-increasing), and round the agreed apply round
+// at which the joiner begins playing.
+func NewJoinedPeer(id int, members []int, weight, alpha float64, round int, opts ...Option) (*PeerState, error) {
+	if !(weight > 0 && weight < 1) {
+		return nil, fmt.Errorf("core: joined peer %d: weight %v outside (0, 1)", id, weight)
+	}
+	if alpha <= 0 {
+		return nil, fmt.Errorf("core: joined peer %d: alpha %v not positive", id, alpha)
+	}
+	if round < 1 {
+		return nil, fmt.Errorf("core: joined peer %d: round %d before first round", id, round)
+	}
+	n := id + 1
+	self := false
+	for _, m := range members {
+		if m < 0 {
+			return nil, fmt.Errorf("core: joined peer %d: negative member id %d", id, m)
+		}
+		if m >= n {
+			n = m + 1
+		}
+		self = self || m == id
+	}
+	if !self {
+		return nil, fmt.Errorf("core: joined peer %d: roster snapshot omits self", id)
+	}
+	var o balancerOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	alive := make([]bool, n)
+	count := 0
+	for _, m := range members {
+		if !alive[m] {
+			alive[m] = true
+			count++
+		}
+	}
+	return &PeerState{
+		id:               id,
+		n:                n,
+		x:                weight,
+		round:            round,
+		localAlpha:       alpha,
+		alive:            alive,
+		aliveCount:       count,
+		straggler:        -1,
+		costs:            make([]float64, n),
+		alphas:           make([]float64, n),
+		renorms:          make([]float64, n),
+		shareSeen:        make([]bool, n),
+		decSeen:          make([]bool, n),
+		decVals:          make([]float64, n),
+		pendingShares:    make(map[int][]PeerShare),
+		pendingDecisions: make(map[int][]PeerDecision),
+		bisectTol:        o.bisectTol,
+		capScale:         o.capScale,
+		rec:              NewRecorder(o.metrics),
+	}, nil
+}
+
 // Play returns the workload fraction to execute this round (Algorithm 2,
 // line 1).
 func (p *PeerState) Play() float64 { return p.x }
@@ -351,8 +467,36 @@ func (p *PeerState) completeShares() ([]PeerOutput, error) {
 			alpha = p.alphas[i]
 		}
 	}
+	return p.applyConsensus(p.straggler, alpha, p.costs[p.straggler], p.maxRenorm())
+}
+
+// ApplyConsensus installs an externally computed round consensus —
+// straggler identity, step size alpha_t, global cost l_t, and the
+// overshoot clamp factor — in place of the flat all-to-all share
+// collection. The hierarchical aggregation overlay calls this when the
+// root's down-phase PeerAggregate arrives: because the reduction merged
+// the same shares the flat path would have collected, the transition is
+// bit-identical to completing the collection locally. The peer must
+// have observed its own cost (Observe) and not yet completed the round.
+func (p *PeerState) ApplyConsensus(round, straggler int, alpha, globalCost, renorm float64) ([]PeerOutput, error) {
+	if p.phase != peerShares || round != p.round {
+		return nil, fmt.Errorf("core: peer %d: consensus for round %d out of order (round %d, phase %d)", p.id, round, p.round, p.phase)
+	}
+	if straggler < 0 || straggler >= p.n || !p.alive[straggler] {
+		return nil, fmt.Errorf("core: peer %d: consensus names dead straggler %d", p.id, straggler)
+	}
+	p.straggler = straggler
+	return p.applyConsensus(straggler, alpha, globalCost, renorm)
+}
+
+// applyConsensus performs the post-consensus half of a round: the
+// overshoot clamp, then either the non-straggler risk-averse update or
+// the straggler's switch to decision collection. It is the shared tail
+// of the flat path (completeShares) and the hierarchical path
+// (ApplyConsensus); the statement order exactly preserves the original
+// flat-mode sequence.
+func (p *PeerState) applyConsensus(straggler int, alpha, l, renorm float64) ([]PeerOutput, error) {
 	p.consensusAlpha = alpha
-	l := p.costs[p.straggler]
 
 	// Overshoot clamp: if the previous round's straggler piggybacked a
 	// renorm factor R > 1, every peer scales its share by 1/R before
@@ -361,11 +505,11 @@ func (p *PeerState) completeShares() ([]PeerOutput, error) {
 	// most one share per round can carry a factor (only a straggler sets
 	// it); max over the survivor set is order-independent, preserving
 	// run-for-run determinism.
-	if r := p.maxRenorm(); r > 1 {
-		p.x /= r
+	if renorm > 1 {
+		p.x /= renorm
 	}
 
-	if p.id != p.straggler {
+	if p.id != straggler {
 		// Risk-averse assistance (Algorithm 2, lines 8-10).
 		xp, _, iters, err := costfn.InverseIters(p.f, l, 0, 1, p.bisectTol)
 		if err != nil {
@@ -474,7 +618,11 @@ func (p *PeerState) completeDecisions() ([]PeerOutput, error) {
 	// remainder, so it alone advances the shared round counter; every
 	// peer's gauges would agree (the consensus values are identical).
 	for i, c := range p.costs {
-		if p.alive[i] {
+		// Every survivor's share was seen in flat mode (eviction retracts
+		// shares along with liveness); under hierarchical aggregation only
+		// the peer's own share is local, so the guard keeps the gauge
+		// honest instead of exporting stale costs.
+		if p.alive[i] && p.shareSeen[i] {
 			p.rec.RecordWorkerCost(i, c)
 		}
 	}

@@ -78,6 +78,105 @@ type PeerDecision struct {
 	Next  float64 `json:"next"`
 }
 
+// JoinRequest asks the deployment to admit a new peer. From is the id
+// the joiner proposes for itself (ids are never reused, so the driver
+// hands out fresh ones); Round is the joiner's local round guess and is
+// informational only — the membership coordinator decides the apply
+// round. Any member may receive a JoinRequest (the joiner only needs one
+// reachable contact); non-coordinators forward it to the current
+// coordinator. The paper assumes a fixed worker set — joins exist only
+// in the runtime's elastic-membership extension (see DESIGN.md,
+// "Membership and aggregation topology").
+type JoinRequest struct {
+	Round int `json:"round"`
+	From  int `json:"from"`
+}
+
+// RosterUpdate is the membership coordinator's versioned roster change
+// announcement. Version increases by one per applied roster operation
+// (join or eviction), so receivers can order updates and operators can
+// alert on divergence. Round is the apply round: every member installs
+// the change at the boundary before beginning that round, which keeps
+// the survivor consensus (straggler, min-alpha, rule-(8) denominator)
+// over an identical roster view on all peers.
+//
+// Join is the admitted peer's id and Weight its initial simplex share;
+// incumbents scale their own shares by 1-Weight (the inverse of the
+// eviction reabsorption rule). Alpha is the coordinator's local step
+// size at admission — the joiner starts from it so the min-alpha
+// consensus stays non-increasing across churn. Members is the full
+// roster snapshot and is populated only on the copy sent to the joiner
+// itself (incumbents already hold the roster); a RosterUpdate with
+// Round == 0 is a denial.
+type RosterUpdate struct {
+	Version uint64  `json:"version"`
+	Round   int     `json:"round"`
+	From    int     `json:"from"`
+	Join    int     `json:"join"`
+	Weight  float64 `json:"weight"`
+	Alpha   float64 `json:"alpha"`
+	Members []int   `json:"members,omitempty"`
+}
+
+// PeerAggregate is one hop of the hierarchical round reduction: instead
+// of the O(N^2) all-to-all PeerShare broadcast, peers arranged in a
+// k-ary tree merge their subtrees' shares upward (Down=false) and the
+// root broadcasts the final consensus back down (Down=true). The merged
+// quantities — Count shares covering MaxCost with its lowest-id
+// Straggler, the minimum local step size MinAlpha, and the largest
+// piggybacked overshoot clamp MaxRenorm — form an associative,
+// commutative reduction, so the tree result is bit-identical to the
+// flat broadcast's consensus. Epoch carries the sender's roster version:
+// receivers drop aggregates from older roster views and re-aggregate
+// after membership changes, so a consensus never mixes roster epochs.
+type PeerAggregate struct {
+	Round     int     `json:"round"`
+	From      int     `json:"from"`
+	Epoch     uint64  `json:"epoch"`
+	Down      bool    `json:"down,omitempty"`
+	Count     int     `json:"count"`
+	MaxCost   float64 `json:"maxCost"`
+	Straggler int     `json:"straggler"`
+	MinAlpha  float64 `json:"minAlpha"`
+	MaxRenorm float64 `json:"maxRenorm,omitempty"`
+}
+
+// ShareAggregate seeds a reduction leaf from a peer's own share: a
+// single-share aggregate whose straggler is the peer itself.
+func ShareAggregate(s PeerShare, epoch uint64) PeerAggregate {
+	return PeerAggregate{
+		Round:     s.Round,
+		From:      s.From,
+		Epoch:     epoch,
+		Count:     1,
+		MaxCost:   s.Cost,
+		Straggler: s.From,
+		MinAlpha:  s.LocalAlpha,
+		MaxRenorm: s.Renorm,
+	}
+}
+
+// Merge combines two partial aggregates of the same round and epoch.
+// The straggler tie-break (larger cost wins; on exactly equal costs the
+// lower id wins) matches the flat consensus's ascending-id argmax scan,
+// and no arithmetic is performed on the floats, so any merge order
+// yields the flat result exactly.
+func (a PeerAggregate) Merge(b PeerAggregate) PeerAggregate {
+	out := a
+	out.Count += b.Count
+	if b.MaxCost > out.MaxCost || (b.MaxCost == out.MaxCost && b.Straggler < out.Straggler) {
+		out.MaxCost = b.MaxCost
+		out.Straggler = b.Straggler
+	}
+	if b.MinAlpha < out.MinAlpha {
+		out.MinAlpha = b.MinAlpha
+	}
+	if b.MaxRenorm > out.MaxRenorm {
+		out.MaxRenorm = b.MaxRenorm
+	}
+	return out
+}
+
 // PeerEvict is the fail-stop extension's crash declaration for the
 // fully-distributed architecture: when peer From's collection deadline
 // expires, it declares the silent peer Evicted crashed and broadcasts

@@ -109,7 +109,7 @@ func estimatedRun(cfg Config, forget float64) (total, final float64, err error) 
 			}
 			obs = core.Observation{Costs: rep.Observation.Costs, Funcs: funcs}
 		}
-		if err := b.Update(obs); err != nil {
+		if _, err := b.Step(obs); err != nil {
 			return 0, 0, err
 		}
 	}

@@ -86,7 +86,7 @@ func quantizedRun(cfg Config, batch int, quantize bool) (float64, error) {
 		cum += rep.GlobalLatency
 		// The algorithm observes the *realized* costs of the quantized
 		// assignment, exactly as a real deployment would.
-		if err := b.Update(rep.Observation); err != nil {
+		if _, err := b.Step(rep.Observation); err != nil {
 			return 0, err
 		}
 	}

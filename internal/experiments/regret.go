@@ -72,7 +72,7 @@ func RegretTable(cfg Config) (Table, error) {
 		if err := tracker.Record(g, opt.Value, opt.X, b.Alpha()); err != nil {
 			return Table{}, err
 		}
-		if err := b.Update(core.Observation{Costs: costs, Funcs: env.Funcs}); err != nil {
+		if _, err := b.Step(core.Observation{Costs: costs, Funcs: env.Funcs}); err != nil {
 			return Table{}, err
 		}
 		if checkpoints[t] {

@@ -91,7 +91,7 @@ func scalingRow(cfg Config, n int) ([]string, float64, error) {
 			gapCount++
 		}
 		start := time.Now()
-		if err := b.Update(rep.Observation); err != nil {
+		if _, err := b.Step(rep.Observation); err != nil {
 			return nil, 0, err
 		}
 		decisionNanos += time.Since(start).Nanoseconds()

@@ -32,6 +32,12 @@ const binaryVersion = 0x01
 //	              renorm f64                                   (28 B)
 //	peer-decision round u32, next f64                          (12 B)
 //	evict         round u32, evicted u32                       (8 B)
+//	join          round u32                                    (4 B)
+//	aggregate     round u32, epoch u64, flags u8 (bit0 down),
+//	              count u32, straggler u32, maxCost f64,
+//	              minAlpha f64, maxRenorm f64                  (45 B)
+//	roster-update round u32, version u64, join u32, weight f64,
+//	              alpha f64, members u32, member ids u32 each  (36+4k B)
 //	reliable      seq u64, flags u8 (bit0 ack, bit1 data),
 //	              then the nested envelope's kind/from/to and
 //	              payload when bit1 is set                     (9+ B)
@@ -47,7 +53,7 @@ func (binaryCodec) Name() string { return "binary" }
 const binHeader = 10 // version + kind + from + to
 
 // binPayloadSize gives the fixed payload width per kind (reliable
-// frames are variable and handled separately).
+// frames and roster updates are variable and handled separately).
 var binPayloadSize = map[Kind]int{
 	KindCost:         12,
 	KindCoordinate:   24,
@@ -56,7 +62,13 @@ var binPayloadSize = map[Kind]int{
 	KindShare:        28,
 	KindPeerDecision: 12,
 	KindEvict:        8,
+	KindJoin:         4,
+	KindAggregate:    45,
 }
+
+// binRosterFixed is the fixed prefix of a roster-update payload before
+// the member-id list: round + version + join + weight + alpha + count.
+const binRosterFixed = 4 + 8 + 4 + 8 + 8 + 4
 
 // frameSize implements the arithmetic fast path used by FrameSize: no
 // encoding is performed, so metering a binary envelope allocates
@@ -73,19 +85,24 @@ func (binaryCodec) frameSize(env Envelope) (int, error) {
 }
 
 func binaryBodySize(env Envelope) (int, error) {
-	if env.Kind != KindReliable {
+	switch env.Kind {
+	case KindReliable:
+		frame := env.Msg.(ReliableFrame)
+		n := binHeader + 9 // seq + flags
+		if frame.Data != nil {
+			inner, err := binaryBodySize(*frame.Data)
+			if err != nil {
+				return 0, err
+			}
+			n += inner - 1 // nested body omits the version byte
+		}
+		return n, nil
+	case KindRosterUpdate:
+		m := env.Msg.(core.RosterUpdate)
+		return binHeader + binRosterFixed + 4*len(m.Members), nil
+	default:
 		return binHeader + binPayloadSize[env.Kind], nil
 	}
-	frame := env.Msg.(ReliableFrame)
-	n := binHeader + 9 // seq + flags
-	if frame.Data != nil {
-		inner, err := binaryBodySize(*frame.Data)
-		if err != nil {
-			return 0, err
-		}
-		n += inner - 1 // nested body omits the version byte
-	}
-	return n, nil
 }
 
 // AppendBody implements Codec.
@@ -161,6 +178,57 @@ func appendBinaryEnvelope(dst []byte, env Envelope) ([]byte, error) {
 			return dst, err
 		}
 		dst = binary.BigEndian.AppendUint32(dst, evicted)
+	case core.JoinRequest:
+		if dst, err = appendRound(dst, m.Round); err != nil {
+			return dst, err
+		}
+	case core.PeerAggregate:
+		if dst, err = appendRound(dst, m.Round); err != nil {
+			return dst, err
+		}
+		dst = binary.BigEndian.AppendUint64(dst, m.Epoch)
+		var flags byte
+		if m.Down {
+			flags |= 1
+		}
+		dst = append(dst, flags)
+		count, err := asUint32("count", m.Count)
+		if err != nil {
+			return dst, err
+		}
+		dst = binary.BigEndian.AppendUint32(dst, count)
+		straggler, err := asUint32("straggler", m.Straggler)
+		if err != nil {
+			return dst, err
+		}
+		dst = binary.BigEndian.AppendUint32(dst, straggler)
+		dst = appendFloat(dst, m.MaxCost)
+		dst = appendFloat(dst, m.MinAlpha)
+		dst = appendFloat(dst, m.MaxRenorm)
+	case core.RosterUpdate:
+		if dst, err = appendRound(dst, m.Round); err != nil {
+			return dst, err
+		}
+		dst = binary.BigEndian.AppendUint64(dst, m.Version)
+		join, err := asUint32("join", m.Join)
+		if err != nil {
+			return dst, err
+		}
+		dst = binary.BigEndian.AppendUint32(dst, join)
+		dst = appendFloat(dst, m.Weight)
+		dst = appendFloat(dst, m.Alpha)
+		count, err := asUint32("members", len(m.Members))
+		if err != nil {
+			return dst, err
+		}
+		dst = binary.BigEndian.AppendUint32(dst, count)
+		for _, id := range m.Members {
+			member, err := asUint32("member", id)
+			if err != nil {
+				return dst, err
+			}
+			dst = binary.BigEndian.AppendUint32(dst, member)
+		}
 	case ReliableFrame:
 		dst = binary.BigEndian.AppendUint64(dst, m.Seq)
 		var flags byte
@@ -223,6 +291,9 @@ func decodeBinaryEnvelope(b []byte, nested bool) (Envelope, []byte, error) {
 		}
 		return decodeReliablePayload(env, b)
 	}
+	if env.Kind == KindRosterUpdate {
+		return decodeRosterPayload(env, b)
+	}
 	want := binPayloadSize[env.Kind]
 	if len(b) < want {
 		return Envelope{}, nil, fmt.Errorf("truncated %s payload (%d bytes, want %d)", env.Kind, len(b), want)
@@ -254,8 +325,52 @@ func decodeBinaryEnvelope(b []byte, nested bool) (Envelope, []byte, error) {
 		env.Msg = core.PeerDecision{Round: round, From: env.From, To: env.To, Next: getFloat(b[4:12])}
 	case KindEvict:
 		env.Msg = core.PeerEvict{Round: round, From: env.From, Evicted: int(binary.BigEndian.Uint32(b[4:8]))}
+	case KindJoin:
+		env.Msg = core.JoinRequest{Round: round, From: env.From}
+	case KindAggregate:
+		env.Msg = core.PeerAggregate{
+			Round:     round,
+			From:      env.From,
+			Epoch:     binary.BigEndian.Uint64(b[4:12]),
+			Down:      b[12]&1 != 0,
+			Count:     int(binary.BigEndian.Uint32(b[13:17])),
+			Straggler: int(binary.BigEndian.Uint32(b[17:21])),
+			MaxCost:   getFloat(b[21:29]),
+			MinAlpha:  getFloat(b[29:37]),
+			MaxRenorm: getFloat(b[37:45]),
+		}
 	}
 	return env, b[want:], nil
+}
+
+// decodeRosterPayload parses the variable-length roster-update payload.
+// The member count is validated against the remaining bytes before any
+// allocation, so a hostile count cannot balloon memory.
+func decodeRosterPayload(env Envelope, b []byte) (Envelope, []byte, error) {
+	if len(b) < binRosterFixed {
+		return Envelope{}, nil, fmt.Errorf("truncated roster-update payload (%d bytes, want %d)", len(b), binRosterFixed)
+	}
+	m := core.RosterUpdate{
+		Round:   int(binary.BigEndian.Uint32(b[0:4])),
+		From:    env.From,
+		Version: binary.BigEndian.Uint64(b[4:12]),
+		Join:    int(binary.BigEndian.Uint32(b[12:16])),
+		Weight:  getFloat(b[16:24]),
+		Alpha:   getFloat(b[24:32]),
+	}
+	count := int(binary.BigEndian.Uint32(b[32:36]))
+	b = b[binRosterFixed:]
+	if count > len(b)/4 {
+		return Envelope{}, nil, fmt.Errorf("roster-update member count %d exceeds payload (%d bytes left)", count, len(b))
+	}
+	if count > 0 {
+		m.Members = make([]int, count)
+		for i := range m.Members {
+			m.Members[i] = int(binary.BigEndian.Uint32(b[4*i : 4*i+4]))
+		}
+	}
+	env.Msg = m
+	return env, b[4*count:], nil
 }
 
 func decodeReliablePayload(env Envelope, b []byte) (Envelope, []byte, error) {

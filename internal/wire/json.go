@@ -79,6 +79,12 @@ func decodeJSONPayload(kind Kind, raw json.RawMessage) (any, error) {
 		return unmarshalPayload[core.PeerDecision](kind, raw)
 	case KindEvict:
 		return unmarshalPayload[core.PeerEvict](kind, raw)
+	case KindJoin:
+		return unmarshalPayload[core.JoinRequest](kind, raw)
+	case KindRosterUpdate:
+		return unmarshalPayload[core.RosterUpdate](kind, raw)
+	case KindAggregate:
+		return unmarshalPayload[core.PeerAggregate](kind, raw)
 	case KindReliable:
 		return unmarshalPayload[ReliableFrame](kind, raw)
 	default:

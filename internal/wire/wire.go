@@ -2,7 +2,9 @@
 // owns the wire representation of every protocol message the transports
 // exchange. A single Envelope type carries a typed payload (one of the
 // DOLBIE protocol messages from internal/core — the six of Algorithms 1
-// and 2 plus the fail-stop eviction notice — or a reliability frame),
+// and 2, the fail-stop eviction notice, and the elastic-membership
+// extension's join request, roster update, and hierarchical share
+// aggregate — or a reliability frame),
 // and a Codec turns envelopes into length-prefixed frames and back. Two
 // codecs ship:
 //
@@ -58,6 +60,17 @@ const (
 	// It is appended after KindReliable so the byte values of the
 	// original kinds stay stable on the versioned binary wire.
 	KindEvict
+	// KindJoin tags a core.JoinRequest (joiner -> any member): the
+	// elastic-membership extension's admission request. Like KindEvict it
+	// is appended after the existing kinds to keep byte values stable.
+	KindJoin
+	// KindRosterUpdate tags a core.RosterUpdate (coordinator -> all
+	// members and the joiner): the versioned roster change announcement.
+	KindRosterUpdate
+	// KindAggregate tags a core.PeerAggregate (tree neighbor -> tree
+	// neighbor): one hop of the hierarchical share reduction that
+	// replaces the all-to-all broadcast at scale.
+	KindAggregate
 
 	kindCount // sentinel: one past the last valid kind
 )
@@ -72,6 +85,9 @@ var kindNames = [kindCount]string{
 	KindPeerDecision: "peer-decision",
 	KindReliable:     "reliable",
 	KindEvict:        "evict",
+	KindJoin:         "join",
+	KindRosterUpdate: "roster-update",
+	KindAggregate:    "aggregate",
 }
 
 // String returns the kind's wire name (also used as a metric label).
@@ -199,6 +215,21 @@ func (e Envelope) Decode(v any) error {
 			*dst = m
 			return nil
 		}
+	case *core.JoinRequest:
+		if m, ok := e.Msg.(core.JoinRequest); ok {
+			*dst = m
+			return nil
+		}
+	case *core.RosterUpdate:
+		if m, ok := e.Msg.(core.RosterUpdate); ok {
+			*dst = m
+			return nil
+		}
+	case *core.PeerAggregate:
+		if m, ok := e.Msg.(core.PeerAggregate); ok {
+			*dst = m
+			return nil
+		}
 	}
 	return fmt.Errorf("wire: %s envelope holds %T, cannot decode into %T", e.Kind, e.Msg, v)
 }
@@ -262,6 +293,30 @@ func (e Envelope) check() error {
 		}
 	case KindEvict:
 		m, ok := e.Msg.(core.PeerEvict)
+		if !ok {
+			return e.typeErr()
+		}
+		if m.From != e.From {
+			return mismatch("From")
+		}
+	case KindJoin:
+		m, ok := e.Msg.(core.JoinRequest)
+		if !ok {
+			return e.typeErr()
+		}
+		if m.From != e.From {
+			return mismatch("From")
+		}
+	case KindRosterUpdate:
+		m, ok := e.Msg.(core.RosterUpdate)
+		if !ok {
+			return e.typeErr()
+		}
+		if m.From != e.From {
+			return mismatch("From")
+		}
+	case KindAggregate:
+		m, ok := e.Msg.(core.PeerAggregate)
 		if !ok {
 			return e.typeErr()
 		}

@@ -23,6 +23,10 @@ func allKindsEnvelopes() []Envelope {
 		share,
 		NewEnvelope(KindPeerDecision, 2, 4, core.PeerDecision{Round: 7, From: 2, To: 4, Next: 0.3}),
 		NewEnvelope(KindEvict, 2, 4, core.PeerEvict{Round: 7, From: 2, Evicted: 5}),
+		NewEnvelope(KindJoin, 9, 0, core.JoinRequest{Round: 4, From: 9}),
+		NewEnvelope(KindRosterUpdate, 0, 2, core.RosterUpdate{Version: 5, Round: 12, From: 0, Join: 8, Weight: 0.015625, Alpha: 0.046875}),
+		NewEnvelope(KindRosterUpdate, 0, 8, core.RosterUpdate{Version: 5, Round: 12, From: 0, Join: 8, Weight: 0.015625, Alpha: 0.046875, Members: []int{0, 1, 2, 8}}),
+		NewEnvelope(KindAggregate, 3, 1, core.PeerAggregate{Round: 9, From: 3, Epoch: 4, Down: true, Count: 5, MaxCost: 2.5, Straggler: 2, MinAlpha: 0.125, MaxRenorm: 1.5}),
 		NewEnvelope(KindReliable, 3, 1, ReliableFrame{Seq: 42, Ack: true}),
 		NewEnvelope(KindReliable, 3, 1, ReliableFrame{Seq: 43, Data: &share}),
 	}

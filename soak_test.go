@@ -8,6 +8,7 @@ import (
 	"context"
 	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 	"time"
 
@@ -336,5 +337,151 @@ func TestSoakAllBaselinesRegimeSwitches(t *testing.T) {
 				t.Fatalf("round %d %s: %v", round, alg.Name(), err)
 			}
 		}
+	}
+}
+
+// TestSoakJoinChurnElastic soaks the elastic membership runtime under
+// combined churn: two workers join a running flat deployment at fixed
+// rounds, and an incumbent is chaos-crashed after both admissions. The
+// invariants under test are (1) roster-version monotonicity — every
+// peer's membership event log carries strictly increasing versions —
+// and (2) bit-for-bit determinism: two identically-seeded runs must
+// produce identical trajectories, costs, and membership histories,
+// because every churn event is round-gated, never wall-clock-gated.
+func TestSoakJoinChurnElastic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	const (
+		incumbents = 4
+		joiners    = 2
+		rounds     = 120
+		victim     = 2
+		crashRound = 90
+	)
+	peers := incumbents + joiners
+
+	run := func() []dolbie.ElasticPeerResult {
+		t.Helper()
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+		defer cancel()
+		chaos := dolbie.NewChaos(dolbie.ChaosConfig{
+			Seed:    99,
+			Crashes: []dolbie.ChaosCrash{{Node: victim, Round: crashRound}},
+		})
+		net := dolbie.NewMemNet()
+		transports := make([]dolbie.Transport, peers)
+		for i := range transports {
+			transports[i] = chaos.Wrap(i, net.Node(i))
+		}
+		defer func() {
+			for _, tr := range transports {
+				tr.Close() //nolint:errcheck // best-effort teardown
+			}
+		}()
+		sources := make([]dolbie.CostSource, peers)
+		for i := range sources {
+			f := dolbie.Affine{Slope: float64(i + 1), Intercept: 0.2 * float64(i)}
+			sources[i] = dolbie.FuncSource(func(round int, x float64) (float64, dolbie.CostFunc, error) {
+				return f.Eval(x), f, nil
+			})
+		}
+		res, err := dolbie.ElasticDeployment(ctx, transports, dolbie.ElasticDeploymentConfig{
+			X0:      dolbie.Uniform(incumbents),
+			Rounds:  rounds,
+			Sources: sources[:incumbents],
+			Joiners: []dolbie.ElasticJoin{
+				{ID: incumbents, Contact: 0, Round: 30, Source: sources[incumbents]},
+				{ID: incumbents + 1, Contact: 1, Round: 60, Source: sources[incumbents+1]},
+			},
+			Peer: dolbie.ElasticPeerConfig{RoundTimeout: 200 * time.Millisecond},
+		})
+		if err != nil {
+			t.Fatalf("elastic deployment: %v", err)
+		}
+		if got := chaos.Stats().Crashes; got != 1 {
+			t.Fatalf("chaos crashes = %d, want 1", got)
+		}
+		return res
+	}
+
+	first := run()
+	second := run()
+
+	// Structural outcome: both joiners admitted and running to the end,
+	// the victim crashed after both admissions, every other peer
+	// finishing the full run over the final five-member roster.
+	if !first[victim].Crashed {
+		t.Errorf("victim %d: Crashed = false, want true", victim)
+	}
+	for i, pr := range first {
+		if i == victim {
+			continue
+		}
+		if pr.Rounds != rounds {
+			t.Errorf("peer %d completed %d rounds, want %d", i, pr.Rounds, rounds)
+		}
+		if pr.Crashed || pr.SelfEvicted {
+			t.Errorf("peer %d: Crashed=%v SelfEvicted=%v", i, pr.Crashed, pr.SelfEvicted)
+		}
+		if got := len(pr.Survivors); got != peers-1 {
+			t.Errorf("peer %d: final peer set %v, want %d members", i, pr.Survivors, peers-1)
+		}
+		if r, ok := pr.EvictionRound[victim]; !ok || r < crashRound {
+			t.Errorf("peer %d evicted the victim in round %d (ok=%v), want >= %d", i, r, ok, crashRound)
+		}
+	}
+	for _, j := range []int{incumbents, incumbents + 1} {
+		if first[j].FirstRound == 0 || first[j].FirstRound > rounds {
+			t.Errorf("joiner %d first round = %d", j, first[j].FirstRound)
+		}
+	}
+
+	// Invariant 1: roster versions are strictly monotone in every peer's
+	// event log, and every log ends at the peer's final roster version.
+	for i, pr := range first {
+		var last uint64
+		for _, ev := range pr.RosterLog {
+			if ev.Version <= last {
+				t.Fatalf("peer %d roster log not monotone: version %d after %d (%+v)",
+					i, ev.Version, last, pr.RosterLog)
+			}
+			last = ev.Version
+		}
+		if len(pr.RosterLog) > 0 && last != pr.RosterVersion {
+			t.Errorf("peer %d: log ends at version %d, final roster version %d", i, last, pr.RosterVersion)
+		}
+	}
+
+	// Invariant 2: identically-seeded runs are bit-for-bit identical —
+	// trajectories, costs, admission history, and membership logs.
+	for i := range first {
+		a, b := first[i], second[i]
+		if !reflect.DeepEqual(a.Played, b.Played) {
+			t.Fatalf("peer %d: Played diverged between identically-seeded runs", i)
+		}
+		if !reflect.DeepEqual(a.Costs, b.Costs) {
+			t.Fatalf("peer %d: Costs diverged between identically-seeded runs", i)
+		}
+		if !reflect.DeepEqual(a.RosterLog, b.RosterLog) {
+			t.Fatalf("peer %d: RosterLog diverged: %+v vs %+v", i, a.RosterLog, b.RosterLog)
+		}
+		if a.RosterVersion != b.RosterVersion || a.FirstRound != b.FirstRound ||
+			!reflect.DeepEqual(a.Admitted, b.Admitted) ||
+			!reflect.DeepEqual(a.AdmissionRound, b.AdmissionRound) {
+			t.Fatalf("peer %d: membership outcome diverged between identically-seeded runs", i)
+		}
+	}
+
+	// The final roster plays a point of the simplex.
+	var sum float64
+	for i, pr := range first {
+		if i == victim {
+			continue
+		}
+		sum += pr.Played[len(pr.Played)-1]
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("final round: survivor shares sum to %v, want 1", sum)
 	}
 }
