@@ -41,6 +41,7 @@ test:
 	$(GO) test ./...
 	$(GO) test -race ./internal/metrics ./internal/cluster ./internal/wire ./internal/dispatch
 	$(GO) test -race -run 'TestSoakChaosFullyDistributed|TestSoakJoinChurnElastic' .
+	$(GO) run -race ./cmd/dolbie-bench -live -duration 2s -out -
 
 race:
 	$(GO) test -race ./...
@@ -65,9 +66,12 @@ cover:
 # bit), BENCH_serve.json (data-plane dispatch: DOLBIE's closed loop
 # vs uniform WRR vs JSQ on p99 max-worker latency), BENCH_dispatch.json
 # (admission path: single-lock reference vs the sharded dispatcher at
-# 1/4/8 shards), and BENCH_scale.json (elastic deployments at N up to
+# 1/4/8 shards), BENCH_scale.json (elastic deployments at N up to
 # 4096: per-worker traffic O(N) flat vs O(1) under the aggregation
-# tree, with bit-identical consensus).
+# tree, with bit-identical consensus), and BENCH_live.json (the only
+# wall-clock report: real HTTP socket clients against the Live engine,
+# open- and closed-loop, with the simulated-vs-live latency gap —
+# numbers vary with the host, unlike the seeded reports).
 bench:
 	$(GO) test -bench=. -benchmem ./...
 	$(GO) run ./cmd/dolbie-bench -wire -out BENCH_wire.json
@@ -75,6 +79,7 @@ bench:
 	$(GO) run ./cmd/dolbie-bench -serve -out BENCH_serve.json
 	$(GO) run ./cmd/dolbie-bench -dispatch -out BENCH_dispatch.json
 	$(GO) run ./cmd/dolbie-bench -scale -out BENCH_scale.json
+	$(GO) run ./cmd/dolbie-bench -live -out BENCH_live.json
 
 # Regenerate every paper figure/table at paper scale (N=30, 100
 # realizations) as text; add -csv out/ for CSV export.

@@ -1,0 +1,404 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"dolbie/internal/dispatch"
+	"dolbie/internal/metrics"
+	"dolbie/internal/stats"
+)
+
+// This file implements the -live benchmark mode: the wall-clock
+// counterpart of -serve. Every other committed bench runs in
+// virtual-time simulation; this one stands up the real thing — the Live
+// engine behind a loopback HTTP listener, concurrent in-process socket
+// clients with keep-alive connection reuse — and measures what actually
+// happens on the wire: admissions per real second, client-observed
+// ingest RTT percentiles, and server-side wall-clock completion
+// latency. It sweeps {open-loop, closed-loop} arrival mixes across a
+// client-concurrency ladder, finishes every run with a graceful drain
+// (so completed == routed is asserted, not assumed), runs the
+// virtual-time twin of the open-loop configuration (ConstantSpeeds +
+// static WRR), and records the simulation-vs-reality latency gap as a
+// tracked number in BENCH_live.json.
+
+// liveBenchConfig pins the benchmark's serving configuration. The
+// cluster is provisioned exactly like the simulated serve bench:
+// catalog-mean worker speeds scaled so capacity serves
+// rate*demandMean/util.
+type liveBenchConfig struct {
+	N          int     `json:"workers"`
+	QueueCap   int     `json:"queue_cap"`
+	Shards     int     `json:"shards"`
+	Rate       float64 `json:"open_loop_rate_rps"`
+	DemandMean float64 `json:"demand_mean"`
+	Util       float64 `json:"utilization"`
+	Seed       int64   `json:"seed"`
+	NumCPU     int     `json:"num_cpu"`
+	DurationS  float64 `json:"duration_s"`
+	Clients    []int   `json:"client_sweep"`
+}
+
+func defaultLiveBenchConfig(dur time.Duration) liveBenchConfig {
+	return liveBenchConfig{
+		N:          8,
+		QueueCap:   64,
+		Shards:     4,
+		Rate:       300,
+		DemandMean: 1,
+		Util:       0.75,
+		Seed:       1,
+		NumCPU:     runtime.NumCPU(),
+		DurationS:  dur.Seconds(),
+		Clients:    liveClientSweep(),
+	}
+}
+
+// liveClientSweep returns the client-concurrency ladder {1, NumCPU}. A
+// single-core box substitutes {1, 4}: concurrent connections still
+// exercise the socket accept/keep-alive path there, just without
+// client-side parallelism.
+func liveClientSweep() []int {
+	if n := runtime.NumCPU(); n > 1 {
+		return []int{1, n}
+	}
+	return []int{1, 4}
+}
+
+// liveRun is one {mode, clients} cell of the sweep.
+type liveRun struct {
+	// Mode is "open" (Poisson schedule, arrivals independent of
+	// responses) or "closed" (back-to-back: each client issues its next
+	// request the moment the previous response lands).
+	Mode string `json:"mode"`
+	// Clients is the concurrent socket client count.
+	Clients int `json:"clients"`
+	// Requests counts HTTP round trips issued; AdmissionsPerSec is
+	// Requests over the load window — real wall-clock admission
+	// throughput including verdict serialization and the socket.
+	Requests         int64   `json:"requests"`
+	AdmissionsPerSec float64 `json:"admissions_per_sec"`
+	// Routed/Shed/Blocked/Completed are the dispatcher's totals after
+	// the post-run graceful drain; ShedRate is Shed/Arrivals.
+	Routed    int64   `json:"routed"`
+	Shed      int64   `json:"shed"`
+	Blocked   int64   `json:"blocked"`
+	Completed int64   `json:"completed"`
+	ShedRate  float64 `json:"shed_rate"`
+	// Status counts responses by HTTP status code.
+	Status map[string]int64 `json:"status"`
+	// IngestRTT percentiles are client-observed round-trip times in
+	// milliseconds (POST issued to verdict read, connection reused).
+	IngestRTTP50Ms float64 `json:"ingest_rtt_p50_ms"`
+	IngestRTTP99Ms float64 `json:"ingest_rtt_p99_ms"`
+	// Completion percentiles are server-side wall-clock request
+	// latencies in seconds (arrival to completion, queueing included).
+	CompletionP50S float64 `json:"completion_p50_s"`
+	CompletionP99S float64 `json:"completion_p99_s"`
+}
+
+// liveSimGap records the simulation-vs-reality comparison: the
+// open-loop live run at the top of the client ladder against its
+// virtual-time twin (same N/cap/shards/rate/demand/util, ConstantSpeeds
+// worker processes, static uniform WRR — the live engine's routing).
+type liveSimGap struct {
+	SimPolicy      string  `json:"sim_policy"`
+	SimRounds      int     `json:"sim_rounds"`
+	SimP50S        float64 `json:"sim_completion_p50_s"`
+	SimP99S        float64 `json:"sim_completion_p99_s"`
+	SimShedRate    float64 `json:"sim_shed_rate"`
+	LiveP50S       float64 `json:"live_completion_p50_s"`
+	LiveP99S       float64 `json:"live_completion_p99_s"`
+	LiveShedRate   float64 `json:"live_shed_rate"`
+	GapP99Ratio    float64 `json:"gap_p99_ratio"`
+	GapP50Ratio    float64 `json:"gap_p50_ratio"`
+	GapDescription string  `json:"gap_description"`
+}
+
+// liveReport is the BENCH_live.json document.
+type liveReport struct {
+	Config    liveBenchConfig `json:"config"`
+	Runs      []*liveRun      `json:"runs"`
+	SimVsLive *liveSimGap     `json:"sim_vs_live"`
+}
+
+// clientResult is one socket client's tally.
+type clientResult struct {
+	rtts   []float64 // seconds
+	status map[int]int64
+	n      int64
+}
+
+// runLiveClient drives one socket client against base/ingest for dur:
+// open-loop replays a seeded Poisson schedule in wall time (falling
+// behind schedule means sending immediately — client-side queueing, the
+// documented open-loop limitation), closed-loop sends back-to-back. The
+// demand stream is the same seeded exponential the simulation draws.
+func runLiveClient(client *http.Client, base, mode string, gen *dispatch.Generator, dur time.Duration) (clientResult, error) {
+	res := clientResult{status: make(map[int]int64)}
+	start := time.Now()
+	for {
+		elapsed := time.Since(start)
+		if elapsed >= dur {
+			return res, nil
+		}
+		r := gen.Next()
+		if mode == "open" {
+			at := time.Duration(r.Arrival * float64(time.Second))
+			if at >= dur {
+				return res, nil
+			}
+			if wait := at - elapsed; wait > 0 {
+				time.Sleep(wait)
+			}
+		}
+		url := base + "/ingest?demand=" + strconv.FormatFloat(r.Demand, 'g', -1, 64)
+		t0 := time.Now()
+		resp, err := client.Post(url, "", nil)
+		if err != nil {
+			return res, fmt.Errorf("ingest POST: %w", err)
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			resp.Body.Close()
+			return res, err
+		}
+		resp.Body.Close()
+		res.rtts = append(res.rtts, time.Since(t0).Seconds())
+		res.status[resp.StatusCode]++
+		res.n++
+	}
+}
+
+// runOneLive stands up a fresh server (dispatcher + Live engine +
+// loopback listener), applies the load, drains gracefully, and
+// summarizes the cell.
+func runOneLive(cfg liveBenchConfig, mode string, clients int, dur time.Duration) (*liveRun, error) {
+	reg := metrics.NewRegistry()
+	d, err := dispatch.New(dispatch.Config{
+		N:        cfg.N,
+		QueueCap: cfg.QueueCap,
+		Shards:   cfg.Shards,
+		Shed:     dispatch.ShedReject,
+		Metrics:  reg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	speeds, err := dispatch.LiveWorkerSpeeds(dispatch.ServeConfig{
+		N: cfg.N, ArrivalRate: cfg.Rate, DemandMean: cfg.DemandMean, Utilization: cfg.Util,
+	})
+	if err != nil {
+		return nil, err
+	}
+	lv, err := dispatch.NewLive(dispatch.LiveConfig{Dispatcher: d, Speeds: speeds, Metrics: reg})
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/ingest", lv.Handler())
+	srv, err := metrics.StartServerMux("127.0.0.1:0", mux)
+	if err != nil {
+		lv.Close()
+		return nil, err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+
+	transport := &http.Transport{
+		MaxIdleConns:        2 * clients,
+		MaxIdleConnsPerHost: 2 * clients, // keep-alive reuse: one warm connection per client
+	}
+	defer transport.CloseIdleConnections()
+	httpClient := &http.Client{Transport: transport, Timeout: 30 * time.Second}
+	base := "http://" + srv.Addr()
+
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		results []clientResult
+		errs    []error
+	)
+	wg.Add(clients)
+	loadStart := time.Now()
+	for ci := 0; ci < clients; ci++ {
+		// Each client replays its own slice of the offered rate; seeds
+		// are disjoint so the union is one Poisson stream at cfg.Rate.
+		gen, gerr := dispatch.NewGenerator(cfg.Rate/float64(clients), cfg.DemandMean, cfg.Seed+1009*int64(ci))
+		if gerr != nil {
+			wg.Done()
+			return nil, gerr
+		}
+		go func() {
+			defer wg.Done()
+			cres, cerr := runLiveClient(httpClient, base, mode, gen, dur)
+			mu.Lock()
+			results = append(results, cres)
+			if cerr != nil {
+				errs = append(errs, cerr)
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	loadDur := time.Since(loadStart).Seconds()
+	if len(errs) > 0 {
+		lv.Close()
+		return nil, errs[0]
+	}
+
+	// Graceful drain: everything routed must complete before we read
+	// the totals, so completed == routed is an assertion, not a race.
+	lv.BeginDrain()
+	if !lv.WaitIdle(30 * time.Second) {
+		lv.Close()
+		return nil, fmt.Errorf("%s/%d clients: drain timed out with depth %d", mode, clients, d.Depth())
+	}
+	lv.Close()
+
+	run := &liveRun{Mode: mode, Clients: clients, Status: make(map[string]int64)}
+	var rtts []float64
+	for _, cres := range results {
+		run.Requests += cres.n
+		rtts = append(rtts, cres.rtts...)
+		for code, c := range cres.status {
+			run.Status[strconv.Itoa(code)] += c
+		}
+	}
+	tot := d.Totals()
+	for _, r := range tot.Routed {
+		run.Routed += r
+	}
+	run.Shed, run.Blocked, run.Completed = tot.Shed, tot.Blocked, tot.Completed
+	if tot.Arrivals != run.Routed+run.Shed+run.Blocked {
+		return nil, fmt.Errorf("%s/%d clients: conservation violated: arrivals %d != routed %d + shed %d + blocked %d",
+			mode, clients, tot.Arrivals, run.Routed, run.Shed, run.Blocked)
+	}
+	if run.Completed != run.Routed {
+		return nil, fmt.Errorf("%s/%d clients: %d routed requests never completed",
+			mode, clients, run.Routed-run.Completed)
+	}
+	if loadDur > 0 {
+		run.AdmissionsPerSec = float64(run.Requests) / loadDur
+	}
+	if tot.Arrivals > 0 {
+		run.ShedRate = float64(run.Shed) / float64(tot.Arrivals)
+	}
+	if p, err := stats.Percentile(rtts, 50); err == nil {
+		run.IngestRTTP50Ms = 1000 * p
+	}
+	if p, err := stats.Percentile(rtts, 99); err == nil {
+		run.IngestRTTP99Ms = 1000 * p
+	}
+	lats := lv.CompletionLatencies()
+	if p, err := stats.Percentile(lats, 50); err == nil {
+		run.CompletionP50S = p
+	}
+	if p, err := stats.Percentile(lats, 99); err == nil {
+		run.CompletionP99S = p
+	}
+	return run, nil
+}
+
+// liveSimRounds is the virtual-time twin's length: long enough for
+// stable percentiles, independent of the wall-clock budget.
+const liveSimRounds = 120
+
+// runLiveBench sweeps {open, closed} x the client ladder over real
+// loopback sockets, computes the simulated-vs-live gap, and writes the
+// report to outPath ("-" prints without writing — the CI smoke).
+func runLiveBench(dur time.Duration, outPath string, out io.Writer) error {
+	if dur <= 0 {
+		return fmt.Errorf("live bench duration %v must be positive", dur)
+	}
+	cfg := defaultLiveBenchConfig(dur)
+	rep := liveReport{Config: cfg}
+	fmt.Fprintf(out, "live bench: %d workers, cap %d, %d shards, open-loop rate %.0f rps, demand %.1f, util %.2f, %v per run, clients %v\n",
+		cfg.N, cfg.QueueCap, cfg.Shards, cfg.Rate, cfg.DemandMean, cfg.Util, dur, cfg.Clients)
+	fmt.Fprintf(out, " %-6s %8s %12s %10s %12s %12s %14s %14s\n",
+		"mode", "clients", "adm/s", "shed", "rttP50(ms)", "rttP99(ms)", "complP50(s)", "complP99(s)")
+	for _, mode := range []string{"open", "closed"} {
+		for _, clients := range cfg.Clients {
+			run, err := runOneLive(cfg, mode, clients, dur)
+			if err != nil {
+				return err
+			}
+			rep.Runs = append(rep.Runs, run)
+			fmt.Fprintf(out, " %-6s %8d %12.0f %9.2f%% %12.3f %12.3f %14.4f %14.4f\n",
+				run.Mode, run.Clients, run.AdmissionsPerSec, 100*run.ShedRate,
+				run.IngestRTTP50Ms, run.IngestRTTP99Ms, run.CompletionP50S, run.CompletionP99S)
+		}
+	}
+
+	// The virtual-time twin: identical provisioning, ConstantSpeeds
+	// worker processes, static WRR (the live engine's routing). The gap
+	// compares it against the open-loop run at the top of the ladder.
+	sim, err := dispatch.Serve(dispatch.ServeConfig{
+		N:              cfg.N,
+		Rounds:         liveSimRounds,
+		RoundDur:       1,
+		ArrivalRate:    cfg.Rate,
+		DemandMean:     cfg.DemandMean,
+		Utilization:    cfg.Util,
+		QueueCap:       cfg.QueueCap,
+		Shards:         cfg.Shards,
+		Shed:           dispatch.ShedReject,
+		Policy:         dispatch.PolicyWRR,
+		ConstantSpeeds: true,
+		Seed:           cfg.Seed,
+	})
+	if err != nil {
+		return fmt.Errorf("virtual-time twin: %w", err)
+	}
+	var liveOpen *liveRun
+	for _, r := range rep.Runs {
+		if r.Mode == "open" {
+			liveOpen = r // last open-loop cell = top of the client ladder
+		}
+	}
+	gap := &liveSimGap{
+		SimPolicy:    sim.Policy,
+		SimRounds:    liveSimRounds,
+		SimP50S:      sim.RequestLatencyP50,
+		SimP99S:      sim.RequestLatencyP99,
+		SimShedRate:  sim.ShedRate,
+		LiveP50S:     liveOpen.CompletionP50S,
+		LiveP99S:     liveOpen.CompletionP99S,
+		LiveShedRate: liveOpen.ShedRate,
+		GapDescription: "live open-loop completion latency over the ConstantSpeeds+WRR virtual-time twin; " +
+			"residual = scheduler jitter, socket overhead, and client-side open-loop queueing",
+	}
+	if gap.SimP99S > 0 {
+		gap.GapP99Ratio = gap.LiveP99S / gap.SimP99S
+	}
+	if gap.SimP50S > 0 {
+		gap.GapP50Ratio = gap.LiveP50S / gap.SimP50S
+	}
+	rep.SimVsLive = gap
+	fmt.Fprintf(out, " sim twin (%s, %d rounds): complP50 %.4fs complP99 %.4fs shed %.2f%%  ->  live/sim p99 gap %.2fx\n",
+		gap.SimPolicy, gap.SimRounds, gap.SimP50S, gap.SimP99S, 100*gap.SimShedRate, gap.GapP99Ratio)
+
+	if outPath == "-" {
+		return nil
+	}
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %s\n", outPath)
+	return nil
+}

@@ -13,6 +13,7 @@
 //	dolbie-bench -serve                   # data-plane benchmark -> BENCH_serve.json
 //	dolbie-bench -dispatch                # admission-path benchmark -> BENCH_dispatch.json
 //	dolbie-bench -scale                   # scaling benchmark -> BENCH_scale.json
+//	dolbie-bench -live                    # wall-clock load test -> BENCH_live.json
 //
 // With -metrics-addr the process serves its runtime gauges (goroutines,
 // heap, GC) and /debug/pprof while the experiments run — useful for
@@ -39,6 +40,16 @@
 // noisy-neighbour isolation drill (a rate-limited bronze tenant spiking
 // to 10x its contract must not move the gold tenant's p99 by more than
 // 5%, with bronze shedding strictly before gold).
+//
+// The -live mode is the only benchmark that runs on the wall clock: it
+// stands up the Live serving engine behind a loopback HTTP listener and
+// drives it with concurrent keep-alive socket clients — open-loop
+// (Poisson schedule replayed in real time) and closed-loop
+// (back-to-back) arrival mixes across a {1, NumCPU} client ladder —
+// recording real admissions/sec, client-observed ingest RTT
+// percentiles, server-side wall-clock completion latency, and the gap
+// against the virtual-time twin simulation, to -out (default
+// BENCH_live.json). -duration sets the per-run load window.
 //
 // The -scale mode sweeps elastic Algorithm 2 deployments over the
 // in-memory network at N in {8, 64, 512, 4096}, flat all-to-all
@@ -93,8 +104,10 @@ func run() error {
 		serveBench   = flag.Bool("serve", false, "run the data-plane serving benchmark (DOLBIE vs WRR vs JSQ dispatch) instead of a figure")
 		dispBench    = flag.Bool("dispatch", false, "run the admission-path benchmark (single-lock vs sharded dispatcher) instead of a figure")
 		scaleBench   = flag.Bool("scale", false, "run the scaling benchmark (flat vs tree aggregation across deployment sizes) instead of a figure")
+		liveBench    = flag.Bool("live", false, "run the live wall-clock load benchmark (real HTTP sockets against the Live engine) instead of a figure")
+		liveDur      = flag.Duration("duration", 10*time.Second, "per-run load window for the -live benchmark")
 		codecName    = flag.String("codec", "all", "wire codec to benchmark in -wire mode: all, or a registry name")
-		outPath      = flag.String("out", "", "output file for the -wire / -chaos benchmark report (default BENCH_wire.json / BENCH_chaos.json)")
+		outPath      = flag.String("out", "", "output file for the benchmark modes (default BENCH_<mode>.json; \"-\" prints without writing)")
 	)
 	flag.Parse()
 
@@ -132,6 +145,13 @@ func run() error {
 			out = "BENCH_scale.json"
 		}
 		return runScaleBench(out, os.Stdout)
+	}
+	if *liveBench {
+		out := *outPath
+		if out == "" {
+			out = "BENCH_live.json"
+		}
+		return runLiveBench(*liveDur, out, os.Stdout)
 	}
 
 	if *metricsAddr != "" {

@@ -9,9 +9,18 @@
 // seed always produces the same run, byte for byte. -compare runs the
 // identical traffic realization under all three control policies
 // (dolbie, uniform wrr, jsq) and prints them side by side; -json emits
-// machine-readable results. With -http-addr the command instead serves
-// a live dispatcher: POST /ingest admits requests (200 routed, 429
-// shed, 503 blocked) and /metrics exposes the dolbie_dispatch_* family.
+// machine-readable results.
+//
+// With -http-addr the command instead serves a live wall-clock data
+// plane: POST /ingest admits requests (200 routed, 429 shed/throttled,
+// 503 blocked or draining, refusals carrying a Retry-After backoff
+// hint), constant-speed workers — the same catalog means the simulation
+// would run, scaled by -rate/-demand/-util — drain the queues in real
+// time, /admin/* hot-reloads shed policy, queue caps, and routing
+// weights and drives graceful drains, and /metrics exposes the
+// dolbie_dispatch_* and dolbie_dispatch_live_* families. Interrupting
+// the process drains gracefully: in-flight requests complete while new
+// arrivals get backpressure, then the listener shuts down.
 //
 // Examples:
 //
@@ -99,10 +108,6 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
-	if *httpAddr != "" {
-		return runLive(out, *n, *capacity, *shards, shedPolicy, tenantCfgs, *httpAddr)
-	}
-
 	cfg := dolbie.ServeConfig{
 		N:           *n,
 		Rounds:      *rounds,
@@ -118,6 +123,11 @@ func run(args []string, out io.Writer) error {
 		Seed:        *seed,
 		Tenants:     tenantCfgs,
 	}
+
+	if *httpAddr != "" {
+		return runLive(out, cfg, *httpAddr)
+	}
+
 	if *metrics_ != "" {
 		reg := metrics.NewRegistry()
 		cfg.Metrics = reg
@@ -199,50 +209,69 @@ func printTenants(out io.Writer, r *dolbie.ServeResult) {
 	}
 }
 
-// runLive serves a real dispatcher over HTTP: POST /ingest admits
-// requests with wall-clock arrival timestamps (the "tenant" query
-// parameter selects the submitting tenant by index), /metrics exposes
-// the dolbie_dispatch_* family including the per-tenant series when
-// tenants are configured. It blocks until interrupted (or until the
-// test hook returns).
-func runLive(out io.Writer, n, capacity, shards int, shed dolbie.ShedPolicy, tenants []dolbie.TenantConfig, addr string) error {
+// runLive serves a real wall-clock data plane over HTTP: POST /ingest
+// admits requests with monotone wall-clock arrival timestamps (the
+// "tenant" query parameter selects the submitting tenant by index) and
+// wakes the constant-speed workers draining the queues, /admin/*
+// hot-reloads shed policy, queue caps, and routing weights and drives
+// graceful drains, and /metrics exposes the dolbie_dispatch_* and
+// dolbie_dispatch_live_* families. It blocks until interrupted (or
+// until the test hook returns), then drains gracefully: admissions are
+// gated with 503 + Retry-After, in-flight requests complete (bounded by
+// a 10s timeout), and only then does the listener shut down.
+func runLive(out io.Writer, cfg dolbie.ServeConfig, addr string) error {
 	reg := metrics.NewRegistry()
 	metrics.RegisterProcessGauges(reg)
 	d, err := dolbie.NewDispatcher(dolbie.DispatcherConfig{
-		N:        n,
-		QueueCap: capacity,
-		Shards:   shards,
-		Shed:     shed,
-		Tenants:  tenants,
+		N:        cfg.N,
+		QueueCap: cfg.QueueCap,
+		Shards:   cfg.Shards,
+		Shed:     cfg.Shed,
+		Tenants:  cfg.Tenants,
 		Metrics:  reg,
 	})
 	if err != nil {
 		return err
 	}
-	start := time.Now()
-	mux := metrics.NewMux(reg)
-	mux.Handle("/ingest", dolbie.IngestHandler(d, func() float64 {
-		return time.Since(start).Seconds()
-	}))
-	srv, err := metrics.StartServerMux(addr, mux)
+	speeds, err := dolbie.LiveWorkerSpeeds(cfg)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "ingest: POST http://%s/ingest  metrics: http://%s/metrics\n", srv.Addr(), srv.Addr())
-	defer func() {
+	lv, err := dolbie.NewLive(dolbie.LiveConfig{Dispatcher: d, Speeds: speeds, Metrics: reg})
+	if err != nil {
+		return err
+	}
+	mux := metrics.NewMux(reg)
+	mux.Handle("/ingest", lv.Handler())
+	mux.Handle("/admin/", lv.AdminHandler())
+	srv, err := metrics.StartServerMux(addr, mux)
+	if err != nil {
+		lv.Close()
+		return err
+	}
+	fmt.Fprintf(out, "ingest: POST http://%s/ingest  admin: http://%s/admin/status  metrics: http://%s/metrics\n",
+		srv.Addr(), srv.Addr(), srv.Addr())
+	shutdown := func() {
+		lv.BeginDrain()
+		if !lv.WaitIdle(10 * time.Second) {
+			fmt.Fprintln(os.Stderr, "dolbie-serve: drain timed out; abandoning queued requests")
+		}
+		lv.Close()
 		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(shutCtx); err != nil {
 			fmt.Fprintln(os.Stderr, "dolbie-serve: shutdown:", err)
 		}
-	}()
+	}
 	if testHookServe != nil {
 		testHookServe(srv.Addr())
+		shutdown()
 		return nil
 	}
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	<-sig
-	fmt.Fprintln(out, "interrupted; shutting down")
+	fmt.Fprintln(out, "interrupted; draining")
+	shutdown()
 	return nil
 }

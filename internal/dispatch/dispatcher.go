@@ -106,6 +106,18 @@ func (c Config) shardCount() int {
 	return c.Shards
 }
 
+// shardCapSlice is shard si's slice of one worker's total queue
+// capacity: total/ns slots plus one of the total%ns remainder slots, so
+// the per-worker slices sum exactly to total. New and SetQueueCap must
+// agree on this split, which is why it is a function and not two loops.
+func shardCapSlice(total, si, ns int) int {
+	capS := total / ns
+	if si < total%ns {
+		capS++
+	}
+	return capS
+}
+
 // Totals is a consistent snapshot of the dispatcher's counters. The
 // conservation law Arrivals == sum(Routed) + Shed + Blocked holds for
 // every snapshot (spilled requests are counted in Routed on the queue
@@ -266,6 +278,18 @@ type Dispatcher struct {
 	heads []atomic.Int64
 	inst  *dispatcherInstruments
 	col   *collector
+
+	// depth tracks the total queued requests across all shards (updated
+	// inside the shard critical sections, read lock-free), and queueCap
+	// the current per-worker capacity — the two inputs of the Retry-After
+	// backpressure hint, which must not cost a stop-the-world scan on the
+	// reject path of an overload storm.
+	depth    atomic.Int64
+	queueCap atomic.Int64
+	// draining gates admission during a graceful drain: every Submit is
+	// refused as Blocked (counted against the conservation law like any
+	// other refusal) while queued work keeps completing.
+	draining atomic.Bool
 }
 
 // New constructs a Dispatcher with uniform initial weights for every
@@ -291,15 +315,12 @@ func New(cfg Config) (*Dispatcher, error) {
 			d.burst[k] = math.Max(1, d.rateShare[k])
 		}
 	}
+	d.queueCap.Store(int64(cfg.QueueCap))
 	// Split each worker's capacity across the shards: shard si gets
 	// QueueCap/ns slots plus one of the remainder slots, so per-worker
 	// capacity sums exactly to QueueCap (no overshoot, no loss).
-	base, extra := cfg.QueueCap/ns, cfg.QueueCap%ns
 	for si := range d.shards {
-		capS := base
-		if si < extra {
-			capS++
-		}
+		capS := shardCapSlice(cfg.QueueCap, si, ns)
 		s := &shard{
 			queues:     make([]*queue, cfg.N),
 			weights:    make([][]float64, nt),
@@ -467,6 +488,122 @@ func (d *Dispatcher) TenantWeights(k int) []float64 {
 	return append([]float64(nil), s.weights[k]...)
 }
 
+// SetQueueCap hot-reloads every worker's queue capacity in one
+// stop-the-world epoch across all shards. Queued requests are never
+// dropped: shrinking below a queue's current occupancy only refuses new
+// admissions until it drains under the new limit. Per-tenant priority
+// thresholds are re-derived from each shard's new capacity slice, so
+// the strict gold/silver/bronze shed ordering is preserved across the
+// reload. cap must be positive and at least the shard count (each shard
+// slice needs one slot per worker).
+func (d *Dispatcher) SetQueueCap(capacity int) error {
+	ns := len(d.shards)
+	if capacity <= 0 {
+		return fmt.Errorf("dispatch: QueueCap = %d must be positive", capacity)
+	}
+	if capacity < ns {
+		return fmt.Errorf("dispatch: QueueCap = %d below shard count %d (each shard needs at least one slot per worker)", capacity, ns)
+	}
+	d.lockAll()
+	for si, s := range d.shards {
+		capS := shardCapSlice(capacity, si, ns)
+		for _, q := range s.queues {
+			q.setCap(capS)
+		}
+		for k, t := range d.tenants {
+			s.limits[k] = t.Priority.queueLimit(capS)
+		}
+	}
+	d.cfg.QueueCap = capacity
+	d.queueCap.Store(int64(capacity))
+	d.unlockAll()
+	return nil
+}
+
+// QueueCap returns the current per-worker queue capacity (hot-reloaded
+// by SetQueueCap).
+func (d *Dispatcher) QueueCap() int { return int(d.queueCap.Load()) }
+
+// SetTenantShed hot-reloads tenant k's backpressure policy in one
+// stop-the-world epoch across all shards, so every shard switches
+// behaviour at the same admission boundary.
+func (d *Dispatcher) SetTenantShed(k int, p ShedPolicy) error {
+	if k < 0 || k >= len(d.tenants) {
+		return fmt.Errorf("dispatch: tenant %d out of range [0, %d)", k, len(d.tenants))
+	}
+	if _, err := p.MarshalText(); err != nil {
+		return err
+	}
+	d.lockAll()
+	d.tenants[k].Shed = p
+	d.unlockAll()
+	return nil
+}
+
+// TenantShed returns tenant k's current backpressure policy (tenant 0
+// is the whole stream on a single-tenant dispatcher).
+func (d *Dispatcher) TenantShed(k int) (ShedPolicy, error) {
+	if k < 0 || k >= len(d.tenants) {
+		return 0, fmt.Errorf("dispatch: tenant %d out of range [0, %d)", k, len(d.tenants))
+	}
+	s := d.shards[0]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return d.tenants[k].Shed, nil
+}
+
+// SetDraining opens or closes the graceful-drain gate. While draining,
+// every Submit is refused as Blocked (no accepted request is dropped,
+// and the conservation law holds through the drain) while completions
+// keep draining the queues; Depth reaching zero means the drain is
+// done.
+func (d *Dispatcher) SetDraining(on bool) { d.draining.Store(on) }
+
+// Draining reports whether the admission gate is in graceful drain.
+func (d *Dispatcher) Draining() bool { return d.draining.Load() }
+
+// Depth returns the total number of queued requests across all workers
+// and shards, read lock-free (exact at quiescence; during a storm it
+// trails in-flight admissions by at most the submitter count).
+func (d *Dispatcher) Depth() int64 { return d.depth.Load() }
+
+// RetryAfterSeconds derives the backpressure hint the HTTP ingest
+// returns in the Retry-After header for a refused admission, from the
+// drain state, the refusal outcome (which reflects the active shed
+// policy), and the current total queue depth:
+//
+//   - draining: a constant 5s — the instance is going away, the client
+//     should re-resolve and land elsewhere;
+//   - Blocked (ShedBlock): 1s — the very next completion frees a slot,
+//     so retrying quickly against the same instance is correct;
+//   - Throttled: 1s — rate-contract tokens refill continuously, so a
+//     full second always buys headroom;
+//   - Shed (ShedReject / spill-exhausted): 1–4s scaled linearly with
+//     the queue-fill fraction, so a nearly-drained plane invites quick
+//     retries while a saturated one pushes the herd back harder.
+//
+// The inputs are lock-free atomics: the hint must not cost a
+// stop-the-world scan on the reject path of the very overload storm it
+// is managing.
+func (d *Dispatcher) RetryAfterSeconds(o Outcome) int {
+	if d.draining.Load() {
+		return 5
+	}
+	switch o {
+	case Blocked, Throttled:
+		return 1
+	}
+	total := d.queueCap.Load() * int64(d.cfg.N)
+	if total <= 0 {
+		return 1
+	}
+	fill := float64(d.depth.Load()) / float64(total)
+	if fill > 1 {
+		fill = 1
+	}
+	return 1 + int(3*fill)
+}
+
 // Submit routes one request. The returned verdict reports where it
 // landed (or why it did not); Blocked verdicts leave no trace in the
 // queues and the caller is expected to resubmit after a completion.
@@ -479,6 +616,16 @@ func (d *Dispatcher) Submit(r Request) Verdict {
 	s.mu.Lock()
 	s.arrivals++
 	s.tArrivals[k]++
+	if d.draining.Load() {
+		// Graceful drain: admission is refused without dropping anything
+		// already accepted. Drain refusals count as Blocked, so both
+		// conservation laws (aggregate and per-tenant) keep holding on
+		// every snapshot taken through a drain.
+		s.blocked++
+		s.tBlocked[k]++
+		s.mu.Unlock()
+		return Verdict{Outcome: Blocked, Worker: -1}
+	}
 	if rate := d.rateShare[k]; rate > 0 {
 		// Token bucket on the tenant's admission rate contract: refill
 		// from the arrival clock (monotone per shard; negative deltas
@@ -529,6 +676,7 @@ func (d *Dispatcher) Submit(r Request) Verdict {
 	s.queues[v.Worker].push(r)
 	s.routed[v.Worker]++
 	s.tRouted[k]++
+	d.depth.Add(1)
 	s.mu.Unlock()
 	return v
 }
@@ -594,6 +742,7 @@ func (d *Dispatcher) Complete(worker int, now float64) (Request, bool) {
 			r, _ := s.queues[worker].pop()
 			s.completed++
 			s.tCompleted[d.tenantIndex(r.Tenant)]++
+			d.depth.Add(-1)
 			if d.inst != nil {
 				s.observeLatencyLocked(now - r.Arrival)
 			}
@@ -644,6 +793,7 @@ func (d *Dispatcher) completeStopTheWorld(worker int, now float64) (Request, boo
 	r, _ := s.queues[worker].pop()
 	s.completed++
 	s.tCompleted[d.tenantIndex(r.Tenant)]++
+	d.depth.Add(-1)
 	if d.inst != nil {
 		s.observeLatencyLocked(now - r.Arrival)
 	}

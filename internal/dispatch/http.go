@@ -48,12 +48,42 @@ func appendIngestResponse(b []byte, id int64, outcome string, worker int) []byte
 // IngestHandler adapts a Dispatcher to live HTTP traffic: each POST is
 // one request admission. The optional "demand" query parameter sets
 // the service demand in work units (default 1); the optional "tenant"
-// query parameter selects the submitting tenant by index (default 0,
-// rejected with 400 when out of range). Status codes map the verdict:
-// 200 routed/spilled, 429 shed (drop and back off), 503 blocked (retry
-// after a completion). now supplies arrival timestamps in seconds —
-// pass a monotonic clock for live use.
+// query parameter selects the submitting tenant by index (default 0).
+// now supplies arrival timestamps in seconds — pass a monotonic clock
+// for live use. (Live.Handler serves the same protocol with worker
+// wakeups and ingest-latency instrumentation on top.)
+//
+// Status codes map the verdict exactly; every row of this table is
+// asserted reachable by TestIngestStatusTable:
+//
+//	200 OK                   routed or spilled — the request is queued
+//	                         on the verdict's worker
+//	400 Bad Request          malformed "demand" (not a positive float)
+//	                         or out-of-range "tenant" parameter
+//	405 Method Not Allowed   any method other than POST
+//	429 Too Many Requests    shed (queue backpressure under ShedReject
+//	                         or spill exhaustion) or throttled (tenant
+//	                         rate contract); Retry-After carries the
+//	                         backoff hint in whole seconds
+//	503 Service Unavailable  blocked — ShedBlock backpressure or a
+//	                         graceful drain in progress; Retry-After
+//	                         carries the backoff hint (5s while
+//	                         draining: the instance is going away)
+//
+// The Retry-After value comes from Dispatcher.RetryAfterSeconds: it is
+// derived from the drain state, the refusing shed policy's outcome, and
+// the current total queue depth, and reads only lock-free atomics so
+// the overload path stays cheap.
 func IngestHandler(d *Dispatcher, now func() float64) http.Handler {
+	return ingestCore(d, d.Submit, now)
+}
+
+// ingestCore is the shared POST /ingest implementation behind
+// IngestHandler (bare dispatcher) and Live.Handler (wall-clock engine,
+// which routes admissions through Live.Submit so the serving workers
+// wake). submit performs the admission; d supplies tenant bounds and
+// the Retry-After hint.
+func ingestCore(d *Dispatcher, submit func(Request) Verdict, now func() float64) http.Handler {
 	var seq atomic.Int64
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		if req.Method != http.MethodPost {
@@ -79,7 +109,7 @@ func IngestHandler(d *Dispatcher, now func() float64) http.Handler {
 			tenant = v
 		}
 		r := Request{ID: seq.Add(1), Arrival: now(), Demand: demand, Tenant: tenant}
-		v := d.Submit(r)
+		v := submit(r)
 		status := http.StatusOK
 		switch v.Outcome {
 		case Shed, Throttled:
@@ -88,6 +118,12 @@ func IngestHandler(d *Dispatcher, now func() float64) http.Handler {
 			status = http.StatusServiceUnavailable
 		}
 		w.Header().Set("Content-Type", "application/json")
+		if status != http.StatusOK {
+			// Backpressure, not failure: tell the client when to come
+			// back instead of letting the herd hammer a saturated (or
+			// draining) admission gate.
+			w.Header().Set("Retry-After", strconv.Itoa(d.RetryAfterSeconds(v.Outcome)))
+		}
 		w.WriteHeader(status)
 		buf := ingestBufPool.Get().(*[]byte)
 		*buf = appendIngestResponse((*buf)[:0], r.ID, v.Outcome.String(), v.Worker)

@@ -71,11 +71,71 @@ const (
 	// MetricTenantCompleted counts fully served requests per tenant,
 	// labeled {tenant}.
 	MetricTenantCompleted = "dolbie_dispatch_tenant_completed_total"
+	// MetricLiveInflight gauges requests queued or in service in the
+	// wall-clock live engine, refreshed at scrape time from the
+	// dispatcher's lock-free depth. Exported only when a Live engine is
+	// instrumented.
+	MetricLiveInflight = "dolbie_dispatch_live_inflight"
+	// MetricLiveDraining gauges the graceful-drain state: 1 while the
+	// admission gate refuses new arrivals, else 0.
+	MetricLiveDraining = "dolbie_dispatch_live_draining"
+	// MetricLiveDrains counts graceful drains initiated (operator
+	// shutdowns and drained round-boundary retunes).
+	MetricLiveDrains = "dolbie_dispatch_live_drains_total"
+	// MetricLiveReloads counts hot reloads applied through the admin
+	// endpoint, labeled {knob}: "shed", "cap", or "weights".
+	MetricLiveReloads = "dolbie_dispatch_live_reloads_total"
+	// MetricLiveCompletions counts requests completed by the live
+	// workers.
+	MetricLiveCompletions = "dolbie_dispatch_live_completions_total"
+	// MetricLiveIngestLatency is the histogram of server-side ingest
+	// handler latency in wall-clock seconds (parse, admission, verdict
+	// render — not the request's queueing or service time, which is
+	// MetricCompletionLatency).
+	MetricLiveIngestLatency = "dolbie_dispatch_live_ingest_latency_seconds"
 )
 
 // latencyBuckets spans sub-millisecond dispatch latencies up to the
 // multi-second drain times of a saturated queue.
 var latencyBuckets = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+// liveIngestBuckets resolves the live ingest handler's service time:
+// the floor is the loopback RTT scale (tens of microseconds), the tail
+// covers scheduler stalls on a saturated box.
+var liveIngestBuckets = []float64{0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1}
+
+// liveInstruments bundles the wall-clock engine's registry-backed
+// metrics; nil when the engine is uninstrumented. The gauges refresh
+// from lock-free reads at scrape time; the counters and the ingest
+// histogram are updated on paths that already pay a socket round trip,
+// so the per-event registry touch is noise there.
+type liveInstruments struct {
+	inflight      *metrics.Gauge
+	draining      *metrics.Gauge
+	drains        *metrics.Counter
+	reloadShed    *metrics.Counter
+	reloadCap     *metrics.Counter
+	reloadWeights *metrics.Counter
+	completions   *metrics.Counter
+	ingestLatency *metrics.Histogram
+}
+
+func newLiveInstruments(reg *metrics.Registry) *liveInstruments {
+	if reg == nil {
+		return nil
+	}
+	reloads := reg.CounterVec(MetricLiveReloads, "Hot reloads applied via the admin endpoint, by knob.", "knob")
+	return &liveInstruments{
+		inflight:      reg.Gauge(MetricLiveInflight, "Requests queued or in service in the live engine."),
+		draining:      reg.Gauge(MetricLiveDraining, "1 while the admission gate is draining, else 0."),
+		drains:        reg.Counter(MetricLiveDrains, "Graceful drains initiated."),
+		reloadShed:    reloads.WithLabelValues("shed"),
+		reloadCap:     reloads.WithLabelValues("cap"),
+		reloadWeights: reloads.WithLabelValues("weights"),
+		completions:   reg.Counter(MetricLiveCompletions, "Requests completed by the live workers."),
+		ingestLatency: reg.Histogram(MetricLiveIngestLatency, "Server-side ingest handler latency in seconds.", liveIngestBuckets),
+	}
+}
 
 // instruments bundles the dispatcher's registry-backed metrics; nil
 // when the dispatcher is uninstrumented.

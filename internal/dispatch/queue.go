@@ -23,6 +23,12 @@ type queue struct {
 	buf   []Request
 	head  int
 	count int
+	// capLimit is the admission capacity, tracked separately from
+	// len(buf) so the cap can be retuned at runtime (see setCap): the
+	// ring grows lazily on the next push after a raise, and a shrink
+	// below the current occupancy simply refuses new pushes until the
+	// queue drains under the new limit.
+	capLimit int
 	// work is the total demand currently queued (including the
 	// in-service head); the engine uses it as the worker's backlog.
 	work float64
@@ -33,21 +39,36 @@ type queue struct {
 }
 
 func newQueue(capacity int, headSlot *atomic.Int64) *queue {
-	q := &queue{buf: make([]Request, capacity), headSlot: headSlot}
+	q := &queue{buf: make([]Request, capacity), capLimit: capacity, headSlot: headSlot}
 	q.headSlot.Store(emptyHeadID)
 	return q
 }
 
 // full reports whether the queue is at capacity.
-func (q *queue) full() bool { return q.count == len(q.buf) }
+func (q *queue) full() bool { return q.count >= q.capLimit }
 
 // len returns the number of queued requests.
 func (q *queue) len() int { return q.count }
+
+// setCap retunes the admission capacity. Queued requests are never
+// dropped: shrinking below the current occupancy only stops new pushes
+// until the queue drains below the new limit, and the backing ring is
+// grown lazily by push when a raise needs the room.
+func (q *queue) setCap(capacity int) { q.capLimit = capacity }
 
 // push appends a request; it must not be called on a full queue.
 func (q *queue) push(r Request) {
 	if q.full() {
 		panic("dispatch: push on full queue")
+	}
+	if q.count == len(q.buf) {
+		// The cap was raised past the ring's physical size; regrow to the
+		// current limit, unwinding the ring into arrival order.
+		nb := make([]Request, q.capLimit)
+		for i := 0; i < q.count; i++ {
+			nb[i] = q.buf[(q.head+i)%len(q.buf)]
+		}
+		q.buf, q.head = nb, 0
 	}
 	q.buf[(q.head+q.count)%len(q.buf)] = r
 	q.count++

@@ -129,6 +129,13 @@ type ServeConfig struct {
 	// historical behaviour, reproduced bit for bit as the one-tenant
 	// special case of the same engine.
 	Tenants []TenantConfig
+	// ConstantSpeeds freezes every worker's speed process at its
+	// catalog mean (no AR(1) fluctuation) — the virtual-time twin of
+	// the live engine's constant-rate workers. Running Serve with
+	// ConstantSpeeds and a live run over LiveWorkerSpeeds of the same
+	// configuration makes the two directly comparable: the residual
+	// difference is the simulation-vs-reality gap.
+	ConstantSpeeds bool
 	// Seed makes the whole run deterministic: generator, demands, and
 	// worker speed processes all derive from it (tenant k's traffic
 	// stream is seeded Seed + 7919k, so tenant 0 replays the
@@ -361,6 +368,10 @@ func workerSpeeds(cfg ServeConfig) ([]trace.Process, []float64, error) {
 	procs := make([]trace.Process, cfg.N)
 	for i := range procs {
 		means[i] *= scale
+		if cfg.ConstantSpeeds {
+			procs[i] = &trace.Constant{Value: means[i]}
+			continue
+		}
 		ar, err := trace.NewAR1(means[i], 0.8, 0.1*means[i], cfg.Seed+101*int64(i)+1)
 		if err != nil {
 			return nil, nil, err
@@ -368,6 +379,18 @@ func workerSpeeds(cfg ServeConfig) ([]trace.Process, []float64, error) {
 		procs[i] = &trace.Clamp{Inner: ar, Min: 0.2 * means[i], Max: 3 * means[i]}
 	}
 	return procs, means, nil
+}
+
+// LiveWorkerSpeeds derives the constant per-worker service speeds (work
+// units per wall-clock second) a Live engine should run to mirror the
+// configuration's simulated cluster: the same 5x-spread catalog means,
+// scaled so total capacity serves ArrivalRate*DemandMean at the target
+// utilization. Feed the result to LiveConfig.Speeds and the matching
+// ConstantSpeeds simulation becomes the live run's virtual-time twin.
+func LiveWorkerSpeeds(cfg ServeConfig) ([]float64, error) {
+	cfg.ConstantSpeeds = true
+	_, means, err := workerSpeeds(cfg)
+	return means, err
 }
 
 // dataPlane is the slice of the dispatcher surface the closed-loop

@@ -80,6 +80,18 @@ type (
 	// lp-norm family that interpolates between total cost (p = 1) and
 	// makespan fairness (p -> inf).
 	Objective = optimum.Objective
+	// LiveConfig parameterizes a wall-clock Live engine over a
+	// Dispatcher: constant per-worker service speeds, an optional
+	// metrics registry for the dolbie_dispatch_live_* family, and a
+	// monotone clock.
+	LiveConfig = dispatch.LiveConfig
+	// Live drains a Dispatcher in real wall-clock time: one goroutine
+	// per worker serves queue heads at a constant speed and records
+	// each request's wall-clock completion latency. Its Handler adapts
+	// the engine to HTTP ingest; its AdminHandler exposes graceful
+	// drain and hot reload of shed policy, queue caps, and routing
+	// weights.
+	Live = dispatch.Live
 )
 
 // Re-exported data-plane enum values.
@@ -158,12 +170,29 @@ func Serve(cfg ServeConfig) (*ServeResult, error) { return dispatch.Serve(cfg) }
 func ServeComparison(cfg ServeConfig) ([]*ServeResult, error) { return dispatch.RunComparison(cfg) }
 
 // IngestHandler adapts a Dispatcher to live HTTP traffic: each POST is
-// one admission (200 routed/spilled, 429 shed, 503 blocked), with the
-// service demand taken from the "demand" query parameter. now supplies
-// arrival timestamps in seconds.
+// one admission (200 routed/spilled, 429 shed/throttled, 503 blocked
+// or draining — refusals carry a Retry-After backoff hint derived from
+// the shed policy and current queue depth), with the service demand
+// taken from the "demand" query parameter. now supplies arrival
+// timestamps in seconds. See the dispatch.IngestHandler doc comment
+// for the full status-code table.
 func IngestHandler(d *Dispatcher, now func() float64) http.Handler {
 	return dispatch.IngestHandler(d, now)
 }
+
+// NewLive starts the wall-clock serving engine over cfg.Dispatcher:
+// workers begin draining immediately, and the returned engine's
+// Handler/AdminHandler serve live ingest and operations. Stop with
+// Close (after BeginDrain and WaitIdle for a graceful shutdown).
+func NewLive(cfg LiveConfig) (*Live, error) { return dispatch.NewLive(cfg) }
+
+// LiveWorkerSpeeds derives the constant per-worker service speeds a
+// Live engine should run to mirror cfg's simulated cluster: the same
+// 5x-spread catalog means, scaled so total capacity serves
+// ArrivalRate*DemandMean at the target utilization. Pair with
+// ServeConfig.ConstantSpeeds to measure the simulation-vs-reality gap
+// on otherwise identical configurations.
+func LiveWorkerSpeeds(cfg ServeConfig) ([]float64, error) { return dispatch.LiveWorkerSpeeds(cfg) }
 
 // DefaultTenants returns a freshly allocated slice of t equal-weight
 // tenants cycling through the priority classes gold, silver, bronze —
