@@ -13,9 +13,11 @@ build:
 # vet also runs the documentation gate and a short fuzz smoke over the
 # surfaces fed by untrusted input: wire-frame decoding (arbitrary bytes
 # off the network; the seed corpus spans every kind, including the
-# membership frames join/roster-update/aggregate) and dispatcher
+# membership frames join/roster-update/aggregate), dispatcher
 # request admission / policy parsing (arbitrary HTTP ingest traffic and
-# operator flags). One invocation per target: -fuzz matches only one.
+# operator flags), and geo topology validation (operator-supplied
+# region/RTT configs). One invocation per target: -fuzz matches only
+# one.
 vet: docs
 	$(GO) vet ./...
 	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \
@@ -24,6 +26,7 @@ vet: docs
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeFrameJSON -fuzztime=5s ./internal/wire/
 	$(GO) test -run='^$$' -fuzz=FuzzDispatcherAdmission -fuzztime=5s ./internal/dispatch/
 	$(GO) test -run='^$$' -fuzz=FuzzTenantConfig -fuzztime=5s ./internal/dispatch/
+	$(GO) test -run='^$$' -fuzz=FuzzGeoConfig -fuzztime=5s ./internal/geo/
 
 # Documentation coverage and link integrity: every exported declaration
 # and every package needs a real doc comment, and every relative link in
@@ -48,9 +51,11 @@ race:
 
 # Coverage gate: atomic-mode coverage across the repository into
 # cover.out, failing if internal/dispatch — the sharded admission path —
-# drops below the figure it shipped at (92.6%). Atomic mode keeps the
+# drops below the figure it shipped at (92.6%), or internal/geo — the
+# region/latency topology model — below 90%. Atomic mode keeps the
 # counters exact under the concurrent-scrape and fuzz replay tests.
 DISPATCH_COVER_FLOOR = 92.6
+GEO_COVER_FLOOR = 90.0
 cover:
 	$(GO) test -covermode=atomic -coverprofile=cover.out ./...
 	@pct=$$($(GO) test -covermode=atomic -cover ./internal/dispatch/ \
@@ -58,6 +63,11 @@ cover:
 	echo "internal/dispatch coverage: $$pct% (floor $(DISPATCH_COVER_FLOOR)%)"; \
 	awk "BEGIN { exit !($$pct >= $(DISPATCH_COVER_FLOOR)) }" || \
 		{ echo "FAIL: internal/dispatch coverage $$pct% below $(DISPATCH_COVER_FLOOR)%"; exit 1; }
+	@pct=$$($(GO) test -covermode=atomic -cover ./internal/geo/ \
+		| sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p'); \
+	echo "internal/geo coverage: $$pct% (floor $(GEO_COVER_FLOOR)%)"; \
+	awk "BEGIN { exit !($$pct >= $(GEO_COVER_FLOOR)) }" || \
+		{ echo "FAIL: internal/geo coverage $$pct% below $(GEO_COVER_FLOOR)%"; exit 1; }
 
 # bench also regenerates the committed benchmark reports: BENCH_wire.json
 # (bytes/round per protocol per codec on real TCP, allocs/op, and the
@@ -68,10 +78,13 @@ cover:
 # (admission path: single-lock reference vs the sharded dispatcher at
 # 1/4/8 shards), BENCH_scale.json (elastic deployments at N up to
 # 4096: per-worker traffic O(N) flat vs O(1) under the aggregation
-# tree, with bit-identical consensus), and BENCH_live.json (the only
-# wall-clock report: real HTTP socket clients against the Live engine,
-# open- and closed-loop, with the simulated-vs-live latency gap —
-# numbers vary with the host, unlike the seeded reports).
+# tree, with bit-identical consensus), BENCH_geo.json (geo-distributed
+# serving: RTT-penalized vs latency-blind DOLBIE and the DGD baseline
+# on the three-region topology, plus the zero-RTT equivalence gate and
+# the region-outage drill), and BENCH_live.json (the only wall-clock
+# report: real HTTP socket clients against the Live engine, open- and
+# closed-loop, with the simulated-vs-live latency gap — numbers vary
+# with the host, unlike the seeded reports).
 bench:
 	$(GO) test -bench=. -benchmem ./...
 	$(GO) run ./cmd/dolbie-bench -wire -out BENCH_wire.json
@@ -79,6 +92,7 @@ bench:
 	$(GO) run ./cmd/dolbie-bench -serve -out BENCH_serve.json
 	$(GO) run ./cmd/dolbie-bench -dispatch -out BENCH_dispatch.json
 	$(GO) run ./cmd/dolbie-bench -scale -out BENCH_scale.json
+	$(GO) run ./cmd/dolbie-bench -geo -out BENCH_geo.json
 	$(GO) run ./cmd/dolbie-bench -live -out BENCH_live.json
 
 # Regenerate every paper figure/table at paper scale (N=30, 100
@@ -100,6 +114,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzDispatcherAdmission -fuzztime=10s ./internal/dispatch/
 	$(GO) test -fuzz=FuzzParsePolicies -fuzztime=10s ./internal/dispatch/
 	$(GO) test -fuzz=FuzzTenantConfig -fuzztime=10s ./internal/dispatch/
+	$(GO) test -fuzz=FuzzGeoConfig -fuzztime=10s ./internal/geo/
 
 examples:
 	$(GO) run ./examples/quickstart

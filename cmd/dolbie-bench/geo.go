@@ -1,0 +1,198 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"reflect"
+
+	"dolbie/internal/dispatch"
+	"dolbie/internal/geo"
+)
+
+// This file implements the -geo benchmark mode: three geo-distributed
+// serving scenarios on the same seeded substrate, written to
+// BENCH_geo.json. The uniform zero-RTT scenario is a sanity gate — it
+// must reproduce the region-less serving path bit for bit. The
+// heterogeneous three-region scenario is the acceptance bar:
+// RTT-penalized DOLBIE must beat the latency-blind ablation on global
+// completion p99, with the DGD baseline's column populated alongside.
+// The outage drill pins the failure story: severing a region mid-run
+// must show up in that region's mean RTT and in the penalized-regret
+// ledger.
+
+// geoReport is the BENCH_geo.json document.
+type geoReport struct {
+	Config struct {
+		N      int   `json:"n"`
+		Rounds int   `json:"rounds"`
+		Seed   int64 `json:"seed"`
+	} `json:"config"`
+	// UniformSanity records the zero-RTT equivalence gate per policy:
+	// every entry must be true or the bench fails.
+	UniformSanity map[string]bool `json:"uniform_sanity"`
+	// Heterogeneous maps policy name -> full serving result (with the
+	// geo section) on the three-region topology. "dolbie-blind" is the
+	// latency-blind ablation.
+	Heterogeneous map[string]*dispatch.ServeResult `json:"heterogeneous"`
+	// P99RatioBlindOverPenalized > 1 means the RTT-penalized loop beats
+	// the blind ablation on global completion p99 (the acceptance
+	// criterion).
+	P99RatioBlindOverPenalized float64 `json:"p99_ratio_blind_over_penalized"`
+	// OutageDrill compares a calm three-region run against the same run
+	// with a mid-run region outage.
+	OutageDrill outageReport `json:"outage_drill"`
+}
+
+// outageReport is the geo bench's region-outage drill: region 2 (the
+// farthest) is severed for a 30-round window, and the drill passes iff
+// the outage lands in the region's observed mean RTT and the penalized
+// regret ledger exceeds the calm run's.
+type outageReport struct {
+	// Region is the outaged region's name.
+	Region string `json:"region"`
+	// FromRound and ToRound bound the inclusive outage window.
+	FromRound int `json:"from_round"`
+	ToRound   int `json:"to_round"`
+	// OutageRTT is the pinned round-trip time during the window (s).
+	OutageRTT float64 `json:"outage_rtt_s"`
+	// CalmRegret and DrillRegret are the penalized-regret ledgers of the
+	// calm and outaged runs (s).
+	CalmRegret  float64 `json:"calm_regret_s"`
+	DrillRegret float64 `json:"drill_regret_s"`
+	// CalmMeanRTT and DrillMeanRTT are the outaged region's run-mean
+	// RTTs (s).
+	CalmMeanRTT  float64 `json:"calm_mean_rtt_s"`
+	DrillMeanRTT float64 `json:"drill_mean_rtt_s"`
+	// Pass reports the drill verdict.
+	Pass bool `json:"pass"`
+}
+
+// geoPolicies are the control planes the heterogeneous scenario
+// compares; "dolbie-blind" runs PolicyDOLBIE with GeoBlind set.
+var geoPolicies = []struct {
+	name  string
+	pol   dispatch.ControlPolicy
+	blind bool
+}{
+	{"dolbie", dispatch.PolicyDOLBIE, false},
+	{"dolbie-blind", dispatch.PolicyDOLBIE, true},
+	{"dgd", dispatch.PolicyDGD, false},
+	{"wrr", dispatch.PolicyWRR, false},
+	{"jsq", dispatch.PolicyJSQ, false},
+}
+
+// runGeoBench runs the three geo scenarios and writes the report.
+func runGeoBench(outPath string, out io.Writer) error {
+	base := dispatch.DefaultServeConfig()
+	base.N = 9 // splits 3/3/3 across the three-region topology
+	rep := geoReport{
+		UniformSanity: make(map[string]bool),
+		Heterogeneous: make(map[string]*dispatch.ServeResult),
+	}
+	rep.Config.N = base.N
+	rep.Config.Rounds = base.Rounds
+	rep.Config.Seed = base.Seed
+	fmt.Fprintf(out, "geo bench: %d workers, %d rounds, seed %d\n",
+		base.N, base.Rounds, base.Seed)
+
+	// Scenario 1: uniform zero-RTT sanity. The geo run must equal the
+	// region-less run in every field but the Geo section itself.
+	for _, p := range []dispatch.ControlPolicy{dispatch.PolicyDOLBIE, dispatch.PolicyDGD, dispatch.PolicyWRR, dispatch.PolicyJSQ} {
+		cfg := base
+		cfg.Policy = p
+		plain, err := dispatch.Serve(cfg)
+		if err != nil {
+			return fmt.Errorf("uniform sanity (%v, plain): %w", p, err)
+		}
+		gcfg := geo.Uniform(3, base.N/3, 0)
+		cfg.Geo = &gcfg
+		withGeo, err := dispatch.Serve(cfg)
+		if err != nil {
+			return fmt.Errorf("uniform sanity (%v, geo): %w", p, err)
+		}
+		stripped := *withGeo
+		stripped.Geo = nil
+		match := reflect.DeepEqual(&stripped, plain)
+		rep.UniformSanity[p.String()] = match
+		fmt.Fprintf(out, "  uniform zero-RTT %-6s %s\n", p, passString(match))
+		if !match {
+			return fmt.Errorf("uniform sanity: %v geo run diverged from the region-less path", p)
+		}
+	}
+
+	// Scenario 2: heterogeneous three regions.
+	gcfg := geo.ThreeRegions(base.N, base.Seed)
+	for _, p := range geoPolicies {
+		cfg := base
+		cfg.Policy = p.pol
+		cfg.GeoBlind = p.blind
+		g := gcfg
+		cfg.Geo = &g
+		res, err := dispatch.Serve(cfg)
+		if err != nil {
+			return fmt.Errorf("heterogeneous (%s): %w", p.name, err)
+		}
+		rep.Heterogeneous[p.name] = res
+		fmt.Fprintf(out, "  hetero %-12s req p99 %.3fs, cross-region %.1f%%, regret %.1fs, region p99s:",
+			p.name, res.RequestLatencyP99, 100*res.Geo.CrossRegionFraction, res.Geo.Regret)
+		for _, r := range res.Geo.Regions {
+			fmt.Fprintf(out, " %s %.3fs", r.Name, r.RequestLatencyP99)
+		}
+		fmt.Fprintln(out)
+	}
+	pen, blind := rep.Heterogeneous["dolbie"], rep.Heterogeneous["dolbie-blind"]
+	if pen.RequestLatencyP99 > 0 {
+		rep.P99RatioBlindOverPenalized = blind.RequestLatencyP99 / pen.RequestLatencyP99
+	}
+	fmt.Fprintf(out, "penalized DOLBIE completion p99: %.2fx better than latency-blind\n",
+		rep.P99RatioBlindOverPenalized)
+	if rep.P99RatioBlindOverPenalized <= 1 {
+		return fmt.Errorf("geo acceptance failed: penalized p99 %.4fs not better than blind %.4fs",
+			pen.RequestLatencyP99, blind.RequestLatencyP99)
+	}
+
+	// Scenario 3: region-outage drill on the penalized loop.
+	drillGeo := geo.ThreeRegions(base.N, base.Seed)
+	drillGeo.Outages = []geo.Outage{{Region: 2, FromRound: 40, ToRound: 69}}
+	drillGeo.OutageRTT = 5
+	cfg := base
+	cfg.Geo = &drillGeo
+	drill, err := dispatch.Serve(cfg)
+	if err != nil {
+		return fmt.Errorf("outage drill: %w", err)
+	}
+	calm := pen // same topology, seed, and policy without the outage
+	od := outageReport{
+		Region:       drillGeo.Regions[2].Name,
+		FromRound:    drillGeo.Outages[0].FromRound,
+		ToRound:      drillGeo.Outages[0].ToRound,
+		OutageRTT:    drillGeo.OutageRTT,
+		CalmRegret:   calm.Geo.Regret,
+		DrillRegret:  drill.Geo.Regret,
+		CalmMeanRTT:  calm.Geo.Regions[2].MeanRTT,
+		DrillMeanRTT: drill.Geo.Regions[2].MeanRTT,
+	}
+	od.Pass = od.DrillMeanRTT > 2*od.CalmMeanRTT && od.DrillRegret > od.CalmRegret
+	rep.OutageDrill = od
+	fmt.Fprintf(out, "outage drill (%s rounds %d-%d): mean RTT %.3fs -> %.3fs, regret %.1fs -> %.1fs: %s\n",
+		od.Region, od.FromRound, od.ToRound, od.CalmMeanRTT, od.DrillMeanRTT,
+		od.CalmRegret, od.DrillRegret, passString(od.Pass))
+	if !od.Pass {
+		return fmt.Errorf("outage drill failed: %+v", od)
+	}
+
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if outPath == "-" {
+		return nil
+	}
+	if err := os.WriteFile(outPath, append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %s\n", outPath)
+	return nil
+}

@@ -14,6 +14,7 @@
 //	dolbie-bench -dispatch                # admission-path benchmark -> BENCH_dispatch.json
 //	dolbie-bench -scale                   # scaling benchmark -> BENCH_scale.json
 //	dolbie-bench -live                    # wall-clock load test -> BENCH_live.json
+//	dolbie-bench -geo                     # geo-distributed serving -> BENCH_geo.json
 //
 // With -metrics-addr the process serves its runtime gauges (goroutines,
 // heap, GC) and /debug/pprof while the experiments run — useful for
@@ -50,6 +51,15 @@
 // percentiles, server-side wall-clock completion latency, and the gap
 // against the virtual-time twin simulation, to -out (default
 // BENCH_live.json). -duration sets the per-run load window.
+//
+// The -geo mode runs three geo-distributed serving scenarios — a
+// uniform zero-RTT sanity gate that must reproduce the region-less
+// serving path bit for bit, the heterogeneous three-region comparison
+// where RTT-penalized DOLBIE must beat the latency-blind ablation on
+// global completion p99 (with the distributed-gradient-descent baseline
+// alongside), and a region-outage drill scored on the penalized-regret
+// ledger — and writes per-region latency percentiles, cross-region
+// spill fractions, and regrets to -out (default BENCH_geo.json).
 //
 // The -scale mode sweeps elastic Algorithm 2 deployments over the
 // in-memory network at N in {8, 64, 512, 4096}, flat all-to-all
@@ -105,6 +115,7 @@ func run() error {
 		dispBench    = flag.Bool("dispatch", false, "run the admission-path benchmark (single-lock vs sharded dispatcher) instead of a figure")
 		scaleBench   = flag.Bool("scale", false, "run the scaling benchmark (flat vs tree aggregation across deployment sizes) instead of a figure")
 		liveBench    = flag.Bool("live", false, "run the live wall-clock load benchmark (real HTTP sockets against the Live engine) instead of a figure")
+		geoBench     = flag.Bool("geo", false, "run the geo-distributed serving benchmark (RTT-penalized vs latency-blind DOLBIE, DGD baseline, region-outage drill) instead of a figure")
 		liveDur      = flag.Duration("duration", 10*time.Second, "per-run load window for the -live benchmark")
 		codecName    = flag.String("codec", "all", "wire codec to benchmark in -wire mode: all, or a registry name")
 		outPath      = flag.String("out", "", "output file for the benchmark modes (default BENCH_<mode>.json; \"-\" prints without writing)")
@@ -152,6 +163,13 @@ func run() error {
 			out = "BENCH_live.json"
 		}
 		return runLiveBench(*liveDur, out, os.Stdout)
+	}
+	if *geoBench {
+		out := *outPath
+		if out == "" {
+			out = "BENCH_geo.json"
+		}
+		return runGeoBench(out, os.Stdout)
 	}
 
 	if *metricsAddr != "" {

@@ -7,9 +7,13 @@
 //
 // The default mode is a deterministic virtual-time simulation: the same
 // seed always produces the same run, byte for byte. -compare runs the
-// identical traffic realization under all three control policies
-// (dolbie, uniform wrr, jsq) and prints them side by side; -json emits
-// machine-readable results.
+// identical traffic realization under the three headline control
+// policies (dolbie, uniform wrr, jsq) and prints them side by side;
+// -policy dgd selects the distributed-gradient-descent baseline for a
+// single run; -json emits machine-readable results. Alerting and
+// tuning guidance for the exported metric families lives in
+// docs/OPERATIONS.md: §3 (control plane), §6 (serving data plane,
+// queue sizing), §8 (geo-distributed serving).
 //
 // With -http-addr the command instead serves a live wall-clock data
 // plane: POST /ingest admits requests (200 routed, 429 shed/throttled,
@@ -65,8 +69,8 @@ func run(args []string, out io.Writer) error {
 		controlPolicy dolbie.ControlPolicy
 		objective     dolbie.Objective
 	)
-	fs.TextVar(&shedPolicy, "shed", def.Shed, "backpressure policy: reject, block, or spill")
-	fs.TextVar(&controlPolicy, "policy", def.Policy, "control policy: dolbie, wrr, or jsq")
+	fs.TextVar(&shedPolicy, "shed", def.Shed, "backpressure policy: reject, block, or spill (tuning guidance: docs/OPERATIONS.md §6)")
+	fs.TextVar(&controlPolicy, "policy", def.Policy, "control policy: dolbie, wrr, jsq, or dgd")
 	fs.TextVar(&objective, "objective", dolbie.ObjectiveMinMax(), "balancing objective: minmax or l<p> (e.g. l2)")
 	var (
 		n        = fs.Int("n", def.N, "number of workers")
@@ -75,7 +79,7 @@ func run(args []string, out io.Writer) error {
 		rate     = fs.Float64("rate", def.ArrivalRate, "open-loop arrival rate in requests per virtual second")
 		demand   = fs.Float64("demand", def.DemandMean, "mean service demand per request in work units")
 		util     = fs.Float64("util", def.Utilization, "target mean utilization (worker speeds are scaled to it)")
-		capacity = fs.Int("cap", def.QueueCap, "per-worker queue capacity")
+		capacity = fs.Int("cap", def.QueueCap, "per-worker queue capacity (sizing guidance: docs/OPERATIONS.md §6)")
 		shards   = fs.Int("shards", def.Shards, "admission shards (0 = 1; split the dispatcher lock for concurrent ingest)")
 		alpha    = fs.Float64("alpha", def.Alpha1, "DOLBIE initial step size")
 		seed     = fs.Int64("seed", def.Seed, "seed for traffic and worker speed processes")

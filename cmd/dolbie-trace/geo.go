@@ -1,0 +1,76 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"dolbie/internal/geo"
+	"dolbie/internal/stats"
+)
+
+// runGeoTrace realizes the heterogeneous three-region topology's RTT
+// trace: rounds steps of the region-correlated congestion processes,
+// printed as per-link summary statistics over the frontend's links and
+// optionally exported as a per-round CSV — the geo analogue of the
+// gamma trace, for eyeballing the latency substrate behind the geo
+// bench and the regretgeo figure.
+func runGeoTrace(n, rounds int, seed int64, csv string) error {
+	gcfg := geo.ThreeRegions(n, seed)
+	m, err := geo.NewMatrix(gcfg)
+	if err != nil {
+		return err
+	}
+	names := gcfg.RegionNames()
+	fmt.Printf("geo topology (seed %d): frontend %s, %d workers\n", seed, names[gcfg.Frontend], n)
+	for r, reg := range gcfg.Regions {
+		fmt.Printf("  region %-9s %d workers, base RTT from frontend %.3fs\n",
+			reg.Name, reg.Workers, gcfg.RTT[gcfg.Frontend][r])
+	}
+
+	rtts := make([][]float64, len(names))
+	for t := 0; t < rounds; t++ {
+		m.Advance()
+		for r := range names {
+			rtts[r] = append(rtts[r], m.RTT(gcfg.Frontend, r))
+		}
+	}
+
+	fmt.Printf("\nfrontend→region RTT over %d rounds:\n", rounds)
+	fmt.Println("region     mean(s)    std(s)     min(s)     max(s)")
+	for r, name := range names {
+		minV, maxV := rtts[r][0], rtts[r][0]
+		for _, v := range rtts[r] {
+			if v < minV {
+				minV = v
+			}
+			if v > maxV {
+				maxV = v
+			}
+		}
+		fmt.Printf("%-9s  %-9.4f  %-9.4f  %-9.4f  %.4f\n",
+			name, stats.Mean(rtts[r]), stats.StdDev(rtts[r]), minV, maxV)
+	}
+
+	if csv != "" {
+		var b strings.Builder
+		b.WriteString("round")
+		for _, name := range names {
+			b.WriteString(",rtt_" + name)
+		}
+		b.WriteString("\n")
+		for t := 0; t < rounds; t++ {
+			b.WriteString(strconv.Itoa(t + 1))
+			for r := range names {
+				b.WriteString("," + strconv.FormatFloat(rtts[r][t], 'g', -1, 64))
+			}
+			b.WriteString("\n")
+		}
+		if err := os.WriteFile(csv, []byte(b.String()), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %s\n", csv)
+	}
+	return nil
+}

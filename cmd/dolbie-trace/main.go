@@ -5,10 +5,16 @@
 // time, plus summary statistics. Useful for eyeballing the stochastic
 // substrate behind the experiments.
 //
+// With -geo the command instead realizes the heterogeneous three-region
+// topology's frontend→region RTT trace — the latency substrate behind
+// the geo serving bench — using the same -n, -rounds, -seed, and -csv
+// flags.
+//
 // Examples:
 //
 //	dolbie-trace -n 8 -rounds 20
 //	dolbie-trace -n 30 -rounds 100 -model VGG16 -csv trace.csv
+//	dolbie-trace -geo -n 9 -rounds 100 -csv rtt.csv
 package main
 
 import (
@@ -40,8 +46,13 @@ func run() error {
 		csv    = flag.String("csv", "", "write the gamma trace to this CSV file")
 		save   = flag.String("save", "", "save the full realization (fleet + traces) as a JSON reproducibility artifact")
 		load   = flag.String("load", "", "load and summarize a realization saved with -save instead of generating one")
+		geoRTT = flag.Bool("geo", false, "realize the three-region topology's frontend→region RTT trace instead of a cluster trace")
 	)
 	flag.Parse()
+
+	if *geoRTT {
+		return runGeoTrace(*n, *rounds, *seed, *csv)
+	}
 
 	var rec *mlsim.Realization
 	if *load != "" {

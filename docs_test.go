@@ -33,6 +33,7 @@ var docPackages = []string{
 	"internal/edgesim",
 	"internal/estimate",
 	"internal/experiments",
+	"internal/geo",
 	"internal/metrics",
 	"internal/mlsim",
 	"internal/optimum",

@@ -1,0 +1,135 @@
+package baselines
+
+import (
+	"math"
+	"testing"
+
+	"dolbie/internal/core"
+	"dolbie/internal/costfn"
+	"dolbie/internal/simplex"
+)
+
+func TestNewDGDValidation(t *testing.T) {
+	if _, err := NewDGD([]float64{0.4, 0.4}, 0.1); err == nil {
+		t.Error("infeasible x0 should error")
+	}
+	if _, err := NewDGD(simplex.Uniform(2), 0); err == nil {
+		t.Error("zero eta should error")
+	}
+	if _, err := NewDGD(simplex.Uniform(2), -0.1); err == nil {
+		t.Error("negative eta should error")
+	}
+	g, err := NewDGD(simplex.Uniform(3), 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name() != "DGD" {
+		t.Errorf("name = %q", g.Name())
+	}
+	if err := g.Update(core.Observation{}); err == nil {
+		t.Error("malformed observation should error")
+	}
+}
+
+func TestDGDMovesLoadOffExpensiveWorker(t *testing.T) {
+	// Worker 1's latency dominates (a high-RTT remote region): the
+	// aggregate-cost gradient there is larger, so DGD shifts share to
+	// worker 0.
+	g, err := NewDGD(simplex.Uniform(2), 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	funcs := []costfn.Func{
+		costfn.Affine{Slope: 1, Intercept: 0.01},
+		costfn.Affine{Slope: 1, Intercept: 1.0}, // + RTT penalty
+	}
+	for i := 0; i < 50; i++ {
+		if err := g.Update(obsFor(funcs, g.Assignment())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	x := g.Assignment()
+	if x[0] <= x[1] {
+		t.Errorf("after 50 rounds x = %v; want load shifted off the high-latency worker", x)
+	}
+	if err := simplex.Check(x, 1e-9); err != nil {
+		t.Errorf("assignment left the simplex: %v", err)
+	}
+}
+
+func TestDGDGradientUsesEveryCoordinate(t *testing.T) {
+	// Unlike OGD's straggler-only subgradient, one DGD step moves every
+	// coordinate with a distinct gradient: from the uniform point over
+	// heterogeneous affine costs, all shares must change.
+	g, err := NewDGD(simplex.Uniform(3), 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	funcs := []costfn.Func{
+		costfn.Affine{Slope: 1, Intercept: 0.1},
+		costfn.Affine{Slope: 2, Intercept: 0.2},
+		costfn.Affine{Slope: 4, Intercept: 0.4},
+	}
+	before := simplex.Clone(g.Assignment())
+	if err := g.Update(obsFor(funcs, g.Assignment())); err != nil {
+		t.Fatal(err)
+	}
+	after := g.Assignment()
+	changed := 0
+	for i := range before {
+		if after[i] != before[i] {
+			changed++
+		}
+	}
+	if changed < 2 {
+		t.Errorf("one step changed only %d coordinates (%v -> %v); the aggregate gradient touches all", changed, before, after)
+	}
+	// Steepest aggregate cost growth is at worker 2; its share must drop
+	// the most.
+	if after[2] >= before[2] {
+		t.Errorf("share of the steepest worker grew: %v -> %v", before[2], after[2])
+	}
+}
+
+func TestDGDConvergesOnStaticCosts(t *testing.T) {
+	// On static affine costs the projected descent should settle: late
+	// iterates move by far less than early ones, and the aggregate cost
+	// never trends up.
+	g, err := NewDGD(simplex.Uniform(4), 0.03)
+	if err != nil {
+		t.Fatal(err)
+	}
+	funcs := []costfn.Func{
+		costfn.Affine{Slope: 1, Intercept: 0.3},
+		costfn.Affine{Slope: 1.5, Intercept: 0.1},
+		costfn.Affine{Slope: 3, Intercept: 0.6},
+		costfn.Affine{Slope: 0.5, Intercept: 0.05},
+	}
+	agg := func(x []float64) float64 {
+		var s float64
+		for i, f := range funcs {
+			s += x[i] * f.Eval(x[i])
+		}
+		return s
+	}
+	first := agg(g.Assignment())
+	var prev []float64
+	var lateMove float64
+	for i := 0; i < 300; i++ {
+		if i == 299 {
+			prev = simplex.Clone(g.Assignment())
+		}
+		if err := g.Update(obsFor(funcs, g.Assignment())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, v := range g.Assignment() {
+		lateMove += math.Abs(v - prev[i])
+	}
+	if lateMove > 1e-3 {
+		t.Errorf("step 300 still moved the iterate by %v; want settled under static costs", lateMove)
+	}
+	if final := agg(g.Assignment()); final > first {
+		t.Errorf("aggregate cost rose from %v to %v under descent", first, final)
+	}
+}

@@ -11,6 +11,7 @@ import (
 
 	"dolbie/internal/core"
 	"dolbie/internal/metrics"
+	"dolbie/internal/trace"
 	"dolbie/internal/wire"
 )
 
@@ -70,6 +71,17 @@ type ChaosConfig struct {
 	Seed int64
 	// Delay defers every delivery by this base latency.
 	Delay time.Duration
+	// DelayModel, when non-nil, turns the constant Delay into a
+	// time-varying per-link latency: it is called once per directed link
+	// (from, to) the first time a message of that link reaches node
+	// `to`, and the returned process is sampled once per delivery
+	// attempt. Each sample is interpreted in seconds, clamped at zero,
+	// and added on top of Delay. geo.Config.LinkDelay is the matching
+	// factory, which is how chaos drills and geo RTTs share one source
+	// of truth. The processes run exclusively on the receiving node's
+	// pump goroutine, so trace.Process implementations need no locking;
+	// nil leaves the constant-Delay path untouched, bit for bit.
+	DelayModel func(from, to int) trace.Process
 	// Jitter adds a deterministic per-message fraction of itself on top
 	// of Delay.
 	Jitter time.Duration
@@ -215,6 +227,12 @@ type chaosTransport struct {
 	pumpCancel context.CancelFunc
 	pumpDone   chan struct{}
 	pumpErr    error // set before pumpDone closes
+
+	// linkDelay holds the per-link latency processes built lazily from
+	// ChaosConfig.DelayModel, keyed by sender. Touched only by the pump
+	// goroutine, so no lock guards it and the processes themselves never
+	// see concurrent Next calls.
+	linkDelay map[int]trace.Process
 
 	mu        sync.Mutex
 	attempts  map[chaosMsgKey]uint64
@@ -382,6 +400,21 @@ func (t *chaosTransport) pump() {
 			continue
 		}
 		delay := cfg.Delay
+		if cfg.DelayModel != nil {
+			p, ok := t.linkDelay[env.From]
+			if !ok {
+				p = cfg.DelayModel(env.From, t.id)
+				if t.linkDelay == nil {
+					t.linkDelay = make(map[int]trace.Process)
+				}
+				t.linkDelay[env.From] = p
+			}
+			if p != nil {
+				if s := p.Next(); s > 0 {
+					delay += time.Duration(s * float64(time.Second))
+				}
+			}
+		}
 		if cfg.Jitter > 0 {
 			delay += time.Duration(t.roll(key, attempt, 2) * float64(cfg.Jitter))
 		}

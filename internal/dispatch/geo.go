@@ -1,0 +1,292 @@
+package dispatch
+
+import (
+	"dolbie/internal/costfn"
+	"dolbie/internal/geo"
+	"dolbie/internal/metrics"
+	"dolbie/internal/optimum"
+	"dolbie/internal/stats"
+)
+
+// Metric names of the dolbie_dispatch_region_* family, exported only on
+// geo-serving runs (ServeConfig.Geo set) the way the per-tenant family
+// is exported only on multi-tenant dispatchers. The alert guide lives in
+// docs/OPERATIONS.md §8.
+const (
+	// MetricRegionRouted counts requests enqueued on workers of each
+	// region, labeled {region} (spills count on the region they landed
+	// on).
+	MetricRegionRouted = "dolbie_dispatch_region_routed_total"
+	// MetricRegionCompleted counts requests fully served by workers of
+	// each region, labeled {region}.
+	MetricRegionCompleted = "dolbie_dispatch_region_completed_total"
+	// MetricRegionCross counts completions served by a region other than
+	// the ingest frontend's, labeled {region} (the serving region). The
+	// ratio of its sum to MetricRegionCompleted's sum is the cross-region
+	// spill fraction — the traffic paying a wide-area round trip.
+	MetricRegionCross = "dolbie_dispatch_region_cross_completed_total"
+	// MetricRegionRTT gauges the current frontend→region round-trip time
+	// in virtual seconds, labeled {region}, refreshed at every round
+	// boundary as the topology's congestion processes evolve (an active
+	// geo.Outage pins it to the configured outage RTT).
+	MetricRegionRTT = "dolbie_dispatch_region_rtt_seconds"
+)
+
+// regionInstruments pre-resolves the per-region label series, mirroring
+// dispatcherInstruments: the serving engine is single-threaded, so the
+// per-event counter touches happen outside any lock, and scrapes read
+// the registry's own atomics.
+type regionInstruments struct {
+	routedByR    []*metrics.Counter
+	completedByR []*metrics.Counter
+	crossByR     []*metrics.Counter
+	rttByR       []*metrics.Gauge
+}
+
+func newRegionInstruments(reg *metrics.Registry, names []string) *regionInstruments {
+	if reg == nil {
+		return nil
+	}
+	routed := reg.CounterVec(MetricRegionRouted, "Requests enqueued, by worker region.", "region")
+	completed := reg.CounterVec(MetricRegionCompleted, "Requests fully served, by worker region.", "region")
+	cross := reg.CounterVec(MetricRegionCross, "Completions served outside the frontend's region, by serving region.", "region")
+	rtt := reg.GaugeVec(MetricRegionRTT, "Current frontend→region round-trip time in seconds.", "region")
+	ri := &regionInstruments{
+		routedByR:    make([]*metrics.Counter, len(names)),
+		completedByR: make([]*metrics.Counter, len(names)),
+		crossByR:     make([]*metrics.Counter, len(names)),
+		rttByR:       make([]*metrics.Gauge, len(names)),
+	}
+	for r, name := range names {
+		ri.routedByR[r] = routed.WithLabelValues(name)
+		ri.completedByR[r] = completed.WithLabelValues(name)
+		ri.crossByR[r] = cross.WithLabelValues(name)
+		ri.rttByR[r] = rtt.WithLabelValues(name)
+	}
+	return ri
+}
+
+// GeoServeResult summarizes the regional view of a geo serving run.
+type GeoServeResult struct {
+	// Frontend names the region hosting the ingest frontend.
+	Frontend string `json:"frontend"`
+	// Penalized reports whether the closed loop saw the RTT-penalized
+	// effective costs (false under ServeConfig.GeoBlind — the
+	// latency-blind ablation).
+	Penalized bool `json:"penalized"`
+	// CrossRegionFraction is the fraction of completed requests served
+	// by a worker outside the frontend's region — the traffic that paid
+	// a wide-area round trip.
+	CrossRegionFraction float64 `json:"cross_region_fraction"`
+	// Regret is the cumulative excess of the realized penalized global
+	// cost max_i (l_{i,t} + RTT_{i,t}) over the clairvoyant per-round
+	// optimum of the fitted affine penalized cost models, in seconds
+	// summed over rounds. It is a model-based diagnostic (the models are
+	// the same affine fits the closed loop consumes), comparable across
+	// policies on the same seeded realization — the geo bench's
+	// outage-drill column.
+	Regret float64 `json:"regret_s"`
+	// MeanRTT is the run-average frontend→worker-region RTT in seconds
+	// weighted by region worker counts' routing — reported per region in
+	// Regions; this top-level figure averages over regions unweighted.
+	MeanRTT float64 `json:"mean_rtt_s"`
+	// Regions breaks the run down per region, in topology order.
+	Regions []RegionServeResult `json:"regions"`
+}
+
+// RegionServeResult summarizes one region's slice of a geo serving run.
+type RegionServeResult struct {
+	// Name is the region's name.
+	Name string `json:"name"`
+	// Workers is the number of workers homed in the region.
+	Workers int `json:"workers"`
+	// Routed counts requests enqueued on the region's workers.
+	Routed int64 `json:"routed"`
+	// Completed counts requests fully served by the region's workers.
+	Completed int64 `json:"completed"`
+	// RequestLatencyP50 and RequestLatencyP99 summarize completion
+	// latency (drain plus frontend→region RTT) for requests served by
+	// the region, in seconds.
+	RequestLatencyP50 float64 `json:"request_latency_p50_s"`
+	RequestLatencyP99 float64 `json:"request_latency_p99_s"`
+	// MeanRTT is the run-average frontend→region round-trip time in
+	// seconds.
+	MeanRTT float64 `json:"mean_rtt_s"`
+}
+
+// geoState is the serving engine's latency bookkeeping for one geo run:
+// the evolving topology matrix, the per-worker RTT penalty refreshed
+// each round, per-region accounting, and the regret ledger. It exists
+// only when ServeConfig.Geo is set; the region-less engine never touches
+// it, which is what keeps the non-geo path bit-for-bit unchanged.
+type geoState struct {
+	cfg    geo.Config
+	m      *geo.Matrix
+	inst   *regionInstruments
+	pen    []float64 // current frontend→worker RTT, refreshed by roundStart
+	eff    []float64 // scratch: penalized effective costs
+	gfuncs []costfn.Func
+
+	routed    []int64
+	completed []int64
+	cross     []int64
+	regLat    [][]float64
+	rttSum    []float64
+	rounds    int
+	regret    float64
+}
+
+// newGeoState builds the geo bookkeeping, or returns nil when the run is
+// region-less. Assumes cfg has been validated.
+func newGeoState(cfg ServeConfig) (*geoState, error) {
+	if cfg.Geo == nil {
+		return nil, nil
+	}
+	m, err := geo.NewMatrix(*cfg.Geo)
+	if err != nil {
+		return nil, err
+	}
+	nr := len(cfg.Geo.Regions)
+	return &geoState{
+		cfg:       *cfg.Geo,
+		m:         m,
+		inst:      newRegionInstruments(cfg.Metrics, cfg.Geo.RegionNames()),
+		pen:       make([]float64, cfg.N),
+		eff:       make([]float64, cfg.N),
+		gfuncs:    make([]costfn.Func, cfg.N),
+		routed:    make([]int64, nr),
+		completed: make([]int64, nr),
+		cross:     make([]int64, nr),
+		regLat:    make([][]float64, nr),
+		rttSum:    make([]float64, nr),
+	}, nil
+}
+
+// roundStart advances the topology one round and refreshes the
+// per-worker RTT penalties and the per-region RTT gauges.
+func (g *geoState) roundStart() {
+	g.m.Advance()
+	g.rounds++
+	for r := range g.rttSum {
+		rtt := g.m.RTT(g.cfg.Frontend, r)
+		g.rttSum[r] += rtt
+		if g.inst != nil {
+			g.inst.rttByR[r].Set(rtt)
+		}
+	}
+	for i := range g.pen {
+		g.pen[i] = g.m.FrontendRTT(i)
+	}
+}
+
+// onRouted records a request enqueued on worker w.
+func (g *geoState) onRouted(w int) {
+	r := g.m.WorkerRegion(w)
+	g.routed[r]++
+	if g.inst != nil {
+		g.inst.routedByR[r].Inc()
+	}
+}
+
+// onComplete records a completion on worker w and returns the request's
+// effective latency: the drain latency plus the current frontend→worker
+// RTT (network time is paid at this round's link state).
+func (g *geoState) onComplete(w int, drainLat float64) float64 {
+	r := g.m.WorkerRegion(w)
+	lat := drainLat + g.pen[w]
+	g.completed[r]++
+	g.regLat[r] = append(g.regLat[r], lat)
+	if g.inst != nil {
+		g.inst.completedByR[r].Inc()
+	}
+	if r != g.cfg.Frontend {
+		g.cross[r]++
+		if g.inst != nil {
+			g.inst.crossByR[r].Inc()
+		}
+	}
+	return lat
+}
+
+// roundEnd computes the round's penalized effective costs
+// eff_i = l_{i,t} + RTT_{i,t} and settles the regret ledger: the fitted
+// affine penalized models (slope from the cluster's total offered work,
+// intercept anchoring each model at the realized traffic share) are
+// solved for the clairvoyant per-round optimum, and the excess of the
+// realized penalized global cost over it accumulates. Returns eff,
+// reused across rounds.
+func (g *geoState) roundEnd(costs, routedWork, gamma []float64, trs []tenantRuntime) ([]float64, error) {
+	var offered float64
+	for k := range trs {
+		offered += trs[k].offered
+	}
+	var routedTotal float64
+	for _, w := range routedWork {
+		routedTotal += w
+	}
+	realized := 0.0
+	for i := range g.eff {
+		g.eff[i] = costs[i] + g.pen[i]
+		if g.eff[i] > realized {
+			realized = g.eff[i]
+		}
+	}
+	for i := range g.gfuncs {
+		slope := offered / gamma[i]
+		if slope <= 0 {
+			slope = 1e-9 // idle round: keep the model increasing
+		}
+		share := 1 / float64(len(g.eff))
+		if routedTotal > 0 {
+			share = routedWork[i] / routedTotal
+		}
+		intercept := g.eff[i] - slope*share
+		if intercept < 0 {
+			intercept = 0
+		}
+		g.gfuncs[i] = costfn.Affine{Slope: slope, Intercept: intercept}
+	}
+	opt, err := optimum.Solve(g.gfuncs, 0)
+	if err != nil {
+		return nil, err
+	}
+	if gap := realized - opt.Value; gap > 0 {
+		g.regret += gap
+	}
+	return g.eff, nil
+}
+
+// result assembles the run's regional summary.
+func (g *geoState) result(cfg ServeConfig) *GeoServeResult {
+	res := &GeoServeResult{
+		Frontend:  g.cfg.Regions[g.cfg.Frontend].Name,
+		Penalized: !cfg.GeoBlind,
+		Regret:    g.regret,
+		Regions:   make([]RegionServeResult, len(g.cfg.Regions)),
+	}
+	var completed, cross int64
+	for r := range res.Regions {
+		rr := RegionServeResult{
+			Name:      g.cfg.Regions[r].Name,
+			Workers:   g.cfg.Regions[r].Workers,
+			Routed:    g.routed[r],
+			Completed: g.completed[r],
+		}
+		if g.rounds > 0 {
+			rr.MeanRTT = g.rttSum[r] / float64(g.rounds)
+		}
+		if len(g.regLat[r]) > 0 {
+			rr.RequestLatencyP50, _ = stats.Percentile(g.regLat[r], 50)
+			rr.RequestLatencyP99, _ = stats.Percentile(g.regLat[r], 99)
+		}
+		res.MeanRTT += rr.MeanRTT
+		res.Regions[r] = rr
+		completed += g.completed[r]
+		cross += g.cross[r]
+	}
+	res.MeanRTT /= float64(len(res.Regions))
+	if completed > 0 {
+		res.CrossRegionFraction = float64(cross) / float64(completed)
+	}
+	return res
+}

@@ -1,0 +1,304 @@
+package dispatch
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dolbie/internal/geo"
+	"dolbie/internal/metrics"
+)
+
+// TestGeoZeroRTTEquivalence is the geo PR's pinned proof, in the same
+// pattern as the Shards=1 and single-tenant equivalences: a zero-RTT
+// uniform topology must reproduce the region-less dispatch path bit for
+// bit through the whole closed loop — the fed-back cost sequence, every
+// counter, and the summary result — for every control policy. The only
+// permitted difference is the presence of the Geo section itself.
+func TestGeoZeroRTTEquivalence(t *testing.T) {
+	for _, policy := range []ControlPolicy{PolicyDOLBIE, PolicyWRR, PolicyJSQ, PolicyDGD} {
+		cfg := DefaultServeConfig()
+		cfg.Rounds = 60
+		cfg.Seed = 7
+		cfg.Policy = policy
+
+		var plainCosts [][]float64
+		cfg.observeRound = func(round int, costs []float64) {
+			plainCosts = append(plainCosts, append([]float64(nil), costs...))
+		}
+		plain, err := Serve(cfg)
+		if err != nil {
+			t.Fatalf("%v: plain serve: %v", policy, err)
+		}
+
+		gcfg := geo.Uniform(2, cfg.N/2, 0)
+		cfg.Geo = &gcfg
+		var geoCosts [][]float64
+		cfg.observeRound = func(round int, costs []float64) {
+			geoCosts = append(geoCosts, append([]float64(nil), costs...))
+		}
+		withGeo, err := Serve(cfg)
+		if err != nil {
+			t.Fatalf("%v: geo serve: %v", policy, err)
+		}
+
+		if withGeo.Geo == nil {
+			t.Fatalf("%v: geo run returned no Geo section", policy)
+		}
+		stripped := *withGeo
+		stripped.Geo = nil
+		if !reflect.DeepEqual(&stripped, plain) {
+			t.Errorf("%v: results diverge:\ngeo:   %+v\nplain: %+v", policy, &stripped, plain)
+		}
+		if len(geoCosts) != len(plainCosts) {
+			t.Fatalf("%v: %d vs %d observed rounds", policy, len(geoCosts), len(plainCosts))
+		}
+		for r := range geoCosts {
+			for i := range geoCosts[r] {
+				if geoCosts[r][i] != plainCosts[r][i] {
+					t.Fatalf("%v: round %d worker %d: fed-back cost %v != region-less %v",
+						policy, r, i, geoCosts[r][i], plainCosts[r][i])
+				}
+			}
+		}
+		if withGeo.Geo.Regret != 0 {
+			// Zero RTT and anchored fits: the realized penalized cost is the
+			// realized drain cost and the model passes through it, so the
+			// ledger can only accumulate genuine balancing gaps. It need not
+			// be zero, but it must match a region-less interpretation:
+			// non-negative and finite.
+			if withGeo.Geo.Regret < 0 || math.IsInf(withGeo.Geo.Regret, 0) || math.IsNaN(withGeo.Geo.Regret) {
+				t.Errorf("%v: zero-RTT regret = %v", policy, withGeo.Geo.Regret)
+			}
+		}
+	}
+}
+
+// TestGeoUniformRTTShiftsLatencyOnly pins the next-strongest uniform
+// property: under a frozen uniform nonzero RTT with a latency-blind
+// loop, routing is untouched (the fed costs are identical), so every
+// counter matches the region-less run and the completion percentiles
+// shift by exactly the RTT.
+func TestGeoUniformRTTShiftsLatencyOnly(t *testing.T) {
+	const rtt = 0.25
+	cfg := DefaultServeConfig()
+	cfg.Rounds = 80
+	cfg.Seed = 11
+	plain, err := Serve(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gcfg := geo.Uniform(4, 2, rtt)
+	cfg.Geo = &gcfg
+	cfg.GeoBlind = true
+	shifted, err := Serve(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shifted.Arrivals != plain.Arrivals || shifted.Completed != plain.Completed ||
+		shifted.ShedCount != plain.ShedCount || shifted.Spilled != plain.Spilled ||
+		shifted.Blocked != plain.Blocked || shifted.Retunes != plain.Retunes {
+		t.Errorf("blind uniform-RTT run moved counters: %+v vs %+v", shifted, plain)
+	}
+	if shifted.MaxWorkerLatencyP99 != plain.MaxWorkerLatencyP99 {
+		t.Errorf("drain-side max-worker p99 moved: %v vs %v", shifted.MaxWorkerLatencyP99, plain.MaxWorkerLatencyP99)
+	}
+	for _, d := range []struct {
+		name      string
+		got, want float64
+	}{
+		{"p50", shifted.RequestLatencyP50, plain.RequestLatencyP50 + rtt},
+		{"p99", shifted.RequestLatencyP99, plain.RequestLatencyP99 + rtt},
+	} {
+		if math.Abs(d.got-d.want) > 1e-9 {
+			t.Errorf("completion %s = %v, want plain+rtt = %v", d.name, d.got, d.want)
+		}
+	}
+	if f := shifted.Geo.CrossRegionFraction; f <= 0 || f >= 1 {
+		t.Errorf("uniform 4-region cross fraction = %v, want interior", f)
+	}
+	if shifted.Geo.Penalized {
+		t.Error("GeoBlind run reported Penalized")
+	}
+}
+
+// TestGeoPenalizedBeatsBlindHeterogeneous is the acceptance property the
+// geo bench enforces: on the heterogeneous three-region topology,
+// letting DOLBIE see the RTT-penalized costs must beat the latency-blind
+// ablation on global completion p99.
+func TestGeoPenalizedBeatsBlindHeterogeneous(t *testing.T) {
+	base := DefaultServeConfig()
+	base.N = 9
+	base.Rounds = 120
+	base.Seed = 3
+	gcfg := geo.ThreeRegions(base.N, base.Seed)
+	base.Geo = &gcfg
+
+	pen, err := Serve(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blindCfg := base
+	blindCfg.GeoBlind = true
+	blind, err := Serve(blindCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pen.RequestLatencyP99 >= blind.RequestLatencyP99 {
+		t.Errorf("penalized completion p99 %v not better than blind %v",
+			pen.RequestLatencyP99, blind.RequestLatencyP99)
+	}
+}
+
+// TestGeoOutageDrill drives a region outage through the round-gated
+// window machinery and checks it lands where it should: the outaged
+// region's run-mean RTT spikes relative to the same run without the
+// outage, and the drill leaves the ledger with more regret than the
+// calm run.
+func TestGeoOutageDrill(t *testing.T) {
+	cfg := DefaultServeConfig()
+	cfg.N = 9
+	cfg.Rounds = 100
+	cfg.Seed = 5
+	calmGeo := geo.ThreeRegions(cfg.N, cfg.Seed)
+	cfg.Geo = &calmGeo
+	calm, err := Serve(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	drillGeo := geo.ThreeRegions(cfg.N, cfg.Seed)
+	drillGeo.Outages = []geo.Outage{{Region: 2, FromRound: 30, ToRound: 59}}
+	drillGeo.OutageRTT = 5
+	cfg.Geo = &drillGeo
+	drill, err := Serve(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if drill.Geo.Regions[2].MeanRTT <= calm.Geo.Regions[2].MeanRTT*2 {
+		t.Errorf("outaged region mean RTT %v vs calm %v: outage did not land",
+			drill.Geo.Regions[2].MeanRTT, calm.Geo.Regions[2].MeanRTT)
+	}
+	if drill.Geo.Regret <= calm.Geo.Regret {
+		t.Errorf("drill regret %v not above calm %v", drill.Geo.Regret, calm.Geo.Regret)
+	}
+}
+
+// TestGeoResultConsistency checks the regional ledger against the run
+// totals: region routed/completed sums match the dispatcher's counters
+// and the DGD policy populates the same structure.
+func TestGeoResultConsistency(t *testing.T) {
+	for _, policy := range []ControlPolicy{PolicyDOLBIE, PolicyDGD, PolicyWRR, PolicyJSQ} {
+		cfg := DefaultServeConfig()
+		cfg.N = 6
+		cfg.Rounds = 60
+		cfg.Policy = policy
+		gcfg := geo.ThreeRegions(cfg.N, 1)
+		cfg.Geo = &gcfg
+		res, err := Serve(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", policy, err)
+		}
+		g := res.Geo
+		if g == nil {
+			t.Fatalf("%v: no geo section", policy)
+		}
+		var completed int64
+		for _, r := range g.Regions {
+			completed += r.Completed
+			if r.Routed < r.Completed {
+				t.Errorf("%v: region %s routed %d < completed %d", policy, r.Name, r.Routed, r.Completed)
+			}
+			if r.MeanRTT <= 0 {
+				t.Errorf("%v: region %s mean RTT %v", policy, r.Name, r.MeanRTT)
+			}
+		}
+		if completed != res.Completed {
+			t.Errorf("%v: region completed sum %d != total %d", policy, completed, res.Completed)
+		}
+		if g.CrossRegionFraction < 0 || g.CrossRegionFraction > 1 {
+			t.Errorf("%v: cross fraction %v", policy, g.CrossRegionFraction)
+		}
+		if g.Frontend != "us-east" {
+			t.Errorf("%v: frontend %q", policy, g.Frontend)
+		}
+		if g.Regret < 0 {
+			t.Errorf("%v: negative regret %v", policy, g.Regret)
+		}
+	}
+}
+
+// TestGeoMetricsExported scrapes a geo run's registry and checks the
+// dolbie_dispatch_region_* family: every region label present, the
+// region routed counters summing to the per-worker routed total, and
+// the RTT gauges carrying the final round's matrix.
+func TestGeoMetricsExported(t *testing.T) {
+	reg := metrics.NewRegistry()
+	cfg := DefaultServeConfig()
+	cfg.N = 6
+	cfg.Rounds = 40
+	cfg.Metrics = reg
+	gcfg := geo.ThreeRegions(cfg.N, 1)
+	cfg.Geo = &gcfg
+	res, err := Serve(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, name := range gcfg.RegionNames() {
+		for _, family := range []string{MetricRegionRouted, MetricRegionCompleted, MetricRegionRTT} {
+			if !strings.Contains(text, family+`{region="`+name+`"}`) {
+				t.Errorf("scrape missing %s{region=%q}", family, name)
+			}
+		}
+	}
+	var routedSum float64
+	for _, name := range gcfg.RegionNames() {
+		routedSum += scrapeValue(t, text, MetricRegionRouted+`{region="`+name+`"}`)
+	}
+	var geoRouted int64
+	for _, r := range res.Geo.Regions {
+		geoRouted += r.Routed
+	}
+	if int64(routedSum) != geoRouted {
+		t.Errorf("scraped region routed sum %v != result %d", routedSum, geoRouted)
+	}
+	// The frontend's own region never counts as cross-region.
+	if strings.Contains(text, MetricRegionCross+`{region="us-east"}`) {
+		v := scrapeValue(t, text, MetricRegionCross+`{region="us-east"}`)
+		if v != 0 {
+			t.Errorf("frontend region exported cross completions %v", v)
+		}
+	}
+}
+
+// TestGeoConfigRejections covers the serve-level geo validation: a
+// topology whose worker count mismatches N, and the blind flag without a
+// topology.
+func TestGeoConfigRejections(t *testing.T) {
+	cfg := DefaultServeConfig()
+	gcfg := geo.Uniform(2, 3, 0) // 6 workers for N=8
+	cfg.Geo = &gcfg
+	if _, err := Serve(cfg); err == nil || !strings.Contains(err.Error(), "topology holds") {
+		t.Errorf("mismatched topology accepted (err = %v)", err)
+	}
+	cfg.Geo = nil
+	cfg.GeoBlind = true
+	if _, err := Serve(cfg); err == nil || !strings.Contains(err.Error(), "GeoBlind") {
+		t.Errorf("GeoBlind without Geo accepted (err = %v)", err)
+	}
+	cfg.GeoBlind = false
+	bad := geo.Uniform(2, 4, 0)
+	bad.Phi = 2
+	cfg.Geo = &bad
+	if _, err := Serve(cfg); err == nil {
+		t.Error("invalid topology accepted")
+	}
+}

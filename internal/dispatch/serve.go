@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"math"
 
+	"dolbie/internal/baselines"
 	"dolbie/internal/core"
 	"dolbie/internal/costfn"
+	"dolbie/internal/geo"
 	"dolbie/internal/metrics"
 	"dolbie/internal/stats"
 	"dolbie/internal/trace"
@@ -26,10 +28,17 @@ const (
 	// PolicyJSQ joins the shortest queue on every request (the greedy
 	// queue-depth baseline).
 	PolicyJSQ
+	// PolicyDGD routes by smooth WRR over weights retuned every round by
+	// the distributed-gradient-descent baseline (baselines.DGD, after
+	// Balseiro/Mirrokni/Wydrowski): projected gradient descent on the
+	// aggregate traffic-weighted cost rather than DOLBIE's risk-averse
+	// min-max step. Under geo serving both retune on the same
+	// latency-penalized signal, which is what makes them comparable.
+	PolicyDGD
 )
 
-// String returns the policy's flag spelling ("dolbie", "wrr", "jsq").
-// It implements fmt.Stringer.
+// String returns the policy's flag spelling ("dolbie", "wrr", "jsq",
+// "dgd"). It implements fmt.Stringer.
 func (p ControlPolicy) String() string {
 	switch p {
 	case PolicyDOLBIE:
@@ -38,6 +47,8 @@ func (p ControlPolicy) String() string {
 		return "wrr"
 	case PolicyJSQ:
 		return "jsq"
+	case PolicyDGD:
+		return "dgd"
 	}
 	return fmt.Sprintf("ControlPolicy(%d)", int(p))
 }
@@ -46,15 +57,15 @@ func (p ControlPolicy) String() string {
 // spelling.
 func (p ControlPolicy) MarshalText() ([]byte, error) {
 	switch p {
-	case PolicyDOLBIE, PolicyWRR, PolicyJSQ:
+	case PolicyDOLBIE, PolicyWRR, PolicyJSQ, PolicyDGD:
 		return []byte(p.String()), nil
 	}
 	return nil, fmt.Errorf("dispatch: unknown control policy %d", int(p))
 }
 
 // UnmarshalText implements encoding.TextUnmarshaler, accepting
-// "dolbie", "wrr" (or "uniform"), "jsq" in the spellings the -policy
-// flag has always taken.
+// "dolbie", "wrr" (or "uniform"), "jsq", and "dgd" in the spellings the
+// -policy flag takes.
 func (p *ControlPolicy) UnmarshalText(text []byte) error {
 	switch string(text) {
 	case "dolbie", "DOLBIE":
@@ -63,14 +74,16 @@ func (p *ControlPolicy) UnmarshalText(text []byte) error {
 		*p = PolicyWRR
 	case "jsq", "JSQ":
 		*p = PolicyJSQ
+	case "dgd", "DGD":
+		*p = PolicyDGD
 	default:
-		return fmt.Errorf("dispatch: unknown control policy %q (want dolbie, wrr, or jsq)", text)
+		return fmt.Errorf("dispatch: unknown control policy %q (want dolbie, wrr, jsq, or dgd)", text)
 	}
 	return nil
 }
 
 // ParseControlPolicy parses a -policy flag value: "dolbie", "wrr" (or
-// "uniform"), "jsq".
+// "uniform"), "jsq", "dgd".
 //
 // Deprecated: use ControlPolicy.UnmarshalText (or flag.TextVar)
 // instead; this wrapper remains so existing callers keep compiling.
@@ -136,6 +149,20 @@ type ServeConfig struct {
 	// configuration makes the two directly comparable: the residual
 	// difference is the simulation-vs-reality gap.
 	ConstantSpeeds bool
+	// Geo tags the workers with the regions of a geo topology and runs
+	// the engine latency-aware: every completion pays the evolving
+	// frontend→worker-region RTT on top of its drain latency, and the
+	// closed loop (PolicyDOLBIE, PolicyDGD) retunes on the penalized
+	// effective cost l_{i,t} + RTT_{i,t} — the penalty lands in the
+	// routing weights the control plane already pushes, so the sharded
+	// admission path needs no new locks. Geo.N() must equal N. Nil runs
+	// the region-less engine unchanged, and a zero-RTT topology
+	// reproduces it bit for bit (the pinned geo equivalence test).
+	Geo *geo.Config
+	// GeoBlind keeps the geo latency accounting but feeds the closed
+	// loop the drain-only costs — the latency-blind ablation the geo
+	// bench compares penalized routing against. Requires Geo.
+	GeoBlind bool
 	// Seed makes the whole run deterministic: generator, demands, and
 	// worker speed processes all derive from it (tenant k's traffic
 	// stream is seeded Seed + 7919k, so tenant 0 replays the
@@ -197,9 +224,19 @@ func (c ServeConfig) Validate() error {
 		return fmt.Errorf("dispatch: QueueCap = %d must be positive", c.QueueCap)
 	}
 	switch c.Policy {
-	case PolicyDOLBIE, PolicyWRR, PolicyJSQ:
+	case PolicyDOLBIE, PolicyWRR, PolicyJSQ, PolicyDGD:
 	default:
 		return fmt.Errorf("dispatch: unknown control policy %d", int(c.Policy))
+	}
+	if c.Geo != nil {
+		if err := c.Geo.Validate(); err != nil {
+			return err
+		}
+		if gn := c.Geo.N(); gn != c.N {
+			return fmt.Errorf("dispatch: geo topology holds %d workers for N = %d", gn, c.N)
+		}
+	} else if c.GeoBlind {
+		return fmt.Errorf("dispatch: GeoBlind requires a Geo topology")
 	}
 	if c.Alpha1 < 0 || c.Alpha1 > 1 {
 		return fmt.Errorf("dispatch: Alpha1 = %v out of [0, 1]", c.Alpha1)
@@ -305,6 +342,9 @@ type ServeResult struct {
 	// (empty ServeConfig.Tenants), so historical JSON output is
 	// unchanged.
 	Tenants []TenantServeResult `json:"tenants,omitempty"`
+	// Geo breaks the run down per region; nil on region-less runs
+	// (ServeConfig.Geo unset), so historical JSON output is unchanged.
+	Geo *GeoServeResult `json:"geo,omitempty"`
 }
 
 // TenantServeResult summarizes one tenant's slice of a multi-tenant
@@ -420,7 +460,11 @@ type roundController interface {
 
 // newTenantController builds tenant t's controller at the uniform
 // initial assignment. alpha 0 falls back to the serving default 0.05.
-func newTenantController(n int, t TenantConfig) (roundController, error) {
+// PolicyDGD swaps DOLBIE's risk-averse stepper for the
+// distributed-gradient-descent baseline at the same step size (its
+// learning rate; the tenant's objective is ignored — DGD always
+// descends the aggregate cost).
+func newTenantController(n int, t TenantConfig, policy ControlPolicy) (roundController, error) {
 	alpha := t.Alpha1
 	if alpha == 0 {
 		alpha = 0.05
@@ -428,6 +472,9 @@ func newTenantController(n int, t TenantConfig) (roundController, error) {
 	x0 := make([]float64, n)
 	for i := range x0 {
 		x0[i] = 1 / float64(n)
+	}
+	if policy == PolicyDGD {
+		return baselines.NewDGD(x0, alpha)
 	}
 	if t.Objective.IsMinMax() {
 		return core.NewBalancer(x0, core.WithInitialAlpha(alpha))
@@ -485,8 +532,8 @@ func serveWith(cfg ServeConfig, d dataPlane) (*ServeResult, error) {
 			return nil, fmt.Errorf("dispatch: tenant %q: %w", tc.Name, err)
 		}
 		trs[k] = tenantRuntime{cfg: tc, gen: gen, next: gen.Next()}
-		if cfg.Policy == PolicyDOLBIE {
-			ctl, err := newTenantController(cfg.N, tc)
+		if cfg.Policy == PolicyDOLBIE || cfg.Policy == PolicyDGD {
+			ctl, err := newTenantController(cfg.N, tc, cfg.Policy)
 			if err != nil {
 				return nil, fmt.Errorf("dispatch: tenant %q: %w", tc.Name, err)
 			}
@@ -494,6 +541,10 @@ func serveWith(cfg ServeConfig, d dataPlane) (*ServeResult, error) {
 		}
 	}
 	speeds, _, err := workerSpeeds(cfg)
+	if err != nil {
+		return nil, err
+	}
+	gs, err := newGeoState(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -519,6 +570,9 @@ func serveWith(cfg ServeConfig, d dataPlane) (*ServeResult, error) {
 			routedWork[v.Worker] += r.Demand
 			if remaining[v.Worker] == 0 {
 				remaining[v.Worker] = r.Demand
+			}
+			if gs != nil {
+				gs.onRouted(v.Worker)
 			}
 		}
 		return v
@@ -549,6 +603,9 @@ func serveWith(cfg ServeConfig, d dataPlane) (*ServeResult, error) {
 		roundEnd := float64(t+1) * cfg.RoundDur
 		for i := range gamma {
 			gamma[i] = speeds[i].Next()
+		}
+		if gs != nil {
+			gs.roundStart()
 		}
 		backlogStart := d.Backlog()
 		for i := range routedWork {
@@ -583,6 +640,9 @@ func serveWith(cfg ServeConfig, d dataPlane) (*ServeResult, error) {
 				remaining[cw] = 0
 				r, _ := d.Complete(cw, ct)
 				lat := ct - r.Arrival
+				if gs != nil {
+					lat = gs.onComplete(cw, lat)
+				}
 				reqLat = append(reqLat, lat)
 				rt := &trs[0]
 				if r.Tenant > 0 && r.Tenant < len(trs) {
@@ -640,7 +700,23 @@ func serveWith(cfg ServeConfig, d dataPlane) (*ServeResult, error) {
 			cfg.observeRound(t, costs)
 		}
 
-		if cfg.Policy == PolicyDOLBIE {
+		// The cost signal fed to the closed loop: the raw drain latencies,
+		// or — under penalized geo serving — the effective cost
+		// l_{i,t} + RTT_{i,t}, so the controllers retune on the combined
+		// compute+network signal (roundEnd also settles the round's regret
+		// accounting against the clairvoyant penalized optimum).
+		feed := costs
+		if gs != nil {
+			eff, err := gs.roundEnd(costs, routedWork, gamma, trs)
+			if err != nil {
+				return nil, fmt.Errorf("dispatch: round %d geo accounting: %w", t+1, err)
+			}
+			if !cfg.GeoBlind {
+				feed = eff
+			}
+		}
+
+		if cfg.Policy == PolicyDOLBIE || cfg.Policy == PolicyDGD {
 			for k := range trs {
 				tr := &trs[k]
 				x := tr.ctl.Assignment()
@@ -648,21 +724,23 @@ func serveWith(cfg ServeConfig, d dataPlane) (*ServeResult, error) {
 				// holding share x of the tenant's offered work W_k drains its
 				// slice in about (backlog + x*W_k)/gamma seconds, so slope =
 				// W_k/gamma and the intercept anchors the fit at the realized
-				// point, f_i(x_i) = l_{i,t}. Negative intercepts (backlog
-				// dominated by spill or another tenant's routing) clamp to
-				// zero; the controllers' own guards absorb the slack.
+				// point, f_i(x_i) = l_{i,t} (plus the RTT penalty under geo
+				// serving, which lands in the intercept: network time is
+				// share-independent). Negative intercepts (backlog dominated
+				// by spill or another tenant's routing) clamp to zero; the
+				// controllers' own guards absorb the slack.
 				for i := range funcs {
 					slope := tr.offered / gamma[i]
 					if slope <= 0 {
 						slope = 1e-9 // idle round: keep the model increasing
 					}
-					intercept := costs[i] - slope*x[i]
+					intercept := feed[i] - slope*x[i]
 					if intercept < 0 {
 						intercept = 0
 					}
 					funcs[i] = costfn.Affine{Slope: slope, Intercept: intercept}
 				}
-				if err := tr.ctl.Update(core.Observation{Costs: costs, Funcs: funcs}); err != nil {
+				if err := tr.ctl.Update(core.Observation{Costs: feed, Funcs: funcs}); err != nil {
 					return nil, fmt.Errorf("dispatch: round %d tenant %q retune: %w", t+1, tr.cfg.Name, err)
 				}
 				if err := d.SetTenantWeights(k, tr.ctl.Assignment()); err != nil {
@@ -700,10 +778,13 @@ func serveWith(cfg ServeConfig, d dataPlane) (*ServeResult, error) {
 		res.RequestLatencyP99, _ = stats.Percentile(reqLat, 99)
 	}
 	switch cfg.Policy {
-	case PolicyDOLBIE:
+	case PolicyDOLBIE, PolicyDGD:
 		res.BytesPerRound = float64(len(trs) * (8*cfg.N + 12))
 	case PolicyJSQ:
 		res.BytesPerRound = float64(4 * cfg.N)
+	}
+	if gs != nil {
+		res.Geo = gs.result(cfg)
 	}
 	if len(cfg.Tenants) > 0 {
 		ttot := d.TenantTotals()

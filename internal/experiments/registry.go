@@ -93,6 +93,7 @@ var registry = map[string]runner{
 	"speedup":     tableRunner(SpeedupAcrossModels),
 	"regret":      tableRunner(RegretTable),
 	"regretcmp":   figureRunner(RegretComparison),
+	"regretgeo":   figureRunner(RegretGeo),
 	"regretlp":    figureRunner(RegretLp),
 	"comms":       tableRunner(CommsTable),
 	"quantized":   tableRunner(QuantizationTable),

@@ -1,0 +1,327 @@
+package geo
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func validConfig() Config {
+	return Config{
+		Regions: []RegionConfig{
+			{Name: "us-east", Workers: 2},
+			{Name: "eu-west", Workers: 3},
+		},
+		Frontend: 0,
+		RTT: [][]float64{
+			{0.001, 0.08},
+			{0.09, 0.001},
+		},
+		Phi:   0.8,
+		Sigma: 0.1,
+		Seed:  42,
+	}
+}
+
+func TestValidateAccepts(t *testing.T) {
+	if err := validConfig().Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	if err := Uniform(3, 2, 0.05).Validate(); err != nil {
+		t.Fatalf("Uniform rejected: %v", err)
+	}
+	for _, n := range []int{1, 2, 3, 8, 30} {
+		cfg := ThreeRegions(n, 1)
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("ThreeRegions(%d) rejected: %v", n, err)
+		}
+		if got := cfg.N(); got < n {
+			t.Fatalf("ThreeRegions(%d).N() = %d, want >= %d", n, got, n)
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+		want string
+	}{
+		{"no regions", func(c *Config) { c.Regions = nil }, "at least one region"},
+		{"unnamed region", func(c *Config) { c.Regions[0].Name = "" }, "no name"},
+		{"bad name", func(c *Config) { c.Regions[0].Name = "us east" }, "contains"},
+		{"empty region", func(c *Config) { c.Regions[1].Workers = 0 }, "workers"},
+		{"negative workers", func(c *Config) { c.Regions[1].Workers = -1 }, "workers"},
+		{"duplicate name", func(c *Config) { c.Regions[1].Name = "us-east" }, "duplicate"},
+		{"frontend low", func(c *Config) { c.Frontend = -1 }, "frontend"},
+		{"frontend high", func(c *Config) { c.Frontend = 2 }, "frontend"},
+		{"rtt rows", func(c *Config) { c.RTT = c.RTT[:1] }, "rows"},
+		{"rtt ragged", func(c *Config) { c.RTT[1] = c.RTT[1][:1] }, "entries"},
+		{"rtt nan", func(c *Config) { c.RTT[0][1] = math.NaN() }, "finite"},
+		{"rtt inf", func(c *Config) { c.RTT[1][0] = math.Inf(1) }, "finite"},
+		{"rtt negative", func(c *Config) { c.RTT[0][0] = -0.001 }, "non-negative"},
+		{"phi negative", func(c *Config) { c.Phi = -0.1 }, "Phi"},
+		{"phi one", func(c *Config) { c.Phi = 1 }, "Phi"},
+		{"sigma nan", func(c *Config) { c.Sigma = math.NaN() }, "Sigma"},
+		{"sigma negative", func(c *Config) { c.Sigma = -0.1 }, "Sigma"},
+		{"sigma big", func(c *Config) { c.Sigma = 1.5 }, "Sigma"},
+		{"outage rtt nan", func(c *Config) { c.OutageRTT = math.NaN() }, "OutageRTT"},
+		{"outage rtt negative", func(c *Config) { c.OutageRTT = -1 }, "OutageRTT"},
+		{"outage region", func(c *Config) { c.Outages = []Outage{{Region: 5, ToRound: 1}} }, "out of range"},
+		{"outage rounds", func(c *Config) { c.Outages = []Outage{{Region: 0, FromRound: 3, ToRound: 1}} }, "rounds"},
+		{"outage negative", func(c *Config) { c.Outages = []Outage{{Region: 0, FromRound: -1, ToRound: 1}} }, "rounds"},
+	}
+	for _, tc := range cases {
+		cfg := validConfig()
+		tc.mut(&cfg)
+		err := cfg.Validate()
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestWorkerRegionMapping(t *testing.T) {
+	cfg := validConfig() // 2 + 3 workers
+	if got := cfg.N(); got != 5 {
+		t.Fatalf("N() = %d, want 5", got)
+	}
+	want := []int{0, 0, 1, 1, 1}
+	for w, r := range want {
+		if got := cfg.WorkerRegion(w); got != r {
+			t.Errorf("WorkerRegion(%d) = %d, want %d", w, got, r)
+		}
+	}
+	names := cfg.RegionNames()
+	if len(names) != 2 || names[0] != "us-east" || names[1] != "eu-west" {
+		t.Errorf("RegionNames() = %v", names)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("WorkerRegion(5) did not panic")
+		}
+	}()
+	cfg.WorkerRegion(5)
+}
+
+func TestMatrixFrozen(t *testing.T) {
+	cfg := Uniform(2, 2, 0.05)
+	m, err := NewMatrix(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Round() != -1 {
+		t.Fatalf("fresh matrix round = %d, want -1", m.Round())
+	}
+	for round := 0; round < 5; round++ {
+		m.Advance()
+		if m.Round() != round {
+			t.Fatalf("Round() = %d, want %d", m.Round(), round)
+		}
+		for a := 0; a < 2; a++ {
+			for b := 0; b < 2; b++ {
+				if got := m.RTT(a, b); got != 0.05 {
+					t.Fatalf("round %d: RTT(%d,%d) = %v, want frozen 0.05", round, a, b, got)
+				}
+			}
+		}
+		for w := 0; w < 4; w++ {
+			if got := m.FrontendRTT(w); got != 0.05 {
+				t.Fatalf("round %d: FrontendRTT(%d) = %v, want 0.05", round, w, got)
+			}
+		}
+	}
+}
+
+func TestMatrixDeterministicAndPositive(t *testing.T) {
+	cfg := ThreeRegions(8, 7)
+	m1, err := NewMatrix(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := NewMatrix(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	varied := false
+	for round := 0; round < 200; round++ {
+		m1.Advance()
+		m2.Advance()
+		for a := range cfg.Regions {
+			for b := range cfg.Regions {
+				v1, v2 := m1.RTT(a, b), m2.RTT(a, b)
+				if v1 != v2 {
+					t.Fatalf("round %d: RTT(%d,%d) diverges across identically-seeded matrices: %v vs %v", round, a, b, v1, v2)
+				}
+				if v1 <= 0 || math.IsNaN(v1) || math.IsInf(v1, 0) {
+					t.Fatalf("round %d: RTT(%d,%d) = %v not positive finite", round, a, b, v1)
+				}
+				// Clamped congestion bounds the excursion around base.
+				base := cfg.RTT[a][b]
+				if v1 < base*factorMin || v1 > base*factorMax {
+					t.Fatalf("round %d: RTT(%d,%d) = %v outside clamp [%v, %v]", round, a, b, v1, base*factorMin, base*factorMax)
+				}
+				if v1 != base {
+					varied = true
+				}
+			}
+		}
+	}
+	if !varied {
+		t.Error("200 rounds of Sigma > 0 evolution never moved any link off its base RTT")
+	}
+}
+
+func TestMatrixRegionCorrelation(t *testing.T) {
+	// Two links sharing region 0 must co-move: when region 0's factor is
+	// up, both RTT(0,1) and RTT(0,2) rise relative to base.
+	cfg := ThreeRegions(3, 11)
+	m, err := NewMatrix(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var agree, rounds int
+	for t0 := 0; t0 < 500; t0++ {
+		m.Advance()
+		d01 := m.RTT(0, 1)/cfg.RTT[0][1] - 1
+		d02 := m.RTT(0, 2)/cfg.RTT[0][2] - 1
+		if d01 == 0 || d02 == 0 {
+			continue
+		}
+		rounds++
+		if (d01 > 0) == (d02 > 0) {
+			agree++
+		}
+	}
+	if rounds == 0 || float64(agree)/float64(rounds) < 0.6 {
+		t.Errorf("links sharing region 0 agreed in sign only %d/%d rounds; want correlated (> 60%%)", agree, rounds)
+	}
+}
+
+func TestMatrixOutage(t *testing.T) {
+	cfg := Uniform(3, 1, 0.05)
+	cfg.Outages = []Outage{{Region: 2, FromRound: 2, ToRound: 3}}
+	cfg.OutageRTT = 7
+	m, err := NewMatrix(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 6; round++ {
+		m.Advance()
+		active := round >= 2 && round <= 3
+		for a := 0; a < 3; a++ {
+			for b := 0; b < 3; b++ {
+				want := 0.05
+				if active && a != b && (a == 2 || b == 2) {
+					want = 7
+				}
+				if got := m.RTT(a, b); got != want {
+					t.Fatalf("round %d: RTT(%d,%d) = %v, want %v", round, a, b, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestMatrixDefaultOutageRTT(t *testing.T) {
+	cfg := Uniform(2, 1, 0.01)
+	cfg.Outages = []Outage{{Region: 1, FromRound: 0, ToRound: 0}}
+	m, err := NewMatrix(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Advance()
+	if got := m.RTT(0, 1); got != defaultOutageRTT {
+		t.Errorf("outaged link RTT = %v, want default %v", got, defaultOutageRTT)
+	}
+}
+
+func TestNewMatrixRejectsInvalid(t *testing.T) {
+	cfg := validConfig()
+	cfg.Phi = 2
+	if _, err := NewMatrix(cfg); err == nil {
+		t.Error("NewMatrix accepted invalid config")
+	}
+}
+
+func TestMatrixWorkerRegion(t *testing.T) {
+	cfg := validConfig()
+	m, err := NewMatrix(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < cfg.N(); w++ {
+		if m.WorkerRegion(w) != cfg.WorkerRegion(w) {
+			t.Errorf("matrix WorkerRegion(%d) = %d, config says %d", w, m.WorkerRegion(w), cfg.WorkerRegion(w))
+		}
+	}
+}
+
+func TestLinkDelay(t *testing.T) {
+	cfg := validConfig()
+
+	// Invalid config and out-of-range links are rejected.
+	bad := cfg
+	bad.Sigma = -1
+	if _, err := bad.LinkDelay(0, 1); err == nil {
+		t.Error("LinkDelay accepted invalid config")
+	}
+	if _, err := cfg.LinkDelay(-1, 0); err == nil {
+		t.Error("LinkDelay accepted negative from")
+	}
+	if _, err := cfg.LinkDelay(0, 99); err == nil {
+		t.Error("LinkDelay accepted out-of-range to")
+	}
+
+	// Identically-seeded links replay identically; the one-way delay
+	// stays within the clamp around half the base RTT.
+	p1, err := cfg.LinkDelay(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := cfg.LinkDelay(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := cfg.RTT[0][1] / 2
+	for i := 0; i < 100; i++ {
+		v1, v2 := p1.Next(), p2.Next()
+		if v1 != v2 {
+			t.Fatalf("sample %d: link delay diverges across identically-seeded processes: %v vs %v", i, v1, v2)
+		}
+		if v1 < base*factorMin || v1 > base*factorMax {
+			t.Fatalf("sample %d: delay %v outside clamp around base %v", i, v1, base)
+		}
+	}
+
+	// Frozen topologies give constant delays.
+	frozen := cfg
+	frozen.Sigma = 0
+	pc, err := frozen.LinkDelay(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if got := pc.Next(); got != base {
+			t.Fatalf("frozen link delay = %v, want %v", got, base)
+		}
+	}
+
+	// Zero-RTT links are constant zero even with Sigma > 0.
+	pz, err := Config{
+		Regions:  []RegionConfig{{Name: "r0", Workers: 2}},
+		Frontend: 0,
+		RTT:      [][]float64{{0}},
+		Sigma:    0.2,
+	}.LinkDelay(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pz.Next(); got != 0 {
+		t.Errorf("zero-base link delay = %v, want 0", got)
+	}
+}

@@ -1,0 +1,153 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+// buildGeoStyleStack assembles the deepest composition the repository
+// actually ships — the geo subsystem's link-latency shape (Scale over
+// Clamp over AR1) with a Spikes layer for transient congestion and a
+// Markov-modulated contention floor mixed in — from a single seed, so
+// two calls with the same seed must realize identical trajectories.
+func buildGeoStyleStack(t *testing.T, seed int64) Process {
+	t.Helper()
+	ar, err := NewAR1(1, 0.9, 0.2, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spiked, err := NewSpikes(&Clamp{Inner: ar, Min: 0.25, Max: 4}, 0.1, 3, seed+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regimes, err := NewMarkov(
+		[]float64{1, 1.8},
+		[][]float64{{0.9, 0.1}, {0.3, 0.7}},
+		seed+2,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Scale{
+		Inner:  &Clamp{Inner: &product{a: spiked, b: regimes}, Min: 0.1, Max: 20},
+		Factor: 0.040, // an 80 ms-RTT link's one-way base, as in geo.ThreeRegions
+	}
+}
+
+// product multiplies two processes sample-wise — a test-local composite
+// proving arbitrary user combinators stay inside the Process contract.
+type product struct{ a, b Process }
+
+func (p *product) Next() float64 { return p.a.Next() * p.b.Next() }
+
+// TestCompositeStackDeterministic pins the reproducibility contract of
+// deep composite stacks: identically-seeded constructions realize
+// bit-identical trajectories, a different seed realizes a different one,
+// and every sample respects the outer clamp and scale bounds.
+func TestCompositeStackDeterministic(t *testing.T) {
+	const rounds = 500
+	p1 := buildGeoStyleStack(t, 42)
+	p2 := buildGeoStyleStack(t, 42)
+	p3 := buildGeoStyleStack(t, 43)
+	diverged := false
+	for i := 0; i < rounds; i++ {
+		v1, v2, v3 := p1.Next(), p2.Next(), p3.Next()
+		if v1 != v2 {
+			t.Fatalf("round %d: identically-seeded stacks diverged: %v vs %v", i, v1, v2)
+		}
+		if v1 != v3 {
+			diverged = true
+		}
+		if v1 < 0.1*0.040-1e-12 || v1 > 20*0.040+1e-12 {
+			t.Fatalf("round %d: sample %v escaped the clamped, scaled range", i, v1)
+		}
+		if math.IsNaN(v1) || math.IsInf(v1, 0) {
+			t.Fatalf("round %d: non-finite sample %v", i, v1)
+		}
+	}
+	if !diverged {
+		t.Error("seeds 42 and 43 realized identical 500-round trajectories")
+	}
+}
+
+// TestCompositeRecorderReplayRoundTrip records a full composite
+// realization, replays it, and checks the replay is sample-exact — the
+// workflow dolbie-trace uses to export a scenario and re-run it.
+func TestCompositeRecorderReplayRoundTrip(t *testing.T) {
+	const rounds = 200
+	rec := &Recorder{Inner: buildGeoStyleStack(t, 7)}
+	live := make([]float64, rounds)
+	for i := range live {
+		live[i] = rec.Next()
+	}
+	if len(rec.Samples) != rounds {
+		t.Fatalf("recorder kept %d samples, want %d", len(rec.Samples), rounds)
+	}
+	rep, err := NewReplay(rec.Samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < rounds; i++ {
+		if got := rep.Next(); got != live[i] {
+			t.Fatalf("replay round %d: %v != recorded %v", i, got, live[i])
+		}
+	}
+	// Past the recording, the replay holds the final sample so longer
+	// re-runs stay well-defined.
+	for i := 0; i < 5; i++ {
+		if got := rep.Next(); got != live[rounds-1] {
+			t.Fatalf("exhausted replay returned %v, want final sample %v", got, live[rounds-1])
+		}
+	}
+}
+
+// TestCompositeRecorderIsTransparent checks that inserting a Recorder
+// anywhere in a stack never perturbs the realization: the recorded run
+// equals the bare run sample for sample.
+func TestCompositeRecorderIsTransparent(t *testing.T) {
+	const rounds = 300
+	bare := buildGeoStyleStack(t, 99)
+	taped := &Recorder{Inner: buildGeoStyleStack(t, 99)}
+	for i := 0; i < rounds; i++ {
+		if b, w := bare.Next(), taped.Next(); b != w {
+			t.Fatalf("round %d: recorder perturbed the stack: %v vs %v", i, b, w)
+		}
+	}
+}
+
+// TestCompositeScaleClampOrder pins the (deliberate) non-commutativity
+// of the two pure combinators: Clamp-then-Scale bounds the pre-scale
+// value while Scale-then-Clamp bounds the product, and the geo link
+// model relies on the former.
+func TestCompositeScaleClampOrder(t *testing.T) {
+	src := func() (Process, Process) {
+		a1, err := NewAR1(1, 0.5, 1.5, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a2, err := NewAR1(1, 0.5, 1.5, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a1, a2
+	}
+	a1, a2 := src()
+	clampFirst := &Scale{Inner: &Clamp{Inner: a1, Min: 0.25, Max: 4}, Factor: 10}
+	scaleFirst := &Clamp{Inner: &Scale{Inner: a2, Factor: 10}, Min: 0.25, Max: 4}
+	differed := false
+	for i := 0; i < 200; i++ {
+		v1, v2 := clampFirst.Next(), scaleFirst.Next()
+		if v1 < 2.5 || v1 > 40 {
+			t.Fatalf("round %d: clamp-then-scale emitted %v outside [2.5, 40]", i, v1)
+		}
+		if v2 < 0.25 || v2 > 4 {
+			t.Fatalf("round %d: scale-then-clamp emitted %v outside [0.25, 4]", i, v2)
+		}
+		if v1 != v2 {
+			differed = true
+		}
+	}
+	if !differed {
+		t.Error("the two combinator orders never differed over 200 volatile rounds")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"net/http"
 
 	"dolbie/internal/dispatch"
+	"dolbie/internal/geo"
 	"dolbie/internal/optimum"
 )
 
@@ -44,7 +45,7 @@ type (
 	// RouteJSQ).
 	RoutePolicy = dispatch.RoutePolicy
 	// ControlPolicy selects the control plane of a Serve run
-	// (PolicyDOLBIE, PolicyWRR, PolicyJSQ).
+	// (PolicyDOLBIE, PolicyWRR, PolicyJSQ, PolicyDGD).
 	ControlPolicy = dispatch.ControlPolicy
 	// ServeConfig parameterizes a closed-loop serving run: traffic,
 	// worker heterogeneity and utilization, queue bounds, backpressure,
@@ -92,6 +93,23 @@ type (
 	// drain and hot reload of shed policy, queue caps, and routing
 	// weights.
 	Live = dispatch.Live
+	// GeoConfig describes a geo-distributed serving topology: named
+	// regions homing the workers, the ingest frontend's region, a
+	// seeded inter-region RTT matrix, and the AR(1) congestion dynamics
+	// evolving it. Set ServeConfig.Geo to serve over it.
+	GeoConfig = geo.Config
+	// GeoRegionConfig names one region of a GeoConfig and the number of
+	// workers homed there.
+	GeoRegionConfig = geo.RegionConfig
+	// GeoOutage pins every inter-region link touching a region to the
+	// outage RTT for an inclusive round window — the geo bench's drill.
+	GeoOutage = geo.Outage
+	// GeoServeResult is the regional summary of a geo serving run:
+	// per-region latency percentiles, the cross-region spill fraction,
+	// and the penalized-regret ledger.
+	GeoServeResult = dispatch.GeoServeResult
+	// RegionServeResult is one region's slice of a GeoServeResult.
+	RegionServeResult = dispatch.RegionServeResult
 )
 
 // Re-exported data-plane enum values.
@@ -114,6 +132,11 @@ const (
 	PolicyWRR = dispatch.PolicyWRR
 	// PolicyJSQ joins the shortest queue per request.
 	PolicyJSQ = dispatch.PolicyJSQ
+	// PolicyDGD retunes routing weights by projected gradient descent
+	// on the aggregate traffic-weighted cost — the
+	// Balseiro–Mirrokni–Wydrowski baseline, which optimizes the mean
+	// rather than the paper's straggler max.
+	PolicyDGD = dispatch.PolicyDGD
 	// PriorityGold admits up to the full queue capacity (sheds last).
 	PriorityGold = dispatch.PriorityGold
 	// PrioritySilver admits up to 3/4 of the queue capacity.
@@ -198,6 +221,19 @@ func LiveWorkerSpeeds(cfg ServeConfig) ([]float64, error) { return dispatch.Live
 // tenants cycling through the priority classes gold, silver, bronze —
 // the multi-tenant counterpart of DefaultServeConfig.
 func DefaultTenants(t int) []TenantConfig { return dispatch.DefaultTenants(t) }
+
+// GeoUniform builds a degenerate uniform topology: regions regions of
+// workersPerRegion workers each, every link (intra-region included)
+// frozen at rtt seconds, frontend in region 0. With rtt = 0 a geo run
+// over it reproduces the region-less serving path bit for bit.
+func GeoUniform(regions, workersPerRegion int, rtt float64) GeoConfig {
+	return geo.Uniform(regions, workersPerRegion, rtt)
+}
+
+// GeoThreeRegions builds the heterogeneous us-east/eu-west/ap-south
+// reference topology over n workers with evolving RTTs — the geo
+// bench's standard scenario.
+func GeoThreeRegions(n int, seed int64) GeoConfig { return geo.ThreeRegions(n, seed) }
 
 // ObjectiveMinMax returns the paper's min-max (makespan) objective —
 // the zero Objective value.
