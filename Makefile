@@ -15,9 +15,11 @@ build:
 # off the network; the seed corpus spans every kind, including the
 # membership frames join/roster-update/aggregate), dispatcher
 # request admission / policy parsing (arbitrary HTTP ingest traffic and
-# operator flags), and geo topology validation (operator-supplied
-# region/RTT configs). One invocation per target: -fuzz matches only
-# one.
+# operator flags, batched and per-request), the lock-free completion
+# turn ring (under the race detector: mutual exclusion, FIFO grants,
+# no lost turns across wraparound), and geo topology validation
+# (operator-supplied region/RTT configs). One invocation per target:
+# -fuzz matches only one.
 vet: docs
 	$(GO) vet ./...
 	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \
@@ -25,6 +27,7 @@ vet: docs
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeFrameBinary -fuzztime=5s ./internal/wire/
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeFrameJSON -fuzztime=5s ./internal/wire/
 	$(GO) test -run='^$$' -fuzz=FuzzDispatcherAdmission -fuzztime=5s ./internal/dispatch/
+	$(GO) test -race -run='^$$' -fuzz=FuzzCompletionRing -fuzztime=5s ./internal/dispatch/
 	$(GO) test -run='^$$' -fuzz=FuzzTenantConfig -fuzztime=5s ./internal/dispatch/
 	$(GO) test -run='^$$' -fuzz=FuzzGeoConfig -fuzztime=5s ./internal/geo/
 
@@ -39,12 +42,16 @@ docs:
 # dispatcher) additionally run under the race detector on every default
 # test pass, as do the chaos and join-churn soaks — fault injection,
 # fail-stop recovery, and roster churn are the most schedule-sensitive
-# paths in the repository.
+# paths in the repository — plus two race-enabled bench smokes: the live
+# socket harness and a short batched-dispatch sweep (shards {1,8} ×
+# batch {1,64}), which drives SubmitBatch/CompleteBatch storms through
+# the real bench harness under the race detector.
 test:
 	$(GO) test ./...
 	$(GO) test -race ./internal/metrics ./internal/cluster ./internal/wire ./internal/dispatch
 	$(GO) test -race -run 'TestSoakChaosFullyDistributed|TestSoakJoinChurnElastic' .
 	$(GO) run -race ./cmd/dolbie-bench -live -duration 2s -out -
+	$(GO) run -race ./cmd/dolbie-bench -dispatch -smoke -out -
 
 race:
 	$(GO) test -race ./...
@@ -75,8 +82,10 @@ cover:
 # recovery under the deterministic chaos transport; reproduces bit for
 # bit), BENCH_serve.json (data-plane dispatch: DOLBIE's closed loop
 # vs uniform WRR vs JSQ on p99 max-worker latency), BENCH_dispatch.json
-# (admission path: single-lock reference vs the sharded dispatcher at
-# 1/4/8 shards), BENCH_scale.json (elastic deployments at N up to
+# (admission path: single-lock reference vs the sharded dispatcher over
+# a GOMAXPROCS {1,4,NumCPU} × shards {1,4,8,16} × batch {1,16,64} grid,
+# with mutex/block contention profiles and the batch affinity hit
+# rate), BENCH_scale.json (elastic deployments at N up to
 # 4096: per-worker traffic O(N) flat vs O(1) under the aggregation
 # tree, with bit-identical consensus), BENCH_geo.json (geo-distributed
 # serving: RTT-penalized vs latency-blind DOLBIE and the DGD baseline
@@ -112,6 +121,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzDecodeFrameBinary -fuzztime=10s ./internal/wire/
 	$(GO) test -fuzz=FuzzDecodeFrameJSON -fuzztime=10s ./internal/wire/
 	$(GO) test -fuzz=FuzzDispatcherAdmission -fuzztime=10s ./internal/dispatch/
+	$(GO) test -race -fuzz=FuzzCompletionRing -fuzztime=10s ./internal/dispatch/
 	$(GO) test -fuzz=FuzzParsePolicies -fuzztime=10s ./internal/dispatch/
 	$(GO) test -fuzz=FuzzTenantConfig -fuzztime=10s ./internal/dispatch/
 	$(GO) test -fuzz=FuzzGeoConfig -fuzztime=10s ./internal/geo/

@@ -6,40 +6,63 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"sort"
 
 	"dolbie/internal/dispatch"
 )
 
 // This file implements the -dispatch benchmark mode: it times the full
-// admission hot path — hash, admission critical section, routing pick,
-// queue commit, and verdict serialization — first through the pre-shard
-// single-lock reference (every instrument updated inside the global
-// critical section, a fresh reflective JSON encoder per verdict) and
-// then through the sharded dispatcher at 1, 4, and 8 shards (plain
-// shard-local counters aggregated at scrape time, pooled verdict
-// buffers), on the same seeded open-loop trace with live metrics
-// attached in both modes. The whole sweep runs once per unique
-// GOMAXPROCS value in {1, NumCPU}, so single-core per-admission cost
-// and full-width throughput are both on record. The acceptance bar is
-// the 8-shard configuration admitting at least 2x the single-lock
-// baseline's requests per second at every recorded width.
+// admission hot path — hash (or sticky shard choice), admission
+// critical section, routing pick, queue commit, and verdict
+// serialization — first through the pre-shard single-lock reference
+// (every instrument updated inside the global critical section, a fresh
+// reflective JSON encoder per verdict) and then through the sharded
+// dispatcher across a shards × batch grid (plain shard-local counters
+// aggregated at scrape time, pooled verdict buffers, and — at batch
+// K > 1 — one SubmitBatch critical section per K admissions through
+// submitter-sticky shard handles), on the same seeded open-loop trace
+// with live metrics attached in every mode. The whole grid runs once
+// per unique GOMAXPROCS value in {1, 4, NumCPU}; each cell is also
+// re-run at quarter size with runtime mutex/block profiling enabled, so
+// the JSON records where the contended cycles actually go. The bench
+// fails (non-zero exit) if the best sharded batch=1 configuration at
+// NumCPU procs regresses below the single-lock baseline — the
+// methodology gate that caught the original shards-slower-than-one
+// regression.
 
-// dispatchShardCounts are the sharded configurations the bench sweeps.
-var dispatchShardCounts = []int{1, 4, 8}
+// dispatchShardCounts and dispatchBatchSizes are the grid the bench
+// sweeps.
+var (
+	dispatchShardCounts = []int{1, 4, 8, 16}
+	dispatchBatchSizes  = []int{1, 16, 64}
+)
 
-// dispatchProcsRun is one full single-lock-vs-sharded sweep at a pinned
+// dispatchProcsRun is one full single-lock-vs-sharded grid at a pinned
 // GOMAXPROCS.
 type dispatchProcsRun struct {
-	// Procs is the GOMAXPROCS the sweep was pinned to.
+	// Procs is the GOMAXPROCS the grid was pinned to.
 	Procs int `json:"procs"`
 	// SingleLock is the pre-shard baseline run.
 	SingleLock *dispatch.AdmissionBenchResult `json:"single_lock"`
-	// Sharded holds one run per swept shard count, keyed by the count.
+	// Sharded holds one run per grid cell, keyed "<shards>s_b<batch>".
 	Sharded map[string]*dispatch.AdmissionBenchResult `json:"sharded"`
-	// SpeedupByShards is sharded admissions/sec over the single-lock
-	// baseline at the same width, keyed by shard count. The acceptance
-	// criterion is the 8-shard entry staying at or above 2.
+	// SpeedupByShards is unbatched (batch=1) sharded admissions/sec over
+	// the single-lock baseline at the same width, keyed by shard count —
+	// the pre-batching series, kept for cross-PR comparability.
 	SpeedupByShards map[string]float64 `json:"speedup_by_shards"`
+	// SpeedupByConfig is every grid cell's admissions/sec over the
+	// single-lock baseline, keyed like Sharded.
+	SpeedupByConfig map[string]float64 `json:"speedup_by_config"`
+	// BatchedPeak is the best batched (batch > 1) cell's admissions/sec
+	// and BatchedPeakConfig its key — the headline the ROADMAP's 50M+
+	// target tracks.
+	BatchedPeak       float64 `json:"batched_peak_adm_per_sec"`
+	BatchedPeakConfig string  `json:"batched_peak_config"`
+	// UnbatchedPeak is the best batch=1 cell's admissions/sec (the PR 5
+	// baseline shape); BatchedOverUnbatched is the peak-over-peak ratio
+	// the batching acceptance bar (>= 2x) is scored on.
+	UnbatchedPeak        float64 `json:"unbatched_peak_adm_per_sec"`
+	BatchedOverUnbatched float64 `json:"batched_over_unbatched"`
 }
 
 // dispatchReport is the BENCH_dispatch.json document.
@@ -52,32 +75,58 @@ type dispatchReport struct {
 		CompleteEvery int   `json:"complete_every"`
 		Seed          int64 `json:"seed"`
 		NumCPU        int   `json:"num_cpu"`
+		Smoke         bool  `json:"smoke,omitempty"`
 	} `json:"config"`
-	// Runs holds one sweep per unique GOMAXPROCS in {1, NumCPU} (a
-	// single entry on a single-core box).
+	// Runs holds one grid per unique GOMAXPROCS in {1, 4, NumCPU} (fewer
+	// on narrow boxes).
 	Runs []*dispatchProcsRun `json:"runs"`
 }
 
-// dispatchProcsSweep returns the unique GOMAXPROCS values {1, NumCPU}
-// in ascending order.
+// dispatchProcsSweep returns the unique GOMAXPROCS values of
+// {1, 4, NumCPU} in ascending order.
 func dispatchProcsSweep() []int {
-	if n := runtime.NumCPU(); n > 1 {
-		return []int{1, n}
+	set := map[int]bool{1: true, 4: true, runtime.NumCPU(): true}
+	procs := make([]int, 0, len(set))
+	for p := range set {
+		procs = append(procs, p)
 	}
-	return []int{1}
+	sort.Ints(procs)
+	return procs
 }
 
-// runDispatchBench runs the single-lock-vs-sharded admission sweep at
-// each recorded scheduler width and writes the report to outPath.
-func runDispatchBench(outPath string, out io.Writer) error {
+// cellKey names one grid cell in the report maps.
+func cellKey(shards, batch int) string { return fmt.Sprintf("%ds_b%d", shards, batch) }
+
+// runDispatchBench runs the single-lock-vs-sharded admission grid at
+// each recorded scheduler width and writes the report to outPath ("-"
+// prints without writing). smoke shrinks the grid to a seconds-scale
+// race-friendly pass — NumCPU procs only, shards {1, 8}, batch {1, 64},
+// a short trace, no profiled reruns, and no throughput gate (relative
+// speeds are meaningless under the race detector).
+func runDispatchBench(outPath string, smoke bool, out io.Writer) error {
+	procsSweep := dispatchProcsSweep()
+	shardCounts, batchSizes := dispatchShardCounts, dispatchBatchSizes
+	requests, profileEvery := 0, true // 0 = bench default
+	if smoke {
+		procsSweep = []int{runtime.NumCPU()}
+		shardCounts, batchSizes = []int{1, 8}, []int{1, 64}
+		requests, profileEvery = 50000, false
+	}
+
 	rep := dispatchReport{}
-	for _, procs := range dispatchProcsSweep() {
-		base := dispatch.AdmissionBenchConfig{Procs: procs}
+	rep.Config.Smoke = smoke
+	for _, procs := range procsSweep {
+		base := dispatch.AdmissionBenchConfig{Procs: procs, Requests: requests}
 		refCfg := base
 		refCfg.Reference = true
 		ref, err := dispatch.RunAdmissionBench(refCfg)
 		if err != nil {
 			return fmt.Errorf("single-lock baseline (procs %d): %w", procs, err)
+		}
+		if profileEvery {
+			if err := attachProfiles(refCfg, ref); err != nil {
+				return err
+			}
 		}
 		if rep.Runs == nil {
 			fmt.Fprintf(out, "dispatch bench: %d workers, cap %d, %d submitters, %d requests, %d CPUs\n",
@@ -91,37 +140,96 @@ func runDispatchBench(outPath string, out io.Writer) error {
 			rep.Config.NumCPU = runtime.NumCPU()
 		}
 		fmt.Fprintf(out, " GOMAXPROCS %d:\n", procs)
-		fmt.Fprintf(out, "  %-12s %14.0f adm/s\n", "single-lock", ref.AdmissionsPerSec)
+		fmt.Fprintf(out, "  %-14s %14.0f adm/s\n", "single-lock", ref.AdmissionsPerSec)
 
 		run := &dispatchProcsRun{
 			Procs:           procs,
 			SingleLock:      ref,
-			Sharded:         make(map[string]*dispatch.AdmissionBenchResult, len(dispatchShardCounts)),
-			SpeedupByShards: make(map[string]float64, len(dispatchShardCounts)),
+			Sharded:         make(map[string]*dispatch.AdmissionBenchResult),
+			SpeedupByShards: make(map[string]float64, len(shardCounts)),
+			SpeedupByConfig: make(map[string]float64),
 		}
-		for _, shards := range dispatchShardCounts {
-			cfg := base
-			cfg.Shards = shards
-			res, err := dispatch.RunAdmissionBench(cfg)
-			if err != nil {
-				return fmt.Errorf("%d shards (procs %d): %w", shards, procs, err)
+		for _, shards := range shardCounts {
+			for _, batch := range batchSizes {
+				cfg := base
+				cfg.Shards = shards
+				cfg.BatchSize = batch
+				res, err := dispatch.RunAdmissionBench(cfg)
+				if err != nil {
+					return fmt.Errorf("%d shards batch %d (procs %d): %w", shards, batch, procs, err)
+				}
+				if profileEvery {
+					if err := attachProfiles(cfg, res); err != nil {
+						return err
+					}
+				}
+				key := cellKey(shards, batch)
+				run.Sharded[key] = res
+				speedup := res.AdmissionsPerSec / ref.AdmissionsPerSec
+				run.SpeedupByConfig[key] = speedup
+				line := fmt.Sprintf("%d-shard b%d", shards, batch)
+				extra := ""
+				if batch == 1 {
+					run.SpeedupByShards[fmt.Sprint(shards)] = speedup
+					if res.AdmissionsPerSec > run.UnbatchedPeak {
+						run.UnbatchedPeak = res.AdmissionsPerSec
+					}
+				} else {
+					extra = fmt.Sprintf("  affinity %.0f%%", 100*res.AffinityHitRate)
+					if res.AdmissionsPerSec > run.BatchedPeak {
+						run.BatchedPeak = res.AdmissionsPerSec
+						run.BatchedPeakConfig = key
+					}
+				}
+				fmt.Fprintf(out, "  %-14s %14.0f adm/s  (%.2fx single-lock)%s\n", line, res.AdmissionsPerSec, speedup, extra)
 			}
-			key := fmt.Sprint(shards)
-			run.Sharded[key] = res
-			run.SpeedupByShards[key] = res.AdmissionsPerSec / ref.AdmissionsPerSec
-			fmt.Fprintf(out, "  %-12s %14.0f adm/s  (%.2fx single-lock)\n",
-				fmt.Sprintf("%d-shard", shards), res.AdmissionsPerSec, run.SpeedupByShards[key])
 		}
+		if run.UnbatchedPeak > 0 {
+			run.BatchedOverUnbatched = run.BatchedPeak / run.UnbatchedPeak
+		}
+		fmt.Fprintf(out, "  batched peak %s: %.0f adm/s (%.2fx unbatched peak)\n",
+			run.BatchedPeakConfig, run.BatchedPeak, run.BatchedOverUnbatched)
 		rep.Runs = append(rep.Runs, run)
+
+		// The methodology gate: sharded admission at full scheduler width
+		// must never fall below the single-lock baseline it replaced (the
+		// regression BENCH_dispatch previously recorded without failing).
+		if !smoke && procs == runtime.NumCPU() {
+			best := run.UnbatchedPeak
+			if best < ref.AdmissionsPerSec {
+				return fmt.Errorf("dispatch bench gate: best sharded batch=1 throughput %.0f adm/s below single-lock %.0f adm/s at GOMAXPROCS=%d",
+					best, ref.AdmissionsPerSec, procs)
+			}
+		}
 	}
 
 	raw, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
 	}
+	if outPath == "-" {
+		_, err := out.Write(append(raw, '\n'))
+		return err
+	}
 	if err := os.WriteFile(outPath, append(raw, '\n'), 0o644); err != nil {
 		return err
 	}
 	fmt.Fprintf(out, "wrote %s\n", outPath)
+	return nil
+}
+
+// attachProfiles re-runs one bench configuration at quarter size with
+// runtime mutex/block profiling enabled and attaches the contention
+// deltas to res. The timed headline numbers stay unprofiled (profiling
+// itself costs cycles on every lock operation).
+func attachProfiles(cfg dispatch.AdmissionBenchConfig, res *dispatch.AdmissionBenchResult) error {
+	cfg.Profile = true
+	cfg.Requests = res.Requests / 4
+	prof, err := dispatch.RunAdmissionBench(cfg)
+	if err != nil {
+		return fmt.Errorf("profiled rerun (%d shards batch %d procs %d): %w", cfg.Shards, cfg.BatchSize, cfg.Procs, err)
+	}
+	res.MutexProfile = prof.MutexProfile
+	res.BlockProfile = prof.BlockProfile
 	return nil
 }

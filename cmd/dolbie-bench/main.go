@@ -70,11 +70,18 @@
 // tree overlay while growing O(N) flat.
 //
 // The -dispatch mode times the admission hot path end to end — the
-// pre-shard single-lock reference against the sharded dispatcher at 1,
-// 4, and 8 shards, both fully instrumented, on the same seeded
-// open-loop trace — once per unique GOMAXPROCS in {1, NumCPU}, and
-// writes admissions/sec plus speedup ratios per width to -out (default
-// BENCH_dispatch.json).
+// pre-shard single-lock reference against the sharded dispatcher across
+// a shards {1,4,8,16} × batch {1,16,64} grid (batch K > 1 drives
+// SubmitBatch through submitter-sticky shard handles: one critical
+// section and one pooled verdict buffer per K admissions), all fully
+// instrumented, on the same seeded open-loop trace — once per unique
+// GOMAXPROCS in {1, 4, NumCPU}. Every cell is re-run at quarter size
+// with runtime mutex/block profiling to record where contended cycles
+// go, and the bench fails if the best unbatched sharded configuration
+// at NumCPU procs regresses below single-lock. Writes admissions/sec,
+// speedups, affinity hit rates, and profile summaries to -out (default
+// BENCH_dispatch.json); -smoke shrinks it to a seconds-scale
+// race-friendly pass.
 package main
 
 import (
@@ -117,6 +124,7 @@ func run() error {
 		liveBench    = flag.Bool("live", false, "run the live wall-clock load benchmark (real HTTP sockets against the Live engine) instead of a figure")
 		geoBench     = flag.Bool("geo", false, "run the geo-distributed serving benchmark (RTT-penalized vs latency-blind DOLBIE, DGD baseline, region-outage drill) instead of a figure")
 		liveDur      = flag.Duration("duration", 10*time.Second, "per-run load window for the -live benchmark")
+		smoke        = flag.Bool("smoke", false, "shrink the -dispatch benchmark to a seconds-scale race-friendly smoke (NumCPU procs, shards {1,8}, batch {1,64}, short trace, no gate)")
 		codecName    = flag.String("codec", "all", "wire codec to benchmark in -wire mode: all, or a registry name")
 		outPath      = flag.String("out", "", "output file for the benchmark modes (default BENCH_<mode>.json; \"-\" prints without writing)")
 	)
@@ -148,7 +156,7 @@ func run() error {
 		if out == "" {
 			out = "BENCH_dispatch.json"
 		}
-		return runDispatchBench(out, os.Stdout)
+		return runDispatchBench(out, *smoke, os.Stdout)
 	}
 	if *scaleBench {
 		out := *outPath

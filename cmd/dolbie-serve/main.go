@@ -81,6 +81,7 @@ func run(args []string, out io.Writer) error {
 		util     = fs.Float64("util", def.Utilization, "target mean utilization (worker speeds are scaled to it)")
 		capacity = fs.Int("cap", def.QueueCap, "per-worker queue capacity (sizing guidance: docs/OPERATIONS.md §6)")
 		shards   = fs.Int("shards", def.Shards, "admission shards (0 = 1; split the dispatcher lock for concurrent ingest)")
+		batch    = fs.Int("batch", def.BatchSize, "admission batch width: requests admitted per shard critical section (0 or 1 = per-request; tuning guidance: docs/OPERATIONS.md §6)")
 		alpha    = fs.Float64("alpha", def.Alpha1, "DOLBIE initial step size")
 		seed     = fs.Int64("seed", def.Seed, "seed for traffic and worker speed processes")
 		tenants  = fs.Int("tenants", 0, "tenant count: 0 runs the anonymous single stream; t > 0 runs t equal-weight tenants cycling gold/silver/bronze")
@@ -121,6 +122,7 @@ func run(args []string, out io.Writer) error {
 		Utilization: *util,
 		QueueCap:    *capacity,
 		Shards:      *shards,
+		BatchSize:   *batch,
 		Shed:        shedPolicy,
 		Policy:      controlPolicy,
 		Alpha1:      *alpha,
@@ -227,12 +229,13 @@ func runLive(out io.Writer, cfg dolbie.ServeConfig, addr string) error {
 	reg := metrics.NewRegistry()
 	metrics.RegisterProcessGauges(reg)
 	d, err := dolbie.NewDispatcher(dolbie.DispatcherConfig{
-		N:        cfg.N,
-		QueueCap: cfg.QueueCap,
-		Shards:   cfg.Shards,
-		Shed:     cfg.Shed,
-		Tenants:  cfg.Tenants,
-		Metrics:  reg,
+		N:         cfg.N,
+		QueueCap:  cfg.QueueCap,
+		Shards:    cfg.Shards,
+		BatchSize: cfg.BatchSize,
+		Shed:      cfg.Shed,
+		Tenants:   cfg.Tenants,
+		Metrics:   reg,
 	})
 	if err != nil {
 		return err

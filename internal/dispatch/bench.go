@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -35,9 +37,20 @@ type AdmissionBenchConfig struct {
 	Seed int64
 	// Procs pins GOMAXPROCS for the timed region (restored afterwards);
 	// 0 keeps the ambient setting. The dispatch bench sweeps the unique
-	// values of {1, NumCPU} so single-core and full-width throughput are
-	// both on record.
+	// values of {1, 4, NumCPU} so single-core and full-width throughput
+	// are both on record.
 	Procs int
+	// BatchSize is the admission batch width: 0 or 1 drives per-request
+	// Submit (hash-to-shard, the historical hot path); K > 1 drives
+	// SubmitBatch through one submitter-sticky handle per goroutine —
+	// one shard critical section and one pooled verdict buffer per
+	// chunk. Requires the sharded mode.
+	BatchSize int
+	// Profile enables runtime mutex and block profiling around the timed
+	// region and attaches the per-site contention deltas to the result.
+	// Profiling itself costs cycles, so headline throughput should come
+	// from an unprofiled run of the same configuration.
+	Profile bool
 	// Reference selects the pre-shard single-lock admission path (the
 	// baseline) instead of the sharded Dispatcher.
 	Reference bool
@@ -105,6 +118,109 @@ type AdmissionBenchResult struct {
 	Routed  int64 `json:"routed"`
 	Shed    int64 `json:"shed"`
 	Blocked int64 `json:"blocked"`
+	// BatchSize echoes the admission batch width (1 = per-request
+	// Submit).
+	BatchSize int `json:"batch_size"`
+	// Batches counts the SubmitBatch critical sections committed, and
+	// AffinityHitRate the fraction whose chunk acquired its submitter's
+	// sticky home shard uncontended — both zero on per-request runs.
+	Batches         int64   `json:"batches,omitempty"`
+	AffinityHitRate float64 `json:"affinity_hit_rate,omitempty"`
+	// MutexProfile and BlockProfile are the per-site contention deltas
+	// over the timed region, present when Profile was set: where the
+	// cycles actually go when admission slows down.
+	MutexProfile *ProfileSummary `json:"mutex_profile,omitempty"`
+	BlockProfile *ProfileSummary `json:"block_profile,omitempty"`
+}
+
+// ProfileSummary is the delta of one runtime contention profile (mutex
+// or block) across the bench's timed region.
+type ProfileSummary struct {
+	// Events is the total contention events recorded; Cycles the total
+	// cycles (runtime clock ticks) spent waiting.
+	Events int64 `json:"events"`
+	Cycles int64 `json:"cycles"`
+	// TopSites ranks the contended call sites by cycles, worst first
+	// (at most five).
+	TopSites []ProfileSite `json:"top_sites,omitempty"`
+}
+
+// ProfileSite is one contended call site in a ProfileSummary.
+type ProfileSite struct {
+	Site   string `json:"site"`
+	Events int64  `json:"events"`
+	Cycles int64  `json:"cycles"`
+}
+
+// profileSite names a contention stack by its innermost frame inside
+// this module (the site that held or wanted the lock), falling back to
+// the leaf frame for runtime-internal stacks.
+func profileSite(stk []uintptr) string {
+	frames := runtime.CallersFrames(stk)
+	fallback := ""
+	for {
+		f, more := frames.Next()
+		if fallback == "" && f.Function != "" {
+			fallback = f.Function
+		}
+		if strings.HasPrefix(f.Function, "dolbie/") {
+			return f.Function
+		}
+		if !more {
+			break
+		}
+	}
+	if fallback == "" {
+		return "unknown"
+	}
+	return fallback
+}
+
+// contentionSnapshot reads one cumulative runtime profile (MutexProfile
+// or BlockProfile) into a per-site {events, cycles} map.
+func contentionSnapshot(read func([]runtime.BlockProfileRecord) (int, bool)) map[string][2]int64 {
+	n, _ := read(nil)
+	recs := make([]runtime.BlockProfileRecord, n+64)
+	n, ok := read(recs)
+	if !ok {
+		recs = make([]runtime.BlockProfileRecord, 2*len(recs))
+		n, _ = read(recs)
+	}
+	out := make(map[string][2]int64, n)
+	for _, r := range recs[:n] {
+		site := profileSite(r.Stack())
+		v := out[site]
+		v[0] += r.Count
+		v[1] += r.Cycles
+		out[site] = v
+	}
+	return out
+}
+
+// profileDelta subtracts a before snapshot from an after snapshot and
+// summarizes the difference, worst sites by cycles first.
+func profileDelta(before, after map[string][2]int64) *ProfileSummary {
+	sum := &ProfileSummary{}
+	for site, a := range after {
+		b := before[site]
+		ev, cy := a[0]-b[0], a[1]-b[1]
+		if ev <= 0 && cy <= 0 {
+			continue
+		}
+		sum.Events += ev
+		sum.Cycles += cy
+		sum.TopSites = append(sum.TopSites, ProfileSite{Site: site, Events: ev, Cycles: cy})
+	}
+	sort.Slice(sum.TopSites, func(i, j int) bool {
+		if sum.TopSites[i].Cycles != sum.TopSites[j].Cycles {
+			return sum.TopSites[i].Cycles > sum.TopSites[j].Cycles
+		}
+		return sum.TopSites[i].Site < sum.TopSites[j].Site
+	})
+	if len(sum.TopSites) > 5 {
+		sum.TopSites = sum.TopSites[:5]
+	}
+	return sum
 }
 
 // RunAdmissionBench runs one timed admission benchmark: a pre-generated
@@ -126,6 +242,12 @@ func RunAdmissionBench(cfg AdmissionBenchConfig) (*AdmissionBenchResult, error) 
 	if cfg.Procs < 0 {
 		return nil, fmt.Errorf("dispatch: Procs = %d must be non-negative", cfg.Procs)
 	}
+	if cfg.BatchSize < 0 {
+		return nil, fmt.Errorf("dispatch: BatchSize = %d must be non-negative", cfg.BatchSize)
+	}
+	if cfg.BatchSize > 1 && cfg.Reference {
+		return nil, fmt.Errorf("dispatch: BatchSize = %d requires the sharded mode (the reference path has no batched admission)", cfg.BatchSize)
+	}
 	if cfg.Procs > 0 {
 		prev := runtime.GOMAXPROCS(cfg.Procs)
 		defer runtime.GOMAXPROCS(prev)
@@ -136,17 +258,19 @@ func RunAdmissionBench(cfg AdmissionBenchConfig) (*AdmissionBenchResult, error) 
 	// off the admission path.
 	reg := metrics.NewRegistry()
 	var (
-		plane  dataPlane
-		shards = 1
-		mode   = "single_lock"
-		err    error
+		plane   dataPlane
+		sharded *Dispatcher
+		shards  = 1
+		mode    = "single_lock"
+		err     error
 	)
 	if cfg.Reference {
 		plane, err = newRefDispatcher(Config{N: cfg.Workers, QueueCap: cfg.QueueCap, Shed: ShedReject, Route: RouteWeighted, Metrics: reg})
 	} else {
 		shards = cfg.Shards
 		mode = "sharded"
-		plane, err = New(Config{N: cfg.Workers, QueueCap: cfg.QueueCap, Shards: cfg.Shards, Shed: ShedReject, Route: RouteWeighted, Metrics: reg})
+		sharded, err = New(Config{N: cfg.Workers, QueueCap: cfg.QueueCap, Shards: cfg.Shards, BatchSize: cfg.BatchSize, Shed: ShedReject, Route: RouteWeighted, Metrics: reg})
+		plane = sharded
 	}
 	if err != nil {
 		return nil, err
@@ -158,6 +282,27 @@ func RunAdmissionBench(cfg AdmissionBenchConfig) (*AdmissionBenchResult, error) 
 	}
 	trace := gen.Trace(cfg.Requests)
 
+	batch := 1
+	if cfg.BatchSize > 1 {
+		batch = cfg.BatchSize
+	}
+	var mutexBefore, blockBefore map[string][2]int64
+	if cfg.Profile {
+		runtime.SetMutexProfileFraction(1)
+		runtime.SetBlockProfileRate(1)
+		defer runtime.SetMutexProfileFraction(0)
+		defer runtime.SetBlockProfileRate(0)
+		mutexBefore = contentionSnapshot(runtime.MutexProfile)
+		blockBefore = contentionSnapshot(runtime.BlockProfile)
+	}
+
+	// The batched path renders verdicts through the suffix-table encoder
+	// (the live ingest handler's encoder); built once, shared read-only.
+	var enc *verdictEncoder
+	if batch > 1 {
+		enc = newVerdictEncoder(cfg.Workers)
+	}
+
 	var wg sync.WaitGroup
 	per := cfg.Requests / cfg.Submitters
 	start := time.Now()
@@ -168,6 +313,47 @@ func RunAdmissionBench(cfg AdmissionBenchConfig) (*AdmissionBenchResult, error) 
 			hi = cfg.Requests
 		}
 		wg.Add(1)
+		if batch > 1 {
+			// Batched hot path: a submitter-sticky handle per goroutine,
+			// one SubmitBatch critical section and one pooled verdict
+			// buffer per chunk, completions interleaved at the same
+			// per-request cadence as the sequential mode.
+			go func(g, lo, hi int) {
+				defer wg.Done()
+				sub := sharded.NewSubmitter()
+				verdicts := make([]Verdict, 0, batch)
+				worker := g % cfg.Workers
+				for k := lo; k < hi; k += batch {
+					end := k + batch
+					if end > hi {
+						end = hi
+					}
+					chunk := trace[k:end]
+					verdicts = sub.SubmitBatch(chunk, verdicts[:0])
+					buf := ingestBufPool.Get().(*[]byte)
+					// Chunk IDs are consecutive (the trace is generated in ID
+					// order, as a batch ingest endpoint's sequence counter
+					// would reserve them), so the whole response renders with
+					// one ASCII ID counter.
+					*buf = enc.appendSeq((*buf)[:0], chunk[0].ID, verdicts)
+					_, _ = io.Discard.Write(*buf)
+					ingestBufPool.Put(buf)
+					// Same per-request completion cadence as the sequential
+					// mode, drained in per-worker bursts through the batched
+					// completion path (one ring turn and one lock per burst).
+					for c := len(chunk) / cfg.CompleteEvery; c > 0; {
+						n := (c-1)/cfg.Workers + 1
+						sharded.CompleteBatch(worker, n, chunk[len(chunk)-1].Arrival)
+						c -= n
+						worker++
+						if worker == cfg.Workers {
+							worker = 0
+						}
+					}
+				}
+			}(g, lo, hi)
+			continue
+		}
 		go func(g, lo, hi int) {
 			defer wg.Done()
 			worker := g % cfg.Workers
@@ -195,6 +381,12 @@ func RunAdmissionBench(cfg AdmissionBenchConfig) (*AdmissionBenchResult, error) 
 	wg.Wait()
 	elapsed := time.Since(start).Seconds()
 
+	var mutexSum, blockSum *ProfileSummary
+	if cfg.Profile {
+		mutexSum = profileDelta(mutexBefore, contentionSnapshot(runtime.MutexProfile))
+		blockSum = profileDelta(blockBefore, contentionSnapshot(runtime.BlockProfile))
+	}
+
 	tot := plane.Totals()
 	var routed int64
 	for _, r := range tot.Routed {
@@ -205,7 +397,7 @@ func RunAdmissionBench(cfg AdmissionBenchConfig) (*AdmissionBenchResult, error) 
 			tot.Arrivals, got, cfg.Requests)
 	}
 
-	return &AdmissionBenchResult{
+	res := &AdmissionBenchResult{
 		Mode:             mode,
 		Shards:           shards,
 		Workers:          cfg.Workers,
@@ -220,5 +412,19 @@ func RunAdmissionBench(cfg AdmissionBenchConfig) (*AdmissionBenchResult, error) 
 		Routed:           routed,
 		Shed:             tot.Shed,
 		Blocked:          tot.Blocked,
-	}, nil
+		BatchSize:        batch,
+		MutexProfile:     mutexSum,
+		BlockProfile:     blockSum,
+	}
+	if sharded != nil && batch > 1 {
+		st := sharded.BatchStats()
+		if st.Admitted != int64(cfg.Requests) {
+			return nil, fmt.Errorf("dispatch: bench batch accounting violated: %d admitted through batches, %d submitted", st.Admitted, cfg.Requests)
+		}
+		res.Batches = st.Batches
+		if acq := st.AffinityHits + st.AffinityMisses; acq > 0 {
+			res.AffinityHitRate = float64(st.AffinityHits) / float64(acq)
+		}
+	}
+	return res, nil
 }

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
-	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -25,6 +24,13 @@ type Config struct {
 	// contend. 0 defaults to 1; Shards=1 reproduces the single-lock
 	// admission semantics bit for bit.
 	Shards int
+	// BatchSize caps how many requests a Submitter admits per shard
+	// critical section: one lock acquire, up to BatchSize smooth-WRR
+	// steps, one depth commit. 0 or 1 keeps per-request admission —
+	// SubmitBatch with BatchSize 1 takes the same per-request critical
+	// sections as Submit, and Submit itself never batches regardless of
+	// this knob, so the default path is bit-for-bit unchanged.
+	BatchSize int
 	// Shed selects the backpressure behaviour when the routed target's
 	// queue is full.
 	Shed ShedPolicy
@@ -57,6 +63,9 @@ func (c Config) Validate() error {
 	}
 	if c.Shards < 0 {
 		return fmt.Errorf("dispatch: Shards = %d must be non-negative", c.Shards)
+	}
+	if c.BatchSize < 0 {
+		return fmt.Errorf("dispatch: BatchSize = %d must be non-negative", c.BatchSize)
 	}
 	if s := c.shardCount(); c.QueueCap < s {
 		return fmt.Errorf("dispatch: QueueCap = %d below shard count %d (each shard needs at least one slot per worker)", c.QueueCap, s)
@@ -104,6 +113,15 @@ func (c Config) shardCount() int {
 		return 1
 	}
 	return c.Shards
+}
+
+// batchSize resolves the effective admission batch size (0 defaults
+// to 1).
+func (c Config) batchSize() int {
+	if c.BatchSize <= 0 {
+		return 1
+	}
+	return c.BatchSize
 }
 
 // shardCapSlice is shard si's slice of one worker's total queue
@@ -167,6 +185,13 @@ type shard struct {
 	blocked       int64
 	completed     int64
 
+	// Batched-admission tally: batches counts SubmitBatch critical
+	// sections committed on this shard, batchAdmitted the requests they
+	// carried. Submit (per-request admission) touches neither, so the
+	// ratio batchAdmitted/batches is the realized batch width.
+	batches       int64
+	batchAdmitted int64
+
 	// Per-tenant counters, one slot per tenant, guarded by mu like the
 	// aggregates. Every admission updates its tenant's slot inside the
 	// same critical section as the aggregate, so the per-tenant
@@ -194,8 +219,20 @@ type shard struct {
 // metrics cost (the registry histogram and its mutex are touched once
 // per scrape, not per completion).
 func (s *shard) observeLatencyLocked(v float64) {
-	if i := sort.SearchFloat64s(latencyBuckets, v); i < len(s.latCounts) {
-		s.latCounts[i]++
+	// Inlined sort.SearchFloat64s (first bucket >= v): the closure-based
+	// generic search costs more than the four compares it hides, and this
+	// runs once per completion.
+	lo, hi := 0, len(latencyBuckets)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if latencyBuckets[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(s.latCounts) {
+		s.latCounts[lo]++
 	} else {
 		s.latInf++
 	}
@@ -276,8 +313,23 @@ type Dispatcher struct {
 	// in Complete reads consecutive memory instead of chasing a pointer
 	// into every shard.
 	heads []atomic.Int64
+	// rings serializes completions per worker: holding worker w's turn
+	// makes the caller the worker's only popper, which is what turns the
+	// optimistic oldest-head scan in Complete and Head into a guaranteed
+	// single pass (see completionRing). One ring per worker — completions
+	// of different workers never wait on each other.
+	rings []completionRing
 	inst  *dispatcherInstruments
 	col   *collector
+
+	// nextHome assigns home shards to Submitters round-robin, so a set of
+	// submitter goroutines spreads sticky affinity across every shard.
+	nextHome atomic.Int64
+	// affinityHits / affinityMisses count SubmitBatch shard acquisitions
+	// that landed on (hit) or fell away from (miss) the submitter's home
+	// shard — the contention signal behind the sticky-shard design.
+	affinityHits   atomic.Int64
+	affinityMisses atomic.Int64
 
 	// depth tracks the total queued requests across all shards (updated
 	// inside the shard critical sections, read lock-free), and queueCap
@@ -308,6 +360,10 @@ func New(cfg Config) (*Dispatcher, error) {
 		burst:     make([]float64, nt),
 		shards:    make([]*shard, ns),
 		heads:     make([]atomic.Int64, cfg.N*ns),
+		rings:     make([]completionRing, cfg.N),
+	}
+	for w := range d.rings {
+		d.rings[w].init()
 	}
 	for k, t := range tenants {
 		if t.RateLimit > 0 {
@@ -604,16 +660,13 @@ func (d *Dispatcher) RetryAfterSeconds(o Outcome) int {
 	return 1 + int(3*fill)
 }
 
-// Submit routes one request. The returned verdict reports where it
-// landed (or why it did not); Blocked verdicts leave no trace in the
-// queues and the caller is expected to resubmit after a completion.
-// The whole admission — rate contract, priority threshold, routing
-// pick, queue push, and every counter — commits inside one shard's
-// critical section.
-func (d *Dispatcher) Submit(r Request) Verdict {
-	k := d.tenantIndex(r.Tenant)
-	s := d.shardFor(r.ID)
-	s.mu.Lock()
+// admitLocked runs one full admission — drain gate, rate contract,
+// priority threshold, routing pick, queue push, and every counter —
+// under s.mu. It is the shared body of Submit (one request per critical
+// section) and SubmitBatch (up to BatchSize per critical section). The
+// caller owns the dispatcher-level depth commit: the verdict carries
+// Worker >= 0 exactly when a request was queued.
+func (d *Dispatcher) admitLocked(s *shard, k int, r Request) Verdict {
 	s.arrivals++
 	s.tArrivals[k]++
 	if d.draining.Load() {
@@ -623,7 +676,6 @@ func (d *Dispatcher) Submit(r Request) Verdict {
 		// every snapshot taken through a drain.
 		s.blocked++
 		s.tBlocked[k]++
-		s.mu.Unlock()
 		return Verdict{Outcome: Blocked, Worker: -1}
 	}
 	if rate := d.rateShare[k]; rate > 0 {
@@ -638,7 +690,6 @@ func (d *Dispatcher) Submit(r Request) Verdict {
 		if s.tokens[k] < 1 {
 			s.shedThrottled++
 			s.tThrottled[k]++
-			s.mu.Unlock()
 			return Verdict{Outcome: Throttled, Worker: -1}
 		}
 		s.tokens[k]--
@@ -654,14 +705,12 @@ func (d *Dispatcher) Submit(r Request) Verdict {
 	case d.tenants[k].Shed == ShedBlock:
 		s.blocked++
 		s.tBlocked[k]++
-		s.mu.Unlock()
 		return Verdict{Outcome: Blocked, Worker: -1}
 	case d.tenants[k].Shed == ShedSpill:
 		alt := s.leastLoadedWithSpaceLocked(limit)
 		if alt < 0 {
 			s.shedExhausted++
 			s.tShed[k]++
-			s.mu.Unlock()
 			return Verdict{Outcome: Shed, Worker: -1}
 		}
 		s.spilled++
@@ -670,13 +719,146 @@ func (d *Dispatcher) Submit(r Request) Verdict {
 	default: // ShedReject
 		s.shedReject++
 		s.tShed[k]++
-		s.mu.Unlock()
 		return Verdict{Outcome: Shed, Worker: -1}
 	}
 	s.queues[v.Worker].push(r)
 	s.routed[v.Worker]++
 	s.tRouted[k]++
-	d.depth.Add(1)
+	return v
+}
+
+// admitBatchLocked admits every request of chunk, in order, under s.mu,
+// appending one verdict per request to out and returning out plus the
+// number of requests queued (the caller's depth commit). It is the bulk
+// body of SubmitBatch: for the common chunk shape — single tenant, no
+// rate contract, weighted routing — every chunk-invariant admission
+// input (drain gate, weight vector, WRR total, priority threshold, shed
+// policy) is hoisted out of the per-request loop and the smooth-WRR
+// step is inlined, producing the exact pick sequence, verdicts, and
+// counters of admitLocked run per request (the batched equivalence
+// suite pins the two paths to each other). Chunks that need per-request
+// tenant resolution or token-bucket refills fall back to the general
+// body, still amortizing the one lock acquire.
+//
+// The drain gate is sampled once per chunk, not once per request: a
+// concurrent SetDraining lands on a chunk boundary, which is one of the
+// serializations per-request admission could equally have produced
+// (the whole chunk shares one critical section either way).
+func (d *Dispatcher) admitBatchLocked(s *shard, chunk []Request, out []Verdict) ([]Verdict, int64) {
+	if len(d.tenants) != 1 || d.rateShare[0] > 0 || d.cfg.Route != RouteWeighted {
+		queued := int64(0)
+		for _, r := range chunk {
+			v := d.admitLocked(s, d.tenantIndex(r.Tenant), r)
+			if v.Worker >= 0 {
+				queued++
+			}
+			out = append(out, v)
+		}
+		return out, queued
+	}
+	n := int64(len(chunk))
+	s.arrivals += n
+	s.tArrivals[0] += n
+	if d.draining.Load() {
+		s.blocked += n
+		s.tBlocked[0] += n
+		for range chunk {
+			out = append(out, Verdict{Outcome: Blocked, Worker: -1})
+		}
+		return out, 0
+	}
+	var (
+		weights = s.weights[0]
+		wrr     = s.wrr[0][:len(s.weights[0])]
+		queues  = s.queues
+		limit   = s.limits[0]
+		shed    = d.tenants[0].Shed
+		total   float64
+		queued  int64
+		// Shed-side counters tallied in registers and flushed once after
+		// the loop (still inside the critical section, so every snapshot
+		// stays exact).
+		rejected, exhausted, blocked, spilled int64
+	)
+	for _, w := range weights {
+		total += w
+	}
+	// Grow out once for the whole chunk and write verdicts by index —
+	// one append bookkeeping step per chunk instead of per request.
+	base := len(out)
+	if cap(out) >= base+len(chunk) {
+		out = out[:base+len(chunk)]
+	} else {
+		out = append(out, make([]Verdict, len(chunk))...)
+	}
+	vs := out[base:]
+	for j, r := range chunk {
+		// Inlined smooth WRR over the hoisted vectors; total is invariant
+		// while the shard lock is held (retunes stop the world).
+		best := 0
+		bw := wrr[0] + weights[0]
+		wrr[0] = bw
+		for i := 1; i < len(weights); i++ {
+			v := wrr[i] + weights[i]
+			wrr[i] = v
+			if v > bw {
+				bw, best = v, i
+			}
+		}
+		wrr[best] -= total
+		if queues[best].count >= limit {
+			switch shed {
+			case ShedBlock:
+				blocked++
+				vs[j] = Verdict{Outcome: Blocked, Worker: -1}
+				continue
+			case ShedSpill:
+				alt := s.leastLoadedWithSpaceLocked(limit)
+				if alt < 0 {
+					exhausted++
+					vs[j] = Verdict{Outcome: Shed, Worker: -1}
+					continue
+				}
+				spilled++
+				best = alt
+				vs[j] = Verdict{Outcome: Spilled, Worker: alt}
+			default: // ShedReject
+				rejected++
+				vs[j] = Verdict{Outcome: Shed, Worker: -1}
+				continue
+			}
+		} else {
+			vs[j] = Verdict{Outcome: Routed, Worker: best}
+		}
+		queues[best].push(r)
+		s.routed[best]++
+		queued++
+	}
+	s.shedReject += rejected
+	s.shedExhausted += exhausted
+	s.tShed[0] += rejected + exhausted
+	s.blocked += blocked
+	s.tBlocked[0] += blocked
+	s.spilled += spilled
+	s.tSpilled[0] += spilled
+	s.tRouted[0] += queued
+	return out, queued
+}
+
+// Submit routes one request. The returned verdict reports where it
+// landed (or why it did not); Blocked verdicts leave no trace in the
+// queues and the caller is expected to resubmit after a completion.
+// The whole admission — rate contract, priority threshold, routing
+// pick, queue push, and every counter — commits inside one shard's
+// critical section.
+func (d *Dispatcher) Submit(r Request) Verdict {
+	k := d.tenantIndex(r.Tenant)
+	s := d.shardFor(r.ID)
+	s.mu.Lock()
+	v := d.admitLocked(s, k, r)
+	if v.Worker >= 0 {
+		d.depth.Add(1)
+	}
 	s.mu.Unlock()
 	return v
 }
@@ -700,104 +882,128 @@ func (d *Dispatcher) oldestShard(worker int) (int, int64) {
 
 // Head returns the worker's in-service request: the oldest head (by
 // request ID) across the worker's shard queues, without removing it.
+// It holds the worker's completion-ring turn for the read, so the head
+// it scans cannot be popped out from under it — one optimistic pass
+// always resolves, with no stop-the-world fallback.
 func (d *Dispatcher) Head(worker int) (Request, bool) {
 	if worker < 0 || worker >= d.cfg.N {
 		return Request{}, false
 	}
-	for attempt := 0; attempt <= len(d.shards); attempt++ {
-		si, bestID := d.oldestShard(worker)
-		if si < 0 {
-			return Request{}, false
-		}
-		s := d.shards[si]
-		s.mu.Lock()
-		h, ok := s.queues[worker].peek()
-		s.mu.Unlock()
-		if ok && h.ID == bestID {
-			return h, true
-		}
-		// The head moved under us (a racing completion); rescan.
+	ring := &d.rings[worker]
+	t := ring.acquire()
+	defer ring.release(t)
+	si, bestID := d.oldestShard(worker)
+	if si < 0 {
+		return Request{}, false
 	}
-	return d.headStopTheWorld(worker)
+	s := d.shards[si]
+	s.mu.Lock()
+	h, ok := s.queues[worker].peek()
+	s.mu.Unlock()
+	if !ok || h.ID != bestID {
+		// Unreachable while the turn is held: concurrent admissions can
+		// only flip a head key from empty to a value, never move the head
+		// we chose, and the turn excludes every popper. Fail closed rather
+		// than return a stale head if the invariant is ever broken.
+		return Request{}, false
+	}
+	return h, true
 }
 
 // Complete pops the worker's in-service head — the oldest head across
 // the worker's shard queues — and records its completion at time now
 // (virtual or wall seconds, matching the request arrivals). It returns
-// the completed request. The common path is optimistic: a lock-free
-// scan of atomic head keys picks the shard, and only that shard's
-// mutex is taken; persistent races fall back to a stop-the-world pop.
+// the completed request. The path is lock-free across shards: holding
+// the worker's completion-ring turn makes this call the worker's only
+// popper, so the optimistic scan of atomic head keys picks the oldest
+// shard in a single guaranteed pass (concurrent pushes can only turn
+// an empty key into a newer request, never move the chosen head), and
+// only that one shard's mutex is taken. A contended completion waits
+// on its worker's ring turn; it never stops the world, so admissions
+// on every shard and completions of every other worker keep flowing.
 func (d *Dispatcher) Complete(worker int, now float64) (Request, bool) {
 	if worker < 0 || worker >= d.cfg.N {
 		return Request{}, false
 	}
-	for attempt := 0; attempt <= len(d.shards); attempt++ {
-		si, bestID := d.oldestShard(worker)
-		if si < 0 {
-			return Request{}, false
-		}
-		s := d.shards[si]
-		s.mu.Lock()
-		if h, ok := s.queues[worker].peek(); ok && h.ID == bestID {
-			r, _ := s.queues[worker].pop()
-			s.completed++
-			s.tCompleted[d.tenantIndex(r.Tenant)]++
-			d.depth.Add(-1)
-			if d.inst != nil {
-				s.observeLatencyLocked(now - r.Arrival)
-			}
-			s.mu.Unlock()
-			return r, true
-		}
+	ring := &d.rings[worker]
+	t := ring.acquire()
+	defer ring.release(t)
+	si, _ := d.oldestShard(worker)
+	if si < 0 {
+		return Request{}, false
+	}
+	s := d.shards[si]
+	s.mu.Lock()
+	r, ok := s.queues[worker].pop()
+	if !ok {
+		// Unreachable (the turn excludes every other popper, so a
+		// non-empty scanned head cannot vanish); fail closed.
 		s.mu.Unlock()
-	}
-	return d.completeStopTheWorld(worker, now)
-}
-
-// oldestShardLocked resolves the worker's oldest-head shard while every
-// shard mutex is held.
-func (d *Dispatcher) oldestShardLocked(worker int) int {
-	best, bestID := -1, int64(math.MaxInt64)
-	for si, s := range d.shards {
-		if h, ok := s.queues[worker].peek(); ok && h.ID < bestID {
-			bestID, best = h.ID, si
-		}
-	}
-	return best
-}
-
-// headStopTheWorld resolves the worker's oldest head under the full
-// epoch lock — the contention fallback that guarantees progress when
-// optimistic scans keep losing races.
-func (d *Dispatcher) headStopTheWorld(worker int) (Request, bool) {
-	d.lockAll()
-	defer d.unlockAll()
-	best := d.oldestShardLocked(worker)
-	if best < 0 {
 		return Request{}, false
 	}
-	r, _ := d.shards[best].queues[worker].peek()
-	return r, true
-}
-
-// completeStopTheWorld pops the worker's oldest head under the full
-// epoch lock — the contention fallback for Complete.
-func (d *Dispatcher) completeStopTheWorld(worker int, now float64) (Request, bool) {
-	d.lockAll()
-	defer d.unlockAll()
-	best := d.oldestShardLocked(worker)
-	if best < 0 {
-		return Request{}, false
-	}
-	s := d.shards[best]
-	r, _ := s.queues[worker].pop()
 	s.completed++
 	s.tCompleted[d.tenantIndex(r.Tenant)]++
 	d.depth.Add(-1)
 	if d.inst != nil {
 		s.observeLatencyLocked(now - r.Arrival)
 	}
+	s.mu.Unlock()
 	return r, true
+}
+
+// CompleteBatch pops up to n of the worker's in-service heads —
+// oldest-first, exactly the sequence n Complete calls would pop — and
+// records their completions at time now. It returns how many it popped
+// (fewer than n when the worker's queues drain empty). The worker's
+// completion-ring turn is held once for the whole batch, the dispatcher
+// depth commits once, and consecutive pops that land on the same shard
+// keep that shard's mutex held (with a single shard every pop does), so
+// a completion burst costs one ring acquire, one lock, and one atomic
+// depth update instead of n of each. Never more than one shard mutex is
+// held at a time, preserving the lock-ordering freedom Submit and the
+// stop-the-world epochs rely on.
+func (d *Dispatcher) CompleteBatch(worker, n int, now float64) int {
+	if worker < 0 || worker >= d.cfg.N || n <= 0 {
+		return 0
+	}
+	ring := &d.rings[worker]
+	t := ring.acquire()
+	defer ring.release(t)
+	var (
+		done int
+		s    *shard // the currently locked shard, nil when none
+	)
+	for done < n {
+		si, _ := d.oldestShard(worker)
+		if si < 0 {
+			break
+		}
+		if next := d.shards[si]; next != s {
+			if s != nil {
+				s.mu.Unlock()
+			}
+			s = next
+			s.mu.Lock()
+		}
+		r, ok := s.queues[worker].pop()
+		if !ok {
+			// Unreachable while the turn is held (see Complete); fail closed.
+			break
+		}
+		s.completed++
+		s.tCompleted[d.tenantIndex(r.Tenant)]++
+		if d.inst != nil {
+			s.observeLatencyLocked(now - r.Arrival)
+		}
+		done++
+	}
+	if s != nil {
+		s.mu.Unlock()
+	}
+	if done > 0 {
+		d.depth.Add(int64(-done))
+	}
+	return done
 }
 
 // Depths returns the current queue depth of every worker (summed over

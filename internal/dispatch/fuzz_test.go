@@ -14,25 +14,30 @@ import (
 // loop's virtual clock) relies on: the conservation law
 // Arrivals == sum(Routed) + Shed + Blocked, queue depths bounded by the
 // configured capacity, and Backlog matching the work actually enqueued.
-// The shard count is fuzzed alongside the policies, and every input is
-// replayed a second time as concurrent offered load (several submitting
-// goroutines racing completions) under which the conservation and
-// capacity invariants must still hold at quiescence — the strict
-// depth/backlog bookkeeping is sequential-only, since under concurrency
-// the interleaving of verdicts is not deterministic. Runs with the seed
-// corpus under plain `go test`; explore further with
-// `go test -fuzz=FuzzDispatcherAdmission`.
+// The shard count and admission batch size are fuzzed alongside the
+// policies — batch > 1 drives the submissions through a submitter-sticky
+// SubmitBatch with a pending-flush buffer, exercising admitBatchLocked's
+// fast and general paths against the same invariants as per-request
+// Submit — and every input is replayed a second time as concurrent
+// offered load (several submitting goroutines racing batched completions)
+// under which the conservation and capacity invariants must still hold
+// at quiescence — the strict depth/backlog bookkeeping is
+// sequential-only, since under concurrency the interleaving of verdicts
+// is not deterministic. Runs with the seed corpus under plain
+// `go test`; explore further with `go test -fuzz=FuzzDispatcherAdmission`.
 func FuzzDispatcherAdmission(f *testing.F) {
-	f.Add(uint8(3), uint8(2), uint8(0), uint8(0), uint8(0), uint8(1), []byte{0, 1, 2, 3, 4, 5})
-	f.Add(uint8(1), uint8(1), uint8(1), uint8(1), uint8(3), uint8(2), []byte{7, 7, 7, 3, 3})
-	f.Add(uint8(8), uint8(4), uint8(2), uint8(0), uint8(7), uint8(3), []byte{255, 128, 64, 32, 16, 8, 4, 2, 1})
-	f.Fuzz(func(t *testing.T, n, queueCap, shed, route, shards, par uint8, ops []byte) {
+	f.Add(uint8(3), uint8(2), uint8(0), uint8(0), uint8(0), uint8(1), uint8(0), []byte{0, 1, 2, 3, 4, 5})
+	f.Add(uint8(1), uint8(1), uint8(1), uint8(1), uint8(3), uint8(2), uint8(1), []byte{7, 7, 7, 3, 3})
+	f.Add(uint8(8), uint8(4), uint8(2), uint8(0), uint8(7), uint8(3), uint8(2), []byte{255, 128, 64, 32, 16, 8, 4, 2, 1})
+	f.Add(uint8(4), uint8(15), uint8(0), uint8(0), uint8(3), uint8(3), uint8(3), []byte{0, 4, 8, 12, 0, 4, 8, 3, 0, 4, 8, 12, 16, 20, 24, 28, 32, 3, 7})
+	f.Fuzz(func(t *testing.T, n, queueCap, shed, route, shards, par, batch uint8, ops []byte) {
 		cfg := Config{
-			N:        int(n%8) + 1,
-			QueueCap: int(queueCap%16) + 1,
-			Shed:     ShedPolicy(int(shed) % 3),
-			Route:    RoutePolicy(int(route) % 2),
-			Shards:   int(shards%8) + 1,
+			N:         int(n%8) + 1,
+			QueueCap:  int(queueCap%16) + 1,
+			Shed:      ShedPolicy(int(shed) % 3),
+			Route:     RoutePolicy(int(route) % 2),
+			Shards:    int(shards%8) + 1,
+			BatchSize: []int{1, 2, 8, 64}[batch%4],
 		}
 		if cfg.Shards > cfg.QueueCap {
 			cfg.Shards = cfg.QueueCap // Validate requires a slot per shard
@@ -44,8 +49,41 @@ func FuzzDispatcherAdmission(f *testing.F) {
 		var id int64
 		var enqueued float64
 		depths := make([]int, cfg.N)
+		sub := d.NewSubmitter()
+		var pending []Request
+		verdicts := make([]Verdict, 0, cfg.BatchSize)
+		// account applies one flushed batch's verdicts to the sequential
+		// depth/backlog model; SubmitBatch returns verdicts in request
+		// order, so pending[i] pairs with verdicts[i].
+		account := func(k int) {
+			verdicts = sub.SubmitBatch(pending, verdicts[:0])
+			for i, v := range verdicts {
+				switch v.Outcome {
+				case Routed, Spilled:
+					if v.Worker < 0 || v.Worker >= cfg.N {
+						t.Fatalf("op %d: routed to worker %d of %d", k, v.Worker, cfg.N)
+					}
+					depths[v.Worker]++
+					enqueued += pending[i].Demand
+				case Shed:
+					if cfg.Shed == ShedBlock {
+						t.Fatalf("op %d: block policy shed a request", k)
+					}
+				case Blocked:
+					if cfg.Shed != ShedBlock {
+						t.Fatalf("op %d: %v policy blocked a request", k, cfg.Shed)
+					}
+				default:
+					t.Fatalf("op %d: unknown outcome %v", k, v.Outcome)
+				}
+			}
+			pending = pending[:0]
+		}
 		for k, op := range ops {
 			if op%4 == 3 {
+				// Flush before completing so the model sees admissions and
+				// completions in program order.
+				account(k)
 				w := int(op>>2) % cfg.N
 				if req, ok := d.Complete(w, float64(k)); ok {
 					depths[w]--
@@ -54,27 +92,12 @@ func FuzzDispatcherAdmission(f *testing.F) {
 				continue
 			}
 			id++
-			demand := 0.1 + float64(op%7)
-			v := d.Submit(Request{ID: id, Arrival: float64(k), Demand: demand})
-			switch v.Outcome {
-			case Routed, Spilled:
-				if v.Worker < 0 || v.Worker >= cfg.N {
-					t.Fatalf("op %d: routed to worker %d of %d", k, v.Worker, cfg.N)
-				}
-				depths[v.Worker]++
-				enqueued += demand
-			case Shed:
-				if cfg.Shed == ShedBlock {
-					t.Fatalf("op %d: block policy shed a request", k)
-				}
-			case Blocked:
-				if cfg.Shed != ShedBlock {
-					t.Fatalf("op %d: %v policy blocked a request", k, cfg.Shed)
-				}
-			default:
-				t.Fatalf("op %d: unknown outcome %v", k, v.Outcome)
+			pending = append(pending, Request{ID: id, Arrival: float64(k), Demand: 0.1 + float64(op%7)})
+			if len(pending) >= cfg.BatchSize {
+				account(k)
 			}
 		}
+		account(len(ops))
 		tot := d.Totals()
 		var routed int64
 		for w, r := range tot.Routed {
@@ -99,10 +122,11 @@ func FuzzDispatcherAdmission(f *testing.F) {
 		}
 
 		// Concurrent replay: the same op stream offered from several
-		// goroutines at once, racing completions against submissions. The
-		// interleaving is nondeterministic, so only the interleaving-free
-		// invariants are asserted at quiescence: conservation, and no
-		// worker's aggregate depth above the configured capacity.
+		// goroutines at once, racing batched completions against batched
+		// submissions. The interleaving is nondeterministic, so only the
+		// interleaving-free invariants are asserted at quiescence:
+		// conservation, and no worker's aggregate depth above the
+		// configured capacity.
 		dc, err := New(cfg)
 		if err != nil {
 			t.Fatalf("New(%+v): %v", cfg, err)
@@ -113,13 +137,27 @@ func FuzzDispatcherAdmission(f *testing.F) {
 			wg.Add(1)
 			go func(g int) {
 				defer wg.Done()
+				csub := dc.NewSubmitter()
+				var cpending []Request
+				cverdicts := make([]Verdict, 0, cfg.BatchSize)
 				base := int64(g+1) * (int64(len(ops)) + 1)
 				for k, op := range ops {
 					if op%4 == 3 {
-						dc.Complete(int(op>>2)%cfg.N, float64(k))
+						if op%8 == 7 {
+							dc.CompleteBatch(int(op>>2)%cfg.N, 2, float64(k))
+						} else {
+							dc.Complete(int(op>>2)%cfg.N, float64(k))
+						}
 						continue
 					}
-					dc.Submit(Request{ID: base + int64(k), Arrival: float64(k), Demand: 0.1 + float64(op%7)})
+					cpending = append(cpending, Request{ID: base + int64(k), Arrival: float64(k), Demand: 0.1 + float64(op%7)})
+					if len(cpending) >= cfg.BatchSize {
+						cverdicts = csub.SubmitBatch(cpending, cverdicts[:0])
+						cpending = cpending[:0]
+					}
+				}
+				if len(cpending) > 0 {
+					csub.SubmitBatch(cpending, cverdicts[:0])
 				}
 			}(g)
 		}
@@ -136,6 +174,63 @@ func FuzzDispatcherAdmission(f *testing.F) {
 		for w, depth := range dc.Depths() {
 			if depth > cfg.QueueCap {
 				t.Fatalf("concurrent replay: worker %d depth %d exceeds cap %d", w, depth, cfg.QueueCap)
+			}
+		}
+	})
+}
+
+// FuzzCompletionRing drives the lock-free completion turn queue with an
+// arbitrary mix of goroutines and per-goroutine turn counts and checks
+// the three properties the dispatcher's completion path stands on:
+// mutual exclusion (holding a turn really excludes every other
+// completer), FIFO granting in exact ticket order even across ring
+// wraparound (any total > completionRingSlots recycles slots), and that
+// no turn is ever lost — every acquire is eventually granted and the
+// critical-section count comes out exactly goroutines × turns. Runs
+// with the seed corpus under plain `go test` (and under -race in the
+// Makefile's fuzz smoke); explore further with
+// `go test -fuzz=FuzzCompletionRing`.
+func FuzzCompletionRing(f *testing.F) {
+	f.Add(uint8(1), uint8(1))
+	f.Add(uint8(2), uint8(5))
+	f.Add(uint8(7), uint8(31)) // 8 goroutines × 32 turns: 32 wraparounds
+	f.Add(uint8(255), uint8(255))
+	f.Fuzz(func(t *testing.T, par, turns uint8) {
+		goroutines := int(par%8) + 1
+		perG := int(turns%32) + 1
+		var ring completionRing
+		ring.init()
+		var (
+			inside  int32 // guarded by the ring, deliberately not atomic
+			count   int64 // ditto
+			granted = make([]int64, 0, goroutines*perG)
+			wg      sync.WaitGroup
+		)
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < perG; i++ {
+					tk := ring.acquire()
+					if inside != 0 {
+						panic("completion ring granted two turns at once")
+					}
+					inside = 1
+					count++
+					granted = append(granted, tk)
+					inside = 0
+					ring.release(tk)
+				}
+			}()
+		}
+		wg.Wait()
+		total := int64(goroutines * perG)
+		if count != total {
+			t.Fatalf("lost completions: %d critical sections for %d acquires", count, total)
+		}
+		for i, tk := range granted {
+			if tk != int64(i) {
+				t.Fatalf("turn %d granted ticket %d: FIFO order violated", i, tk)
 			}
 		}
 	})

@@ -51,6 +51,26 @@ const (
 	// pinned while others idle sheds early: per-worker capacity is split
 	// across shards.
 	MetricShardDepth = "dolbie_dispatch_shard_queue_depth"
+	// MetricBatchBatches counts batched-admission critical sections
+	// committed by SubmitBatch (one per chunk: one shard lock acquire,
+	// up to BatchSize admissions). Per-request Submit never increments
+	// it, so a zero series on a batched deployment means the ingest path
+	// is not actually batching.
+	MetricBatchBatches = "dolbie_dispatch_batch_batches_total"
+	// MetricBatchAdmissions counts requests admitted through SubmitBatch
+	// chunks; the ratio to MetricBatchBatches is the realized batch
+	// width (it sinks toward 1 when arrivals trickle in below the
+	// configured BatchSize).
+	MetricBatchAdmissions = "dolbie_dispatch_batch_admissions_total"
+	// MetricBatchAffinityHits counts SubmitBatch chunks that acquired
+	// the submitter's sticky home shard uncontended.
+	MetricBatchAffinityHits = "dolbie_dispatch_batch_affinity_hits_total"
+	// MetricBatchAffinityMisses counts SubmitBatch chunks that found the
+	// home shard contended and fell over to another shard (or queued on
+	// home when every shard was busy). A sustained miss rate above ~10%
+	// means more submitters than shards — raise Shards or shrink the
+	// submitter pool.
+	MetricBatchAffinityMisses = "dolbie_dispatch_batch_affinity_misses_total"
 	// MetricTenantArrivals counts admission attempts per tenant, labeled
 	// {tenant}. The per-tenant family is exported only on multi-tenant
 	// dispatchers (Config.Tenants non-empty) and is aggregated at scrape
@@ -151,6 +171,10 @@ type instruments struct {
 	shards          *metrics.Gauge
 	shardAdmissions *metrics.CounterVec
 	shardDepth      *metrics.GaugeVec
+	batchBatches    *metrics.Counter
+	batchAdmissions *metrics.Counter
+	batchAffHits    *metrics.Counter
+	batchAffMisses  *metrics.Counter
 	tenantArrivals  *metrics.CounterVec
 	tenantRouted    *metrics.CounterVec
 	tenantShed      *metrics.CounterVec
@@ -174,6 +198,10 @@ func newInstruments(reg *metrics.Registry) *instruments {
 		shards:          reg.Gauge(MetricShards, "Configured number of admission shards."),
 		shardAdmissions: reg.CounterVec(MetricShardAdmissions, "Admission attempts, by shard.", "shard"),
 		shardDepth:      reg.GaugeVec(MetricShardDepth, "Queued requests, by shard.", "shard"),
+		batchBatches:    reg.Counter(MetricBatchBatches, "Batched-admission critical sections committed by SubmitBatch."),
+		batchAdmissions: reg.Counter(MetricBatchAdmissions, "Requests admitted through SubmitBatch chunks."),
+		batchAffHits:    reg.Counter(MetricBatchAffinityHits, "SubmitBatch chunks that acquired their sticky home shard uncontended."),
+		batchAffMisses:  reg.Counter(MetricBatchAffinityMisses, "SubmitBatch chunks that fell away from a contended home shard."),
 		tenantArrivals:  reg.CounterVec(MetricTenantArrivals, "Admission attempts, by tenant.", "tenant"),
 		tenantRouted:    reg.CounterVec(MetricTenantRouted, "Requests enqueued, by tenant.", "tenant"),
 		tenantShed:      reg.CounterVec(MetricTenantShed, "Requests dropped (queue pressure or rate contract), by tenant.", "tenant"),
@@ -200,6 +228,13 @@ type dispatcherInstruments struct {
 	shards        *metrics.Gauge
 	shardAdmByS   []*metrics.Counter
 	shardDepthByS []*metrics.Gauge
+
+	// Batched-admission series (plain counters; the reference dispatcher
+	// has no batched path and leaves them at zero).
+	batchBatches    *metrics.Counter
+	batchAdmissions *metrics.Counter
+	batchAffHits    *metrics.Counter
+	batchAffMisses  *metrics.Counter
 
 	// Per-tenant series, resolved only on multi-tenant dispatchers
 	// (tenants is the resolved name list; nil/empty keeps the families
@@ -233,6 +268,11 @@ func newDispatcherInstruments(in *instruments, n, shards int, tenants []string) 
 		latency:       in.latency,
 		retunes:       in.retunes,
 		shards:        in.shards,
+
+		batchBatches:    in.batchBatches,
+		batchAdmissions: in.batchAdmissions,
+		batchAffHits:    in.batchAffHits,
+		batchAffMisses:  in.batchAffMisses,
 	}
 	for i := 0; i < n; i++ {
 		di.routedByW[i] = in.routed.WithLabelValues(strconv.Itoa(i))
@@ -282,6 +322,10 @@ type collector struct {
 	lastSpilled       int64
 	lastBlocked       int64
 	lastShardAdm      []int64
+	lastBatches       int64
+	lastBatchAdm      int64
+	lastAffHits       int64
+	lastAffMisses     int64
 	lastLatCounts     []int64
 	lastLatInf        int64
 	lastLatSum        float64
@@ -319,6 +363,7 @@ func (d *Dispatcher) collect() {
 	n, ns, nt := d.cfg.N, len(d.shards), len(d.col.lastTenantArr)
 	var (
 		arrivals, shedReject, shedExhausted, shedThrottled, spilled, blocked int64
+		batches, batchAdm                                                    int64
 		latInf, latCount                                                     int64
 		latSum                                                               float64
 		routed                                                               = make([]int64, n)
@@ -340,6 +385,8 @@ func (d *Dispatcher) collect() {
 		shedThrottled += s.shedThrottled
 		spilled += s.spilled
 		blocked += s.blocked
+		batches += s.batches
+		batchAdm += s.batchAdmitted
 		shardAdm[si] = s.arrivals
 		for w, r := range s.routed {
 			routed[w] += r
@@ -377,6 +424,18 @@ func (d *Dispatcher) collect() {
 	c.lastSpilled = spilled
 	d.inst.blocked.Add(float64(blocked - c.lastBlocked))
 	c.lastBlocked = blocked
+	d.inst.batchBatches.Add(float64(batches - c.lastBatches))
+	c.lastBatches = batches
+	d.inst.batchAdmissions.Add(float64(batchAdm - c.lastBatchAdm))
+	c.lastBatchAdm = batchAdm
+	// The affinity counters are dispatcher-level atomics (a chunk's shard
+	// acquisition is not owned by any one shard); they are read lock-free
+	// and advanced by the same delta pattern as the shard counters.
+	affHits, affMisses := d.affinityHits.Load(), d.affinityMisses.Load()
+	d.inst.batchAffHits.Add(float64(affHits - c.lastAffHits))
+	c.lastAffHits = affHits
+	d.inst.batchAffMisses.Add(float64(affMisses - c.lastAffMisses))
+	c.lastAffMisses = affMisses
 	for k := 0; k < nt; k++ {
 		d.inst.tenantArrByT[k].Add(float64(tenantArr[k] - c.lastTenantArr[k]))
 		c.lastTenantArr[k] = tenantArr[k]

@@ -70,7 +70,13 @@ func (q *queue) push(r Request) {
 		}
 		q.buf, q.head = nb, 0
 	}
-	q.buf[(q.head+q.count)%len(q.buf)] = r
+	// head < len(buf) and count <= len(buf), so one conditional subtract
+	// wraps the tail index — an integer divide would dominate the push.
+	tail := q.head + q.count
+	if tail >= len(q.buf) {
+		tail -= len(q.buf)
+	}
+	q.buf[tail] = r
 	q.count++
 	q.work += r.Demand
 	if q.count == 1 {
@@ -93,7 +99,9 @@ func (q *queue) pop() (Request, bool) {
 	}
 	r := q.buf[q.head]
 	q.buf[q.head] = Request{}
-	q.head = (q.head + 1) % len(q.buf)
+	if q.head++; q.head == len(q.buf) {
+		q.head = 0
+	}
 	q.count--
 	q.work -= r.Demand
 	if q.count == 0 {

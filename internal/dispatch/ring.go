@@ -1,0 +1,80 @@
+package dispatch
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// completionRingSlots is the number of grant slots per worker ring. It
+// bounds nothing but cache behaviour: tickets are compared by value, so
+// any number of concurrent completers wrap around the ring safely —
+// a waiter whose ticket collides with an older ticket's slot simply
+// keeps spinning until the ring advances to its exact ticket.
+const completionRingSlots = 8
+
+// ringSlot is one grant slot, padded to a cache line so concurrent
+// waiters on neighbouring turns never ping-pong the same line.
+type ringSlot struct {
+	turn atomic.Int64
+	_    [56]byte
+}
+
+// completionRing serializes completions (and head reads) for one worker
+// without any mutex and without the stop-the-world fallback the
+// pre-batching dispatcher used: it is an array-based FIFO turn queue
+// (Anderson-style, with full ticket stamps instead of flags, so
+// wraparound is safe at any concurrency). acquire takes the next ticket
+// and spins on its own slot until the ring grants exactly that ticket;
+// release grants the next one. Holding a worker's turn makes the caller
+// the worker's only popper, which is what turns the optimistic
+// oldest-head scan into a guaranteed single pass: concurrent pushes can
+// only flip a shard head from empty to a (newer) request, never move or
+// remove the head the scan chose.
+//
+// Compared to the old stop-the-world fallback, a contended completion
+// stalls only completions of the same worker — admissions on every
+// shard and completions of every other worker keep flowing.
+type completionRing struct {
+	tickets atomic.Int64
+	grants  [completionRingSlots]ringSlot
+}
+
+// init primes the ring so ticket 0 proceeds immediately. Slots other
+// than 0 must not spuriously match ticket values, so they start at -1
+// (tickets are non-negative).
+func (r *completionRing) init() {
+	for i := 1; i < completionRingSlots; i++ {
+		r.grants[i].turn.Store(-1)
+	}
+}
+
+// ringSpinYields is how many scheduler yields a waiter burns before it
+// starts sleeping between polls. On an oversubscribed box (more
+// runnable goroutines than cores) the turn holder may itself be
+// descheduled; pure Gosched spinning then livelocks whole scheduler
+// slices away, so after a bounded spin the waiter parks in short sleeps
+// and frees the core for the holder.
+const ringSpinYields = 64
+
+// acquire claims the next completion turn for the worker and spins
+// until it is granted, returning the ticket to pass to release. Turns
+// are granted in FIFO ticket order, so completion is starvation-free
+// per worker.
+func (r *completionRing) acquire() int64 {
+	t := r.tickets.Add(1) - 1
+	slot := &r.grants[t%completionRingSlots].turn
+	for spins := 0; slot.Load() != t; spins++ {
+		if spins < ringSpinYields {
+			runtime.Gosched()
+		} else {
+			time.Sleep(time.Microsecond)
+		}
+	}
+	return t
+}
+
+// release hands the worker's turn to the next queued ticket.
+func (r *completionRing) release(t int64) {
+	r.grants[(t+1)%completionRingSlots].turn.Store(t + 1)
+}

@@ -123,6 +123,19 @@ type ServeConfig struct {
 	// shard count is deterministic; Shards=1 reproduces the single-lock
 	// admission sequence bit for bit.
 	Shards int
+	// BatchSize is the engine's admission batch width. 0 or 1 admits
+	// every arrival individually at its arrival instant — the historical
+	// engine, bit for bit. K > 1 buffers consecutive arrivals and
+	// flushes them through SubmitBatch (one shard critical section per
+	// flush, rotating submitter-sticky shard handles) whenever the
+	// buffer fills, a completion event is next, or the round ends; a
+	// buffered request's service starts at its flush, so batching trades
+	// a bounded admission delay for amortized lock cost, exactly like
+	// the live ingest path it models. Deterministic for any K.
+	// Incompatible with ShedBlock (a blocked verdict must stall its
+	// tenant's source before the next admission, which a batch already
+	// in flight cannot honor).
+	BatchSize int
 	// Shed selects the backpressure policy.
 	Shed ShedPolicy
 	// Policy selects the control plane (dolbie, wrr, jsq).
@@ -223,6 +236,16 @@ func (c ServeConfig) Validate() error {
 	if c.QueueCap <= 0 {
 		return fmt.Errorf("dispatch: QueueCap = %d must be positive", c.QueueCap)
 	}
+	if c.BatchSize > 1 {
+		if len(c.Tenants) == 0 && c.Shed == ShedBlock {
+			return fmt.Errorf("dispatch: BatchSize = %d incompatible with ShedBlock (a blocked verdict must stall its source before the next admission)", c.BatchSize)
+		}
+		for i, t := range c.Tenants {
+			if t.Shed == ShedBlock {
+				return fmt.Errorf("dispatch: tenant %d (%q): BatchSize = %d incompatible with ShedBlock", i, t.Name, c.BatchSize)
+			}
+		}
+	}
 	switch c.Policy {
 	case PolicyDOLBIE, PolicyWRR, PolicyJSQ, PolicyDGD:
 	default:
@@ -249,7 +272,7 @@ func (c ServeConfig) Validate() error {
 			return fmt.Errorf("dispatch: tenant %d (%q) needs a positive Rate or Weight to receive traffic", i, t.Name)
 		}
 	}
-	return Config{N: c.N, QueueCap: c.QueueCap, Shards: c.Shards, Shed: c.Shed, Route: RouteWeighted, Tenants: c.Tenants}.Validate()
+	return Config{N: c.N, QueueCap: c.QueueCap, Shards: c.Shards, BatchSize: c.BatchSize, Shed: c.Shed, Route: RouteWeighted, Tenants: c.Tenants}.Validate()
 }
 
 // tenantSeedStride separates per-tenant generator seeds; tenant 0 keeps
@@ -308,6 +331,9 @@ type ServeResult struct {
 	QueueCap int   `json:"queue_cap"`
 	Shards   int   `json:"shards"`
 	Seed     int64 `json:"seed"`
+	// BatchSize echoes the engine's admission batch width; omitted on
+	// per-request runs (the historical JSON output is unchanged).
+	BatchSize int `json:"batch_size,omitempty"`
 	// Shed is the backpressure policy's name.
 	Shed string `json:"shed"`
 	// Arrivals counts admission attempts; Completed, ShedCount,
@@ -511,7 +537,7 @@ func Serve(cfg ServeConfig) (*ServeResult, error) {
 	if cfg.Policy == PolicyJSQ {
 		route = RouteJSQ
 	}
-	d, err := New(Config{N: cfg.N, QueueCap: cfg.QueueCap, Shards: cfg.Shards, Shed: cfg.Shed, Route: route, Tenants: cfg.Tenants, Metrics: cfg.Metrics})
+	d, err := New(Config{N: cfg.N, QueueCap: cfg.QueueCap, Shards: cfg.Shards, BatchSize: cfg.BatchSize, Shed: cfg.Shed, Route: route, Tenants: cfg.Tenants, Metrics: cfg.Metrics})
 	if err != nil {
 		return nil, err
 	}
@@ -592,6 +618,62 @@ func serveWith(cfg ServeConfig, d dataPlane) (*ServeResult, error) {
 		now = to
 	}
 
+	// Batched ingest: arrivals are buffered and flushed through
+	// SubmitBatch — one shard critical section per flush — rotating over
+	// one submitter-sticky handle per shard so every shard's capacity
+	// slice stays in play. A buffered request's service starts at its
+	// flush (the batching delay the knob trades for amortized lock
+	// cost); ShedBlock is excluded by Validate, so no flush verdict can
+	// require stalling a source mid-batch.
+	batch := Config{BatchSize: cfg.BatchSize}.batchSize()
+	var (
+		subs     []*Submitter
+		batchBuf []Request
+		batchOut []Verdict
+		flushes  int
+	)
+	if batch > 1 {
+		bp, ok := d.(*Dispatcher)
+		if !ok {
+			return nil, fmt.Errorf("dispatch: BatchSize = %d requires the sharded dispatcher", cfg.BatchSize)
+		}
+		subs = make([]*Submitter, bp.Shards())
+		for i := range subs {
+			subs[i] = bp.NewSubmitter()
+		}
+		batchBuf = make([]Request, 0, batch)
+		batchOut = make([]Verdict, 0, batch)
+	}
+	flush := func(routedWork []float64) {
+		if len(batchBuf) == 0 {
+			return
+		}
+		sub := subs[flushes%len(subs)]
+		flushes++
+		batchOut = sub.SubmitBatch(batchBuf, batchOut[:0])
+		for i, v := range batchOut {
+			r := batchBuf[i]
+			tr := &trs[r.Tenant]
+			switch v.Outcome {
+			case Routed, Spilled:
+				routedWork[v.Worker] += r.Demand
+				if remaining[v.Worker] == 0 {
+					remaining[v.Worker] = r.Demand
+				}
+				if gs != nil {
+					gs.onRouted(v.Worker)
+				}
+				tr.offered += r.Demand
+			case Throttled:
+				// Contract-throttled work never entered the system (see the
+				// per-request path).
+			default:
+				tr.offered += r.Demand
+			}
+		}
+		batchBuf = batchBuf[:0]
+	}
+
 	// Per-round scratch, hoisted out of the loop: a serving run touches
 	// these every round, and the engine is the inner loop of the serve
 	// bench, so round boundaries should not allocate.
@@ -636,6 +718,14 @@ func serveWith(cfg ServeConfig, d dataPlane) (*ServeResult, error) {
 			}
 			switch {
 			case ct <= at && ct <= roundEnd:
+				if len(batchBuf) > 0 {
+					// A completion is next: flush the buffered arrivals first
+					// (their admission instant is the current virtual time, at
+					// or before ct) and re-evaluate — a flush can start service
+					// on an idle worker and move the earliest completion.
+					flush(routedWork)
+					continue
+				}
 				advance(ct)
 				remaining[cw] = 0
 				r, _ := d.Complete(cw, ct)
@@ -666,6 +756,13 @@ func serveWith(cfg ServeConfig, d dataPlane) (*ServeResult, error) {
 				seq++
 				r.ID = seq
 				r.Tenant = ak
+				if batch > 1 {
+					batchBuf = append(batchBuf, r)
+					if len(batchBuf) >= batch {
+						flush(routedWork)
+					}
+					continue
+				}
 				switch admit(r, routedWork).Outcome {
 				case Blocked:
 					tr.offered += r.Demand
@@ -679,6 +776,13 @@ func serveWith(cfg ServeConfig, d dataPlane) (*ServeResult, error) {
 				default:
 					tr.offered += r.Demand
 				}
+				continue
+			}
+			if len(batchBuf) > 0 {
+				// Round end with a partial batch: flush before closing the
+				// round — a flush can start service before roundEnd, so
+				// re-evaluate for completions still inside the round.
+				flush(routedWork)
 				continue
 			}
 			break
@@ -767,6 +871,9 @@ func serveWith(cfg ServeConfig, d dataPlane) (*ServeResult, error) {
 		Spilled:   tot.Spilled,
 		Blocked:   tot.Blocked,
 		Retunes:   retunes,
+	}
+	if batch > 1 {
+		res.BatchSize = batch
 	}
 	if tot.Arrivals > 0 {
 		res.ShedRate = float64(tot.Shed) / float64(tot.Arrivals)

@@ -2,6 +2,7 @@ package dispatch
 
 import (
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 )
@@ -128,42 +129,61 @@ func TestAdmissionBenchSmoke(t *testing.T) {
 	}
 }
 
-// TestStopTheWorldFallbacks drives the epoch-locked head/complete
-// fallbacks directly: the optimistic lock-free path almost always wins
-// the race in-process, so the fallback that guarantees progress under
-// persistent contention is exercised explicitly, on both a populated
-// and a drained worker.
-func TestStopTheWorldFallbacks(t *testing.T) {
-	d, err := New(Config{N: 2, QueueCap: 64, Shards: 4})
+// TestConcurrentCompletionsNeverLoseARequest replaces the old
+// stop-the-world-fallback drill: with the completion ring there is no
+// fallback path, so the property to pin is that many goroutines
+// completing the same worker concurrently — the case the ring
+// serializes — drain exactly the admitted requests, each popped once,
+// in globally increasing ID order per observer batch.
+func TestConcurrentCompletionsNeverLoseARequest(t *testing.T) {
+	const requests = 512
+	d, err := New(Config{N: 2, QueueCap: requests * 8, Shards: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
-	for id := int64(1); id <= 8; id++ {
-		d.Submit(Request{ID: id, Arrival: 0, Demand: 1})
+	for id := int64(1); id <= requests; id++ {
+		if v := d.Submit(Request{ID: id, Arrival: 0, Demand: 1}); v.Outcome != Routed {
+			t.Fatalf("request %d: verdict %+v", id, v)
+		}
 	}
 	depths := d.Depths()
-	for want := int64(0); ; {
-		h, ok := d.headStopTheWorld(0)
-		if !ok {
-			break
-		}
-		if h.ID <= want {
-			t.Fatalf("stop-the-world head %d not increasing past %d", h.ID, want)
-		}
-		r, ok := d.completeStopTheWorld(0, 1)
-		if !ok || r.ID != h.ID {
-			t.Fatalf("stop-the-world complete = %+v,%v, want head %d", r, ok, h.ID)
-		}
-		want = r.ID
+	const completers = 8
+	got := make([][]int64, completers)
+	var wg sync.WaitGroup
+	for g := 0; g < completers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for {
+				r, ok := d.Complete(0, 1)
+				if !ok {
+					return
+				}
+				got[g] = append(got[g], r.ID)
+			}
+		}(g)
 	}
-	if _, ok := d.completeStopTheWorld(0, 1); ok {
-		t.Error("stop-the-world complete popped from a drained worker")
+	wg.Wait()
+	seen := make(map[int64]bool, requests)
+	for g := range got {
+		for i, id := range got[g] {
+			if seen[id] {
+				t.Fatalf("request %d completed twice", id)
+			}
+			seen[id] = true
+			if i > 0 && got[g][i-1] >= id {
+				t.Fatalf("completer %d saw IDs out of order: %d then %d", g, got[g][i-1], id)
+			}
+		}
 	}
-	if got := d.Depths()[0]; got != 0 {
-		t.Errorf("worker 0 depth %d after stop-the-world drain", got)
+	if len(seen) != depths[0] {
+		t.Fatalf("completed %d of worker 0's %d requests", len(seen), depths[0])
 	}
-	if got := d.Depths()[1]; got != depths[1] {
-		t.Errorf("worker 1 depth changed %d -> %d during worker 0 drain", depths[1], got)
+	if _, ok := d.Complete(0, 1); ok {
+		t.Error("Complete popped from a drained worker")
+	}
+	if gotD := d.Depths(); gotD[0] != 0 || gotD[1] != depths[1] {
+		t.Errorf("depths %v after worker 0 drain, want [0 %d]", gotD, depths[1])
 	}
 }
 

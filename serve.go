@@ -27,11 +27,24 @@ type (
 	// (or join-shortest-queue), applying the configured backpressure
 	// policy when a queue is full. Safe for concurrent use: admissions
 	// are sharded (each request hashes to one of Shards admission shards
-	// and commits inside that shard's short critical section), while
-	// weight retunes take a brief stop-the-world epoch across all shards
-	// so every shard swaps to the new assignment at the same admission
+	// and commits inside that shard's short critical section; batched
+	// submitters admit up to BatchSize requests per critical section
+	// through NewSubmitter), completions serialize per worker on a
+	// lock-free turn ring rather than stopping the world, and weight
+	// retunes take a brief stop-the-world epoch across all shards so
+	// every shard swaps to the new assignment at the same admission
 	// boundary.
 	Dispatcher = dispatch.Dispatcher
+	// Submitter is a per-goroutine batched admission handle: SubmitBatch
+	// admits chunks of up to DispatcherConfig.BatchSize requests per
+	// shard critical section with submitter-sticky shard affinity.
+	// Request semantics are identical to Dispatcher.Submit; create one
+	// Submitter per submitting goroutine.
+	Submitter = dispatch.Submitter
+	// BatchStats is a consistent snapshot of the batched-admission
+	// counters: batches committed, requests they carried, and home-shard
+	// affinity hits and misses.
+	BatchStats = dispatch.BatchStats
 	// ServeRequest is one unit of work entering the data plane.
 	ServeRequest = dispatch.Request
 	// Verdict is the dispatcher's decision for one submitted request.
